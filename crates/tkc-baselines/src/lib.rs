@@ -1,0 +1,26 @@
+//! # tkc-baselines — the competitors the paper measures against
+//!
+//! * [`csv`] — CSV (Wang et al. \[1\]): per-edge co-clique size via budgeted
+//!   exact max-clique search, the expensive estimation the Triangle K-Core
+//!   proxy replaces;
+//! * [`dngraph`] — DN-Graph (Wang et al. \[3\]): TriDN / BiTriDN iterative
+//!   λ(e) estimation, whose fixpoint the paper proves equals κ(e)
+//!   (Claim 3).
+//!
+//! The "Re-Compute" column of Table III is simply a fresh run of
+//! `tkc_core::decompose::triangle_kcore_decomposition`; no separate
+//! implementation is needed here.
+//!
+//! ```
+//! use tkc_graph::generators;
+//! use tkc_baselines::dngraph::bitridn;
+//!
+//! let g = generators::complete(5);
+//! let est = bitridn(&g);
+//! assert!(g.edge_ids().all(|e| est.lambda(e) == 3)); // = κ(e)
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod dngraph;

@@ -1,0 +1,88 @@
+//! §VI of the paper: the DN-Graph iterative estimates converge to exactly
+//! the Triangle K-Core numbers (Claim 3), and CSV's exact co-clique sizes
+//! are bounded above by the κ+2 proxy.
+
+use proptest::prelude::*;
+use tkc_baselines::csv::{csv_co_clique_sizes, CsvOptions};
+use tkc_baselines::dngraph::{bitridn, is_valid_lambda, tridn};
+use tkc_core::decompose::triangle_kcore_decomposition;
+use tkc_graph::{generators, Graph, VertexId};
+
+fn random_graph(n: u32) -> impl Strategy<Value = Graph> {
+    proptest::collection::vec((0..n, 0..n), 0..(n as usize * 3)).prop_map(move |pairs| {
+        let mut g = Graph::with_capacity(n as usize, pairs.len());
+        for (a, b) in pairs {
+            if a != b {
+                let _ = g.try_add_edge(VertexId(a), VertexId(b));
+            }
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn claim3_tridn_fixpoint_equals_kappa(g in random_graph(16)) {
+        let d = triangle_kcore_decomposition(&g);
+        let est = tridn(&g);
+        for e in g.edge_ids() {
+            prop_assert_eq!(est.lambda(e), d.kappa(e));
+        }
+        prop_assert!(is_valid_lambda(&g, &est.lambda));
+    }
+
+    #[test]
+    fn claim3_bitridn_fixpoint_equals_kappa(g in random_graph(16)) {
+        let d = triangle_kcore_decomposition(&g);
+        let est = bitridn(&g);
+        for e in g.edge_ids() {
+            prop_assert_eq!(est.lambda(e), d.kappa(e));
+        }
+    }
+
+    #[test]
+    fn csv_exact_is_bounded_by_kappa_proxy(g in random_graph(12)) {
+        // co_clique_size(e) (exact) <= κ(e) + 2: the proxy is an upper
+        // bound on the biggest clique through the edge.
+        let d = triangle_kcore_decomposition(&g);
+        let res = csv_co_clique_sizes(&g, &CsvOptions::default());
+        for e in g.edge_ids() {
+            prop_assert!(res.co_clique_size(e) <= d.kappa(e) + 2);
+            prop_assert!(res.co_clique_size(e) >= 2);
+        }
+    }
+}
+
+#[test]
+fn proxy_is_tight_on_clique_dominated_graphs() {
+    // On graphs whose dense regions are literal cliques, the proxy and the
+    // exact sizes coincide — the "near identical plots" case of Figure 6.
+    let mut g = generators::gnp(40, 0.03, 3);
+    generators::plant_fresh_cliques(&mut g, 3, 6, 2, 9);
+    let d = triangle_kcore_decomposition(&g);
+    let res = csv_co_clique_sizes(&g, &CsvOptions::default());
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for e in g.edge_ids() {
+        total += 1;
+        if res.co_clique_size(e) == d.kappa(e) + 2 {
+            agree += 1;
+        }
+    }
+    assert!(
+        agree as f64 >= 0.9 * total as f64,
+        "only {agree}/{total} edges agree"
+    );
+}
+
+#[test]
+fn dn_graph_iteration_cost_exceeds_single_peel_work() {
+    // The computational story of Table II: the iterative baselines sweep
+    // all edges several times; the peel touches each triangle once.
+    let g = generators::planted_partition(5, 12, 0.6, 0.03, 21);
+    let est = tridn(&g);
+    assert!(est.sweeps >= 2);
+    assert!(est.edge_updates >= g.num_edges() as u64 * est.sweeps as u64 / 2);
+}

@@ -1,0 +1,48 @@
+//! Bench: Algorithm 1 against every baseline (the microbenchmark behind
+//! Table II). CSV only runs at the small size; the iterative DN variants
+//! run everywhere to show the sweep-count gap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tkc_baselines::csv::{csv_co_clique_sizes, CsvOptions};
+use tkc_baselines::dngraph::{bitridn, tridn};
+use tkc_core::decompose::triangle_kcore_decomposition;
+use tkc_core::reference::naive_kappa;
+use tkc_datasets::DatasetId;
+
+fn bench_decompose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decompose");
+    for (id, scale) in [
+        (DatasetId::Synthetic, 1.0),
+        (DatasetId::Stocks, 1.0),
+        (DatasetId::Ppi, 0.25),
+        (DatasetId::AstroAuthor, 0.05),
+    ] {
+        let g = tkc_datasets::build(id, scale, 42);
+        let name = format!("{}_{}e", id.info().name, g.num_edges());
+        group.bench_with_input(BenchmarkId::new("triangle_kcore", &name), &g, |b, g| {
+            b.iter(|| triangle_kcore_decomposition(g))
+        });
+        group.bench_with_input(BenchmarkId::new("tridn", &name), &g, |b, g| {
+            b.iter(|| tridn(g))
+        });
+        group.bench_with_input(BenchmarkId::new("bitridn", &name), &g, |b, g| {
+            b.iter(|| bitridn(g))
+        });
+        if g.num_edges() <= 2_000 {
+            group.bench_with_input(BenchmarkId::new("csv", &name), &g, |b, g| {
+                b.iter(|| csv_co_clique_sizes(g, &CsvOptions::default()))
+            });
+            group.bench_with_input(BenchmarkId::new("naive_pruning", &name), &g, |b, g| {
+                b.iter(|| naive_kappa(g))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_decompose
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Bench: incremental maintenance vs full recomputation across change-batch
+//! sizes (the microbenchmark behind Table III).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tkc_core::decompose::triangle_kcore_decomposition;
+use tkc_core::dynamic::{BatchOp, DynamicTriangleKCore};
+use tkc_datasets::scenarios::churn_script;
+use tkc_datasets::DatasetId;
+
+fn bench_dynamic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic");
+    let g = tkc_datasets::build(DatasetId::AstroAuthor, 0.2, 42);
+    let kappa = triangle_kcore_decomposition(&g).into_kappa();
+
+    for fraction in [0.001, 0.005, 0.01, 0.05] {
+        let (dels, ins) = churn_script(&g, fraction, 7);
+        let ops: Vec<BatchOp> = dels
+            .iter()
+            .map(|&(u, v)| BatchOp::Remove(u, v))
+            .chain(ins.iter().map(|&(u, v)| BatchOp::Insert(u, v)))
+            .collect();
+        let label = format!("{}ops", ops.len());
+        group.bench_with_input(BenchmarkId::new("incremental", &label), &ops, |b, ops| {
+            b.iter(|| {
+                let mut m = DynamicTriangleKCore::from_parts(g.clone(), kappa.clone());
+                m.apply_batch(ops.iter().copied());
+                m
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("recompute", &label), &ops, |b, ops| {
+            b.iter(|| {
+                // Apply the edits structurally, then run Algorithm 1 fresh.
+                let mut h = g.clone();
+                for op in ops {
+                    match *op {
+                        BatchOp::Insert(u, v) => {
+                            let _ = h.try_add_edge(u, v);
+                        }
+                        BatchOp::Remove(u, v) => {
+                            let _ = h.remove_edge_between(u, v);
+                        }
+                    }
+                }
+                triangle_kcore_decomposition(&h)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_dynamic
+}
+criterion_main!(benches);

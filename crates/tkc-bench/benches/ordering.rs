@@ -1,0 +1,34 @@
+//! Bench: the density-plot ordering (§V) and dual-view construction costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tkc_core::decompose::triangle_kcore_decomposition;
+use tkc_datasets::scenarios::wiki_dual_view_scenario;
+use tkc_datasets::DatasetId;
+use tkc_viz::dual_view::dual_view;
+use tkc_viz::ordering::kappa_density_plot;
+
+fn bench_ordering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ordering");
+    for (id, scale) in [(DatasetId::Ppi, 1.0), (DatasetId::AstroAuthor, 0.1)] {
+        let g = tkc_datasets::build(id, scale, 42);
+        let d = triangle_kcore_decomposition(&g);
+        let name = format!("{}_{}v", id.info().name, g.num_vertices());
+        group.bench_with_input(
+            BenchmarkId::new("kappa_density_plot", &name),
+            &(&g, &d),
+            |b, (g, d)| b.iter(|| kappa_density_plot(g, d)),
+        );
+    }
+    let (g, adds, _) = wiki_dual_view_scenario(0.25, 42);
+    group.bench_function("dual_view_wiki_quarter", |b| {
+        b.iter(|| dual_view(&g, &adds, 3))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ordering
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Figure 10 — Bridge Cliques in the DBLP-style pair: two groups that
+//! published separately in year one (the paper's data-streams and
+//! networking teams) co-author one paper in year two, forming a 6-author
+//! bridge clique.
+
+use tkc_bench::{seed_from_env, write_artifact};
+use tkc_datasets::collaboration::bridge_scenario;
+use tkc_patterns::{detect_template, AttributedGraph, BridgeClique};
+use tkc_viz::ordering::density_order;
+use tkc_viz::plot::{ascii_sparkline, density_plot_tsv, render_density_plot, PlotStyle};
+
+fn main() {
+    let seed = seed_from_env();
+    let (g2003, g2004, planted) = bridge_scenario(2000, 1200, 4, 2, seed);
+    println!(
+        "Figure 10: Bridge Clique plot (DBLP 2003 → 2004 stand-in, {} authors)\n",
+        g2004.num_vertices()
+    );
+
+    let ag = AttributedGraph::from_snapshots(&g2003, &g2004);
+    let res = detect_template(&ag, &BridgeClique);
+    let plot = density_order(ag.graph(), &res.co_clique);
+    println!("pattern plot: {}\n", ascii_sparkline(&plot, 72));
+
+    let top = res.top_structures(10);
+    for core in top.iter().take(3) {
+        println!(
+            "  bridge structure: {} authors at level {} ({})",
+            core.vertices.len(),
+            core.level,
+            if core.is_clique() { "exact clique" } else { "clique-like" }
+        );
+    }
+    // The planted weld must surface among the top bridge structures.
+    let hit = top
+        .iter()
+        .find(|c| planted.iter().all(|v| c.vertices.contains(v)))
+        .expect("planted bridge clique not surfaced");
+    assert!(hit.level >= 4, "6-clique bridge implies level >= 4");
+    println!(
+        "\nthe planted bridge (group of 4 welded with group of 2) surfaces at level {}.",
+        hit.level
+    );
+
+    let svg = render_density_plot(
+        &plot,
+        &PlotStyle {
+            title: "DBLP 2003→2004 — Bridge Clique distribution".into(),
+            ..PlotStyle::default()
+        },
+    );
+    write_artifact("fig10_bridge.svg", &svg);
+    write_artifact("fig10_bridge.tsv", &density_plot_tsv(&plot));
+}

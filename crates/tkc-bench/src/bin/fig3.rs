@@ -1,0 +1,50 @@
+//! Figure 3 — the update example of Algorithm 2: adding edge AC to the
+//! 6-vertex graph creates triangles ABC and AEC; processing them one at a
+//! time first lifts {AB, BC, AC} to κ = 1, then the second triangle's
+//! "illegal" interactions settle everything at κ = 1.
+
+use tkc_core::dynamic::DynamicTriangleKCore;
+use tkc_graph::{Graph, VertexId};
+
+fn main() {
+    let names = ["A", "B", "C", "D", "E", "F"];
+    let g = Graph::from_edges(
+        6,
+        [
+            (0, 1), // AB
+            (1, 2), // BC
+            (0, 4), // AE
+            (0, 5), // AF
+            (4, 5), // EF
+            (2, 3), // CD
+            (2, 4), // CE
+            (3, 4), // DE
+        ],
+    );
+    let mut m = DynamicTriangleKCore::new(g);
+    let show = |m: &DynamicTriangleKCore, title: &str| {
+        println!("{title}");
+        for (e, u, v) in m.graph().edges() {
+            println!("  {}{}: κ = {}", names[u.index()], names[v.index()], m.kappa(e));
+        }
+    };
+    println!("Figure 3: incremental update walkthrough\n");
+    show(&m, "before adding AC:");
+
+    let ac = m.insert_edge(VertexId(0), VertexId(2)).unwrap();
+    println!("\nadd AC → new triangles ABC and AEC processed one at a time");
+    show(&m, "\nafter the update:");
+    let stats = m.stats();
+    println!(
+        "\nwork done: {} triangles activated, {} promotions, {} demotions, {} edges examined",
+        stats.triangles_added, stats.promotions, stats.demotions, stats.edges_examined
+    );
+    assert_eq!(m.kappa(ac), 1);
+    let k = |u: u32, v: u32| {
+        m.kappa(m.graph().edge_between(VertexId(u), VertexId(v)).unwrap())
+    };
+    assert_eq!(k(0, 1), 1, "AB rose to 1");
+    assert_eq!(k(1, 2), 1, "BC rose to 1");
+    assert_eq!(k(0, 4), 1, "AE stayed at 1");
+    println!("matches the paper: every edge of the example ends at κ = 1.");
+}

@@ -1,0 +1,61 @@
+//! Figure 9 — New Form Cliques in the DBLP-style snapshot pair: six
+//! veterans who never collaborated before form a brand-new 6-clique; the
+//! pattern plot's densest peak is exactly that clique.
+
+use tkc_bench::{seed_from_env, write_artifact};
+use tkc_datasets::collaboration::new_form_scenario;
+use tkc_patterns::{detect_template, AttributedGraph, NewFormClique};
+use tkc_viz::ordering::density_order;
+use tkc_viz::plot::{ascii_sparkline, density_plot_tsv, render_density_plot, PlotStyle};
+
+fn main() {
+    let seed = seed_from_env();
+    let (g2003, g2004, planted) = new_form_scenario(2000, 1200, 6, seed);
+    println!(
+        "Figure 9: New Form Clique plot (DBLP 2003 → 2004 stand-in, {} authors)\n",
+        g2004.num_vertices()
+    );
+
+    let ag = AttributedGraph::from_snapshots(&g2003, &g2004);
+    let res = detect_template(&ag, &NewFormClique);
+    let plot = density_order(ag.graph(), &res.co_clique);
+    println!("pattern plot: {}\n", ascii_sparkline(&plot, 72));
+    println!("special edges: {}", res.special_edge_count());
+
+    let top = res.top_structures(10);
+    for core in top.iter().take(3) {
+        println!(
+            "  new-form structure: {} authors at level {} ({})",
+            core.vertices.len(),
+            core.level,
+            if core.is_clique() { "exact clique" } else { "clique-like" }
+        );
+    }
+    // The planted 6-author first-time collaboration must sit at the plot's
+    // top level: every one of its 15 edges is special with co-clique >= 6.
+    // (Background churn legitimately produces other new teams at the same
+    // level — the real DBLP plot has many peaks too.)
+    for (i, &u) in planted.iter().enumerate() {
+        for &v in &planted[i + 1..] {
+            let e = ag.graph().edge_between(u, v).expect("planted edge");
+            assert!(
+                res.co_clique[e.index()] >= 6,
+                "planted edge below the 6-clique peak"
+            );
+        }
+    }
+    println!(
+        "\nthe planted 6-author first-time collaboration sits at the plot's top level (co-clique {}).",
+        plot.max_value()
+    );
+
+    let svg = render_density_plot(
+        &plot,
+        &PlotStyle {
+            title: "DBLP 2004 — New Form Clique distribution".into(),
+            ..PlotStyle::default()
+        },
+    );
+    write_artifact("fig9_new_form.svg", &svg);
+    write_artifact("fig9_new_form.tsv", &density_plot_tsv(&plot));
+}

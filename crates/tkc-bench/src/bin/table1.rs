@@ -1,0 +1,35 @@
+//! Table I — the dataset inventory: paper sizes vs. the synthetic
+//! stand-ins actually built, plus the structural statistics (triangles,
+//! clustering) that drive every other experiment.
+
+use tkc_bench::{build_all_datasets, fmt_secs, scale_from_env, seed_from_env, time, write_artifact, Table};
+use tkc_graph::triangles::{global_clustering, triangle_count};
+
+fn main() {
+    let scale = scale_from_env();
+    let seed = seed_from_env();
+    println!("Table I: data sets (scale multiplier {scale}, seed {seed})\n");
+
+    let mut table = Table::new(vec![
+        "Graph", "paper |V|", "paper |E|", "built |V|", "built |E|", "triangles", "clustering",
+        "build s",
+    ]);
+    for id in tkc_datasets::DatasetId::all() {
+        let info = id.info();
+        let eff = info.default_scale * scale;
+        let (g, dur) = time(|| tkc_datasets::build(id, eff, seed));
+        table.row(vec![
+            info.name.to_string(),
+            info.paper_vertices.to_string(),
+            info.paper_edges.to_string(),
+            g.num_vertices().to_string(),
+            g.num_edges().to_string(),
+            triangle_count(&g).to_string(),
+            format!("{:.4}", global_clustering(&g)),
+            fmt_secs(dur),
+        ]);
+    }
+    print!("{}", table.render());
+    write_artifact("table1.tsv", &table.to_tsv());
+    let _ = build_all_datasets; // shared helper exercised by other binaries
+}

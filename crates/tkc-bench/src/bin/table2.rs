@@ -1,0 +1,73 @@
+//! Table II — execution time of CSV, TriDN, BiTriDN and Triangle K-Core
+//! (Algorithm 1) across the datasets, plus the Claim 3 convergence check
+//! (the DN variants must land on exactly κ).
+//!
+//! Like the paper (which skipped CSV/TriDN on the three largest graphs for
+//! memory/time reasons), the expensive baselines are guarded: CSV runs on
+//! graphs up to `TKC_CSV_MAX` edges (default 20 000), TriDN up to
+//! `TKC_TRIDN_MAX` (default 1 200 000). BiTriDN and Triangle K-Core run
+//! everywhere.
+
+use tkc_baselines::csv::{csv_co_clique_sizes, CsvOptions};
+use tkc_baselines::dngraph::{bitridn, tridn};
+use tkc_bench::{fmt_secs, scale_from_env, seed_from_env, time, write_artifact, Table};
+use tkc_core::decompose::triangle_kcore_decomposition;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let seed = seed_from_env();
+    let csv_max = env_usize("TKC_CSV_MAX", 20_000);
+    let tridn_max = env_usize("TKC_TRIDN_MAX", 1_200_000);
+    println!("Table II: execution time in seconds (scale multiplier {scale})\n");
+
+    let mut table = Table::new(vec![
+        "Graph", "|E|", "CSV", "TriDN (sweeps)", "BiTriDN (sweeps)", "TriangleKCore", "DN==κ",
+    ]);
+    for id in tkc_datasets::DatasetId::all() {
+        let info = id.info();
+        let g = tkc_datasets::build(id, info.default_scale * scale, seed);
+        let m = g.num_edges();
+
+        let (decomp, t_tkc) = time(|| triangle_kcore_decomposition(&g));
+
+        let csv_cell = if m <= csv_max {
+            let (_, t) = time(|| csv_co_clique_sizes(&g, &CsvOptions::default()));
+            fmt_secs(t)
+        } else {
+            "-".to_string()
+        };
+
+        let (tridn_cell, tridn_ok) = if m <= tridn_max {
+            let (est, t) = time(|| tridn(&g));
+            let ok = g.edge_ids().all(|e| est.lambda(e) == decomp.kappa(e));
+            (format!("{} ({})", fmt_secs(t), est.sweeps), Some(ok))
+        } else {
+            ("-".to_string(), None)
+        };
+
+        let (est, t_bi) = time(|| bitridn(&g));
+        let bi_ok = g.edge_ids().all(|e| est.lambda(e) == decomp.kappa(e));
+        let bitridn_cell = format!("{} ({})", fmt_secs(t_bi), est.sweeps);
+
+        let converged = match tridn_ok {
+            Some(t_ok) => t_ok && bi_ok,
+            None => bi_ok,
+        };
+        table.row(vec![
+            info.name.to_string(),
+            m.to_string(),
+            csv_cell,
+            tridn_cell,
+            bitridn_cell,
+            fmt_secs(t_tkc),
+            if converged { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+    write_artifact("table2.tsv", &table.to_tsv());
+    println!("\n'-' = baseline skipped above its size guard (cf. the paper's footnote on CSV/TriDN for the largest graphs).");
+}

@@ -1,0 +1,86 @@
+//! Table III — incremental update vs. full re-computation after randomly
+//! adding/deleting 1% of edges on the five largest datasets, averaged over
+//! 5 runs (exactly the paper's protocol).
+
+use std::time::Duration;
+
+use tkc_bench::{fmt_secs, scale_from_env, seed_from_env, time, write_artifact, Table};
+use tkc_core::decompose::triangle_kcore_decomposition;
+use tkc_core::dynamic::{BatchOp, DynamicTriangleKCore};
+use tkc_datasets::scenarios::churn_script;
+use tkc_datasets::DatasetId;
+
+fn main() {
+    let scale = scale_from_env();
+    let seed = seed_from_env();
+    let runs = 5;
+    println!("Table III: re-compute vs incremental update, 1% edges changed, avg of {runs} runs\n");
+
+    let five_largest = [
+        DatasetId::AstroAuthor,
+        DatasetId::Epinions,
+        DatasetId::Amazon,
+        DatasetId::Flickr,
+        DatasetId::LiveJournal,
+    ];
+
+    let mut table = Table::new(vec![
+        "Graph",
+        "Total Edges",
+        "Edges Changed",
+        "Re-Compute (s)",
+        "Update (s)",
+        "Speedup",
+    ]);
+    for id in five_largest {
+        let info = id.info();
+        let g = tkc_datasets::build(id, info.default_scale * scale, seed);
+        let kappa0 = triangle_kcore_decomposition(&g).into_kappa();
+
+        let mut recompute_total = Duration::ZERO;
+        let mut update_total = Duration::ZERO;
+        let mut changed = 0usize;
+        for run in 0..runs {
+            let (dels, ins) = churn_script(&g, 0.01, seed + run as u64 * 7919);
+            changed = dels.len() + ins.len();
+
+            // Incremental: seed from the known decomposition, apply ops.
+            let mut maintainer = DynamicTriangleKCore::from_parts(g.clone(), kappa0.clone());
+            let ops: Vec<BatchOp> = dels
+                .iter()
+                .map(|&(u, v)| BatchOp::Remove(u, v))
+                .chain(ins.iter().map(|&(u, v)| BatchOp::Insert(u, v)))
+                .collect();
+            let (_, t_update) = time(|| maintainer.apply_batch(ops));
+            update_total += t_update;
+
+            // Re-compute: Algorithm 1 from scratch on the changed graph.
+            let changed_graph = maintainer.graph().clone();
+            let (fresh, t_recompute) = time(|| triangle_kcore_decomposition(&changed_graph));
+            recompute_total += t_recompute;
+
+            // Sanity: the maintained κ must equal the fresh run.
+            for e in changed_graph.edge_ids() {
+                assert_eq!(
+                    maintainer.kappa(e),
+                    fresh.kappa(e),
+                    "incremental/recompute mismatch on {}",
+                    info.name
+                );
+            }
+        }
+        let re = recompute_total / runs;
+        let up = update_total / runs;
+        table.row(vec![
+            info.name.to_string(),
+            g.num_edges().to_string(),
+            changed.to_string(),
+            fmt_secs(re),
+            fmt_secs(up),
+            format!("{:.1}x", re.as_secs_f64() / up.as_secs_f64().max(1e-9)),
+        ]);
+    }
+    print!("{}", table.render());
+    write_artifact("table3.tsv", &table.to_tsv());
+    println!("\nEvery run cross-checks the maintained κ against a fresh Algorithm 1 pass.");
+}

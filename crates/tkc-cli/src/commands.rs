@@ -1,0 +1,588 @@
+//! The `tkc` subcommands.
+
+use tkc_core::decompose::{
+    triangle_kcore_decomposition, triangle_kcore_decomposition_stored, Decomposition,
+};
+use tkc_core::dynamic::{BatchOp, DynamicTriangleKCore};
+use tkc_core::extract::densest_cliques;
+use tkc_graph::{io, Graph, VertexId};
+use tkc_patterns::{detect_template, AttributedGraph, Template};
+use tkc_viz::ordering::kappa_density_plot;
+use tkc_viz::plot::{ascii_sparkline, density_plot_tsv, render_density_plot, PlotStyle};
+
+use crate::args::parse;
+
+/// Usage text printed on errors.
+pub const USAGE: &str = "usage:
+  tkc decompose <edges.txt> [--stored] [--top K]
+  tkc plot      <edges.txt> [--svg out.svg] [--tsv out.tsv] [--width N]
+  tkc cliques   <edges.txt> [--top K]
+  tkc update    <edges.txt> --ops <ops.txt> [--verify]
+  tkc patterns  <old.txt> <new.txt> --template new-form|bridge|new-join [--top K]
+                (or: <edges.txt> --labels <labels.txt> for the static variant)
+  tkc events    <old.txt> <new.txt> [--level K]
+  tkc dual-view <old.txt> <new.txt> [--svg out.svg] [--top K]
+  tkc stats     <edges.txt> [--svg hist.svg] [--tsv dist.tsv]
+  tkc community <edges.txt> <vertex> [--level K]
+  tkc dataset   <name> [--scale F] [--seed S] [--out file]";
+
+/// Dispatches a full argv (without the program name).
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let p = parse(
+        argv,
+        &[
+            "top", "svg", "tsv", "width", "ops", "template", "scale", "seed", "out", "level",
+            "labels",
+        ],
+    )?;
+    match p.positional(0, "subcommand")? {
+        "decompose" => decompose(&p),
+        "plot" => plot(&p),
+        "cliques" => cliques(&p),
+        "update" => update(&p),
+        "patterns" => patterns(&p),
+        "events" => events(&p),
+        "dual-view" => dual_view_cmd(&p),
+        "stats" => stats(&p),
+        "community" => community(&p),
+        "dataset" => dataset(&p),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn load(path: &str) -> Result<Graph, String> {
+    io::load_edge_list(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn summarize(g: &Graph, d: &Decomposition) {
+    println!(
+        "{} vertices, {} edges, max κ = {} (≈ {}-clique structure)",
+        g.num_vertices(),
+        g.num_edges(),
+        d.max_kappa(),
+        d.max_kappa() + 2
+    );
+    let hist = d.histogram();
+    println!("κ histogram:");
+    for (k, count) in hist.iter().enumerate() {
+        if *count > 0 {
+            println!("  κ = {k:>3}: {count}");
+        }
+    }
+}
+
+fn decompose(p: &crate::args::Parsed) -> Result<(), String> {
+    let g = load(p.positional(1, "edge list path")?)?;
+    let d = if p.switch("stored") {
+        triangle_kcore_decomposition_stored(&g)
+    } else {
+        triangle_kcore_decomposition(&g)
+    };
+    summarize(&g, &d);
+    let top: usize = p.flag_parse("top", 0)?;
+    if top > 0 {
+        let mut edges: Vec<_> = g.edge_ids().collect();
+        edges.sort_by_key(|&e| std::cmp::Reverse(d.kappa(e)));
+        println!("densest edges:");
+        for &e in edges.iter().take(top) {
+            let (u, v) = g.endpoints(e);
+            println!("  ({u}, {v})  κ = {}", d.kappa(e));
+        }
+    }
+    Ok(())
+}
+
+fn plot(p: &crate::args::Parsed) -> Result<(), String> {
+    let g = load(p.positional(1, "edge list path")?)?;
+    let d = triangle_kcore_decomposition(&g);
+    let plot = kappa_density_plot(&g, &d);
+    let width: usize = p.flag_parse("width", 80usize)?;
+    println!("{}", ascii_sparkline(&plot, width));
+    if let Some(path) = p.flag("svg") {
+        let svg = render_density_plot(
+            &plot,
+            &PlotStyle {
+                title: format!("Triangle K-Core density ({} vertices)", plot.len()),
+                ..PlotStyle::default()
+            },
+        );
+        std::fs::write(path, svg).map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = p.flag("tsv") {
+        std::fs::write(path, density_plot_tsv(&plot)).map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cliques(p: &crate::args::Parsed) -> Result<(), String> {
+    let g = load(p.positional(1, "edge list path")?)?;
+    let d = triangle_kcore_decomposition(&g);
+    let top: usize = p.flag_parse("top", 5usize)?;
+    let found = densest_cliques(&g, &d, top);
+    if found.is_empty() {
+        println!("no exact cliques of size ≥ 3 found");
+        return Ok(());
+    }
+    for c in found.iter().take(top) {
+        println!(
+            "{}-clique at level {}: {:?}",
+            c.vertices.len(),
+            c.level,
+            c.vertices.iter().map(|v| v.0).collect::<Vec<_>>()
+        );
+    }
+    Ok(())
+}
+
+/// Parses an ops file: `+ u v` inserts, `- u v` deletes.
+pub fn parse_ops(text: &str) -> Result<Vec<BatchOp>, String> {
+    let mut ops = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        let (sign, u, v) = (parts.next(), parts.next(), parts.next());
+        let parse_v = |s: Option<&str>| -> Result<VertexId, String> {
+            s.and_then(|x| x.parse::<u32>().ok())
+                .map(VertexId)
+                .ok_or_else(|| format!("ops line {}: bad vertex", lineno + 1))
+        };
+        match sign {
+            Some("+") => ops.push(BatchOp::Insert(parse_v(u)?, parse_v(v)?)),
+            Some("-") => ops.push(BatchOp::Remove(parse_v(u)?, parse_v(v)?)),
+            _ => return Err(format!("ops line {}: expected '+ u v' or '- u v'", lineno + 1)),
+        }
+    }
+    Ok(ops)
+}
+
+fn update(p: &crate::args::Parsed) -> Result<(), String> {
+    let g = load(p.positional(1, "edge list path")?)?;
+    let ops_path = p.flag("ops").ok_or("update requires --ops <file>")?;
+    let text = std::fs::read_to_string(ops_path).map_err(|e| format!("{ops_path}: {e}"))?;
+    let ops = parse_ops(&text)?;
+
+    let mut m = DynamicTriangleKCore::new(g);
+    // Grow the vertex set if ops reference unseen ids.
+    let max_v = ops
+        .iter()
+        .map(|op| match op {
+            BatchOp::Insert(u, v) | BatchOp::Remove(u, v) => u.0.max(v.0),
+        })
+        .max()
+        .unwrap_or(0) as usize;
+    if max_v >= m.graph().num_vertices() {
+        m.add_vertices(max_v + 1 - m.graph().num_vertices());
+    }
+    let start = std::time::Instant::now();
+    let (ins, del) = m.apply_batch(ops);
+    let took = start.elapsed();
+    println!("applied {ins} insertions and {del} deletions in {took:?}");
+    let stats = m.stats();
+    println!(
+        "{} promotions, {} demotions, {} edges examined",
+        stats.promotions, stats.demotions, stats.edges_examined
+    );
+    if p.switch("verify") {
+        let fresh = triangle_kcore_decomposition(m.graph());
+        let ok = m.graph().edge_ids().all(|e| m.kappa(e) == fresh.kappa(e));
+        println!("verification against recompute: {}", if ok { "OK" } else { "MISMATCH" });
+        if !ok {
+            return Err("maintained κ diverged from recompute".into());
+        }
+    }
+    let d = Decomposition::from_kappa_for_display(m);
+    println!("{}", d);
+    Ok(())
+}
+
+/// Parses a vertex-label file: one `vertex label` pair per line (`#`
+/// comments allowed); labels default to 0 for unlisted vertices.
+fn parse_labels(text: &str, n: usize) -> Result<Vec<u32>, String> {
+    let mut labels = vec![0u32; n];
+    for (lineno, line) in text.lines().enumerate() {
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        let bad = || format!("labels line {}: expected 'vertex label'", lineno + 1);
+        let v: usize = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+        let l: u32 = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+        if v >= n {
+            return Err(format!("labels line {}: vertex {v} out of range", lineno + 1));
+        }
+        labels[v] = l;
+    }
+    Ok(labels)
+}
+
+fn patterns(p: &crate::args::Parsed) -> Result<(), String> {
+    let name = p.flag("template").ok_or("patterns requires --template")?;
+    let template: Box<dyn Template> = match name {
+        "new-form" => Box::new(tkc_patterns::NewFormClique),
+        "bridge" => Box::new(tkc_patterns::BridgeClique),
+        "new-join" => Box::new(tkc_patterns::NewJoinClique),
+        other => return Err(format!("unknown template {other:?}")),
+    };
+    // Two modes: evolving snapshots (two edge lists) or the §VII-F static
+    // labeled variant (one edge list + --labels, "new" = label-crossing).
+    let ag = if let Some(label_path) = p.flag("labels") {
+        let g = load(p.positional(1, "edge list path")?)?;
+        let text =
+            std::fs::read_to_string(label_path).map_err(|e| format!("{label_path}: {e}"))?;
+        let labels = parse_labels(&text, g.num_vertices())?;
+        AttributedGraph::from_vertex_labels(g, &labels)
+    } else {
+        let old = load(p.positional(1, "old edge list")?)?;
+        let mut new = load(p.positional(2, "new edge list")?)?;
+        if new.num_vertices() < old.num_vertices() {
+            new.add_vertices(old.num_vertices() - new.num_vertices());
+        }
+        AttributedGraph::from_snapshots(&old, &new)
+    };
+    let res = detect_template(&ag, template.as_ref());
+    println!(
+        "{}: {} special edges over {} special vertices",
+        template.name(),
+        res.special_edge_count(),
+        res.special_vertices.len()
+    );
+    let top: usize = p.flag_parse("top", 3usize)?;
+    for c in res.top_structures(top) {
+        println!(
+            "  {} vertices at level {} ({}): {:?}",
+            c.vertices.len(),
+            c.level,
+            if c.is_clique() { "exact clique" } else { "clique-like" },
+            c.vertices.iter().map(|v| v.0).collect::<Vec<_>>()
+        );
+    }
+    Ok(())
+}
+
+fn stats(p: &crate::args::Parsed) -> Result<(), String> {
+    use tkc_core::extract::kappa_stats;
+    use tkc_viz::distribution::{distribution_tsv, render_kappa_histogram};
+    let g = load(p.positional(1, "edge list path")?)?;
+    let d = triangle_kcore_decomposition(&g);
+    let s = kappa_stats(&g, &d);
+    println!("edges:                  {}", s.edges);
+    println!("max κ:                  {} (≈ {}-clique)", s.max_kappa, s.max_kappa + 2);
+    println!("mean κ:                 {:.3}", s.mean_kappa);
+    println!("triangle-free edges:    {:.1}%", 100.0 * s.triangle_free_fraction);
+    println!("top-level cores:        {}", s.top_level_cores);
+    let hist = d.histogram();
+    if let Some(path) = p.flag("svg") {
+        std::fs::write(path, render_kappa_histogram(&hist, "κ distribution", 600, 260))
+            .map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = p.flag("tsv") {
+        std::fs::write(path, distribution_tsv(&hist)).map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn community(p: &crate::args::Parsed) -> Result<(), String> {
+    use tkc_core::extract::communities_of_vertex;
+    let g = load(p.positional(1, "edge list path")?)?;
+    let v: u32 = p
+        .positional(2, "query vertex id")?
+        .parse()
+        .map_err(|_| "query vertex must be a number".to_string())?;
+    let v = VertexId(v);
+    if !g.contains_vertex(v) {
+        return Err(format!("vertex {v} not in graph"));
+    }
+    let d = triangle_kcore_decomposition(&g);
+    let default_level = g
+        .neighbors(v)
+        .map(|(_, e)| d.kappa(e))
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    let level: u32 = p.flag_parse("level", default_level)?;
+    let comms = communities_of_vertex(&g, &d, v, level);
+    if comms.is_empty() {
+        println!("vertex {v} is in no Triangle {level}-Core community");
+        return Ok(());
+    }
+    for (i, c) in comms.iter().enumerate() {
+        println!(
+            "community {} at level {level}: {} vertices, {} edges{}",
+            i + 1,
+            c.vertices.len(),
+            c.edges.len(),
+            if c.is_clique() { " (exact clique)" } else { "" }
+        );
+        if c.vertices.len() <= 30 {
+            println!("  {:?}", c.vertices.iter().map(|x| x.0).collect::<Vec<_>>());
+        }
+    }
+    Ok(())
+}
+
+fn events(p: &crate::args::Parsed) -> Result<(), String> {
+    use tkc_patterns::events::{detect_events, Event, EventOptions};
+    let old = load(p.positional(1, "old edge list")?)?;
+    let new = load(p.positional(2, "new edge list")?)?;
+    let level: u32 = p.flag_parse("level", 2u32)?;
+    let rep = detect_events(&old, &new, level, &EventOptions::default());
+    println!(
+        "level-{level} cores: {} before, {} after",
+        rep.old_cores.len(),
+        rep.new_cores.len()
+    );
+    let size = |cores: &[tkc_core::extract::Core], i: usize| cores[i].vertices.len();
+    for ev in &rep.events {
+        match ev {
+            Event::Continue { before, after, jaccard } => println!(
+                "  CONTINUE  {}v → {}v (jaccard {jaccard:.2})",
+                size(&rep.old_cores, *before),
+                size(&rep.new_cores, *after)
+            ),
+            Event::Grow { before, after, gained } => println!(
+                "  GROW      {}v → {}v (+{gained})",
+                size(&rep.old_cores, *before),
+                size(&rep.new_cores, *after)
+            ),
+            Event::Shrink { before, after, lost } => println!(
+                "  SHRINK    {}v → {}v (-{lost})",
+                size(&rep.old_cores, *before),
+                size(&rep.new_cores, *after)
+            ),
+            Event::Merge { before, after } => println!(
+                "  MERGE     {} cores → {}v",
+                before.len(),
+                size(&rep.new_cores, *after)
+            ),
+            Event::Split { before, after } => println!(
+                "  SPLIT     {}v → {} cores",
+                size(&rep.old_cores, *before),
+                after.len()
+            ),
+            Event::Form { after } => println!("  FORM      → {}v", size(&rep.new_cores, *after)),
+            Event::Dissolve { before } => {
+                println!("  DISSOLVE  {}v", size(&rep.old_cores, *before))
+            }
+        }
+    }
+    Ok(())
+}
+
+fn dual_view_cmd(p: &crate::args::Parsed) -> Result<(), String> {
+    use tkc_viz::dual_view::{dual_view, marker_table_tsv, render_dual_view};
+    let old = load(p.positional(1, "old edge list")?)?;
+    let mut new = load(p.positional(2, "new edge list")?)?;
+    if new.num_vertices() < old.num_vertices() {
+        new.add_vertices(old.num_vertices() - new.num_vertices());
+    }
+    // Additions = edges of `new` absent from `old`. Vertices beyond the
+    // old snapshot's range are appended as isolated vertices first.
+    let mut base = old.clone();
+    if base.num_vertices() < new.num_vertices() {
+        base.add_vertices(new.num_vertices() - base.num_vertices());
+    }
+    let additions: Vec<(VertexId, VertexId)> = new
+        .edges()
+        .filter(|&(_, u, v)| !base.has_edge(u, v))
+        .map(|(_, u, v)| (u, v))
+        .collect();
+    let top: usize = p.flag_parse("top", 3usize)?;
+    let view = dual_view(&base, &additions, top);
+    println!(
+        "{} added edges; {} changed structures marked",
+        view.added_edges.len(),
+        view.markers.len()
+    );
+    for (i, m) in view.markers.iter().enumerate() {
+        println!(
+            "  marker {}: κ = {} over {} vertices",
+            i + 1,
+            m.level,
+            m.vertices.len()
+        );
+    }
+    if let Some(path) = p.flag("svg") {
+        std::fs::write(path, render_dual_view(&view, 900, 230)).map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = p.flag("tsv") {
+        std::fs::write(path, marker_table_tsv(&view)).map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn dataset(p: &crate::args::Parsed) -> Result<(), String> {
+    let name = p.positional(1, "dataset name (see Table I)")?;
+    let id = tkc_datasets::DatasetId::from_name(name)
+        .ok_or_else(|| format!("unknown dataset {name:?}"))?;
+    let scale: f64 = p.flag_parse("scale", id.info().default_scale)?;
+    let seed: u64 = p.flag_parse("seed", 42u64)?;
+    let g = tkc_datasets::build(id, scale, seed);
+    println!(
+        "{}: built {} vertices / {} edges (paper: {} / {})",
+        id.info().name,
+        g.num_vertices(),
+        g.num_edges(),
+        id.info().paper_vertices,
+        id.info().paper_edges
+    );
+    if let Some(path) = p.flag("out") {
+        io::save_edge_list(&g, path).map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// Small display helper so `update` can print a histogram without exposing
+/// internals.
+trait DisplayExt {
+    fn from_kappa_for_display(m: DynamicTriangleKCore) -> String;
+}
+
+impl DisplayExt for Decomposition {
+    fn from_kappa_for_display(m: DynamicTriangleKCore) -> String {
+        let mut hist: Vec<usize> = Vec::new();
+        for e in m.graph().edge_ids() {
+            let k = m.kappa(e) as usize;
+            if hist.len() <= k {
+                hist.resize(k + 1, 0);
+            }
+            hist[k] += 1;
+        }
+        let mut out = String::from("κ histogram after update:\n");
+        for (k, count) in hist.iter().enumerate() {
+            if *count > 0 {
+                out.push_str(&format!("  κ = {k:>3}: {count}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_parser_accepts_both_signs_and_comments() {
+        let ops = parse_ops("# header\n+ 1 2\n- 3 4\n\n+ 5 6\n").unwrap();
+        assert_eq!(ops.len(), 3);
+        assert_eq!(ops[0], BatchOp::Insert(VertexId(1), VertexId(2)));
+        assert_eq!(ops[1], BatchOp::Remove(VertexId(3), VertexId(4)));
+    }
+
+    #[test]
+    fn ops_parser_rejects_malformed_lines() {
+        assert!(parse_ops("* 1 2\n").unwrap_err().contains("line 1"));
+        assert!(parse_ops("+ 1\n").unwrap_err().contains("bad vertex"));
+    }
+
+    #[test]
+    fn run_reports_unknown_subcommand() {
+        let err = run(&["frobnicate".to_string()]).unwrap_err();
+        assert!(err.contains("frobnicate"));
+    }
+
+    #[test]
+    fn end_to_end_new_subcommands_via_tempfiles() {
+        let dir = std::env::temp_dir().join("tkc_cli_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let old = dir.join("old.txt");
+        let new = dir.join("new.txt");
+        // Old: K4 on 0..4. New: K5 on 0..5 (the core grows).
+        std::fs::write(&old, "0 1\n0 2\n0 3\n1 2\n1 3\n2 3\n").unwrap();
+        std::fs::write(
+            &new,
+            "0 1\n0 2\n0 3\n0 4\n1 2\n1 3\n1 4\n2 3\n2 4\n3 4\n",
+        )
+        .unwrap();
+        let (o, n) = (old.to_str().unwrap(), new.to_str().unwrap());
+        run(&["events".into(), o.into(), n.into(), "--level".into(), "2".into()]).unwrap();
+        let svg = dir.join("dv.svg");
+        run(&[
+            "dual-view".into(),
+            o.into(),
+            n.into(),
+            "--svg".into(),
+            svg.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        assert!(svg.exists());
+        let hist = dir.join("hist.svg");
+        run(&[
+            "stats".into(),
+            n.into(),
+            "--svg".into(),
+            hist.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        assert!(hist.exists());
+        run(&["community".into(), n.into(), "0".into()]).unwrap();
+        // Error paths report instead of panicking.
+        assert!(run(&["community".into(), n.into(), "99".into()]).is_err());
+        assert!(run(&["events".into(), o.into()]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn labels_parser_and_static_patterns_mode() {
+        assert_eq!(parse_labels("# c\n0 7\n2 9\n", 3).unwrap(), vec![7, 0, 9]);
+        assert!(parse_labels("9 1\n", 3).unwrap_err().contains("out of range"));
+        assert!(parse_labels("x\n", 3).unwrap_err().contains("expected"));
+
+        let dir = std::env::temp_dir().join("tkc_cli_test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let edges = dir.join("g.txt");
+        let labels = dir.join("l.txt");
+        // Two labeled triangles welded into a 4-clique across labels.
+        std::fs::write(&edges, "0 1\n0 2\n1 2\n2 3\n1 3\n0 3\n").unwrap();
+        std::fs::write(&labels, "0 1\n1 1\n2 2\n3 2\n").unwrap();
+        run(&[
+            "patterns".into(),
+            edges.to_str().unwrap().into(),
+            "--labels".into(),
+            labels.to_str().unwrap().into(),
+            "--template".into(),
+            "bridge".into(),
+        ])
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn end_to_end_decompose_and_update_via_tempfiles() {
+        let dir = std::env::temp_dir().join("tkc_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let edges = dir.join("g.txt");
+        let ops = dir.join("ops.txt");
+        std::fs::write(&edges, "0 1\n0 2\n1 2\n1 3\n2 3\n").unwrap();
+        std::fs::write(&ops, "+ 0 3\n- 1 2\n").unwrap();
+
+        run(&[
+            "decompose".into(),
+            edges.to_str().unwrap().into(),
+            "--top".into(),
+            "2".into(),
+        ])
+        .unwrap();
+        run(&[
+            "update".into(),
+            edges.to_str().unwrap().into(),
+            "--ops".into(),
+            ops.to_str().unwrap().into(),
+            "--verify".into(),
+        ])
+        .unwrap();
+        run(&["cliques".into(), edges.to_str().unwrap().into()]).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

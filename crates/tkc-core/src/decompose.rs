@@ -1,0 +1,539 @@
+//! Algorithm 1 of the paper: compute every edge's maximum Triangle K-Core
+//! number `κ(e)` by peeling edges in increasing support order.
+//!
+//! The implementation uses the bucket-sort layout the paper recommends
+//! (step 7 footnote): a counting-sorted edge array plus per-bucket start
+//! indices gives O(1) "decrement support and re-sort" (step 16), for an
+//! overall cost of `O(|E| + Σ_e min(deg u, deg v))` — linear in the number
+//! of triangle *checks*, matching the paper's `O(|Tri|)` processing bound.
+
+use tkc_graph::triangles::edge_supports;
+use tkc_graph::{EdgeId, Graph};
+
+/// The result of a Triangle K-Core decomposition.
+///
+/// Paper correspondence: `κ(e)` is Definition 4's maximum Triangle K-Core
+/// number of the edge; `co_clique_size(e) = κ(e) + 2` is the proxy the
+/// visual-analytic layer plots (§V); `order` is the processing order used
+/// by Rule 1 and the update algorithms of the appendix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decomposition {
+    kappa: Vec<u32>,
+    order: Vec<EdgeId>,
+    max_kappa: u32,
+}
+
+impl Decomposition {
+    /// κ of a live edge. Slots of edges that were dead at decomposition
+    /// time read 0.
+    #[inline]
+    pub fn kappa(&self, e: EdgeId) -> u32 {
+        self.kappa[e.index()]
+    }
+
+    /// The κ vector indexed by raw edge id.
+    #[inline]
+    pub fn kappa_slice(&self) -> &[u32] {
+        &self.kappa
+    }
+
+    /// Largest κ in the graph.
+    #[inline]
+    pub fn max_kappa(&self) -> u32 {
+        self.max_kappa
+    }
+
+    /// The paper's clique-size proxy for an edge: `κ(e) + 2` (an
+    /// `n`-clique is a Triangle K-Core of number `n − 2`).
+    #[inline]
+    pub fn co_clique_size(&self, e: EdgeId) -> u32 {
+        self.kappa(e) + 2
+    }
+
+    /// Edges in the order Algorithm 1 processed them (non-decreasing κ).
+    /// This is the `Edges` list of the paper; index = `e.order`.
+    #[inline]
+    pub fn order(&self) -> &[EdgeId] {
+        &self.order
+    }
+
+    /// Number of live edges with each κ value (`hist[k]` = count of edges
+    /// with `κ == k`).
+    pub fn histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.max_kappa as usize + 1];
+        for &e in &self.order {
+            hist[self.kappa(e) as usize] += 1;
+        }
+        hist
+    }
+
+    /// Consumes the decomposition, returning the κ vector (used to seed the
+    /// dynamic maintainer without recomputing).
+    pub fn into_kappa(self) -> Vec<u32> {
+        self.kappa
+    }
+
+    /// The processing rank of each edge (`rank[e] = position in order`,
+    /// `usize::MAX` for dead slots) — the paper's `e.order`.
+    pub fn ranks(&self) -> Vec<usize> {
+        let bound = self
+            .order
+            .iter()
+            .map(|e| e.index() + 1)
+            .max()
+            .unwrap_or(0)
+            .max(self.kappa.len());
+        let mut rank = vec![usize::MAX; bound];
+        for (i, &e) in self.order.iter().enumerate() {
+            rank[e.index()] = i;
+        }
+        rank
+    }
+}
+
+/// The paper's **Rule 1**: without storing triangles, recover which of an
+/// edge's triangles lie in its maximum Triangle K-Core — sort the
+/// triangles by "process time" (the smallest processing rank among their
+/// edges); the *last* `κ(e)` of them are in the core.
+///
+/// Returns the apexes `w` of those triangles (each identifies the triangle
+/// `{u, v, w}` on the edge `e = {u, v}`).
+pub fn core_triangles_of_edge(
+    g: &Graph,
+    decomp: &Decomposition,
+    ranks: &[usize],
+    e: EdgeId,
+) -> Vec<tkc_graph::VertexId> {
+    let k = decomp.kappa(e) as usize;
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut tris: Vec<(usize, tkc_graph::VertexId)> = Vec::new();
+    g.for_each_triangle_on_edge(e, |w, e1, e2| {
+        let process_time = ranks[e.index()]
+            .min(ranks[e1.index()])
+            .min(ranks[e2.index()]);
+        tris.push((process_time, w));
+    });
+    tris.sort_unstable();
+    tris.iter().rev().take(k).map(|&(_, w)| w).collect()
+}
+
+/// Runs Algorithm 1 on `g`: every live edge's maximum Triangle K-Core
+/// number, plus the processing order.
+///
+/// # Examples
+///
+/// ```
+/// use tkc_graph::{generators, Graph};
+/// use tkc_core::decompose::triangle_kcore_decomposition;
+///
+/// // Every edge of K5 has κ = 3 (= 5 - 2).
+/// let g = generators::complete(5);
+/// let d = triangle_kcore_decomposition(&g);
+/// assert!(g.edge_ids().all(|e| d.kappa(e) == 3));
+/// assert_eq!(d.max_kappa(), 3);
+/// ```
+pub fn triangle_kcore_decomposition(g: &Graph) -> Decomposition {
+    let bound = g.edge_bound();
+    let m = g.num_edges();
+    let mut sup = edge_supports(g);
+    let mut kappa = vec![0u32; bound];
+    if m == 0 {
+        return Decomposition {
+            kappa,
+            order: Vec::new(),
+            max_kappa: 0,
+        };
+    }
+
+    // Counting sort of live edges by support (paper step 7).
+    let max_sup = g.edge_ids().map(|e| sup[e.index()]).max().unwrap_or(0) as usize;
+    let mut bin = vec![0usize; max_sup + 2];
+    for e in g.edge_ids() {
+        bin[sup[e.index()] as usize] += 1;
+    }
+    let mut start = 0usize;
+    for b in bin.iter_mut() {
+        let count = *b;
+        *b = start;
+        start += count;
+    }
+    let mut sorted: Vec<EdgeId> = vec![EdgeId(0); m];
+    let mut pos = vec![usize::MAX; bound];
+    {
+        let mut cursor = bin.clone();
+        for e in g.edge_ids() {
+            let s = sup[e.index()] as usize;
+            pos[e.index()] = cursor[s];
+            sorted[cursor[s]] = e;
+            cursor[s] += 1;
+        }
+    }
+
+    let mut processed = vec![false; bound];
+    let mut max_kappa = 0u32;
+
+    for i in 0..m {
+        let e = sorted[i];
+        let k = sup[e.index()];
+        kappa[e.index()] = k;
+        max_kappa = max_kappa.max(k);
+        processed[e.index()] = true;
+        // Advance the bucket cursor for value k past this element so later
+        // decrements into bucket k land after position i.
+        bin[k as usize] = i + 1;
+        // Steps 10-17: every *unprocessed* triangle on e (both other edges
+        // unprocessed) may no longer support a higher core for its other
+        // edges; decrement their upper bounds.
+        g.for_each_triangle_on_edge(e, |_, e1, e2| {
+            if processed[e1.index()] || processed[e2.index()] {
+                return; // triangle already processed (step 17)
+            }
+            for x in [e1, e2] {
+                let sx = sup[x.index()];
+                if sx > k {
+                    // O(1) re-sort: swap x with the first element of its
+                    // bucket, advance the bucket start, decrement.
+                    let px = pos[x.index()];
+                    let pw = bin[sx as usize];
+                    let w = sorted[pw];
+                    if x != w {
+                        sorted[px] = w;
+                        sorted[pw] = x;
+                        pos[w.index()] = px;
+                        pos[x.index()] = pw;
+                    }
+                    bin[sx as usize] += 1;
+                    sup[x.index()] = sx - 1;
+                }
+            }
+        });
+    }
+
+    Decomposition {
+        kappa,
+        order: sorted,
+        max_kappa,
+    }
+}
+
+/// Algorithm 1 with **stored triangles** (the paper's §IV-A tradeoff): all
+/// triangles are materialized once up front and the peel walks per-edge
+/// triangle lists instead of re-intersecting adjacency lists. Faster for
+/// graphs whose triangle lists fit in memory; `triangle_kcore_decomposition`
+/// is the memory-lean variant the paper recommends for the largest graphs.
+pub fn triangle_kcore_decomposition_stored(g: &Graph) -> Decomposition {
+    let bound = g.edge_bound();
+    let m = g.num_edges();
+    if m == 0 {
+        return Decomposition {
+            kappa: vec![0; bound],
+            order: Vec::new(),
+            max_kappa: 0,
+        };
+    }
+
+    // Materialize triangles: per-edge offsets into a flat (e1, e2) array.
+    let mut counts = vec![0u32; bound];
+    tkc_graph::triangles::for_each_triangle(g, |t| {
+        for e in t.edges {
+            counts[e.index()] += 1;
+        }
+    });
+    let mut offset = vec![0usize; bound + 1];
+    for i in 0..bound {
+        offset[i + 1] = offset[i] + counts[i] as usize;
+    }
+    let total = offset[bound];
+    let mut flat: Vec<(EdgeId, EdgeId)> = vec![(EdgeId(0), EdgeId(0)); total];
+    let mut cursor = offset.clone();
+    tkc_graph::triangles::for_each_triangle(g, |t| {
+        for (i, &e) in t.edges.iter().enumerate() {
+            let (a, b) = match i {
+                0 => (t.edges[1], t.edges[2]),
+                1 => (t.edges[0], t.edges[2]),
+                _ => (t.edges[0], t.edges[1]),
+            };
+            flat[cursor[e.index()]] = (a, b);
+            cursor[e.index()] += 1;
+        }
+    });
+
+    let mut sup = counts;
+    let mut kappa = vec![0u32; bound];
+    let max_sup = g.edge_ids().map(|e| sup[e.index()]).max().unwrap_or(0) as usize;
+    let mut bin = vec![0usize; max_sup + 2];
+    for e in g.edge_ids() {
+        bin[sup[e.index()] as usize] += 1;
+    }
+    let mut start = 0usize;
+    for b in bin.iter_mut() {
+        let count = *b;
+        *b = start;
+        start += count;
+    }
+    let mut sorted: Vec<EdgeId> = vec![EdgeId(0); m];
+    let mut pos = vec![usize::MAX; bound];
+    {
+        let mut c = bin.clone();
+        for e in g.edge_ids() {
+            let s = sup[e.index()] as usize;
+            pos[e.index()] = c[s];
+            sorted[c[s]] = e;
+            c[s] += 1;
+        }
+    }
+
+    let mut processed = vec![false; bound];
+    let mut max_kappa = 0u32;
+    for i in 0..m {
+        let e = sorted[i];
+        let k = sup[e.index()];
+        kappa[e.index()] = k;
+        max_kappa = max_kappa.max(k);
+        processed[e.index()] = true;
+        bin[k as usize] = i + 1;
+        for &(e1, e2) in &flat[offset[e.index()]..offset[e.index() + 1]] {
+            if processed[e1.index()] || processed[e2.index()] {
+                continue;
+            }
+            for x in [e1, e2] {
+                let sx = sup[x.index()];
+                if sx > k {
+                    let px = pos[x.index()];
+                    let pw = bin[sx as usize];
+                    let w = sorted[pw];
+                    if x != w {
+                        sorted[px] = w;
+                        sorted[pw] = x;
+                        pos[w.index()] = px;
+                        pos[x.index()] = pw;
+                    }
+                    bin[sx as usize] += 1;
+                    sup[x.index()] = sx - 1;
+                }
+            }
+        }
+    }
+
+    Decomposition {
+        kappa,
+        order: sorted,
+        max_kappa,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkc_graph::{generators, VertexId};
+
+    #[test]
+    fn stored_variant_matches_streaming_variant() {
+        for seed in 0..6 {
+            let g = generators::gnp(40, 0.2, seed);
+            let a = triangle_kcore_decomposition(&g);
+            let b = triangle_kcore_decomposition_stored(&g);
+            for e in g.edge_ids() {
+                assert_eq!(a.kappa(e), b.kappa(e), "seed {seed}");
+            }
+            assert_eq!(a.max_kappa(), b.max_kappa());
+        }
+        // Also on a structured graph with dead edge slots.
+        let mut g = generators::connected_caveman(4, 6);
+        let dead = g.edge_between(VertexId(0), VertexId(1)).unwrap();
+        g.remove_edge(dead).unwrap();
+        let a = triangle_kcore_decomposition(&g);
+        let b = triangle_kcore_decomposition_stored(&g);
+        assert_eq!(a.kappa_slice(), b.kappa_slice());
+    }
+
+    fn kappa_of(g: &Graph, u: u32, v: u32, d: &Decomposition) -> u32 {
+        d.kappa(g.edge_between(VertexId(u), VertexId(v)).unwrap())
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs() {
+        let d = triangle_kcore_decomposition(&Graph::new());
+        assert_eq!(d.max_kappa(), 0);
+        assert!(d.order().is_empty());
+
+        let path = generators::path(4);
+        let d = triangle_kcore_decomposition(&path);
+        assert_eq!(d.max_kappa(), 0);
+        assert_eq!(d.order().len(), 3);
+        for e in path.edge_ids() {
+            assert_eq!(d.kappa(e), 0);
+            assert_eq!(d.co_clique_size(e), 2);
+        }
+    }
+
+    #[test]
+    fn clique_kappa_is_n_minus_2() {
+        for n in 3..=8 {
+            let g = generators::complete(n);
+            let d = triangle_kcore_decomposition(&g);
+            for e in g.edge_ids() {
+                assert_eq!(d.kappa(e), n as u32 - 2, "K{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_figure_2_example() {
+        // Figure 2: vertices A=0,B=1,C=2,D=3,E=4.
+        // Edges AB, AC, BC, BD, BE, CD, CE, DE.
+        // Expected: κ(AB)=κ(AC)=1, all others 2.
+        let g = Graph::from_edges(
+            5,
+            [
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (1, 3),
+                (1, 4),
+                (2, 3),
+                (2, 4),
+                (3, 4),
+            ],
+        );
+        let d = triangle_kcore_decomposition(&g);
+        assert_eq!(kappa_of(&g, 0, 1, &d), 1, "AB");
+        assert_eq!(kappa_of(&g, 0, 2, &d), 1, "AC");
+        for (u, v) in [(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)] {
+            assert_eq!(kappa_of(&g, u, v, &d), 2, "({u},{v})");
+        }
+        assert_eq!(d.max_kappa(), 2);
+        // Initial support of BC is 3; it is peeled down to 2.
+        assert_eq!(d.histogram(), vec![0, 2, 6]);
+    }
+
+    #[test]
+    fn figure_1b_minimal_triangle_2_core() {
+        // Figure 1(b): 5 vertices, every edge in >= 2 triangles using
+        // minimal edges — K5 minus a perfect matching is impossible on 5
+        // vertices; the paper's minimal construction is K5 minus two
+        // disjoint edges (8 edges). Verify it yields κ = 2 everywhere.
+        let g = Graph::from_edges(
+            5,
+            [
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (1, 3),
+                (2, 4),
+                (3, 4),
+                (0, 3),
+                (0, 4),
+            ],
+        );
+        let d = triangle_kcore_decomposition(&g);
+        // This 8-edge graph realizes Triangle K-Core number >= 1 everywhere.
+        for e in g.edge_ids() {
+            assert!(d.kappa(e) >= 1);
+        }
+    }
+
+    #[test]
+    fn order_is_sorted_by_kappa() {
+        let g = generators::planted_partition(3, 8, 0.8, 0.05, 3);
+        let d = triangle_kcore_decomposition(&g);
+        let ks: Vec<u32> = d.order().iter().map(|&e| d.kappa(e)).collect();
+        assert!(ks.windows(2).all(|w| w[0] <= w[1]), "order not monotone");
+        assert_eq!(d.order().len(), g.num_edges());
+    }
+
+    #[test]
+    fn two_disjoint_cliques() {
+        let mut g = generators::complete(6);
+        let base = g.num_vertices();
+        g.add_vertices(4);
+        for i in 0..4u32 {
+            for j in (i + 1)..4 {
+                g.add_edge(VertexId(base as u32 + i), VertexId(base as u32 + j))
+                    .unwrap();
+            }
+        }
+        let d = triangle_kcore_decomposition(&g);
+        for (e, u, _) in g.edges() {
+            let expected = if u.index() < base { 4 } else { 2 };
+            assert_eq!(d.kappa(e), expected);
+        }
+    }
+
+    #[test]
+    fn kappa_upper_bounded_by_support() {
+        let g = generators::gnp(60, 0.15, 9);
+        let sup = tkc_graph::triangles::edge_supports(&g);
+        let d = triangle_kcore_decomposition(&g);
+        for e in g.edge_ids() {
+            assert!(d.kappa(e) <= sup[e.index()]);
+        }
+    }
+
+    #[test]
+    fn decomposition_ignores_dead_slots() {
+        let mut g = generators::complete(5);
+        let dead = g.edge_between(VertexId(0), VertexId(1)).unwrap();
+        g.remove_edge(dead).unwrap();
+        let d = triangle_kcore_decomposition(&g);
+        assert_eq!(d.kappa(dead), 0);
+        assert_eq!(d.order().len(), 9);
+        // K5 minus an edge: the 6 edges among {2,3,4} plus pairs... every
+        // remaining edge still has κ = 2 (K4s remain).
+        for e in g.edge_ids() {
+            assert!(d.kappa(e) >= 2);
+        }
+    }
+
+    #[test]
+    fn histogram_counts_live_edges() {
+        let g = generators::complete(4);
+        let d = triangle_kcore_decomposition(&g);
+        assert_eq!(d.histogram(), vec![0, 0, 6]);
+    }
+
+    #[test]
+    fn rule_1_recovers_core_triangles() {
+        // For every edge, the κ(e) triangles Rule 1 selects must each have
+        // both other edges at κ >= κ(e) — i.e., they are a valid witness
+        // for the maximum core (Theorem 1).
+        for seed in 0..6 {
+            let g = generators::gnp(20, 0.3, seed);
+            let d = triangle_kcore_decomposition(&g);
+            let ranks = d.ranks();
+            for e in g.edge_ids() {
+                let (u, v) = g.endpoints(e);
+                let apexes = core_triangles_of_edge(&g, &d, &ranks, e);
+                assert_eq!(apexes.len(), d.kappa(e) as usize, "seed {seed}");
+                for w in apexes {
+                    let e1 = g.edge_between(u, w).unwrap();
+                    let e2 = g.edge_between(v, w).unwrap();
+                    assert!(d.kappa(e1) >= d.kappa(e), "rule 1 witness violated");
+                    assert!(d.kappa(e2) >= d.kappa(e), "rule 1 witness violated");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ranks_invert_the_order() {
+        let g = generators::planted_partition(2, 8, 0.7, 0.1, 3);
+        let d = triangle_kcore_decomposition(&g);
+        let ranks = d.ranks();
+        for (i, &e) in d.order().iter().enumerate() {
+            assert_eq!(ranks[e.index()], i);
+        }
+    }
+
+    #[test]
+    fn into_kappa_matches_accessor() {
+        let g = generators::gnp(30, 0.2, 4);
+        let d = triangle_kcore_decomposition(&g);
+        let by_accessor: Vec<u32> = (0..g.edge_bound() as u32)
+            .map(|i| d.kappa(EdgeId(i)))
+            .collect();
+        assert_eq!(d.into_kappa(), by_accessor);
+    }
+}

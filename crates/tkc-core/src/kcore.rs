@@ -1,0 +1,147 @@
+//! Vertex K-Core decomposition (Definitions 1–2) via the Batagelj–Zaveršnik
+//! bucket algorithm \[21\], the O(|E|) method the paper cites and the
+//! structure Triangle K-Core generalizes from vertices/edges to
+//! edges/triangles (Figure 1).
+
+use tkc_graph::{Graph, VertexId};
+
+/// Core number of every vertex (0 for isolated vertices).
+///
+/// # Examples
+///
+/// ```
+/// use tkc_graph::generators;
+/// use tkc_core::kcore::core_numbers;
+///
+/// let g = generators::complete(4);
+/// assert!(core_numbers(&g).iter().all(|&c| c == 3));
+/// ```
+pub fn core_numbers(g: &Graph) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut deg: Vec<u32> = (0..n).map(|v| g.degree(VertexId::from(v)) as u32).collect();
+    if n == 0 {
+        return deg;
+    }
+    let max_deg = *deg.iter().max().unwrap() as usize;
+
+    // Counting sort of vertices by degree.
+    let mut bin = vec![0usize; max_deg + 2];
+    for &d in &deg {
+        bin[d as usize] += 1;
+    }
+    let mut start = 0;
+    for b in bin.iter_mut() {
+        let c = *b;
+        *b = start;
+        start += c;
+    }
+    let mut sorted: Vec<u32> = vec![0; n];
+    let mut pos = vec![0usize; n];
+    {
+        let mut cursor = bin.clone();
+        for v in 0..n {
+            let d = deg[v] as usize;
+            pos[v] = cursor[d];
+            sorted[cursor[d]] = v as u32;
+            cursor[d] += 1;
+        }
+    }
+
+    let mut core = vec![0u32; n];
+    let mut processed = vec![false; n];
+    for i in 0..n {
+        let v = sorted[i] as usize;
+        core[v] = deg[v];
+        processed[v] = true;
+        bin[deg[v] as usize] = i + 1;
+        for (w, _) in g.neighbors(VertexId::from(v)) {
+            let w = w.index();
+            if processed[w] || deg[w] <= deg[v] {
+                continue;
+            }
+            let dw = deg[w] as usize;
+            let pw = pos[w];
+            let pfront = bin[dw];
+            let front = sorted[pfront] as usize;
+            if w != front {
+                sorted[pw] = front as u32;
+                sorted[pfront] = w as u32;
+                pos[front] = pw;
+                pos[w] = pfront;
+            }
+            bin[dw] += 1;
+            deg[w] -= 1;
+        }
+    }
+    core
+}
+
+/// Maximum core number in the graph (the graph's *degeneracy*).
+pub fn degeneracy(g: &Graph) -> u32 {
+    core_numbers(g).into_iter().max().unwrap_or(0)
+}
+
+/// Vertices of the maximal k-core subgraph: every vertex with core number
+/// ≥ `k`.
+pub fn kcore_vertices(g: &Graph, k: u32) -> Vec<VertexId> {
+    core_numbers(g)
+        .into_iter()
+        .enumerate()
+        .filter(|&(_v, c)| c >= k).map(|(v, _c)| VertexId::from(v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::naive_core_numbers;
+    use tkc_graph::generators;
+
+    #[test]
+    fn matches_naive_on_random_graphs() {
+        for seed in 0..6 {
+            let g = generators::gnp(40, 0.15, seed);
+            assert_eq!(core_numbers(&g), naive_core_numbers(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn figure_1a_minimal_2_core() {
+        // Figure 1(a): a 5-cycle is the minimal 5-vertex K-Core with core
+        // number 2 — contrast with Figure 1(b)'s Triangle K-Core.
+        let g = generators::cycle(5);
+        assert!(core_numbers(&g).iter().all(|&c| c == 2));
+        // And it has no triangles at all: κ would be 0 everywhere.
+        assert_eq!(tkc_graph::triangles::triangle_count(&g), 0);
+    }
+
+    #[test]
+    fn star_and_path() {
+        assert!(core_numbers(&generators::star(6)).iter().all(|&c| c == 1));
+        let path = generators::path(5);
+        let core = core_numbers(&path);
+        assert!(core.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert!(core_numbers(&Graph::new()).is_empty());
+        assert_eq!(degeneracy(&Graph::new()), 0);
+    }
+
+    #[test]
+    fn degeneracy_of_clique() {
+        assert_eq!(degeneracy(&generators::complete(7)), 6);
+    }
+
+    #[test]
+    fn kcore_vertices_filter() {
+        // A K4 glued to a path: only the K4 is in the 3-core.
+        let mut g = generators::complete(4);
+        g.add_vertices(2);
+        g.add_edge(VertexId(3), VertexId(4)).unwrap();
+        g.add_edge(VertexId(4), VertexId(5)).unwrap();
+        let vs = kcore_vertices(&g, 3);
+        assert_eq!(vs, vec![VertexId(0), VertexId(1), VertexId(2), VertexId(3)]);
+    }
+}

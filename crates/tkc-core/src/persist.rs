@@ -1,0 +1,129 @@
+//! Persistence for decomposition results: a small text format
+//! (`u v kappa` per line) so κ vectors survive across processes — e.g.
+//! decompose once on a server, plot/probe elsewhere, or seed a
+//! [`crate::dynamic::DynamicTriangleKCore`] without re-peeling.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+use tkc_graph::{Graph, VertexId};
+
+use crate::decompose::Decomposition;
+
+/// Writes `u v κ` per live edge, in processing order.
+///
+/// # Examples
+///
+/// ```
+/// use tkc_graph::generators;
+/// use tkc_core::decompose::triangle_kcore_decomposition;
+/// use tkc_core::persist::{read_kappa, write_kappa};
+///
+/// let g = generators::complete(5);
+/// let d = triangle_kcore_decomposition(&g);
+/// let mut buf = Vec::new();
+/// write_kappa(&g, &d, &mut buf).unwrap();
+/// let restored = read_kappa(&g, buf.as_slice()).unwrap();
+/// assert!(g.edge_ids().all(|e| restored[e.index()] == 3));
+/// ```
+pub fn write_kappa<W: Write>(g: &Graph, d: &Decomposition, writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# triangle-kcore kappa v1; edges {}", g.num_edges())?;
+    for &e in d.order() {
+        let (u, v) = g.endpoints(e);
+        writeln!(w, "{u} {v} {}", d.kappa(e))?;
+    }
+    w.flush()
+}
+
+/// Reads a κ file back against a graph, returning a vector indexed by the
+/// graph's edge ids. Errors on unknown edges, duplicates, or missing
+/// edges (every live edge must be covered).
+pub fn read_kappa<R: Read>(g: &Graph, reader: R) -> Result<Vec<u32>, String> {
+    let reader = BufReader::new(reader);
+    let mut kappa = vec![u32::MAX; g.edge_bound()];
+    let mut covered = 0usize;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| e.to_string())?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        let bad = || format!("line {}: expected 'u v kappa'", lineno + 1);
+        let u: u32 = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+        let v: u32 = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+        let k: u32 = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+        let e = g
+            .edge_between(VertexId(u), VertexId(v))
+            .ok_or_else(|| format!("line {}: edge ({u}, {v}) not in graph", lineno + 1))?;
+        if kappa[e.index()] != u32::MAX {
+            return Err(format!("line {}: duplicate edge ({u}, {v})", lineno + 1));
+        }
+        kappa[e.index()] = k;
+        covered += 1;
+    }
+    if covered != g.num_edges() {
+        return Err(format!(
+            "kappa file covers {covered} of {} edges",
+            g.num_edges()
+        ));
+    }
+    for slot in kappa.iter_mut() {
+        if *slot == u32::MAX {
+            *slot = 0; // dead slots
+        }
+    }
+    Ok(kappa)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::triangle_kcore_decomposition;
+    use crate::dynamic::DynamicTriangleKCore;
+    use tkc_graph::generators;
+
+    #[test]
+    fn roundtrip_preserves_kappa() {
+        let g = generators::planted_partition(3, 8, 0.7, 0.1, 2);
+        let d = triangle_kcore_decomposition(&g);
+        let mut buf = Vec::new();
+        write_kappa(&g, &d, &mut buf).unwrap();
+        let restored = read_kappa(&g, buf.as_slice()).unwrap();
+        for e in g.edge_ids() {
+            assert_eq!(restored[e.index()], d.kappa(e));
+        }
+    }
+
+    #[test]
+    fn restored_kappa_seeds_the_maintainer() {
+        let g = generators::connected_caveman(3, 5);
+        let d = triangle_kcore_decomposition(&g);
+        let mut buf = Vec::new();
+        write_kappa(&g, &d, &mut buf).unwrap();
+        let kappa = read_kappa(&g, buf.as_slice()).unwrap();
+        let mut m = DynamicTriangleKCore::from_parts(g, kappa);
+        m.insert_edge(VertexId(0), VertexId(7)).unwrap();
+        let fresh = triangle_kcore_decomposition(m.graph());
+        for e in m.graph().edge_ids() {
+            assert_eq!(m.kappa(e), fresh.kappa(e));
+        }
+    }
+
+    #[test]
+    fn rejects_incomplete_and_alien_files() {
+        let g = generators::complete(4);
+        assert!(read_kappa(&g, "0 1 2\n".as_bytes())
+            .unwrap_err()
+            .contains("covers 1 of 6"));
+        assert!(read_kappa(&g, "0 9 2\n".as_bytes())
+            .unwrap_err()
+            .contains("not in graph"));
+        assert!(read_kappa(&g, "0 1 2\n1 0 2\n".as_bytes())
+            .unwrap_err()
+            .contains("duplicate"));
+        assert!(read_kappa(&g, "junk\n".as_bytes())
+            .unwrap_err()
+            .contains("expected"));
+    }
+}

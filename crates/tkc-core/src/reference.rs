@@ -1,0 +1,199 @@
+//! Naive reference implementations used as oracles in tests and as the
+//! pedagogical "definitionally obvious" versions of the algorithms.
+//!
+//! These implement Definitions 1–4 by direct iterated pruning. They are
+//! quadratic-ish and exist so that the optimized peeling and the dynamic
+//! maintenance can be checked against something that is obviously correct.
+
+use tkc_graph::{Graph, VertexId};
+
+/// κ(e) for every edge by direct iterated pruning (Definition 3/4):
+/// for k = 1, 2, …, repeatedly delete edges with < k triangles; an edge
+/// deleted while pruning toward level k has κ = k − 1.
+pub fn naive_kappa(g: &Graph) -> Vec<u32> {
+    let mut h = g.clone();
+    let mut kappa = vec![0u32; g.edge_bound()];
+    let mut k = 1u32;
+    while h.num_edges() > 0 {
+        loop {
+            let doomed: Vec<_> = h
+                .edge_ids()
+                .filter(|&e| (h.triangles_on_edge(e) as u32) < k)
+                .collect();
+            if doomed.is_empty() {
+                break;
+            }
+            for e in doomed {
+                kappa[e.index()] = k - 1;
+                h.remove_edge(e).expect("edge vanished during pruning");
+            }
+        }
+        k += 1;
+    }
+    kappa
+}
+
+/// Vertex core numbers by direct iterated pruning (Definition 1/2).
+pub fn naive_core_numbers(g: &Graph) -> Vec<u32> {
+    let mut h = g.clone();
+    let mut core = vec![0u32; g.num_vertices()];
+    let mut k = 1u32;
+    while h.num_edges() > 0 {
+        loop {
+            let doomed: Vec<VertexId> = h
+                .vertex_ids()
+                .filter(|&v| h.degree(v) > 0 && (h.degree(v) as u32) < k)
+                .collect();
+            if doomed.is_empty() {
+                break;
+            }
+            for v in doomed {
+                core[v.index()] = k - 1;
+                let nbrs: Vec<_> = h.neighbors(v).map(|(_, e)| e).collect();
+                for e in nbrs {
+                    h.remove_edge(e).unwrap();
+                }
+            }
+        }
+        // Vertices still attached survive level k.
+        for v in h.vertex_ids() {
+            if h.degree(v) > 0 {
+                core[v.index()] = k;
+            }
+        }
+        k += 1;
+    }
+    core
+}
+
+/// Checks Definition 3 directly: is the subgraph induced by `edges` a
+/// Triangle K-Core of number ≥ `k` (every edge in ≥ k triangles within)?
+pub fn is_triangle_kcore(g: &Graph, edges: &[tkc_graph::EdgeId], k: u32) -> bool {
+    use tkc_graph::FxHashSet;
+    let set: FxHashSet<_> = edges.iter().copied().collect();
+    edges.iter().all(|&e| {
+        let mut cnt = 0u32;
+        g.for_each_triangle_on_edge(e, |_, e1, e2| {
+            if set.contains(&e1) && set.contains(&e2) {
+                cnt += 1;
+            }
+        });
+        cnt >= k
+    })
+}
+
+/// Exact maximum clique size containing a given edge, by branch and bound
+/// over the common neighborhood. Exponential worst case; for oracle use on
+/// small graphs and for the CSV baseline's exact mode.
+pub fn max_clique_with_edge(g: &Graph, e: tkc_graph::EdgeId) -> u32 {
+    let mut cands: Vec<VertexId> = Vec::new();
+    g.for_each_triangle_on_edge(e, |w, _, _| cands.push(w));
+    2 + max_clique_in(g, &cands)
+}
+
+/// Size of the maximum clique within `cands` (mutual adjacency in `g`).
+fn max_clique_in(g: &Graph, cands: &[VertexId]) -> u32 {
+    fn bb(g: &Graph, chosen: u32, cands: &[VertexId], best: &mut u32) {
+        if chosen + cands.len() as u32 <= *best {
+            return; // bound
+        }
+        if cands.is_empty() {
+            *best = (*best).max(chosen);
+            return;
+        }
+        let head = cands[0];
+        // Branch 1: include head.
+        let next: Vec<VertexId> = cands[1..]
+            .iter()
+            .copied()
+            .filter(|&w| g.has_edge(head, w))
+            .collect();
+        bb(g, chosen + 1, &next, best);
+        // Branch 2: exclude head.
+        bb(g, chosen, &cands[1..], best);
+    }
+    let mut best = 0;
+    bb(g, 0, cands, &mut best);
+    best
+}
+
+/// Exact global maximum clique size (small graphs only).
+pub fn max_clique_size(g: &Graph) -> u32 {
+    g.edge_ids()
+        .map(|e| max_clique_with_edge(g, e))
+        .max()
+        .unwrap_or_else(|| u32::from(g.num_vertices() > 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::triangle_kcore_decomposition;
+    use tkc_graph::generators;
+
+    #[test]
+    fn naive_kappa_on_clique() {
+        let g = generators::complete(5);
+        let kappa = naive_kappa(&g);
+        for e in g.edge_ids() {
+            assert_eq!(kappa[e.index()], 3);
+        }
+    }
+
+    #[test]
+    fn naive_matches_peeling_on_random_graphs() {
+        for seed in 0..5 {
+            let g = generators::gnp(25, 0.3, seed);
+            let naive = naive_kappa(&g);
+            let fast = triangle_kcore_decomposition(&g);
+            for e in g.edge_ids() {
+                assert_eq!(naive[e.index()], fast.kappa(e), "seed {seed} edge {e:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn naive_core_numbers_on_known_shapes() {
+        let g = generators::complete(5);
+        assert!(naive_core_numbers(&g).iter().all(|&c| c == 4));
+        let g = generators::cycle(6);
+        assert!(naive_core_numbers(&g).iter().all(|&c| c == 2));
+        let g = generators::star(4);
+        let core = naive_core_numbers(&g);
+        assert!(core.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn is_triangle_kcore_checks_definition() {
+        let g = generators::complete(4);
+        let all: Vec<_> = g.edge_ids().collect();
+        assert!(is_triangle_kcore(&g, &all, 2));
+        assert!(!is_triangle_kcore(&g, &all, 3));
+        // Drop one edge from the set: remaining 5 edges no longer form a
+        // 2-core (the opposite edge loses one triangle).
+        assert!(!is_triangle_kcore(&g, &all[1..], 2));
+        assert!(is_triangle_kcore(&g, &all[1..], 1));
+    }
+
+    #[test]
+    fn max_clique_on_planted_instance() {
+        let mut g = generators::gnp(20, 0.1, 7);
+        let members: Vec<_> = [0u32, 3, 7, 11, 15].iter().map(|&i| tkc_graph::VertexId(i)).collect();
+        generators::plant_clique(&mut g, &members);
+        assert!(max_clique_size(&g) >= 5);
+        let e = g
+            .edge_between(members[0], members[1])
+            .expect("planted edge");
+        assert!(max_clique_with_edge(&g, e) >= 5);
+    }
+
+    #[test]
+    fn kappa_plus_two_bounds_max_clique() {
+        // κ(e) + 2 is an upper bound for the largest clique containing e.
+        let g = generators::planted_partition(2, 10, 0.7, 0.1, 5);
+        let d = triangle_kcore_decomposition(&g);
+        for e in g.edge_ids() {
+            assert!(max_clique_with_edge(&g, e) <= d.kappa(e) + 2);
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Collaboration networks — the stand-in for the paper's *DBLP* data:
+//! authors (vertices) co-author papers (small cliques), with prolific
+//! authors, persistent teams and yearly churn. Provides both single
+//! snapshots (Table I/II) and consecutive snapshot pairs for the template
+//! pattern case studies (Figures 9–11).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tkc_graph::generators::plant_clique;
+use tkc_graph::{Graph, VertexId};
+
+/// One co-authorship snapshot: `n_papers` teams of 2–6 authors drawn from
+/// `n_authors` with a prolific-author skew; the graph is the union of the
+/// team cliques.
+pub fn collaboration_snapshot(n_authors: usize, n_papers: usize, seed: u64) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = Graph::with_capacity(n_authors, n_papers * 4);
+    for _ in 0..n_papers {
+        let team = sample_team(&mut rng, n_authors);
+        plant_clique(&mut g, &team);
+    }
+    g
+}
+
+/// Samples one author team: size 2–6, members drawn with a quadratic skew
+/// toward low ids (the "prolific author" effect).
+fn sample_team(rng: &mut SmallRng, n_authors: usize) -> Vec<VertexId> {
+    let size = *[2usize, 2, 3, 3, 3, 4, 4, 5, 6]
+        .get(rng.gen_range(0..9))
+        .unwrap();
+    let mut team: Vec<VertexId> = Vec::with_capacity(size);
+    let mut guard = 0;
+    while team.len() < size && guard < 100 {
+        guard += 1;
+        // Quadratic skew: u² stretches the mass toward small indices.
+        let u: f64 = rng.gen::<f64>();
+        let idx = ((u * u) * n_authors as f64) as usize;
+        let v = VertexId::from(idx.min(n_authors - 1));
+        if !team.contains(&v) {
+            team.push(v);
+        }
+    }
+    team
+}
+
+/// A pair of consecutive snapshots: year two keeps `carry` of year one's
+/// papers (stable teams), replaces the rest, and involves some authors who
+/// never appeared before. Vertex ids are aligned across both.
+pub fn snapshot_pair(
+    n_authors: usize,
+    n_papers: usize,
+    carry: f64,
+    seed: u64,
+) -> (Graph, Graph) {
+    assert!((0.0..=1.0).contains(&carry));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Year one uses only the first 80% of the author universe, so year two
+    // has genuinely new authors to draw from.
+    let old_pool = (n_authors * 4) / 5;
+    let papers1: Vec<Vec<VertexId>> = (0..n_papers)
+        .map(|_| sample_team(&mut rng, old_pool))
+        .collect();
+    let kept = (carry * n_papers as f64) as usize;
+    let mut papers2: Vec<Vec<VertexId>> = papers1[..kept].to_vec();
+    while papers2.len() < n_papers {
+        papers2.push(sample_team(&mut rng, n_authors));
+    }
+    let mut g1 = Graph::with_capacity(n_authors, n_papers * 4);
+    for team in &papers1 {
+        plant_clique(&mut g1, team);
+    }
+    let mut g2 = Graph::with_capacity(n_authors, n_papers * 4);
+    for team in &papers2 {
+        plant_clique(&mut g2, team);
+    }
+    (g1, g2)
+}
+
+/// Figure 9 scenario: a snapshot pair plus a planted **New Form** clique —
+/// `size` authors all present in year one (in scattered teams) who
+/// collaborate for the first time in year two. Returns the pair and the
+/// planted members.
+pub fn new_form_scenario(
+    n_authors: usize,
+    n_papers: usize,
+    size: usize,
+    seed: u64,
+) -> (Graph, Graph, Vec<VertexId>) {
+    let (g1, mut g2, mut rng) = base_pair(n_authors, n_papers, seed);
+    // Pick authors active in year one but pairwise non-adjacent there.
+    let members = pick_scattered_veterans(&g1, size, &mut rng);
+    // Remove any year-two edges among them first (they must be *new*), then
+    // plant the clique.
+    for (i, &u) in members.iter().enumerate() {
+        for &v in &members[i + 1..] {
+            let _ = g2.remove_edge_between(u, v);
+        }
+    }
+    plant_clique(&mut g2, &members);
+    (g1, g2, members)
+}
+
+/// Figure 10 scenario: a planted **Bridge** clique — two groups that are
+/// separate cliques in year one get fully welded in year two.
+pub fn bridge_scenario(
+    n_authors: usize,
+    n_papers: usize,
+    group_a: usize,
+    group_b: usize,
+    seed: u64,
+) -> (Graph, Graph, Vec<VertexId>) {
+    let (mut g1, mut g2, mut rng) = base_pair(n_authors, n_papers, seed);
+    // Fresh vertices guarantee the two groups are disconnected in year one.
+    let base = g1.num_vertices();
+    let total = group_a + group_b;
+    g1.add_vertices(total);
+    g2.add_vertices(total);
+    let a: Vec<VertexId> = (base..base + group_a).map(VertexId::from).collect();
+    let b: Vec<VertexId> = (base + group_a..base + total).map(VertexId::from).collect();
+    plant_clique(&mut g1, &a);
+    plant_clique(&mut g1, &b);
+    // Keep each group intact in year two and weld them into one clique.
+    let members: Vec<VertexId> = a.iter().chain(&b).copied().collect();
+    plant_clique(&mut g2, &members);
+    let _ = &mut rng;
+    (g1, g2, members)
+}
+
+/// Figure 11 scenario: a planted **New Join** clique — `veterans` authors
+/// who collaborated in year one are joined by `newcomers` brand-new
+/// authors, all forming one clique in year two.
+pub fn new_join_scenario(
+    n_authors: usize,
+    n_papers: usize,
+    veterans: usize,
+    newcomers: usize,
+    seed: u64,
+) -> (Graph, Graph, Vec<VertexId>) {
+    let (mut g1, mut g2, mut rng) = base_pair(n_authors, n_papers, seed);
+    // Veteran team: fresh ids planted as a clique in year one.
+    let base = g1.num_vertices();
+    g1.add_vertices(veterans);
+    let vets: Vec<VertexId> = (base..base + veterans).map(VertexId::from).collect();
+    plant_clique(&mut g1, &vets);
+    // Newcomers exist only in year two (g2 also needs the veteran ids).
+    let nbase = base + veterans;
+    g2.add_vertices(veterans + newcomers);
+    let news: Vec<VertexId> = (nbase..nbase + newcomers).map(VertexId::from).collect();
+    let members: Vec<VertexId> = vets.iter().chain(&news).copied().collect();
+    plant_clique(&mut g2, &members);
+    let _ = &mut rng;
+    (g1, g2, members)
+}
+
+/// Common base: a churned snapshot pair with aligned vertex counts.
+fn base_pair(n_authors: usize, n_papers: usize, seed: u64) -> (Graph, Graph, SmallRng) {
+    let (mut g1, mut g2) = snapshot_pair(n_authors, n_papers, 0.5, seed);
+    let n = g1.num_vertices().max(g2.num_vertices());
+    g1.add_vertices(n - g1.num_vertices());
+    g2.add_vertices(n - g2.num_vertices());
+    (g1, g2, SmallRng::seed_from_u64(seed ^ 0xd1b5_4a32_d192_ed03))
+}
+
+/// Vertices active in `g` that are pairwise non-adjacent there.
+fn pick_scattered_veterans(g: &Graph, size: usize, rng: &mut SmallRng) -> Vec<VertexId> {
+    let active: Vec<VertexId> = g.vertex_ids().filter(|&v| g.degree(v) > 0).collect();
+    assert!(active.len() >= size, "not enough active authors");
+    let mut members: Vec<VertexId> = Vec::with_capacity(size);
+    let mut guard = 0;
+    while members.len() < size && guard < 10_000 {
+        guard += 1;
+        let v = active[rng.gen_range(0..active.len())];
+        if !members.contains(&v) && members.iter().all(|&m| !g.has_edge(m, v)) {
+            members.push(v);
+        }
+    }
+    assert_eq!(members.len(), size, "could not scatter veterans");
+    members
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_is_a_union_of_cliques() {
+        let g = collaboration_snapshot(500, 300, 5);
+        assert!(g.num_edges() > 300);
+        // Co-authorship graphs triangulate heavily.
+        assert!(tkc_graph::triangles::triangle_count(&g) > 100);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn prolific_skew_exists() {
+        let g = collaboration_snapshot(1000, 600, 11);
+        let low: usize = (0..100).map(|v| g.degree(VertexId(v))).sum();
+        let high: usize = (900..1000).map(|v| g.degree(VertexId(v))).sum();
+        assert!(low > high * 2, "low {low} high {high}");
+    }
+
+    #[test]
+    fn pair_shares_carried_teams() {
+        let (g1, g2) = snapshot_pair(400, 200, 0.5, 3);
+        let shared = g1
+            .edges()
+            .filter(|&(_, u, v)| g2.has_edge(u, v))
+            .count();
+        assert!(shared > 0, "no carried edges");
+        assert!(g1.num_vertices() <= g2.num_vertices());
+    }
+
+    #[test]
+    fn new_form_scenario_is_well_formed() {
+        let (g1, g2, members) = new_form_scenario(400, 250, 6, 9);
+        assert_eq!(members.len(), 6);
+        for (i, &u) in members.iter().enumerate() {
+            assert!(g1.degree(u) > 0, "member inactive in year one");
+            for &v in &members[i + 1..] {
+                assert!(!g1.has_edge(u, v), "members adjacent in year one");
+                assert!(g2.has_edge(u, v), "clique missing in year two");
+            }
+        }
+    }
+
+    #[test]
+    fn bridge_scenario_groups_disconnected_then_welded() {
+        let (g1, g2, members) = bridge_scenario(300, 150, 4, 2, 21);
+        assert_eq!(members.len(), 6);
+        let (a, b) = members.split_at(4);
+        for &u in a {
+            for &v in b {
+                assert!(!g1.has_edge(u, v));
+                assert!(g2.has_edge(u, v));
+            }
+        }
+        // Each group is a clique in year one already.
+        for grp in [a, b] {
+            for (i, &u) in grp.iter().enumerate() {
+                for &v in &grp[i + 1..] {
+                    assert!(g1.has_edge(u, v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn new_join_scenario_newcomers_absent_in_year_one() {
+        let (g1, g2, members) = new_join_scenario(300, 150, 3, 6, 33);
+        assert_eq!(members.len(), 9);
+        let (vets, news) = members.split_at(3);
+        for &v in news {
+            assert!(!g1.contains_vertex(v) || g1.degree(v) == 0);
+        }
+        for (i, &u) in members.iter().enumerate() {
+            for &v in &members[i + 1..] {
+                assert!(g2.has_edge(u, v));
+            }
+        }
+        for (i, &u) in vets.iter().enumerate() {
+            for &v in vets[i + 1..].iter() {
+                assert!(g1.has_edge(u, v), "veteran clique missing in year one");
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # tkc-datasets — synthetic stand-ins for the paper's data (Table I)
+//!
+//! The original study evaluates on ten real graphs (Stocks, PPI, DBLP,
+//! Astro, Epinions, Amazon, Wiki, Flickr, LiveJournal, plus a synthetic
+//! example). Those files are not redistributable here, so this crate
+//! generates structurally matched substitutes — same |V|/|E|, same degree
+//! skew and clustering regime, plus *planted* structures for the case
+//! studies so the qualitative findings (clique peaks, growth events,
+//! bridge cliques) are reproducible. Every build is deterministic in its
+//! seed; see DESIGN.md's substitution table.
+//!
+//! ```
+//! use tkc_datasets::registry::{build_default, DatasetId};
+//!
+//! let g = build_default(DatasetId::Stocks, 42);
+//! assert_eq!(g.num_vertices(), 275);
+//! assert_eq!(g.num_edges(), 1680);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod collaboration;
+pub mod correlation;
+pub mod ppi;
+pub mod registry;
+pub mod scenarios;
+pub mod temporal;
+
+pub use registry::{build, build_default, DatasetId, DatasetInfo};

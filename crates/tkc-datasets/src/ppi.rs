@@ -1,0 +1,185 @@
+//! Protein–protein interaction stand-ins: complex-structured graphs with
+//! labels (for the Figure 12 inter-complex Bridge study) and the Figure 7
+//! case-study instance with three planted near-cliques.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tkc_graph::generators::plant_clique;
+use tkc_graph::{Graph, VertexId};
+
+/// A PPI-like graph: `n` proteins grouped into complexes of size 3–14
+/// (small sizes dominate), dense within-complex wiring, sparse background
+/// interactions up to ~`target_edges`. Returns the graph and each
+/// protein's complex label.
+pub fn ppi_like(n: usize, target_edges: usize, seed: u64) -> (Graph, Vec<u32>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut labels = vec![0u32; n];
+    let mut g = Graph::with_capacity(n, target_edges);
+
+    // Partition into complexes with a size skew (many trios, few large).
+    let mut start = 0usize;
+    let mut complex = 0u32;
+    while start < n {
+        let size = match rng.gen_range(0..10) {
+            0..=4 => rng.gen_range(3..6),
+            5..=7 => rng.gen_range(6..9),
+            _ => rng.gen_range(9..15),
+        }
+        .min(n - start);
+        for l in labels.iter_mut().skip(start).take(size) {
+            *l = complex;
+        }
+        // Within-complex wiring: dense but imperfect (missing edges are
+        // what make Figure 7's "9-vertex-looking 10-clique" possible).
+        for i in start..start + size {
+            for j in (i + 1)..start + size {
+                if rng.gen_bool(0.75) {
+                    let _ = g.try_add_edge(VertexId::from(i), VertexId::from(j));
+                }
+            }
+        }
+        start += size;
+        complex += 1;
+    }
+
+    // Background interactions: random cross-complex edges up to target.
+    let mut guard = 0;
+    while g.num_edges() < target_edges && guard < 20 * target_edges {
+        guard += 1;
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u != v {
+            let _ = g.try_add_edge(VertexId(u), VertexId(v));
+        }
+    }
+    (g, labels)
+}
+
+/// The Figure 7 case study instance: a PPI-like background with three
+/// planted structures —
+///
+/// 1. an 8-vertex clique (the "Clique 1 / DN-Graph" group),
+/// 2. an exact 10-vertex clique (Clique 2),
+/// 3. a 10-vertex clique **minus one edge** (Clique 3, which the plot
+///    shows as 9-vertex because `κ+2 = 9` for the two edge-deprived
+///    vertices' weakest edges).
+///
+/// Returns the graph and the three member lists.
+pub fn ppi_case_study(seed: u64) -> (Graph, [Vec<VertexId>; 3]) {
+    let (mut g, _) = ppi_like(600, 2000, seed);
+    let base = g.num_vertices();
+    g.add_vertices(28);
+    let c1: Vec<VertexId> = (base..base + 8).map(VertexId::from).collect();
+    let c2: Vec<VertexId> = (base + 8..base + 18).map(VertexId::from).collect();
+    let c3: Vec<VertexId> = (base + 18..base + 28).map(VertexId::from).collect();
+    plant_clique(&mut g, &c1);
+    plant_clique(&mut g, &c2);
+    plant_clique(&mut g, &c3);
+    // Clique 3 misses one edge (APC4–CDC16 in the paper).
+    g.remove_edge_between(c3[0], c3[1]).expect("planted edge");
+    // Anchor the cliques to the background so they are not floating.
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xabcd);
+    for members in [&c1, &c2, &c3] {
+        for _ in 0..3 {
+            let inside = members[rng.gen_range(0..members.len())];
+            let outside = VertexId(rng.gen_range(0..base as u32));
+            let _ = g.try_add_edge(inside, outside);
+        }
+    }
+    (g, [c1, c2, c3])
+}
+
+/// The Figure 12 study instance: two "complexes" of interest welded by a
+/// bridge clique, embedded in a PPI-like background with labels. Returns
+/// `(graph, labels, bridge_members)` where the first `hub_count` members
+/// belong to complex A and the rest to complex B.
+pub fn ppi_bridge_study(seed: u64) -> (Graph, Vec<u32>, Vec<VertexId>) {
+    let (mut g, mut labels) = ppi_like(500, 1600, seed);
+    let base = g.num_vertices();
+    let next_label = labels.iter().copied().max().unwrap_or(0) + 1;
+    // Complex A: 6 proteins ("20S proteasome"-like), complex B: 9
+    // ("19/22S regulator"-like).
+    g.add_vertices(15);
+    labels.extend(std::iter::repeat(next_label).take(6));
+    labels.extend(std::iter::repeat(next_label + 1).take(9));
+    let a: Vec<VertexId> = (base..base + 6).map(VertexId::from).collect();
+    let b: Vec<VertexId> = (base + 6..base + 15).map(VertexId::from).collect();
+    plant_clique(&mut g, &a);
+    plant_clique(&mut g, &b);
+    // The bridge: one hub of A (PRE1-like) fully wired into B.
+    let hub = a[0];
+    for &v in &b {
+        let _ = g.try_add_edge(hub, v);
+    }
+    let mut members = vec![hub];
+    members.extend(b.iter().copied());
+    (g, labels, members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ppi_like_sizes_and_labels() {
+        let (g, labels) = ppi_like(800, 2600, 4);
+        assert_eq!(g.num_vertices(), 800);
+        assert!(g.num_edges() >= 2500, "edges {}", g.num_edges());
+        assert_eq!(labels.len(), 800);
+        // Labels are contiguous complexes of size >= 1.
+        let max = *labels.iter().max().unwrap();
+        assert!(max > 50, "too few complexes: {max}");
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn complexes_are_denser_than_background() {
+        let (g, labels) = ppi_like(600, 2000, 9);
+        let mut within = 0usize;
+        let mut across = 0usize;
+        for (_, u, v) in g.edges() {
+            if labels[u.index()] == labels[v.index()] {
+                within += 1;
+            } else {
+                across += 1;
+            }
+        }
+        assert!(within > across, "within {within} across {across}");
+    }
+
+    #[test]
+    fn case_study_plants_the_three_cliques() {
+        let (g, [c1, c2, c3]) = ppi_case_study(7);
+        for (i, &u) in c1.iter().enumerate() {
+            for &v in &c1[i + 1..] {
+                assert!(g.has_edge(u, v));
+            }
+        }
+        for (i, &u) in c2.iter().enumerate() {
+            for &v in &c2[i + 1..] {
+                assert!(g.has_edge(u, v));
+            }
+        }
+        // c3 misses exactly its first pair.
+        assert!(!g.has_edge(c3[0], c3[1]));
+        let mut missing = 0;
+        for (i, &u) in c3.iter().enumerate() {
+            for &v in &c3[i + 1..] {
+                if !g.has_edge(u, v) {
+                    missing += 1;
+                }
+            }
+        }
+        assert_eq!(missing, 1);
+    }
+
+    #[test]
+    fn bridge_study_wires_hub_across() {
+        let (g, labels, members) = ppi_bridge_study(5);
+        let hub = members[0];
+        for &v in &members[1..] {
+            assert!(g.has_edge(hub, v));
+            assert_ne!(labels[hub.index()], labels[v.index()]);
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! The Table I dataset registry: for each of the paper's ten graphs, a
+//! synthetic stand-in matched in size and structure (see DESIGN.md's
+//! substitution table), buildable at any scale.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tkc_graph::{generators, Graph, VertexId};
+
+use crate::collaboration::collaboration_snapshot;
+use crate::correlation::top_m_correlation_graph;
+use crate::ppi::ppi_like;
+
+/// Identifier of one Table I dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetId {
+    /// 60-vertex synthetic example.
+    Synthetic,
+    /// Stock correlation graph (275 / 1 680).
+    Stocks,
+    /// Protein–protein interaction network (4 741 / 15 147).
+    Ppi,
+    /// DBLP co-authorship snapshot (6 445 / 11 848).
+    Dblp,
+    /// Astrophysics co-authorship (17 903 / 190 972).
+    AstroAuthor,
+    /// Epinions trust network (75 879 / 405 741).
+    Epinions,
+    /// Amazon co-purchase network (262 111 / 899 792).
+    Amazon,
+    /// Wikipedia article links (176 265 / 1 010 204).
+    Wiki,
+    /// Flickr friendship network (1 715 255 / 15 555 041).
+    Flickr,
+    /// LiveJournal friendship network (4 887 571 / 32 851 237).
+    LiveJournal,
+}
+
+/// Static description of one dataset: the paper's reported size plus the
+/// default scale our harness builds it at.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetInfo {
+    /// Which dataset.
+    pub id: DatasetId,
+    /// Table I name.
+    pub name: &'static str,
+    /// |V| reported in Table I.
+    pub paper_vertices: usize,
+    /// |E| reported in Table I.
+    pub paper_edges: usize,
+    /// Default build scale (1.0 = paper size). The two largest graphs
+    /// default below 1.0 so the full harness finishes in-session; pass an
+    /// explicit scale to override.
+    pub default_scale: f64,
+    /// What the stand-in generator reproduces.
+    pub description: &'static str,
+}
+
+impl DatasetId {
+    /// All ten datasets in Table I order.
+    pub fn all() -> [DatasetId; 10] {
+        use DatasetId::*;
+        [
+            Synthetic,
+            Stocks,
+            Ppi,
+            Dblp,
+            AstroAuthor,
+            Epinions,
+            Amazon,
+            Wiki,
+            Flickr,
+            LiveJournal,
+        ]
+    }
+
+    /// Registry entry for this dataset.
+    pub fn info(self) -> DatasetInfo {
+        use DatasetId::*;
+        match self {
+            Synthetic => DatasetInfo {
+                id: self,
+                name: "Synthetic",
+                paper_vertices: 60,
+                paper_edges: 308,
+                default_scale: 1.0,
+                description: "six planted communities with cross noise",
+            },
+            Stocks => DatasetInfo {
+                id: self,
+                name: "Stocks",
+                paper_vertices: 275,
+                paper_edges: 1680,
+                default_scale: 1.0,
+                description: "sector factor model, top-m correlation edges",
+            },
+            Ppi => DatasetInfo {
+                id: self,
+                name: "PPI",
+                paper_vertices: 4741,
+                paper_edges: 15147,
+                default_scale: 1.0,
+                description: "protein complexes (3-14) + sparse background",
+            },
+            Dblp => DatasetInfo {
+                id: self,
+                name: "DBLP",
+                paper_vertices: 6445,
+                paper_edges: 11848,
+                default_scale: 1.0,
+                description: "union of 2-6 author paper cliques, prolific skew",
+            },
+            AstroAuthor => DatasetInfo {
+                id: self,
+                name: "Astro-Author",
+                paper_vertices: 17903,
+                paper_edges: 190972,
+                default_scale: 1.0,
+                description: "Holme-Kim scale-free with heavy triadic closure",
+            },
+            Epinions => DatasetInfo {
+                id: self,
+                name: "Epinions",
+                paper_vertices: 75879,
+                paper_edges: 405741,
+                default_scale: 1.0,
+                description: "preferential attachment trust graph + noise",
+            },
+            Amazon => DatasetInfo {
+                id: self,
+                name: "Amazon",
+                paper_vertices: 262111,
+                paper_edges: 899792,
+                default_scale: 1.0,
+                description: "low-degree co-purchase graph with clustering",
+            },
+            Wiki => DatasetInfo {
+                id: self,
+                name: "Wiki",
+                paper_vertices: 176265,
+                paper_edges: 1010204,
+                default_scale: 1.0,
+                description: "hub-skewed link graph with triadic closure",
+            },
+            Flickr => DatasetInfo {
+                id: self,
+                name: "Flickr",
+                paper_vertices: 1_715_255,
+                paper_edges: 15_555_041,
+                default_scale: 0.125,
+                description: "dense friendship graph (scaled by default)",
+            },
+            LiveJournal => DatasetInfo {
+                id: self,
+                name: "LiveJournal",
+                paper_vertices: 4_887_571,
+                paper_edges: 32_851_237,
+                default_scale: 0.125,
+                description: "largest friendship graph (scaled by default)",
+            },
+        }
+    }
+
+    /// Parses a Table I name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<DatasetId> {
+        DatasetId::all()
+            .into_iter()
+            .find(|d| d.info().name.eq_ignore_ascii_case(name))
+    }
+}
+
+/// Builds a dataset at `scale` (1.0 = paper size; clamped to keep at least
+/// a small viable graph). Deterministic in `seed`.
+pub fn build(id: DatasetId, scale: f64, seed: u64) -> Graph {
+    let info = id.info();
+    let n = ((info.paper_vertices as f64 * scale) as usize).max(30);
+    let m = ((info.paper_edges as f64 * scale) as usize).max(60);
+    match id {
+        DatasetId::Synthetic => generators::planted_partition(6, n / 6, 0.72, 0.075, seed),
+        DatasetId::Stocks => {
+            let sectors = (n / 22).max(2);
+            top_m_correlation_graph(n, sectors, 0.45, m.min(n * (n - 1) / 2), seed)
+        }
+        DatasetId::Ppi => ppi_like(n, m, seed).0,
+        DatasetId::Dblp => {
+            // Papers tuned so the union reaches ~m edges: teams average
+            // ~5.3 clique edges each, minus overlap.
+            collaboration_snapshot(n, m / 5, seed)
+        }
+        DatasetId::AstroAuthor => scale_free_clustered(n, m, 0.75, seed),
+        DatasetId::Epinions => scale_free_clustered(n, m, 0.25, seed),
+        DatasetId::Amazon => scale_free_clustered(n, m, 0.55, seed),
+        DatasetId::Wiki => scale_free_clustered(n, m, 0.45, seed),
+        DatasetId::Flickr => scale_free_clustered(n, m, 0.6, seed),
+        DatasetId::LiveJournal => scale_free_clustered(n, m, 0.5, seed),
+    }
+}
+
+/// Builds a dataset at its registry default scale.
+pub fn build_default(id: DatasetId, seed: u64) -> Graph {
+    build(id, id.info().default_scale, seed)
+}
+
+/// Holme–Kim at the attachment count matching `target_edges`, topped up
+/// with random edges to hit the target exactly (±0 on success).
+fn scale_free_clustered(n: usize, target_edges: usize, p_triad: f64, seed: u64) -> Graph {
+    let m_attach = (target_edges / n).max(1).min(n - 1);
+    let mut g = generators::holme_kim(n, m_attach, p_triad, seed);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5bd1e995);
+    let mut guard = 0usize;
+    let cap = 20 * target_edges.max(1);
+    while g.num_edges() < target_edges && guard < cap {
+        guard += 1;
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u != v {
+            // Bias the top-up toward triangle closure: half the time pick a
+            // neighbor-of-neighbor, keeping clustering realistic.
+            let target = if rng.gen_bool(0.5) && g.degree(VertexId(u)) > 0 {
+                let d = g.degree(VertexId(u));
+                let (w, _) = g.neighbors(VertexId(u)).nth(rng.gen_range(0..d)).unwrap();
+                let dw = g.degree(w);
+                if dw > 0 {
+                    let (x, _) = g.neighbors(w).nth(rng.gen_range(0..dw)).unwrap();
+                    x
+                } else {
+                    VertexId(v)
+                }
+            } else {
+                VertexId(v)
+            };
+            if target != VertexId(u) {
+                let _ = g.try_add_edge(VertexId(u), target);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_table_1() {
+        let all = DatasetId::all();
+        assert_eq!(all.len(), 10);
+        assert_eq!(all[0].info().name, "Synthetic");
+        assert_eq!(all[9].info().paper_edges, 32_851_237);
+        assert_eq!(DatasetId::from_name("ppi"), Some(DatasetId::Ppi));
+        assert_eq!(DatasetId::from_name("astro-author"), Some(DatasetId::AstroAuthor));
+        assert_eq!(DatasetId::from_name("nope"), None);
+    }
+
+    #[test]
+    fn small_datasets_match_paper_sizes_roughly() {
+        for id in [DatasetId::Synthetic, DatasetId::Stocks, DatasetId::Dblp] {
+            let info = id.info();
+            let g = build(id, 1.0, 1);
+            let dv = g.num_vertices() as f64 / info.paper_vertices as f64;
+            let de = g.num_edges() as f64 / info.paper_edges as f64;
+            assert!((0.8..=1.25).contains(&dv), "{}: vertices off {dv}", info.name);
+            assert!((0.7..=1.4).contains(&de), "{}: edges off {de}", info.name);
+        }
+    }
+
+    #[test]
+    fn scaling_shrinks_proportionally() {
+        let full = build(DatasetId::Ppi, 1.0, 2);
+        let half = build(DatasetId::Ppi, 0.5, 2);
+        assert!(half.num_vertices() * 2 <= full.num_vertices() + 100);
+        assert!(half.num_edges() < full.num_edges());
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let a: Vec<_> = build(DatasetId::Stocks, 0.5, 7).edges().collect();
+        let b: Vec<_> = build(DatasetId::Stocks, 0.5, 7).edges().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clustered_datasets_have_triangles() {
+        let g = build(DatasetId::AstroAuthor, 0.1, 3);
+        let tri = tkc_graph::triangles::triangle_count(&g);
+        assert!(tri > g.num_edges() as u64 / 10, "too few triangles: {tri}");
+    }
+
+    #[test]
+    fn default_scale_caps_the_giants() {
+        assert!(DatasetId::Flickr.info().default_scale < 1.0);
+        assert!(DatasetId::LiveJournal.info().default_scale < 1.0);
+        assert_eq!(DatasetId::Ppi.info().default_scale, 1.0);
+    }
+}

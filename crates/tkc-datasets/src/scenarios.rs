@@ -1,0 +1,150 @@
+//! Ready-made experiment scenarios beyond single snapshots: the Wiki
+//! dual-view pair (Figure 8) and random edge-churn scripts for Table III.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use tkc_graph::generators::plant_clique;
+use tkc_graph::{Graph, VertexId};
+
+/// The Figure 8 scenario: a Wiki-like snapshot plus the edge additions of
+/// the next snapshot, containing three planted evolution events —
+///
+/// 1. a 10-vertex clique grows to 11 by absorbing a page that sat in a
+///    5-vertex clique (the "Astrology" event),
+/// 2. two 6-vertex cliques merge into one 12-vertex clique,
+/// 3. two 5-vertex cliques expand onto shared new vertices.
+///
+/// Returns `(snapshot1, additions, event_vertex_sets)`.
+pub fn wiki_dual_view_scenario(
+    scale: f64,
+    seed: u64,
+) -> (Graph, Vec<(VertexId, VertexId)>, [Vec<VertexId>; 3]) {
+    let n = ((4000.0 * scale) as usize).max(200);
+    let mut g = crate::registry::build(crate::registry::DatasetId::Wiki, scale * 0.02, seed);
+    if g.num_vertices() < n {
+        g.add_vertices(n - g.num_vertices());
+    }
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x2545f491);
+    let base = g.num_vertices();
+    // Event 1 cliques: a 10-clique and a separate 5-clique sharing no
+    // vertices; the star of the 5-clique later joins the 10-clique.
+    g.add_vertices(10 + 5 + 6 + 6 + 5 + 5 + 2);
+    let ten: Vec<VertexId> = (base..base + 10).map(VertexId::from).collect();
+    let five: Vec<VertexId> = (base + 10..base + 15).map(VertexId::from).collect();
+    let m6a: Vec<VertexId> = (base + 15..base + 21).map(VertexId::from).collect();
+    let m6b: Vec<VertexId> = (base + 21..base + 27).map(VertexId::from).collect();
+    let e5a: Vec<VertexId> = (base + 27..base + 32).map(VertexId::from).collect();
+    let e5b: Vec<VertexId> = (base + 32..base + 37).map(VertexId::from).collect();
+    let shared: Vec<VertexId> = (base + 37..base + 39).map(VertexId::from).collect();
+    for c in [&ten, &five, &m6a, &m6b, &e5a, &e5b] {
+        plant_clique(&mut g, c);
+    }
+
+    let mut additions: Vec<(VertexId, VertexId)> = Vec::new();
+    // Event 1: the "Astrology" page (five[0]) links into the whole
+    // 10-clique.
+    let astrology = five[0];
+    for &v in &ten {
+        additions.push((astrology, v));
+    }
+    let mut ev1 = ten.clone();
+    ev1.push(astrology);
+
+    // Event 2: the two 6-cliques merge completely.
+    for &u in &m6a {
+        for &v in &m6b {
+            additions.push((u, v));
+        }
+    }
+    let ev2: Vec<VertexId> = m6a.iter().chain(&m6b).copied().collect();
+
+    // Event 3: both 5-cliques expand onto two shared new pages.
+    for &s in &shared {
+        for &v in e5a.iter().chain(&e5b) {
+            additions.push((s, v));
+        }
+    }
+    additions.push((shared[0], shared[1]));
+    let ev3: Vec<VertexId> = e5a
+        .iter()
+        .chain(&e5b)
+        .chain(&shared)
+        .copied()
+        .collect();
+
+    // Background churn: a sprinkle of random new links.
+    for _ in 0..(g.num_edges() / 100).max(10) {
+        let u = VertexId(rng.gen_range(0..g.num_vertices() as u32));
+        let v = VertexId(rng.gen_range(0..g.num_vertices() as u32));
+        if u != v && !g.has_edge(u, v) {
+            additions.push((u, v));
+        }
+    }
+    additions.dedup();
+    (g, additions, [ev1, ev2, ev3])
+}
+
+/// A list of vertex pairs (edge endpoints) used by churn scripts.
+pub type EdgePairs = Vec<(VertexId, VertexId)>;
+
+/// A Table III churn script: toggles `fraction` of the graph's edges —
+/// half deletions of existing edges, half insertions of new ones.
+/// Returns `(deletions, insertions)`.
+pub fn churn_script(g: &Graph, fraction: f64, seed: u64) -> (EdgePairs, EdgePairs) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let total = ((g.num_edges() as f64 * fraction) as usize).max(2);
+    let mut existing: Vec<(VertexId, VertexId)> =
+        g.edges().map(|(_, u, v)| (u, v)).collect();
+    existing.shuffle(&mut rng);
+    let deletions: Vec<_> = existing.into_iter().take(total / 2).collect();
+
+    let n = g.num_vertices() as u32;
+    let mut insertions = Vec::with_capacity(total - total / 2);
+    let mut guard = 0;
+    while insertions.len() < total - total / 2 && guard < 100 * total {
+        guard += 1;
+        let u = VertexId(rng.gen_range(0..n));
+        let v = VertexId(rng.gen_range(0..n));
+        if u != v && !g.has_edge(u, v) && !insertions.contains(&(u, v)) && !insertions.contains(&(v, u)) {
+            insertions.push((u, v));
+        }
+    }
+    (deletions, insertions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkc_graph::generators;
+
+    #[test]
+    fn wiki_scenario_shapes() {
+        let (g, adds, [ev1, ev2, ev3]) = wiki_dual_view_scenario(0.1, 3);
+        assert!(g.num_edges() > 50);
+        assert!(adds.len() > 40);
+        assert_eq!(ev1.len(), 11);
+        assert_eq!(ev2.len(), 12);
+        assert_eq!(ev3.len(), 12);
+        // Planted additions are all fresh edges.
+        for &(u, v) in &adds {
+            assert!(u != v);
+            assert!(g.contains_vertex(u) && g.contains_vertex(v));
+        }
+    }
+
+    #[test]
+    fn churn_script_respects_fraction() {
+        let g = generators::gnp(100, 0.1, 5);
+        let (dels, ins) = churn_script(&g, 0.01, 7);
+        let total = dels.len() + ins.len();
+        let want = ((g.num_edges() as f64) * 0.01) as usize;
+        assert!(total >= want.max(2) - 1 && total <= want + 2, "total {total} want {want}");
+        for (u, v) in dels {
+            assert!(g.has_edge(u, v));
+        }
+        for (u, v) in ins {
+            assert!(!g.has_edge(u, v));
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Connectivity utilities: vertex components, BFS orders, and the
+//! *triangle-connected* edge components used to extract individual Triangle
+//! K-Cores (two edges are triangle-connected when a chain of triangles
+//! sharing edges joins them).
+
+use crate::graph::Graph;
+use crate::ids::{EdgeId, VertexId};
+
+/// Vertex connected components. Returns `(labels, count)` where
+/// `labels[v] == usize::MAX` never occurs (isolated vertices get their own
+/// component).
+pub fn connected_components(g: &Graph) -> (Vec<usize>, usize) {
+    let n = g.num_vertices();
+    let mut label = vec![usize::MAX; n];
+    let mut count = 0;
+    let mut stack = Vec::new();
+    for s in 0..n {
+        if label[s] != usize::MAX {
+            continue;
+        }
+        label[s] = count;
+        stack.push(VertexId::from(s));
+        while let Some(v) = stack.pop() {
+            for (w, _) in g.neighbors(v) {
+                if label[w.index()] == usize::MAX {
+                    label[w.index()] = count;
+                    stack.push(w);
+                }
+            }
+        }
+        count += 1;
+    }
+    (label, count)
+}
+
+/// BFS order from `start` (vertices reachable from it, in visit order).
+pub fn bfs_order(g: &Graph, start: VertexId) -> Vec<VertexId> {
+    let mut seen = vec![false; g.num_vertices()];
+    let mut queue = std::collections::VecDeque::new();
+    let mut order = Vec::new();
+    seen[start.index()] = true;
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for (w, _) in g.neighbors(v) {
+            if !seen[w.index()] {
+                seen[w.index()] = true;
+                queue.push_back(w);
+            }
+        }
+    }
+    order
+}
+
+/// Groups the edges accepted by `keep` into triangle-connected components,
+/// where only triangles whose three edges are all kept count as connectors.
+/// Kept edges that lie in no kept triangle are omitted entirely (an edge
+/// with no triangle is not part of any Triangle K-Core of number ≥ 1).
+///
+/// This is the extraction primitive for maximum Triangle K-Cores: with
+/// `keep = |e| κ(e) >= k` for `k >= 1`, each returned component is one
+/// Triangle K-Core of number ≥ `k` (paper Definition 4 / Claim 2).
+pub fn triangle_connected_components<F>(g: &Graph, keep: F) -> Vec<Vec<EdgeId>>
+where
+    F: Fn(EdgeId) -> bool,
+{
+    let bound = g.edge_bound();
+    // usize::MAX = unvisited, usize::MAX - 1 = visited but triangle-free.
+    const SKIP: usize = usize::MAX - 1;
+    let mut label = vec![usize::MAX; bound];
+    let mut comps: Vec<Vec<EdgeId>> = Vec::new();
+    let mut stack: Vec<EdgeId> = Vec::new();
+    for e in g.edge_ids() {
+        if !keep(e) || label[e.index()] != usize::MAX {
+            continue;
+        }
+        // Seed only from edges that have at least one fully-kept triangle.
+        let mut has_kept_triangle = false;
+        g.for_each_triangle_on_edge(e, |_, e1, e2| {
+            has_kept_triangle |= keep(e1) && keep(e2);
+        });
+        if !has_kept_triangle {
+            label[e.index()] = SKIP;
+            continue;
+        }
+        let id = comps.len();
+        let mut members = Vec::new();
+        label[e.index()] = id;
+        stack.push(e);
+        while let Some(x) = stack.pop() {
+            members.push(x);
+            g.for_each_triangle_on_edge(x, |_, e1, e2| {
+                if keep(e1) && keep(e2) {
+                    for y in [e1, e2] {
+                        if label[y.index()] == usize::MAX {
+                            label[y.index()] = id;
+                            stack.push(y);
+                        }
+                    }
+                }
+            });
+        }
+        members.sort_unstable();
+        comps.push(members);
+    }
+    comps
+}
+
+/// The set of vertices spanned by a set of edges (sorted, deduplicated).
+pub fn edge_set_vertices(g: &Graph, edges: &[EdgeId]) -> Vec<VertexId> {
+    let mut vs: Vec<VertexId> = edges
+        .iter()
+        .flat_map(|&e| {
+            let (u, v) = g.endpoints(e);
+            [u, v]
+        })
+        .collect();
+    vs.sort_unstable();
+    vs.dedup();
+    vs
+}
+
+/// Builds the subgraph induced by an edge subset, relabelling vertices to
+/// `0..k`. Returns the subgraph plus the mapping `new -> old`.
+pub fn edge_subgraph(g: &Graph, edges: &[EdgeId]) -> (Graph, Vec<VertexId>) {
+    let vs = edge_set_vertices(g, edges);
+    let mut index = crate::hash::FxHashMap::default();
+    for (i, &v) in vs.iter().enumerate() {
+        index.insert(v, i as u32);
+    }
+    let mut sub = Graph::with_capacity(vs.len(), edges.len());
+    for &e in edges {
+        let (u, v) = g.endpoints(e);
+        sub.add_edge(VertexId(index[&u]), VertexId(index[&v]))
+            .expect("edge subset contains duplicates");
+    }
+    (sub, vs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_of_disjoint_pieces() {
+        // Triangle {0,1,2}, edge {3,4}, isolated 5.
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4)]);
+        let (label, count) = connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(label[0], label[1]);
+        assert_eq!(label[1], label[2]);
+        assert_eq!(label[3], label[4]);
+        assert_ne!(label[0], label[3]);
+        assert_ne!(label[5], label[0]);
+        assert_ne!(label[5], label[3]);
+    }
+
+    #[test]
+    fn bfs_visits_reachable_set_in_layers() {
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (1, 3), (4, 3)]);
+        let order = bfs_order(&g, VertexId(0));
+        assert_eq!(order[0], VertexId(0));
+        assert_eq!(order.len(), 5);
+        let pos = |v: u32| order.iter().position(|&x| x == VertexId(v)).unwrap();
+        assert!(pos(1) < pos(3));
+        assert!(pos(3) < pos(4));
+    }
+
+    #[test]
+    fn triangle_components_split_on_shared_vertex() {
+        // Two triangles sharing only vertex 2: edge sets are triangle-
+        // connected within each triangle but not across.
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4)]);
+        let comps = triangle_connected_components(&g, |_| true);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].len(), 3);
+        assert_eq!(comps[1].len(), 3);
+    }
+
+    #[test]
+    fn triangle_components_merge_on_shared_edge() {
+        // Two triangles sharing edge {1,2}: one component of 5 edges.
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+        let comps = triangle_connected_components(&g, |_| true);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 5);
+    }
+
+    #[test]
+    fn triangle_components_respect_filter() {
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+        let e03 = g.edge_between(VertexId(1), VertexId(3)).unwrap();
+        // Excluding one side of the second triangle leaves only the first.
+        let comps = triangle_connected_components(&g, |e| e != e03);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 3);
+    }
+
+    #[test]
+    fn triangle_components_skip_triangle_free_edges() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let comps = triangle_connected_components(&g, |_| true);
+        assert!(comps.is_empty());
+    }
+
+    #[test]
+    fn subgraph_relabels_and_maps_back() {
+        let g = Graph::from_edges(6, [(2, 4), (4, 5), (2, 5), (0, 1)]);
+        let tri_edges: Vec<EdgeId> = g
+            .edges()
+            .filter(|&(_, u, _)| u != VertexId(0))
+            .map(|(e, _, _)| e)
+            .collect();
+        let (sub, back) = edge_subgraph(&g, &tri_edges);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(sub.num_edges(), 3);
+        assert_eq!(back, vec![VertexId(2), VertexId(4), VertexId(5)]);
+        sub.check_invariants().unwrap();
+    }
+}

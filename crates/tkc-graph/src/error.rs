@@ -1,0 +1,100 @@
+//! Error types for graph construction and I/O.
+
+use std::fmt;
+
+use crate::ids::VertexId;
+
+/// Errors raised by mutating operations on [`crate::Graph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An endpoint does not exist in the graph.
+    UnknownVertex(VertexId),
+    /// Self loops are not representable (a triangle needs three distinct
+    /// vertices, so the whole suite is defined on simple graphs).
+    SelfLoop(VertexId),
+    /// The edge already exists (simple graph, no parallel edges).
+    DuplicateEdge(VertexId, VertexId),
+    /// The edge to remove does not exist.
+    MissingEdge(VertexId, VertexId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownVertex(v) => write!(f, "vertex {v} does not exist"),
+            GraphError::SelfLoop(v) => write!(f, "self loop on vertex {v} is not allowed"),
+            GraphError::DuplicateEdge(u, v) => write!(f, "edge ({u}, {v}) already exists"),
+            GraphError::MissingEdge(u, v) => write!(f, "edge ({u}, {v}) does not exist"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Errors raised while parsing an edge-list file.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line that is neither a comment, blank, nor `u v` pair.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The offending line.
+        content: String,
+    },
+    /// A vertex id that does not fit in `u32`.
+    VertexOutOfRange {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        value: String,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseError::Malformed { line, content } => {
+                write!(f, "malformed edge list line {line}: {content:?}")
+            }
+            ParseError::VertexOutOfRange { line, value } => {
+                write!(f, "vertex id out of range on line {line}: {value:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::DuplicateEdge(VertexId(1), VertexId(2));
+        assert!(e.to_string().contains("already exists"));
+        let e = GraphError::SelfLoop(VertexId(3));
+        assert!(e.to_string().contains("self loop"));
+        let e = ParseError::Malformed {
+            line: 4,
+            content: "x y z".into(),
+        };
+        assert!(e.to_string().contains("line 4"));
+    }
+}

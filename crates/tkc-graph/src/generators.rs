@@ -1,0 +1,485 @@
+//! Random and structured graph generators.
+//!
+//! These provide the synthetic stand-ins for the paper's datasets (DESIGN.md
+//! §2): scale-free graphs with tunable clustering (Holme–Kim) for the
+//! citation/social networks, planted cliques and partitions for the case
+//! studies, and classic G(n,p)/G(n,m)/R-MAT for stress tests. All generators
+//! are deterministic given the seed.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::Graph;
+use crate::ids::VertexId;
+
+/// Complete graph on `n` vertices.
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::with_capacity(n, n * (n - 1) / 2);
+    for i in 0..n as u32 {
+        for j in (i + 1)..n as u32 {
+            g.add_edge(VertexId(i), VertexId(j)).unwrap();
+        }
+    }
+    g
+}
+
+/// Path on `n` vertices.
+pub fn path(n: usize) -> Graph {
+    Graph::from_edges(n, (0..n.saturating_sub(1) as u32).map(|i| (i, i + 1)))
+}
+
+/// Cycle on `n >= 3` vertices.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    let mut g = path(n);
+    g.add_edge(VertexId(0), VertexId(n as u32 - 1)).unwrap();
+    g
+}
+
+/// Star with `n` leaves (vertex 0 is the hub).
+pub fn star(n: usize) -> Graph {
+    Graph::from_edges(n + 1, (1..=n as u32).map(|i| (0, i)))
+}
+
+/// Erdős–Rényi G(n, p).
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = Graph::with_capacity(n, (p * (n * n) as f64 / 2.0) as usize);
+    if p <= 0.0 {
+        return g;
+    }
+    if p >= 1.0 {
+        return complete(n);
+    }
+    // Geometric skipping (Batagelj–Brandes): O(n + m) rather than O(n²).
+    let lp = (1.0 - p).ln();
+    let (mut v, mut w): (i64, i64) = (1, -1);
+    let n = n as i64;
+    while v < n {
+        let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+        w += 1 + (r.ln() / lp).floor() as i64;
+        while w >= v && v < n {
+            w -= v;
+            v += 1;
+        }
+        if v < n {
+            g.add_edge(VertexId(w as u32), VertexId(v as u32)).unwrap();
+        }
+    }
+    g
+}
+
+/// Erdős–Rényi G(n, m): exactly `m` distinct edges chosen uniformly.
+pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
+    let max = n * n.saturating_sub(1) / 2;
+    assert!(m <= max, "too many edges requested: {m} > {max}");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = Graph::with_capacity(n, m);
+    while g.num_edges() < m {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u != v {
+            let _ = g.try_add_edge(VertexId(u), VertexId(v));
+        }
+    }
+    g
+}
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to `m`
+/// existing vertices with probability proportional to degree.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(m >= 1 && n > m, "need n > m >= 1");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = Graph::with_capacity(n, (n - m) * m);
+    // Repeated-endpoints trick: sampling from the flat endpoint list is
+    // degree-proportional.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * (n - m) * m);
+    // Seed clique of m+1 vertices keeps early degrees nonzero.
+    for i in 0..=(m as u32) {
+        for j in (i + 1)..=(m as u32) {
+            g.add_edge(VertexId(i), VertexId(j)).unwrap();
+            endpoints.push(i);
+            endpoints.push(j);
+        }
+    }
+    for v in (m + 1) as u32..n as u32 {
+        let mut targets = Vec::with_capacity(m);
+        while targets.len() < m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != v && !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for t in targets {
+            g.add_edge(VertexId(v), VertexId(t)).unwrap();
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    g
+}
+
+/// Holme–Kim "powerlaw cluster" model: Barabási–Albert plus triad-formation
+/// steps with probability `p_triad`, giving a scale-free graph with *high
+/// clustering* — the degree/triangle profile of the paper's co-authorship
+/// and social datasets.
+pub fn holme_kim(n: usize, m: usize, p_triad: f64, seed: u64) -> Graph {
+    assert!(m >= 1 && n > m, "need n > m >= 1");
+    assert!((0.0..=1.0).contains(&p_triad));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = Graph::with_capacity(n, (n - m) * m);
+    let mut endpoints: Vec<u32> = Vec::new();
+    for i in 0..=(m as u32) {
+        for j in (i + 1)..=(m as u32) {
+            g.add_edge(VertexId(i), VertexId(j)).unwrap();
+            endpoints.push(i);
+            endpoints.push(j);
+        }
+    }
+    for v in (m + 1) as u32..n as u32 {
+        let mut added: Vec<u32> = Vec::with_capacity(m);
+        let mut last_pref: Option<u32> = None;
+        while added.len() < m {
+            let do_triad = last_pref.is_some() && rng.gen_bool(p_triad);
+            let candidate = if do_triad {
+                // Triad step: close a triangle with a neighbor of the last
+                // preferentially-attached vertex.
+                let anchor = VertexId(last_pref.unwrap());
+                let deg = g.degree(anchor);
+                let (w, _) = g.neighbors(anchor).nth(rng.gen_range(0..deg)).unwrap();
+                w.0
+            } else {
+                endpoints[rng.gen_range(0..endpoints.len())]
+            };
+            if candidate == v || added.contains(&candidate) {
+                // Fall back to preferential attachment next round.
+                last_pref = None;
+                continue;
+            }
+            g.add_edge(VertexId(v), VertexId(candidate)).unwrap();
+            endpoints.push(v);
+            endpoints.push(candidate);
+            if !do_triad {
+                last_pref = Some(candidate);
+            }
+            added.push(candidate);
+        }
+    }
+    g
+}
+
+/// Watts–Strogatz small-world: ring lattice with `k` nearest neighbors per
+/// side, each edge rewired with probability `beta`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Graph {
+    assert!(k >= 1 && n > 2 * k, "need n > 2k");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = Graph::with_capacity(n, n * k);
+    let n32 = n as u32;
+    for v in 0..n32 {
+        for d in 1..=k as u32 {
+            let w = (v + d) % n32;
+            if rng.gen_bool(beta) {
+                // Rewire: pick a random non-duplicate target.
+                for _ in 0..32 {
+                    let t = rng.gen_range(0..n32);
+                    if t != v && g.try_add_edge(VertexId(v), VertexId(t)).is_some() {
+                        break;
+                    }
+                }
+            } else {
+                let _ = g.try_add_edge(VertexId(v), VertexId(w));
+            }
+        }
+    }
+    g
+}
+
+/// Planted partition: `groups` communities of `group_size` vertices;
+/// within-community edges with probability `p_in`, across with `p_out`.
+pub fn planted_partition(
+    groups: usize,
+    group_size: usize,
+    p_in: f64,
+    p_out: f64,
+    seed: u64,
+) -> Graph {
+    let n = groups * group_size;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = Graph::with_capacity(n, 0);
+    for i in 0..n as u32 {
+        for j in (i + 1)..n as u32 {
+            let same = (i as usize / group_size) == (j as usize / group_size);
+            let p = if same { p_in } else { p_out };
+            if p > 0.0 && rng.gen_bool(p) {
+                g.add_edge(VertexId(i), VertexId(j)).unwrap();
+            }
+        }
+    }
+    g
+}
+
+/// Plants a clique over the given vertices of an existing graph (adds every
+/// missing pairwise edge). Returns the number of edges added.
+pub fn plant_clique(g: &mut Graph, members: &[VertexId]) -> usize {
+    let mut added = 0;
+    for (i, &u) in members.iter().enumerate() {
+        for &v in &members[i + 1..] {
+            if g.try_add_edge(u, v).is_some() {
+                added += 1;
+            }
+        }
+    }
+    added
+}
+
+/// Plants `count` disjoint cliques of size `size` on fresh vertices appended
+/// to `g`, optionally wiring each clique to `attach` random existing
+/// vertices so the cliques are embedded rather than floating. Returns the
+/// member lists.
+pub fn plant_fresh_cliques(
+    g: &mut Graph,
+    count: usize,
+    size: usize,
+    attach: usize,
+    seed: u64,
+) -> Vec<Vec<VertexId>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let host = g.num_vertices() as u32;
+    let mut all = Vec::with_capacity(count);
+    for _ in 0..count {
+        let base = g.num_vertices();
+        g.add_vertices(size);
+        let members: Vec<VertexId> = (base..base + size).map(VertexId::from).collect();
+        plant_clique(g, &members);
+        if host > 0 {
+            for _ in 0..attach {
+                let inside = members[rng.gen_range(0..members.len())];
+                let outside = VertexId(rng.gen_range(0..host));
+                let _ = g.try_add_edge(inside, outside);
+            }
+        }
+        all.push(members);
+    }
+    all
+}
+
+/// R-MAT / Kronecker-style generator (a=0.57, b=c=0.19 by default in
+/// callers): produces the skewed degree distributions of web/social graphs.
+pub fn rmat(scale: u32, edge_factor: usize, a: f64, b: f64, c: f64, seed: u64) -> Graph {
+    assert!(a + b + c <= 1.0 + 1e-9, "probabilities exceed 1");
+    let n = 1usize << scale;
+    let m = n * edge_factor;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = Graph::with_capacity(n, m);
+    let mut attempts = 0usize;
+    while g.num_edges() < m && attempts < 20 * m {
+        attempts += 1;
+        let (mut u, mut v) = (0u32, 0u32);
+        for _ in 0..scale {
+            let r: f64 = rng.gen();
+            let (du, dv) = if r < a {
+                (0, 0)
+            } else if r < a + b {
+                (0, 1)
+            } else if r < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u = (u << 1) | du;
+            v = (v << 1) | dv;
+        }
+        if u != v {
+            let _ = g.try_add_edge(VertexId(u), VertexId(v));
+        }
+    }
+    g
+}
+
+/// Connected caveman-style graph: `groups` cliques of `size` vertices in a
+/// ring, consecutive cliques joined by one rewired edge.
+pub fn connected_caveman(groups: usize, size: usize) -> Graph {
+    assert!(groups >= 2 && size >= 2);
+    let n = groups * size;
+    let mut g = Graph::with_capacity(n, 0);
+    for c in 0..groups {
+        let members: Vec<VertexId> = (c * size..(c + 1) * size).map(VertexId::from).collect();
+        plant_clique(&mut g, &members);
+    }
+    for c in 0..groups {
+        let from = VertexId::from(c * size);
+        let to = VertexId::from(((c + 1) % groups) * size + 1);
+        let _ = g.try_add_edge(from, to);
+    }
+    g
+}
+
+/// Random degree-preserving rewiring: performs up to `swaps` double-edge
+/// swaps. Useful as a null model that destroys triangles but keeps degrees.
+pub fn rewire(g: &mut Graph, swaps: usize, seed: u64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut done = 0;
+    let mut guard = 0;
+    while done < swaps && guard < 50 * swaps.max(1) {
+        guard += 1;
+        let edges: Vec<_> = g.edges().collect();
+        if edges.len() < 2 {
+            break;
+        }
+        let &(e1, a, b) = edges.choose(&mut rng).unwrap();
+        let &(e2, c, d) = edges.choose(&mut rng).unwrap();
+        if e1 == e2 {
+            continue;
+        }
+        // Swap to (a,c),(b,d) when simple-graph constraints allow.
+        if a != c && b != d && !g.has_edge(a, c) && !g.has_edge(b, d) {
+            g.remove_edge(e1).unwrap();
+            g.remove_edge(e2).unwrap();
+            g.add_edge(a, c).unwrap();
+            g.add_edge(b, d).unwrap();
+            done += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triangles::triangle_count;
+
+    #[test]
+    fn structured_generators_have_expected_counts() {
+        assert_eq!(complete(5).num_edges(), 10);
+        assert_eq!(path(5).num_edges(), 4);
+        assert_eq!(cycle(5).num_edges(), 5);
+        assert_eq!(star(5).num_edges(), 5);
+        assert_eq!(star(5).degree(VertexId(0)), 5);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(10, 0.0, 1).num_edges(), 0);
+        assert_eq!(gnp(10, 1.0, 1).num_edges(), 45);
+    }
+
+    #[test]
+    fn gnp_density_is_roughly_p() {
+        let g = gnp(400, 0.05, 42);
+        let possible = 400.0 * 399.0 / 2.0;
+        let density = g.num_edges() as f64 / possible;
+        assert!((density - 0.05).abs() < 0.01, "density {density}");
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn gnp_is_deterministic_per_seed() {
+        let a: Vec<_> = gnp(50, 0.1, 7).edges().collect();
+        let b: Vec<_> = gnp(50, 0.1, 7).edges().collect();
+        let c: Vec<_> = gnp(50, 0.1, 8).edges().collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let g = gnm(100, 250, 3);
+        assert_eq!(g.num_edges(), 250);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn ba_has_hub_structure() {
+        let g = barabasi_albert(300, 3, 5);
+        assert_eq!(g.num_edges(), 6 + (300 - 4) * 3); // K4 seed + m per newcomer
+        let max_deg = g.vertex_ids().map(|v| g.degree(v)).max().unwrap();
+        assert!(max_deg > 15, "expected a hub, max degree {max_deg}");
+    }
+
+    #[test]
+    fn holme_kim_clusters_more_than_ba() {
+        let hk = holme_kim(500, 4, 0.9, 11);
+        let ba = barabasi_albert(500, 4, 11);
+        let chk = crate::triangles::global_clustering(&hk);
+        let cba = crate::triangles::global_clustering(&ba);
+        assert!(
+            chk > cba,
+            "holme-kim clustering {chk} should exceed BA {cba}"
+        );
+        hk.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn watts_strogatz_degree_regularity_at_beta_zero() {
+        let g = watts_strogatz(20, 2, 0.0, 1);
+        for v in g.vertex_ids() {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn planted_partition_blocks_are_denser() {
+        let g = planted_partition(4, 20, 0.6, 0.02, 9);
+        let mut within = 0usize;
+        let mut across = 0usize;
+        for (_, u, v) in g.edges() {
+            if u.index() / 20 == v.index() / 20 {
+                within += 1;
+            } else {
+                across += 1;
+            }
+        }
+        assert!(within > across * 2);
+    }
+
+    #[test]
+    fn plant_clique_completes_missing_edges() {
+        let mut g = path(4);
+        let members: Vec<VertexId> = (0u32..4).map(VertexId::from).collect();
+        let added = plant_clique(&mut g, &members);
+        assert_eq!(added, 3);
+        assert_eq!(g.num_edges(), 6);
+    }
+
+    #[test]
+    fn fresh_cliques_are_cliques_and_attached() {
+        let mut g = gnp(30, 0.1, 2);
+        let planted = plant_fresh_cliques(&mut g, 2, 5, 3, 77);
+        assert_eq!(planted.len(), 2);
+        for clique in &planted {
+            for (i, &u) in clique.iter().enumerate() {
+                for &v in &clique[i + 1..] {
+                    assert!(g.has_edge(u, v));
+                }
+            }
+        }
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn rmat_is_skewed_and_valid() {
+        let g = rmat(8, 8, 0.57, 0.19, 0.19, 4);
+        assert!(g.num_edges() > 1000);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn caveman_has_dense_cores() {
+        let g = connected_caveman(4, 5);
+        // Each K5 cave contributes C(5,3)=10 triangles.
+        assert!(triangle_count(&g) >= 40);
+        let (_, comps) = crate::components::connected_components(&g);
+        assert_eq!(comps, 1);
+    }
+
+    #[test]
+    fn rewire_preserves_degree_sequence() {
+        let mut g = connected_caveman(3, 5);
+        let before: Vec<usize> = g.vertex_ids().map(|v| g.degree(v)).collect();
+        rewire(&mut g, 30, 123);
+        let after: Vec<usize> = g.vertex_ids().map(|v| g.degree(v)).collect();
+        assert_eq!(before, after);
+        g.check_invariants().unwrap();
+    }
+}

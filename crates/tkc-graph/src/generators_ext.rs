@@ -1,0 +1,219 @@
+//! Additional generators: the forest-fire model the paper cites for
+//! evolving graphs (Leskovec et al. \[13\]), the general stochastic block
+//! model, and random geometric graphs — rounding out the workload families
+//! for benchmarks and stress tests.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::Graph;
+use crate::hash::FxHashSet;
+use crate::ids::VertexId;
+
+/// Forest-fire model (Leskovec, Kleinberg, Faloutsos): each new vertex
+/// picks an ambassador, links to it, then "burns" recursively through the
+/// ambassador's neighborhood with forward probability `p`. Produces
+/// shrinking-diameter, densifying graphs with heavy triangle content —
+/// the paper's reference model for evolving networks.
+pub fn forest_fire(n: usize, p: f64, seed: u64) -> Graph {
+    assert!(n >= 2);
+    assert!((0.0..1.0).contains(&p), "p must be in [0, 1)");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = Graph::with_capacity(0, n * 4);
+    g.add_vertices(2);
+    g.add_edge(VertexId(0), VertexId(1)).unwrap();
+
+    for v in 2..n as u32 {
+        g.add_vertex();
+        let ambassador = VertexId(rng.gen_range(0..v));
+        let mut burned: FxHashSet<VertexId> = FxHashSet::default();
+        let mut frontier = vec![ambassador];
+        burned.insert(ambassador);
+        // Cap the burn so a single fire cannot consume the graph.
+        let cap = 1 + (v as usize).min(40);
+        while let Some(w) = frontier.pop() {
+            let _ = g.try_add_edge(VertexId(v), w);
+            if burned.len() >= cap {
+                continue;
+            }
+            // Geometric number of forward links from w.
+            let mut links: Vec<VertexId> = g
+                .neighbors(w)
+                .map(|(x, _)| x)
+                .filter(|&x| x != VertexId(v) && !burned.contains(&x))
+                .collect();
+            // Burn each candidate with probability p (bounded-geometric).
+            links.retain(|_| rng.gen_bool(p));
+            for x in links {
+                if burned.insert(x) {
+                    frontier.push(x);
+                }
+            }
+        }
+    }
+    g
+}
+
+/// General stochastic block model: arbitrary block sizes and a full
+/// probability matrix (`probs[i][j]` = edge probability between blocks i
+/// and j; must be symmetric). Returns the graph and each vertex's block.
+pub fn stochastic_block_model(
+    sizes: &[usize],
+    probs: &[Vec<f64>],
+    seed: u64,
+) -> (Graph, Vec<u32>) {
+    let b = sizes.len();
+    assert_eq!(probs.len(), b, "probability matrix arity");
+    for row in probs {
+        assert_eq!(row.len(), b, "probability matrix must be square");
+    }
+    let n: usize = sizes.iter().sum();
+    let mut block = Vec::with_capacity(n);
+    for (i, &s) in sizes.iter().enumerate() {
+        block.extend(std::iter::repeat(i as u32).take(s));
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = Graph::with_capacity(n, 0);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = probs[block[u] as usize][block[v] as usize];
+            if p > 0.0 && rng.gen_bool(p.min(1.0)) {
+                g.add_edge(VertexId::from(u), VertexId::from(v)).unwrap();
+            }
+        }
+    }
+    (g, block)
+}
+
+/// Random geometric graph on the unit square: vertices at uniform points,
+/// edges between pairs within `radius`. Naturally high clustering.
+pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let r2 = radius * radius;
+    // Grid binning keeps this O(n · neighbors) instead of O(n²) for small r.
+    let cells = ((1.0 / radius).floor() as usize).clamp(1, 1 << 10);
+    let cell_of = |x: f64| ((x * cells as f64) as usize).min(cells - 1);
+    let mut grid: Vec<Vec<u32>> = vec![Vec::new(); cells * cells];
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        grid[cell_of(y) * cells + cell_of(x)].push(i as u32);
+    }
+    let mut g = Graph::with_capacity(n, 0);
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        let (cx, cy) = (cell_of(x) as isize, cell_of(y) as isize);
+        for dy in -1..=1isize {
+            for dx in -1..=1isize {
+                let (nx, ny) = (cx + dx, cy + dy);
+                if nx < 0 || ny < 0 || nx >= cells as isize || ny >= cells as isize {
+                    continue;
+                }
+                for &j in &grid[ny as usize * cells + nx as usize] {
+                    let j = j as usize;
+                    if j <= i {
+                        continue;
+                    }
+                    let (qx, qy) = pts[j];
+                    if (x - qx) * (x - qx) + (y - qy) * (y - qy) <= r2 {
+                        let _ = g.try_add_edge(VertexId::from(i), VertexId::from(j));
+                    }
+                }
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triangles::{global_clustering, triangle_count};
+
+    #[test]
+    fn forest_fire_densifies_and_triangulates() {
+        let g = forest_fire(500, 0.35, 7);
+        assert_eq!(g.num_vertices(), 500);
+        assert!(g.num_edges() >= 499, "at least a tree");
+        assert!(triangle_count(&g) > 50, "fires close triangles");
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn forest_fire_burn_probability_controls_density() {
+        let cold = forest_fire(400, 0.1, 3);
+        let hot = forest_fire(400, 0.5, 3);
+        assert!(hot.num_edges() > cold.num_edges());
+    }
+
+    #[test]
+    fn sbm_respects_block_structure() {
+        let sizes = [30, 20, 10];
+        let probs = vec![
+            vec![0.5, 0.01, 0.01],
+            vec![0.01, 0.6, 0.01],
+            vec![0.01, 0.01, 0.8],
+        ];
+        let (g, block) = stochastic_block_model(&sizes, &probs, 5);
+        assert_eq!(g.num_vertices(), 60);
+        assert_eq!(block.len(), 60);
+        let mut within = 0;
+        let mut across = 0;
+        for (_, u, v) in g.edges() {
+            if block[u.index()] == block[v.index()] {
+                within += 1;
+            } else {
+                across += 1;
+            }
+        }
+        assert!(within > across * 3, "within {within} across {across}");
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn sbm_rejects_ragged_matrix() {
+        let _ = stochastic_block_model(&[5, 5], &[vec![0.5, 0.1], vec![0.1]], 1);
+    }
+
+    #[test]
+    fn geometric_graph_clusters_heavily() {
+        let g = random_geometric(600, 0.08, 9);
+        assert!(g.num_edges() > 300);
+        assert!(
+            global_clustering(&g) > 0.4,
+            "geometric graphs should exceed 0.4 clustering, got {}",
+            global_clustering(&g)
+        );
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn geometric_grid_matches_bruteforce() {
+        // Small instance: grid-accelerated result equals O(n²) check.
+        let n = 120;
+        let r = 0.15;
+        let g = random_geometric(n, r, 4);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(4);
+        let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+        let mut expected = 0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (ax, ay) = pts[i];
+                let (bx, by) = pts[j];
+                if (ax - bx) * (ax - bx) + (ay - by) * (ay - by) <= r * r {
+                    expected += 1;
+                }
+            }
+        }
+        assert_eq!(g.num_edges(), expected);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(
+            forest_fire(100, 0.3, 11).num_edges(),
+            forest_fire(100, 0.3, 11).num_edges()
+        );
+        let (a, _) = stochastic_block_model(&[10, 10], &[vec![0.4, 0.05], vec![0.05, 0.4]], 2);
+        let (b, _) = stochastic_block_model(&[10, 10], &[vec![0.4, 0.05], vec![0.05, 0.4]], 2);
+        assert_eq!(a.num_edges(), b.num_edges());
+    }
+}

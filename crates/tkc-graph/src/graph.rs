@@ -1,0 +1,668 @@
+//! The dynamic undirected simple graph used by every algorithm in the suite.
+//!
+//! Design notes (see DESIGN.md §3):
+//!
+//! * adjacency is a per-vertex `Vec<(VertexId, EdgeId)>` kept **sorted by
+//!   neighbor id**, so common-neighbor (triangle) enumeration is a linear
+//!   merge and edge lookup is a binary search;
+//! * edge slots are stable under deletion (free-list reuse), so per-edge
+//!   algorithm state can live in flat `Vec`s indexed by [`EdgeId`];
+//! * the graph is *simple*: no self loops, no parallel edges — triangles are
+//!   only well-defined on simple graphs.
+
+use crate::error::GraphError;
+use crate::ids::{EdgeId, VertexId};
+
+/// One edge slot: either a live edge or a link in the free list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EdgeSlot {
+    Live(VertexId, VertexId),
+    Free { next: Option<EdgeId> },
+}
+
+/// A dynamic undirected simple graph with stable edge identifiers.
+///
+/// # Examples
+///
+/// ```
+/// use tkc_graph::{Graph, VertexId};
+///
+/// let mut g = Graph::new();
+/// g.add_vertices(3);
+/// let e = g.add_edge(VertexId(0), VertexId(1)).unwrap();
+/// g.add_edge(VertexId(1), VertexId(2)).unwrap();
+/// assert_eq!(g.num_edges(), 2);
+/// assert_eq!(g.endpoints(e), (VertexId(0), VertexId(1)));
+/// g.remove_edge(e).unwrap();
+/// assert_eq!(g.num_edges(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    adj: Vec<Vec<(VertexId, EdgeId)>>,
+    edges: Vec<EdgeSlot>,
+    free_head: Option<EdgeId>,
+    live_edges: usize,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty graph with `n` isolated vertices and room for
+    /// `m` edges.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        let mut g = Graph {
+            adj: Vec::with_capacity(n),
+            edges: Vec::with_capacity(m),
+            free_head: None,
+            live_edges: 0,
+        };
+        g.add_vertices(n);
+        g
+    }
+
+    /// Builds a graph with `n` vertices from an edge iterator, silently
+    /// skipping duplicates and self loops. Handy for generators and parsers.
+    pub fn from_edges<I>(n: usize, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (u32, u32)>,
+    {
+        let mut g = Graph::with_capacity(n, 0);
+        for (u, v) in edges {
+            let (u, v) = (VertexId(u), VertexId(v));
+            let hi = u.0.max(v.0) as usize;
+            if hi >= g.adj.len() {
+                g.add_vertices(hi + 1 - g.adj.len());
+            }
+            let _ = g.try_add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of vertices (isolated vertices included).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of live edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.live_edges
+    }
+
+    /// Exclusive upper bound on live edge ids. Use as the length of flat
+    /// per-edge state vectors (`vec![x; g.edge_bound()]`).
+    #[inline]
+    pub fn edge_bound(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Appends one isolated vertex and returns its id.
+    pub fn add_vertex(&mut self) -> VertexId {
+        let id = VertexId::from(self.adj.len());
+        self.adj.push(Vec::new());
+        id
+    }
+
+    /// Appends `n` isolated vertices.
+    pub fn add_vertices(&mut self, n: usize) {
+        self.adj.resize_with(self.adj.len() + n, Vec::new);
+    }
+
+    /// True if `v` is a vertex of the graph.
+    #[inline]
+    pub fn contains_vertex(&self, v: VertexId) -> bool {
+        v.index() < self.adj.len()
+    }
+
+    /// Degree of `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is not a vertex.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adj[v.index()].len()
+    }
+
+    /// Iterates over `(neighbor, edge_id)` pairs of `v` in increasing
+    /// neighbor order.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
+        self.adj[v.index()].iter().copied()
+    }
+
+    /// The sorted adjacency slice of `v` (exposed for merge-style
+    /// intersections in hot loops).
+    #[inline]
+    pub fn adjacency(&self, v: VertexId) -> &[(VertexId, EdgeId)] {
+        &self.adj[v.index()]
+    }
+
+    /// Endpoints of live edge `e`, with `u < v`.
+    ///
+    /// # Panics
+    /// Panics if `e` is not a live edge.
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        match self.edges[e.index()] {
+            EdgeSlot::Live(u, v) => (u, v),
+            EdgeSlot::Free { .. } => panic!("edge {e:?} is not live"),
+        }
+    }
+
+    /// Endpoints of `e` if it is live.
+    #[inline]
+    pub fn endpoints_checked(&self, e: EdgeId) -> Option<(VertexId, VertexId)> {
+        match self.edges.get(e.index()) {
+            Some(&EdgeSlot::Live(u, v)) => Some((u, v)),
+            _ => None,
+        }
+    }
+
+    /// True if `e` refers to a live edge.
+    #[inline]
+    pub fn is_live(&self, e: EdgeId) -> bool {
+        matches!(self.edges.get(e.index()), Some(EdgeSlot::Live(..)))
+    }
+
+    /// The id of the edge between `u` and `v`, if present.
+    pub fn edge_between(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
+        if !self.contains_vertex(u) || !self.contains_vertex(v) {
+            return None;
+        }
+        // Search the smaller adjacency list.
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.adj[a.index()]
+            .binary_search_by_key(&b, |&(w, _)| w)
+            .ok()
+            .map(|i| self.adj[a.index()][i].1)
+    }
+
+    /// True if the edge `{u, v}` exists.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.edge_between(u, v).is_some()
+    }
+
+    /// Inserts the edge `{u, v}`.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> Result<EdgeId, GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        if !self.contains_vertex(u) {
+            return Err(GraphError::UnknownVertex(u));
+        }
+        if !self.contains_vertex(v) {
+            return Err(GraphError::UnknownVertex(v));
+        }
+        // Find insertion points first so a duplicate leaves the graph
+        // untouched.
+        let pos_u = match self.adj[u.index()].binary_search_by_key(&v, |&(w, _)| w) {
+            Ok(_) => return Err(GraphError::DuplicateEdge(u, v)),
+            Err(i) => i,
+        };
+        let pos_v = match self.adj[v.index()].binary_search_by_key(&u, |&(w, _)| w) {
+            Ok(_) => return Err(GraphError::DuplicateEdge(u, v)),
+            Err(i) => i,
+        };
+        let (lo, hi) = if u < v { (u, v) } else { (v, u) };
+        let eid = match self.free_head {
+            Some(free) => {
+                let next = match self.edges[free.index()] {
+                    EdgeSlot::Free { next } => next,
+                    EdgeSlot::Live(..) => unreachable!("free list points at live edge"),
+                };
+                self.free_head = next;
+                self.edges[free.index()] = EdgeSlot::Live(lo, hi);
+                free
+            }
+            None => {
+                let id = EdgeId::from(self.edges.len());
+                self.edges.push(EdgeSlot::Live(lo, hi));
+                id
+            }
+        };
+        self.adj[u.index()].insert(pos_u, (v, eid));
+        self.adj[v.index()].insert(pos_v, (u, eid));
+        self.live_edges += 1;
+        Ok(eid)
+    }
+
+    /// Inserts the edge `{u, v}` unless it already exists; returns the new
+    /// id or `None` for duplicates/self-loops.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is not a vertex.
+    pub fn try_add_edge(&mut self, u: VertexId, v: VertexId) -> Option<EdgeId> {
+        match self.add_edge(u, v) {
+            Ok(e) => Some(e),
+            Err(GraphError::DuplicateEdge(..)) | Err(GraphError::SelfLoop(..)) => None,
+            Err(e @ GraphError::UnknownVertex(..)) => panic!("{e}"),
+            Err(GraphError::MissingEdge(..)) => unreachable!(),
+        }
+    }
+
+    /// Removes live edge `e`.
+    pub fn remove_edge(&mut self, e: EdgeId) -> Result<(), GraphError> {
+        let (u, v) = match self.edges.get(e.index()) {
+            Some(&EdgeSlot::Live(u, v)) => (u, v),
+            _ => return Err(GraphError::MissingEdge(VertexId(0), VertexId(0))),
+        };
+        self.detach(u, v);
+        self.detach(v, u);
+        self.edges[e.index()] = EdgeSlot::Free {
+            next: self.free_head,
+        };
+        self.free_head = Some(e);
+        self.live_edges -= 1;
+        Ok(())
+    }
+
+    /// Removes the edge `{u, v}` and returns its (now freed) id.
+    pub fn remove_edge_between(&mut self, u: VertexId, v: VertexId) -> Result<EdgeId, GraphError> {
+        let e = self
+            .edge_between(u, v)
+            .ok_or(GraphError::MissingEdge(u, v))?;
+        self.remove_edge(e)?;
+        Ok(e)
+    }
+
+    fn detach(&mut self, from: VertexId, to: VertexId) {
+        let list = &mut self.adj[from.index()];
+        let i = list
+            .binary_search_by_key(&to, |&(w, _)| w)
+            .expect("adjacency lists out of sync");
+        list.remove(i);
+    }
+
+    /// Iterates over live edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.edges.iter().enumerate().filter_map(|(i, s)| match s {
+            EdgeSlot::Live(..) => Some(EdgeId::from(i)),
+            EdgeSlot::Free { .. } => None,
+        })
+    }
+
+    /// Iterates over `(edge_id, u, v)` triples of live edges with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, VertexId, VertexId)> + '_ {
+        self.edges.iter().enumerate().filter_map(|(i, s)| match s {
+            EdgeSlot::Live(u, v) => Some((EdgeId::from(i), *u, *v)),
+            EdgeSlot::Free { .. } => None,
+        })
+    }
+
+    /// Iterates over all vertex ids.
+    pub fn vertex_ids(&self) -> impl Iterator<Item = VertexId> {
+        (0..self.adj.len() as u32).map(VertexId)
+    }
+
+    /// Sum of `min(deg(u), deg(v))` over edges: the cost driver of triangle
+    /// enumeration; exposed so harnesses can report workload difficulty.
+    pub fn wedge_work(&self) -> u64 {
+        self.edges()
+            .map(|(_, u, v)| self.degree(u).min(self.degree(v)) as u64)
+            .sum()
+    }
+
+    /// Calls `f(w, e_uw, e_vw)` for every common neighbor `w` of the
+    /// endpoints of the live edge `e = {u, v}`; i.e., for every triangle on
+    /// `e`. Enumeration merge-intersects the two sorted adjacency lists,
+    /// switching to binary probes when the degrees are heavily skewed
+    /// (hub–leaf edges would otherwise pay for the hub's whole list).
+    #[inline]
+    pub fn for_each_triangle_on_edge<F>(&self, e: EdgeId, mut f: F)
+    where
+        F: FnMut(VertexId, EdgeId, EdgeId),
+    {
+        let (u, v) = self.endpoints(e);
+        let (mut a, mut b) = (
+            self.adj[u.index()].as_slice(),
+            self.adj[v.index()].as_slice(),
+        );
+        let mut swapped = false;
+        if a.len() > b.len() {
+            std::mem::swap(&mut a, &mut b);
+            swapped = true;
+        }
+        if a.len() * 16 < b.len() {
+            // Skewed: probe the long list for each entry of the short one.
+            for &(w, ea) in a {
+                if let Ok(i) = b.binary_search_by_key(&w, |&(x, _)| x) {
+                    let eb = b[i].1;
+                    if swapped {
+                        f(w, eb, ea);
+                    } else {
+                        f(w, ea, eb);
+                    }
+                }
+            }
+            return;
+        }
+        // Balanced: plain sorted merge.
+        while let (Some(&(wa, ea)), Some(&(wb, eb))) = (a.first(), b.first()) {
+            match wa.cmp(&wb) {
+                std::cmp::Ordering::Less => a = &a[1..],
+                std::cmp::Ordering::Greater => b = &b[1..],
+                std::cmp::Ordering::Equal => {
+                    if swapped {
+                        f(wa, eb, ea);
+                    } else {
+                        f(wa, ea, eb);
+                    }
+                    a = &a[1..];
+                    b = &b[1..];
+                }
+            }
+        }
+    }
+
+    /// Like [`Self::for_each_triangle_on_edge`] but stops as soon as the
+    /// callback returns `false` — for threshold tests that do not need the
+    /// full enumeration.
+    #[inline]
+    pub fn for_each_triangle_on_edge_while<F>(&self, e: EdgeId, mut f: F)
+    where
+        F: FnMut(VertexId, EdgeId, EdgeId) -> bool,
+    {
+        let (u, v) = self.endpoints(e);
+        let (mut a, mut b) = (
+            self.adj[u.index()].as_slice(),
+            self.adj[v.index()].as_slice(),
+        );
+        let mut swapped = false;
+        if a.len() > b.len() {
+            std::mem::swap(&mut a, &mut b);
+            swapped = true;
+        }
+        if a.len() * 16 < b.len() {
+            for &(w, ea) in a {
+                if let Ok(i) = b.binary_search_by_key(&w, |&(x, _)| x) {
+                    let eb = b[i].1;
+                    let go = if swapped { f(w, eb, ea) } else { f(w, ea, eb) };
+                    if !go {
+                        return;
+                    }
+                }
+            }
+            return;
+        }
+        while let (Some(&(wa, ea)), Some(&(wb, eb))) = (a.first(), b.first()) {
+            match wa.cmp(&wb) {
+                std::cmp::Ordering::Less => a = &a[1..],
+                std::cmp::Ordering::Greater => b = &b[1..],
+                std::cmp::Ordering::Equal => {
+                    let go = if swapped { f(wa, eb, ea) } else { f(wa, ea, eb) };
+                    if !go {
+                        return;
+                    }
+                    a = &a[1..];
+                    b = &b[1..];
+                }
+            }
+        }
+    }
+
+    /// Number of triangles containing the live edge `e`.
+    pub fn triangles_on_edge(&self, e: EdgeId) -> usize {
+        let mut n = 0;
+        self.for_each_triangle_on_edge(e, |_, _, _| n += 1);
+        n
+    }
+
+    /// Removes a vertex's incident edges (the vertex itself remains as an
+    /// isolated id — ids are dense and never reassigned). Returns the
+    /// number of edges removed.
+    pub fn isolate_vertex(&mut self, v: VertexId) -> usize {
+        let incident: Vec<EdgeId> = self.neighbors(v).map(|(_, e)| e).collect();
+        let n = incident.len();
+        for e in incident {
+            self.remove_edge(e).expect("incident edge must be live");
+        }
+        n
+    }
+
+    /// Rebuilds the graph with contiguous edge ids (dead slots dropped) and
+    /// optionally dropping isolated vertices. Returns the new graph plus
+    /// the mapping `old edge id → new edge id` (dead slots map to `None`).
+    pub fn compact(&self, drop_isolated: bool) -> (Graph, Vec<Option<EdgeId>>) {
+        let mut vmap: Vec<Option<VertexId>> = vec![None; self.num_vertices()];
+        let mut next_v = 0u32;
+        for (v, slot) in vmap.iter_mut().enumerate() {
+            let vid = VertexId::from(v);
+            if !drop_isolated || self.degree(vid) > 0 {
+                *slot = Some(VertexId(next_v));
+                next_v += 1;
+            }
+        }
+        let mut g = Graph::with_capacity(next_v as usize, self.num_edges());
+        let mut emap = vec![None; self.edge_bound()];
+        for (e, u, v) in self.edges() {
+            let nu = vmap[u.index()].expect("endpoint kept");
+            let nv = vmap[v.index()].expect("endpoint kept");
+            let ne = g.add_edge(nu, nv).expect("no duplicates in source");
+            emap[e.index()] = Some(ne);
+        }
+        (g, emap)
+    }
+
+    /// Consistency check used by tests and `debug_assert!`s: adjacency
+    /// sorted and symmetric, edge slots consistent, counts correct.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut seen = 0usize;
+        for (i, slot) in self.edges.iter().enumerate() {
+            if let EdgeSlot::Live(u, v) = slot {
+                seen += 1;
+                if u >= v {
+                    return Err(format!("edge {i} endpoints not normalized"));
+                }
+                let eid = EdgeId::from(i);
+                for (a, b) in [(u, v), (v, u)] {
+                    let list = &self.adj[a.index()];
+                    match list.binary_search_by_key(b, |&(w, _)| w) {
+                        Ok(p) if list[p].1 == eid => {}
+                        _ => return Err(format!("edge {i} missing from adjacency of {a}")),
+                    }
+                }
+            }
+        }
+        if seen != self.live_edges {
+            return Err(format!(
+                "live edge count mismatch: slots say {seen}, counter says {}",
+                self.live_edges
+            ));
+        }
+        for (v, list) in self.adj.iter().enumerate() {
+            if !list.windows(2).all(|w| w[0].0 < w[1].0) {
+                return Err(format!("adjacency of v{v} not strictly sorted"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: u32) -> Graph {
+        Graph::from_edges(n as usize, (0..n - 1).map(|i| (i, i + 1)))
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.edge_bound(), 0);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn add_and_query_edges() {
+        let mut g = Graph::with_capacity(4, 4);
+        let e01 = g.add_edge(VertexId(0), VertexId(1)).unwrap();
+        let e12 = g.add_edge(VertexId(2), VertexId(1)).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(VertexId(1), VertexId(0)));
+        assert_eq!(g.edge_between(VertexId(1), VertexId(2)), Some(e12));
+        assert_eq!(g.endpoints(e12), (VertexId(1), VertexId(2)));
+        assert_eq!(g.degree(VertexId(1)), 2);
+        assert_eq!(g.edge_between(VertexId(0), VertexId(2)), None);
+        assert_eq!(
+            g.neighbors(VertexId(1)).collect::<Vec<_>>(),
+            vec![(VertexId(0), e01), (VertexId(2), e12)]
+        );
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn rejects_self_loops_and_duplicates() {
+        let mut g = Graph::with_capacity(2, 2);
+        assert_eq!(
+            g.add_edge(VertexId(0), VertexId(0)),
+            Err(GraphError::SelfLoop(VertexId(0)))
+        );
+        g.add_edge(VertexId(0), VertexId(1)).unwrap();
+        assert!(matches!(
+            g.add_edge(VertexId(1), VertexId(0)),
+            Err(GraphError::DuplicateEdge(..))
+        ));
+        assert_eq!(g.num_edges(), 1);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn rejects_unknown_vertices() {
+        let mut g = Graph::with_capacity(1, 0);
+        assert!(matches!(
+            g.add_edge(VertexId(0), VertexId(5)),
+            Err(GraphError::UnknownVertex(VertexId(5)))
+        ));
+    }
+
+    #[test]
+    fn remove_and_reuse_slots() {
+        let mut g = path(4);
+        let e = g.edge_between(VertexId(1), VertexId(2)).unwrap();
+        g.remove_edge(e).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert!(!g.has_edge(VertexId(1), VertexId(2)));
+        assert!(!g.is_live(e));
+        // The freed slot is reused by the next insertion.
+        let e2 = g.add_edge(VertexId(0), VertexId(3)).unwrap();
+        assert_eq!(e2, e);
+        assert_eq!(g.edge_bound(), 3);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_edge_between_and_missing() {
+        let mut g = path(3);
+        g.remove_edge_between(VertexId(0), VertexId(1)).unwrap();
+        assert!(matches!(
+            g.remove_edge_between(VertexId(0), VertexId(1)),
+            Err(GraphError::MissingEdge(..))
+        ));
+    }
+
+    #[test]
+    fn triangle_enumeration_on_edge() {
+        // K4: every edge lies in exactly 2 triangles.
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        for e in g.edge_ids() {
+            assert_eq!(g.triangles_on_edge(e), 2, "edge {e:?}");
+        }
+        let mut tri: Vec<VertexId> = Vec::new();
+        let e01 = g.edge_between(VertexId(0), VertexId(1)).unwrap();
+        g.for_each_triangle_on_edge(e01, |w, euw, evw| {
+            tri.push(w);
+            assert_eq!(g.endpoints(euw).0.min(g.endpoints(euw).1), VertexId(0));
+            assert!(g.is_live(evw));
+        });
+        assert_eq!(tri, vec![VertexId(2), VertexId(3)]);
+    }
+
+    #[test]
+    fn from_edges_skips_junk_and_grows() {
+        let g = Graph::from_edges(0, [(0, 1), (1, 0), (2, 2), (1, 5)]);
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_edges(), 2);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn edges_iterator_yields_normalized_pairs() {
+        let g = Graph::from_edges(3, [(2, 1), (1, 0)]);
+        let all: Vec<_> = g.edges().collect();
+        assert_eq!(all.len(), 2);
+        for (_, u, v) in all {
+            assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn wedge_work_counts_min_degrees() {
+        let g = path(3); // degrees 1,2,1; each edge min-degree 1
+        assert_eq!(g.wedge_work(), 2);
+    }
+
+    #[test]
+    fn isolate_vertex_removes_incident_edges_only() {
+        let mut g = Graph::from_edges(5, [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4)]);
+        let removed = g.isolate_vertex(VertexId(2));
+        assert_eq!(removed, 3);
+        assert_eq!(g.degree(VertexId(2)), 0);
+        assert!(g.has_edge(VertexId(0), VertexId(1)));
+        assert!(g.has_edge(VertexId(3), VertexId(4)));
+        g.check_invariants().unwrap();
+        assert_eq!(g.isolate_vertex(VertexId(2)), 0);
+    }
+
+    #[test]
+    fn compact_renumbers_edges_and_drops_isolated() {
+        let mut g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (4, 5)]);
+        g.remove_edge_between(VertexId(1), VertexId(2)).unwrap();
+        g.isolate_vertex(VertexId(4)); // 4 and 5 become isolated
+
+        let (kept, emap) = g.compact(false);
+        assert_eq!(kept.num_vertices(), 6);
+        assert_eq!(kept.num_edges(), 2);
+        // Edge ids are contiguous and mapped correctly.
+        for (e, u, v) in g.edges() {
+            let ne = emap[e.index()].unwrap();
+            assert_eq!(kept.endpoints(ne), (u, v));
+        }
+
+        let (dense, _) = g.compact(true);
+        assert_eq!(dense.num_vertices(), 4); // 0,1,2,3 keep degree > 0
+        assert_eq!(dense.num_edges(), 2);
+        dense.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn churn_preserves_invariants() {
+        let mut g = Graph::with_capacity(10, 0);
+        // Deterministic add/remove churn.
+        for round in 0u32..5 {
+            for i in 0..10u32 {
+                for j in (i + 1)..10 {
+                    if (i + j + round) % 3 == 0 {
+                        let _ = g.try_add_edge(VertexId(i), VertexId(j));
+                    }
+                }
+            }
+            let victims: Vec<EdgeId> = g.edge_ids().step_by(2).collect();
+            for e in victims {
+                g.remove_edge(e).unwrap();
+            }
+            g.check_invariants().unwrap();
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Strongly-typed vertex and edge identifiers.
+//!
+//! Both identifiers are thin `u32` newtypes: the paper's largest dataset
+//! (LiveJournal, 32.8M edges) fits comfortably, and halving the index width
+//! relative to `usize` keeps the peeling algorithm's working set small.
+
+use std::fmt;
+
+/// Identifier of a vertex. Dense: vertices are numbered `0..n`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VertexId(pub u32);
+
+/// Identifier of an edge slot.
+///
+/// Edge ids are *stable*: removing an edge frees its slot for reuse by a
+/// later insertion, but ids of live edges never change. This lets algorithm
+/// state (`κ` values, supports, marks) live in plain `Vec`s indexed by edge
+/// id.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EdgeId(pub u32);
+
+impl VertexId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for VertexId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        VertexId(v)
+    }
+}
+
+impl From<usize> for VertexId {
+    #[inline]
+    fn from(v: usize) -> Self {
+        VertexId(u32::try_from(v).expect("vertex id overflows u32"))
+    }
+}
+
+impl From<u32> for EdgeId {
+    #[inline]
+    fn from(e: u32) -> Self {
+        EdgeId(e)
+    }
+}
+
+impl From<usize> for EdgeId {
+    #[inline]
+    fn from(e: usize) -> Self {
+        EdgeId(u32::try_from(e).expect("edge id overflows u32"))
+    }
+}
+
+impl fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_id_roundtrip() {
+        let v = VertexId::from(42u32);
+        assert_eq!(v.index(), 42);
+        assert_eq!(format!("{v:?}"), "v42");
+        assert_eq!(format!("{v}"), "42");
+    }
+
+    #[test]
+    fn edge_id_roundtrip() {
+        let e = EdgeId::from(7usize);
+        assert_eq!(e.index(), 7);
+        assert_eq!(format!("{e:?}"), "e7");
+        assert_eq!(format!("{e}"), "7");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(VertexId(1) < VertexId(2));
+        assert!(EdgeId(0) < EdgeId(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn oversized_vertex_id_panics() {
+        let _ = VertexId::from(usize::MAX);
+    }
+}

@@ -1,0 +1,143 @@
+//! Plain-text edge-list I/O (the format of the SNAP datasets the paper
+//! uses: one `u v` pair per line, `#` comments, blank lines ignored).
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::error::ParseError;
+use crate::graph::Graph;
+
+/// Parses an edge list from a reader. Vertices are labelled by their raw
+/// ids; the graph is sized to the largest id seen. Duplicate edges and self
+/// loops are skipped (SNAP files list both directions).
+pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, ParseError> {
+    let reader = BufReader::new(reader);
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut max_v = 0u32;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let (a, b) = match (parts.next(), parts.next()) {
+            (Some(a), Some(b)) => (a, b),
+            _ => {
+                return Err(ParseError::Malformed {
+                    line: lineno + 1,
+                    content: line.clone(),
+                })
+            }
+        };
+        let parse = |s: &str| -> Result<u32, ParseError> {
+            s.parse::<u32>().map_err(|_| ParseError::VertexOutOfRange {
+                line: lineno + 1,
+                value: s.to_string(),
+            })
+        };
+        let (u, v) = (parse(a)?, parse(b)?);
+        max_v = max_v.max(u).max(v);
+        edges.push((u, v));
+    }
+    let n = if edges.is_empty() {
+        0
+    } else {
+        max_v as usize + 1
+    };
+    Ok(Graph::from_edges(n, edges))
+}
+
+/// Reads an edge list from a file path.
+pub fn load_edge_list<P: AsRef<Path>>(path: P) -> Result<Graph, ParseError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(file)
+}
+
+/// Writes the graph as an edge list (`u v` per line, normalized `u < v`).
+pub fn write_edge_list<W: Write>(g: &Graph, writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# vertices {} edges {}", g.num_vertices(), g.num_edges())?;
+    for (_, u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()
+}
+
+/// Saves the graph to a file path.
+pub fn save_edge_list<P: AsRef<Path>>(g: &Graph, path: P) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_edge_list(g, file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::VertexId;
+
+    #[test]
+    fn parse_basic_list() {
+        let input = "# comment\n0 1\n1 2\n\n2 0\n";
+        let g = read_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(VertexId(0), VertexId(2)));
+    }
+
+    #[test]
+    fn parse_skips_duplicates_and_loops() {
+        let input = "0 1\n1 0\n1 1\n";
+        let g = read_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_line() {
+        let err = read_edge_list("0 1\njunk\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ParseError::Malformed { line: 2, .. }));
+    }
+
+    #[test]
+    fn parse_rejects_non_numeric() {
+        let err = read_edge_list("a b\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ParseError::VertexOutOfRange { line: 1, .. }));
+    }
+
+    #[test]
+    fn parse_handles_percent_comments_and_tabs() {
+        let g = read_edge_list("% header\n3\t4\n".as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = read_edge_list("# nothing\n".as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn roundtrip_through_bytes() {
+        let g = crate::generators::gnp(30, 0.2, 5);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(g.num_edges(), g2.num_edges());
+        for (_, u, v) in g.edges() {
+            assert!(g2.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let dir = std::env::temp_dir().join("tkc_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.edges");
+        let g = crate::generators::connected_caveman(3, 4);
+        save_edge_list(&g, &path).unwrap();
+        let g2 = load_edge_list(&path).unwrap();
+        assert_eq!(g2.num_edges(), g.num_edges());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,129 @@
+//! Multi-threaded triangle counting (scoped `std::thread`, no extra
+//! dependencies). Support computation dominates Algorithm 1's cost on
+//! large graphs and is embarrassingly parallel per edge.
+//!
+//! Note the work trade: the sequential [`crate::triangles::edge_supports`]
+//! enumerates each triangle once (apex rule) and credits three edges; the
+//! parallel version enumerates per edge, touching each triangle three
+//! times, but splits across cores. It wins from a handful of threads up —
+//! the `ablations` bench records the crossover.
+
+use crate::graph::Graph;
+use crate::ids::EdgeId;
+
+/// Per-edge triangle counts, computed with `threads` worker threads
+/// (`0` = use available parallelism).
+pub fn edge_supports_parallel(g: &Graph, threads: usize) -> Vec<u32> {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    let ids: Vec<EdgeId> = g.edge_ids().collect();
+    if threads <= 1 || ids.len() < 1024 {
+        // Not worth spawning below this size.
+        return crate::triangles::edge_supports(g);
+    }
+    let chunk = ids.len().div_ceil(threads);
+    let mut sup = vec![0u32; g.edge_bound()];
+    let results: Vec<Vec<(EdgeId, u32)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ids
+            .chunks(chunk)
+            .map(|part| {
+                scope.spawn(move || {
+                    part.iter()
+                        .map(|&e| (e, g.triangles_on_edge(e) as u32))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    for part in results {
+        for (e, s) in part {
+            sup[e.index()] = s;
+        }
+    }
+    sup
+}
+
+/// Total triangle count using `threads` workers (`0` = auto). Each
+/// triangle is counted at its lexicographically smallest edge.
+pub fn triangle_count_parallel(g: &Graph, threads: usize) -> u64 {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    let ids: Vec<EdgeId> = g.edge_ids().collect();
+    if threads <= 1 || ids.len() < 1024 {
+        return crate::triangles::triangle_count(g);
+    }
+    let chunk = ids.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ids
+            .chunks(chunk)
+            .map(|part| {
+                scope.spawn(move || {
+                    let mut n = 0u64;
+                    for &e in part {
+                        let (u, v) = g.endpoints(e);
+                        g.for_each_triangle_on_edge(e, |w, _, _| {
+                            if w > u && w > v {
+                                n += 1;
+                            }
+                        });
+                    }
+                    n
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::triangles::{edge_supports, triangle_count};
+
+    #[test]
+    fn parallel_supports_match_sequential() {
+        let g = generators::holme_kim(2000, 4, 0.6, 7);
+        let seq = edge_supports(&g);
+        for threads in [0, 1, 2, 4] {
+            let par = edge_supports_parallel(&g, threads);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_count_matches_sequential() {
+        let g = generators::planted_partition(5, 30, 0.4, 0.02, 3);
+        let seq = triangle_count(&g);
+        for threads in [0, 2, 3] {
+            assert_eq!(triangle_count_parallel(&g, threads), seq);
+        }
+    }
+
+    #[test]
+    fn small_graphs_take_the_sequential_path() {
+        let g = generators::complete(6);
+        assert_eq!(edge_supports_parallel(&g, 8), edge_supports(&g));
+        assert_eq!(triangle_count_parallel(&g, 8), 20);
+    }
+
+    #[test]
+    fn dead_slots_stay_zero() {
+        let mut g = generators::holme_kim(1500, 3, 0.5, 1);
+        let victim = g.edge_ids().next().unwrap();
+        g.remove_edge(victim).unwrap();
+        let par = edge_supports_parallel(&g, 4);
+        assert_eq!(par[victim.index()], 0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Whole-graph triangle routines: support vectors, enumeration, counting and
+//! clustering statistics.
+//!
+//! The peeling algorithm (paper §IV-A step 3) needs the *support* of every
+//! edge — the number of triangles it participates in. Everything here runs
+//! in `O(Σ_e min(deg(u), deg(v)))`, the standard edge-iterator bound.
+
+use crate::graph::Graph;
+use crate::ids::{EdgeId, VertexId};
+
+/// A triangle, identified both by its vertices and by its three edge ids.
+///
+/// `vertices` are sorted ascending; `edges` follow the convention
+/// `[e(v0,v1), e(v0,v2), e(v1,v2)]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Triangle {
+    /// The three corners, ascending.
+    pub vertices: [VertexId; 3],
+    /// The three sides: `[{v0,v1}, {v0,v2}, {v1,v2}]`.
+    pub edges: [EdgeId; 3],
+}
+
+impl Triangle {
+    /// Canonical triangle from an edge `{u, v}` (id `e_uv`) plus the apex
+    /// `w` and its connecting edges.
+    pub fn from_edge_apex(
+        g: &Graph,
+        e_uv: EdgeId,
+        w: VertexId,
+        e_uw: EdgeId,
+        e_vw: EdgeId,
+    ) -> Self {
+        let (u, v) = g.endpoints(e_uv);
+        let mut vs = [u, v, w];
+        vs.sort_unstable();
+        let pick = |a: VertexId, b: VertexId| -> EdgeId {
+            // Each of the three ids connects a specific pair; match by
+            // endpoints rather than re-querying the graph.
+            for &(e, x, y) in &[(e_uv, u, v), (e_uw, u, w), (e_vw, v, w)] {
+                if (x == a && y == b) || (x == b && y == a) {
+                    return e;
+                }
+            }
+            unreachable!("triangle edges inconsistent")
+        };
+        Triangle {
+            vertices: vs,
+            edges: [pick(vs[0], vs[1]), pick(vs[0], vs[2]), pick(vs[1], vs[2])],
+        }
+    }
+
+    /// The two edges of the triangle other than `e`.
+    pub fn other_edges(&self, e: EdgeId) -> (EdgeId, EdgeId) {
+        match self.edges.iter().position(|&x| x == e) {
+            Some(0) => (self.edges[1], self.edges[2]),
+            Some(1) => (self.edges[0], self.edges[2]),
+            Some(2) => (self.edges[0], self.edges[1]),
+            _ => panic!("edge {e:?} not in triangle"),
+        }
+    }
+}
+
+/// Support (triangle count) of every live edge, indexed by raw edge id.
+/// Dead slots read 0.
+pub fn edge_supports(g: &Graph) -> Vec<u32> {
+    let mut sup = vec![0u32; g.edge_bound()];
+    // Count each triangle once via the ordered-apex rule (w greater than
+    // both endpoints), then credit all three sides.
+    for (e, u, v) in g.edges() {
+        g.for_each_triangle_on_edge(e, |w, e_uw, e_vw| {
+            if w > u && w > v {
+                sup[e.index()] += 1;
+                sup[e_uw.index()] += 1;
+                sup[e_vw.index()] += 1;
+            }
+        });
+    }
+    sup
+}
+
+/// Calls `f` once per triangle in the graph.
+pub fn for_each_triangle<F>(g: &Graph, mut f: F)
+where
+    F: FnMut(Triangle),
+{
+    for (e, u, v) in g.edges() {
+        g.for_each_triangle_on_edge(e, |w, e_uw, e_vw| {
+            if w > u && w > v {
+                f(Triangle::from_edge_apex(g, e, w, e_uw, e_vw));
+            }
+        });
+    }
+}
+
+/// Total number of triangles.
+pub fn triangle_count(g: &Graph) -> u64 {
+    let mut n = 0u64;
+    for (e, u, v) in g.edges() {
+        g.for_each_triangle_on_edge(e, |w, _, _| {
+            if w > u && w > v {
+                n += 1;
+            }
+        });
+    }
+    n
+}
+
+/// Materializes all triangles. Prefer [`for_each_triangle`] in hot paths;
+/// this is for tests and small-graph tooling.
+pub fn list_triangles(g: &Graph) -> Vec<Triangle> {
+    let mut out = Vec::new();
+    for_each_triangle(g, |t| out.push(t));
+    out
+}
+
+/// Global clustering coefficient: `3·triangles / wedges` (0 when there are
+/// no wedges). Used by the dataset registry to report workload structure.
+pub fn global_clustering(g: &Graph) -> f64 {
+    let tri = triangle_count(g) as f64;
+    let wedges: u64 = g
+        .vertex_ids()
+        .map(|v| {
+            let d = g.degree(v) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum();
+    if wedges == 0 {
+        0.0
+    } else {
+        3.0 * tri / wedges as f64
+    }
+}
+
+/// Brute-force O(n³) triangle listing; the oracle for property tests.
+pub fn list_triangles_naive(g: &Graph) -> Vec<[VertexId; 3]> {
+    let n = g.num_vertices() as u32;
+    let mut out = Vec::new();
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if !g.has_edge(VertexId(a), VertexId(b)) {
+                continue;
+            }
+            for c in (b + 1)..n {
+                if g.has_edge(VertexId(a), VertexId(c)) && g.has_edge(VertexId(b), VertexId(c)) {
+                    out.push([VertexId(a), VertexId(b), VertexId(c)]);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(n: u32) -> Graph {
+        let mut g = Graph::with_capacity(n as usize, 0);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                g.add_edge(VertexId(i), VertexId(j)).unwrap();
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn supports_on_complete_graph() {
+        let g = k(5);
+        let sup = edge_supports(&g);
+        for e in g.edge_ids() {
+            assert_eq!(sup[e.index()], 3); // every edge of K5 is in n-2 = 3 triangles
+        }
+    }
+
+    #[test]
+    fn triangle_count_matches_formula() {
+        assert_eq!(triangle_count(&k(4)), 4);
+        assert_eq!(triangle_count(&k(6)), 20); // C(6,3)
+        let path = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(triangle_count(&path), 0);
+    }
+
+    #[test]
+    fn enumeration_matches_naive() {
+        // Two overlapping triangles plus a pendant.
+        let g = Graph::from_edges(6, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)]);
+        let fast: Vec<[VertexId; 3]> = list_triangles(&g).iter().map(|t| t.vertices).collect();
+        let naive = list_triangles_naive(&g);
+        let mut fast_sorted = fast.clone();
+        fast_sorted.sort();
+        assert_eq!(fast_sorted, naive);
+        assert_eq!(fast.len() as u64, triangle_count(&g));
+    }
+
+    #[test]
+    fn triangle_edge_bookkeeping() {
+        let g = Graph::from_edges(3, [(0, 1), (0, 2), (1, 2)]);
+        let ts = list_triangles(&g);
+        assert_eq!(ts.len(), 1);
+        let t = ts[0];
+        assert_eq!(t.vertices, [VertexId(0), VertexId(1), VertexId(2)]);
+        // other_edges returns the complement pair.
+        let (a, b) = t.other_edges(t.edges[0]);
+        assert_eq!([a, b], [t.edges[1], t.edges[2]]);
+        let (a, b) = t.other_edges(t.edges[2]);
+        assert_eq!([a, b], [t.edges[0], t.edges[1]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in triangle")]
+    fn other_edges_rejects_foreign_edge() {
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (1, 2), (2, 3)]);
+        let t = list_triangles(&g)[0];
+        let foreign = g.edge_between(VertexId(2), VertexId(3)).unwrap();
+        let _ = t.other_edges(foreign);
+    }
+
+    #[test]
+    fn clustering_bounds() {
+        assert!((global_clustering(&k(5)) - 1.0).abs() < 1e-12);
+        let path = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(global_clustering(&path), 0.0);
+        let empty = Graph::new();
+        assert_eq!(global_clustering(&empty), 0.0);
+    }
+
+    #[test]
+    fn supports_ignore_dead_slots() {
+        let mut g = k(4);
+        let e = g.edge_between(VertexId(0), VertexId(1)).unwrap();
+        g.remove_edge(e).unwrap();
+        let sup = edge_supports(&g);
+        assert_eq!(sup[e.index()], 0);
+        // Remaining edges of K4 minus one edge: triangle {1,2,3} and {0,2,3}.
+        assert_eq!(triangle_count(&g), 2);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for the graph substrate: structural invariants under
+//! random edit scripts, and triangle enumeration against the O(n³) oracle.
+
+use proptest::prelude::*;
+use tkc_graph::components::{connected_components, triangle_connected_components};
+use tkc_graph::triangles::{edge_supports, list_triangles, list_triangles_naive, triangle_count};
+use tkc_graph::{Graph, VertexId};
+
+/// A compact edit script: each op is add or remove of a vertex pair drawn
+/// from a small universe, so scripts collide often and exercise duplicate /
+/// missing paths.
+#[derive(Debug, Clone)]
+enum Op {
+    Add(u32, u32),
+    Remove(u32, u32),
+}
+
+fn op_strategy(n: u32) -> impl Strategy<Value = Op> {
+    (0..n, 0..n, any::<bool>()).prop_map(|(a, b, add)| if add { Op::Add(a, b) } else { Op::Remove(a, b) })
+}
+
+fn apply(g: &mut Graph, op: &Op) {
+    match *op {
+        Op::Add(a, b) => {
+            if a != b {
+                let _ = g.try_add_edge(VertexId(a), VertexId(b));
+            }
+        }
+        Op::Remove(a, b) => {
+            let _ = g.remove_edge_between(VertexId(a), VertexId(b));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn invariants_hold_under_edit_scripts(ops in proptest::collection::vec(op_strategy(12), 0..120)) {
+        let mut g = Graph::with_capacity(12, 0);
+        for op in &ops {
+            apply(&mut g, op);
+        }
+        prop_assert!(g.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn triangle_enumeration_matches_naive(ops in proptest::collection::vec(op_strategy(10), 0..80)) {
+        let mut g = Graph::with_capacity(10, 0);
+        for op in &ops {
+            apply(&mut g, op);
+        }
+        let mut fast: Vec<[VertexId; 3]> = list_triangles(&g).iter().map(|t| t.vertices).collect();
+        fast.sort();
+        prop_assert_eq!(fast, list_triangles_naive(&g));
+    }
+
+    #[test]
+    fn supports_sum_to_three_times_triangles(ops in proptest::collection::vec(op_strategy(10), 0..80)) {
+        let mut g = Graph::with_capacity(10, 0);
+        for op in &ops {
+            apply(&mut g, op);
+        }
+        let sup = edge_supports(&g);
+        let total: u64 = sup.iter().map(|&s| s as u64).sum();
+        prop_assert_eq!(total, 3 * triangle_count(&g));
+        // Per-edge supports must agree with direct per-edge enumeration.
+        for e in g.edge_ids() {
+            prop_assert_eq!(sup[e.index()] as usize, g.triangles_on_edge(e));
+        }
+    }
+
+    #[test]
+    fn components_partition_vertices(ops in proptest::collection::vec(op_strategy(14), 0..100)) {
+        let mut g = Graph::with_capacity(14, 0);
+        for op in &ops {
+            apply(&mut g, op);
+        }
+        let (labels, count) = connected_components(&g);
+        prop_assert_eq!(labels.len(), g.num_vertices());
+        // Labels are contiguous 0..count.
+        let mut seen = vec![false; count];
+        for &l in &labels {
+            prop_assert!(l < count);
+            seen[l] = true;
+        }
+        prop_assert!(seen.into_iter().all(|x| x));
+        // Edges never span components.
+        for (_, u, v) in g.edges() {
+            prop_assert_eq!(labels[u.index()], labels[v.index()]);
+        }
+    }
+
+    #[test]
+    fn triangle_components_cover_exactly_triangle_edges(ops in proptest::collection::vec(op_strategy(10), 0..80)) {
+        let mut g = Graph::with_capacity(10, 0);
+        for op in &ops {
+            apply(&mut g, op);
+        }
+        let comps = triangle_connected_components(&g, |_| true);
+        let mut covered = std::collections::HashSet::new();
+        for comp in &comps {
+            for &e in comp {
+                prop_assert!(covered.insert(e), "edge in two components");
+            }
+        }
+        for e in g.edge_ids() {
+            let in_triangle = g.triangles_on_edge(e) > 0;
+            prop_assert_eq!(covered.contains(&e), in_triangle);
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Attributed graphs for template pattern detection: every vertex and edge
+//! carries an *original | new* flag (black vs. red in Figure 4).
+//!
+//! Two constructions cover the paper's studies:
+//!
+//! * [`AttributedGraph::from_snapshots`] — evolving graphs (DBLP, Wiki):
+//!   the analyzed graph is the new snapshot; anything already present in
+//!   the old snapshot is *original*;
+//! * [`AttributedGraph::from_vertex_labels`] — static labeled graphs
+//!   (PPI complexes, §VII-F): an edge is "new" when it crosses labels.
+
+use tkc_graph::{EdgeId, Graph, VertexId};
+
+/// A graph plus original/new attributes on vertices and edges.
+#[derive(Debug, Clone)]
+pub struct AttributedGraph {
+    graph: Graph,
+    vertex_new: Vec<bool>,
+    edge_new: Vec<bool>,
+}
+
+impl AttributedGraph {
+    /// Wraps a graph with explicit attribute vectors (`true` = new).
+    ///
+    /// # Panics
+    /// Panics when the vectors do not cover the graph.
+    pub fn new(graph: Graph, vertex_new: Vec<bool>, edge_new: Vec<bool>) -> Self {
+        assert_eq!(vertex_new.len(), graph.num_vertices(), "vertex attrs");
+        assert!(edge_new.len() >= graph.edge_bound(), "edge attrs");
+        AttributedGraph {
+            graph,
+            vertex_new,
+            edge_new,
+        }
+    }
+
+    /// Builds the attributed view of an evolving graph: the analyzed graph
+    /// is `new_snapshot`; a vertex is *original* when it touches at least
+    /// one edge of `old_snapshot`, an edge is *original* when it exists in
+    /// `old_snapshot`. (The old snapshot may have fewer vertices.)
+    pub fn from_snapshots(old_snapshot: &Graph, new_snapshot: &Graph) -> Self {
+        let n = new_snapshot.num_vertices();
+        let vertex_new: Vec<bool> = (0..n)
+            .map(|v| {
+                !old_snapshot.contains_vertex(VertexId::from(v))
+                    || old_snapshot.degree(VertexId::from(v)) == 0
+            })
+            .collect();
+        let mut edge_new = vec![true; new_snapshot.edge_bound()];
+        for (e, u, v) in new_snapshot.edges() {
+            if old_snapshot.contains_vertex(u)
+                && old_snapshot.contains_vertex(v)
+                && old_snapshot.has_edge(u, v)
+            {
+                edge_new[e.index()] = false;
+            }
+        }
+        AttributedGraph {
+            graph: new_snapshot.clone(),
+            vertex_new,
+            edge_new,
+        }
+    }
+
+    /// Builds the attributed view of a statically labeled graph (e.g. PPI
+    /// complexes): all vertices are *original*; an edge is *new* exactly
+    /// when its endpoints carry different labels (inter-complex edge).
+    pub fn from_vertex_labels(graph: Graph, labels: &[u32]) -> Self {
+        assert_eq!(labels.len(), graph.num_vertices(), "one label per vertex");
+        let mut edge_new = vec![false; graph.edge_bound()];
+        for (e, u, v) in graph.edges() {
+            edge_new[e.index()] = labels[u.index()] != labels[v.index()];
+        }
+        AttributedGraph {
+            vertex_new: vec![false; graph.num_vertices()],
+            edge_new,
+            graph,
+        }
+    }
+
+    /// The underlying graph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// True when vertex `v` is new (red).
+    #[inline]
+    pub fn is_new_vertex(&self, v: VertexId) -> bool {
+        self.vertex_new[v.index()]
+    }
+
+    /// True when edge `e` is new (red).
+    #[inline]
+    pub fn is_new_edge(&self, e: EdgeId) -> bool {
+        self.edge_new[e.index()]
+    }
+
+    /// Number of new edges.
+    pub fn new_edge_count(&self) -> usize {
+        self.graph
+            .edge_ids()
+            .filter(|&e| self.is_new_edge(e))
+            .count()
+    }
+}
+
+/// The attribute view of one triangle, fed to template predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TriangleAttrs {
+    /// Triangle corners (ascending).
+    pub vertices: [VertexId; 3],
+    /// Sides `[{v0,v1}, {v0,v2}, {v1,v2}]`.
+    pub edges: [EdgeId; 3],
+    /// Per-corner "new" flags, aligned with `vertices`.
+    pub vertex_new: [bool; 3],
+    /// Per-side "new" flags, aligned with `edges`.
+    pub edge_new: [bool; 3],
+}
+
+impl TriangleAttrs {
+    /// Builds the attribute view of a triangle of `ag`.
+    pub fn of(ag: &AttributedGraph, t: &tkc_graph::triangles::Triangle) -> Self {
+        TriangleAttrs {
+            vertices: t.vertices,
+            edges: t.edges,
+            vertex_new: [
+                ag.is_new_vertex(t.vertices[0]),
+                ag.is_new_vertex(t.vertices[1]),
+                ag.is_new_vertex(t.vertices[2]),
+            ],
+            edge_new: [
+                ag.is_new_edge(t.edges[0]),
+                ag.is_new_edge(t.edges[1]),
+                ag.is_new_edge(t.edges[2]),
+            ],
+        }
+    }
+
+    /// How many of the three edges are new.
+    pub fn new_edges(&self) -> usize {
+        self.edge_new.iter().filter(|&&b| b).count()
+    }
+
+    /// How many of the three corners are new.
+    pub fn new_vertices(&self) -> usize {
+        self.vertex_new.iter().filter(|&&b| b).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkc_graph::triangles::list_triangles;
+
+    #[test]
+    fn snapshot_attributes() {
+        // Old: triangle {0,1,2}. New: same triangle plus vertex 3 attached
+        // to 1 and 2.
+        let old = Graph::from_edges(3, [(0, 1), (0, 2), (1, 2)]);
+        let new = Graph::from_edges(4, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+        let ag = AttributedGraph::from_snapshots(&old, &new);
+        assert!(!ag.is_new_vertex(VertexId(0)));
+        assert!(ag.is_new_vertex(VertexId(3)));
+        let e12 = new.edge_between(VertexId(1), VertexId(2)).unwrap();
+        let e13 = new.edge_between(VertexId(1), VertexId(3)).unwrap();
+        assert!(!ag.is_new_edge(e12));
+        assert!(ag.is_new_edge(e13));
+        assert_eq!(ag.new_edge_count(), 2);
+    }
+
+    #[test]
+    fn isolated_old_vertices_count_as_new() {
+        // Vertex 2 exists in the old snapshot but had no edges there: the
+        // DBLP semantics treat it as a newcomer.
+        let old = Graph::from_edges(3, [(0, 1)]);
+        let new = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let ag = AttributedGraph::from_snapshots(&old, &new);
+        assert!(ag.is_new_vertex(VertexId(2)));
+        assert!(!ag.is_new_vertex(VertexId(0)));
+    }
+
+    #[test]
+    fn label_attributes_mark_crossing_edges() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 2)]);
+        let ag = AttributedGraph::from_vertex_labels(g, &[7, 7, 9, 9]);
+        let g = ag.graph();
+        assert!(!ag.is_new_edge(g.edge_between(VertexId(0), VertexId(1)).unwrap()));
+        assert!(ag.is_new_edge(g.edge_between(VertexId(1), VertexId(2)).unwrap()));
+        assert!(!ag.is_new_edge(g.edge_between(VertexId(2), VertexId(3)).unwrap()));
+        assert!(ag.is_new_edge(g.edge_between(VertexId(0), VertexId(2)).unwrap()));
+        assert!(!ag.is_new_vertex(VertexId(0)));
+    }
+
+    #[test]
+    fn triangle_attrs_align_with_canonical_order() {
+        let old = Graph::from_edges(3, [(0, 1)]);
+        let new = Graph::from_edges(3, [(0, 1), (0, 2), (1, 2)]);
+        let ag = AttributedGraph::from_snapshots(&old, &new);
+        let ts = list_triangles(ag.graph());
+        assert_eq!(ts.len(), 1);
+        let attrs = TriangleAttrs::of(&ag, &ts[0]);
+        assert_eq!(attrs.vertices, [VertexId(0), VertexId(1), VertexId(2)]);
+        // Edge order [01, 02, 12]: 01 is original, the others new.
+        assert_eq!(attrs.edge_new, [false, true, true]);
+        assert_eq!(attrs.vertex_new, [false, false, true]);
+        assert_eq!(attrs.new_edges(), 2);
+        assert_eq!(attrs.new_vertices(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "vertex attrs")]
+    fn attr_length_mismatch_panics() {
+        let g = Graph::from_edges(3, [(0, 1)]);
+        let _ = AttributedGraph::new(g, vec![false; 2], vec![false; 8]);
+    }
+}

@@ -1,0 +1,269 @@
+//! Algorithm 4: detect template pattern cliques.
+//!
+//! 1. mark every characteristic triangle's edges and vertices *special*;
+//! 2. among triangles whose three corners are all special, mark the edges
+//!    of *possible* triangles special too;
+//! 3. build the special subgraph `G_spe` and run Algorithm 1 on it;
+//! 4. special edges get `co_clique_size = κ_spe + 2`, all other edges 0;
+//! 5. plot with the usual density ordering (left to the caller / tkc-viz).
+
+use tkc_core::decompose::{triangle_kcore_decomposition, Decomposition};
+use tkc_core::extract::{cores_at_level, Core};
+use tkc_graph::triangles::for_each_triangle;
+use tkc_graph::{EdgeId, Graph, VertexId};
+
+use crate::attributed::{AttributedGraph, TriangleAttrs};
+use crate::templates::Template;
+
+/// Output of Algorithm 4 on one attributed graph + template.
+#[derive(Debug, Clone)]
+pub struct PatternResult {
+    /// `co_clique_size` per raw edge id of the *host* graph (0 for edges
+    /// outside every pattern clique) — feed this to
+    /// `tkc_viz::density_order` for the pattern distribution plot.
+    pub co_clique: Vec<u32>,
+    /// The special subgraph `G_spe` (same vertex ids as the host).
+    pub special_graph: Graph,
+    /// Algorithm 1 run on `G_spe`.
+    pub decomposition: Decomposition,
+    /// Host edge ids marked special (sorted).
+    pub special_edges: Vec<EdgeId>,
+    /// Vertices marked special (sorted).
+    pub special_vertices: Vec<VertexId>,
+}
+
+impl PatternResult {
+    /// The densest pattern structures: cores of `G_spe` at descending
+    /// levels until `want` are collected. Vertex ids refer to the host.
+    pub fn top_structures(&self, want: usize) -> Vec<Core> {
+        let mut out = Vec::new();
+        for k in (1..=self.decomposition.max_kappa()).rev() {
+            let mut level: Vec<Core> =
+                cores_at_level(&self.special_graph, &self.decomposition, k)
+                    .into_iter()
+                    .filter(|c| {
+                        // Keep maximal structures only: drop cores whose
+                        // vertex set is already inside a denser one.
+                        !out.iter().any(|prev: &Core| {
+                            c.vertices.iter().all(|v| prev.vertices.contains(v))
+                        })
+                    })
+                    .collect();
+            level.sort_by_key(|c| std::cmp::Reverse(c.vertices.len()));
+            out.extend(level);
+            if out.len() >= want {
+                break;
+            }
+        }
+        out.truncate(want);
+        out
+    }
+
+    /// Number of special edges.
+    pub fn special_edge_count(&self) -> usize {
+        self.special_edges.len()
+    }
+}
+
+/// Runs Algorithm 4 for `template` over the attributed graph.
+pub fn detect_template(ag: &AttributedGraph, template: &dyn Template) -> PatternResult {
+    let g = ag.graph();
+    let n = g.num_vertices();
+    let mut special_vertex = vec![false; n];
+    let mut special_edge = vec![false; g.edge_bound()];
+
+    // Pass 1 (steps 1-3): characteristic triangles.
+    for_each_triangle(g, |t| {
+        let attrs = TriangleAttrs::of(ag, &t);
+        if template.is_characteristic(&attrs) {
+            for v in t.vertices {
+                special_vertex[v.index()] = true;
+            }
+            for e in t.edges {
+                special_edge[e.index()] = true;
+            }
+        }
+    });
+
+    // Pass 2 (steps 4-6): possible triangles among special vertices.
+    for_each_triangle(g, |t| {
+        if t.vertices.iter().all(|v| special_vertex[v.index()]) {
+            let attrs = TriangleAttrs::of(ag, &t);
+            if template.is_possible(&attrs) {
+                for e in t.edges {
+                    special_edge[e.index()] = true;
+                }
+            }
+        }
+    });
+
+    // Step 7: G_spe on the same vertex ids.
+    let special_edges: Vec<EdgeId> = g
+        .edge_ids()
+        .filter(|&e| special_edge[e.index()])
+        .collect();
+    let mut gs = Graph::with_capacity(n, special_edges.len());
+    for &e in &special_edges {
+        let (u, v) = g.endpoints(e);
+        gs.add_edge(u, v).expect("special edges are unique");
+    }
+
+    // Step 8: Algorithm 1 on G_spe.
+    let decomposition = triangle_kcore_decomposition(&gs);
+
+    // Steps 9-13: host-indexed co-clique vector.
+    let mut co = vec![0u32; g.edge_bound()];
+    for &e in &special_edges {
+        let (u, v) = g.endpoints(e);
+        let se = gs.edge_between(u, v).expect("just inserted");
+        co[e.index()] = decomposition.kappa(se) + 2;
+    }
+
+    let special_vertices: Vec<VertexId> = (0..n as u32)
+        .map(VertexId)
+        .filter(|v| special_vertex[v.index()])
+        .collect();
+
+    PatternResult {
+        co_clique: co,
+        special_graph: gs,
+        decomposition,
+        special_edges,
+        special_vertices,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::templates::{BridgeClique, NewFormClique, NewJoinClique};
+    use tkc_graph::generators;
+
+    /// Figure 4(a): original sparse graph; a 5-clique ABCDE appears made
+    /// entirely of new edges among original vertices.
+    fn new_form_scenario() -> (Graph, Graph) {
+        // Old: vertices 0..8 with a few original edges keeping 0..5 "old".
+        let old = Graph::from_edges(8, [(0, 5), (1, 5), (2, 6), (3, 6), (4, 7), (5, 6)]);
+        let mut new = old.clone();
+        for i in 0..5u32 {
+            for j in (i + 1)..5 {
+                new.try_add_edge(VertexId(i), VertexId(j));
+            }
+        }
+        (old, new)
+    }
+
+    #[test]
+    fn detects_new_form_clique() {
+        let (old, new) = new_form_scenario();
+        let ag = AttributedGraph::from_snapshots(&old, &new);
+        let res = detect_template(&ag, &NewFormClique);
+        // All 10 new edges of the 5-clique are special; original edges not.
+        assert_eq!(res.special_edge_count(), 10);
+        let top = res.top_structures(1);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].vertices.len(), 5);
+        assert!(top[0].is_clique());
+        assert_eq!(top[0].level, 3);
+        // Host co-clique values: 5 on the clique edges, 0 elsewhere.
+        let g = ag.graph();
+        let e01 = g.edge_between(VertexId(0), VertexId(1)).unwrap();
+        assert_eq!(res.co_clique[e01.index()], 5);
+        let e05 = g.edge_between(VertexId(0), VertexId(5)).unwrap();
+        assert_eq!(res.co_clique[e05.index()], 0);
+    }
+
+    /// Figure 4(b): two original triangles {0,1,2} and {3,4}, new edges
+    /// weld vertices of both into a bridge clique {1,2,3,4}.
+    #[test]
+    fn detects_bridge_clique() {
+        let old = Graph::from_edges(5, [(0, 1), (0, 2), (1, 2), (3, 4)]);
+        let mut new = old.clone();
+        // New edges: complete {1,2,3,4}.
+        for (a, b) in [(1u32, 3u32), (1, 4), (2, 3), (2, 4)] {
+            new.try_add_edge(VertexId(a), VertexId(b));
+        }
+        let ag = AttributedGraph::from_snapshots(&old, &new);
+        let res = detect_template(&ag, &BridgeClique);
+        let top = res.top_structures(1);
+        assert_eq!(top[0].vertices.len(), 4);
+        assert!(top[0].is_clique());
+        assert_eq!(
+            top[0].vertices,
+            vec![VertexId(1), VertexId(2), VertexId(3), VertexId(4)]
+        );
+        // The all-original triangle {0,1,2}: edge (1,2) participates via
+        // the possible-triangle rule only if 0 is special — it is not, so
+        // edge (0,1) stays out.
+        let g = ag.graph();
+        let e01 = g.edge_between(VertexId(0), VertexId(1)).unwrap();
+        assert_eq!(res.co_clique[e01.index()], 0);
+    }
+
+    /// Figure 4(c): original triangle {3,4,5} (DEF) joined by new vertices
+    /// {0,1,2} (ABC) into a 6-clique.
+    #[test]
+    fn detects_new_join_clique() {
+        let old = Graph::from_edges(6, [(3, 4), (3, 5), (4, 5)]);
+        let mut new = generators::complete(6);
+        // Keep ids aligned: old graph's vertices 3,4,5 are original.
+        // (complete(6) contains the old edges already.)
+        let _ = &mut new;
+        let ag = AttributedGraph::from_snapshots(&old, &new);
+        let res = detect_template(&ag, &NewJoinClique);
+        let top = res.top_structures(1);
+        assert_eq!(top[0].vertices.len(), 6);
+        assert!(top[0].is_clique());
+        assert_eq!(top[0].level, 4);
+    }
+
+    #[test]
+    fn no_matches_on_quiet_graph() {
+        // A snapshot pair with no changes has no new edges at all.
+        let g = generators::planted_partition(2, 6, 0.8, 0.1, 2);
+        let ag = AttributedGraph::from_snapshots(&g, &g);
+        {
+            let template = &NewFormClique as &dyn Template;
+            let res = detect_template(&ag, template);
+            assert_eq!(res.special_edge_count(), 0);
+            assert!(res.top_structures(3).is_empty());
+            assert!(res.co_clique.iter().all(|&c| c == 0));
+        }
+    }
+
+    #[test]
+    fn labeled_bridge_variant_for_ppi() {
+        // §VII-F: "new" = inter-complex. Two complexes (labels 0/1), a
+        // bridge clique {1,2,5,6} spanning them.
+        let mut g = generators::complete(4); // complex 0: vertices 0..4
+        g.add_vertices(4);
+        for i in 4..8u32 {
+            for j in (i + 1)..8 {
+                g.add_edge(VertexId(i), VertexId(j)).unwrap(); // complex 1
+            }
+        }
+        // Inter-complex weld: {2,3} x {4,5} complete.
+        for (a, b) in [(2u32, 4u32), (2, 5), (3, 4), (3, 5)] {
+            g.add_edge(VertexId(a), VertexId(b)).unwrap();
+        }
+        let labels = [0u32, 0, 0, 0, 1, 1, 1, 1];
+        let ag = AttributedGraph::from_vertex_labels(g, &labels);
+        let res = detect_template(&ag, &BridgeClique);
+        let top = res.top_structures(1);
+        assert_eq!(top[0].vertices.len(), 4);
+        assert_eq!(
+            top[0].vertices,
+            vec![VertexId(2), VertexId(3), VertexId(4), VertexId(5)]
+        );
+    }
+
+    #[test]
+    fn top_structures_respects_want_and_dedups() {
+        let (old, new) = new_form_scenario();
+        let ag = AttributedGraph::from_snapshots(&old, &new);
+        let res = detect_template(&ag, &NewFormClique);
+        // want=3 but only one structure exists: no padding, no duplicates.
+        let top = res.top_structures(3);
+        assert_eq!(top.len(), 1);
+    }
+}

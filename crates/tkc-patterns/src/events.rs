@@ -1,0 +1,389 @@
+//! Event detection on evolving graphs: classify how the dense (Triangle
+//! K-Core) communities of one snapshot became those of the next.
+//!
+//! The paper's introduction motivates exactly this use ("identifying the
+//! portions of the network that are changing, characterizing the type of
+//! change"), citing Asur et al. \[15\] for the event vocabulary. We detect
+//! the classic five events over the level-`k` cores of two snapshots:
+//! **continue**, **grow**, **shrink**, **merge**, **split**, plus **form**
+//! and **dissolve** for cores without a counterpart.
+
+use tkc_core::decompose::triangle_kcore_decomposition;
+use tkc_core::extract::{cores_at_level, Core};
+use tkc_graph::{Graph, VertexId};
+
+/// How one community evolved between two snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// Essentially the same vertex set (Jaccard ≥ the stability cutoff).
+    Continue {
+        /// Index into the old core list.
+        before: usize,
+        /// Index into the new core list.
+        after: usize,
+        /// Vertex-set Jaccard similarity.
+        jaccard: f64,
+    },
+    /// One old core, one larger new core.
+    Grow {
+        /// Index into the old core list.
+        before: usize,
+        /// Index into the new core list.
+        after: usize,
+        /// Net vertices gained.
+        gained: usize,
+    },
+    /// One old core, one smaller new core.
+    Shrink {
+        /// Index into the old core list.
+        before: usize,
+        /// Index into the new core list.
+        after: usize,
+        /// Net vertices lost.
+        lost: usize,
+    },
+    /// Two or more old cores fused into one new core.
+    Merge {
+        /// Indices into the old core list.
+        before: Vec<usize>,
+        /// Index into the new core list.
+        after: usize,
+    },
+    /// One old core fragmented into two or more new cores.
+    Split {
+        /// Index into the old core list.
+        before: usize,
+        /// Indices into the new core list.
+        after: Vec<usize>,
+    },
+    /// A new core with no significant old counterpart.
+    Form {
+        /// Index into the new core list.
+        after: usize,
+    },
+    /// An old core with no significant new counterpart.
+    Dissolve {
+        /// Index into the old core list.
+        before: usize,
+    },
+}
+
+/// The cores of both snapshots plus the classified events.
+#[derive(Debug, Clone)]
+pub struct EventReport {
+    /// Level-`k` cores of the old snapshot.
+    pub old_cores: Vec<Core>,
+    /// Level-`k` cores of the new snapshot.
+    pub new_cores: Vec<Core>,
+    /// Classified events, one per old/new core participation.
+    pub events: Vec<Event>,
+}
+
+/// Tuning for the matcher.
+#[derive(Debug, Clone, Copy)]
+pub struct EventOptions {
+    /// Minimum fraction of the *smaller* core's vertices shared for two
+    /// cores to count as related (default 0.5).
+    pub overlap_threshold: f64,
+    /// Jaccard at or above which a 1:1 match is a `Continue` (default 0.8).
+    pub stability_threshold: f64,
+}
+
+impl Default for EventOptions {
+    fn default() -> Self {
+        EventOptions {
+            overlap_threshold: 0.5,
+            stability_threshold: 0.8,
+        }
+    }
+}
+
+fn overlap(a: &[VertexId], b: &[VertexId]) -> usize {
+    // Both sorted (Core invariant): merge count.
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Detects community events between two snapshots at core level `k`.
+///
+/// # Examples
+///
+/// ```
+/// use tkc_graph::{generators, Graph, VertexId};
+/// use tkc_patterns::events::{detect_events, Event, EventOptions};
+///
+/// // A 6-clique gains two members between snapshots.
+/// let mut old = Graph::with_capacity(10, 0);
+/// let six: Vec<VertexId> = (0..6u32).map(VertexId).collect();
+/// generators::plant_clique(&mut old, &six);
+/// let mut new = Graph::with_capacity(10, 0);
+/// let eight: Vec<VertexId> = (0..8u32).map(VertexId).collect();
+/// generators::plant_clique(&mut new, &eight);
+///
+/// let report = detect_events(&old, &new, 3, &EventOptions::default());
+/// assert!(matches!(report.events[0], Event::Grow { gained: 2, .. }));
+/// ```
+pub fn detect_events(
+    old_graph: &Graph,
+    new_graph: &Graph,
+    k: u32,
+    opts: &EventOptions,
+) -> EventReport {
+    let d_old = triangle_kcore_decomposition(old_graph);
+    let d_new = triangle_kcore_decomposition(new_graph);
+    let old_cores = cores_at_level(old_graph, &d_old, k);
+    let new_cores = cores_at_level(new_graph, &d_new, k);
+
+    // Relatedness matrix by the smaller-side overlap fraction.
+    let related = |o: &Core, n: &Core| -> bool {
+        let inter = overlap(&o.vertices, &n.vertices);
+        let denom = o.vertices.len().min(n.vertices.len()).max(1);
+        inter as f64 / denom as f64 >= opts.overlap_threshold
+    };
+    let mut old_matches: Vec<Vec<usize>> = vec![Vec::new(); old_cores.len()];
+    let mut new_matches: Vec<Vec<usize>> = vec![Vec::new(); new_cores.len()];
+    for (oi, o) in old_cores.iter().enumerate() {
+        for (ni, n) in new_cores.iter().enumerate() {
+            if related(o, n) {
+                old_matches[oi].push(ni);
+                new_matches[ni].push(oi);
+            }
+        }
+    }
+
+    let mut events = Vec::new();
+    let mut consumed_old = vec![false; old_cores.len()];
+    let mut consumed_new = vec![false; new_cores.len()];
+
+    // Stable 1:1 matches first, best Jaccard first: a core that carried
+    // over nearly unchanged must not be swallowed by a spurious merge with
+    // a vertex-overlapping sibling core.
+    let jaccard_of = |o: &Core, n: &Core| -> f64 {
+        let inter = overlap(&o.vertices, &n.vertices);
+        let union = o.vertices.len() + n.vertices.len() - inter;
+        inter as f64 / union.max(1) as f64
+    };
+    let mut stable_pairs: Vec<(f64, usize, usize)> = Vec::new();
+    for (oi, news) in old_matches.iter().enumerate() {
+        for &ni in news {
+            let j = jaccard_of(&old_cores[oi], &new_cores[ni]);
+            if j >= opts.stability_threshold {
+                stable_pairs.push((j, oi, ni));
+            }
+        }
+    }
+    stable_pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    for (j, oi, ni) in stable_pairs {
+        if !consumed_old[oi] && !consumed_new[ni] {
+            consumed_old[oi] = true;
+            consumed_new[ni] = true;
+            events.push(Event::Continue {
+                before: oi,
+                after: ni,
+                jaccard: j,
+            });
+        }
+    }
+
+    // Merges: a new core related to several not-yet-consumed old cores.
+    for (ni, olds) in new_matches.iter().enumerate() {
+        if consumed_new[ni] {
+            continue;
+        }
+        let free: Vec<usize> = olds.iter().copied().filter(|&oi| !consumed_old[oi]).collect();
+        if free.len() >= 2 {
+            consumed_new[ni] = true;
+            for &oi in &free {
+                consumed_old[oi] = true;
+            }
+            events.push(Event::Merge {
+                before: free,
+                after: ni,
+            });
+        }
+    }
+    // Splits: an old core related to several new cores (not already merged).
+    for (oi, news) in old_matches.iter().enumerate() {
+        if consumed_old[oi] {
+            continue;
+        }
+        let free: Vec<usize> = news.iter().copied().filter(|&ni| !consumed_new[ni]).collect();
+        if free.len() >= 2 {
+            for &ni in &free {
+                consumed_new[ni] = true;
+            }
+            consumed_old[oi] = true;
+            events.push(Event::Split {
+                before: oi,
+                after: free,
+            });
+        }
+    }
+    // One-to-one: continue / grow / shrink.
+    for (oi, news) in old_matches.iter().enumerate() {
+        if consumed_old[oi] {
+            continue;
+        }
+        if let Some(&ni) = news.iter().find(|&&ni| !consumed_new[ni]) {
+            consumed_old[oi] = true;
+            consumed_new[ni] = true;
+            let o = &old_cores[oi];
+            let n = &new_cores[ni];
+            let inter = overlap(&o.vertices, &n.vertices);
+            let union = o.vertices.len() + n.vertices.len() - inter;
+            let jaccard = inter as f64 / union.max(1) as f64;
+            if jaccard >= opts.stability_threshold {
+                events.push(Event::Continue {
+                    before: oi,
+                    after: ni,
+                    jaccard,
+                });
+            } else if n.vertices.len() >= o.vertices.len() {
+                events.push(Event::Grow {
+                    before: oi,
+                    after: ni,
+                    gained: n.vertices.len() - o.vertices.len(),
+                });
+            } else {
+                events.push(Event::Shrink {
+                    before: oi,
+                    after: ni,
+                    lost: o.vertices.len() - n.vertices.len(),
+                });
+            }
+        }
+    }
+    // Leftovers.
+    for (oi, done) in consumed_old.iter().enumerate() {
+        if !done {
+            events.push(Event::Dissolve { before: oi });
+        }
+    }
+    for (ni, done) in consumed_new.iter().enumerate() {
+        if !done {
+            events.push(Event::Form { after: ni });
+        }
+    }
+
+    EventReport {
+        old_cores,
+        new_cores,
+        events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkc_graph::generators::{self, plant_clique};
+
+    fn clique_on(g: &mut Graph, ids: std::ops::Range<u32>) -> Vec<VertexId> {
+        let members: Vec<VertexId> = ids.map(VertexId).collect();
+        plant_clique(g, &members);
+        members
+    }
+
+    #[test]
+    fn continue_event_for_stable_core() {
+        let mut old = Graph::with_capacity(20, 0);
+        clique_on(&mut old, 0..6);
+        let new = old.clone();
+        let rep = detect_events(&old, &new, 2, &EventOptions::default());
+        assert_eq!(rep.events.len(), 1);
+        assert!(matches!(rep.events[0], Event::Continue { jaccard, .. } if jaccard == 1.0));
+    }
+
+    #[test]
+    fn grow_and_shrink_events() {
+        let mut old = Graph::with_capacity(20, 0);
+        clique_on(&mut old, 0..6);
+        let mut new = Graph::with_capacity(20, 0);
+        clique_on(&mut new, 0..9); // grew by 3
+        let rep = detect_events(&old, &new, 2, &EventOptions::default());
+        assert!(rep
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::Grow { gained: 3, .. })));
+
+        let rep = detect_events(&new, &old, 2, &EventOptions::default());
+        assert!(rep
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::Shrink { lost: 3, .. })));
+    }
+
+    #[test]
+    fn merge_event_when_cliques_fuse() {
+        let mut old = Graph::with_capacity(20, 0);
+        clique_on(&mut old, 0..5);
+        clique_on(&mut old, 10..15);
+        let mut new = Graph::with_capacity(20, 0);
+        // Everything plus the cross edges: one big core.
+        let all: Vec<VertexId> = (0..5).chain(10..15).map(VertexId).collect();
+        plant_clique(&mut new, &all);
+        let rep = detect_events(&old, &new, 2, &EventOptions::default());
+        assert!(rep
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::Merge { before, .. } if before.len() == 2)));
+    }
+
+    #[test]
+    fn split_event_when_clique_fragments() {
+        let mut old = Graph::with_capacity(20, 0);
+        let all: Vec<VertexId> = (0..5).chain(10..15).map(VertexId).collect();
+        plant_clique(&mut old, &all);
+        let mut new = Graph::with_capacity(20, 0);
+        clique_on(&mut new, 0..5);
+        clique_on(&mut new, 10..15);
+        let rep = detect_events(&old, &new, 2, &EventOptions::default());
+        assert!(rep
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::Split { after, .. } if after.len() == 2)));
+    }
+
+    #[test]
+    fn form_and_dissolve_events() {
+        let mut old = Graph::with_capacity(30, 0);
+        clique_on(&mut old, 0..5);
+        let mut new = Graph::with_capacity(30, 0);
+        clique_on(&mut new, 20..26);
+        let rep = detect_events(&old, &new, 2, &EventOptions::default());
+        assert!(rep.events.iter().any(|e| matches!(e, Event::Dissolve { .. })));
+        assert!(rep.events.iter().any(|e| matches!(e, Event::Form { .. })));
+        assert_eq!(rep.events.len(), 2);
+    }
+
+    #[test]
+    fn noisy_background_does_not_confuse_events() {
+        let mut old = generators::gnp(60, 0.02, 5);
+        clique_on(&mut old, 0..7);
+        let mut new = generators::gnp(60, 0.02, 6);
+        clique_on(&mut new, 0..8); // grew by one
+        let rep = detect_events(&old, &new, 3, &EventOptions::default());
+        assert!(rep
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::Grow { gained: 1, .. } | Event::Continue { .. })));
+    }
+
+    #[test]
+    fn overlap_counts_sorted_intersection() {
+        let a: Vec<VertexId> = [1u32, 3, 5, 7].iter().map(|&x| VertexId(x)).collect();
+        let b: Vec<VertexId> = [2u32, 3, 4, 5].iter().map(|&x| VertexId(x)).collect();
+        assert_eq!(overlap(&a, &b), 2);
+        assert_eq!(overlap(&a, &[]), 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # tkc-patterns — template pattern cliques (Algorithm 4)
+//!
+//! The paper's probing layer: users describe a clique pattern by its
+//! *characteristic* and *possible* triangles over an original/new
+//! attributed graph, and Algorithm 4 surfaces exactly the cliques of that
+//! shape. Built-ins cover the three patterns of Figure 4 — [`templates::NewFormClique`],
+//! [`templates::BridgeClique`], [`templates::NewJoinClique`] — plus fully
+//! custom predicates, and the labeled-static variant used in the PPI case
+//! study (§VII-F).
+//!
+//! ```
+//! use tkc_graph::{Graph, VertexId};
+//! use tkc_patterns::{AttributedGraph, detect_template, templates::NewFormClique};
+//!
+//! // 2003 snapshot: five authors exist; 2004: they form a brand-new clique.
+//! let old = Graph::from_edges(6, [(0, 5), (1, 5), (2, 5), (3, 5), (4, 5)]);
+//! let mut new = old.clone();
+//! for i in 0..5u32 {
+//!     for j in (i + 1)..5 {
+//!         new.try_add_edge(VertexId(i), VertexId(j));
+//!     }
+//! }
+//! let ag = AttributedGraph::from_snapshots(&old, &new);
+//! let found = detect_template(&ag, &NewFormClique);
+//! assert_eq!(found.top_structures(1)[0].vertices.len(), 5);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod attributed;
+pub mod detect;
+pub mod events;
+pub mod templates;
+
+pub use attributed::{AttributedGraph, TriangleAttrs};
+pub use detect::{detect_template, PatternResult};
+pub use events::{detect_events, Event, EventOptions, EventReport};
+pub use templates::{BridgeClique, CustomTemplate, NewFormClique, NewJoinClique, Template};

@@ -1,0 +1,177 @@
+//! Template definitions: which triangles are *characteristic* of a pattern
+//! and which additional triangles are *possible* inside its cliques
+//! (Algorithm 4 steps 1 and 4, Figure 4).
+
+use crate::attributed::TriangleAttrs;
+
+/// A user-definable template pattern over attributed triangles.
+///
+/// * A **characteristic triangle** is a 3-clique that can only occur inside
+///   an instance of the pattern, and every vertex of a pattern clique lies
+///   in one (the paper's two requirements).
+/// * A **possible triangle** is any other triangle shape that may occur
+///   inside a pattern clique; it is only considered when all three of its
+///   vertices were already marked special by characteristic triangles.
+pub trait Template {
+    /// Human-readable name used in plots and reports.
+    fn name(&self) -> &str;
+    /// Characteristic-triangle predicate.
+    fn is_characteristic(&self, t: &TriangleAttrs) -> bool;
+    /// Possible-triangle predicate (checked on special-vertex triangles).
+    fn is_possible(&self, t: &TriangleAttrs) -> bool;
+}
+
+/// **New Form Clique** (Figure 4(a)/(d)): a clique built entirely from new
+/// edges among original vertices. Characteristic: 3 new edges, 3 original
+/// vertices; no other triangle shape is possible.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NewFormClique;
+
+impl Template for NewFormClique {
+    fn name(&self) -> &str {
+        "new-form"
+    }
+    fn is_characteristic(&self, t: &TriangleAttrs) -> bool {
+        t.new_edges() == 3 && t.new_vertices() == 0
+    }
+    fn is_possible(&self, _t: &TriangleAttrs) -> bool {
+        false
+    }
+}
+
+/// **Bridge Clique** (Figure 4(b)/(e)): a clique spanning two previously
+/// disconnected cliques. Characteristic: 3 original vertices, exactly 2 new
+/// edges and 1 original edge; possible: triangles of 3 original edges.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BridgeClique;
+
+impl Template for BridgeClique {
+    fn name(&self) -> &str {
+        "bridge"
+    }
+    fn is_characteristic(&self, t: &TriangleAttrs) -> bool {
+        t.new_vertices() == 0 && t.new_edges() == 2
+    }
+    fn is_possible(&self, t: &TriangleAttrs) -> bool {
+        t.new_edges() == 0
+    }
+}
+
+/// **New Join Clique** (Figure 4(c)/(f)): an original clique extended by
+/// new vertices. Characteristic: one new vertex joined to an original edge
+/// (2 new edges); possible: all-new-edge triangles (among the new joiners)
+/// and all-original-edge triangles (the old clique's interior).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NewJoinClique;
+
+impl Template for NewJoinClique {
+    fn name(&self) -> &str {
+        "new-join"
+    }
+    fn is_characteristic(&self, t: &TriangleAttrs) -> bool {
+        t.new_vertices() == 1 && t.new_edges() == 2
+    }
+    fn is_possible(&self, t: &TriangleAttrs) -> bool {
+        t.new_edges() == 3 || t.new_edges() == 0
+    }
+}
+
+/// A template assembled from closures — the "users define patterns on
+/// their own" flexibility the paper advertises.
+pub struct CustomTemplate<C, P>
+where
+    C: Fn(&TriangleAttrs) -> bool,
+    P: Fn(&TriangleAttrs) -> bool,
+{
+    name: String,
+    characteristic: C,
+    possible: P,
+}
+
+impl<C, P> CustomTemplate<C, P>
+where
+    C: Fn(&TriangleAttrs) -> bool,
+    P: Fn(&TriangleAttrs) -> bool,
+{
+    /// Builds a custom template from two predicates.
+    pub fn new(name: impl Into<String>, characteristic: C, possible: P) -> Self {
+        CustomTemplate {
+            name: name.into(),
+            characteristic,
+            possible,
+        }
+    }
+}
+
+impl<C, P> Template for CustomTemplate<C, P>
+where
+    C: Fn(&TriangleAttrs) -> bool,
+    P: Fn(&TriangleAttrs) -> bool,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn is_characteristic(&self, t: &TriangleAttrs) -> bool {
+        (self.characteristic)(t)
+    }
+    fn is_possible(&self, t: &TriangleAttrs) -> bool {
+        (self.possible)(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkc_graph::{EdgeId, VertexId};
+
+    fn attrs(edge_new: [bool; 3], vertex_new: [bool; 3]) -> TriangleAttrs {
+        TriangleAttrs {
+            vertices: [VertexId(0), VertexId(1), VertexId(2)],
+            edges: [EdgeId(0), EdgeId(1), EdgeId(2)],
+            vertex_new,
+            edge_new,
+        }
+    }
+
+    #[test]
+    fn new_form_characteristic_shape() {
+        let t = NewFormClique;
+        assert!(t.is_characteristic(&attrs([true; 3], [false; 3])));
+        assert!(!t.is_characteristic(&attrs([true, true, false], [false; 3])));
+        assert!(!t.is_characteristic(&attrs([true; 3], [true, false, false])));
+        assert!(!t.is_possible(&attrs([false; 3], [false; 3])));
+    }
+
+    #[test]
+    fn bridge_characteristic_and_possible() {
+        let t = BridgeClique;
+        assert!(t.is_characteristic(&attrs([true, true, false], [false; 3])));
+        assert!(!t.is_characteristic(&attrs([true, false, false], [false; 3])));
+        assert!(!t.is_characteristic(&attrs([true, true, false], [true, false, false])));
+        assert!(t.is_possible(&attrs([false; 3], [false; 3])));
+        assert!(!t.is_possible(&attrs([true, false, false], [false; 3])));
+    }
+
+    #[test]
+    fn new_join_shapes() {
+        let t = NewJoinClique;
+        // New vertex w joined to original edge: two new edges.
+        assert!(t.is_characteristic(&attrs([false, true, true], [false, false, true])));
+        assert!(!t.is_characteristic(&attrs([true; 3], [true; 3])));
+        assert!(t.is_possible(&attrs([true; 3], [true; 3]))); // new joiners' interior
+        assert!(t.is_possible(&attrs([false; 3], [false; 3]))); // old clique's interior
+        assert!(!t.is_possible(&attrs([true, true, false], [false; 3])));
+    }
+
+    #[test]
+    fn custom_template_delegates() {
+        let t = CustomTemplate::new(
+            "all-new",
+            |a: &TriangleAttrs| a.new_edges() == 3,
+            |_: &TriangleAttrs| false,
+        );
+        assert_eq!(t.name(), "all-new");
+        assert!(t.is_characteristic(&attrs([true; 3], [true; 3])));
+        assert!(!t.is_characteristic(&attrs([true, true, false], [true; 3])));
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests for Algorithm 4 and event detection over random
+//! evolving graphs.
+
+use proptest::prelude::*;
+use tkc_graph::triangles::for_each_triangle;
+use tkc_graph::{Graph, VertexId};
+use tkc_patterns::events::{detect_events, Event, EventOptions};
+use tkc_patterns::{
+    detect_template, AttributedGraph, BridgeClique, NewFormClique, NewJoinClique, Template,
+    TriangleAttrs,
+};
+
+fn random_graph(n: u32, max_edges: usize) -> impl Strategy<Value = Graph> {
+    proptest::collection::vec((0..n, 0..n), 0..max_edges).prop_map(move |pairs| {
+        let mut g = Graph::with_capacity(n as usize, pairs.len());
+        for (a, b) in pairs {
+            if a != b {
+                let _ = g.try_add_edge(VertexId(a), VertexId(b));
+            }
+        }
+        g
+    })
+}
+
+/// Old + new snapshot: new = old plus extra random edges.
+fn snapshot_pair(n: u32) -> impl Strategy<Value = (Graph, Graph)> {
+    (random_graph(n, 40), proptest::collection::vec((0..n, 0..n), 0..25)).prop_map(
+        move |(old, extra)| {
+            let mut new = old.clone();
+            for (a, b) in extra {
+                if a != b {
+                    let _ = new.try_add_edge(VertexId(a), VertexId(b));
+                }
+            }
+            (old, new)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn special_edges_come_only_from_matching_triangles((old, new) in snapshot_pair(12)) {
+        let ag = AttributedGraph::from_snapshots(&old, &new);
+        for template in [
+            &NewFormClique as &dyn Template,
+            &BridgeClique,
+            &NewJoinClique,
+        ] {
+            let res = detect_template(&ag, template);
+            // Every special edge belongs to a characteristic triangle or a
+            // possible triangle over special vertices.
+            let special: std::collections::HashSet<_> =
+                res.special_edges.iter().copied().collect();
+            let specialv: std::collections::HashSet<_> =
+                res.special_vertices.iter().copied().collect();
+            let mut justified: std::collections::HashSet<tkc_graph::EdgeId> =
+                std::collections::HashSet::new();
+            for_each_triangle(ag.graph(), |t| {
+                let attrs = TriangleAttrs::of(&ag, &t);
+                let characteristic = template.is_characteristic(&attrs);
+                let possible = t.vertices.iter().all(|v| specialv.contains(v))
+                    && template.is_possible(&attrs);
+                if characteristic || possible {
+                    for e in t.edges {
+                        justified.insert(e);
+                    }
+                }
+            });
+            for &e in &special {
+                prop_assert!(justified.contains(&e), "{}: unjustified special edge", template.name());
+            }
+            // And the host co-clique values are κ_spe + 2 on special edges,
+            // 0 elsewhere.
+            for e in ag.graph().edge_ids() {
+                if special.contains(&e) {
+                    prop_assert!(res.co_clique[e.index()] >= 2);
+                } else {
+                    prop_assert_eq!(res.co_clique[e.index()], 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_kappa_never_exceeds_host_kappa((old, new) in snapshot_pair(12)) {
+        // G_spe is a subgraph of the host, so κ within it is bounded by the
+        // host's κ (monotonicity of the motif under subgraphs).
+        use tkc_core::decompose::triangle_kcore_decomposition;
+        let ag = AttributedGraph::from_snapshots(&old, &new);
+        let host = triangle_kcore_decomposition(ag.graph());
+        let res = detect_template(&ag, &BridgeClique);
+        for &e in &res.special_edges {
+            prop_assert!(res.co_clique[e.index()] <= host.kappa(e) + 2);
+        }
+    }
+
+    #[test]
+    fn events_partition_the_cores((old, new) in snapshot_pair(14)) {
+        let rep = detect_events(&old, &new, 1, &EventOptions::default());
+        // Every old core appears in exactly one event; same for new cores.
+        let mut old_seen = vec![0usize; rep.old_cores.len()];
+        let mut new_seen = vec![0usize; rep.new_cores.len()];
+        for e in &rep.events {
+            match e {
+                Event::Continue { before, after, .. }
+                | Event::Grow { before, after, .. }
+                | Event::Shrink { before, after, .. } => {
+                    old_seen[*before] += 1;
+                    new_seen[*after] += 1;
+                }
+                Event::Merge { before, after } => {
+                    for &b in before {
+                        old_seen[b] += 1;
+                    }
+                    new_seen[*after] += 1;
+                }
+                Event::Split { before, after } => {
+                    old_seen[*before] += 1;
+                    for &a in after {
+                        new_seen[a] += 1;
+                    }
+                }
+                Event::Form { after } => new_seen[*after] += 1,
+                Event::Dissolve { before } => old_seen[*before] += 1,
+            }
+        }
+        prop_assert!(old_seen.iter().all(|&c| c == 1), "old cores not partitioned: {old_seen:?}");
+        prop_assert!(new_seen.iter().all(|&c| c == 1), "new cores not partitioned: {new_seen:?}");
+    }
+
+    #[test]
+    fn identical_snapshots_yield_only_continues(g in random_graph(14, 50)) {
+        let rep = detect_events(&g, &g, 1, &EventOptions::default());
+        for e in &rep.events {
+            prop_assert!(
+                matches!(e, Event::Continue { jaccard, .. } if *jaccard == 1.0),
+                "unexpected event on identical snapshots: {e:?}"
+            );
+        }
+        prop_assert_eq!(rep.events.len(), rep.old_cores.len());
+    }
+}

@@ -1,0 +1,110 @@
+//! κ-distribution charts: histogram and complementary CDF of the edge
+//! density values — the aggregate companions to the per-vertex density
+//! plots, useful for comparing datasets and for spotting the heavy tail
+//! that makes the bucket-queue peel linear in practice.
+
+use std::fmt::Write as _;
+
+use crate::svg::SvgDocument;
+
+/// Renders a κ histogram (`hist[k]` = number of edges with κ = k`) as a
+/// log-scaled bar chart.
+pub fn render_kappa_histogram(hist: &[usize], title: &str, width: u32, height: u32) -> String {
+    let mut doc = SvgDocument::new(width, height);
+    let w = width as f64;
+    let h = height as f64;
+    let (ml, mr, mt, mb) = (46.0, 10.0, 26.0, 30.0);
+    doc.rect(0.0, 0.0, w, h, "#ffffff");
+    doc.text(ml, 16.0, 12, "#111111", title);
+    doc.line(ml, mt, ml, h - mb, "#888888", 1.0);
+    doc.line(ml, h - mb, w - mr, h - mb, "#888888", 1.0);
+
+    let n = hist.len().max(1);
+    let max_count = hist.iter().copied().max().unwrap_or(1).max(1);
+    let log_max = (max_count as f64).ln_1p();
+    let band = (w - ml - mr) / n as f64;
+    for (k, &count) in hist.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let bar_h = (h - mt - mb) * (count as f64).ln_1p() / log_max;
+        let x = ml + band * k as f64 + band * 0.1;
+        doc.rect(x, h - mb - bar_h, band * 0.8, bar_h, "#2563eb");
+    }
+    // Sparse x labels.
+    let step = (n / 8).max(1);
+    for k in (0..n).step_by(step) {
+        doc.text(ml + band * k as f64, h - mb + 14.0, 10, "#444444", &k.to_string());
+    }
+    doc.text(2.0, mt + 6.0, 10, "#444444", &max_count.to_string());
+    doc.text(2.0, h - mb, 10, "#444444", "0");
+    doc.finish()
+}
+
+/// The complementary CDF of κ: `ccdf[k]` = fraction of edges with κ ≥ k.
+pub fn kappa_ccdf(hist: &[usize]) -> Vec<f64> {
+    let total: usize = hist.iter().sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(hist.len());
+    let mut at_least = total;
+    for &c in hist {
+        out.push(at_least as f64 / total as f64);
+        at_least -= c;
+    }
+    out
+}
+
+/// Serializes histogram + CCDF as TSV: `kappa  count  ccdf`.
+pub fn distribution_tsv(hist: &[usize]) -> String {
+    let ccdf = kappa_ccdf(hist);
+    let mut out = String::from("kappa\tcount\tccdf\n");
+    for (k, &c) in hist.iter().enumerate() {
+        writeln!(out, "{k}\t{c}\t{:.6}", ccdf.get(k).copied().unwrap_or(0.0)).unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ccdf_is_monotone_and_anchored() {
+        let hist = [10usize, 5, 3, 2];
+        let ccdf = kappa_ccdf(&hist);
+        assert_eq!(ccdf[0], 1.0);
+        assert!(ccdf.windows(2).all(|w| w[0] >= w[1]));
+        assert!((ccdf[3] - 0.1).abs() < 1e-12);
+        assert!(kappa_ccdf(&[]).is_empty());
+        assert!(kappa_ccdf(&[0, 0]).is_empty());
+    }
+
+    #[test]
+    fn histogram_svg_draws_nonzero_bars_only() {
+        let svg = render_kappa_histogram(&[5, 0, 3, 1], "test", 400, 200);
+        // Background + 3 bars.
+        assert_eq!(svg.matches("<rect").count(), 4);
+        assert!(svg.contains("test"));
+    }
+
+    #[test]
+    fn tsv_rows_match_histogram_length() {
+        let tsv = distribution_tsv(&[2, 1, 1]);
+        assert_eq!(tsv.lines().count(), 4);
+        assert!(tsv.lines().nth(1).unwrap().starts_with("0\t2\t1.0"));
+    }
+
+    #[test]
+    fn real_decomposition_roundtrip() {
+        use tkc_core::decompose::triangle_kcore_decomposition;
+        let g = tkc_graph::generators::connected_caveman(3, 6);
+        let d = triangle_kcore_decomposition(&g);
+        let hist = d.histogram();
+        let ccdf = kappa_ccdf(&hist);
+        assert_eq!(ccdf[0], 1.0);
+        let svg = render_kappa_histogram(&hist, "caveman", 500, 220);
+        assert!(svg.starts_with("<svg"));
+    }
+}

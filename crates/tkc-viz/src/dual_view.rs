@@ -1,0 +1,293 @@
+//! Dual View Plots — Algorithm 3 of the paper.
+//!
+//! plot(a) shows the clique distribution of the original graph; after a
+//! batch of edge additions, plot(b) shows only the *changed* cliques (new
+//! edges carry their fresh `κ+2`, untouched edges are zeroed, step 5).
+//! Correspondence markers tie the densest changed structures in plot(b)
+//! back to the positions of the same vertices in plot(a), giving the
+//! "cognitive correspondence" of the Wiki case study (Figure 8).
+
+use tkc_core::decompose::triangle_kcore_decomposition;
+use tkc_core::dynamic::DynamicTriangleKCore;
+use tkc_graph::components::{edge_set_vertices, triangle_connected_components};
+use tkc_graph::{EdgeId, Graph, VertexId};
+
+use crate::ordering::{density_order, DensityPlot};
+use crate::plot::{draw_series, PlotMarker, PlotStyle};
+use crate::svg::SvgDocument;
+
+/// One highlighted changed structure, located in both plots.
+#[derive(Debug, Clone)]
+pub struct CorrespondenceMarker {
+    /// Marker color (cycled from a fixed palette).
+    pub color: String,
+    /// κ level of the structure in the *new* graph.
+    pub level: u32,
+    /// Its vertices.
+    pub vertices: Vec<VertexId>,
+    /// Positions of those vertices in plot(a).
+    pub before_positions: Vec<usize>,
+    /// Positions in plot(b).
+    pub after_positions: Vec<usize>,
+}
+
+/// The two plots plus correspondence markers.
+#[derive(Debug, Clone)]
+pub struct DualView {
+    /// plot(a): the original graph's clique distribution.
+    pub before: DensityPlot,
+    /// plot(b): changed cliques only.
+    pub after: DensityPlot,
+    /// The top changed structures, located in both plots.
+    pub markers: Vec<CorrespondenceMarker>,
+    /// Edge ids of the added edges in the updated graph.
+    pub added_edges: Vec<EdgeId>,
+}
+
+const PALETTE: [&str; 6] = [
+    "#16a34a", // green triangle of Fig 8
+    "#dc2626", // red rectangle
+    "#f59e0b", // orange ellipse
+    "#7c3aed", "#0891b2", "#be185d",
+];
+
+/// Runs Algorithm 3: decompose `old`, apply `additions` incrementally,
+/// plot both views and mark the `top_k` densest changed structures.
+///
+/// Additions referencing equal endpoints, unknown vertices or existing
+/// edges are skipped (mirroring the tolerant snapshot-diff setting of the
+/// Wiki study).
+pub fn dual_view(old: &Graph, additions: &[(VertexId, VertexId)], top_k: usize) -> DualView {
+    // Step 1-3: κ and plot(a) for the original graph.
+    let d_old = triangle_kcore_decomposition(old);
+    let before = {
+        let mut vals = vec![0u32; old.edge_bound()];
+        for e in old.edge_ids() {
+            vals[e.index()] = d_old.kappa(e) + 2;
+        }
+        density_order(old, &vals)
+    };
+
+    // Step 4: incremental update.
+    let mut maintainer = DynamicTriangleKCore::from_parts(old.clone(), d_old.into_kappa());
+    let mut added: Vec<EdgeId> = Vec::new();
+    for &(u, v) in additions {
+        if u != v
+            && maintainer.graph().contains_vertex(u)
+            && maintainer.graph().contains_vertex(v)
+            && !maintainer.graph().has_edge(u, v)
+        {
+            added.push(maintainer.insert_edge(u, v).expect("validated insert"));
+        }
+    }
+    let g2 = maintainer.graph();
+
+    // Step 5-6: plot(b) from changed edges only.
+    let mut changed = vec![0u32; g2.edge_bound()];
+    for &e in &added {
+        changed[e.index()] = maintainer.kappa(e) + 2;
+    }
+    let after = density_order(g2, &changed);
+
+    // Step 7: locate the densest changed structures. A changed structure
+    // is a triangle-connected core (at the level of an added edge) that
+    // contains at least one added edge.
+    let mut markers = Vec::new();
+    let mut levels: Vec<u32> = added.iter().map(|&e| maintainer.kappa(e)).collect();
+    levels.sort_unstable_by(|a, b| b.cmp(a));
+    levels.dedup();
+    let added_set: tkc_graph::FxHashSet<EdgeId> = added.iter().copied().collect();
+    'outer: for k in levels {
+        if k == 0 {
+            break;
+        }
+        let comps = triangle_connected_components(g2, |e| maintainer.kappa(e) >= k);
+        // Densest-first within a level: larger components first.
+        let mut comps: Vec<_> = comps
+            .into_iter()
+            .filter(|edges| edges.iter().any(|e| added_set.contains(e)))
+            .collect();
+        comps.sort_by_key(|edges| std::cmp::Reverse(edges.len()));
+        for edges in comps {
+            let vertices = edge_set_vertices(g2, &edges);
+            // Skip structures already covered by a denser marker.
+            if markers.iter().any(|m: &CorrespondenceMarker| {
+                vertices.iter().all(|v| m.vertices.contains(v))
+            }) {
+                continue;
+            }
+            let before_pos = before.positions(old.num_vertices());
+            let after_pos = after.positions(g2.num_vertices());
+            markers.push(CorrespondenceMarker {
+                color: PALETTE[markers.len() % PALETTE.len()].to_string(),
+                level: k,
+                before_positions: vertices
+                    .iter()
+                    .filter_map(|v| before_pos.get(v.index()).copied())
+                    .filter(|&p| p != usize::MAX)
+                    .collect(),
+                after_positions: vertices
+                    .iter()
+                    .filter_map(|v| after_pos.get(v.index()).copied())
+                    .filter(|&p| p != usize::MAX)
+                    .collect(),
+                vertices,
+            });
+            if markers.len() >= top_k {
+                break 'outer;
+            }
+        }
+    }
+
+    DualView {
+        before,
+        after,
+        markers,
+        added_edges: added,
+    }
+}
+
+/// Renders the dual view as one SVG with plot(a) above plot(b) and the
+/// correspondence markers drawn in both bands.
+pub fn render_dual_view(view: &DualView, width: u32, band_height: u32) -> String {
+    let mut doc = SvgDocument::new(width, band_height * 2);
+    let style_a = PlotStyle {
+        width,
+        height: band_height,
+        color: "#2563eb".into(),
+        title: "plot(a): original graph".into(),
+    };
+    let style_b = PlotStyle {
+        width,
+        height: band_height,
+        color: "#475569".into(),
+        title: "plot(b): changed cliques".into(),
+    };
+    let mk = |positions: &dyn Fn(&CorrespondenceMarker) -> Vec<usize>| -> Vec<PlotMarker> {
+        view.markers
+            .iter()
+            .map(|m| PlotMarker {
+                positions: positions(m),
+                color: m.color.clone(),
+                label: format!("κ={} ({}v)", m.level, m.vertices.len()),
+            })
+            .collect()
+    };
+    let markers_a = mk(&|m: &CorrespondenceMarker| m.before_positions.clone());
+    let markers_b = mk(&|m: &CorrespondenceMarker| m.after_positions.clone());
+    draw_series(&mut doc, &view.before, &style_a, 0.0, band_height as f64, &markers_a);
+    draw_series(
+        &mut doc,
+        &view.after,
+        &style_b,
+        band_height as f64,
+        band_height as f64,
+        &markers_b,
+    );
+    doc.finish()
+}
+
+/// Machine-readable marker table: one row per (marker, vertex) with both
+/// plot positions, for downstream analysis of correspondence.
+pub fn marker_table_tsv(view: &DualView) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("marker\tlevel\tcolor\tvertex\tpos_before\tpos_after\n");
+    for (i, m) in view.markers.iter().enumerate() {
+        for (j, v) in m.vertices.iter().enumerate() {
+            let pb = m
+                .before_positions
+                .get(j)
+                .map(|p| p.to_string())
+                .unwrap_or_default();
+            let pa = m
+                .after_positions
+                .get(j)
+                .map(|p| p.to_string())
+                .unwrap_or_default();
+            writeln!(out, "{i}\t{}\t{}\t{v}\t{pb}\t{pa}", m.level, m.color).unwrap();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkc_graph::generators;
+
+    /// The Wiki-style scenario: a 5-clique grows into a 6-clique via a new
+    /// vertex... reduced: planted cliques merge through added edges.
+    fn scenario() -> (Graph, Vec<(VertexId, VertexId)>) {
+        // Old graph: K5 on 0..5, K4 on 5..9, background noise.
+        let mut g = generators::gnp(20, 0.05, 3);
+        let k5: Vec<VertexId> = (0..5u32).map(VertexId).collect();
+        let k4: Vec<VertexId> = (5..9u32).map(VertexId).collect();
+        generators::plant_clique(&mut g, &k5);
+        generators::plant_clique(&mut g, &k4);
+        // Additions: vertex 9 joins the K5 completely (forming K6), and the
+        // two cliques get bridged.
+        let mut adds = vec![];
+        for i in 0..5u32 {
+            adds.push((VertexId(i), VertexId(9)));
+        }
+        adds.push((VertexId(0), VertexId(5)));
+        (g, adds)
+    }
+
+    #[test]
+    fn plots_cover_both_snapshots() {
+        let (g, adds) = scenario();
+        let view = dual_view(&g, &adds, 3);
+        assert_eq!(view.before.len(), g.num_vertices());
+        assert_eq!(view.after.len(), g.num_vertices());
+        assert_eq!(view.added_edges.len(), adds.len());
+    }
+
+    #[test]
+    fn changed_plot_zeroes_untouched_edges() {
+        let (g, adds) = scenario();
+        let view = dual_view(&g, &adds, 3);
+        // The new 6-clique dominates plot(b): its peak is κ+2 = 6.
+        assert_eq!(view.after.max_value(), 6);
+        // plot(a) has the K5 peak of 5.
+        assert!(view.before.max_value() >= 5);
+    }
+
+    #[test]
+    fn top_marker_is_the_grown_clique() {
+        let (g, adds) = scenario();
+        let view = dual_view(&g, &adds, 2);
+        assert!(!view.markers.is_empty());
+        let top = &view.markers[0];
+        assert_eq!(top.level, 4); // K6 → κ = 4
+        for i in 0..5u32 {
+            assert!(top.vertices.contains(&VertexId(i)));
+        }
+        assert!(top.vertices.contains(&VertexId(9)));
+        assert_eq!(top.before_positions.len(), top.vertices.len());
+    }
+
+    #[test]
+    fn duplicate_and_bogus_additions_are_skipped() {
+        let g = generators::complete(4);
+        let adds = vec![
+            (VertexId(0), VertexId(1)), // duplicate
+            (VertexId(2), VertexId(2)), // self loop
+        ];
+        let view = dual_view(&g, &adds, 2);
+        assert!(view.added_edges.is_empty());
+        assert!(view.markers.is_empty());
+    }
+
+    #[test]
+    fn svg_and_tsv_render() {
+        let (g, adds) = scenario();
+        let view = dual_view(&g, &adds, 3);
+        let svg = render_dual_view(&view, 800, 240);
+        assert!(svg.contains("plot(a)"));
+        assert!(svg.contains("plot(b)"));
+        let tsv = marker_table_tsv(&view);
+        assert!(tsv.lines().count() > view.markers.len());
+        assert!(tsv.starts_with("marker\t"));
+    }
+}

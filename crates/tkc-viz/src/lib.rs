@@ -1,0 +1,35 @@
+//! # tkc-viz — density plots and dual views for Triangle K-Core analysis
+//!
+//! The visual-analytic layer of the paper (§V): CSV/OPTICS-style density
+//! plots driven by the `κ(e) + 2` co-clique proxy, dual-view plots with
+//! cognitive correspondence for evolving graphs (Algorithm 3), and
+//! dependency-free SVG / TSV / ASCII renderers.
+//!
+//! ```
+//! use tkc_graph::generators;
+//! use tkc_core::decompose::triangle_kcore_decomposition;
+//! use tkc_viz::ordering::kappa_density_plot;
+//! use tkc_viz::plot::ascii_sparkline;
+//!
+//! let g = generators::connected_caveman(4, 6);
+//! let d = triangle_kcore_decomposition(&g);
+//! let plot = kappa_density_plot(&g, &d);
+//! // Four dense caves → four plateaus.
+//! println!("{}", ascii_sparkline(&plot, 40));
+//! assert_eq!(plot.max_value(), 6);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod distribution;
+pub mod dual_view;
+pub mod ordering;
+pub mod plot;
+pub mod subgraph;
+pub mod svg;
+
+pub use dual_view::{dual_view, DualView};
+pub use ordering::{density_order, kappa_density_plot, plot_similarity, DensityPlot};
+pub use plot::{ascii_sparkline, density_plot_tsv, render_density_plot, PlotStyle};
+pub use distribution::{distribution_tsv, kappa_ccdf, render_kappa_histogram};
+pub use subgraph::{render_structure, render_subgraph, EdgeClass};

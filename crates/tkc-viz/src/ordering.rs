@@ -1,0 +1,277 @@
+//! OPTICS/CSV-style density plot ordering (paper §V).
+//!
+//! CSV plots every vertex along the X axis in a reachability order and uses
+//! the co-clique size of the edge connecting it to the already-plotted
+//! region as its Y value, so that dense subgraphs appear as *flat peaks*.
+//! That traversal is a maximum-weight Prim walk: repeatedly emit the
+//! unvisited vertex with the heaviest edge into the emitted region, seeding
+//! each new component at its heaviest vertex. Ties break on vertex id so
+//! plots are deterministic and testable.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use tkc_core::decompose::Decomposition;
+use tkc_graph::{Graph, VertexId};
+
+/// A density plot: vertices in plotted order with their Y values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DensityPlot {
+    /// Vertices left to right.
+    pub order: Vec<VertexId>,
+    /// Y value (co-clique size) of each plotted vertex.
+    pub values: Vec<u32>,
+}
+
+impl DensityPlot {
+    /// Number of plotted vertices.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True when nothing is plotted.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The plotted position of each vertex (`usize::MAX` for absent ids);
+    /// used by dual-view correspondence markers.
+    pub fn positions(&self, num_vertices: usize) -> Vec<usize> {
+        let mut pos = vec![usize::MAX; num_vertices];
+        for (i, v) in self.order.iter().enumerate() {
+            pos[v.index()] = i;
+        }
+        pos
+    }
+
+    /// Y value by vertex id (0 for absent ids).
+    pub fn value_by_vertex(&self, num_vertices: usize) -> Vec<u32> {
+        let mut val = vec![0u32; num_vertices];
+        for (i, v) in self.order.iter().enumerate() {
+            val[v.index()] = self.values[i];
+        }
+        val
+    }
+
+    /// Largest Y value (0 when empty).
+    pub fn max_value(&self) -> u32 {
+        self.values.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Builds the plot from an arbitrary per-edge value vector (indexed by raw
+/// edge id). This is the generic entry point shared by the Triangle K-Core
+/// proxy, the CSV baseline and the template-pattern plots.
+pub fn density_order(g: &Graph, edge_value: &[u32]) -> DensityPlot {
+    let n = g.num_vertices();
+    let mut order = Vec::with_capacity(n);
+    let mut values = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    // best[v] = current heaviest edge joining v to the plotted region;
+    // pushed[v] = v has entered the frontier at least once.
+    let mut best = vec![0u32; n];
+    let mut pushed = vec![false; n];
+
+    // Seed list: vertices by their own heaviest incident value, densest
+    // first (tie: smaller id). Each connected region starts at its peak;
+    // a cursor scans for the next unvisited seed when the frontier drains.
+    let mut seeds: Vec<(u32, u32)> = (0..n as u32)
+        .map(|v| {
+            let own = g
+                .neighbors(VertexId(v))
+                .map(|(_, e)| edge_value[e.index()])
+                .max()
+                .unwrap_or(0);
+            (own, v)
+        })
+        .collect();
+    seeds.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut seed_cursor = 0usize;
+
+    // Frontier max-heap keyed (connecting value, Reverse(vertex id)) with
+    // lazy deletion.
+    let mut heap: BinaryHeap<(u32, Reverse<u32>)> = BinaryHeap::new();
+
+    while order.len() < n {
+        let (v, val) = loop {
+            match heap.pop() {
+                Some((val, Reverse(v))) => {
+                    let vi = v as usize;
+                    if visited[vi] || val < best[vi] {
+                        continue; // stale entry
+                    }
+                    break (v, val);
+                }
+                None => {
+                    // Frontier drained: start the next region at its peak.
+                    while visited[seeds[seed_cursor].1 as usize] {
+                        seed_cursor += 1;
+                    }
+                    let (val, v) = seeds[seed_cursor];
+                    break (v, val);
+                }
+            }
+        };
+        let vi = v as usize;
+        visited[vi] = true;
+        order.push(VertexId(v));
+        values.push(val);
+        for (w, e) in g.neighbors(VertexId(v)) {
+            let wi = w.index();
+            if visited[wi] {
+                continue;
+            }
+            let cand = edge_value[e.index()];
+            // First contact always enters the frontier (even at value 0,
+            // so components are exhausted before the next seed fires);
+            // afterwards only improvements re-enter.
+            if !pushed[wi] || cand > best[wi] {
+                pushed[wi] = true;
+                best[wi] = best[wi].max(cand);
+                heap.push((best[wi], Reverse(w.0)));
+            }
+        }
+    }
+    DensityPlot { order, values }
+}
+
+/// The paper's plot: Y = κ(e) + 2 per edge (co-clique proxy, §V), with
+/// triangle-free edges contributing their trivial value 2 and isolated
+/// vertices plotted at 0.
+pub fn kappa_density_plot(g: &Graph, decomp: &Decomposition) -> DensityPlot {
+    let mut vals = vec![0u32; g.edge_bound()];
+    for e in g.edge_ids() {
+        vals[e.index()] = decomp.kappa(e) + 2;
+    }
+    density_order(g, &vals)
+}
+
+/// Pearson correlation of the per-vertex Y values of two plots over the
+/// same vertex set — the quantitative form of Figure 6's "similar (S)"
+/// annotation. Returns 1.0 for two constant identical vectors.
+pub fn plot_similarity(a: &DensityPlot, b: &DensityPlot, num_vertices: usize) -> f64 {
+    let va = a.value_by_vertex(num_vertices);
+    let vb = b.value_by_vertex(num_vertices);
+    pearson(
+        &va.iter().map(|&x| x as f64).collect::<Vec<_>>(),
+        &vb.iter().map(|&x| x as f64).collect::<Vec<_>>(),
+    )
+}
+
+/// Pearson correlation coefficient; 1.0 when both sides are constant and
+/// equal, 0.0 when either side is constant but they differ.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len() as f64;
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 && syy == 0.0 {
+        return if xs == ys { 1.0 } else { 0.0 };
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkc_core::decompose::triangle_kcore_decomposition;
+    use tkc_graph::generators;
+
+    fn two_cliques_plot() -> (Graph, DensityPlot) {
+        // K6 and K4 joined by a path; K6 should be plotted first as a flat
+        // peak of 6s, then the K4 as a run of 4s.
+        let mut g = generators::complete(6);
+        g.add_vertices(4);
+        for i in 6..10u32 {
+            for j in (i + 1)..10 {
+                g.add_edge(VertexId(i), VertexId(j)).unwrap();
+            }
+        }
+        g.add_edge(VertexId(5), VertexId(6)).unwrap();
+        let d = triangle_kcore_decomposition(&g);
+        let plot = kappa_density_plot(&g, &d);
+        (g, plot)
+    }
+
+    #[test]
+    fn plots_every_vertex_once() {
+        let (g, plot) = two_cliques_plot();
+        assert_eq!(plot.len(), g.num_vertices());
+        let mut sorted: Vec<_> = plot.order.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), g.num_vertices());
+    }
+
+    #[test]
+    fn dense_region_forms_flat_peak_first() {
+        let (_, plot) = two_cliques_plot();
+        // First six plotted vertices are the K6 at value 6.
+        assert!(plot.values[..6].iter().all(|&v| v == 6), "{:?}", plot.values);
+        assert!(plot.order[..6].iter().all(|v| v.index() < 6));
+        // The K4 is entered through the weak bridge (a valley at 2), then
+        // rises to its plateau of 4s — the OPTICS dip-and-peak shape.
+        assert_eq!(plot.values[6..], [2, 4, 4, 4]);
+        assert!(plot.order[6..].iter().all(|v| v.index() >= 6));
+    }
+
+    #[test]
+    fn isolated_vertices_trail_at_zero() {
+        let mut g = generators::complete(3);
+        g.add_vertices(2);
+        let d = triangle_kcore_decomposition(&g);
+        let plot = kappa_density_plot(&g, &d);
+        assert_eq!(plot.values, vec![3, 3, 3, 0, 0]);
+    }
+
+    #[test]
+    fn deterministic_ordering() {
+        let g = generators::gnp(40, 0.1, 8);
+        let d = triangle_kcore_decomposition(&g);
+        let a = kappa_density_plot(&g, &d);
+        let b = kappa_density_plot(&g, &d);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn positions_and_value_lookup_roundtrip() {
+        let (g, plot) = two_cliques_plot();
+        let pos = plot.positions(g.num_vertices());
+        for (i, v) in plot.order.iter().enumerate() {
+            assert_eq!(pos[v.index()], i);
+        }
+        let byv = plot.value_by_vertex(g.num_vertices());
+        for (i, v) in plot.order.iter().enumerate() {
+            assert_eq!(byv[v.index()], plot.values[i]);
+        }
+    }
+
+    #[test]
+    fn pearson_edge_cases() {
+        assert_eq!(pearson(&[], &[]), 1.0);
+        assert_eq!(pearson(&[1.0, 1.0], &[1.0, 1.0]), 1.0);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 2.0]), 0.0);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_value_sources_give_similarity_one() {
+        let (g, plot) = two_cliques_plot();
+        assert!((plot_similarity(&plot, &plot, g.num_vertices()) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,250 @@
+//! Renderers for [`DensityPlot`]s: SVG for reports, TSV for downstream
+//! tooling, and an ASCII preview for terminals.
+
+use std::fmt::Write as _;
+
+use crate::ordering::DensityPlot;
+use crate::svg::SvgDocument;
+
+/// Visual style knobs for the SVG renderer.
+#[derive(Debug, Clone)]
+pub struct PlotStyle {
+    /// Total pixel width.
+    pub width: u32,
+    /// Total pixel height.
+    pub height: u32,
+    /// Series color.
+    pub color: String,
+    /// Plot title drawn in the top-left corner.
+    pub title: String,
+}
+
+impl Default for PlotStyle {
+    fn default() -> Self {
+        PlotStyle {
+            width: 900,
+            height: 260,
+            color: "#2563eb".to_string(),
+            title: String::new(),
+        }
+    }
+}
+
+const MARGIN_L: f64 = 42.0;
+const MARGIN_R: f64 = 10.0;
+const MARGIN_T: f64 = 24.0;
+const MARGIN_B: f64 = 24.0;
+
+/// Draws one density plot series into a fresh SVG document.
+pub fn render_density_plot(plot: &DensityPlot, style: &PlotStyle) -> String {
+    let mut doc = SvgDocument::new(style.width, style.height);
+    draw_series(&mut doc, plot, style, 0.0, style.height as f64, &[]);
+    doc.finish()
+}
+
+/// A correspondence marker: a set of plot positions highlighted with a
+/// shared color (the green triangle / red rectangle / orange ellipse of
+/// Figure 8, reduced to colored dots).
+#[derive(Debug, Clone)]
+pub struct PlotMarker {
+    /// X positions (plot order indices) to highlight.
+    pub positions: Vec<usize>,
+    /// CSS color of the marker.
+    pub color: String,
+    /// Legend label.
+    pub label: String,
+}
+
+/// Internal: draws one series into the vertical band `[y0, y0+band_h)` of
+/// an existing document, with optional markers.
+pub(crate) fn draw_series(
+    doc: &mut SvgDocument,
+    plot: &DensityPlot,
+    style: &PlotStyle,
+    y0: f64,
+    band_h: f64,
+    markers: &[PlotMarker],
+) {
+    let w = style.width as f64;
+    let inner_w = w - MARGIN_L - MARGIN_R;
+    let inner_h = band_h - MARGIN_T - MARGIN_B;
+    let max_v = plot.max_value().max(1) as f64;
+    let n = plot.len().max(1) as f64;
+
+    let x_of = |i: usize| MARGIN_L + inner_w * (i as f64) / n;
+    let y_of = |v: u32| y0 + MARGIN_T + inner_h * (1.0 - v as f64 / max_v);
+
+    // Frame and axis labels.
+    doc.rect(0.0, y0, w, band_h, "#ffffff");
+    doc.line(MARGIN_L, y0 + MARGIN_T, MARGIN_L, y0 + band_h - MARGIN_B, "#888888", 1.0);
+    doc.line(
+        MARGIN_L,
+        y0 + band_h - MARGIN_B,
+        w - MARGIN_R,
+        y0 + band_h - MARGIN_B,
+        "#888888",
+        1.0,
+    );
+    doc.text(4.0, y0 + MARGIN_T + 4.0, 10, "#444444", &format!("{}", plot.max_value()));
+    doc.text(4.0, y0 + band_h - MARGIN_B, 10, "#444444", "0");
+    if !style.title.is_empty() {
+        doc.text(MARGIN_L, y0 + 14.0, 12, "#111111", &style.title);
+    }
+
+    // The series itself: vertical bars read better than a polyline for the
+    // spiky CSV-style plots at high vertex counts.
+    if plot.len() <= 2000 {
+        for (i, &v) in plot.values.iter().enumerate() {
+            let x = x_of(i);
+            doc.line(x, y_of(0), x, y_of(v), &style.color, (inner_w / n).clamp(0.4, 3.0));
+        }
+    } else {
+        let pts: Vec<(f64, f64)> = plot
+            .values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (x_of(i), y_of(v)))
+            .collect();
+        doc.polyline(&pts, &style.color, 0.8);
+    }
+
+    // Markers on top.
+    for m in markers {
+        for &p in &m.positions {
+            if p < plot.len() {
+                doc.circle(x_of(p), y_of(plot.values[p]) - 3.0, 3.0, &m.color, "none");
+            }
+        }
+    }
+    // Marker legend.
+    let mut lx = MARGIN_L + 60.0;
+    for m in markers {
+        doc.circle(lx, y0 + 10.0, 3.5, &m.color, "none");
+        doc.text(lx + 6.0, y0 + 14.0, 10, "#333333", &m.label);
+        lx += 12.0 + 7.0 * m.label.len() as f64;
+    }
+}
+
+/// Renders two plots stacked in one SVG (e.g. a baseline's series above
+/// the Triangle K-Core proxy for the Figure 6 comparison).
+pub fn draw_series_pair(
+    top: &DensityPlot,
+    bottom: &DensityPlot,
+    top_title: &str,
+    bottom_title: &str,
+    width: u32,
+    band_height: u32,
+) -> String {
+    let mut doc = SvgDocument::new(width, band_height * 2);
+    let style_top = PlotStyle {
+        width,
+        height: band_height,
+        color: "#dc2626".into(),
+        title: top_title.to_string(),
+    };
+    let style_bottom = PlotStyle {
+        width,
+        height: band_height,
+        color: "#2563eb".into(),
+        title: bottom_title.to_string(),
+    };
+    draw_series(&mut doc, top, &style_top, 0.0, band_height as f64, &[]);
+    draw_series(
+        &mut doc,
+        bottom,
+        &style_bottom,
+        band_height as f64,
+        band_height as f64,
+        &[],
+    );
+    doc.finish()
+}
+
+/// Serializes a plot as TSV: `position  vertex  value`.
+pub fn density_plot_tsv(plot: &DensityPlot) -> String {
+    let mut out = String::with_capacity(plot.len() * 12 + 24);
+    out.push_str("position\tvertex\tvalue\n");
+    for (i, (&v, &val)) in plot.order.iter().zip(&plot.values).enumerate() {
+        writeln!(out, "{i}\t{v}\t{val}").unwrap();
+    }
+    out
+}
+
+/// Compact terminal preview: buckets the series into `width` columns and
+/// draws each column's max with eight-level block characters.
+pub fn ascii_sparkline(plot: &DensityPlot, width: usize) -> String {
+    const BLOCKS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if plot.is_empty() || width == 0 {
+        return String::new();
+    }
+    let max_v = plot.max_value().max(1);
+    let cols = width.min(plot.len());
+    let mut out = String::with_capacity(cols * 3);
+    for c in 0..cols {
+        let lo = c * plot.len() / cols;
+        let hi = ((c + 1) * plot.len() / cols).max(lo + 1);
+        let peak = plot.values[lo..hi].iter().copied().max().unwrap_or(0);
+        let idx = (peak as usize * 8).div_ceil(max_v as usize);
+        out.push(BLOCKS[idx.min(8)]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkc_graph::VertexId;
+
+    fn sample_plot() -> DensityPlot {
+        DensityPlot {
+            order: (0..8u32).map(VertexId).collect(),
+            values: vec![6, 6, 6, 2, 4, 4, 4, 0],
+        }
+    }
+
+    #[test]
+    fn svg_contains_series_and_title() {
+        let style = PlotStyle {
+            title: "PPI".into(),
+            ..PlotStyle::default()
+        };
+        let svg = render_density_plot(&sample_plot(), &style);
+        assert!(svg.contains("PPI"));
+        assert!(svg.matches("<line").count() >= 8); // axes + bars
+    }
+
+    #[test]
+    fn svg_switches_to_polyline_for_large_plots() {
+        let big = DensityPlot {
+            order: (0..3000u32).map(VertexId).collect(),
+            values: (0..3000u32).map(|i| i % 7).collect(),
+        };
+        let svg = render_density_plot(&big, &PlotStyle::default());
+        assert!(svg.contains("<polyline"));
+    }
+
+    #[test]
+    fn tsv_has_header_and_rows() {
+        let tsv = density_plot_tsv(&sample_plot());
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert_eq!(lines.len(), 9);
+        assert_eq!(lines[0], "position\tvertex\tvalue");
+        assert_eq!(lines[1], "0\t0\t6");
+        assert_eq!(lines[8], "7\t7\t0");
+    }
+
+    #[test]
+    fn sparkline_peaks_where_values_peak() {
+        let s = ascii_sparkline(&sample_plot(), 8);
+        assert_eq!(s.chars().count(), 8);
+        assert_eq!(s.chars().next().unwrap(), '█');
+        assert_eq!(s.chars().last().unwrap(), ' ');
+    }
+
+    #[test]
+    fn sparkline_handles_degenerate_inputs() {
+        assert_eq!(ascii_sparkline(&sample_plot(), 0), "");
+        let empty = DensityPlot { order: vec![], values: vec![] };
+        assert_eq!(ascii_sparkline(&empty, 10), "");
+    }
+}

@@ -1,0 +1,143 @@
+//! Small-subgraph drawings: the detail panels of Figures 7, 8(c-e) and 12
+//! — an extracted clique or bridge structure laid out on a circle, with
+//! black intra-group and red inter-group edges and optional vertex labels.
+
+use tkc_graph::{EdgeId, Graph, VertexId};
+
+use crate::svg::SvgDocument;
+
+/// Visual classification of an edge in a subgraph drawing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeClass {
+    /// Drawn thin and black (intra-group / original).
+    Normal,
+    /// Drawn thicker and red (inter-group / newly added).
+    Highlight,
+    /// Not drawn.
+    Hidden,
+}
+
+/// Renders the subgraph induced by `vertices` on a circular layout.
+///
+/// * `labels` — optional text per vertex (aligned with `vertices`); the
+///   vertex id is used otherwise;
+/// * `classify` — edge → [`EdgeClass`], e.g. red for inter-complex edges.
+pub fn render_subgraph<F>(
+    g: &Graph,
+    vertices: &[VertexId],
+    labels: Option<&[String]>,
+    classify: F,
+    size: u32,
+) -> String
+where
+    F: Fn(EdgeId) -> EdgeClass,
+{
+    let mut doc = SvgDocument::new(size, size);
+    let n = vertices.len().max(1);
+    let cx = size as f64 / 2.0;
+    let cy = size as f64 / 2.0;
+    let r = size as f64 / 2.0 - 40.0;
+    let pos = |i: usize| -> (f64, f64) {
+        let angle = std::f64::consts::TAU * (i as f64) / (n as f64) - std::f64::consts::FRAC_PI_2;
+        (cx + r * angle.cos(), cy + r * angle.sin())
+    };
+    doc.rect(0.0, 0.0, size as f64, size as f64, "#ffffff");
+
+    // Edges first so vertices draw on top.
+    for (i, &u) in vertices.iter().enumerate() {
+        for (j, &v) in vertices.iter().enumerate().skip(i + 1) {
+            if let Some(e) = g.edge_between(u, v) {
+                let (x1, y1) = pos(i);
+                let (x2, y2) = pos(j);
+                match classify(e) {
+                    EdgeClass::Normal => {
+                        doc.line(x1, y1, x2, y2, "#333333", 1.0);
+                    }
+                    EdgeClass::Highlight => {
+                        doc.line(x1, y1, x2, y2, "#dc2626", 2.0);
+                    }
+                    EdgeClass::Hidden => {}
+                }
+            }
+        }
+    }
+    for (i, &v) in vertices.iter().enumerate() {
+        let (x, y) = pos(i);
+        doc.circle(x, y, 9.0, "#eff6ff", "#1d4ed8");
+        let label = labels
+            .and_then(|ls| ls.get(i).cloned())
+            .unwrap_or_else(|| v.to_string());
+        doc.text(x + 11.0, y + 4.0, 11, "#111111", &label);
+    }
+    doc.finish()
+}
+
+/// Convenience: draw a structure with "new"/inter-group edges highlighted
+/// by a boolean predicate.
+pub fn render_structure(
+    g: &Graph,
+    vertices: &[VertexId],
+    is_highlight: impl Fn(EdgeId) -> bool,
+    size: u32,
+) -> String {
+    render_subgraph(
+        g,
+        vertices,
+        None,
+        |e| {
+            if is_highlight(e) {
+                EdgeClass::Highlight
+            } else {
+                EdgeClass::Normal
+            }
+        },
+        size,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkc_graph::generators;
+
+    #[test]
+    fn draws_all_clique_edges_and_vertices() {
+        let g = generators::complete(5);
+        let vs: Vec<VertexId> = (0..5u32).map(VertexId).collect();
+        let svg = render_structure(&g, &vs, |_| false, 300);
+        assert_eq!(svg.matches("<circle").count(), 5);
+        // 10 clique edges + 0 axes (subgraph drawings have no axes).
+        assert_eq!(svg.matches("<line").count(), 10);
+        assert!(svg.contains("#333333"));
+    }
+
+    #[test]
+    fn highlights_classified_edges() {
+        let mut g = generators::complete(4);
+        let bridge = g.add_vertex();
+        g.add_edge(VertexId(0), bridge).unwrap();
+        let vs: Vec<VertexId> = (0..5u32).map(VertexId).collect();
+        let special = g.edge_between(VertexId(0), bridge).unwrap();
+        let svg = render_structure(&g, &vs, |e| e == special, 300);
+        assert_eq!(svg.matches("#dc2626").count(), 1);
+    }
+
+    #[test]
+    fn labels_override_ids() {
+        let g = generators::complete(3);
+        let vs: Vec<VertexId> = (0..3u32).map(VertexId).collect();
+        let labels: Vec<String> = ["PRE1", "RPN11", "RPN12"].iter().map(|s| s.to_string()).collect();
+        let svg = render_subgraph(&g, &vs, Some(&labels), |_| EdgeClass::Normal, 240);
+        assert!(svg.contains("PRE1"));
+        assert!(svg.contains("RPN12"));
+    }
+
+    #[test]
+    fn hidden_edges_are_omitted() {
+        let g = generators::complete(4);
+        let vs: Vec<VertexId> = (0..4u32).map(VertexId).collect();
+        let svg = render_subgraph(&g, &vs, None, |_| EdgeClass::Hidden, 200);
+        assert_eq!(svg.matches("<line").count(), 0);
+        assert_eq!(svg.matches("<circle").count(), 4);
+    }
+}

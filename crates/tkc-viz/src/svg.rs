@@ -1,0 +1,129 @@
+//! A tiny dependency-free SVG document builder — just enough for the
+//! density plots, dual views and subgraph drawings the suite emits.
+
+use std::fmt::Write as _;
+
+/// An SVG document under construction.
+#[derive(Debug, Clone)]
+pub struct SvgDocument {
+    width: u32,
+    height: u32,
+    body: String,
+}
+
+impl SvgDocument {
+    /// Creates an empty document of the given pixel size.
+    pub fn new(width: u32, height: u32) -> Self {
+        SvgDocument {
+            width,
+            height,
+            body: String::new(),
+        }
+    }
+
+    /// Filled rectangle.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str) -> &mut Self {
+        writeln!(
+            self.body,
+            r#"  <rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" fill="{fill}"/>"#
+        )
+        .unwrap();
+        self
+    }
+
+    /// Circle outline or fill.
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str, stroke: &str) -> &mut Self {
+        writeln!(
+            self.body,
+            r#"  <circle cx="{cx:.2}" cy="{cy:.2}" r="{r:.2}" fill="{fill}" stroke="{stroke}"/>"#
+        )
+        .unwrap();
+        self
+    }
+
+    /// Straight line segment.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) -> &mut Self {
+        writeln!(
+            self.body,
+            r#"  <line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="{stroke}" stroke-width="{width:.2}"/>"#
+        )
+        .unwrap();
+        self
+    }
+
+    /// Open polyline through the given points.
+    pub fn polyline(&mut self, points: &[(f64, f64)], stroke: &str, width: f64) -> &mut Self {
+        let mut pts = String::new();
+        for &(x, y) in points {
+            write!(pts, "{x:.2},{y:.2} ").unwrap();
+        }
+        writeln!(
+            self.body,
+            r#"  <polyline points="{}" fill="none" stroke="{stroke}" stroke-width="{width:.2}"/>"#,
+            pts.trim_end()
+        )
+        .unwrap();
+        self
+    }
+
+    /// Text label anchored at its start.
+    pub fn text(&mut self, x: f64, y: f64, size: u32, fill: &str, content: &str) -> &mut Self {
+        writeln!(
+            self.body,
+            r#"  <text x="{x:.2}" y="{y:.2}" font-size="{size}" font-family="sans-serif" fill="{fill}">{}</text>"#,
+            escape(content)
+        )
+        .unwrap();
+        self
+    }
+
+    /// Serializes the document.
+    pub fn finish(&self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" viewBox=\"0 0 {} {}\">\n{}</svg>\n",
+            self.width, self.height, self.width, self.height, self.body
+        )
+    }
+
+    /// Writes the document to a file.
+    pub fn save<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
+        std::fs::write(path, self.finish())
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_well_formed_document() {
+        let mut doc = SvgDocument::new(100, 50);
+        doc.rect(0.0, 0.0, 100.0, 50.0, "#ffffff")
+            .circle(10.0, 10.0, 3.0, "red", "none")
+            .line(0.0, 0.0, 100.0, 50.0, "#333", 1.0)
+            .polyline(&[(0.0, 0.0), (5.0, 5.0)], "blue", 0.5)
+            .text(2.0, 12.0, 10, "#000", "κ < 3 & more");
+        let s = doc.finish();
+        assert!(s.starts_with("<svg"));
+        assert!(s.ends_with("</svg>\n"));
+        assert!(s.contains("&lt; 3 &amp; more"));
+        assert_eq!(s.matches("<rect").count(), 1);
+        assert_eq!(s.matches("<circle").count(), 1);
+    }
+
+    #[test]
+    fn save_roundtrip() {
+        let dir = std::env::temp_dir().join("tkc_svg_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.svg");
+        let doc = SvgDocument::new(10, 10);
+        doc.save(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("viewBox=\"0 0 10 10\""));
+        std::fs::remove_file(path).ok();
+    }
+}

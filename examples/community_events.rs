@@ -1,0 +1,73 @@
+//! Event detection on an evolving network: classify how the dense
+//! communities of one snapshot became those of the next (continue / grow /
+//! shrink / merge / split / form / dissolve) — the "characterizing the
+//! type of change" use case from the paper's introduction.
+//!
+//! Run with: `cargo run --release -p triangle-kcore --example community_events`
+
+use triangle_kcore::patterns::{detect_events, Event, EventOptions};
+use triangle_kcore::prelude::*;
+
+fn main() {
+    // Snapshot 1: background noise plus four planted communities.
+    let mut old = generators::gnp(300, 0.005, 9);
+    let base = old.num_vertices();
+    old.add_vertices(6 + 6 + 7 + 5);
+    let a: Vec<VertexId> = (base..base + 6).map(VertexId::from).collect();
+    let b: Vec<VertexId> = (base + 6..base + 12).map(VertexId::from).collect();
+    let c: Vec<VertexId> = (base + 12..base + 19).map(VertexId::from).collect();
+    let d: Vec<VertexId> = (base + 19..base + 24).map(VertexId::from).collect();
+    for grp in [&a, &b, &c, &d] {
+        generators::plant_clique(&mut old, grp);
+    }
+
+    // Snapshot 2: A and B merge; C grows by two; D dissolves; E forms.
+    let mut new = generators::gnp(300, 0.005, 10);
+    new.add_vertices(old.num_vertices() - new.num_vertices() + 8);
+    let ab: Vec<VertexId> = a.iter().chain(&b).copied().collect();
+    generators::plant_clique(&mut new, &ab);
+    let mut c2 = c.clone();
+    c2.push(VertexId::from(old.num_vertices()));
+    c2.push(VertexId::from(old.num_vertices() + 1));
+    generators::plant_clique(&mut new, &c2);
+    let e: Vec<VertexId> = (old.num_vertices() + 2..old.num_vertices() + 8)
+        .map(VertexId::from)
+        .collect();
+    generators::plant_clique(&mut new, &e);
+    // (D's clique is simply absent from snapshot 2.)
+
+    let report = detect_events(&old, &new, 3, &EventOptions::default());
+    println!(
+        "level-3 cores: {} before, {} after",
+        report.old_cores.len(),
+        report.new_cores.len()
+    );
+    for ev in &report.events {
+        match ev {
+            Event::Continue { before, after, jaccard } => println!(
+                "  CONTINUE  old#{before} → new#{after} (jaccard {jaccard:.2})"
+            ),
+            Event::Grow { before, after, gained } => println!(
+                "  GROW      old#{before} → new#{after} (+{gained} vertices)"
+            ),
+            Event::Shrink { before, after, lost } => println!(
+                "  SHRINK    old#{before} → new#{after} (-{lost} vertices)"
+            ),
+            Event::Merge { before, after } => println!(
+                "  MERGE     old#{before:?} → new#{after}"
+            ),
+            Event::Split { before, after } => println!(
+                "  SPLIT     old#{before} → new#{after:?}"
+            ),
+            Event::Form { after } => println!("  FORM      → new#{after}"),
+            Event::Dissolve { before } => println!("  DISSOLVE  old#{before}"),
+        }
+    }
+
+    let has = |pred: &dyn Fn(&Event) -> bool| report.events.iter().any(pred);
+    assert!(has(&|e| matches!(e, Event::Merge { .. })), "A+B merge missed");
+    assert!(has(&|e| matches!(e, Event::Grow { gained: 2, .. })), "C growth missed");
+    assert!(has(&|e| matches!(e, Event::Dissolve { .. })), "D dissolve missed");
+    assert!(has(&|e| matches!(e, Event::Form { .. })), "E formation missed");
+    println!("\nall four planted events recovered.");
+}

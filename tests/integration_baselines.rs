@@ -1,0 +1,86 @@
+//! Integration: the baselines against the core on realistic dataset
+//! stand-ins — Claim 3 at scale and the CSV/κ+2 relationship the Figure 6
+//! comparison rests on.
+
+use triangle_kcore::baselines::csv::{csv_co_clique_sizes, CsvOptions};
+use triangle_kcore::baselines::dngraph::{bitridn, is_valid_lambda, tridn};
+use triangle_kcore::prelude::*;
+use triangle_kcore::viz::ordering::plot_similarity;
+
+#[test]
+fn claim3_on_registry_datasets() {
+    for (id, scale) in [
+        (triangle_kcore::datasets::DatasetId::Synthetic, 1.0),
+        (triangle_kcore::datasets::DatasetId::Stocks, 1.0),
+        (triangle_kcore::datasets::DatasetId::Ppi, 0.2),
+        (triangle_kcore::datasets::DatasetId::AstroAuthor, 0.03),
+    ] {
+        let g = triangle_kcore::datasets::build(id, scale, 31);
+        let d = triangle_kcore_decomposition(&g);
+        let a = tridn(&g);
+        let b = bitridn(&g);
+        for e in g.edge_ids() {
+            assert_eq!(a.lambda(e), d.kappa(e), "{:?} tridn", id);
+            assert_eq!(b.lambda(e), d.kappa(e), "{:?} bitridn", id);
+        }
+        assert!(is_valid_lambda(&g, &a.lambda));
+        assert!(
+            b.sweeps <= a.sweeps,
+            "{:?}: bitridn should converge in fewer sweeps",
+            id
+        );
+    }
+}
+
+#[test]
+fn csv_plot_and_proxy_plot_are_similar_on_clustered_data() {
+    let g = triangle_kcore::datasets::build(triangle_kcore::datasets::DatasetId::Dblp, 0.4, 7);
+    let d = triangle_kcore_decomposition(&g);
+    let mut proxy = vec![0u32; g.edge_bound()];
+    for e in g.edge_ids() {
+        proxy[e.index()] = d.kappa(e) + 2;
+    }
+    let csv = csv_co_clique_sizes(&g, &CsvOptions::default());
+    assert_eq!(csv.budget_exhausted, 0, "budget should suffice at this scale");
+
+    // Pointwise: exact co-clique sizes never exceed the proxy.
+    for e in g.edge_ids() {
+        assert!(csv.co_clique_size(e) <= proxy[e.index()]);
+    }
+
+    // Plot-level: the Figure 6 similarity.
+    let plot_proxy = density_order(&g, &proxy);
+    let plot_csv = density_order(&g, &csv.co_clique);
+    let sim = plot_similarity(&plot_csv, &plot_proxy, g.num_vertices());
+    assert!(sim > 0.95, "plots diverged: similarity {sim}");
+}
+
+#[test]
+fn iterative_baselines_do_strictly_more_edge_work() {
+    // The computational story behind Table II: sweeps × edges for the
+    // iterative methods vs one pass for the peel.
+    let g = triangle_kcore::datasets::build(triangle_kcore::datasets::DatasetId::Ppi, 0.3, 3);
+    let a = tridn(&g);
+    assert!(a.edge_updates as usize >= 2 * g.num_edges());
+    let b = bitridn(&g);
+    assert!(b.edge_updates >= g.num_edges() as u64);
+    assert!(b.edge_updates <= a.edge_updates);
+}
+
+#[test]
+fn dn_lambda_degrades_gracefully_when_budget_capped_csv_does_not_affect_it() {
+    // Orthogonality check: capping CSV's budget changes only CSV's output.
+    let g = generators::planted_partition(3, 12, 0.6, 0.05, 2);
+    let full = csv_co_clique_sizes(&g, &CsvOptions::default());
+    let capped = csv_co_clique_sizes(&g, &CsvOptions { node_budget: 8 });
+    assert!(capped.budget_exhausted > 0);
+    for e in g.edge_ids() {
+        // The capped run returns lower bounds.
+        assert!(capped.co_clique_size(e) <= full.co_clique_size(e));
+    }
+    let est = bitridn(&g);
+    let d = triangle_kcore_decomposition(&g);
+    for e in g.edge_ids() {
+        assert_eq!(est.lambda(e), d.kappa(e));
+    }
+}

@@ -1,0 +1,104 @@
+//! Integration: the dataset registry feeds every algorithm without
+//! surprises — sizes track Table I, builds are deterministic, scenarios
+//! compose with the pattern and dual-view layers.
+
+use triangle_kcore::datasets::{build, build_default, DatasetId};
+use triangle_kcore::prelude::*;
+
+#[test]
+fn all_ten_datasets_build_at_smoke_scale() {
+    for id in DatasetId::all() {
+        let info = id.info();
+        let g = build(id, info.default_scale * 0.01, 1);
+        assert!(g.num_edges() >= 60, "{}: too few edges", info.name);
+        g.check_invariants().unwrap();
+        // Everything downstream must run on every dataset.
+        let d = triangle_kcore_decomposition(&g);
+        let plot = kappa_density_plot(&g, &d);
+        assert_eq!(plot.len(), g.num_vertices());
+    }
+}
+
+#[test]
+fn small_datasets_build_at_paper_scale() {
+    let stocks = build_default(DatasetId::Stocks, 1);
+    assert_eq!(stocks.num_vertices(), 275);
+    assert_eq!(stocks.num_edges(), 1680);
+
+    let synthetic = build_default(DatasetId::Synthetic, 1);
+    assert_eq!(synthetic.num_vertices(), 60);
+    let ratio = synthetic.num_edges() as f64 / 308.0;
+    assert!((0.7..=1.3).contains(&ratio), "synthetic edges {}", synthetic.num_edges());
+}
+
+#[test]
+fn determinism_across_calls_and_scales() {
+    for id in [DatasetId::Ppi, DatasetId::Wiki] {
+        let a = build(id, 0.02, 77);
+        let b = build(id, 0.02, 77);
+        assert_eq!(a.num_edges(), b.num_edges());
+        let ea: Vec<_> = a.edges().collect();
+        let eb: Vec<_> = b.edges().collect();
+        assert_eq!(ea, eb, "{:?} not deterministic", id);
+    }
+}
+
+#[test]
+fn churn_script_is_applicable_and_reversible() {
+    let g = build(DatasetId::Dblp, 0.3, 5);
+    let (dels, ins) =
+        triangle_kcore::datasets::scenarios::churn_script(&g, 0.02, 9);
+    let mut m = DynamicTriangleKCore::new(g.clone());
+    let ops: Vec<BatchOp> = dels
+        .iter()
+        .map(|&(u, v)| BatchOp::Remove(u, v))
+        .chain(ins.iter().map(|&(u, v)| BatchOp::Insert(u, v)))
+        .collect();
+    m.apply_batch(ops);
+    // Undo everything: the κ values must return to the originals.
+    let undo: Vec<BatchOp> = ins
+        .iter()
+        .map(|&(u, v)| BatchOp::Remove(u, v))
+        .chain(dels.iter().map(|&(u, v)| BatchOp::Insert(u, v)))
+        .collect();
+    m.apply_batch(undo);
+    let original = triangle_kcore_decomposition(&g);
+    for (_, u, v) in g.edges() {
+        let e_now = m.graph().edge_between(u, v).expect("edge restored");
+        let e_was = g.edge_between(u, v).unwrap();
+        assert_eq!(m.kappa(e_now), original.kappa(e_was));
+    }
+}
+
+#[test]
+fn ppi_case_study_reproduces_figure_7_peaks() {
+    let (g, [c1, c2, c3]) = triangle_kcore::datasets::ppi::ppi_case_study(42);
+    let d = triangle_kcore_decomposition(&g);
+    let peak = |members: &[VertexId]| {
+        members
+            .iter()
+            .flat_map(|&u| members.iter().map(move |&v| (u, v)))
+            .filter(|(u, v)| u < v)
+            .filter_map(|(u, v)| g.edge_between(u, v))
+            .map(|e| d.kappa(e) + 2)
+            .max()
+            .unwrap()
+    };
+    assert_eq!(peak(&c1), 8);
+    assert_eq!(peak(&c2), 10);
+    assert_eq!(peak(&c3), 9, "missing edge must cost exactly one level");
+}
+
+#[test]
+fn collaboration_snapshots_have_paperlike_shape() {
+    let g = triangle_kcore::datasets::collaboration::collaboration_snapshot(2000, 1200, 3);
+    // Team cliques mean the clustering is far above random.
+    let clustering = triangle_kcore::graph::triangles::global_clustering(&g);
+    // (Hub authors contribute many open wedges, so the global coefficient
+    // sits well below the per-team density; random G(n,m) at this size
+    // would be < 0.01.)
+    assert!(clustering > 0.1, "clustering {clustering}");
+    // And κ reflects the biggest team (up to 6 authors → κ = 4).
+    let d = triangle_kcore_decomposition(&g);
+    assert!(d.max_kappa() >= 3);
+}

