@@ -125,6 +125,8 @@ pub fn co_clique_from_kappa(kappa: &[u32]) -> Vec<u32> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use tkc_graph::generators;
 

@@ -149,6 +149,8 @@ pub fn is_valid_lambda(g: &Graph, lambda: &[u32]) -> bool {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use tkc_graph::generators;
 
@@ -197,11 +199,24 @@ mod tests {
         // which is the per-edge density DN-Graph itself cannot provide.
         let g = Graph::from_edges(
             5,
-            [(0, 1), (0, 2), (1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)],
+            [
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (1, 3),
+                (1, 4),
+                (2, 3),
+                (2, 4),
+                (3, 4),
+            ],
         );
         let est = bitridn(&g);
-        let ab = g.edge_between(tkc_graph::VertexId(0), tkc_graph::VertexId(1)).unwrap();
-        let bc = g.edge_between(tkc_graph::VertexId(1), tkc_graph::VertexId(2)).unwrap();
+        let ab = g
+            .edge_between(tkc_graph::VertexId(0), tkc_graph::VertexId(1))
+            .unwrap();
+        let bc = g
+            .edge_between(tkc_graph::VertexId(1), tkc_graph::VertexId(2))
+            .unwrap();
         assert_eq!(est.lambda(ab), 1);
         assert_eq!(est.lambda(bc), 2);
     }

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! §VI of the paper: the DN-Graph iterative estimates converge to exactly
 //! the Triangle K-Core numbers (Claim 3), and CSV's exact co-clique sizes
 //! are bounded above by the κ+2 proxy.

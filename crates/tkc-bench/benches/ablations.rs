@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Ablations for the design choices DESIGN.md calls out:
 //!
 //! * bucket queue vs a binary-heap peel (the paper's step-7 bucket-sort
@@ -12,9 +14,9 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use tkc_core::decompose::triangle_kcore_decomposition;
 use tkc_core::dynamic::DynamicTriangleKCore;
+use tkc_datasets::DatasetId;
 use tkc_graph::triangles::edge_supports;
 use tkc_graph::{EdgeId, Graph};
-use tkc_datasets::DatasetId;
 
 /// Algorithm 1 with a binary heap instead of the bucket queue — the
 /// baseline the paper's bucket-sort optimization is measured against.

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Bench: Algorithm 1 against every baseline (the microbenchmark behind
 //! Table II). CSV only runs at the small size; the iterative DN variants
 //! run everywhere to show the sweep-count gap.

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Bench: incremental maintenance vs full recomputation across change-batch
 //! sizes (the microbenchmark behind Table III).
 

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Bench: the density-plot ordering (§V) and dual-view construction costs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

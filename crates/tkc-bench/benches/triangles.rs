@@ -1,10 +1,12 @@
+#![allow(clippy::unwrap_used)]
+
 //! Bench: the triangle substrate — support computation, counting, and the
 //! stored vs streaming decomposition tradeoff of §IV-A.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tkc_core::decompose::{triangle_kcore_decomposition, triangle_kcore_decomposition_stored};
-use tkc_graph::triangles::{edge_supports, triangle_count};
 use tkc_datasets::DatasetId;
+use tkc_graph::triangles::{edge_supports, triangle_count};
 
 fn bench_triangles(c: &mut Criterion) {
     let mut group = c.benchmark_group("triangles");
@@ -22,9 +24,11 @@ fn bench_triangles(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("triangle_count", &name), &g, |b, g| {
             b.iter(|| triangle_count(g))
         });
-        group.bench_with_input(BenchmarkId::new("decompose_streaming", &name), &g, |b, g| {
-            b.iter(|| triangle_kcore_decomposition(g))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("decompose_streaming", &name),
+            &g,
+            |b, g| b.iter(|| triangle_kcore_decomposition(g)),
+        );
         group.bench_with_input(BenchmarkId::new("decompose_stored", &name), &g, |b, g| {
             b.iter(|| triangle_kcore_decomposition_stored(g))
         });

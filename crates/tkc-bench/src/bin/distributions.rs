@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Bonus exhibit: κ-distribution statistics and histograms across the
 //! dataset registry — the aggregate view behind every density plot, and a
 //! quick sanity check that the stand-ins reproduce the heavy-tailed
@@ -14,7 +16,13 @@ fn main() {
     println!("κ distributions across the registry (scale multiplier {scale})\n");
 
     let mut table = Table::new(vec![
-        "Graph", "edges", "max κ", "mean κ", "κ=0 %", "κ≥3 %", "top cores",
+        "Graph",
+        "edges",
+        "max κ",
+        "mean κ",
+        "κ=0 %",
+        "κ≥3 %",
+        "top cores",
     ]);
     for id in tkc_datasets::DatasetId::all() {
         let info = id.info();

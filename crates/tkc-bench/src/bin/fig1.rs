@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Figure 1 — K-Core vs Triangle K-Core on five vertices: the minimal
 //! 2-core (a 5-cycle, no triangles at all) against a minimal Triangle
 //! 2-Core, showing why the triangle variant approximates cliques.
@@ -10,15 +12,30 @@ fn main() {
     println!("Figure 1(a): minimal 5-vertex K-Core with core number 2 (the 5-cycle)");
     let a = tkc_graph::generators::cycle(5);
     let cores = core_numbers(&a);
-    println!("  edges: {:?}", a.edges().map(|(_, u, v)| (u.0, v.0)).collect::<Vec<_>>());
+    println!(
+        "  edges: {:?}",
+        a.edges().map(|(_, u, v)| (u.0, v.0)).collect::<Vec<_>>()
+    );
     println!("  core number per vertex: {cores:?}");
     let d = triangle_kcore_decomposition(&a);
-    println!("  but its Triangle K-Core numbers are all {} — no clique-like structure\n", d.max_kappa());
+    println!(
+        "  but its Triangle K-Core numbers are all {} — no clique-like structure\n",
+        d.max_kappa()
+    );
 
     println!("Figure 1(b): minimal 5-vertex Triangle K-Core with number 2 (8 edges)");
     let b = Graph::from_edges(
         5,
-        [(0, 1), (0, 2), (1, 2), (1, 3), (2, 4), (3, 4), (0, 3), (0, 4)],
+        [
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (1, 3),
+            (2, 4),
+            (3, 4),
+            (0, 3),
+            (0, 4),
+        ],
     );
     let d = triangle_kcore_decomposition(&b);
     println!("  edges and κ:");

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Figure 10 — Bridge Cliques in the DBLP-style pair: two groups that
 //! published separately in year one (the paper's data-streams and
 //! networking teams) co-author one paper in year two, forming a 6-author
@@ -28,7 +30,11 @@ fn main() {
             "  bridge structure: {} authors at level {} ({})",
             core.vertices.len(),
             core.level,
-            if core.is_clique() { "exact clique" } else { "clique-like" }
+            if core.is_clique() {
+                "exact clique"
+            } else {
+                "clique-like"
+            }
         );
     }
     // The planted weld must surface among the top bridge structures.

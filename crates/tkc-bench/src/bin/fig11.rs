@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Figure 11 — New Join Cliques in the DBLP-style pair: a three-author
 //! team from year 2000 is joined by six authors who never appeared before,
 //! forming a 9-author clique in 2001 (the paper's top-down query
@@ -28,7 +30,11 @@ fn main() {
             "  new-join structure: {} authors at level {} ({})",
             core.vertices.len(),
             core.level,
-            if core.is_clique() { "exact clique" } else { "clique-like" }
+            if core.is_clique() {
+                "exact clique"
+            } else {
+                "clique-like"
+            }
         );
     }
     let densest = &top[0];

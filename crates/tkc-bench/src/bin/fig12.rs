@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Figure 12 — static template patterns on the labeled PPI stand-in: with
 //! "new" redefined as *inter-complex*, Bridge Cliques surface the protein
 //! groups that connect two complexes (the paper's PRE1 hub between the 20S
@@ -59,11 +61,7 @@ fn main() {
 
     // Detail panel like Figure 12(b): the bridge structure with
     // inter-complex edges in red (the PRE1 hub's connections).
-    let drawing = tkc_viz::render_structure(
-        ag.graph(),
-        &densest.vertices,
-        |e| ag.is_new_edge(e),
-        360,
-    );
+    let drawing =
+        tkc_viz::render_structure(ag.graph(), &densest.vertices, |e| ag.is_new_edge(e), 360);
     write_artifact("fig12_bridge_detail.svg", &drawing);
 }

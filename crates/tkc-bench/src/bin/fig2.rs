@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Figure 2 — the worked example of Algorithm 1: the 5-vertex graph whose
 //! edges start with support {AB:1, AC:1, BD:2, BE:2, CD:2, CE:2, DE:2,
 //! BC:3} and end with κ(AB) = κ(AC) = 1, everything else 2.
@@ -10,13 +12,27 @@ fn main() {
     let names = ["A", "B", "C", "D", "E"];
     let g = Graph::from_edges(
         5,
-        [(0, 1), (0, 2), (1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)],
+        [
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (1, 3),
+            (1, 4),
+            (2, 3),
+            (2, 4),
+            (3, 4),
+        ],
     );
     let sup = edge_supports(&g);
     println!("Figure 2: Algorithm 1 walkthrough\n");
     println!("initial support (the κ̃ upper bounds):");
     for (e, u, v) in g.edges() {
-        println!("  {}{}: {}", names[u.index()], names[v.index()], sup[e.index()]);
+        println!(
+            "  {}{}: {}",
+            names[u.index()],
+            names[v.index()],
+            sup[e.index()]
+        );
     }
     let d = triangle_kcore_decomposition(&g);
     println!("\nprocessing order (increasing κ̃, bucket queue):");

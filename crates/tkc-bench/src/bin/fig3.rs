@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Figure 3 — the update example of Algorithm 2: adding edge AC to the
 //! 6-vertex graph creates triangles ABC and AEC; processing them one at a
 //! time first lifts {AB, BC, AC} to κ = 1, then the second triangle's
@@ -25,7 +27,12 @@ fn main() {
     let show = |m: &DynamicTriangleKCore, title: &str| {
         println!("{title}");
         for (e, u, v) in m.graph().edges() {
-            println!("  {}{}: κ = {}", names[u.index()], names[v.index()], m.kappa(e));
+            println!(
+                "  {}{}: κ = {}",
+                names[u.index()],
+                names[v.index()],
+                m.kappa(e)
+            );
         }
     };
     println!("Figure 3: incremental update walkthrough\n");
@@ -40,9 +47,7 @@ fn main() {
         stats.triangles_added, stats.promotions, stats.demotions, stats.edges_examined
     );
     assert_eq!(m.kappa(ac), 1);
-    let k = |u: u32, v: u32| {
-        m.kappa(m.graph().edge_between(VertexId(u), VertexId(v)).unwrap())
-    };
+    let k = |u: u32, v: u32| m.kappa(m.graph().edge_between(VertexId(u), VertexId(v)).unwrap());
     assert_eq!(k(0, 1), 1, "AB rose to 1");
     assert_eq!(k(1, 2), 1, "BC rose to 1");
     assert_eq!(k(0, 4), 1, "AE stayed at 1");

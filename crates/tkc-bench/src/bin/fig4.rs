@@ -1,9 +1,13 @@
+#![allow(clippy::unwrap_used)]
+
 //! Figure 4 — the three template patterns on their illustration graphs:
 //! New Form (a/d), Bridge (b/e), New Join (c/f), each detected by
 //! Algorithm 4 with the characteristic/possible triangles of the paper.
 
 use tkc_graph::{generators, Graph, VertexId};
-use tkc_patterns::{detect_template, AttributedGraph, BridgeClique, NewFormClique, NewJoinClique, Template};
+use tkc_patterns::{
+    detect_template, AttributedGraph, BridgeClique, NewFormClique, NewJoinClique, Template,
+};
 
 fn report(name: &str, ag: &AttributedGraph, template: &dyn Template, expect_vertices: usize) {
     let res = detect_template(ag, template);
@@ -17,7 +21,11 @@ fn report(name: &str, ag: &AttributedGraph, template: &dyn Template, expect_vert
                 core.vertices.len(),
                 core.vertices.iter().map(|v| v.0).collect::<Vec<_>>(),
                 core.level,
-                if core.is_clique() { "exact clique" } else { "clique-like" }
+                if core.is_clique() {
+                    "exact clique"
+                } else {
+                    "clique-like"
+                }
             );
             assert_eq!(core.vertices.len(), expect_vertices);
         }

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Figure 5 — the DN-Graph coverage gap: in the example graph only BCDE is
 //! a DN-Graph, so vertex A belongs to none; the per-edge λ(e)/κ(e) values
 //! still give A's edges a local density, which is the point of §VI.
@@ -11,7 +13,16 @@ fn main() {
     // A=0 attached to B=1 and C=2 of the K4 {B,C,D,E}.
     let g = Graph::from_edges(
         5,
-        [(0, 1), (0, 2), (1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)],
+        [
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (1, 3),
+            (1, 4),
+            (2, 3),
+            (2, 4),
+            (3, 4),
+        ],
     );
     let d = triangle_kcore_decomposition(&g);
     let est = bitridn(&g);

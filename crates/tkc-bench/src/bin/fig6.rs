@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Figure 6 — qualitative comparison of CSV and Triangle K-Core density
 //! plots on the six smaller datasets. Emits a two-band SVG per dataset
 //! (CSV co-clique sizes above, κ+2 proxy below), TSV series, and prints
@@ -12,7 +14,10 @@ use tkc_viz::ordering::{density_order, plot_similarity};
 use tkc_viz::plot::{ascii_sparkline, density_plot_tsv, draw_series_pair};
 
 fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
@@ -30,7 +35,11 @@ fn main() {
         DatasetId::Epinions,
     ];
     let mut table = Table::new(vec![
-        "Graph", "CSV est. s", "TKC s", "similarity", "verdict",
+        "Graph",
+        "CSV est. s",
+        "TKC s",
+        "similarity",
+        "verdict",
     ]);
     for id in datasets {
         let info = id.info();

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Figure 7 — the PPI case study: three near-cliques sit at the peaks of
 //! the density plot; one is an exact 10-clique, another a 10-vertex clique
 //! missing one edge that therefore *plots* as a 9-clique.
@@ -12,7 +14,11 @@ use tkc_viz::plot::{ascii_sparkline, density_plot_tsv, render_density_plot, Plot
 fn main() {
     let seed = seed_from_env();
     let (g, [c1, c2, c3]) = ppi_case_study(seed);
-    println!("Figure 7: PPI case study ({} proteins, {} interactions)\n", g.num_vertices(), g.num_edges());
+    println!(
+        "Figure 7: PPI case study ({} proteins, {} interactions)\n",
+        g.num_vertices(),
+        g.num_edges()
+    );
 
     let d = triangle_kcore_decomposition(&g);
     let plot = kappa_density_plot(&g, &d);
@@ -29,9 +35,19 @@ fn main() {
             .max()
             .unwrap_or(0)
     };
-    println!("clique 1 (8 proteins, the DN-Graph group): peak co-clique {} → shown as {}-clique", max_kappa(&c1) + 2, max_kappa(&c1) + 2);
-    println!("clique 2 (10 proteins, exact): peak co-clique {} → shown as 10-clique", max_kappa(&c2) + 2);
-    println!("clique 3 (10 proteins, one edge missing): peak co-clique {} → shown as 9-clique", max_kappa(&c3) + 2);
+    println!(
+        "clique 1 (8 proteins, the DN-Graph group): peak co-clique {} → shown as {}-clique",
+        max_kappa(&c1) + 2,
+        max_kappa(&c1) + 2
+    );
+    println!(
+        "clique 2 (10 proteins, exact): peak co-clique {} → shown as 10-clique",
+        max_kappa(&c2) + 2
+    );
+    println!(
+        "clique 3 (10 proteins, one edge missing): peak co-clique {} → shown as 9-clique",
+        max_kappa(&c3) + 2
+    );
     assert_eq!(max_kappa(&c1), 6);
     assert_eq!(max_kappa(&c2), 8);
     assert_eq!(max_kappa(&c3), 7, "the missing edge drops the peak by one");
@@ -44,7 +60,11 @@ fn main() {
             "  {} vertices at level {} ({})",
             core.vertices.len(),
             core.level,
-            if core.is_clique() { "exact clique" } else { "clique-like" }
+            if core.is_clique() {
+                "exact clique"
+            } else {
+                "clique-like"
+            }
         );
     }
     assert!(found.iter().any(|c| c.vertices.len() == 10));

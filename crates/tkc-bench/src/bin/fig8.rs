@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Figure 8 — Dual View Plots on two Wiki snapshots: plot(a) shows the
 //! original clique distribution, plot(b) only the changed cliques after
 //! the snapshot's edge additions, and correspondence markers tie the three
@@ -38,11 +40,17 @@ fn main() {
 
     // The top marker must be one of the planted events.
     let top = &view.markers[0];
-    let covers = |ev: &[tkc_graph::VertexId]| ev.iter().filter(|v| top.vertices.contains(v)).count();
+    let covers =
+        |ev: &[tkc_graph::VertexId]| ev.iter().filter(|v| top.vertices.contains(v)).count();
     let (c1, c2, c3) = (covers(&ev1), covers(&ev2), covers(&ev3));
     println!(
         "\ntop marker overlaps events: growth {}/{} merge {}/{} expansion {}/{}",
-        c1, ev1.len(), c2, ev2.len(), c3, ev3.len()
+        c1,
+        ev1.len(),
+        c2,
+        ev2.len(),
+        c3,
+        ev3.len()
     );
     assert!(
         c1 == ev1.len() || c2 == ev2.len() || c3 == ev3.len(),

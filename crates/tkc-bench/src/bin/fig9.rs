@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Figure 9 — New Form Cliques in the DBLP-style snapshot pair: six
 //! veterans who never collaborated before form a brand-new 6-clique; the
 //! pattern plot's densest peak is exactly that clique.
@@ -28,7 +30,11 @@ fn main() {
             "  new-form structure: {} authors at level {} ({})",
             core.vertices.len(),
             core.level,
-            if core.is_clique() { "exact clique" } else { "clique-like" }
+            if core.is_clique() {
+                "exact clique"
+            } else {
+                "clique-like"
+            }
         );
     }
     // The planted 6-author first-time collaboration must sit at the plot's

@@ -1,8 +1,12 @@
+#![allow(clippy::unwrap_used)]
+
 //! Table I — the dataset inventory: paper sizes vs. the synthetic
 //! stand-ins actually built, plus the structural statistics (triangles,
 //! clustering) that drive every other experiment.
 
-use tkc_bench::{build_all_datasets, fmt_secs, scale_from_env, seed_from_env, time, write_artifact, Table};
+use tkc_bench::{
+    build_all_datasets, fmt_secs, scale_from_env, seed_from_env, time, write_artifact, Table,
+};
 use tkc_graph::triangles::{global_clustering, triangle_count};
 
 fn main() {
@@ -11,7 +15,13 @@ fn main() {
     println!("Table I: data sets (scale multiplier {scale}, seed {seed})\n");
 
     let mut table = Table::new(vec![
-        "Graph", "paper |V|", "paper |E|", "built |V|", "built |E|", "triangles", "clustering",
+        "Graph",
+        "paper |V|",
+        "paper |E|",
+        "built |V|",
+        "built |E|",
+        "triangles",
+        "clustering",
         "build s",
     ]);
     for id in tkc_datasets::DatasetId::all() {

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Table II — execution time of CSV, TriDN, BiTriDN and Triangle K-Core
 //! (Algorithm 1) across the datasets, plus the Claim 3 convergence check
 //! (the DN variants must land on exactly κ).
@@ -14,7 +16,10 @@ use tkc_bench::{fmt_secs, scale_from_env, seed_from_env, time, write_artifact, T
 use tkc_core::decompose::triangle_kcore_decomposition;
 
 fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
@@ -25,7 +30,13 @@ fn main() {
     println!("Table II: execution time in seconds (scale multiplier {scale})\n");
 
     let mut table = Table::new(vec![
-        "Graph", "|E|", "CSV", "TriDN (sweeps)", "BiTriDN (sweeps)", "TriangleKCore", "DN==κ",
+        "Graph",
+        "|E|",
+        "CSV",
+        "TriDN (sweeps)",
+        "BiTriDN (sweeps)",
+        "TriangleKCore",
+        "DN==κ",
     ]);
     for id in tkc_datasets::DatasetId::all() {
         let info = id.info();

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Table III — incremental update vs. full re-computation after randomly
 //! adding/deleting 1% of edges on the five largest datasets, averaged over
 //! 5 runs (exactly the paper's protocol).

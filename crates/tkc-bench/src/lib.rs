@@ -12,6 +12,7 @@
 //! * `TKC_OUT`  — artifact directory (default `target/experiments`).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -157,6 +158,8 @@ impl Table {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

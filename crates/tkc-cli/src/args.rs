@@ -68,6 +68,8 @@ impl Parsed {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     fn v(parts: &[&str]) -> Vec<String> {
@@ -105,6 +107,9 @@ mod tests {
     #[test]
     fn positional_error_message() {
         let p = parse(&v(&["decompose"]), &[]).unwrap();
-        assert!(p.positional(1, "edge list path").unwrap_err().contains("edge list"));
+        assert!(p
+            .positional(1, "edge list path")
+            .unwrap_err()
+            .contains("edge list"));
     }
 }

@@ -24,7 +24,9 @@ pub const USAGE: &str = "usage:
   tkc dual-view <old.txt> <new.txt> [--svg out.svg] [--top K]
   tkc stats     <edges.txt> [--svg hist.svg] [--tsv dist.tsv]
   tkc community <edges.txt> <vertex> [--level K]
-  tkc dataset   <name> [--scale F] [--seed S] [--out file]";
+  tkc dataset   <name> [--scale F] [--seed S] [--out file]
+  tkc verify    <edges.txt> [--stored] [--ops <ops.txt>]
+  tkc verify    --suite [--cases N]";
 
 /// Dispatches a full argv (without the program name).
 pub fn run(argv: &[String]) -> Result<(), String> {
@@ -32,7 +34,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         argv,
         &[
             "top", "svg", "tsv", "width", "ops", "template", "scale", "seed", "out", "level",
-            "labels",
+            "labels", "cases",
         ],
     )?;
     match p.positional(0, "subcommand")? {
@@ -46,6 +48,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "stats" => stats(&p),
         "community" => community(&p),
         "dataset" => dataset(&p),
+        "verify" => verify(&p),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -154,7 +157,12 @@ pub fn parse_ops(text: &str) -> Result<Vec<BatchOp>, String> {
         match sign {
             Some("+") => ops.push(BatchOp::Insert(parse_v(u)?, parse_v(v)?)),
             Some("-") => ops.push(BatchOp::Remove(parse_v(u)?, parse_v(v)?)),
-            _ => return Err(format!("ops line {}: expected '+ u v' or '- u v'", lineno + 1)),
+            _ => {
+                return Err(format!(
+                    "ops line {}: expected '+ u v' or '- u v'",
+                    lineno + 1
+                ))
+            }
         }
     }
     Ok(ops)
@@ -190,7 +198,10 @@ fn update(p: &crate::args::Parsed) -> Result<(), String> {
     if p.switch("verify") {
         let fresh = triangle_kcore_decomposition(m.graph());
         let ok = m.graph().edge_ids().all(|e| m.kappa(e) == fresh.kappa(e));
-        println!("verification against recompute: {}", if ok { "OK" } else { "MISMATCH" });
+        println!(
+            "verification against recompute: {}",
+            if ok { "OK" } else { "MISMATCH" }
+        );
         if !ok {
             return Err("maintained κ diverged from recompute".into());
         }
@@ -214,7 +225,10 @@ fn parse_labels(text: &str, n: usize) -> Result<Vec<u32>, String> {
         let v: usize = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
         let l: u32 = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
         if v >= n {
-            return Err(format!("labels line {}: vertex {v} out of range", lineno + 1));
+            return Err(format!(
+                "labels line {}: vertex {v} out of range",
+                lineno + 1
+            ));
         }
         labels[v] = l;
     }
@@ -233,8 +247,7 @@ fn patterns(p: &crate::args::Parsed) -> Result<(), String> {
     // labeled variant (one edge list + --labels, "new" = label-crossing).
     let ag = if let Some(label_path) = p.flag("labels") {
         let g = load(p.positional(1, "edge list path")?)?;
-        let text =
-            std::fs::read_to_string(label_path).map_err(|e| format!("{label_path}: {e}"))?;
+        let text = std::fs::read_to_string(label_path).map_err(|e| format!("{label_path}: {e}"))?;
         let labels = parse_labels(&text, g.num_vertices())?;
         AttributedGraph::from_vertex_labels(g, &labels)
     } else {
@@ -258,7 +271,11 @@ fn patterns(p: &crate::args::Parsed) -> Result<(), String> {
             "  {} vertices at level {} ({}): {:?}",
             c.vertices.len(),
             c.level,
-            if c.is_clique() { "exact clique" } else { "clique-like" },
+            if c.is_clique() {
+                "exact clique"
+            } else {
+                "clique-like"
+            },
             c.vertices.iter().map(|v| v.0).collect::<Vec<_>>()
         );
     }
@@ -272,14 +289,24 @@ fn stats(p: &crate::args::Parsed) -> Result<(), String> {
     let d = triangle_kcore_decomposition(&g);
     let s = kappa_stats(&g, &d);
     println!("edges:                  {}", s.edges);
-    println!("max κ:                  {} (≈ {}-clique)", s.max_kappa, s.max_kappa + 2);
+    println!(
+        "max κ:                  {} (≈ {}-clique)",
+        s.max_kappa,
+        s.max_kappa + 2
+    );
     println!("mean κ:                 {:.3}", s.mean_kappa);
-    println!("triangle-free edges:    {:.1}%", 100.0 * s.triangle_free_fraction);
+    println!(
+        "triangle-free edges:    {:.1}%",
+        100.0 * s.triangle_free_fraction
+    );
     println!("top-level cores:        {}", s.top_level_cores);
     let hist = d.histogram();
     if let Some(path) = p.flag("svg") {
-        std::fs::write(path, render_kappa_histogram(&hist, "κ distribution", 600, 260))
-            .map_err(|e| e.to_string())?;
+        std::fs::write(
+            path,
+            render_kappa_histogram(&hist, "κ distribution", 600, 260),
+        )
+        .map_err(|e| e.to_string())?;
         println!("wrote {path}");
     }
     if let Some(path) = p.flag("tsv") {
@@ -342,17 +369,29 @@ fn events(p: &crate::args::Parsed) -> Result<(), String> {
     let size = |cores: &[tkc_core::extract::Core], i: usize| cores[i].vertices.len();
     for ev in &rep.events {
         match ev {
-            Event::Continue { before, after, jaccard } => println!(
+            Event::Continue {
+                before,
+                after,
+                jaccard,
+            } => println!(
                 "  CONTINUE  {}v → {}v (jaccard {jaccard:.2})",
                 size(&rep.old_cores, *before),
                 size(&rep.new_cores, *after)
             ),
-            Event::Grow { before, after, gained } => println!(
+            Event::Grow {
+                before,
+                after,
+                gained,
+            } => println!(
                 "  GROW      {}v → {}v (+{gained})",
                 size(&rep.old_cores, *before),
                 size(&rep.new_cores, *after)
             ),
-            Event::Shrink { before, after, lost } => println!(
+            Event::Shrink {
+                before,
+                after,
+                lost,
+            } => println!(
                 "  SHRINK    {}v → {}v (-{lost})",
                 size(&rep.old_cores, *before),
                 size(&rep.new_cores, *after)
@@ -442,6 +481,73 @@ fn dataset(p: &crate::args::Parsed) -> Result<(), String> {
     Ok(())
 }
 
+fn verify(p: &crate::args::Parsed) -> Result<(), String> {
+    use tkc_verify::certificate::KappaCertificate;
+    use tkc_verify::differential::{default_suite, run_suite};
+
+    // Suite mode: seeded random op streams through the dynamic maintainer,
+    // cross-checked against recompute + the definitional oracle.
+    if p.switch("suite") {
+        let cases: usize = p.flag_parse("cases", 216usize)?;
+        let configs = default_suite(cases);
+        let start = std::time::Instant::now();
+        match run_suite(&configs) {
+            Ok(stats) => {
+                println!(
+                    "differential suite OK: {} streams, {} ops, {} checkpoints in {:?}",
+                    cases,
+                    stats.ops,
+                    stats.checks,
+                    start.elapsed()
+                );
+                Ok(())
+            }
+            Err(dump) => Err(format!("differential suite FAILED\n{dump}")),
+        }
+    } else {
+        // Certificate mode: decompose (or replay ops), then have the
+        // independent checker audit the claimed κ vector.
+        let g = load(p.positional(1, "edge list path")?)?;
+        let (g, kappa, what) = if let Some(ops_path) = p.flag("ops") {
+            let text = std::fs::read_to_string(ops_path).map_err(|e| format!("{ops_path}: {e}"))?;
+            let ops = parse_ops(&text)?;
+            let mut m = DynamicTriangleKCore::new(g);
+            let max_v = ops
+                .iter()
+                .map(|op| match op {
+                    BatchOp::Insert(u, v) | BatchOp::Remove(u, v) => u.0.max(v.0),
+                })
+                .max()
+                .unwrap_or(0) as usize;
+            if max_v >= m.graph().num_vertices() {
+                m.add_vertices(max_v + 1 - m.graph().num_vertices());
+            }
+            let (ins, del) = m.apply_batch(ops);
+            println!("replayed {ins} insertions and {del} deletions");
+            let (g, kappa) = m.into_parts();
+            (g, kappa, "maintained κ after op replay")
+        } else if p.switch("stored") {
+            let d = triangle_kcore_decomposition_stored(&g);
+            let kappa = d.into_kappa();
+            (g, kappa, "stored-triangle decomposition")
+        } else {
+            let d = triangle_kcore_decomposition(&g);
+            let kappa = d.into_kappa();
+            (g, kappa, "decomposition")
+        };
+        let report = KappaCertificate::new(&g, &kappa).report();
+        println!("{what}: {report}");
+        if report.is_valid() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} certificate violation(s)",
+                report.violations.len()
+            ))
+        }
+    }
+}
+
 /// Small display helper so `update` can print a histogram without exposing
 /// internals.
 trait DisplayExt {
@@ -470,6 +576,8 @@ impl DisplayExt for Decomposition {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]
@@ -500,13 +608,16 @@ mod tests {
         let new = dir.join("new.txt");
         // Old: K4 on 0..4. New: K5 on 0..5 (the core grows).
         std::fs::write(&old, "0 1\n0 2\n0 3\n1 2\n1 3\n2 3\n").unwrap();
-        std::fs::write(
-            &new,
-            "0 1\n0 2\n0 3\n0 4\n1 2\n1 3\n1 4\n2 3\n2 4\n3 4\n",
-        )
-        .unwrap();
+        std::fs::write(&new, "0 1\n0 2\n0 3\n0 4\n1 2\n1 3\n1 4\n2 3\n2 4\n3 4\n").unwrap();
         let (o, n) = (old.to_str().unwrap(), new.to_str().unwrap());
-        run(&["events".into(), o.into(), n.into(), "--level".into(), "2".into()]).unwrap();
+        run(&[
+            "events".into(),
+            o.into(),
+            n.into(),
+            "--level".into(),
+            "2".into(),
+        ])
+        .unwrap();
         let svg = dir.join("dv.svg");
         run(&[
             "dual-view".into(),
@@ -536,7 +647,9 @@ mod tests {
     #[test]
     fn labels_parser_and_static_patterns_mode() {
         assert_eq!(parse_labels("# c\n0 7\n2 9\n", 3).unwrap(), vec![7, 0, 9]);
-        assert!(parse_labels("9 1\n", 3).unwrap_err().contains("out of range"));
+        assert!(parse_labels("9 1\n", 3)
+            .unwrap_err()
+            .contains("out of range"));
         assert!(parse_labels("x\n", 3).unwrap_err().contains("expected"));
 
         let dir = std::env::temp_dir().join("tkc_cli_test3");
@@ -555,6 +668,36 @@ mod tests {
             "bridge".into(),
         ])
         .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verify_subcommand_modes() {
+        let dir = std::env::temp_dir().join("tkc_cli_test_verify");
+        std::fs::create_dir_all(&dir).unwrap();
+        let edges = dir.join("g.txt");
+        let ops = dir.join("ops.txt");
+        std::fs::write(&edges, "0 1\n0 2\n0 3\n1 2\n1 3\n2 3\n").unwrap();
+        std::fs::write(&ops, "+ 0 4\n+ 1 4\n+ 2 4\n- 0 1\n").unwrap();
+        let e: String = edges.to_str().unwrap().into();
+        run(&["verify".into(), e.clone()]).unwrap();
+        run(&["verify".into(), e.clone(), "--stored".into()]).unwrap();
+        run(&[
+            "verify".into(),
+            e,
+            "--ops".into(),
+            ops.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        run(&[
+            "verify".into(),
+            "--suite".into(),
+            "--cases".into(),
+            "6".into(),
+        ])
+        .unwrap();
+        // Missing edge list is an error, not a panic.
+        assert!(run(&["verify".into()]).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -13,6 +13,8 @@
 //! SNAP format). Ops files contain one operation per line: `+ u v` to
 //! insert, `- u v` to delete.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 mod args;

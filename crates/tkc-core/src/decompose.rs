@@ -177,6 +177,24 @@ pub fn triangle_kcore_decomposition(g: &Graph) -> Decomposition {
     for i in 0..m {
         let e = sorted[i];
         let k = sup[e.index()];
+        #[cfg(feature = "check-invariants")]
+        {
+            debug_assert!(
+                !processed[e.index()],
+                "processing-order violation: edge {} popped twice",
+                e.index()
+            );
+            debug_assert!(
+                k >= max_kappa,
+                "bucket-queue monotonicity violation: popped support {k} \
+                 below current level {max_kappa}"
+            );
+            debug_assert_eq!(
+                pos[e.index()],
+                i,
+                "bucket position table out of sync at pop"
+            );
+        }
         kappa[e.index()] = k;
         max_kappa = max_kappa.max(k);
         processed[e.index()] = true;
@@ -198,6 +216,14 @@ pub fn triangle_kcore_decomposition(g: &Graph) -> Decomposition {
                     let px = pos[x.index()];
                     let pw = bin[sx as usize];
                     let w = sorted[pw];
+                    #[cfg(feature = "check-invariants")]
+                    {
+                        debug_assert_eq!(
+                            sorted[px], x,
+                            "bucket position table out of sync before swap"
+                        );
+                        debug_assert!(pw > i, "bucket start points at an already-processed slot");
+                    }
                     if x != w {
                         sorted[px] = w;
                         sorted[pw] = x;
@@ -206,6 +232,12 @@ pub fn triangle_kcore_decomposition(g: &Graph) -> Decomposition {
                     }
                     bin[sx as usize] += 1;
                     sup[x.index()] = sx - 1;
+                    #[cfg(feature = "check-invariants")]
+                    debug_assert!(
+                        sup[x.index()] >= k,
+                        "support of edge {} decremented below current level {k}",
+                        x.index()
+                    );
                 }
             }
         });
@@ -326,6 +358,8 @@ pub fn triangle_kcore_decomposition_stored(g: &Graph) -> Decomposition {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use tkc_graph::{generators, VertexId};
 

@@ -199,8 +199,7 @@ impl DynamicTriangleKCore {
         self.g.for_each_triangle_on_edge(e, |w, e_uw, e_vw| {
             new_triangles.push((triple(u, v, w), [e, e_uw, e_vw]));
         });
-        let mut inactive: FxHashSet<Triple> =
-            new_triangles.iter().map(|&(t, _)| t).collect();
+        let mut inactive: FxHashSet<Triple> = new_triangles.iter().map(|&(t, _)| t).collect();
 
         for (t, edges) in new_triangles {
             inactive.remove(&t);
@@ -309,10 +308,7 @@ impl DynamicTriangleKCore {
         let (x, y) = self.g.endpoints(f);
         let mut n = 0;
         self.g.for_each_triangle_on_edge_while(f, |w, e1, e2| {
-            if ok(e1)
-                && ok(e2)
-                && (inactive.is_empty() || !inactive.contains(&triple(x, y, w)))
-            {
+            if ok(e1) && ok(e2) && (inactive.is_empty() || !inactive.contains(&triple(x, y, w))) {
                 n += 1;
             }
             n < cap
@@ -333,7 +329,12 @@ impl DynamicTriangleKCore {
     /// be promoted. When the traversal drains, the surviving candidates
     /// are exactly the peel fixpoint — no post-pass needed.
     fn activate_triangle(&mut self, tri_edges: [EdgeId; 3], inactive: &FxHashSet<Triple>) {
-        let mu = tri_edges.iter().map(|&x| self.kappa[x.index()]).min().unwrap();
+        let [ea, eb, ec] = tri_edges;
+        let mu = self.kappa[ea.index()]
+            .min(self.kappa[eb.index()])
+            .min(self.kappa[ec.index()]);
+        #[cfg(feature = "check-invariants")]
+        let kappa_before = self.kappa.clone();
 
         // Stamped scratch: per-closure state with O(1) reset and no hashing
         // in the hot loops.
@@ -441,9 +442,7 @@ impl DynamicTriangleKCore {
                 if qual!(e1) && qual!(e2) {
                     s += 1;
                     for x in [e1, e2] {
-                        if self.kappa[x.index()] == mu
-                            && scratch.seen_stamp[x.index()] != stamp
-                        {
+                        if self.kappa[x.index()] == mu && scratch.seen_stamp[x.index()] != stamp {
                             scratch.seen_stamp[x.index()] = stamp;
                             visit_stack.push(x);
                         }
@@ -491,6 +490,30 @@ impl DynamicTriangleKCore {
         }
         scratch.tri_buf = tris;
         self.scratch = scratch;
+        #[cfg(feature = "check-invariants")]
+        self.debug_check_rule0(&kappa_before, mu, true);
+    }
+
+    /// Rule 0 locality audit (`check-invariants` builds only): after one
+    /// triangle activation/deactivation at level μ, every κ change across
+    /// the whole graph must be exactly ±1 and confined to edges that sat
+    /// at level μ before the closure ran.
+    #[cfg(feature = "check-invariants")]
+    fn debug_check_rule0(&self, before: &[u32], mu: u32, rising: bool) {
+        let expected = if rising { mu + 1 } else { mu.saturating_sub(1) };
+        for (i, (&b, &a)) in before.iter().zip(self.kappa.iter()).enumerate() {
+            if b == a {
+                continue;
+            }
+            debug_assert_eq!(
+                b, mu,
+                "Rule 0 violation: edge {i} changed level but sat at {b}, not \u{3bc} = {mu}"
+            );
+            debug_assert_eq!(
+                a, expected,
+                "Rule 0 violation: edge {i} moved {b} -> {a}, expected {expected}"
+            );
+        }
     }
 
     /// Propagates eliminations during a promote closure. Each edge popped
@@ -579,12 +602,17 @@ impl DynamicTriangleKCore {
     /// edges: level-μ edges that lose their μ-th supporting triangle drop
     /// to μ − 1 and may take level-μ neighbors with them.
     fn deactivate_triangle(&mut self, tri_edges: [EdgeId; 3], inactive: &FxHashSet<Triple>) {
-        let mu = tri_edges.iter().map(|&x| self.kappa[x.index()]).min().unwrap();
+        let [ea, eb, ec] = tri_edges;
+        let mu = self.kappa[ea.index()]
+            .min(self.kappa[eb.index()])
+            .min(self.kappa[ec.index()]);
         if mu == 0 {
             // κ cannot drop below zero and higher levels are unaffected
             // (Rule 0).
             return;
         }
+        #[cfg(feature = "check-invariants")]
+        let kappa_before = self.kappa.clone();
 
         // Support at level μ: active triangles whose other edges have κ ≥ μ.
         let mut s: FxHashMap<EdgeId, u32> = FxHashMap::default();
@@ -645,6 +673,8 @@ impl DynamicTriangleKCore {
                 }
             }
         }
+        #[cfg(feature = "check-invariants")]
+        self.debug_check_rule0(&kappa_before, mu, false);
     }
 }
 
@@ -659,6 +689,8 @@ pub enum BatchOp {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use tkc_graph::generators;
 

@@ -97,12 +97,7 @@ pub fn densest_cliques(g: &Graph, decomp: &Decomposition, want: usize) -> Vec<Co
 /// level `k` — the union of level-`k` cores touching `v`. Returns one core
 /// per triangle-connected component (a vertex can belong to several
 /// communities at low `k`). Empty when no incident edge reaches κ ≥ k.
-pub fn communities_of_vertex(
-    g: &Graph,
-    decomp: &Decomposition,
-    v: VertexId,
-    k: u32,
-) -> Vec<Core> {
+pub fn communities_of_vertex(g: &Graph, decomp: &Decomposition, v: VertexId, k: u32) -> Vec<Core> {
     cores_at_level(g, decomp, k)
         .into_iter()
         .filter(|c| c.vertices.binary_search(&v).is_ok())
@@ -141,7 +136,11 @@ pub fn kappa_stats(g: &Graph, decomp: &Decomposition) -> KappaStats {
     KappaStats {
         edges,
         max_kappa: decomp.max_kappa(),
-        mean_kappa: if edges == 0 { 0.0 } else { sum as f64 / edges as f64 },
+        mean_kappa: if edges == 0 {
+            0.0
+        } else {
+            sum as f64 / edges as f64
+        },
         triangle_free_fraction: if edges == 0 {
             0.0
         } else {
@@ -165,6 +164,8 @@ pub fn vertex_density(g: &Graph, decomp: &Decomposition) -> Vec<u32> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::decompose::triangle_kcore_decomposition;
     use crate::reference::is_triangle_kcore;
@@ -243,8 +244,10 @@ mod tests {
         for k in 1..h.len() {
             let upper: std::collections::HashSet<_> =
                 h[k].iter().flat_map(|c| c.edges.iter().copied()).collect();
-            let lower: std::collections::HashSet<_> =
-                h[k - 1].iter().flat_map(|c| c.edges.iter().copied()).collect();
+            let lower: std::collections::HashSet<_> = h[k - 1]
+                .iter()
+                .flat_map(|c| c.edges.iter().copied())
+                .collect();
             assert!(upper.is_subset(&lower));
         }
     }

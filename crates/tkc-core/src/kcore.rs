@@ -22,7 +22,7 @@ pub fn core_numbers(g: &Graph) -> Vec<u32> {
     if n == 0 {
         return deg;
     }
-    let max_deg = *deg.iter().max().unwrap() as usize;
+    let max_deg = *deg.iter().max().expect("n > 0 checked above") as usize;
 
     // Counting sort of vertices by degree.
     let mut bin = vec![0usize; max_deg + 2];
@@ -87,12 +87,15 @@ pub fn kcore_vertices(g: &Graph, k: u32) -> Vec<VertexId> {
     core_numbers(g)
         .into_iter()
         .enumerate()
-        .filter(|&(_v, c)| c >= k).map(|(v, _c)| VertexId::from(v))
+        .filter(|&(_v, c)| c >= k)
+        .map(|(v, _c)| VertexId::from(v))
         .collect()
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::reference::naive_core_numbers;
     use tkc_graph::generators;

@@ -29,6 +29,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod decompose;
 pub mod dynamic;
@@ -42,8 +43,7 @@ pub mod prelude {
     pub use crate::decompose::{triangle_kcore_decomposition, Decomposition};
     pub use crate::dynamic::{BatchOp, DynamicTriangleKCore, UpdateStats};
     pub use crate::extract::{
-        core_hierarchy, cores_at_level, densest_cliques, maximum_core_of_edge, vertex_density,
-        Core,
+        core_hierarchy, cores_at_level, densest_cliques, maximum_core_of_edge, vertex_density, Core,
     };
     pub use crate::kcore::core_numbers;
 }

@@ -78,6 +78,8 @@ pub fn read_kappa<R: Read>(g: &Graph, reader: R) -> Result<Vec<u32>, String> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::decompose::triangle_kcore_decomposition;
     use crate::dynamic::DynamicTriangleKCore;

@@ -51,7 +51,7 @@ pub fn naive_core_numbers(g: &Graph) -> Vec<u32> {
                 core[v.index()] = k - 1;
                 let nbrs: Vec<_> = h.neighbors(v).map(|(_, e)| e).collect();
                 for e in nbrs {
-                    h.remove_edge(e).unwrap();
+                    h.remove_edge(e).expect("edge ids collected while live");
                 }
             }
         }
@@ -127,6 +127,8 @@ pub fn max_clique_size(g: &Graph) -> u32 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::decompose::triangle_kcore_decomposition;
     use tkc_graph::generators;
@@ -178,7 +180,10 @@ mod tests {
     #[test]
     fn max_clique_on_planted_instance() {
         let mut g = generators::gnp(20, 0.1, 7);
-        let members: Vec<_> = [0u32, 3, 7, 11, 15].iter().map(|&i| tkc_graph::VertexId(i)).collect();
+        let members: Vec<_> = [0u32, 3, 7, 11, 15]
+            .iter()
+            .map(|&i| tkc_graph::VertexId(i))
+            .collect();
         generators::plant_clique(&mut g, &members);
         assert!(max_clique_size(&g) >= 5);
         let e = g

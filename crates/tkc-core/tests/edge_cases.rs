@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Hard edge cases and failure injection for the core algorithms:
 //! degenerate graphs, adversarial shapes, id churn, and misuse handling.
 
@@ -73,10 +75,7 @@ fn edge_id_reuse_does_not_leak_stale_kappa() {
     // Remove a high-κ edge, insert an unrelated edge that reuses its slot:
     // the new edge must start from its own κ, not the corpse's.
     let mut m = DynamicTriangleKCore::new(generators::complete(5));
-    let dead = m
-        .graph()
-        .edge_between(VertexId(0), VertexId(1))
-        .unwrap();
+    let dead = m.graph().edge_between(VertexId(0), VertexId(1)).unwrap();
     m.remove_edge(dead).unwrap();
     m.add_vertices(2);
     let fresh_edge = m.insert_edge(VertexId(5), VertexId(6)).unwrap();

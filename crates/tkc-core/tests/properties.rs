@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Property tests for the core algorithms:
 //!
 //! * Algorithm 1 against the definitional iterated-pruning oracle;
@@ -162,6 +164,45 @@ proptest! {
                     let e = g.edge_between(u, v).unwrap();
                     prop_assert!(d.kappa(e) + 2 >= best.len() as u32);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn pure_deletion_stream_matches_static(
+        init in random_graph(12),
+        picks in proptest::collection::vec(0usize..64, 1..30),
+    ) {
+        // Deletion-only stress: starting from a random graph, remove a
+        // random live edge at a time (picks index into the shrinking live
+        // set) and require exact agreement with a from-scratch Algorithm 1
+        // run after every removal — the demote cascade gets no help from
+        // intervening insertions here.
+        let mut dynamic = DynamicTriangleKCore::new(init);
+        for &pick in &picks {
+            let live: Vec<_> = dynamic.graph().edge_ids().collect();
+            if live.is_empty() {
+                break;
+            }
+            let victim = live[pick % live.len()];
+            let (u, v) = dynamic.graph().endpoints(victim);
+            dynamic.remove_edge(victim).unwrap();
+            let fresh = triangle_kcore_decomposition(dynamic.graph());
+            for e in dynamic.graph().edge_ids() {
+                prop_assert_eq!(
+                    dynamic.kappa(e),
+                    fresh.kappa(e),
+                    "after deleting ({u}, {v}), edge {:?} diverged",
+                    dynamic.graph().endpoints(e)
+                );
+            }
+        }
+        // Dead slots must read κ = 0 (the certificate checker relies on it).
+        let live: std::collections::HashSet<_> =
+            dynamic.graph().edge_ids().collect();
+        for (i, &k) in dynamic.kappa_slice().iter().enumerate() {
+            if !live.contains(&tkc_graph::EdgeId::from(i)) {
+                prop_assert_eq!(k, 0, "dead slot {i} holds stale kappa");
             }
         }
     }

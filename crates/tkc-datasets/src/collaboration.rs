@@ -25,9 +25,8 @@ pub fn collaboration_snapshot(n_authors: usize, n_papers: usize, seed: u64) -> G
 /// Samples one author team: size 2–6, members drawn with a quadratic skew
 /// toward low ids (the "prolific author" effect).
 fn sample_team(rng: &mut SmallRng, n_authors: usize) -> Vec<VertexId> {
-    let size = *[2usize, 2, 3, 3, 3, 4, 4, 5, 6]
-        .get(rng.gen_range(0..9))
-        .unwrap();
+    const SIZES: [usize; 9] = [2, 2, 3, 3, 3, 4, 4, 5, 6];
+    let size = SIZES[rng.gen_range(0..SIZES.len())];
     let mut team: Vec<VertexId> = Vec::with_capacity(size);
     let mut guard = 0;
     while team.len() < size && guard < 100 {
@@ -46,12 +45,7 @@ fn sample_team(rng: &mut SmallRng, n_authors: usize) -> Vec<VertexId> {
 /// A pair of consecutive snapshots: year two keeps `carry` of year one's
 /// papers (stable teams), replaces the rest, and involves some authors who
 /// never appeared before. Vertex ids are aligned across both.
-pub fn snapshot_pair(
-    n_authors: usize,
-    n_papers: usize,
-    carry: f64,
-    seed: u64,
-) -> (Graph, Graph) {
+pub fn snapshot_pair(n_authors: usize, n_papers: usize, carry: f64, seed: u64) -> (Graph, Graph) {
     assert!((0.0..=1.0).contains(&carry));
     let mut rng = SmallRng::seed_from_u64(seed);
     // Year one uses only the first 80% of the author universe, so year two
@@ -158,7 +152,11 @@ fn base_pair(n_authors: usize, n_papers: usize, seed: u64) -> (Graph, Graph, Sma
     let n = g1.num_vertices().max(g2.num_vertices());
     g1.add_vertices(n - g1.num_vertices());
     g2.add_vertices(n - g2.num_vertices());
-    (g1, g2, SmallRng::seed_from_u64(seed ^ 0xd1b5_4a32_d192_ed03))
+    (
+        g1,
+        g2,
+        SmallRng::seed_from_u64(seed ^ 0xd1b5_4a32_d192_ed03),
+    )
 }
 
 /// Vertices active in `g` that are pairwise non-adjacent there.
@@ -180,6 +178,8 @@ fn pick_scattered_veterans(g: &Graph, size: usize, rng: &mut SmallRng) -> Vec<Ve
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]
@@ -202,10 +202,7 @@ mod tests {
     #[test]
     fn pair_shares_carried_teams() {
         let (g1, g2) = snapshot_pair(400, 200, 0.5, 3);
-        let shared = g1
-            .edges()
-            .filter(|&(_, u, v)| g2.has_edge(u, v))
-            .count();
+        let shared = g1.edges().filter(|&(_, u, v)| g2.has_edge(u, v)).count();
         assert!(shared > 0, "no carried edges");
         assert!(g1.num_vertices() <= g2.num_vertices());
     }

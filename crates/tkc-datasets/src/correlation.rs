@@ -59,12 +59,14 @@ pub fn top_m_correlation_graph(n: usize, sectors: usize, noise: f64, m: usize, s
             scored.push((corr, i as u32, j as u32));
         }
     }
-    scored.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    scored.sort_unstable_by(|a, b| b.0.total_cmp(&a.0));
     Graph::from_edges(n, scored.into_iter().take(m).map(|(_, i, j)| (i, j)))
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

@@ -20,10 +20,10 @@ pub fn ppi_like(n: usize, target_edges: usize, seed: u64) -> (Graph, Vec<u32>) {
     let mut start = 0usize;
     let mut complex = 0u32;
     while start < n {
-        let size = match rng.gen_range(0..10) {
-            0..=4 => rng.gen_range(3..6),
-            5..=7 => rng.gen_range(6..9),
-            _ => rng.gen_range(9..15),
+        let size = match rng.gen_range(0..10u32) {
+            0..=4 => rng.gen_range(3..6usize),
+            5..=7 => rng.gen_range(6..9usize),
+            _ => rng.gen_range(9..15usize),
         }
         .min(n - start);
         for l in labels.iter_mut().skip(start).take(size) {
@@ -118,6 +118,8 @@ pub fn ppi_bridge_study(seed: u64) -> (Graph, Vec<u32>, Vec<VertexId>) {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

@@ -217,10 +217,16 @@ fn scale_free_clustered(n: usize, target_edges: usize, p_triad: f64, seed: u64) 
             // neighbor-of-neighbor, keeping clustering realistic.
             let target = if rng.gen_bool(0.5) && g.degree(VertexId(u)) > 0 {
                 let d = g.degree(VertexId(u));
-                let (w, _) = g.neighbors(VertexId(u)).nth(rng.gen_range(0..d)).unwrap();
+                let (w, _) = g
+                    .neighbors(VertexId(u))
+                    .nth(rng.gen_range(0..d))
+                    .expect("index drawn below degree");
                 let dw = g.degree(w);
                 if dw > 0 {
-                    let (x, _) = g.neighbors(w).nth(rng.gen_range(0..dw)).unwrap();
+                    let (x, _) = g
+                        .neighbors(w)
+                        .nth(rng.gen_range(0..dw))
+                        .expect("index drawn below degree");
                     x
                 } else {
                     VertexId(v)
@@ -238,6 +244,8 @@ fn scale_free_clustered(n: usize, target_edges: usize, p_triad: f64, seed: u64) 
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]
@@ -247,7 +255,10 @@ mod tests {
         assert_eq!(all[0].info().name, "Synthetic");
         assert_eq!(all[9].info().paper_edges, 32_851_237);
         assert_eq!(DatasetId::from_name("ppi"), Some(DatasetId::Ppi));
-        assert_eq!(DatasetId::from_name("astro-author"), Some(DatasetId::AstroAuthor));
+        assert_eq!(
+            DatasetId::from_name("astro-author"),
+            Some(DatasetId::AstroAuthor)
+        );
         assert_eq!(DatasetId::from_name("nope"), None);
     }
 
@@ -258,7 +269,11 @@ mod tests {
             let g = build(id, 1.0, 1);
             let dv = g.num_vertices() as f64 / info.paper_vertices as f64;
             let de = g.num_edges() as f64 / info.paper_edges as f64;
-            assert!((0.8..=1.25).contains(&dv), "{}: vertices off {dv}", info.name);
+            assert!(
+                (0.8..=1.25).contains(&dv),
+                "{}: vertices off {dv}",
+                info.name
+            );
             assert!((0.7..=1.4).contains(&de), "{}: edges off {de}", info.name);
         }
     }

@@ -66,12 +66,7 @@ pub fn wiki_dual_view_scenario(
         }
     }
     additions.push((shared[0], shared[1]));
-    let ev3: Vec<VertexId> = e5a
-        .iter()
-        .chain(&e5b)
-        .chain(&shared)
-        .copied()
-        .collect();
+    let ev3: Vec<VertexId> = e5a.iter().chain(&e5b).chain(&shared).copied().collect();
 
     // Background churn: a sprinkle of random new links.
     for _ in 0..(g.num_edges() / 100).max(10) {
@@ -94,8 +89,7 @@ pub type EdgePairs = Vec<(VertexId, VertexId)>;
 pub fn churn_script(g: &Graph, fraction: f64, seed: u64) -> (EdgePairs, EdgePairs) {
     let mut rng = SmallRng::seed_from_u64(seed);
     let total = ((g.num_edges() as f64 * fraction) as usize).max(2);
-    let mut existing: Vec<(VertexId, VertexId)> =
-        g.edges().map(|(_, u, v)| (u, v)).collect();
+    let mut existing: Vec<(VertexId, VertexId)> = g.edges().map(|(_, u, v)| (u, v)).collect();
     existing.shuffle(&mut rng);
     let deletions: Vec<_> = existing.into_iter().take(total / 2).collect();
 
@@ -106,7 +100,11 @@ pub fn churn_script(g: &Graph, fraction: f64, seed: u64) -> (EdgePairs, EdgePair
         guard += 1;
         let u = VertexId(rng.gen_range(0..n));
         let v = VertexId(rng.gen_range(0..n));
-        if u != v && !g.has_edge(u, v) && !insertions.contains(&(u, v)) && !insertions.contains(&(v, u)) {
+        if u != v
+            && !g.has_edge(u, v)
+            && !insertions.contains(&(u, v))
+            && !insertions.contains(&(v, u))
+        {
             insertions.push((u, v));
         }
     }
@@ -115,6 +113,8 @@ pub fn churn_script(g: &Graph, fraction: f64, seed: u64) -> (EdgePairs, EdgePair
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use tkc_graph::generators;
 
@@ -139,7 +139,10 @@ mod tests {
         let (dels, ins) = churn_script(&g, 0.01, 7);
         let total = dels.len() + ins.len();
         let want = ((g.num_edges() as f64) * 0.01) as usize;
-        assert!(total >= want.max(2) - 1 && total <= want + 2, "total {total} want {want}");
+        assert!(
+            total >= want.max(2) - 1 && total <= want + 2,
+            "total {total} want {want}"
+        );
         for (u, v) in dels {
             assert!(g.has_edge(u, v));
         }

@@ -19,7 +19,11 @@ pub struct TemporalNetwork {
 impl TemporalNetwork {
     /// Wraps pre-built snapshots, padding all to one vertex count.
     pub fn new(mut snapshots: Vec<Graph>) -> Self {
-        let n = snapshots.iter().map(|g| g.num_vertices()).max().unwrap_or(0);
+        let n = snapshots
+            .iter()
+            .map(|g| g.num_vertices())
+            .max()
+            .unwrap_or(0);
         for g in &mut snapshots {
             g.add_vertices(n - g.num_vertices());
         }
@@ -127,6 +131,8 @@ pub fn collaboration_series(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use tkc_core::decompose::triangle_kcore_decomposition;
     use tkc_patterns::events::{detect_events, Event, EventOptions};

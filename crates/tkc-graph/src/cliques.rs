@@ -73,7 +73,7 @@ where
         .chain(x.iter())
         .copied()
         .max_by_key(|&u| p.iter().filter(|&&w| g.has_edge(u, w)).count())
-        .unwrap();
+        .expect("P or X non-empty past the base case");
     let mut p = p;
     let candidates: Vec<VertexId> = p
         .iter()
@@ -147,6 +147,8 @@ pub fn maximal_cliques(g: &Graph, min_size: usize) -> Vec<Vec<VertexId>> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::generators;
 
@@ -155,9 +157,9 @@ mod tests {
         let n = g.num_vertices();
         assert!(n <= 16);
         let is_clique = |set: &[VertexId]| {
-            set.iter().enumerate().all(|(i, &u)| {
-                set[i + 1..].iter().all(|&v| g.has_edge(u, v))
-            })
+            set.iter()
+                .enumerate()
+                .all(|(i, &u)| set[i + 1..].iter().all(|&v| g.has_edge(u, v)))
         };
         let mut cliques = Vec::new();
         for mask in 1u32..(1 << n) {
@@ -240,7 +242,10 @@ mod tests {
             })
             .max()
             .unwrap();
-        assert!(width <= 3 + 1, "BA(m=3) degeneracy should be ~3, got {width}");
+        assert!(
+            width <= 3 + 1,
+            "BA(m=3) degeneracy should be ~3, got {width}"
+        );
     }
 
     #[test]

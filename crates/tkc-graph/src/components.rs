@@ -139,6 +139,8 @@ pub fn edge_subgraph(g: &Graph, edges: &[EdgeId]) -> (Graph, Vec<VertexId>) {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

@@ -83,6 +83,8 @@ impl From<std::io::Error> for ParseError {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

@@ -18,7 +18,8 @@ pub fn complete(n: usize) -> Graph {
     let mut g = Graph::with_capacity(n, n * (n - 1) / 2);
     for i in 0..n as u32 {
         for j in (i + 1)..n as u32 {
-            g.add_edge(VertexId(i), VertexId(j)).unwrap();
+            g.add_edge(VertexId(i), VertexId(j))
+                .expect("distinct fresh pair");
         }
     }
     g
@@ -33,7 +34,8 @@ pub fn path(n: usize) -> Graph {
 pub fn cycle(n: usize) -> Graph {
     assert!(n >= 3, "cycle needs at least 3 vertices");
     let mut g = path(n);
-    g.add_edge(VertexId(0), VertexId(n as u32 - 1)).unwrap();
+    g.add_edge(VertexId(0), VertexId(n as u32 - 1))
+        .expect("cycle-closing edge is new (n >= 3)");
     g
 }
 
@@ -65,7 +67,8 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
             v += 1;
         }
         if v < n {
-            g.add_edge(VertexId(w as u32), VertexId(v as u32)).unwrap();
+            g.add_edge(VertexId(w as u32), VertexId(v as u32))
+                .expect("gnm retry loop only emits unseen pairs");
         }
     }
     g
@@ -99,7 +102,8 @@ pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
     // Seed clique of m+1 vertices keeps early degrees nonzero.
     for i in 0..=(m as u32) {
         for j in (i + 1)..=(m as u32) {
-            g.add_edge(VertexId(i), VertexId(j)).unwrap();
+            g.add_edge(VertexId(i), VertexId(j))
+                .expect("distinct fresh pair");
             endpoints.push(i);
             endpoints.push(j);
         }
@@ -113,7 +117,8 @@ pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
             }
         }
         for t in targets {
-            g.add_edge(VertexId(v), VertexId(t)).unwrap();
+            g.add_edge(VertexId(v), VertexId(t))
+                .expect("targets are distinct existing vertices");
             endpoints.push(v);
             endpoints.push(t);
         }
@@ -133,7 +138,8 @@ pub fn holme_kim(n: usize, m: usize, p_triad: f64, seed: u64) -> Graph {
     let mut endpoints: Vec<u32> = Vec::new();
     for i in 0..=(m as u32) {
         for j in (i + 1)..=(m as u32) {
-            g.add_edge(VertexId(i), VertexId(j)).unwrap();
+            g.add_edge(VertexId(i), VertexId(j))
+                .expect("distinct fresh pair");
             endpoints.push(i);
             endpoints.push(j);
         }
@@ -146,9 +152,12 @@ pub fn holme_kim(n: usize, m: usize, p_triad: f64, seed: u64) -> Graph {
             let candidate = if do_triad {
                 // Triad step: close a triangle with a neighbor of the last
                 // preferentially-attached vertex.
-                let anchor = VertexId(last_pref.unwrap());
+                let anchor = VertexId(last_pref.expect("triad step follows a pref step"));
                 let deg = g.degree(anchor);
-                let (w, _) = g.neighbors(anchor).nth(rng.gen_range(0..deg)).unwrap();
+                let (w, _) = g
+                    .neighbors(anchor)
+                    .nth(rng.gen_range(0..deg))
+                    .expect("index drawn below degree");
                 w.0
             } else {
                 endpoints[rng.gen_range(0..endpoints.len())]
@@ -158,7 +167,8 @@ pub fn holme_kim(n: usize, m: usize, p_triad: f64, seed: u64) -> Graph {
                 last_pref = None;
                 continue;
             }
-            g.add_edge(VertexId(v), VertexId(candidate)).unwrap();
+            g.add_edge(VertexId(v), VertexId(candidate))
+                .expect("candidate checked as non-neighbor");
             endpoints.push(v);
             endpoints.push(candidate);
             if !do_triad {
@@ -213,7 +223,8 @@ pub fn planted_partition(
             let same = (i as usize / group_size) == (j as usize / group_size);
             let p = if same { p_in } else { p_out };
             if p > 0.0 && rng.gen_bool(p) {
-                g.add_edge(VertexId(i), VertexId(j)).unwrap();
+                g.add_edge(VertexId(i), VertexId(j))
+                    .expect("distinct fresh pair");
             }
         }
     }
@@ -328,17 +339,17 @@ pub fn rewire(g: &mut Graph, swaps: usize, seed: u64) {
         if edges.len() < 2 {
             break;
         }
-        let &(e1, a, b) = edges.choose(&mut rng).unwrap();
-        let &(e2, c, d) = edges.choose(&mut rng).unwrap();
+        let &(e1, a, b) = edges.choose(&mut rng).expect("edge list non-empty");
+        let &(e2, c, d) = edges.choose(&mut rng).expect("edge list non-empty");
         if e1 == e2 {
             continue;
         }
         // Swap to (a,c),(b,d) when simple-graph constraints allow.
         if a != c && b != d && !g.has_edge(a, c) && !g.has_edge(b, d) {
-            g.remove_edge(e1).unwrap();
-            g.remove_edge(e2).unwrap();
-            g.add_edge(a, c).unwrap();
-            g.add_edge(b, d).unwrap();
+            g.remove_edge(e1).expect("swap candidates are live");
+            g.remove_edge(e2).expect("swap candidates are live");
+            g.add_edge(a, c).expect("absence checked above");
+            g.add_edge(b, d).expect("absence checked above");
             done += 1;
         }
     }
@@ -346,6 +357,8 @@ pub fn rewire(g: &mut Graph, swaps: usize, seed: u64) {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::triangles::triangle_count;
 

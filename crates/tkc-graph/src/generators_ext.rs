@@ -21,7 +21,8 @@ pub fn forest_fire(n: usize, p: f64, seed: u64) -> Graph {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut g = Graph::with_capacity(0, n * 4);
     g.add_vertices(2);
-    g.add_edge(VertexId(0), VertexId(1)).unwrap();
+    g.add_edge(VertexId(0), VertexId(1))
+        .expect("first edge of a fresh graph");
 
     for v in 2..n as u32 {
         g.add_vertex();
@@ -57,11 +58,7 @@ pub fn forest_fire(n: usize, p: f64, seed: u64) -> Graph {
 /// General stochastic block model: arbitrary block sizes and a full
 /// probability matrix (`probs[i][j]` = edge probability between blocks i
 /// and j; must be symmetric). Returns the graph and each vertex's block.
-pub fn stochastic_block_model(
-    sizes: &[usize],
-    probs: &[Vec<f64>],
-    seed: u64,
-) -> (Graph, Vec<u32>) {
+pub fn stochastic_block_model(sizes: &[usize], probs: &[Vec<f64>], seed: u64) -> (Graph, Vec<u32>) {
     let b = sizes.len();
     assert_eq!(probs.len(), b, "probability matrix arity");
     for row in probs {
@@ -78,7 +75,8 @@ pub fn stochastic_block_model(
         for v in (u + 1)..n {
             let p = probs[block[u] as usize][block[v] as usize];
             if p > 0.0 && rng.gen_bool(p.min(1.0)) {
-                g.add_edge(VertexId::from(u), VertexId::from(v)).unwrap();
+                g.add_edge(VertexId::from(u), VertexId::from(v))
+                    .expect("u < v over fresh pairs");
             }
         }
     }
@@ -89,7 +87,9 @@ pub fn stochastic_block_model(
 /// edges between pairs within `radius`. Naturally high clustering.
 pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Graph {
     let mut rng = SmallRng::seed_from_u64(seed);
-    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     let r2 = radius * radius;
     // Grid binning keeps this O(n · neighbors) instead of O(n²) for small r.
     let cells = ((1.0 / radius).floor() as usize).clamp(1, 1 << 10);
@@ -125,6 +125,8 @@ pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Graph {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::triangles::{global_clustering, triangle_count};
 
@@ -192,7 +194,9 @@ mod tests {
         let r = 0.15;
         let g = random_geometric(n, r, 4);
         let mut rng = rand::rngs::SmallRng::seed_from_u64(4);
-        let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
         let mut expected = 0;
         for i in 0..n {
             for j in (i + 1)..n {

@@ -398,7 +398,11 @@ impl Graph {
                 std::cmp::Ordering::Less => a = &a[1..],
                 std::cmp::Ordering::Greater => b = &b[1..],
                 std::cmp::Ordering::Equal => {
-                    let go = if swapped { f(wa, eb, ea) } else { f(wa, ea, eb) };
+                    let go = if swapped {
+                        f(wa, eb, ea)
+                    } else {
+                        f(wa, ea, eb)
+                    };
                     if !go {
                         return;
                     }
@@ -489,6 +493,8 @@ impl Graph {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     fn path(n: u32) -> Graph {

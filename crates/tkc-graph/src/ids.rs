@@ -89,6 +89,8 @@ impl fmt::Display for EdgeId {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

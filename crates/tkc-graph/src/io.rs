@@ -72,6 +72,8 @@ pub fn save_edge_list<P: AsRef<Path>>(g: &Graph, path: P) -> std::io::Result<()>
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::ids::VertexId;
 

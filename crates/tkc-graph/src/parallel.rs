@@ -39,7 +39,10 @@ pub fn edge_supports_parallel(g: &Graph, threads: usize) -> Vec<u32> {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
     for part in results {
         for (e, s) in part {
@@ -82,12 +85,17 @@ pub fn triangle_count_parallel(g: &Graph, threads: usize) -> u64 {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .sum()
     })
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::generators;
     use crate::triangles::{edge_supports, triangle_count};

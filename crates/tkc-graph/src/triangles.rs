@@ -152,6 +152,8 @@ pub fn list_triangles_naive(g: &Graph) -> Vec<[VertexId; 3]> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     fn k(n: u32) -> Graph {

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Property tests for the graph substrate: structural invariants under
 //! random edit scripts, and triangle enumeration against the O(n³) oracle.
 
@@ -16,7 +18,8 @@ enum Op {
 }
 
 fn op_strategy(n: u32) -> impl Strategy<Value = Op> {
-    (0..n, 0..n, any::<bool>()).prop_map(|(a, b, add)| if add { Op::Add(a, b) } else { Op::Remove(a, b) })
+    (0..n, 0..n, any::<bool>())
+        .prop_map(|(a, b, add)| if add { Op::Add(a, b) } else { Op::Remove(a, b) })
 }
 
 fn apply(g: &mut Graph, op: &Op) {

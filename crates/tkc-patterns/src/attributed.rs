@@ -150,6 +150,8 @@ impl TriangleAttrs {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use tkc_graph::triangles::list_triangles;
 

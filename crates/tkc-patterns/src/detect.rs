@@ -38,17 +38,15 @@ impl PatternResult {
     pub fn top_structures(&self, want: usize) -> Vec<Core> {
         let mut out = Vec::new();
         for k in (1..=self.decomposition.max_kappa()).rev() {
-            let mut level: Vec<Core> =
-                cores_at_level(&self.special_graph, &self.decomposition, k)
-                    .into_iter()
-                    .filter(|c| {
-                        // Keep maximal structures only: drop cores whose
-                        // vertex set is already inside a denser one.
-                        !out.iter().any(|prev: &Core| {
-                            c.vertices.iter().all(|v| prev.vertices.contains(v))
-                        })
-                    })
-                    .collect();
+            let mut level: Vec<Core> = cores_at_level(&self.special_graph, &self.decomposition, k)
+                .into_iter()
+                .filter(|c| {
+                    // Keep maximal structures only: drop cores whose
+                    // vertex set is already inside a denser one.
+                    !out.iter()
+                        .any(|prev: &Core| c.vertices.iter().all(|v| prev.vertices.contains(v)))
+                })
+                .collect();
             level.sort_by_key(|c| std::cmp::Reverse(c.vertices.len()));
             out.extend(level);
             if out.len() >= want {
@@ -98,10 +96,7 @@ pub fn detect_template(ag: &AttributedGraph, template: &dyn Template) -> Pattern
     });
 
     // Step 7: G_spe on the same vertex ids.
-    let special_edges: Vec<EdgeId> = g
-        .edge_ids()
-        .filter(|&e| special_edge[e.index()])
-        .collect();
+    let special_edges: Vec<EdgeId> = g.edge_ids().filter(|&e| special_edge[e.index()]).collect();
     let mut gs = Graph::with_capacity(n, special_edges.len());
     for &e in &special_edges {
         let (u, v) = g.endpoints(e);
@@ -135,6 +130,8 @@ pub fn detect_template(ag: &AttributedGraph, template: &dyn Template) -> Pattern
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::templates::{BridgeClique, NewFormClique, NewJoinClique};
     use tkc_graph::generators;

@@ -183,7 +183,7 @@ pub fn detect_events(
             }
         }
     }
-    stable_pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    stable_pairs.sort_by(|a, b| b.0.total_cmp(&a.0));
     for (j, oi, ni) in stable_pairs {
         if !consumed_old[oi] && !consumed_new[ni] {
             consumed_old[oi] = true;
@@ -201,7 +201,11 @@ pub fn detect_events(
         if consumed_new[ni] {
             continue;
         }
-        let free: Vec<usize> = olds.iter().copied().filter(|&oi| !consumed_old[oi]).collect();
+        let free: Vec<usize> = olds
+            .iter()
+            .copied()
+            .filter(|&oi| !consumed_old[oi])
+            .collect();
         if free.len() >= 2 {
             consumed_new[ni] = true;
             for &oi in &free {
@@ -218,7 +222,11 @@ pub fn detect_events(
         if consumed_old[oi] {
             continue;
         }
-        let free: Vec<usize> = news.iter().copied().filter(|&ni| !consumed_new[ni]).collect();
+        let free: Vec<usize> = news
+            .iter()
+            .copied()
+            .filter(|&ni| !consumed_new[ni])
+            .collect();
         if free.len() >= 2 {
             for &ni in &free {
                 consumed_new[ni] = true;
@@ -285,6 +293,8 @@ pub fn detect_events(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use tkc_graph::generators::{self, plant_clique};
 
@@ -361,7 +371,10 @@ mod tests {
         let mut new = Graph::with_capacity(30, 0);
         clique_on(&mut new, 20..26);
         let rep = detect_events(&old, &new, 2, &EventOptions::default());
-        assert!(rep.events.iter().any(|e| matches!(e, Event::Dissolve { .. })));
+        assert!(rep
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::Dissolve { .. })));
         assert!(rep.events.iter().any(|e| matches!(e, Event::Form { .. })));
         assert_eq!(rep.events.len(), 2);
     }

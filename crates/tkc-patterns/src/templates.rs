@@ -121,6 +121,8 @@ where
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use tkc_graph::{EdgeId, VertexId};
 

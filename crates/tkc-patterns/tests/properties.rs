@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Property tests for Algorithm 4 and event detection over random
 //! evolving graphs.
 
@@ -24,8 +26,11 @@ fn random_graph(n: u32, max_edges: usize) -> impl Strategy<Value = Graph> {
 
 /// Old + new snapshot: new = old plus extra random edges.
 fn snapshot_pair(n: u32) -> impl Strategy<Value = (Graph, Graph)> {
-    (random_graph(n, 40), proptest::collection::vec((0..n, 0..n), 0..25)).prop_map(
-        move |(old, extra)| {
+    (
+        random_graph(n, 40),
+        proptest::collection::vec((0..n, 0..n), 0..25),
+    )
+        .prop_map(move |(old, extra)| {
             let mut new = old.clone();
             for (a, b) in extra {
                 if a != b {
@@ -33,8 +38,7 @@ fn snapshot_pair(n: u32) -> impl Strategy<Value = (Graph, Graph)> {
                 }
             }
             (old, new)
-        },
-    )
+        })
 }
 
 proptest! {

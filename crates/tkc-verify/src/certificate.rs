@@ -1,0 +1,427 @@
+//! Independent verification of a claimed κ vector against Definitions 3/4
+//! of the paper.
+//!
+//! The checker deliberately shares **no code** with the optimized pipeline
+//! it audits: triangle membership is recomputed here from the raw edge list
+//! via sorted-adjacency intersection (not `tkc-graph`'s enumeration
+//! callbacks, and not `tkc-core`'s supports), and maximality is shown by an
+//! independent peeling replay built on that counting. A κ vector passes iff
+//!
+//! 1. **Feasibility (Definition 3):** for every edge `e` with `κ(e) = k`,
+//!    the subgraph of edges with `κ ≥ k` contains `e` in at least `k`
+//!    triangles (κ-cores are nested, so per-edge checking at the edge's own
+//!    level covers every level);
+//! 2. **Maximality (Definition 4):** the peeling replay — iteratively
+//!    deleting edges whose in-subgraph triangle count is below the target
+//!    level — reproduces exactly the claimed κ, so no edge could survive to
+//!    a deeper core than claimed;
+//! 3. **Shape:** the vector covers the graph's edge-id space and dead edge
+//!    slots read 0.
+//!
+//! Cost is `O(Σ_e min(deg u, deg v))` per pass — fine for verification of
+//! anything the test and CI tiers run, and usable as a spot-check on large
+//! graphs.
+
+use std::fmt;
+
+use tkc_graph::{EdgeId, Graph, VertexId};
+
+/// One pinpointed discrepancy between a claimed κ vector and the graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// The κ vector does not cover the graph's edge-id space.
+    LengthMismatch {
+        /// Slots required (`Graph::edge_bound`).
+        expected: usize,
+        /// Slots provided.
+        actual: usize,
+    },
+    /// A dead (removed) edge slot carries a nonzero κ.
+    DeadSlotNonZero {
+        /// The dead slot.
+        edge: EdgeId,
+        /// The nonzero value it carries.
+        kappa: u32,
+    },
+    /// Definition 3 fails: inside the level-`kappa` subgraph the edge
+    /// supports fewer than `kappa` triangles, so the claimed value is too
+    /// high.
+    InsufficientSupport {
+        /// The offending edge.
+        edge: EdgeId,
+        /// Its endpoints, for readable reports.
+        endpoints: (VertexId, VertexId),
+        /// The claimed κ.
+        kappa: u32,
+        /// Triangles actually supported within the claimed level set.
+        support: u32,
+    },
+    /// Definition 4 fails: the independent peeling replay proves the edge
+    /// survives to a deeper core than claimed, so the value is too low.
+    NotMaximal {
+        /// The offending edge.
+        edge: EdgeId,
+        /// Its endpoints, for readable reports.
+        endpoints: (VertexId, VertexId),
+        /// The claimed κ.
+        claimed: u32,
+        /// The κ the replay derives.
+        actual: u32,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Violation::LengthMismatch { expected, actual } => write!(
+                f,
+                "kappa vector has {actual} slots but the graph needs {expected}"
+            ),
+            Violation::DeadSlotNonZero { edge, kappa } => write!(
+                f,
+                "dead edge slot {} carries nonzero kappa {kappa}",
+                edge.index()
+            ),
+            Violation::InsufficientSupport {
+                edge,
+                endpoints: (u, v),
+                kappa,
+                support,
+            } => write!(
+                f,
+                "edge {} = ({}, {}) claims kappa {kappa} but supports only \
+                 {support} triangles inside its level set (Definition 3)",
+                edge.index(),
+                u.0,
+                v.0
+            ),
+            Violation::NotMaximal {
+                edge,
+                endpoints: (u, v),
+                claimed,
+                actual,
+            } => write!(
+                f,
+                "edge {} = ({}, {}) claims kappa {claimed} but the peeling \
+                 replay proves {actual} (Definition 4 maximality)",
+                edge.index(),
+                u.0,
+                v.0
+            ),
+        }
+    }
+}
+
+/// Verification report: every violation found, in a stable order (shape
+/// violations, then feasibility by edge id, then maximality by edge id).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// All violations found.
+    pub violations: Vec<Violation>,
+}
+
+impl Report {
+    /// True when the certificate checks out.
+    pub fn is_valid(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_valid() {
+            return write!(f, "kappa certificate OK");
+        }
+        writeln!(
+            f,
+            "kappa certificate REJECTED ({} violations):",
+            self.violations.len()
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  - {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Independent sorted-adjacency view of the graph, rebuilt from the raw
+/// edge list so the checker does not trust `tkc-graph`'s adjacency
+/// bookkeeping or triangle enumeration.
+struct AdjacencyView {
+    /// Per vertex: `(neighbor, edge)` sorted by neighbor id.
+    adj: Vec<Vec<(u32, EdgeId)>>,
+    /// Live-edge endpoints by edge slot (`None` = dead slot).
+    endpoints: Vec<Option<(VertexId, VertexId)>>,
+}
+
+impl AdjacencyView {
+    fn build(g: &Graph) -> Self {
+        let mut adj: Vec<Vec<(u32, EdgeId)>> = vec![Vec::new(); g.num_vertices()];
+        let mut endpoints: Vec<Option<(VertexId, VertexId)>> = vec![None; g.edge_bound()];
+        for (e, u, v) in g.edges() {
+            adj[u.index()].push((v.0, e));
+            adj[v.index()].push((u.0, e));
+            endpoints[e.index()] = Some((u, v));
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+        }
+        AdjacencyView { adj, endpoints }
+    }
+
+    /// Calls `f(e1, e2)` for each triangle `{u, v, w}` on the live edge
+    /// `e = {u, v}` whose member edges all satisfy `live`, where `e1 = {u,
+    /// w}` and `e2 = {v, w}`. Sorted-merge intersection of the two
+    /// adjacency lists.
+    fn for_each_triangle<L, F>(&self, e: EdgeId, live: &L, f: &mut F)
+    where
+        L: Fn(EdgeId) -> bool,
+        F: FnMut(EdgeId, EdgeId),
+    {
+        let Some((u, v)) = self.endpoints[e.index()] else {
+            return;
+        };
+        if !live(e) {
+            return;
+        }
+        let (a, b) = (&self.adj[u.index()], &self.adj[v.index()]);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            let ((wa, e1), (wb, e2)) = (a[i], b[j]);
+            match wa.cmp(&wb) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    if live(e1) && live(e2) {
+                        f(e1, e2);
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+
+    /// Triangles on `e` within the subgraph of edges satisfying `live`.
+    fn support<L: Fn(EdgeId) -> bool>(&self, e: EdgeId, live: &L) -> u32 {
+        let mut n = 0;
+        self.for_each_triangle(e, live, &mut |_, _| n += 1);
+        n
+    }
+
+    /// Independent peeling replay: κ for every live edge by iterated
+    /// pruning with this view's own triangle counting. Definitionally
+    /// direct — for `k = 1, 2, …` repeatedly delete edges supporting fewer
+    /// than `k` triangles; an edge removed while pruning toward level `k`
+    /// has `κ = k − 1`.
+    fn peel(&self) -> Vec<u32> {
+        let bound = self.endpoints.len();
+        let mut kappa = vec![0u32; bound];
+        let mut alive: Vec<bool> = self.endpoints.iter().map(Option::is_some).collect();
+        let mut remaining: usize = alive.iter().filter(|&&a| a).count();
+        let mut k = 1u32;
+        while remaining > 0 {
+            loop {
+                let is_alive = |x: EdgeId| alive[x.index()];
+                let doomed: Vec<EdgeId> = (0..bound)
+                    .map(|i| EdgeId(i as u32))
+                    .filter(|&e| alive[e.index()] && self.support(e, &is_alive) < k)
+                    .collect();
+                if doomed.is_empty() {
+                    break;
+                }
+                for e in doomed {
+                    kappa[e.index()] = k - 1;
+                    alive[e.index()] = false;
+                    remaining -= 1;
+                }
+            }
+            k += 1;
+        }
+        kappa
+    }
+}
+
+/// An independently checkable claim that `kappa` is the Triangle K-Core
+/// decomposition of `g`.
+#[derive(Debug, Clone, Copy)]
+pub struct KappaCertificate<'a> {
+    g: &'a Graph,
+    kappa: &'a [u32],
+}
+
+impl<'a> KappaCertificate<'a> {
+    /// Wraps a graph and a claimed κ vector for verification.
+    pub fn new(g: &'a Graph, kappa: &'a [u32]) -> Self {
+        KappaCertificate { g, kappa }
+    }
+
+    /// Runs every check; `Ok(())` iff the claim holds, otherwise the full
+    /// violation report.
+    pub fn check(&self) -> Result<(), Report> {
+        let report = self.report();
+        if report.is_valid() {
+            Ok(())
+        } else {
+            Err(report)
+        }
+    }
+
+    /// Runs every check and returns the report (valid or not).
+    pub fn report(&self) -> Report {
+        let mut violations = Vec::new();
+        if self.kappa.len() < self.g.edge_bound() {
+            violations.push(Violation::LengthMismatch {
+                expected: self.g.edge_bound(),
+                actual: self.kappa.len(),
+            });
+            return Report { violations };
+        }
+        let view = AdjacencyView::build(self.g);
+        for (i, state) in view.endpoints.iter().enumerate() {
+            if state.is_none() && self.kappa[i] != 0 {
+                violations.push(Violation::DeadSlotNonZero {
+                    edge: EdgeId(i as u32),
+                    kappa: self.kappa[i],
+                });
+            }
+        }
+        violations.extend(self.feasibility_violations(&view));
+        violations.extend(self.maximality_violations(&view));
+        Report { violations }
+    }
+
+    /// Definition 3 check: each live edge supports ≥ `κ(e)` triangles
+    /// inside its own level set.
+    fn feasibility_violations(&self, view: &AdjacencyView) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        for (i, state) in view.endpoints.iter().enumerate() {
+            let Some(endpoints) = *state else { continue };
+            let e = EdgeId(i as u32);
+            let k = self.kappa[i];
+            if k == 0 {
+                continue;
+            }
+            let in_level = |x: EdgeId| self.kappa[x.index()] >= k;
+            let support = view.support(e, &in_level);
+            if support < k {
+                violations.push(Violation::InsufficientSupport {
+                    edge: e,
+                    endpoints,
+                    kappa: k,
+                    support,
+                });
+            }
+        }
+        violations
+    }
+
+    /// Definition 4 check: the independent peeling replay must not find a
+    /// deeper core than claimed for any edge.
+    fn maximality_violations(&self, view: &AdjacencyView) -> Vec<Violation> {
+        let replay = view.peel();
+        let mut violations = Vec::new();
+        for (i, state) in view.endpoints.iter().enumerate() {
+            let Some(endpoints) = *state else { continue };
+            if replay[i] > self.kappa[i] {
+                violations.push(Violation::NotMaximal {
+                    edge: EdgeId(i as u32),
+                    endpoints,
+                    claimed: self.kappa[i],
+                    actual: replay[i],
+                });
+            }
+        }
+        violations
+    }
+}
+
+/// Convenience: verify a [`tkc_core::decompose::Decomposition`] against the
+/// graph it claims to describe.
+pub fn verify_decomposition(
+    g: &Graph,
+    d: &tkc_core::decompose::Decomposition,
+) -> Result<(), Report> {
+    KappaCertificate::new(g, d.kappa_slice()).check()
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+    use tkc_core::decompose::triangle_kcore_decomposition;
+    use tkc_graph::generators;
+
+    #[test]
+    fn accepts_true_decompositions() {
+        for g in [
+            generators::complete(6),
+            generators::path(5),
+            generators::gnp(24, 0.25, 3),
+            generators::connected_caveman(3, 5),
+            generators::holme_kim(40, 3, 0.6, 9),
+        ] {
+            let d = triangle_kcore_decomposition(&g);
+            verify_decomposition(&g, &d).expect("true decomposition must verify");
+        }
+    }
+
+    #[test]
+    fn rejects_inflated_kappa_with_pinpointed_support_violation() {
+        let g = generators::complete(5);
+        let mut kappa = triangle_kcore_decomposition(&g).into_kappa();
+        let victim = g.edge_between(VertexId(0), VertexId(1)).unwrap();
+        kappa[victim.index()] += 1;
+        let report = KappaCertificate::new(&g, &kappa).check().unwrap_err();
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(*v, Violation::InsufficientSupport { edge, kappa: 4, .. } if edge == victim)));
+    }
+
+    #[test]
+    fn rejects_deflated_kappa_with_pinpointed_maximality_violation() {
+        let g = generators::complete(5);
+        let mut kappa = triangle_kcore_decomposition(&g).into_kappa();
+        let victim = g.edge_between(VertexId(2), VertexId(3)).unwrap();
+        kappa[victim.index()] = 0;
+        let report = KappaCertificate::new(&g, &kappa).check().unwrap_err();
+        assert!(report.violations.iter().any(|v| matches!(
+            *v,
+            Violation::NotMaximal { edge, claimed: 0, actual: 3, .. } if edge == victim
+        )));
+    }
+
+    #[test]
+    fn rejects_short_vectors_and_dirty_dead_slots() {
+        let mut g = generators::complete(4);
+        let short = vec![0u32; g.num_edges() - 1];
+        let report = KappaCertificate::new(&g, &short).check().unwrap_err();
+        assert!(matches!(
+            report.violations[0],
+            Violation::LengthMismatch { .. }
+        ));
+
+        let dead = g.edge_between(VertexId(0), VertexId(1)).unwrap();
+        g.remove_edge(dead).unwrap();
+        let mut kappa = triangle_kcore_decomposition(&g).into_kappa();
+        kappa[dead.index()] = 7;
+        let report = KappaCertificate::new(&g, &kappa).check().unwrap_err();
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(*v, Violation::DeadSlotNonZero { edge, kappa: 7 } if edge == dead)));
+    }
+
+    #[test]
+    fn report_display_is_readable() {
+        let g = generators::complete(4);
+        let mut kappa = triangle_kcore_decomposition(&g).into_kappa();
+        kappa[0] = 9;
+        let report = KappaCertificate::new(&g, &kappa).report();
+        let text = format!("{report}");
+        assert!(text.contains("REJECTED"));
+        assert!(text.contains("Definition 3"));
+    }
+}

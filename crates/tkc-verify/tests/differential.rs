@@ -1,0 +1,49 @@
+#![allow(clippy::unwrap_used)]
+
+//! The CI differential suite: hundreds of seeded op-streams over generator
+//! graphs, each checked against a from-scratch recompute after every
+//! operation (and a rotating subset against the naive definitional oracle
+//! and the κ-certificate checker as well).
+
+use tkc_verify::differential::{default_suite, run_stream, run_suite, GraphKind, StreamConfig};
+
+#[test]
+fn differential_suite_of_216_seeded_streams_passes() {
+    let configs = default_suite(216);
+    assert!(configs.len() >= 200, "suite must cover >= 200 cases");
+    let stats = run_suite(&configs).unwrap_or_else(|dump| panic!("{dump}"));
+    assert_eq!(stats.ops, 216 * 30);
+    assert!(stats.inserted > 1000, "streams should apply real work");
+    assert!(stats.removed > 500);
+}
+
+#[test]
+fn dense_churn_with_deep_oracles() {
+    // Longer streams on denser graphs with the full oracle stack: the
+    // quadratic naive pruning and the independent certificate checker must
+    // agree with the incremental maintainer at every step.
+    for seed in 0..6 {
+        let mut config = StreamConfig::quick(GraphKind::Gnp { n: 9, p: 0.4 }, 1000 + seed, 60);
+        config.deep_oracles = true;
+        run_stream(&config).unwrap_or_else(|dump| panic!("{dump}"));
+    }
+}
+
+#[test]
+fn batched_checkpoints_cover_long_streams() {
+    // Checking every 8 ops exercises checkpoint batching (divergence can
+    // surface several ops after its cause — the dump still shrinks).
+    for seed in 0..8 {
+        let mut config = StreamConfig::quick(
+            GraphKind::HolmeKim {
+                n: 20,
+                m: 3,
+                p: 0.6,
+            },
+            7000 + seed,
+            120,
+        );
+        config.check_every = 8;
+        run_stream(&config).unwrap_or_else(|dump| panic!("{dump}"));
+    }
+}

@@ -34,7 +34,13 @@ pub fn render_kappa_histogram(hist: &[usize], title: &str, width: u32, height: u
     // Sparse x labels.
     let step = (n / 8).max(1);
     for k in (0..n).step_by(step) {
-        doc.text(ml + band * k as f64, h - mb + 14.0, 10, "#444444", &k.to_string());
+        doc.text(
+            ml + band * k as f64,
+            h - mb + 14.0,
+            10,
+            "#444444",
+            &k.to_string(),
+        );
     }
     doc.text(2.0, mt + 6.0, 10, "#444444", &max_count.to_string());
     doc.text(2.0, h - mb, 10, "#444444", "0");
@@ -61,13 +67,16 @@ pub fn distribution_tsv(hist: &[usize]) -> String {
     let ccdf = kappa_ccdf(hist);
     let mut out = String::from("kappa\tcount\tccdf\n");
     for (k, &c) in hist.iter().enumerate() {
-        writeln!(out, "{k}\t{c}\t{:.6}", ccdf.get(k).copied().unwrap_or(0.0)).unwrap();
+        writeln!(out, "{k}\t{c}\t{:.6}", ccdf.get(k).copied().unwrap_or(0.0))
+            .expect("String writes are infallible");
     }
     out
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

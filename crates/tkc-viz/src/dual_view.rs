@@ -111,9 +111,10 @@ pub fn dual_view(old: &Graph, additions: &[(VertexId, VertexId)], top_k: usize) 
         for edges in comps {
             let vertices = edge_set_vertices(g2, &edges);
             // Skip structures already covered by a denser marker.
-            if markers.iter().any(|m: &CorrespondenceMarker| {
-                vertices.iter().all(|v| m.vertices.contains(v))
-            }) {
+            if markers
+                .iter()
+                .any(|m: &CorrespondenceMarker| vertices.iter().all(|v| m.vertices.contains(v)))
+            {
                 continue;
             }
             let before_pos = before.positions(old.num_vertices());
@@ -175,7 +176,14 @@ pub fn render_dual_view(view: &DualView, width: u32, band_height: u32) -> String
     };
     let markers_a = mk(&|m: &CorrespondenceMarker| m.before_positions.clone());
     let markers_b = mk(&|m: &CorrespondenceMarker| m.after_positions.clone());
-    draw_series(&mut doc, &view.before, &style_a, 0.0, band_height as f64, &markers_a);
+    draw_series(
+        &mut doc,
+        &view.before,
+        &style_a,
+        0.0,
+        band_height as f64,
+        &markers_a,
+    );
     draw_series(
         &mut doc,
         &view.after,
@@ -204,7 +212,8 @@ pub fn marker_table_tsv(view: &DualView) -> String {
                 .get(j)
                 .map(|p| p.to_string())
                 .unwrap_or_default();
-            writeln!(out, "{i}\t{}\t{}\t{v}\t{pb}\t{pa}", m.level, m.color).unwrap();
+            writeln!(out, "{i}\t{}\t{}\t{v}\t{pb}\t{pa}", m.level, m.color)
+                .expect("String writes are infallible");
         }
     }
     out
@@ -212,6 +221,8 @@ pub fn marker_table_tsv(view: &DualView) -> String {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use tkc_graph::generators;
 

@@ -20,6 +20,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod distribution;
 pub mod dual_view;
@@ -28,8 +29,8 @@ pub mod plot;
 pub mod subgraph;
 pub mod svg;
 
+pub use distribution::{distribution_tsv, kappa_ccdf, render_kappa_histogram};
 pub use dual_view::{dual_view, DualView};
 pub use ordering::{density_order, kappa_density_plot, plot_similarity, DensityPlot};
 pub use plot::{ascii_sparkline, density_plot_tsv, render_density_plot, PlotStyle};
-pub use distribution::{distribution_tsv, kappa_ccdf, render_kappa_histogram};
 pub use subgraph::{render_structure, render_subgraph, EdgeClass};

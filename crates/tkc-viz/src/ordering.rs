@@ -187,6 +187,8 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use tkc_core::decompose::triangle_kcore_decomposition;
     use tkc_graph::generators;
@@ -221,7 +223,11 @@ mod tests {
     fn dense_region_forms_flat_peak_first() {
         let (_, plot) = two_cliques_plot();
         // First six plotted vertices are the K6 at value 6.
-        assert!(plot.values[..6].iter().all(|&v| v == 6), "{:?}", plot.values);
+        assert!(
+            plot.values[..6].iter().all(|&v| v == 6),
+            "{:?}",
+            plot.values
+        );
         assert!(plot.order[..6].iter().all(|v| v.index() < 6));
         // The K4 is entered through the weak bridge (a valley at 2), then
         // rises to its plateau of 4s — the OPTICS dip-and-peak shape.

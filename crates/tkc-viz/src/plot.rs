@@ -76,7 +76,14 @@ pub(crate) fn draw_series(
 
     // Frame and axis labels.
     doc.rect(0.0, y0, w, band_h, "#ffffff");
-    doc.line(MARGIN_L, y0 + MARGIN_T, MARGIN_L, y0 + band_h - MARGIN_B, "#888888", 1.0);
+    doc.line(
+        MARGIN_L,
+        y0 + MARGIN_T,
+        MARGIN_L,
+        y0 + band_h - MARGIN_B,
+        "#888888",
+        1.0,
+    );
     doc.line(
         MARGIN_L,
         y0 + band_h - MARGIN_B,
@@ -85,7 +92,13 @@ pub(crate) fn draw_series(
         "#888888",
         1.0,
     );
-    doc.text(4.0, y0 + MARGIN_T + 4.0, 10, "#444444", &format!("{}", plot.max_value()));
+    doc.text(
+        4.0,
+        y0 + MARGIN_T + 4.0,
+        10,
+        "#444444",
+        &format!("{}", plot.max_value()),
+    );
     doc.text(4.0, y0 + band_h - MARGIN_B, 10, "#444444", "0");
     if !style.title.is_empty() {
         doc.text(MARGIN_L, y0 + 14.0, 12, "#111111", &style.title);
@@ -96,7 +109,14 @@ pub(crate) fn draw_series(
     if plot.len() <= 2000 {
         for (i, &v) in plot.values.iter().enumerate() {
             let x = x_of(i);
-            doc.line(x, y_of(0), x, y_of(v), &style.color, (inner_w / n).clamp(0.4, 3.0));
+            doc.line(
+                x,
+                y_of(0),
+                x,
+                y_of(v),
+                &style.color,
+                (inner_w / n).clamp(0.4, 3.0),
+            );
         }
     } else {
         let pts: Vec<(f64, f64)> = plot
@@ -165,7 +185,7 @@ pub fn density_plot_tsv(plot: &DensityPlot) -> String {
     let mut out = String::with_capacity(plot.len() * 12 + 24);
     out.push_str("position\tvertex\tvalue\n");
     for (i, (&v, &val)) in plot.order.iter().zip(&plot.values).enumerate() {
-        writeln!(out, "{i}\t{v}\t{val}").unwrap();
+        writeln!(out, "{i}\t{v}\t{val}").expect("String writes are infallible");
     }
     out
 }
@@ -192,6 +212,8 @@ pub fn ascii_sparkline(plot: &DensityPlot, width: usize) -> String {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use tkc_graph::VertexId;
 
@@ -244,7 +266,10 @@ mod tests {
     #[test]
     fn sparkline_handles_degenerate_inputs() {
         assert_eq!(ascii_sparkline(&sample_plot(), 0), "");
-        let empty = DensityPlot { order: vec![], values: vec![] };
+        let empty = DensityPlot {
+            order: vec![],
+            values: vec![],
+        };
         assert_eq!(ascii_sparkline(&empty, 10), "");
     }
 }

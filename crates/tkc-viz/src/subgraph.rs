@@ -97,6 +97,8 @@ pub fn render_structure(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use tkc_graph::generators;
 
@@ -126,7 +128,10 @@ mod tests {
     fn labels_override_ids() {
         let g = generators::complete(3);
         let vs: Vec<VertexId> = (0..3u32).map(VertexId).collect();
-        let labels: Vec<String> = ["PRE1", "RPN11", "RPN12"].iter().map(|s| s.to_string()).collect();
+        let labels: Vec<String> = ["PRE1", "RPN11", "RPN12"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let svg = render_subgraph(&g, &vs, Some(&labels), |_| EdgeClass::Normal, 240);
         assert!(svg.contains("PRE1"));
         assert!(svg.contains("RPN12"));

@@ -27,7 +27,7 @@ impl SvgDocument {
             self.body,
             r#"  <rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" fill="{fill}"/>"#
         )
-        .unwrap();
+        .expect("String writes are infallible");
         self
     }
 
@@ -37,17 +37,25 @@ impl SvgDocument {
             self.body,
             r#"  <circle cx="{cx:.2}" cy="{cy:.2}" r="{r:.2}" fill="{fill}" stroke="{stroke}"/>"#
         )
-        .unwrap();
+        .expect("String writes are infallible");
         self
     }
 
     /// Straight line segment.
-    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) -> &mut Self {
+    pub fn line(
+        &mut self,
+        x1: f64,
+        y1: f64,
+        x2: f64,
+        y2: f64,
+        stroke: &str,
+        width: f64,
+    ) -> &mut Self {
         writeln!(
             self.body,
             r#"  <line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="{stroke}" stroke-width="{width:.2}"/>"#
         )
-        .unwrap();
+        .expect("String writes are infallible");
         self
     }
 
@@ -55,14 +63,14 @@ impl SvgDocument {
     pub fn polyline(&mut self, points: &[(f64, f64)], stroke: &str, width: f64) -> &mut Self {
         let mut pts = String::new();
         for &(x, y) in points {
-            write!(pts, "{x:.2},{y:.2} ").unwrap();
+            write!(pts, "{x:.2},{y:.2} ").expect("String writes are infallible");
         }
         writeln!(
             self.body,
             r#"  <polyline points="{}" fill="none" stroke="{stroke}" stroke-width="{width:.2}"/>"#,
             pts.trim_end()
         )
-        .unwrap();
+        .expect("String writes are infallible");
         self
     }
 
@@ -73,7 +81,7 @@ impl SvgDocument {
             r#"  <text x="{x:.2}" y="{y:.2}" font-size="{size}" font-family="sans-serif" fill="{fill}">{}</text>"#,
             escape(content)
         )
-        .unwrap();
+        .expect("String writes are infallible");
         self
     }
 
@@ -92,11 +100,15 @@ impl SvgDocument {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Property tests for the plot layer: the density ordering is a
 //! permutation with dense-first structure, renderers never panic, and the
 //! dual view keeps its books consistent on random evolving graphs.

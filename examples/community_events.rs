@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Event detection on an evolving network: classify how the dense
 //! communities of one snapshot became those of the next (continue / grow /
 //! shrink / merge / split / form / dissolve) — the "characterizing the
@@ -44,30 +46,44 @@ fn main() {
     );
     for ev in &report.events {
         match ev {
-            Event::Continue { before, after, jaccard } => println!(
-                "  CONTINUE  old#{before} → new#{after} (jaccard {jaccard:.2})"
-            ),
-            Event::Grow { before, after, gained } => println!(
-                "  GROW      old#{before} → new#{after} (+{gained} vertices)"
-            ),
-            Event::Shrink { before, after, lost } => println!(
-                "  SHRINK    old#{before} → new#{after} (-{lost} vertices)"
-            ),
-            Event::Merge { before, after } => println!(
-                "  MERGE     old#{before:?} → new#{after}"
-            ),
-            Event::Split { before, after } => println!(
-                "  SPLIT     old#{before} → new#{after:?}"
-            ),
+            Event::Continue {
+                before,
+                after,
+                jaccard,
+            } => println!("  CONTINUE  old#{before} → new#{after} (jaccard {jaccard:.2})"),
+            Event::Grow {
+                before,
+                after,
+                gained,
+            } => println!("  GROW      old#{before} → new#{after} (+{gained} vertices)"),
+            Event::Shrink {
+                before,
+                after,
+                lost,
+            } => println!("  SHRINK    old#{before} → new#{after} (-{lost} vertices)"),
+            Event::Merge { before, after } => println!("  MERGE     old#{before:?} → new#{after}"),
+            Event::Split { before, after } => println!("  SPLIT     old#{before} → new#{after:?}"),
             Event::Form { after } => println!("  FORM      → new#{after}"),
             Event::Dissolve { before } => println!("  DISSOLVE  old#{before}"),
         }
     }
 
     let has = |pred: &dyn Fn(&Event) -> bool| report.events.iter().any(pred);
-    assert!(has(&|e| matches!(e, Event::Merge { .. })), "A+B merge missed");
-    assert!(has(&|e| matches!(e, Event::Grow { gained: 2, .. })), "C growth missed");
-    assert!(has(&|e| matches!(e, Event::Dissolve { .. })), "D dissolve missed");
-    assert!(has(&|e| matches!(e, Event::Form { .. })), "E formation missed");
+    assert!(
+        has(&|e| matches!(e, Event::Merge { .. })),
+        "A+B merge missed"
+    );
+    assert!(
+        has(&|e| matches!(e, Event::Grow { gained: 2, .. })),
+        "C growth missed"
+    );
+    assert!(
+        has(&|e| matches!(e, Event::Dissolve { .. })),
+        "D dissolve missed"
+    );
+    assert!(
+        has(&|e| matches!(e, Event::Form { .. })),
+        "E formation missed"
+    );
     println!("\nall four planted events recovered.");
 }

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Density plots end to end: build (or load) a graph, compare the
 //! Triangle K-Core proxy against the exact CSV estimation, and write SVG +
 //! TSV artifacts.
@@ -17,13 +19,13 @@ fn main() {
             println!("loading edge list from {path}");
             io::load_edge_list(&path).expect("readable edge list")
         }
-        None => triangle_kcore::datasets::build(
-            triangle_kcore::datasets::DatasetId::Ppi,
-            0.5,
-            11,
-        ),
+        None => triangle_kcore::datasets::build(triangle_kcore::datasets::DatasetId::Ppi, 0.5, 11),
     };
-    println!("graph: {} vertices, {} edges", g.num_vertices(), g.num_edges());
+    println!(
+        "graph: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    );
 
     // Proxy plot: κ + 2 per edge (one peel, linear in triangles).
     let t = std::time::Instant::now();
@@ -64,6 +66,10 @@ fn main() {
         ),
     )
     .unwrap();
-    std::fs::write(out.join("example_density.tsv"), density_plot_tsv(&proxy_plot)).unwrap();
+    std::fs::write(
+        out.join("example_density.tsv"),
+        density_plot_tsv(&proxy_plot),
+    )
+    .unwrap();
     println!("artifacts in {}", out.display());
 }

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Dynamic maintenance on an edge stream: replay a day of "social network"
 //! churn against a live Triangle K-Core index and watch structures form
 //! and dissolve — the Algorithm 2 workflow, with a periodic oracle check.
@@ -38,7 +40,11 @@ fn main() {
             }
             let pick = |live: &DynamicTriangleKCore, x: VertexId, r: u64| {
                 let d = live.graph().degree(x);
-                live.graph().neighbors(x).nth((r % d as u64) as usize).unwrap().0
+                live.graph()
+                    .neighbors(x)
+                    .nth((r % d as u64) as usize)
+                    .unwrap()
+                    .0
             };
             let w = pick(&live, u, next());
             let v = pick(&live, w, next());
@@ -68,7 +74,10 @@ fn main() {
         // Every 500 events, audit against a from-scratch Algorithm 1 run.
         if (step + 1) % 500 == 0 {
             let fresh = triangle_kcore_decomposition(live.graph());
-            let ok = live.graph().edge_ids().all(|e| live.kappa(e) == fresh.kappa(e));
+            let ok = live
+                .graph()
+                .edge_ids()
+                .all(|e| live.kappa(e) == fresh.kappa(e));
             assert!(ok, "maintained κ diverged from recompute");
             println!(
                 "step {:>4}: {} edges, max κ so far verified ✓",

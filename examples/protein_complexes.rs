@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! The biology workflow of §VII-B/F: find near-clique protein complexes in
 //! a PPI network, then probe for *bridge* structures connecting two
 //! complexes — the pattern behind the paper's PRE1 finding.
@@ -40,7 +42,10 @@ fn main() {
     println!("\nplanted structures:");
     println!("  8-clique   → plotted as {}-clique", level_of(&c1) + 2);
     println!("  10-clique  → plotted as {}-clique", level_of(&c2) + 2);
-    println!("  10-clique minus one interaction → plotted as {}-clique", level_of(&c3) + 2);
+    println!(
+        "  10-clique minus one interaction → plotted as {}-clique",
+        level_of(&c3) + 2
+    );
 
     // Part 2 (Figure 12): bridge cliques across complex boundaries.
     let (g2, labels, bridge) = ppi_bridge_study(17);

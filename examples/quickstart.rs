@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Quickstart: decompose a graph, inspect κ values, extract the densest
 //! clique-like structures, and draw a density plot in the terminal.
 //!
@@ -33,7 +35,11 @@ fn main() {
             "found {} vertices at level {} ({})",
             c.vertices.len(),
             c.level,
-            if c.is_clique() { "exact clique" } else { "clique-like" }
+            if c.is_clique() {
+                "exact clique"
+            } else {
+                "clique-like"
+            }
         );
     }
     assert!(cliques

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Template pattern cliques on an evolving collaboration network: the
 //! three built-in patterns plus a fully custom one, as in §V and the DBLP
 //! case studies (Figures 9–11).
@@ -21,7 +23,11 @@ fn show(name: &str, ag: &AttributedGraph, template: &dyn Template) {
             "  {} vertices at level {} ({})",
             core.vertices.len(),
             core.level,
-            if core.is_clique() { "exact clique" } else { "clique-like" }
+            if core.is_clique() {
+                "exact clique"
+            } else {
+                "clique-like"
+            }
         );
     }
 }

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Long-horizon temporal analysis: replay a five-year collaboration series
 //! through the incremental maintainer, print each year's density profile,
 //! and track how one community evolves year over year.
@@ -11,7 +13,11 @@ use triangle_kcore::prelude::*;
 fn main() {
     let years = 5;
     let (net, planted) = collaboration_series(1200, 700, years, 21);
-    println!("collaboration series: {} snapshots, {} authors\n", net.len(), net.snapshot(0).num_vertices());
+    println!(
+        "collaboration series: {} snapshots, {} authors\n",
+        net.len(),
+        net.snapshot(0).num_vertices()
+    );
 
     // Replay with the incremental maintainer; print per-year profiles.
     let mut profiles: Vec<(usize, u32)> = Vec::new();
@@ -38,9 +44,11 @@ fn main() {
         };
         let rep = detect_events(net.snapshot(t), net.snapshot(t + 1), level, &opts);
         let located = rep.events.iter().find(|e| match e {
-            Event::Grow { after, .. } | Event::Continue { after, .. } | Event::Merge { after, .. } => {
-                planted[t + 1].iter().all(|v| rep.new_cores[*after].vertices.contains(v))
-            }
+            Event::Grow { after, .. }
+            | Event::Continue { after, .. }
+            | Event::Merge { after, .. } => planted[t + 1]
+                .iter()
+                .all(|v| rep.new_cores[*after].vertices.contains(v)),
             _ => false,
         });
         match located {
@@ -57,6 +65,9 @@ fn main() {
         }
     }
     assert_eq!(profiles.len(), years);
-    println!("\nthe planted community grew from {} to {} members across the series.",
-        planted[0].len(), planted[years - 1].len());
+    println!(
+        "\nthe planted community grew from {} to {} members across the series.",
+        planted[0].len(),
+        planted[years - 1].len()
+    );
 }

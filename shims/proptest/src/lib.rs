@@ -1,0 +1,369 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the subset of the proptest API the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`strategy::Strategy`] with `prop_map`, ranges, tuples and
+//!   [`collection::vec`],
+//! * `any::<T>()`, [`prop_assert!`]/[`prop_assert_eq!`],
+//! * [`test_runner::ProptestConfig`].
+//!
+//! Unlike real proptest there is no integrated shrinking; instead, every
+//! failing case prints the seed, the case index, and a `Debug` dump of all
+//! generated inputs before propagating the panic, which is enough to
+//! reproduce deterministically (generation is a pure function of the seed).
+//! The repo's `tkc-verify` crate layers a dedicated differential-oracle
+//! shrinker on top for the dynamic-maintenance streams.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Debug;
+
+pub mod strategy {
+    //! Value-generation strategies: the [`Strategy`] trait and combinators.
+
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of type `Self::Value` from an RNG.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut SmallRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields clones of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut SmallRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),+ $(,)?) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )+};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut SmallRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+    }
+
+    /// Strategy for the full standard distribution of `T` (`any::<T>()`).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    /// Generates arbitrary values of a supported primitive type.
+    pub fn any<T>() -> Any<T>
+    where
+        Any<T>: Strategy<Value = T>,
+    {
+        Any(core::marker::PhantomData)
+    }
+
+    macro_rules! impl_any {
+        ($($t:ty => $gen:expr),+ $(,)?) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut SmallRng) -> $t {
+                    let f: fn(&mut SmallRng) -> $t = $gen;
+                    f(rng)
+                }
+            }
+        )+};
+    }
+
+    impl_any! {
+        bool => |rng| rng.gen::<bool>(),
+        u32 => |rng| rng.gen::<u32>(),
+        u64 => |rng| rng.gen::<u64>(),
+        f64 => |rng| rng.gen::<f64>(),
+        u8 => |rng| rng.gen_range(0..=u8::MAX),
+        u16 => |rng| rng.gen_range(0..=u16::MAX),
+        usize => |rng| rng.gen::<u64>() as usize,
+        i32 => |rng| rng.gen::<u32>() as i32,
+        i64 => |rng| rng.gen::<u64>() as i64,
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`proptest::collection::vec`).
+
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Strategy producing `Vec`s with element strategy `S` and a length
+    /// drawn uniformly from `len`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// `Vec` strategy: lengths drawn from `len`, elements from `element`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let n = if self.len.is_empty() {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Case-running machinery behind the [`crate::proptest!`] macro.
+
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Configuration for a `proptest!` block.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per property.
+        pub cases: u32,
+        /// Base seed; each case `i` runs with `seed + i`.
+        pub seed: u64,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                seed: 0x7c61_9c85,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..Self::default()
+            }
+        }
+    }
+
+    /// Runs `body` once per case with a deterministic per-case RNG.
+    ///
+    /// `body` receives the RNG and must return a `Debug` dump of the inputs
+    /// it generated (printed only if the case panics).
+    pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut body: F)
+    where
+        F: FnMut(&mut SmallRng) -> Result<(), (String, Box<dyn std::any::Any + Send>)>,
+    {
+        for case in 0..config.cases {
+            let seed = config.seed.wrapping_add(u64::from(case));
+            let mut rng = SmallRng::seed_from_u64(seed);
+            if let Err((dump, panic)) = body(&mut rng) {
+                eprintln!(
+                    "proptest: property `{name}` failed at case {case}/{} (seed {seed}).\n\
+                     Generated inputs:\n{dump}",
+                    config.cases
+                );
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
+}
+
+/// Re-exports matching `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[doc(hidden)]
+pub fn __format_input<T: Debug>(name: &str, value: &T) -> String {
+    format!("  {name} = {value:?}\n")
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests: each `fn name(x in strategy, ..) { body }`
+/// becomes a `#[test]` running the body over deterministically seeded
+/// generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = { $cfg }; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            cfg = { $crate::test_runner::ProptestConfig::default() };
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = { $cfg:expr }; ) => {};
+    (cfg = { $cfg:expr };
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            $crate::test_runner::run_cases(&config, stringify!($name), |__rng| {
+                let mut __dump = String::new();
+                $(
+                    let __generated =
+                        $crate::strategy::Strategy::generate(&($strat), __rng);
+                    __dump.push_str(&$crate::__format_input(
+                        stringify!($arg),
+                        &__generated,
+                    ));
+                    let $arg = __generated;
+                )+
+                match ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    move || $body,
+                )) {
+                    Ok(()) => Ok(()),
+                    Err(panic) => Err((__dump, panic)),
+                }
+            });
+        }
+        $crate::__proptest_items! { cfg = { $cfg }; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u32..17, y in 0..5i32) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0..5).contains(&y));
+        }
+
+        #[test]
+        fn mapped_tuples_compose(v in (0u32..10, 0u32..10).prop_map(|(a, b)| a + b)) {
+            prop_assert!(v <= 18);
+        }
+
+        #[test]
+        fn vec_lengths_in_range(v in collection::vec(0u32..100, 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn any_bool_generates(b in any::<bool>()) {
+            let as_int = u8::from(b);
+            prop_assert!(as_int <= 1);
+        }
+    }
+
+    #[test]
+    fn failing_case_panics() {
+        let result = std::panic::catch_unwind(|| {
+            crate::test_runner::run_cases(
+                &ProptestConfig::with_cases(16),
+                "always_fails",
+                |_rng| match std::panic::catch_unwind(|| panic!("boom")) {
+                    Ok(()) => Ok(()),
+                    Err(p) => Err((String::from("  (no inputs)\n"), p)),
+                },
+            );
+        });
+        assert!(result.is_err(), "failure must propagate");
+    }
+}

@@ -1,0 +1,333 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this crate re-implements exactly the subset of the `rand 0.8` API the
+//! workspace uses: [`Rng::gen_range`] / [`Rng::gen_bool`] / [`Rng::gen`],
+//! [`SeedableRng::seed_from_u64`], [`rngs::SmallRng`], and
+//! [`seq::SliceRandom`] (`shuffle` / `choose`).
+//!
+//! The generator behind [`rngs::SmallRng`] is xoshiro256++ seeded through
+//! SplitMix64 — the same construction real `rand 0.8` uses on 64-bit
+//! targets, though the exact output streams are not guaranteed to match the
+//! upstream crate. Every generator in this workspace is seeded explicitly,
+//! so determinism per seed (which the test-suite relies on) is preserved.
+
+#![forbid(unsafe_code)]
+
+/// A source of random bits plus the derived sampling helpers.
+///
+/// Mirrors the parts of `rand::Rng` the workspace uses. Implemented for
+/// anything that can produce raw `u64` blocks via [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a range type (`a..b` or `a..=b` over the
+    /// supported primitives).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli sample: `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p not a probability");
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Sample a value of a supported primitive type from its standard
+    /// distribution (uniform for integers and `[0, 1)` for floats).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Raw 64-bit block generation; the base trait every RNG implements.
+pub trait RngCore {
+    /// Next raw 64-bit block.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next raw 32-bit block (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Deterministic construction of an RNG from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (via SplitMix64 expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+fn unit_f64(bits: u64) -> f64 {
+    // 53 high bits -> [0, 1) with full double precision.
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types samplable from the "standard" distribution via [`Rng::gen`].
+pub trait Standard {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+/// Range types usable with [`Rng::gen_range`] to produce a `T`.
+pub trait SampleRange<T> {
+    /// Uniform sample from the range.
+    fn sample<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Rejection-free (Lemire) bounded sampling for `n > 0`.
+fn bounded_u64<R: RngCore>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    // Widening-multiply method; the rare biased zone is rejected.
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128).wrapping_mul(n as u128);
+        let lo = m as u64;
+        if lo >= n || lo >= (n.wrapping_neg() % n) {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty => $wide:ty),+ $(,)?) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                self.start.wrapping_add(bounded_u64(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample<R: RngCore>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as $wide).wrapping_sub(start as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(bounded_u64(rng, span + 1) as $t)
+            }
+        }
+    )+};
+}
+
+impl_int_range!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => u64, i16 => u64, i32 => u64, i64 => u64, isize => u64,
+);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let v = self.start + unit_f64(rng.next_u64()) * (self.end - self.start);
+        // Guard against rounding up to the excluded endpoint.
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
+    }
+}
+
+impl SampleRange<f32> for core::ops::Range<f32> {
+    fn sample<R: RngCore>(self, rng: &mut R) -> f32 {
+        let wide = (f64::from(self.start))..(f64::from(self.end));
+        wide.sample(rng) as f32
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Small, fast, non-cryptographic generator: xoshiro256++ seeded via
+    /// SplitMix64 (the construction `rand 0.8` uses for its `SmallRng` on
+    /// 64-bit platforms).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = move || {
+                sm = sm.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related helpers (`rand::seq`).
+pub mod seq {
+    use super::{bounded_u64, RngCore};
+
+    /// Slice extension trait: uniform choice and Fisher–Yates shuffle.
+    pub trait SliceRandom {
+        /// Element type of the slice.
+        type Item;
+
+        /// Uniformly random element, or `None` when empty.
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// In-place Fisher–Yates shuffle.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(bounded_u64(rng, self.len() as u64) as usize)
+            }
+        }
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = bounded_u64(rng, i as u64 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let mut c = SmallRng::seed_from_u64(8);
+        let va: Vec<u32> = (0..16).map(|_| a.gen_range(0..1000u32)).collect();
+        let vb: Vec<u32> = (0..16).map(|_| b.gen_range(0..1000u32)).collect();
+        let vc: Vec<u32> = (0..16).map(|_| c.gen_range(0..1000u32)).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..2000 {
+            let x = rng.gen_range(3..9u32);
+            assert!((3..9).contains(&x));
+            let y = rng.gen_range(-5..5i64);
+            assert!((-5..5).contains(&y));
+            let z = rng.gen_range(0.25..0.75f64);
+            assert!((0.25..0.75).contains(&z));
+            let w = rng.gen_range(0..=4usize);
+            assert!(w <= 4);
+        }
+    }
+
+    #[test]
+    fn bounded_sampling_covers_support() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut seen = [false; 6];
+        for _ in 0..500 {
+            seen[rng.gen_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_rate() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2500..3500).contains(&hits), "rate off: {hits}");
+    }
+
+    #[test]
+    fn unit_float_distribution() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mean: f64 = (0..10_000).map(|_| rng.gen::<f64>()).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_and_choose() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        let orig = v.clone();
+        v.shuffle(&mut rng);
+        assert_ne!(v, orig, "50 elements should not shuffle to identity");
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig);
+        assert!(v.choose(&mut rng).is_some());
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Integration: the baselines against the core on realistic dataset
 //! stand-ins — Claim 3 at scale and the CSV/κ+2 relationship the Figure 6
 //! comparison rests on.
@@ -41,7 +43,10 @@ fn csv_plot_and_proxy_plot_are_similar_on_clustered_data() {
         proxy[e.index()] = d.kappa(e) + 2;
     }
     let csv = csv_co_clique_sizes(&g, &CsvOptions::default());
-    assert_eq!(csv.budget_exhausted, 0, "budget should suffice at this scale");
+    assert_eq!(
+        csv.budget_exhausted, 0,
+        "budget should suffice at this scale"
+    );
 
     // Pointwise: exact co-clique sizes never exceed the proxy.
     for e in g.edge_ids() {

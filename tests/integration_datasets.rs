@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Integration: the dataset registry feeds every algorithm without
 //! surprises — sizes track Table I, builds are deterministic, scenarios
 //! compose with the pattern and dual-view layers.
@@ -28,7 +30,11 @@ fn small_datasets_build_at_paper_scale() {
     let synthetic = build_default(DatasetId::Synthetic, 1);
     assert_eq!(synthetic.num_vertices(), 60);
     let ratio = synthetic.num_edges() as f64 / 308.0;
-    assert!((0.7..=1.3).contains(&ratio), "synthetic edges {}", synthetic.num_edges());
+    assert!(
+        (0.7..=1.3).contains(&ratio),
+        "synthetic edges {}",
+        synthetic.num_edges()
+    );
 }
 
 #[test]
@@ -46,8 +52,7 @@ fn determinism_across_calls_and_scales() {
 #[test]
 fn churn_script_is_applicable_and_reversible() {
     let g = build(DatasetId::Dblp, 0.3, 5);
-    let (dels, ins) =
-        triangle_kcore::datasets::scenarios::churn_script(&g, 0.02, 9);
+    let (dels, ins) = triangle_kcore::datasets::scenarios::churn_script(&g, 0.02, 9);
     let mut m = DynamicTriangleKCore::new(g.clone());
     let ops: Vec<BatchOp> = dels
         .iter()

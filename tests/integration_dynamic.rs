@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Integration: dynamic maintenance against the static algorithm on
 //! dataset-scale graphs and full churn scenarios (the Table III protocol
 //! at test scale).
@@ -9,7 +11,12 @@ use triangle_kcore::prelude::*;
 fn assert_matches_recompute(m: &DynamicTriangleKCore) {
     let fresh = triangle_kcore_decomposition(m.graph());
     for e in m.graph().edge_ids() {
-        assert_eq!(m.kappa(e), fresh.kappa(e), "edge {:?}", m.graph().endpoints(e));
+        assert_eq!(
+            m.kappa(e),
+            fresh.kappa(e),
+            "edge {:?}",
+            m.graph().endpoints(e)
+        );
     }
 }
 
@@ -76,7 +83,9 @@ fn rebuild_equals_maintained_after_mixed_session() {
     let mut m = DynamicTriangleKCore::new(g);
     let mut state = 0xdeadbeefu64;
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 33) as u32
     };
     let n = m.graph().num_vertices() as u32;
@@ -104,8 +113,7 @@ fn rebuild_equals_maintained_after_mixed_session() {
 
 #[test]
 fn dual_view_pipeline_runs_on_wiki_scenario() {
-    let (g, adds, _) =
-        triangle_kcore::datasets::scenarios::wiki_dual_view_scenario(0.05, 23);
+    let (g, adds, _) = triangle_kcore::datasets::scenarios::wiki_dual_view_scenario(0.05, 23);
     let view = dual_view(&g, &adds, 3);
     assert_eq!(view.before.len(), g.num_vertices());
     assert!(!view.markers.is_empty());

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Integration: the extension layer — persistence, parallel counting,
 //! community search, exact clique enumeration and event detection —
 //! composed across crates on dataset-scale graphs.
@@ -16,8 +18,7 @@ fn decompose_persist_reload_maintain() {
     let kappa = read_kappa(&g, buf.as_slice()).unwrap();
 
     let mut m = DynamicTriangleKCore::from_parts(g, kappa);
-    let (dels, ins) =
-        triangle_kcore::datasets::scenarios::churn_script(m.graph(), 0.02, 8);
+    let (dels, ins) = triangle_kcore::datasets::scenarios::churn_script(m.graph(), 0.02, 8);
     let ops: Vec<BatchOp> = dels
         .iter()
         .map(|&(u, v)| BatchOp::Remove(u, v))
@@ -82,8 +83,7 @@ fn exact_cliques_validate_the_proxy_on_ppi() {
 fn events_detected_on_collaboration_years() {
     // Two consecutive "years": carried teams continue, replaced teams
     // dissolve, new teams form.
-    let (y1, y2) =
-        triangle_kcore::datasets::collaboration::snapshot_pair(600, 350, 0.6, 12);
+    let (y1, y2) = triangle_kcore::datasets::collaboration::snapshot_pair(600, 350, 0.6, 12);
     let rep = detect_events(&y1, &y2, 2, &EventOptions::default());
     assert!(!rep.old_cores.is_empty());
     assert!(!rep.new_cores.is_empty());

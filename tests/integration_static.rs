@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Integration: the static pipeline across crates — substrate → Algorithm 1
 //! → extraction, on registry datasets and structured graphs.
 
@@ -8,7 +10,10 @@ use triangle_kcore::prelude::*;
 fn full_pipeline_on_ppi_standin() {
     let g = triangle_kcore::datasets::build(triangle_kcore::datasets::DatasetId::Ppi, 0.3, 1);
     let d = triangle_kcore_decomposition(&g);
-    assert!(d.max_kappa() >= 2, "PPI stand-in should have dense complexes");
+    assert!(
+        d.max_kappa() >= 2,
+        "PPI stand-in should have dense complexes"
+    );
 
     // Every level set satisfies Definition 3 and the hierarchy nests.
     let hierarchy = core_hierarchy(&g, &d);
@@ -95,7 +100,9 @@ fn clique_surfacing_across_noise_levels() {
         let d = triangle_kcore_decomposition(&g);
         let found = densest_cliques(&g, &d, 1);
         assert!(
-            found.iter().any(|c| planted[0].iter().all(|v| c.vertices.contains(v))),
+            found
+                .iter()
+                .any(|c| planted[0].iter().all(|v| c.vertices.contains(v))),
             "noise {noise}: planted 7-clique lost"
         );
     }

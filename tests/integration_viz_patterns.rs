@@ -1,8 +1,12 @@
+#![allow(clippy::unwrap_used)]
+
 //! Integration: visualization + pattern layers on top of core results —
 //! plots cover all vertices, SVG/TSV artifacts are well-formed, and the
 //! case-study scenarios surface their planted structures.
 
-use triangle_kcore::datasets::collaboration::{bridge_scenario, new_form_scenario, new_join_scenario};
+use triangle_kcore::datasets::collaboration::{
+    bridge_scenario, new_form_scenario, new_join_scenario,
+};
 use triangle_kcore::datasets::ppi::ppi_bridge_study;
 use triangle_kcore::prelude::*;
 use triangle_kcore::viz::dual_view::{marker_table_tsv, render_dual_view};
@@ -38,7 +42,10 @@ fn dense_regions_lead_the_plot() {
     // The first 9 plotted vertices are exactly the planted 9-clique.
     let head: std::collections::HashSet<_> = plot.order[..9].iter().copied().collect();
     for v in &planted[0] {
-        assert!(head.contains(v), "clique member not at the head of the plot");
+        assert!(
+            head.contains(v),
+            "clique member not at the head of the plot"
+        );
     }
     assert!(plot.values[..9].iter().all(|&x| x == 9));
 }
