@@ -1,0 +1,253 @@
+//! `bench_snapshot` — the decompose/support perf trajectory.
+//!
+//! Measures Algorithm 1's support stage and full decomposition across the
+//! seed's sequential hash path, the oriented CSR snapshot kernel, and the
+//! wedge-balanced parallel kernel, then writes the machine-readable record
+//! `BENCH_decompose.json` so every future perf PR appends to a trajectory
+//! instead of claiming speedups in prose.
+//!
+//! ```text
+//! cargo run --release -p tkc-bench --bin bench_snapshot            # full
+//! cargo run --release -p tkc-bench --bin bench_snapshot -- --quick # CI smoke
+//! ```
+//!
+//! Flags / env: `--quick` shrinks graphs for the CI smoke step; `--out
+//! <path>` overrides the JSON destination (default `BENCH_decompose.json`
+//! in the working directory); `TKC_SEED` seeds the generators.
+//!
+//! Every kernel's support vector is asserted bit-identical to the seed
+//! sequential path before its timing is recorded — a bench run that would
+//! report a wrong kernel aborts instead.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use tkc_bench::{fmt_secs, seed_from_env, time};
+use tkc_core::decompose::{triangle_kcore_decomposition, Decomposition};
+use tkc_graph::csr::CsrGraph;
+use tkc_graph::{generators, triangles, Graph};
+
+/// One timed measurement, later serialized as a JSON object.
+struct Sample {
+    family: &'static str,
+    vertices: usize,
+    edges: usize,
+    wedge_work: u64,
+    kernel: &'static str,
+    threads: usize,
+    elapsed: Duration,
+    /// Speedup of this kernel over the seed sequential hash path on the
+    /// same graph (1.0 for the baseline row itself).
+    speedup_vs_hash_seq: f64,
+}
+
+impl Sample {
+    fn ns_per_edge(&self) -> f64 {
+        if self.edges == 0 {
+            0.0
+        } else {
+            self.elapsed.as_nanos() as f64 / self.edges as f64
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"family\":\"{}\",\"vertices\":{},\"edges\":{},",
+                "\"wedge_work\":{},\"kernel\":\"{}\",\"threads\":{},",
+                "\"millis\":{:.3},\"ns_per_edge\":{:.2},",
+                "\"speedup_vs_hash_seq\":{:.3}}}"
+            ),
+            self.family,
+            self.vertices,
+            self.edges,
+            self.wedge_work,
+            self.kernel,
+            self.threads,
+            self.elapsed.as_secs_f64() * 1e3,
+            self.ns_per_edge(),
+            self.speedup_vs_hash_seq,
+        )
+    }
+}
+
+/// Median-of-`reps` timing of `f` (first call warms caches and pool).
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
+    let (mut out, mut best) = time(&mut f);
+    for _ in 1..reps.max(1) {
+        let (value, elapsed) = time(&mut f);
+        if elapsed < best {
+            best = elapsed;
+            out = value;
+        }
+    }
+    (out, best)
+}
+
+fn bench_family(
+    family: &'static str,
+    g: &Graph,
+    thread_counts: &[usize],
+    reps: usize,
+    samples: &mut Vec<Sample>,
+) {
+    let (vertices, edges, wedge_work) = (g.num_vertices(), g.num_edges(), g.wedge_work());
+    let push = |samples: &mut Vec<Sample>, kernel, threads, elapsed: Duration, base: Duration| {
+        samples.push(Sample {
+            family,
+            vertices,
+            edges,
+            wedge_work,
+            kernel,
+            threads,
+            elapsed,
+            speedup_vs_hash_seq: base.as_secs_f64() / elapsed.as_secs_f64().max(1e-12),
+        });
+    };
+
+    // Baseline: the seed's sequential support path.
+    let (reference, hash_time) = best_of(reps, || triangles::edge_supports(g));
+    push(samples, "support_hash_seq", 1, hash_time, hash_time);
+
+    // CSR sequential, freeze included (end-to-end cost of taking the
+    // snapshot and running the oriented kernel once).
+    let (csr_sup, csr_time) = best_of(reps, || tkc_graph::csr::edge_supports_csr(g));
+    assert_eq!(csr_sup, reference, "CSR kernel diverged from hash path");
+    push(samples, "support_csr_seq", 1, csr_time, hash_time);
+
+    // CSR parallel at each requested thread count (freeze included).
+    for &threads in thread_counts {
+        let (par_sup, par_time) = best_of(reps, || {
+            Arc::new(CsrGraph::freeze(g)).edge_supports_parallel(threads)
+        });
+        assert_eq!(
+            par_sup, reference,
+            "parallel kernel diverged at {threads} threads"
+        );
+        push(
+            samples,
+            "support_csr_parallel",
+            threads,
+            par_time,
+            hash_time,
+        );
+    }
+
+    // Full Algorithm 1, seed path vs CSR-staged path at max threads.
+    let (base_d, decomp_time) = best_of(reps, || triangle_kcore_decomposition(g));
+    push(samples, "decompose_seq", 1, decomp_time, decomp_time);
+    let threads = thread_counts.iter().copied().max().unwrap_or(1);
+    let (par_d, par_decomp_time) = best_of(reps, || Decomposition::compute_with(g, threads));
+    assert_eq!(
+        par_d.kappa_slice(),
+        base_d.kappa_slice(),
+        "threaded decomposition diverged"
+    );
+    push(
+        samples,
+        "decompose_csr_parallel",
+        threads,
+        par_decomp_time,
+        decomp_time,
+    );
+
+    let base = samples
+        .iter()
+        .rev()
+        .find(|s| s.kernel == "support_hash_seq")
+        .map(|s| s.elapsed)
+        .unwrap_or(hash_time);
+    eprintln!(
+        "  {family}: {vertices} vertices / {edges} edges, hash {} s, csr {} s, \
+         csr@{threads}t {} s",
+        fmt_secs(base),
+        fmt_secs(csr_time),
+        fmt_secs(
+            samples
+                .iter()
+                .rev()
+                .find(|s| s.kernel == "support_csr_parallel")
+                .map(|s| s.elapsed)
+                .unwrap_or_default()
+        ),
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_decompose.json".to_string());
+    let seed = seed_from_env();
+    let reps = if quick { 1 } else { 3 };
+    let thread_counts: &[usize] = if quick { &[2] } else { &[2, 4] };
+
+    // Graph families: a scale-free clustered graph at >=100k edges (the
+    // acceptance-gate workload), a community graph, and a dense clique
+    // batch that stresses the orientation rather than the memory layout.
+    let families: Vec<(&'static str, Graph)> = if quick {
+        vec![
+            ("holme_kim", generators::holme_kim(3_000, 3, 0.6, seed)),
+            (
+                "planted_partition",
+                generators::planted_partition(8, 40, 0.3, 0.01, seed),
+            ),
+        ]
+    } else {
+        vec![
+            ("holme_kim", generators::holme_kim(40_000, 3, 0.6, seed)),
+            (
+                "planted_partition",
+                generators::planted_partition(40, 120, 0.25, 0.002, seed),
+            ),
+            ("complete", generators::complete(450)),
+        ]
+    };
+
+    let mut samples = Vec::new();
+    eprintln!(
+        "bench_snapshot ({} mode, seed {seed})",
+        if quick { "quick" } else { "full" }
+    );
+    for (family, g) in &families {
+        bench_family(family, g, thread_counts, reps, &mut samples);
+    }
+
+    let rows: Vec<String> = samples
+        .iter()
+        .map(|s| format!("    {}", s.to_json()))
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"decompose-snapshot\",\n  \"version\": 1,\n  \
+         \"mode\": \"{}\",\n  \"seed\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        if quick { "quick" } else { "full" },
+        seed,
+        rows.join(",\n"),
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_decompose.json");
+    println!("wrote {out_path} ({} samples)", samples.len());
+
+    // Trajectory headline: best parallel-support speedup on the largest
+    // graph, so the number the ISSUE gates on is visible in the run log.
+    if let Some(best) = samples
+        .iter()
+        .filter(|s| s.kernel == "support_csr_parallel")
+        .max_by(|a, b| {
+            a.speedup_vs_hash_seq
+                .partial_cmp(&b.speedup_vs_hash_seq)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+    {
+        println!(
+            "headline: {}x over hash_seq ({} edges, {} threads, {:.1} ns/edge)",
+            (best.speedup_vs_hash_seq * 100.0).round() / 100.0,
+            best.edges,
+            best.threads,
+            best.ns_per_edge()
+        );
+    }
+}

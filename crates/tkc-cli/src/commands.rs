@@ -14,7 +14,7 @@ use crate::args::parse;
 
 /// Usage text printed on errors.
 pub const USAGE: &str = "usage:
-  tkc decompose <edges.txt> [--stored] [--top K]
+  tkc decompose <edges.txt> [--stored] [--top K] [--threads N]
   tkc plot      <edges.txt> [--svg out.svg] [--tsv out.tsv] [--width N]
   tkc cliques   <edges.txt> [--top K]
   tkc update    <edges.txt> --ops <ops.txt> [--verify]
@@ -25,8 +25,11 @@ pub const USAGE: &str = "usage:
   tkc stats     <edges.txt> [--svg hist.svg] [--tsv dist.tsv]
   tkc community <edges.txt> <vertex> [--level K]
   tkc dataset   <name> [--scale F] [--seed S] [--out file]
-  tkc verify    <edges.txt> [--stored] [--ops <ops.txt>]
-  tkc verify    --suite [--cases N]";
+  tkc verify    <edges.txt> [--stored] [--ops <ops.txt>] [--threads N]
+  tkc verify    --suite [--cases N]
+
+(--threads 0 = all cores; the support stage of Algorithm 1 runs on the
+ wedge-balanced worker pool)";
 
 /// Dispatches a full argv (without the program name).
 pub fn run(argv: &[String]) -> Result<(), String> {
@@ -34,7 +37,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         argv,
         &[
             "top", "svg", "tsv", "width", "ops", "template", "scale", "seed", "out", "level",
-            "labels", "cases",
+            "labels", "cases", "threads",
         ],
     )?;
     match p.positional(0, "subcommand")? {
@@ -76,10 +79,11 @@ fn summarize(g: &Graph, d: &Decomposition) {
 
 fn decompose(p: &crate::args::Parsed) -> Result<(), String> {
     let g = load(p.positional(1, "edge list path")?)?;
+    let threads: usize = p.flag_parse("threads", 1)?;
     let d = if p.switch("stored") {
         triangle_kcore_decomposition_stored(&g)
     } else {
-        triangle_kcore_decomposition(&g)
+        Decomposition::compute_with(&g, threads)
     };
     summarize(&g, &d);
     let top: usize = p.flag_parse("top", 0)?;
@@ -531,7 +535,8 @@ fn verify(p: &crate::args::Parsed) -> Result<(), String> {
             let kappa = d.into_kappa();
             (g, kappa, "stored-triangle decomposition")
         } else {
-            let d = triangle_kcore_decomposition(&g);
+            let threads: usize = p.flag_parse("threads", 1)?;
+            let d = Decomposition::compute_with(&g, threads);
             let kappa = d.into_kappa();
             (g, kappa, "decomposition")
         };
@@ -717,6 +722,29 @@ mod tests {
             "2".into(),
         ])
         .unwrap();
+        // --threads plumbs through to the parallel support stage (0 = all
+        // cores) and must not change the result summary path.
+        run(&[
+            "decompose".into(),
+            edges.to_str().unwrap().into(),
+            "--threads".into(),
+            "0".into(),
+        ])
+        .unwrap();
+        run(&[
+            "verify".into(),
+            edges.to_str().unwrap().into(),
+            "--threads".into(),
+            "3".into(),
+        ])
+        .unwrap();
+        assert!(run(&[
+            "decompose".into(),
+            edges.to_str().unwrap().into(),
+            "--threads".into(),
+            "nope".into(),
+        ])
+        .is_err());
         run(&[
             "update".into(),
             edges.to_str().unwrap().into(),

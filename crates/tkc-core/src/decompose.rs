@@ -6,7 +6,16 @@
 //! indices gives O(1) "decrement support and re-sort" (step 16), for an
 //! overall cost of `O(|E| + Σ_e min(deg u, deg v))` — linear in the number
 //! of triangle *checks*, matching the paper's `O(|Tri|)` processing bound.
+//!
+//! The dominant cost is the **initial support stage**. By default it runs
+//! on the oriented CSR snapshot kernel (`tkc_graph::csr`), which enumerates
+//! each triangle exactly once and parallelizes across the worker pool —
+//! see [`Decomposition::compute_with`]. Building with the `hash-supports`
+//! feature swaps back the seed's mutable-adjacency support path (useful for
+//! differential debugging of the kernel itself); the peel loop is identical
+//! either way and the κ output is bit-identical by construction.
 
+#[cfg(feature = "hash-supports")]
 use tkc_graph::triangles::edge_supports;
 use tkc_graph::{EdgeId, Graph};
 
@@ -24,6 +33,21 @@ pub struct Decomposition {
 }
 
 impl Decomposition {
+    /// Runs Algorithm 1 sequentially. Equivalent to
+    /// [`triangle_kcore_decomposition`].
+    pub fn compute(g: &Graph) -> Decomposition {
+        Decomposition::compute_with(g, 1)
+    }
+
+    /// Runs Algorithm 1 with the support stage computed by `threads`
+    /// workers (`0` = available parallelism) on the oriented CSR kernel.
+    /// The peel itself is inherently sequential (each pop depends on every
+    /// earlier decrement), but supports dominate the cost on triangle-rich
+    /// graphs, so this is where the threads go.
+    pub fn compute_with(g: &Graph, threads: usize) -> Decomposition {
+        triangle_kcore_decomposition_with(g, threads)
+    }
+
     /// κ of a live edge. Slots of edges that were dead at decomposition
     /// time read 0.
     #[inline]
@@ -135,9 +159,37 @@ pub fn core_triangles_of_edge(
 /// assert_eq!(d.max_kappa(), 3);
 /// ```
 pub fn triangle_kcore_decomposition(g: &Graph) -> Decomposition {
+    triangle_kcore_decomposition_with(g, 1)
+}
+
+/// The initial support stage of Algorithm 1. Default: the oriented CSR
+/// snapshot kernel (each triangle enumerated once, wedge-balanced worker
+/// chunks when `threads > 1`). The `hash-supports` feature restores the
+/// seed's mutable-adjacency path as a differential-debugging fallback;
+/// both produce bit-identical support vectors (counts are exact integers).
+fn initial_supports(g: &Graph, threads: usize) -> Vec<u32> {
+    #[cfg(feature = "hash-supports")]
+    {
+        let _ = threads;
+        edge_supports(g)
+    }
+    #[cfg(not(feature = "hash-supports"))]
+    {
+        if threads == 1 || !tkc_graph::parallel::should_parallelize(g, threads) {
+            tkc_graph::csr::edge_supports_csr(g)
+        } else {
+            tkc_graph::csr::edge_supports_csr_parallel(g, threads)
+        }
+    }
+}
+
+/// [`triangle_kcore_decomposition`] with a thread count for the support
+/// stage (`0` = available parallelism). κ, order, and max κ are identical
+/// for every thread count.
+pub fn triangle_kcore_decomposition_with(g: &Graph, threads: usize) -> Decomposition {
     let bound = g.edge_bound();
     let m = g.num_edges();
-    let mut sup = edge_supports(g);
+    let mut sup = initial_supports(g, threads);
     let mut kappa = vec![0u32; bound];
     if m == 0 {
         return Decomposition {
@@ -385,6 +437,35 @@ mod tests {
 
     fn kappa_of(g: &Graph, u: u32, v: u32, d: &Decomposition) -> u32 {
         d.kappa(g.edge_between(VertexId(u), VertexId(v)).unwrap())
+    }
+
+    #[test]
+    fn compute_with_threads_is_invariant() {
+        // κ, processing order, and max κ must not depend on the support
+        // stage's thread count (or kernel: CSR vs hash is feature-gated,
+        // and both run under CI).
+        for seed in 0..4 {
+            let g = generators::holme_kim(400, 3, 0.6, seed);
+            let base = triangle_kcore_decomposition(&g);
+            for threads in [0, 2, 4] {
+                let d = Decomposition::compute_with(&g, threads);
+                assert_eq!(d.kappa_slice(), base.kappa_slice(), "seed {seed}");
+                assert_eq!(d.max_kappa(), base.max_kappa());
+            }
+            assert_eq!(Decomposition::compute(&g).kappa_slice(), base.kappa_slice());
+        }
+    }
+
+    #[test]
+    fn compute_with_handles_dead_slots() {
+        let mut g = generators::planted_partition(3, 12, 0.7, 0.05, 2);
+        let victims: Vec<_> = g.edge_ids().step_by(7).collect();
+        for e in victims {
+            g.remove_edge(e).unwrap();
+        }
+        let base = triangle_kcore_decomposition(&g);
+        let par = Decomposition::compute_with(&g, 3);
+        assert_eq!(par.kappa_slice(), base.kappa_slice());
     }
 
     #[test]

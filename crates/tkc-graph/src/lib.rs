@@ -27,18 +27,22 @@
 
 pub mod cliques;
 pub mod components;
+pub mod csr;
 pub mod error;
 pub mod generators;
 pub mod generators_ext;
 pub mod hash;
 pub mod io;
 pub mod parallel;
+pub mod pool;
 pub mod triangles;
 
 mod graph;
 mod ids;
 
+pub use csr::CsrGraph;
 pub use error::{GraphError, ParseError};
 pub use graph::Graph;
 pub use hash::{FxHashMap, FxHashSet};
 pub use ids::{EdgeId, VertexId};
+pub use pool::WorkerPool;

@@ -1,95 +1,52 @@
-//! Multi-threaded triangle counting (scoped `std::thread`, no extra
-//! dependencies). Support computation dominates Algorithm 1's cost on
-//! large graphs and is embarrassingly parallel per edge.
+//! Multi-threaded triangle counting and support computation.
 //!
-//! Note the work trade: the sequential [`crate::triangles::edge_supports`]
-//! enumerates each triangle once (apex rule) and credits three edges; the
-//! parallel version enumerates per edge, touching each triangle three
-//! times, but splits across cores. It wins from a handful of threads up —
-//! the `ablations` bench records the crossover.
+//! These entry points keep the original `(g, threads)` signatures but now
+//! route through the oriented CSR kernel ([`crate::csr`]) and the shared
+//! [`crate::pool::WorkerPool`]. Work trade, updated from the seed: the old
+//! parallel path enumerated per *edge*, touching every triangle three times
+//! (3× the sequential apex-rule work) and chunked by edge count, so skewed
+//! degree sequences stranded one thread with the hubs. The oriented kernel
+//! enumerates each triangle exactly once — the parallel path no longer pays
+//! any redundancy tax — and chunks by per-vertex intersection-work prefix
+//! sums, so speedup is limited only by merge overhead (one `edge_bound`-
+//! sized accumulator per chunk, summed at the end).
+//!
+//! The spawn decision is based on [`Graph::wedge_work`] — the actual
+//! triangle-enumeration cost driver — not edge count: a small dense graph
+//! (few edges, lots of wedges) parallelizes, while a large sparse one (many
+//! edges, no triangles to find) stays on the cheap sequential path.
 
 use crate::graph::Graph;
-use crate::ids::EdgeId;
+use crate::pool::resolve_threads;
 
-/// Per-edge triangle counts, computed with `threads` worker threads
-/// (`0` = use available parallelism).
-pub fn edge_supports_parallel(g: &Graph, threads: usize) -> Vec<u32> {
-    let threads = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        threads
-    };
-    let ids: Vec<EdgeId> = g.edge_ids().collect();
-    if threads <= 1 || ids.len() < 1024 {
-        // Not worth spawning below this size.
-        return crate::triangles::edge_supports(g);
-    }
-    let chunk = ids.len().div_ceil(threads);
-    let mut sup = vec![0u32; g.edge_bound()];
-    let results: Vec<Vec<(EdgeId, u32)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = ids
-            .chunks(chunk)
-            .map(|part| {
-                scope.spawn(move || {
-                    part.iter()
-                        .map(|&e| (e, g.triangles_on_edge(e) as u32))
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
-    for part in results {
-        for (e, s) in part {
-            sup[e.index()] = s;
-        }
-    }
-    sup
+/// Minimum [`Graph::wedge_work`] before the parallel paths spawn onto the
+/// pool. Below this, sequential enumeration finishes in well under the time
+/// a job round-trip costs.
+pub const PARALLEL_WEDGE_WORK_MIN: u64 = 1 << 14;
+
+/// True when `g` is worth parallelizing at `threads` workers — the
+/// wedge-work spawn rule shared by every parallel entry point.
+pub fn should_parallelize(g: &Graph, threads: usize) -> bool {
+    resolve_threads(threads) > 1 && g.wedge_work() >= PARALLEL_WEDGE_WORK_MIN
 }
 
-/// Total triangle count using `threads` workers (`0` = auto). Each
-/// triangle is counted at its lexicographically smallest edge.
+/// Per-edge triangle counts, computed with `threads` worker threads
+/// (`0` = use available parallelism). Bit-identical to
+/// [`crate::triangles::edge_supports`].
+pub fn edge_supports_parallel(g: &Graph, threads: usize) -> Vec<u32> {
+    if !should_parallelize(g, threads) {
+        return crate::triangles::edge_supports(g);
+    }
+    crate::csr::edge_supports_csr_parallel(g, threads)
+}
+
+/// Total triangle count using `threads` workers (`0` = auto). Each triangle
+/// is counted exactly once by the oriented kernel.
 pub fn triangle_count_parallel(g: &Graph, threads: usize) -> u64 {
-    let threads = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        threads
-    };
-    let ids: Vec<EdgeId> = g.edge_ids().collect();
-    if threads <= 1 || ids.len() < 1024 {
+    if !should_parallelize(g, threads) {
         return crate::triangles::triangle_count(g);
     }
-    let chunk = ids.len().div_ceil(threads);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = ids
-            .chunks(chunk)
-            .map(|part| {
-                scope.spawn(move || {
-                    let mut n = 0u64;
-                    for &e in part {
-                        let (u, v) = g.endpoints(e);
-                        g.for_each_triangle_on_edge(e, |w, _, _| {
-                            if w > u && w > v {
-                                n += 1;
-                            }
-                        });
-                    }
-                    n
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .sum()
-    })
+    crate::csr::triangle_count_csr_parallel(g, threads)
 }
 
 #[cfg(test)]
@@ -103,6 +60,7 @@ mod tests {
     #[test]
     fn parallel_supports_match_sequential() {
         let g = generators::holme_kim(2000, 4, 0.6, 7);
+        assert!(should_parallelize(&g, 2), "test graph must cross cutoff");
         let seq = edge_supports(&g);
         for threads in [0, 1, 2, 4] {
             let par = edge_supports_parallel(&g, threads);
@@ -122,8 +80,28 @@ mod tests {
     #[test]
     fn small_graphs_take_the_sequential_path() {
         let g = generators::complete(6);
+        assert!(!should_parallelize(&g, 8));
         assert_eq!(edge_supports_parallel(&g, 8), edge_supports(&g));
         assert_eq!(triangle_count_parallel(&g, 8), 20);
+    }
+
+    #[test]
+    fn cutoff_follows_wedge_work_not_edge_count() {
+        // Dense small graph: K40 has only 780 edges (old cutoff: stay
+        // sequential) but ~30k wedge checks — parallelize.
+        let dense = generators::complete(40);
+        assert!(dense.num_edges() < 1024);
+        assert!(should_parallelize(&dense, 4));
+
+        // Sparse large graph: a 5000-vertex path has 4999 edges (old
+        // cutoff: spawn) but wedge work ≈ m — don't bother.
+        let sparse = generators::path(5000);
+        assert!(sparse.num_edges() > 1024);
+        assert!(!should_parallelize(&sparse, 4));
+
+        // Either way the results agree with the sequential kernels.
+        assert_eq!(edge_supports_parallel(&dense, 4), edge_supports(&dense));
+        assert_eq!(edge_supports_parallel(&sparse, 4), edge_supports(&sparse));
     }
 
     #[test]
@@ -133,5 +111,6 @@ mod tests {
         g.remove_edge(victim).unwrap();
         let par = edge_supports_parallel(&g, 4);
         assert_eq!(par[victim.index()], 0);
+        assert_eq!(par, edge_supports(&g));
     }
 }

@@ -1,0 +1,217 @@
+//! A small reusable worker pool for the parallel triangle kernels.
+//!
+//! The seed code spawned fresh `std::thread::scope` workers on every call,
+//! which costs a thread create/join round-trip per invocation and forces
+//! every parallel entry point to reimplement chunking. This pool keeps a
+//! fixed set of workers parked on a shared job queue; callers submit a
+//! batch of closures and receive the results in submission order. Because
+//! jobs are pulled from one queue, submitting more (smaller) jobs than
+//! workers gives natural load balancing on top of whatever static split
+//! the caller chose.
+//!
+//! Jobs must be `'static`: share read-only inputs (like
+//! [`crate::csr::CsrGraph`]) via `Arc` rather than borrows. This is what
+//! lets the threads outlive any single call and be reused.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads executing submitted closures.
+///
+/// # Examples
+///
+/// ```
+/// use tkc_graph::pool::WorkerPool;
+///
+/// let pool = WorkerPool::new(2);
+/// let squares = pool.run((0u64..8).map(|i| move || i * i).collect::<Vec<_>>());
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+pub struct WorkerPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.workers.len())
+            .finish()
+    }
+}
+
+/// Resolves a thread-count request: `0` means "use available parallelism".
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+impl WorkerPool {
+    /// Creates a pool with `threads` workers (`0` = available parallelism).
+    pub fn new(threads: usize) -> WorkerPool {
+        let threads = resolve_threads(threads);
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("tkc-worker-{i}"))
+                    .spawn(move || worker_loop(&receiver))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// The process-wide shared pool, sized to available parallelism on
+    /// first use. Parallel kernels that take a plain thread-count knob run
+    /// on this pool; requests above its size still complete (jobs queue).
+    pub fn global() -> &'static WorkerPool {
+        static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| WorkerPool::new(0))
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs every job on the pool and returns their results in submission
+    /// order. Blocks until all jobs finish.
+    ///
+    /// # Panics
+    /// Panics if a job panics (the panic is reported, not swallowed).
+    pub fn run<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let n = jobs.len();
+        let (tx, rx) = channel::<(usize, T)>();
+        let sender = self.sender.as_ref().expect("pool sender alive until drop");
+        for (i, job) in jobs.into_iter().enumerate() {
+            let tx = tx.clone();
+            sender
+                .send(Box::new(move || {
+                    // Receiver hang-ups (caller gone) are unreachable here
+                    // because `run` blocks until every result arrives.
+                    let _ = tx.send((i, job()));
+                }))
+                .expect("worker threads alive");
+        }
+        drop(tx);
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (i, value) = rx
+                .recv()
+                .expect("a pool job panicked before returning its result");
+            out[i] = Some(value);
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every index delivered exactly once"))
+            .collect()
+    }
+}
+
+fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
+    loop {
+        // Hold the lock only while waiting for the next job, not while
+        // running it, so other workers can pick up queued jobs.
+        let job = match receiver.lock() {
+            Ok(guard) => guard.recv(),
+            // A poisoned lock means another worker panicked mid-recv;
+            // shut this worker down too.
+            Err(_) => return,
+        };
+        match job {
+            Ok(job) => job(),
+            Err(_) => return, // pool dropped its sender: shut down
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel wakes every parked worker with a recv error.
+        self.sender.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let pool = WorkerPool::new(3);
+        let jobs: Vec<_> = (0..20u64)
+            .map(|i| {
+                move || {
+                    // Stagger finish times so out-of-order completion is
+                    // actually exercised.
+                    std::thread::sleep(std::time::Duration::from_micros(200 * (20 - i)));
+                    i * 2
+                }
+            })
+            .collect();
+        let out = pool.run(jobs);
+        assert_eq!(out, (0..20u64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_is_reusable_across_calls() {
+        let pool = WorkerPool::new(2);
+        for round in 0..5u32 {
+            let out = pool.run((0..2).map(|i| move || round + i).collect::<Vec<_>>());
+            assert_eq!(out, vec![round, round + 1]);
+        }
+    }
+
+    #[test]
+    fn zero_requests_available_parallelism() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(7), 7);
+        let pool = WorkerPool::new(0);
+        assert!(pool.threads() >= 1);
+    }
+
+    #[test]
+    fn more_jobs_than_workers_all_complete() {
+        let pool = WorkerPool::new(1);
+        let out = pool.run((0..64usize).map(|i| move || i).collect::<Vec<_>>());
+        assert_eq!(out.len(), 64);
+        assert!(out.iter().enumerate().all(|(i, &v)| i == v));
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let pool = WorkerPool::new(2);
+        let out: Vec<u32> = pool.run(Vec::<fn() -> u32>::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_alive() {
+        let a = WorkerPool::global();
+        let b = WorkerPool::global();
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(a.run(vec![|| 41 + 1]), vec![42]);
+    }
+}

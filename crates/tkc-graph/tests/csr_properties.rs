@@ -1,0 +1,98 @@
+#![allow(clippy::unwrap_used)]
+
+//! Property tests for the oriented CSR snapshot kernel: supports and
+//! triangle counts must be bit-identical to the sequential hash-based
+//! kernels on random graphs — including graphs with removed edges (dead
+//! slots) — and freezing must round-trip edge ids exactly.
+
+use proptest::prelude::*;
+use tkc_graph::csr::{edge_supports_csr, edge_supports_csr_parallel, triangle_count_csr, CsrGraph};
+use tkc_graph::triangles::{edge_supports, triangle_count};
+use tkc_graph::{generators, EdgeId, Graph};
+
+/// Deterministically removes roughly `1/keep_mod` of the live edges so the
+/// edge-id space contains dead slots (and the free list gets exercised).
+fn churn(g: &mut Graph, keep_mod: usize) {
+    let victims: Vec<EdgeId> = g.edge_ids().step_by(keep_mod.max(2)).collect();
+    for e in victims {
+        g.remove_edge(e).unwrap();
+    }
+}
+
+fn assert_kernels_agree(g: &Graph, label: &str) {
+    let hash = edge_supports(g);
+    let snap = CsrGraph::freeze(g);
+    snap.check_invariants(g)
+        .unwrap_or_else(|e| panic!("{label}: {e}"));
+    assert_eq!(snap.edge_supports(), hash, "{label}: csr seq supports");
+    assert_eq!(edge_supports_csr(g), hash, "{label}: csr convenience fn");
+    for threads in [2, 5] {
+        assert_eq!(
+            edge_supports_csr_parallel(g, threads),
+            hash,
+            "{label}: csr parallel supports ({threads} threads)"
+        );
+    }
+    assert_eq!(
+        triangle_count_csr(g),
+        triangle_count(g),
+        "{label}: triangle count"
+    );
+    // The support identity 3·|triangles| = Σ_e support(e) ties the two
+    // outputs to each other, not just to the oracle.
+    let total: u64 = hash.iter().map(|&s| u64::from(s)).sum();
+    assert_eq!(total, 3 * triangle_count(g), "{label}: handshake identity");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn holme_kim_supports_match(n in 20usize..120, m in 2usize..4, seed in 0u64..1000) {
+        let mut g = generators::holme_kim(n, m, 0.6, seed);
+        assert_kernels_agree(&g, "holme_kim live");
+        churn(&mut g, 3);
+        assert_kernels_agree(&g, "holme_kim churned");
+    }
+
+    #[test]
+    fn planted_partition_supports_match(groups in 2usize..5, size in 4usize..12, seed in 0u64..1000) {
+        let mut g = generators::planted_partition(groups, size, 0.7, 0.08, seed);
+        assert_kernels_agree(&g, "planted_partition live");
+        churn(&mut g, 4);
+        assert_kernels_agree(&g, "planted_partition churned");
+    }
+
+    #[test]
+    fn complete_graph_supports_match(n in 3usize..24) {
+        let mut g = generators::complete(n);
+        assert_kernels_agree(&g, "complete live");
+        churn(&mut g, 2);
+        assert_kernels_agree(&g, "complete churned");
+    }
+
+    #[test]
+    fn freeze_roundtrips_edge_ids(n in 10usize..60, p in 0.05f64..0.4, seed in 0u64..1000) {
+        let mut g = generators::gnp(n, p, seed);
+        churn(&mut g, 5);
+        let snap = CsrGraph::freeze(&g);
+        prop_assert_eq!(snap.num_edges(), g.num_edges());
+        prop_assert_eq!(snap.edge_bound(), g.edge_bound());
+        // Every oriented entry maps back to a live edge whose endpoints
+        // are exactly the two ranks it connects; every live edge appears
+        // exactly once.
+        let mut seen = vec![0u32; g.edge_bound()];
+        for r in 0..snap.num_vertices() {
+            for (dst, e) in snap.out_edges(r) {
+                let (u, v) = g.endpoints_checked(e).expect("captured id must be live");
+                let (a, b) = (snap.vertex_of_rank(r), snap.vertex_of_rank(dst as usize));
+                prop_assert!((u == a && v == b) || (u == b && v == a));
+                seen[e.index()] += 1;
+            }
+        }
+        for e in g.edge_ids() {
+            prop_assert_eq!(seen[e.index()], 1);
+        }
+        prop_assert!(seen.iter().map(|&c| c as usize).sum::<usize>() == g.num_edges());
+    }
+}

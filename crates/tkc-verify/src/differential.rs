@@ -260,8 +260,38 @@ fn apply_op(d: &mut DynamicTriangleKCore, op: StreamOp, stats: &mut StreamStats)
     }
 }
 
+/// Cross-checks the triangle support kernels on `g`: the sequential
+/// mutable-adjacency path (`triangles::edge_supports`) against the oriented
+/// CSR snapshot kernel, sequential and parallel. The contract is
+/// **bit-identical vectors** — supports are exact integer counts, so any
+/// divergence is a kernel bug (orientation, dead-slot handling, chunk
+/// boundaries), not accumulation noise.
+pub fn check_support_kernels(g: &Graph) -> Result<(), Mismatch> {
+    let hash = tkc_graph::triangles::edge_supports(g);
+    let snapshot = std::sync::Arc::new(tkc_graph::csr::CsrGraph::freeze(g));
+    for (candidate, oracle) in [
+        (snapshot.edge_supports(), "csr-support"),
+        (snapshot.edge_supports_parallel(2), "csr-support-parallel"),
+    ] {
+        if let Some(i) = (0..hash.len()).find(|&i| candidate[i] != hash[i]) {
+            let edge = g
+                .endpoints_checked(tkc_graph::EdgeId::from(i))
+                .map(|(u, v)| (u.0, v.0))
+                .unwrap_or((u32::MAX, u32::MAX));
+            return Err(Mismatch {
+                edge,
+                dynamic: candidate[i],
+                fresh: hash[i],
+                oracle,
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Checks the maintained κ against the oracles; `Err` on first divergence.
 fn check_oracles(d: &DynamicTriangleKCore, deep: bool) -> Result<(), Mismatch> {
+    check_support_kernels(d.graph())?;
     let fresh = triangle_kcore_decomposition(d.graph());
     for e in d.graph().edge_ids() {
         if d.kappa(e) != fresh.kappa(e) {
@@ -477,6 +507,34 @@ mod tests {
             let stats = run_stream(&config).unwrap_or_else(|dump| panic!("{dump}"));
             assert_eq!(stats.ops, 25);
             assert!(stats.checks > 0);
+        }
+    }
+
+    #[test]
+    fn support_kernels_agree_across_the_corpus() {
+        // The acceptance contract of the CSR kernel: bit-identical support
+        // vectors on every differential-suite graph shape, live and after
+        // churn (dead slots included).
+        for kind in [
+            GraphKind::Empty { n: 8 },
+            GraphKind::Gnp { n: 12, p: 0.3 },
+            GraphKind::HolmeKim {
+                n: 14,
+                m: 2,
+                p: 0.7,
+            },
+            GraphKind::PlantedPartition { groups: 2, size: 6 },
+            GraphKind::Caveman { groups: 3, size: 4 },
+        ] {
+            for seed in 0..4 {
+                let mut g = kind.build(seed);
+                check_support_kernels(&g).unwrap_or_else(|m| panic!("{m:?}"));
+                let victims: Vec<_> = g.edge_ids().step_by(3).collect();
+                for e in victims {
+                    g.remove_edge(e).unwrap();
+                }
+                check_support_kernels(&g).unwrap_or_else(|m| panic!("{m:?}"));
+            }
         }
     }
 
