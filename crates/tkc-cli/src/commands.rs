@@ -27,17 +27,40 @@ pub const USAGE: &str = "usage:
   tkc dataset   <name> [--scale F] [--seed S] [--out file]
   tkc verify    <edges.txt> [--stored] [--ops <ops.txt>] [--threads N]
   tkc verify    --suite [--cases N]
+  tkc serve     <state-dir> [--addr host:port] [--epoch-ops N]
+                [--compact-bytes N] [--queue-cap N]
+                [--read-timeout-ms N] [--no-fsync]
 
 (--threads 0 = all cores; the support stage of Algorithm 1 runs on the
- wedge-balanced worker pool)";
+ wedge-balanced worker pool)
+
+serve speaks a line protocol on --addr (default 127.0.0.1:7007):
+  KAPPA u v | MAXK | TRUSS k | INSERT u v | REMOVE u v | BATCH n
+  STATS | EPOCH | PING | QUIT | SHUTDOWN";
 
 /// Dispatches a full argv (without the program name).
 pub fn run(argv: &[String]) -> Result<(), String> {
     let p = parse(
         argv,
         &[
-            "top", "svg", "tsv", "width", "ops", "template", "scale", "seed", "out", "level",
-            "labels", "cases", "threads",
+            "top",
+            "svg",
+            "tsv",
+            "width",
+            "ops",
+            "template",
+            "scale",
+            "seed",
+            "out",
+            "level",
+            "labels",
+            "cases",
+            "threads",
+            "addr",
+            "epoch-ops",
+            "compact-bytes",
+            "queue-cap",
+            "read-timeout-ms",
         ],
     )?;
     match p.positional(0, "subcommand")? {
@@ -52,6 +75,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "community" => community(&p),
         "dataset" => dataset(&p),
         "verify" => verify(&p),
+        "serve" => serve(&p),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -551,6 +575,39 @@ fn verify(p: &crate::args::Parsed) -> Result<(), String> {
             ))
         }
     }
+}
+
+fn serve(p: &crate::args::Parsed) -> Result<(), String> {
+    use tkc_engine::{Engine, EngineConfig, ServeOptions, Server};
+
+    let dir = p.positional(1, "state directory")?;
+    let addr = p.flag("addr").unwrap_or("127.0.0.1:7007");
+    let config = EngineConfig {
+        fsync: !p.switch("no-fsync"),
+        epoch_ops: p.flag_parse("epoch-ops", 256usize)?,
+        compact_bytes: p.flag_parse("compact-bytes", 4u64 << 20)?,
+        ..EngineConfig::new(dir)
+    };
+    let engine = std::sync::Arc::new(Engine::open(config).map_err(|e| format!("{dir}: {e}"))?);
+    {
+        let snap = engine.snapshot();
+        println!(
+            "recovered {} vertices / {} edges (max κ = {})",
+            snap.num_vertices(),
+            snap.num_edges(),
+            snap.max_kappa()
+        );
+    }
+    let opts = ServeOptions {
+        read_timeout: std::time::Duration::from_millis(p.flag_parse("read-timeout-ms", 60_000u64)?),
+        queue_cap: p.flag_parse("queue-cap", 128usize)?,
+    };
+    let server = Server::start(engine, addr, opts).map_err(|e| format!("bind {addr}: {e}"))?;
+    println!("tkc-engine listening on {}", server.local_addr());
+    // Blocks until a client sends SHUTDOWN; the engine compacts on exit.
+    server.join();
+    println!("shut down cleanly (state compacted to {dir})");
+    Ok(())
 }
 
 /// Small display helper so `update` can print a histogram without exposing

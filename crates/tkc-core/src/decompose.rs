@@ -48,6 +48,41 @@ impl Decomposition {
         triangle_kcore_decomposition_with(g, threads)
     }
 
+    /// Wraps an externally maintained κ vector (the dynamic maintainer's,
+    /// or one restored by [`crate::persist`]) as a decomposition view, so
+    /// snapshot consumers — histograms, level-set extraction, the serving
+    /// layer — can query it through the same interface.
+    ///
+    /// The processing order is synthesized by counting-sorting live edges
+    /// on `(κ, edge id)`: non-decreasing in κ, as every order consumer
+    /// requires, but *not* necessarily the order Algorithm 1 would have
+    /// produced — Rule 1 triangle recovery ([`core_triangles_of_edge`])
+    /// wants a genuine peel order, so run the real decomposition for that.
+    pub fn from_kappa(g: &Graph, mut kappa: Vec<u32>) -> Decomposition {
+        kappa.resize(g.edge_bound().max(kappa.len()), 0);
+        let max_kappa = g.edge_ids().map(|e| kappa[e.index()]).max().unwrap_or(0);
+        // Counting sort: bucket sizes, prefix offsets, then placement in
+        // edge-id order so ties stay sorted by id.
+        let mut counts = vec![0usize; max_kappa as usize + 2];
+        for e in g.edge_ids() {
+            counts[kappa[e.index()] as usize + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let mut order = vec![EdgeId::from(0usize); g.num_edges()];
+        for e in g.edge_ids() {
+            let slot = &mut counts[kappa[e.index()] as usize];
+            order[*slot] = e;
+            *slot += 1;
+        }
+        Decomposition {
+            kappa,
+            order,
+            max_kappa,
+        }
+    }
+
     /// κ of a live edge. Slots of edges that were dead at decomposition
     /// time read 0.
     #[inline]
@@ -639,6 +674,26 @@ mod tests {
         let ranks = d.ranks();
         for (i, &e) in d.order().iter().enumerate() {
             assert_eq!(ranks[e.index()], i);
+        }
+    }
+
+    #[test]
+    fn from_kappa_view_matches_real_decomposition() {
+        let mut g = generators::planted_partition(2, 8, 0.7, 0.1, 5);
+        // Dead slots in the id space must stay harmless.
+        let victim = g.edge_ids().nth(2).unwrap();
+        g.remove_edge(victim).unwrap();
+        let d = triangle_kcore_decomposition(&g);
+        let view = Decomposition::from_kappa(&g, d.kappa_slice().to_vec());
+        assert_eq!(view.max_kappa(), d.max_kappa());
+        assert_eq!(view.histogram(), d.histogram());
+        for e in g.edge_ids() {
+            assert_eq!(view.kappa(e), d.kappa(e));
+        }
+        // Synthesized order is non-decreasing in κ and covers every live edge.
+        assert_eq!(view.order().len(), g.num_edges());
+        for w in view.order().windows(2) {
+            assert!(view.kappa(w[0]) <= view.kappa(w[1]));
         }
     }
 

@@ -788,6 +788,67 @@ mod tests {
     }
 
     #[test]
+    fn absorb_is_fieldwise_addition_with_default_identity() {
+        let a = UpdateStats {
+            triangles_added: 3,
+            triangles_removed: 1,
+            promotions: 7,
+            demotions: 2,
+            edges_examined: 40,
+        };
+        let b = UpdateStats {
+            triangles_added: 10,
+            triangles_removed: 20,
+            promotions: 30,
+            demotions: 40,
+            edges_examined: 50,
+        };
+        let mut sum = a;
+        sum.absorb(b);
+        assert_eq!(
+            sum,
+            UpdateStats {
+                triangles_added: 13,
+                triangles_removed: 21,
+                promotions: 37,
+                demotions: 42,
+                edges_examined: 90,
+            }
+        );
+        // Absorbing the default is the identity; absorbing into the
+        // default is a copy — the two laws the engine's cumulative
+        // counters rely on when draining per-batch stats.
+        let mut id = sum;
+        id.absorb(UpdateStats::default());
+        assert_eq!(id, sum);
+        let mut fresh = UpdateStats::default();
+        fresh.absorb(b);
+        assert_eq!(fresh, b);
+    }
+
+    #[test]
+    fn reset_drains_counters_for_cumulative_absorb() {
+        // The drain pattern: absorb(stats()) + reset_stats() after each
+        // batch must accumulate exactly the same totals as never resetting.
+        let mut d = DynamicTriangleKCore::new(generators::complete(5));
+        let mut undrained = DynamicTriangleKCore::new(generators::complete(5));
+        let mut cumulative = UpdateStats::default();
+        let script = [
+            BatchOp::Remove(VertexId(0), VertexId(1)),
+            BatchOp::Insert(VertexId(0), VertexId(1)),
+            BatchOp::Remove(VertexId(2), VertexId(3)),
+        ];
+        for op in script {
+            d.apply_batch([op]);
+            cumulative.absorb(d.stats());
+            d.reset_stats();
+            assert_eq!(d.stats(), UpdateStats::default());
+            undrained.apply_batch([op]);
+        }
+        assert_eq!(cumulative, undrained.stats());
+    }
+
+    #[test]
     fn batch_skips_duplicates_and_missing() {
         let mut d = DynamicTriangleKCore::new(generators::path(4));
         let (ins, del) = d.apply_batch([

@@ -1,7 +1,20 @@
-//! Persistence for decomposition results: a small text format
-//! (`u v kappa` per line) so κ vectors survive across processes — e.g.
-//! decompose once on a server, plot/probe elsewhere, or seed a
-//! [`crate::dynamic::DynamicTriangleKCore`] without re-peeling.
+//! Persistence for decomposition results and engine state.
+//!
+//! Two text formats live here:
+//!
+//! * the **kappa format** (`u v kappa` per line, versioned magic header)
+//!   so κ vectors survive across processes — decompose once on a server,
+//!   plot/probe elsewhere, or seed a
+//!   [`crate::dynamic::DynamicTriangleKCore`] without re-peeling;
+//! * the **state format** ([`write_state`] / [`read_state`]), which
+//!   additionally records the vertex count so the *graph itself* can be
+//!   reconstructed together with κ — the compaction snapshot target of the
+//!   `tkc-engine` write-ahead log.
+//!
+//! All readers return the structured [`PersistError`], which is shared
+//! with the engine's WAL so one error vocabulary covers every durability
+//! surface (magic/version checks, per-line parse failures, coverage,
+//! checksums, torn binary records).
 
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 
@@ -9,7 +22,140 @@ use tkc_graph::{Graph, VertexId};
 
 use crate::decompose::Decomposition;
 
-/// Writes `u v κ` per live edge, in processing order.
+/// Magic prefix of the kappa format's versioned header line.
+pub const KAPPA_MAGIC: &str = "# triangle-kcore kappa v";
+/// Kappa format version written by [`write_kappa`].
+pub const KAPPA_VERSION: u32 = 2;
+/// Magic prefix of the state format's versioned header line.
+pub const STATE_MAGIC: &str = "# triangle-kcore state v";
+/// State format version written by [`write_state`].
+pub const STATE_VERSION: u32 = 1;
+
+/// Structured error for every persistence reader in the workspace: the
+/// text formats here and the binary WAL records of `tkc-engine`.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A required magic header line was missing or unrecognizable.
+    BadMagic {
+        /// The magic prefix that was expected.
+        expected: &'static str,
+    },
+    /// The header named a format version this build cannot read.
+    UnsupportedVersion {
+        /// Which format the header belongs to.
+        format: &'static str,
+        /// The version number found in the file.
+        found: u32,
+    },
+    /// A line failed to parse.
+    BadRecord {
+        /// 1-based line number.
+        line: usize,
+        /// What was expected.
+        reason: String,
+    },
+    /// An edge named in the file is absent from the graph.
+    UnknownEdge {
+        /// 1-based line number.
+        line: usize,
+        /// Edge endpoints as written.
+        endpoints: (u32, u32),
+    },
+    /// The same edge appeared twice.
+    DuplicateEdge {
+        /// 1-based line number.
+        line: usize,
+        /// Edge endpoints as written.
+        endpoints: (u32, u32),
+    },
+    /// The file did not cover every live edge exactly once.
+    Coverage {
+        /// Edges covered by the file.
+        covered: usize,
+        /// Live edges expected.
+        expected: usize,
+    },
+    /// A binary WAL record failed its checksum.
+    Checksum {
+        /// Byte offset of the failing record.
+        offset: u64,
+    },
+    /// A binary WAL record was cut short (torn tail).
+    Truncated {
+        /// Byte offset of the torn record.
+        offset: u64,
+    },
+    /// A structurally invalid binary record (valid checksum, bad content).
+    Corrupt {
+        /// Byte offset of the record.
+        offset: u64,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::BadMagic { expected } => {
+                write!(f, "missing or bad magic header (expected {expected:?})")
+            }
+            PersistError::UnsupportedVersion { format, found } => {
+                write!(f, "unsupported {format} format version {found}")
+            }
+            PersistError::BadRecord { line, reason } => write!(f, "line {line}: {reason}"),
+            PersistError::UnknownEdge {
+                line,
+                endpoints: (u, v),
+            } => write!(f, "line {line}: edge ({u}, {v}) not in graph"),
+            PersistError::DuplicateEdge {
+                line,
+                endpoints: (u, v),
+            } => write!(f, "line {line}: duplicate edge ({u}, {v})"),
+            PersistError::Coverage { covered, expected } => {
+                write!(f, "file covers {covered} of {expected} edges")
+            }
+            PersistError::Checksum { offset } => {
+                write!(f, "checksum mismatch at byte {offset}")
+            }
+            PersistError::Truncated { offset } => {
+                write!(f, "truncated record at byte {offset}")
+            }
+            PersistError::Corrupt { offset, reason } => {
+                write!(f, "corrupt record at byte {offset}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Checks a comment line against a magic prefix; `Some(version)` when it
+/// is a header of that format.
+fn parse_header(line: &str, magic: &'static str) -> Option<u32> {
+    let rest = line.strip_prefix(magic)?;
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// Writes `u v κ` per live edge, in processing order, behind a versioned
+/// magic header.
 ///
 /// # Examples
 ///
@@ -27,7 +173,7 @@ use crate::decompose::Decomposition;
 /// ```
 pub fn write_kappa<W: Write>(g: &Graph, d: &Decomposition, writer: W) -> std::io::Result<()> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# triangle-kcore kappa v1; edges {}", g.num_edges())?;
+    writeln!(w, "{KAPPA_MAGIC}{KAPPA_VERSION}; edges {}", g.num_edges())?;
     for &e in d.order() {
         let (u, v) = g.endpoints(e);
         writeln!(w, "{u} {v} {}", d.kappa(e))?;
@@ -36,37 +182,52 @@ pub fn write_kappa<W: Write>(g: &Graph, d: &Decomposition, writer: W) -> std::io
 }
 
 /// Reads a κ file back against a graph, returning a vector indexed by the
-/// graph's edge ids. Errors on unknown edges, duplicates, or missing
-/// edges (every live edge must be covered).
-pub fn read_kappa<R: Read>(g: &Graph, reader: R) -> Result<Vec<u32>, String> {
+/// graph's edge ids. Errors on unknown format versions, unknown edges,
+/// duplicates, or missing edges (every live edge must be covered).
+/// Headerless files are accepted as the pre-versioning legacy format.
+pub fn read_kappa<R: Read>(g: &Graph, reader: R) -> Result<Vec<u32>, PersistError> {
     let reader = BufReader::new(reader);
     let mut kappa = vec![u32::MAX; g.edge_bound()];
     let mut covered = 0usize;
     for (lineno, line) in reader.lines().enumerate() {
-        let line = line.map_err(|e| e.to_string())?;
+        let line = line?;
+        let lineno = lineno + 1;
         let t = line.trim();
-        if t.is_empty() || t.starts_with('#') {
+        if t.is_empty() {
             continue;
         }
-        let mut parts = t.split_whitespace();
-        let bad = || format!("line {}: expected 'u v kappa'", lineno + 1);
-        let u: u32 = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
-        let v: u32 = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
-        let k: u32 = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+        if t.starts_with('#') {
+            if let Some(version) = parse_header(t, KAPPA_MAGIC) {
+                if version == 0 || version > KAPPA_VERSION {
+                    return Err(PersistError::UnsupportedVersion {
+                        format: "kappa",
+                        found: version,
+                    });
+                }
+            }
+            continue;
+        }
+        let (u, v, k) = parse_uvk(t, lineno, "expected 'u v kappa'")?;
         let e = g
             .edge_between(VertexId(u), VertexId(v))
-            .ok_or_else(|| format!("line {}: edge ({u}, {v}) not in graph", lineno + 1))?;
+            .ok_or(PersistError::UnknownEdge {
+                line: lineno,
+                endpoints: (u, v),
+            })?;
         if kappa[e.index()] != u32::MAX {
-            return Err(format!("line {}: duplicate edge ({u}, {v})", lineno + 1));
+            return Err(PersistError::DuplicateEdge {
+                line: lineno,
+                endpoints: (u, v),
+            });
         }
         kappa[e.index()] = k;
         covered += 1;
     }
     if covered != g.num_edges() {
-        return Err(format!(
-            "kappa file covers {covered} of {} edges",
-            g.num_edges()
-        ));
+        return Err(PersistError::Coverage {
+            covered,
+            expected: g.num_edges(),
+        });
     }
     for slot in kappa.iter_mut() {
         if *slot == u32::MAX {
@@ -74,6 +235,127 @@ pub fn read_kappa<R: Read>(g: &Graph, reader: R) -> Result<Vec<u32>, String> {
         }
     }
     Ok(kappa)
+}
+
+/// Parses a `u v kappa` data line.
+fn parse_uvk(t: &str, lineno: usize, what: &str) -> Result<(u32, u32, u32), PersistError> {
+    let mut parts = t.split_whitespace();
+    let bad = || PersistError::BadRecord {
+        line: lineno,
+        reason: what.to_string(),
+    };
+    let u: u32 = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+    let v: u32 = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+    let k: u32 = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+    Ok((u, v, k))
+}
+
+/// Writes the full maintainable state — vertex count plus every live edge
+/// with its κ — so [`read_state`] can rebuild both the [`Graph`] and the κ
+/// vector. This is the compaction snapshot format of the engine WAL.
+///
+/// `kappa` is indexed by raw edge id, exactly as
+/// [`crate::dynamic::DynamicTriangleKCore::kappa_slice`] and
+/// [`Decomposition::kappa_slice`] hand it out.
+pub fn write_state<W: Write>(g: &Graph, kappa: &[u32], writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(
+        w,
+        "{STATE_MAGIC}{STATE_VERSION}; vertices {}; edges {}",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
+    for (e, u, v) in g.edges() {
+        let k = kappa.get(e.index()).copied().unwrap_or(0);
+        writeln!(w, "{u} {v} {k}")?;
+    }
+    w.flush()
+}
+
+/// Reads a state file back into a fresh `(Graph, κ)` pair. Edge ids are
+/// assigned in file order (they need not match the ids of the writing
+/// process — κ is re-indexed accordingly). The magic header is mandatory.
+pub fn read_state<R: Read>(reader: R) -> Result<(Graph, Vec<u32>), PersistError> {
+    let reader = BufReader::new(reader);
+    let mut g: Option<Graph> = None;
+    let mut declared_edges = 0usize;
+    let mut kappa: Vec<u32> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = lineno + 1;
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        if t.starts_with('#') {
+            if g.is_none() {
+                let version = parse_header(t, STATE_MAGIC).ok_or(PersistError::BadMagic {
+                    expected: STATE_MAGIC,
+                })?;
+                if version != STATE_VERSION {
+                    return Err(PersistError::UnsupportedVersion {
+                        format: "state",
+                        found: version,
+                    });
+                }
+                let (vertices, edges) =
+                    parse_state_counts(t).ok_or_else(|| PersistError::BadRecord {
+                        line: lineno,
+                        reason: "header missing 'vertices N; edges M'".to_string(),
+                    })?;
+                // `with_capacity` already materializes the vertex set.
+                g = Some(Graph::with_capacity(vertices, edges));
+                declared_edges = edges;
+            }
+            continue;
+        }
+        let Some(graph) = g.as_mut() else {
+            return Err(PersistError::BadMagic {
+                expected: STATE_MAGIC,
+            });
+        };
+        let (u, v, k) = parse_uvk(t, lineno, "expected 'u v kappa'")?;
+        if u as usize >= graph.num_vertices() || v as usize >= graph.num_vertices() {
+            return Err(PersistError::BadRecord {
+                line: lineno,
+                reason: format!("vertex out of declared range: ({u}, {v})"),
+            });
+        }
+        let e = graph
+            .add_edge(VertexId(u), VertexId(v))
+            .map_err(|err| match err {
+                tkc_graph::GraphError::DuplicateEdge(..) => PersistError::DuplicateEdge {
+                    line: lineno,
+                    endpoints: (u, v),
+                },
+                other => PersistError::BadRecord {
+                    line: lineno,
+                    reason: other.to_string(),
+                },
+            })?;
+        if kappa.len() <= e.index() {
+            kappa.resize(e.index() + 1, 0);
+        }
+        kappa[e.index()] = k;
+    }
+    let graph = g.ok_or(PersistError::BadMagic {
+        expected: STATE_MAGIC,
+    })?;
+    if graph.num_edges() != declared_edges {
+        return Err(PersistError::Coverage {
+            covered: graph.num_edges(),
+            expected: declared_edges,
+        });
+    }
+    kappa.resize(graph.edge_bound(), 0);
+    Ok((graph, kappa))
+}
+
+/// Extracts `vertices N; edges M` from a state header line.
+fn parse_state_counts(t: &str) -> Option<(usize, usize)> {
+    let after = t.split_once("; vertices ")?.1;
+    let (n, rest) = after.split_once("; edges ")?;
+    Some((n.trim().parse().ok()?, rest.trim().parse().ok()?))
 }
 
 #[cfg(test)]
@@ -91,6 +373,8 @@ mod tests {
         let d = triangle_kcore_decomposition(&g);
         let mut buf = Vec::new();
         write_kappa(&g, &d, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with(KAPPA_MAGIC), "magic header missing");
         let restored = read_kappa(&g, buf.as_slice()).unwrap();
         for e in g.edge_ids() {
             assert_eq!(restored[e.index()], d.kappa(e));
@@ -115,17 +399,82 @@ mod tests {
     #[test]
     fn rejects_incomplete_and_alien_files() {
         let g = generators::complete(4);
-        assert!(read_kappa(&g, "0 1 2\n".as_bytes())
-            .unwrap_err()
-            .contains("covers 1 of 6"));
-        assert!(read_kappa(&g, "0 9 2\n".as_bytes())
-            .unwrap_err()
-            .contains("not in graph"));
-        assert!(read_kappa(&g, "0 1 2\n1 0 2\n".as_bytes())
-            .unwrap_err()
-            .contains("duplicate"));
-        assert!(read_kappa(&g, "junk\n".as_bytes())
-            .unwrap_err()
-            .contains("expected"));
+        let err = |r: Result<Vec<u32>, PersistError>| r.unwrap_err().to_string();
+        assert!(err(read_kappa(&g, "0 1 2\n".as_bytes())).contains("covers 1 of 6"));
+        assert!(err(read_kappa(&g, "0 9 2\n".as_bytes())).contains("not in graph"));
+        assert!(err(read_kappa(&g, "0 1 2\n1 0 2\n".as_bytes())).contains("duplicate"));
+        assert!(err(read_kappa(&g, "junk\n".as_bytes())).contains("expected"));
+    }
+
+    #[test]
+    fn version_gate_accepts_v1_and_rejects_future() {
+        let g = generators::complete(3);
+        // Legacy v1 header (and headerless files) still read fine.
+        let v1 = "# triangle-kcore kappa v1; edges 3\n0 1 1\n0 2 1\n1 2 1\n";
+        assert!(read_kappa(&g, v1.as_bytes()).is_ok());
+        // A future version is refused with a structured error.
+        let v9 = "# triangle-kcore kappa v9; edges 3\n0 1 1\n0 2 1\n1 2 1\n";
+        match read_kappa(&g, v9.as_bytes()) {
+            Err(PersistError::UnsupportedVersion { format, found }) => {
+                assert_eq!((format, found), ("kappa", 9));
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn state_roundtrip_rebuilds_graph_and_kappa() {
+        let mut g = generators::planted_partition(2, 7, 0.8, 0.1, 9);
+        // Punch a hole so dead edge slots exist in the writer's id space.
+        let victim = g.edge_ids().nth(3).unwrap();
+        g.remove_edge(victim).unwrap();
+        let d = triangle_kcore_decomposition(&g);
+        let mut buf = Vec::new();
+        write_state(&g, d.kappa_slice(), &mut buf).unwrap();
+        let (g2, kappa2) = read_state(buf.as_slice()).unwrap();
+        assert_eq!(g2.num_vertices(), g.num_vertices());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        // Same κ per (u, v) pair, despite re-assigned edge ids.
+        for (e, u, v) in g.edges() {
+            let e2 = g2.edge_between(u, v).unwrap();
+            assert_eq!(kappa2[e2.index()], d.kappa(e));
+        }
+        // The rebuilt pair seeds the maintainer consistently.
+        let mut m = DynamicTriangleKCore::from_parts(g2, kappa2);
+        m.insert_edge(VertexId(0), VertexId(12)).ok();
+        let fresh = triangle_kcore_decomposition(m.graph());
+        for e in m.graph().edge_ids() {
+            assert_eq!(m.kappa(e), fresh.kappa(e));
+        }
+    }
+
+    #[test]
+    fn state_reader_requires_magic_and_matching_counts() {
+        assert!(matches!(
+            read_state("0 1 1\n".as_bytes()),
+            Err(PersistError::BadMagic { .. })
+        ));
+        assert!(matches!(
+            read_state("# triangle-kcore state v7; vertices 2; edges 1\n0 1 0\n".as_bytes()),
+            Err(PersistError::UnsupportedVersion { found: 7, .. })
+        ));
+        let short = "# triangle-kcore state v1; vertices 3; edges 2\n0 1 0\n";
+        assert!(matches!(
+            read_state(short.as_bytes()),
+            Err(PersistError::Coverage {
+                covered: 1,
+                expected: 2
+            })
+        ));
+        let dup = "# triangle-kcore state v1; vertices 3; edges 2\n0 1 0\n1 0 0\n";
+        assert!(matches!(
+            read_state(dup.as_bytes()),
+            Err(PersistError::DuplicateEdge { .. })
+        ));
+        let oob = "# triangle-kcore state v1; vertices 2; edges 1\n0 5 0\n";
+        assert!(matches!(
+            read_state(oob.as_bytes()),
+            Err(PersistError::BadRecord { .. })
+        ));
     }
 }

@@ -1,0 +1,662 @@
+//! The durable engine: a [`DynamicTriangleKCore`] writer behind a
+//! write-ahead log, publishing immutable epoch snapshots for readers.
+//!
+//! ## Write path
+//!
+//! Every mutation batch is appended to the WAL (fsync'd) **before** it is
+//! applied to the in-memory maintainer — a crash at any point replays to
+//! exactly the acknowledged state. Periodically the log is *compacted*:
+//! the full graph + κ state is written to a snapshot file (atomic
+//! tmp-write + rename, via `tkc-core::persist::write_state`) and the log
+//! is reset, bounding recovery time.
+//!
+//! ## Read path
+//!
+//! Readers never touch the writer. [`Engine::snapshot`] hands out an
+//! `Arc<EpochSnapshot>` — an immutable graph clone, its κ vector wrapped
+//! as a [`Decomposition`] view, and a frozen [`CsrGraph`] — published
+//! atomically by swapping the `Arc` under a briefly held `RwLock` (readers
+//! hold the read lock only long enough to clone the `Arc`, so queries
+//! never wait on ingest, and in-flight queries keep their epoch alive
+//! after the next one is published).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use tkc_core::decompose::Decomposition;
+use tkc_core::dynamic::{DynamicTriangleKCore, UpdateStats};
+use tkc_core::extract::cores_at_level;
+use tkc_core::persist::{read_state, write_state, PersistError};
+use tkc_graph::{CsrGraph, Graph, VertexId};
+
+use crate::wal::{Recovery, Wal, WalOp};
+
+/// Name of the compacted snapshot file inside the state directory.
+pub const STATE_FILE: &str = "state.tkc";
+/// Name of the write-ahead log inside the state directory.
+pub const WAL_FILE: &str = "wal.log";
+
+/// Tunables for [`Engine::open`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Directory holding `state.tkc` and `wal.log` (created if absent).
+    pub dir: PathBuf,
+    /// Fsync the WAL on every appended batch (turn off only for tests or
+    /// throwaway ingest — an OS crash can then lose acknowledged ops).
+    pub fsync: bool,
+    /// Publish a fresh epoch snapshot automatically after this many
+    /// applied ops (`0` = only on explicit [`Engine::publish`]).
+    pub epoch_ops: usize,
+    /// Compact the WAL into a snapshot file once it exceeds this many
+    /// bytes (`0` = only on explicit [`Engine::compact`]).
+    pub compact_bytes: u64,
+}
+
+impl EngineConfig {
+    /// Defaults: fsync on, an epoch every 256 ops, compaction at 4 MiB.
+    pub fn new(dir: impl Into<PathBuf>) -> EngineConfig {
+        EngineConfig {
+            dir: dir.into(),
+            fsync: true,
+            epoch_ops: 256,
+            compact_bytes: 4 << 20,
+        }
+    }
+}
+
+/// Monotonic counters, readable without any lock. Incremented by the
+/// engine (write path) and the server (query path); rendered as the plain
+/// `STATS` text block.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Mutation ops applied (including recovery replay).
+    pub ops_applied: AtomicU64,
+    /// Mutation ops skipped as no-ops (duplicate insert, missing remove).
+    pub ops_skipped: AtomicU64,
+    /// Edge insertions that took effect.
+    pub inserted: AtomicU64,
+    /// Edge removals that took effect.
+    pub removed: AtomicU64,
+    /// Epoch snapshots published.
+    pub epochs_published: AtomicU64,
+    /// WAL compactions performed.
+    pub compactions: AtomicU64,
+    /// Ops replayed from the WAL during the last recovery.
+    pub recovery_replays: AtomicU64,
+    /// Torn tail bytes dropped during the last recovery.
+    pub recovery_torn_bytes: AtomicU64,
+    /// Read queries served from snapshots (maintained by the server).
+    pub queries_served: AtomicU64,
+    /// Connections accepted (maintained by the server).
+    pub connections: AtomicU64,
+    /// Batches accepted into the bounded ingest queue.
+    pub batches_enqueued: AtomicU64,
+}
+
+impl Metrics {
+    fn bump(&self, counter: &AtomicU64, by: u64) {
+        counter.fetch_add(by, Ordering::Relaxed);
+    }
+}
+
+/// Summary of a `TRUSS k` query over one snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrussSummary {
+    /// Number of maximal Triangle K-Cores at the level.
+    pub cores: usize,
+    /// Edges across all of them.
+    pub edges: usize,
+    /// Vertices across all of them.
+    pub vertices: usize,
+}
+
+/// An immutable, atomically published view of the graph and its κ values.
+#[derive(Debug)]
+pub struct EpochSnapshot {
+    epoch: u64,
+    graph: Graph,
+    decomp: Decomposition,
+    csr: CsrGraph,
+    stats: UpdateStats,
+    ops_applied: u64,
+}
+
+impl EpochSnapshot {
+    /// Monotone publication counter (1 = the recovery snapshot).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The snapshot's graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The κ view over [`EpochSnapshot::graph`].
+    pub fn decomposition(&self) -> &Decomposition {
+        &self.decomp
+    }
+
+    /// The frozen CSR companion (triangle counting, support kernels).
+    pub fn csr(&self) -> &CsrGraph {
+        &self.csr
+    }
+
+    /// κ of edge `{u, v}`, or `None` when absent.
+    pub fn kappa(&self, u: u32, v: u32) -> Option<u32> {
+        let e = self.graph.edge_between(VertexId(u), VertexId(v))?;
+        Some(self.decomp.kappa(e))
+    }
+
+    /// Largest κ in the snapshot.
+    pub fn max_kappa(&self) -> u32 {
+        self.decomp.max_kappa()
+    }
+
+    /// Triangles in the snapshot (CSR kernel).
+    pub fn triangle_count(&self) -> u64 {
+        self.csr.triangle_count()
+    }
+
+    /// All maximal Triangle K-Cores of number ≥ `k` (`k` clamped to ≥ 1),
+    /// summarized.
+    pub fn truss(&self, k: u32) -> TrussSummary {
+        let cores = cores_at_level(&self.graph, &self.decomp, k.max(1));
+        TrussSummary {
+            cores: cores.len(),
+            edges: cores.iter().map(|c| c.edges.len()).sum(),
+            vertices: cores.iter().map(|c| c.vertices.len()).sum(),
+        }
+    }
+
+    /// Cumulative maintenance counters at publication time.
+    pub fn stats(&self) -> UpdateStats {
+        self.stats
+    }
+
+    /// Total ops applied when this epoch was published.
+    pub fn ops_applied(&self) -> u64 {
+        self.ops_applied
+    }
+
+    /// Vertex count.
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Live edge count.
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+}
+
+/// Outcome of one applied batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ApplyReport {
+    /// Insertions that took effect.
+    pub inserted: usize,
+    /// Removals that took effect.
+    pub removed: usize,
+    /// Ops that were no-ops (duplicate insert, self loop, missing remove).
+    pub skipped: usize,
+}
+
+/// The writer half: maintainer + WAL, always mutated under one mutex.
+#[derive(Debug)]
+struct Writer {
+    core: DynamicTriangleKCore,
+    wal: Wal,
+    cumulative: UpdateStats,
+    epoch: u64,
+    ops_applied: u64,
+    since_epoch: usize,
+}
+
+/// The durable ingest/query engine. Cheap to share: wrap it in an `Arc`
+/// and hand clones to ingest and query threads.
+#[derive(Debug)]
+pub struct Engine {
+    writer: Mutex<Writer>,
+    published: RwLock<Arc<EpochSnapshot>>,
+    metrics: Metrics,
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Opens (or creates) the engine state in `config.dir`: loads the
+    /// compaction snapshot if present, replays the WAL over it, truncates
+    /// any torn tail, and publishes the recovered state as epoch 1.
+    pub fn open(config: EngineConfig) -> Result<Engine, PersistError> {
+        std::fs::create_dir_all(&config.dir)?;
+        let state_path = config.dir.join(STATE_FILE);
+        let mut core = if state_path.exists() {
+            let file = std::fs::File::open(&state_path)?;
+            let (g, kappa) = read_state(file)?;
+            DynamicTriangleKCore::from_parts(g, kappa)
+        } else {
+            DynamicTriangleKCore::new(Graph::new())
+        };
+
+        let (wal, recovery) = Wal::open(&config.dir.join(WAL_FILE), config.fsync)?;
+        let metrics = Metrics::default();
+        let Recovery { ops, torn_bytes } = recovery;
+        let mut replay_report = ApplyReport::default();
+        for &op in &ops {
+            apply_to_core(&mut core, op, &mut replay_report);
+        }
+        metrics
+            .recovery_replays
+            .store(ops.len() as u64, Ordering::Relaxed);
+        metrics
+            .recovery_torn_bytes
+            .store(torn_bytes, Ordering::Relaxed);
+        metrics
+            .ops_applied
+            .store(ops.len() as u64, Ordering::Relaxed);
+
+        let mut cumulative = UpdateStats::default();
+        cumulative.absorb(core.stats());
+        core.reset_stats();
+
+        let mut writer = Writer {
+            core,
+            wal,
+            cumulative,
+            epoch: 0,
+            ops_applied: ops.len() as u64,
+            since_epoch: 0,
+        };
+        let first = Arc::new(snapshot_of(&mut writer, &metrics));
+        Ok(Engine {
+            writer: Mutex::new(writer),
+            published: RwLock::new(first),
+            metrics,
+            config,
+        })
+    }
+
+    /// The engine's counters (shared with the serving layer).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The current epoch snapshot. Clone-of-`Arc` cost; never blocks on
+    /// ingest beyond the instant of a publication pointer swap.
+    pub fn snapshot(&self) -> Arc<EpochSnapshot> {
+        Arc::clone(&lock_read(&self.published))
+    }
+
+    /// Durably applies a batch: WAL append + fsync first, then the
+    /// in-memory maintainer, then (per config) epoch publication and WAL
+    /// compaction.
+    pub fn apply(&self, ops: &[WalOp]) -> Result<ApplyReport, PersistError> {
+        if ops.is_empty() {
+            return Ok(ApplyReport::default());
+        }
+        let mut w = lock_writer(&self.writer);
+        w.wal.append(ops)?;
+        let mut report = ApplyReport::default();
+        for &op in ops {
+            apply_to_core(&mut w.core, op, &mut report);
+        }
+        let stats = w.core.stats();
+        w.core.reset_stats();
+        w.cumulative.absorb(stats);
+        w.ops_applied += ops.len() as u64;
+        w.since_epoch += ops.len();
+        let m = &self.metrics;
+        m.bump(&m.ops_applied, ops.len() as u64);
+        m.bump(&m.ops_skipped, report.skipped as u64);
+        m.bump(&m.inserted, report.inserted as u64);
+        m.bump(&m.removed, report.removed as u64);
+        if self.config.epoch_ops > 0 && w.since_epoch >= self.config.epoch_ops {
+            self.publish_locked(&mut w);
+        }
+        if self.config.compact_bytes > 0 && w.wal.len_bytes() > self.config.compact_bytes {
+            self.compact_locked(&mut w)?;
+        }
+        Ok(report)
+    }
+
+    /// Durably inserts edge `{u, v}`, returning its κ right after the
+    /// update (read-your-write, without waiting for an epoch), or `None`
+    /// when the insert was a no-op (self loop or duplicate).
+    pub fn insert(&self, u: u32, v: u32) -> Result<Option<u32>, PersistError> {
+        let report = self.apply(&[WalOp::Insert(u, v)])?;
+        if report.inserted == 0 {
+            return Ok(None);
+        }
+        let w = lock_writer(&self.writer);
+        let kappa = w
+            .core
+            .graph()
+            .edge_between(VertexId(u), VertexId(v))
+            .map(|e| w.core.kappa(e));
+        Ok(kappa)
+    }
+
+    /// Durably removes edge `{u, v}`; `false` when it wasn't there.
+    pub fn remove(&self, u: u32, v: u32) -> Result<bool, PersistError> {
+        Ok(self.apply(&[WalOp::Remove(u, v)])?.removed == 1)
+    }
+
+    /// Publishes the writer's current state as a fresh epoch snapshot and
+    /// returns the new epoch number.
+    pub fn publish(&self) -> u64 {
+        let mut w = lock_writer(&self.writer);
+        self.publish_locked(&mut w);
+        w.epoch
+    }
+
+    /// Compacts the WAL: writes the graph + κ snapshot file atomically,
+    /// then resets the log.
+    pub fn compact(&self) -> Result<(), PersistError> {
+        let mut w = lock_writer(&self.writer);
+        self.compact_locked(&mut w)
+    }
+
+    /// Current epoch number without taking a snapshot.
+    pub fn epoch(&self) -> u64 {
+        lock_read(&self.published).epoch()
+    }
+
+    /// Renders every counter as a plain-text `key value` block — the
+    /// `STATS` wire response and the operator-facing metrics surface.
+    pub fn metrics_text(&self) -> String {
+        let m = &self.metrics;
+        let snap = self.snapshot();
+        let stats = {
+            let w = lock_writer(&self.writer);
+            w.cumulative
+        };
+        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let mut out = String::new();
+        for (key, value) in [
+            ("epoch", snap.epoch()),
+            ("vertices", snap.num_vertices() as u64),
+            ("edges", snap.num_edges() as u64),
+            ("max_kappa", u64::from(snap.max_kappa())),
+            ("ops_applied", g(&m.ops_applied)),
+            ("ops_skipped", g(&m.ops_skipped)),
+            ("inserted", g(&m.inserted)),
+            ("removed", g(&m.removed)),
+            ("epochs_published", g(&m.epochs_published)),
+            ("compactions", g(&m.compactions)),
+            ("recovery_replays", g(&m.recovery_replays)),
+            ("recovery_torn_bytes", g(&m.recovery_torn_bytes)),
+            ("queries_served", g(&m.queries_served)),
+            ("connections", g(&m.connections)),
+            ("batches_enqueued", g(&m.batches_enqueued)),
+            ("triangles_added", stats.triangles_added),
+            ("triangles_removed", stats.triangles_removed),
+            ("promotions", stats.promotions),
+            ("demotions", stats.demotions),
+            ("edges_examined", stats.edges_examined),
+        ] {
+            out.push_str(key);
+            out.push(' ');
+            out.push_str(&value.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    fn publish_locked(&self, w: &mut Writer) {
+        let snap = Arc::new(snapshot_of(w, &self.metrics));
+        *lock_write(&self.published) = snap;
+        w.since_epoch = 0;
+    }
+
+    fn compact_locked(&self, w: &mut Writer) -> Result<(), PersistError> {
+        let tmp = self.config.dir.join("state.tkc.tmp");
+        let final_path = self.config.dir.join(STATE_FILE);
+        {
+            let file = std::fs::File::create(&tmp)?;
+            write_state(w.core.graph(), w.core.kappa_slice(), &file)?;
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, &final_path)?;
+        w.wal.reset()?;
+        self.metrics.bump(&self.metrics.compactions, 1);
+        Ok(())
+    }
+}
+
+/// Builds the next epoch snapshot from the writer state (bumps the epoch).
+fn snapshot_of(w: &mut Writer, metrics: &Metrics) -> EpochSnapshot {
+    w.epoch += 1;
+    metrics.bump(&metrics.epochs_published, 1);
+    let graph = w.core.graph().clone();
+    let decomp = Decomposition::from_kappa(&graph, w.core.kappa_slice().to_vec());
+    let csr = CsrGraph::freeze(&graph);
+    EpochSnapshot {
+        epoch: w.epoch,
+        graph,
+        decomp,
+        csr,
+        stats: w.cumulative,
+        ops_applied: w.ops_applied,
+    }
+}
+
+/// Applies one op to the maintainer with the WAL's idempotent semantics:
+/// endpoints are created on demand, duplicate inserts / self loops /
+/// missing removes are skipped. Replay of any log prefix is therefore
+/// deterministic regardless of how often the process died in between.
+fn apply_to_core(core: &mut DynamicTriangleKCore, op: WalOp, report: &mut ApplyReport) {
+    match op {
+        WalOp::Insert(u, v) => {
+            if u == v {
+                report.skipped += 1;
+                return;
+            }
+            let need = (u.max(v) as usize) + 1;
+            if need > core.graph().num_vertices() {
+                core.add_vertices(need - core.graph().num_vertices());
+            }
+            let (uv, vv) = (VertexId(u), VertexId(v));
+            if core.graph().has_edge(uv, vv) || core.insert_edge(uv, vv).is_err() {
+                report.skipped += 1;
+            } else {
+                report.inserted += 1;
+            }
+        }
+        WalOp::Remove(u, v) => {
+            if core.remove_edge_between(VertexId(u), VertexId(v)).is_ok() {
+                report.removed += 1;
+            } else {
+                report.skipped += 1;
+            }
+        }
+        WalOp::AddVertices(n) => {
+            core.add_vertices(n as usize);
+        }
+    }
+}
+
+/// Lock helpers that survive poisoning: a panicked writer thread must not
+/// wedge every reader, and the state it guards is rebuilt from the WAL on
+/// restart anyway.
+fn lock_writer<'a>(m: &'a Mutex<Writer>) -> std::sync::MutexGuard<'a, Writer> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn lock_read<'a>(
+    l: &'a RwLock<Arc<EpochSnapshot>>,
+) -> std::sync::RwLockReadGuard<'a, Arc<EpochSnapshot>> {
+    l.read().unwrap_or_else(|p| p.into_inner())
+}
+
+fn lock_write<'a>(
+    l: &'a RwLock<Arc<EpochSnapshot>>,
+) -> std::sync::RwLockWriteGuard<'a, Arc<EpochSnapshot>> {
+    l.write().unwrap_or_else(|p| p.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("tkc_engine_tests").join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn manual_config(dir: &std::path::Path) -> EngineConfig {
+        EngineConfig {
+            dir: dir.to_path_buf(),
+            fsync: false,
+            epoch_ops: 0,
+            compact_bytes: 0,
+        }
+    }
+
+    /// Inserts every edge of K5 on vertices `base..base+5`.
+    fn clique_ops(base: u32) -> Vec<WalOp> {
+        let mut ops = Vec::new();
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                ops.push(WalOp::Insert(base + i, base + j));
+            }
+        }
+        ops
+    }
+
+    #[test]
+    fn fresh_engine_serves_empty_snapshot_then_grows() {
+        let dir = temp_dir("grow");
+        let engine = Engine::open(manual_config(&dir)).unwrap();
+        assert_eq!(engine.snapshot().num_edges(), 0);
+        assert_eq!(engine.snapshot().epoch(), 1);
+
+        let report = engine.apply(&clique_ops(0)).unwrap();
+        assert_eq!(report.inserted, 10);
+        // Not yet published: readers still see epoch 1.
+        assert_eq!(engine.snapshot().num_edges(), 0);
+        let epoch = engine.publish();
+        assert_eq!(epoch, 2);
+        let snap = engine.snapshot();
+        assert_eq!(snap.num_edges(), 10);
+        assert_eq!(snap.max_kappa(), 3);
+        assert_eq!(snap.kappa(0, 1), Some(3));
+        assert_eq!(snap.kappa(0, 9), None);
+        assert_eq!(snap.triangle_count(), 10);
+        let t = snap.truss(3);
+        assert_eq!((t.cores, t.edges, t.vertices), (1, 10, 5));
+    }
+
+    #[test]
+    fn insert_returns_read_your_write_kappa() {
+        let dir = temp_dir("ryw");
+        let engine = Engine::open(manual_config(&dir)).unwrap();
+        for &op in &clique_ops(0)[..9] {
+            engine.apply(&[op]).unwrap();
+        }
+        // The 10th K5 edge closes the clique: κ = 3 immediately.
+        assert_eq!(engine.insert(3, 4).unwrap(), Some(3));
+        assert_eq!(engine.insert(3, 4).unwrap(), None); // duplicate
+        assert_eq!(engine.insert(7, 7).unwrap(), None); // self loop
+        assert!(engine.remove(3, 4).unwrap());
+        assert!(!engine.remove(3, 4).unwrap());
+    }
+
+    #[test]
+    fn old_snapshots_survive_new_epochs() {
+        let dir = temp_dir("epochs");
+        let engine = Engine::open(manual_config(&dir)).unwrap();
+        engine.apply(&clique_ops(0)).unwrap();
+        engine.publish();
+        let old = engine.snapshot();
+        engine.apply(&[WalOp::Remove(0, 1)]).unwrap();
+        engine.publish();
+        let new = engine.snapshot();
+        // The old Arc still answers with its frozen state.
+        assert_eq!(old.kappa(0, 1), Some(3));
+        assert_eq!(new.kappa(0, 1), None);
+        assert!(new.epoch() > old.epoch());
+    }
+
+    #[test]
+    fn kill_and_reopen_replays_the_wal() {
+        let dir = temp_dir("replay");
+        {
+            let engine = Engine::open(manual_config(&dir)).unwrap();
+            engine.apply(&clique_ops(0)).unwrap();
+            engine
+                .apply(&[WalOp::Remove(1, 2), WalOp::Insert(0, 5)])
+                .unwrap();
+            // No compact, no graceful anything: simulate SIGKILL by drop.
+        }
+        let engine = Engine::open(manual_config(&dir)).unwrap();
+        let m = engine.metrics();
+        assert_eq!(m.recovery_replays.load(Ordering::Relaxed), 12);
+        let snap = engine.snapshot();
+        assert_eq!(snap.num_edges(), 10); // 10 − 1 + 1
+        assert_eq!(snap.kappa(1, 2), None);
+        assert_eq!(snap.kappa(0, 5), Some(0));
+        // Replayed κ equals a from-scratch decomposition.
+        let fresh = Decomposition::compute_with(snap.graph(), 1);
+        for e in snap.graph().edge_ids() {
+            assert_eq!(snap.decomposition().kappa(e), fresh.kappa(e));
+        }
+    }
+
+    #[test]
+    fn compaction_snapshots_state_and_truncates_log() {
+        let dir = temp_dir("compact");
+        {
+            let engine = Engine::open(manual_config(&dir)).unwrap();
+            engine.apply(&clique_ops(0)).unwrap();
+            engine.compact().unwrap();
+            engine.apply(&[WalOp::Insert(0, 5)]).unwrap();
+        }
+        let engine = Engine::open(manual_config(&dir)).unwrap();
+        // Only the post-compaction op is replayed; the rest came from the
+        // snapshot file.
+        assert_eq!(engine.metrics().recovery_replays.load(Ordering::Relaxed), 1);
+        let snap = engine.snapshot();
+        assert_eq!(snap.num_edges(), 11);
+        assert_eq!(snap.kappa(0, 1), Some(3));
+    }
+
+    #[test]
+    fn auto_epoch_and_auto_compaction_trigger() {
+        let dir = temp_dir("auto");
+        let config = EngineConfig {
+            epoch_ops: 4,
+            compact_bytes: 64,
+            ..manual_config(&dir)
+        };
+        let engine = Engine::open(config).unwrap();
+        engine.apply(&clique_ops(0)).unwrap();
+        // 10 ops ≥ 4: at least one automatic epoch beyond the initial one.
+        assert!(engine.epoch() >= 2);
+        assert_eq!(engine.snapshot().num_edges(), 10);
+        // 10 records × 17 bytes > 64: compaction ran and reset the log.
+        assert!(engine.metrics().compactions.load(Ordering::Relaxed) >= 1);
+        assert!(dir.join(STATE_FILE).exists());
+    }
+
+    #[test]
+    fn metrics_text_lists_every_counter() {
+        let dir = temp_dir("metrics");
+        let engine = Engine::open(manual_config(&dir)).unwrap();
+        engine.apply(&clique_ops(0)).unwrap();
+        engine.publish();
+        let text = engine.metrics_text();
+        for key in [
+            "epoch ",
+            "ops_applied 10",
+            "inserted 10",
+            "promotions",
+            "edges_examined",
+            "recovery_replays 0",
+        ] {
+            assert!(text.contains(key), "missing {key:?} in:\n{text}");
+        }
+    }
+}

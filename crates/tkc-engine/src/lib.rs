@@ -1,0 +1,29 @@
+//! Durable serving layer for Triangle K-Core decompositions.
+//!
+//! This crate wraps [`tkc_core`]'s incremental maintenance
+//! (`DynamicTriangleKCore`) in a production-shaped engine:
+//!
+//! - [`wal`] — a write-ahead op log with checksummed, length-prefixed
+//!   records. Recovery tolerates a torn final record (a crash mid-append)
+//!   and replays every durable op; compaction folds the log into a
+//!   snapshot file so restart cost stays bounded.
+//! - [`engine`] — [`Engine`] applies ops under a single writer lock and
+//!   publishes immutable [`EpochSnapshot`]s (graph + κ + frozen CSR) that
+//!   readers share by cloning an `Arc`; queries never wait on ingest.
+//! - [`server`] — [`Server`], the `tkc serve` TCP front-end: a
+//!   line-oriented text protocol with synchronous durable writes, snapshot
+//!   reads, a bounded batch-ingest queue with backpressure, and graceful
+//!   shutdown.
+//!
+//! Everything is `std`-only: no async runtime, no external crates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod server;
+pub mod wal;
+
+pub use engine::{ApplyReport, Engine, EngineConfig, EpochSnapshot, Metrics, TrussSummary};
+pub use server::{ServeOptions, Server};
+pub use wal::{Recovery, Wal, WalOp};

@@ -1,0 +1,469 @@
+//! The `tkc serve` TCP front-end: a threaded listener speaking a
+//! line-oriented text protocol over the engine.
+//!
+//! ## Wire protocol
+//!
+//! One command per `\n`-terminated line; every response starts with `OK`
+//! or `ERR`. Multi-line responses (`STATS`) end with a lone `.`.
+//!
+//! | command        | response                                | path   |
+//! |----------------|-----------------------------------------|--------|
+//! | `KAPPA u v`    | `OK <κ>` / `ERR no such edge`           | snapshot |
+//! | `MAXK`         | `OK <max κ>`                            | snapshot |
+//! | `TRUSS k`      | `OK cores=<c> edges=<m> vertices=<n>`   | snapshot |
+//! | `INSERT u v`   | `OK kappa=<κ>` / `OK noop`              | durable, read-your-write |
+//! | `REMOVE u v`   | `OK removed` / `OK noop`                | durable |
+//! | `BATCH n` + n op lines (`+ u v` / `- u v`) | `OK queued <n>` | bounded queue |
+//! | `EPOCH`        | `OK <epoch>` (forces publication)       | writer |
+//! | `STATS`        | `OK`, `key value` lines, `.`            | counters |
+//! | `PING`         | `OK pong`                               | — |
+//! | `SHUTDOWN`     | `OK shutting down` (graceful stop)      | — |
+//! | `QUIT`         | `OK bye` (closes this connection)       | — |
+//!
+//! Reads (`KAPPA`/`MAXK`/`TRUSS`) are answered from the current epoch
+//! snapshot and never block on ingest. `INSERT`/`REMOVE` are applied
+//! synchronously (WAL-durable when the `OK` is on the wire) and `INSERT`
+//! reports the edge's κ immediately. `BATCH` trades that read-your-write
+//! for throughput: ops go into a **bounded** queue consumed by a single
+//! ingest thread, and the `send` blocks when the queue is full — clients
+//! feel backpressure instead of the server buffering unboundedly. Queued
+//! batches are acknowledged as *queued*, not yet durable; graceful
+//! shutdown drains the queue before the final compaction.
+//!
+//! Every connection has a read timeout: a half-open or stalled client is
+//! dropped instead of pinning its thread forever.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::engine::Engine;
+use crate::wal::WalOp;
+
+/// Tunables for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Per-connection read timeout; a connection idle longer is closed.
+    pub read_timeout: Duration,
+    /// Capacity (in batches) of the bounded ingest queue.
+    pub queue_cap: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            read_timeout: Duration::from_secs(60),
+            queue_cap: 128,
+        }
+    }
+}
+
+/// A running server; dropping it does **not** stop the threads — call
+/// [`Server::shutdown`] (or send `SHUTDOWN` over the wire and
+/// [`Server::join`]).
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: JoinHandle<()>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// spawns the accept loop and the ingest thread.
+    pub fn start(engine: Arc<Engine>, addr: &str, opts: ServeOptions) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = sync_channel::<Vec<WalOp>>(opts.queue_cap.max(1));
+        let ingest_engine = Arc::clone(&engine);
+        let ingest = std::thread::spawn(move || ingest_loop(ingest_engine, rx));
+
+        let accept_stop = Arc::clone(&stop);
+        let accept_handle = std::thread::spawn(move || {
+            let mut conns: Vec<JoinHandle<()>> = Vec::new();
+            for incoming in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = incoming else { continue };
+                engine.metrics().connections.fetch_add(1, Ordering::Relaxed);
+                let engine = Arc::clone(&engine);
+                let tx = tx.clone();
+                let stop = Arc::clone(&accept_stop);
+                let timeout = opts.read_timeout;
+                conns.push(std::thread::spawn(move || {
+                    let _ = handle_connection(stream, &engine, &tx, &stop, timeout);
+                }));
+                conns.retain(|h| !h.is_finished());
+            }
+            // Stop accepting, wait for in-flight connections, then let the
+            // ingest thread drain the queue (dropping tx closes it).
+            for h in conns {
+                let _ = h.join();
+            }
+            drop(tx);
+            let _ = ingest.join();
+            // Final epoch + compaction so a clean restart replays nothing.
+            engine.publish();
+            let _ = engine.compact();
+        });
+        Ok(Server {
+            addr: local,
+            stop,
+            accept_handle,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a graceful stop and waits for every thread: in-flight
+    /// connections finish, the ingest queue drains, and the engine is
+    /// compacted.
+    pub fn shutdown(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.accept_handle.join();
+    }
+
+    /// Waits until some client sends `SHUTDOWN` (the accept loop exits on
+    /// its own), then finishes the same graceful sequence.
+    pub fn join(self) {
+        let _ = self.accept_handle.join();
+    }
+}
+
+/// Applies queued batches until every sender is gone (shutdown drains the
+/// queue by construction: senders are dropped first, then this returns).
+fn ingest_loop(engine: Arc<Engine>, rx: Receiver<Vec<WalOp>>) {
+    while let Ok(batch) = rx.recv() {
+        if engine.apply(&batch).is_err() {
+            // Durability failure (disk full, dir removed): nothing sane to
+            // do per-batch; stop consuming so senders see the closed queue.
+            break;
+        }
+    }
+}
+
+/// Serves one connection until QUIT/EOF/timeout/shutdown.
+fn handle_connection(
+    stream: TcpStream,
+    engine: &Engine,
+    tx: &SyncSender<Vec<WalOp>>,
+    stop: &AtomicBool,
+    timeout: Duration,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(timeout))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut out = stream;
+    let mut line = String::new();
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // EOF
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Idle past the read timeout: drop the connection.
+                let _ = writeln!(out, "ERR read timeout");
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        }
+        let cmd = line.trim();
+        if cmd.is_empty() {
+            continue;
+        }
+        match respond(cmd, engine, tx, &mut reader, &mut out, timeout)? {
+            Flow::Continue => {}
+            Flow::Quit => return Ok(()),
+            Flow::Shutdown => {
+                stop.store(true, Ordering::SeqCst);
+                // Unblock the accept loop (self-connect is best-effort).
+                if let Ok(addr) = out.local_addr() {
+                    let _ = TcpStream::connect(addr);
+                }
+                return Ok(());
+            }
+        }
+    }
+}
+
+enum Flow {
+    Continue,
+    Quit,
+    Shutdown,
+}
+
+/// Parses and answers a single command line.
+fn respond(
+    cmd: &str,
+    engine: &Engine,
+    tx: &SyncSender<Vec<WalOp>>,
+    reader: &mut BufReader<TcpStream>,
+    out: &mut TcpStream,
+    _timeout: Duration,
+) -> std::io::Result<Flow> {
+    let mut parts = cmd.split_whitespace();
+    let verb = parts.next().unwrap_or("").to_ascii_uppercase();
+    let mut arg = || -> Option<u32> { parts.next()?.parse().ok() };
+    let metrics = engine.metrics();
+    let count_query = || {
+        metrics.queries_served.fetch_add(1, Ordering::Relaxed);
+    };
+    match verb.as_str() {
+        "KAPPA" => {
+            count_query();
+            match (arg(), arg()) {
+                (Some(u), Some(v)) => match engine.snapshot().kappa(u, v) {
+                    Some(k) => writeln!(out, "OK {k}")?,
+                    None => writeln!(out, "ERR no such edge")?,
+                },
+                _ => writeln!(out, "ERR usage: KAPPA u v")?,
+            }
+        }
+        "MAXK" => {
+            count_query();
+            writeln!(out, "OK {}", engine.snapshot().max_kappa())?;
+        }
+        "TRUSS" => {
+            count_query();
+            match arg() {
+                Some(k) => {
+                    let t = engine.snapshot().truss(k);
+                    writeln!(
+                        out,
+                        "OK cores={} edges={} vertices={}",
+                        t.cores, t.edges, t.vertices
+                    )?;
+                }
+                None => writeln!(out, "ERR usage: TRUSS k")?,
+            }
+        }
+        "INSERT" => match (arg(), arg()) {
+            (Some(u), Some(v)) => match engine.insert(u, v) {
+                Ok(Some(k)) => writeln!(out, "OK kappa={k}")?,
+                Ok(None) => writeln!(out, "OK noop")?,
+                Err(e) => writeln!(out, "ERR {e}")?,
+            },
+            _ => writeln!(out, "ERR usage: INSERT u v")?,
+        },
+        "REMOVE" => match (arg(), arg()) {
+            (Some(u), Some(v)) => match engine.remove(u, v) {
+                Ok(true) => writeln!(out, "OK removed")?,
+                Ok(false) => writeln!(out, "OK noop")?,
+                Err(e) => writeln!(out, "ERR {e}")?,
+            },
+            _ => writeln!(out, "ERR usage: REMOVE u v")?,
+        },
+        "BATCH" => match arg() {
+            Some(n) if n <= 1_000_000 => {
+                let mut ops = Vec::with_capacity(n as usize);
+                let mut line = String::new();
+                for i in 0..n {
+                    line.clear();
+                    if reader.read_line(&mut line)? == 0 {
+                        writeln!(out, "ERR batch cut short at op {i}")?;
+                        return Ok(Flow::Quit);
+                    }
+                    match parse_batch_line(line.trim()) {
+                        Some(op) => ops.push(op),
+                        None => {
+                            writeln!(out, "ERR batch op {i}: expected '+ u v' or '- u v'")?;
+                            return Ok(Flow::Continue);
+                        }
+                    }
+                }
+                // Bounded queue: blocks when full — backpressure on the
+                // client instead of unbounded buffering in the server.
+                match tx.send(ops) {
+                    Ok(()) => {
+                        metrics.batches_enqueued.fetch_add(1, Ordering::Relaxed);
+                        writeln!(out, "OK queued {n}")?;
+                    }
+                    Err(_) => writeln!(out, "ERR ingest stopped")?,
+                }
+            }
+            _ => writeln!(out, "ERR usage: BATCH n (n <= 1000000)")?,
+        },
+        "EPOCH" => {
+            count_query();
+            writeln!(out, "OK {}", engine.publish())?;
+        }
+        "STATS" => {
+            count_query();
+            write!(out, "OK\n{}.\n", engine.metrics_text())?;
+        }
+        "PING" => writeln!(out, "OK pong")?,
+        "QUIT" => {
+            writeln!(out, "OK bye")?;
+            return Ok(Flow::Quit);
+        }
+        "SHUTDOWN" => {
+            writeln!(out, "OK shutting down")?;
+            return Ok(Flow::Shutdown);
+        }
+        _ => writeln!(out, "ERR unknown command {verb:?}")?,
+    }
+    Ok(Flow::Continue)
+}
+
+/// Parses one `+ u v` / `- u v` batch line.
+fn parse_batch_line(t: &str) -> Option<WalOp> {
+    let mut parts = t.split_whitespace();
+    let sign = parts.next()?;
+    let u: u32 = parts.next()?.parse().ok()?;
+    let v: u32 = parts.next()?.parse().ok()?;
+    match sign {
+        "+" => Some(WalOp::Insert(u, v)),
+        "-" => Some(WalOp::Remove(u, v)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+    use crate::engine::EngineConfig;
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("tkc_server_tests").join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    struct Client {
+        reader: BufReader<TcpStream>,
+        stream: TcpStream,
+    }
+
+    impl Client {
+        fn connect(addr: SocketAddr) -> Client {
+            let stream = TcpStream::connect(addr).unwrap();
+            Client {
+                reader: BufReader::new(stream.try_clone().unwrap()),
+                stream,
+            }
+        }
+
+        fn send(&mut self, cmd: &str) -> String {
+            writeln!(self.stream, "{cmd}").unwrap();
+            let mut line = String::new();
+            self.reader.read_line(&mut line).unwrap();
+            line.trim_end().to_string()
+        }
+
+        fn read_until_dot(&mut self) -> Vec<String> {
+            let mut lines = Vec::new();
+            loop {
+                let mut line = String::new();
+                self.reader.read_line(&mut line).unwrap();
+                let t = line.trim_end();
+                if t == "." {
+                    return lines;
+                }
+                lines.push(t.to_string());
+            }
+        }
+    }
+
+    fn start_server(name: &str) -> (Server, SocketAddr) {
+        let config = EngineConfig {
+            fsync: false,
+            epoch_ops: 0,
+            compact_bytes: 0,
+            ..EngineConfig::new(temp_dir(name))
+        };
+        let engine = Arc::new(Engine::open(config).unwrap());
+        let server = Server::start(
+            engine,
+            "127.0.0.1:0",
+            ServeOptions {
+                read_timeout: Duration::from_secs(5),
+                queue_cap: 4,
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        (server, addr)
+    }
+
+    #[test]
+    fn protocol_end_to_end_over_loopback() {
+        let (server, addr) = start_server("proto");
+        let mut c = Client::connect(addr);
+        assert_eq!(c.send("PING"), "OK pong");
+        // Build K4 on 0..4 synchronously.
+        for (u, v) in [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3)] {
+            assert!(c.send(&format!("INSERT {u} {v}")).starts_with("OK"));
+        }
+        assert_eq!(c.send("INSERT 2 3"), "OK kappa=2");
+        assert_eq!(c.send("INSERT 2 3"), "OK noop");
+        // Reads see the snapshot, which is stale until EPOCH.
+        assert_eq!(c.send("KAPPA 2 3"), "ERR no such edge");
+        assert_eq!(c.send("EPOCH"), "OK 2");
+        assert_eq!(c.send("KAPPA 2 3"), "OK 2");
+        assert_eq!(c.send("MAXK"), "OK 2");
+        assert_eq!(c.send("TRUSS 2"), "OK cores=1 edges=6 vertices=4");
+        assert_eq!(c.send("REMOVE 0 1"), "OK removed");
+        assert_eq!(c.send("REMOVE 0 1"), "OK noop");
+        // Malformed input errors without dropping the connection.
+        assert!(c.send("KAPPA one two").starts_with("ERR"));
+        assert!(c.send("FROBNICATE").starts_with("ERR"));
+        assert_eq!(c.send("QUIT"), "OK bye");
+
+        let mut c2 = Client::connect(addr);
+        assert_eq!(c2.send("SHUTDOWN"), "OK shutting down");
+        server.join();
+    }
+
+    #[test]
+    fn batch_path_applies_through_bounded_queue() {
+        let (server, addr) = start_server("batch");
+        let mut c = Client::connect(addr);
+        writeln!(c.stream, "BATCH 3\n+ 0 1\n+ 1 2\n+ 2 0").unwrap();
+        let mut line = String::new();
+        c.reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), "OK queued 3");
+        // Async path: poll STATS until the triangle's ops are applied.
+        for _ in 0..200 {
+            assert_eq!(c.send("STATS"), "OK");
+            let stats = c.read_until_dot();
+            if stats.iter().any(|l| l == "ops_applied 3") {
+                assert_eq!(c.send("EPOCH"), "OK 2");
+                assert_eq!(c.send("KAPPA 0 1"), "OK 1");
+                server.shutdown();
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        panic!("batch never applied");
+    }
+
+    #[test]
+    fn bad_batch_lines_are_rejected() {
+        let (server, addr) = start_server("badbatch");
+        let mut c = Client::connect(addr);
+        writeln!(c.stream, "BATCH 1\n* 0 1").unwrap();
+        let mut line = String::new();
+        c.reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("ERR batch op 0"));
+        assert_eq!(c.send("PING"), "OK pong"); // connection survives
+        server.shutdown();
+    }
+}

@@ -1,0 +1,419 @@
+//! The write-ahead op log: length-prefixed, checksummed, versioned binary
+//! records of graph mutations, fsynced per batch.
+//!
+//! ## Record layout
+//!
+//! ```text
+//! file   := magic record*
+//! magic  := "TKCWAL" 0x00 version(u8)            ; 8 bytes
+//! record := len(u32 LE) crc(u32 LE) payload      ; len = payload bytes
+//! payload:= 0x01 u(u32 LE) v(u32 LE)             ; insert edge {u, v}
+//!         | 0x02 u(u32 LE) v(u32 LE)             ; remove edge {u, v}
+//!         | 0x03 n(u32 LE)                       ; add n vertices
+//! ```
+//!
+//! `crc` is CRC-32 (IEEE) over the payload. Recovery reads records until
+//! the first torn one — a length prefix or payload cut short by a crash,
+//! or a checksum mismatch — and **truncates the file there**: a partially
+//! flushed tail never poisons the log, and everything before it replays
+//! exactly. A record whose checksum passes but whose content is
+//! unintelligible (unknown tag, wrong field width) is a real error, not a
+//! torn tail — it means version skew or external corruption, and recovery
+//! refuses to guess.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::OnceLock;
+
+use tkc_core::persist::PersistError;
+
+/// File magic: `TKCWAL`, a NUL, then the format version byte.
+pub const WAL_MAGIC: [u8; 8] = *b"TKCWAL\x00\x01";
+
+/// Hard upper bound on a record payload; anything larger is treated as a
+/// torn length prefix (no legitimate op comes close).
+const MAX_PAYLOAD: u32 = 64;
+
+/// One durable graph mutation.
+///
+/// Ops name vertices, never edge ids — replay is therefore independent of
+/// the id-allocation history of the process that wrote the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalOp {
+    /// Insert edge `{u, v}` (idempotent at apply time: duplicates and self
+    /// loops are skipped, and missing endpoints are created).
+    Insert(u32, u32),
+    /// Remove edge `{u, v}` (skipped when absent).
+    Remove(u32, u32),
+    /// Grow the vertex set by `n` isolated vertices.
+    AddVertices(u32),
+}
+
+impl WalOp {
+    fn encode(self, out: &mut Vec<u8>) {
+        let payload_start = out.len() + 8;
+        out.extend_from_slice(&[0; 8]); // len + crc placeholders
+        match self {
+            WalOp::Insert(u, v) => {
+                out.push(1);
+                out.extend_from_slice(&u.to_le_bytes());
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            WalOp::Remove(u, v) => {
+                out.push(2);
+                out.extend_from_slice(&u.to_le_bytes());
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            WalOp::AddVertices(n) => {
+                out.push(3);
+                out.extend_from_slice(&n.to_le_bytes());
+            }
+        }
+        let len = (out.len() - payload_start) as u32;
+        let crc = crc32(&out[payload_start..]);
+        out[payload_start - 8..payload_start - 4].copy_from_slice(&len.to_le_bytes());
+        out[payload_start - 4..payload_start].copy_from_slice(&crc.to_le_bytes());
+    }
+
+    fn decode(payload: &[u8], offset: u64) -> Result<WalOp, PersistError> {
+        let field = |i: usize| -> Result<u32, PersistError> {
+            payload
+                .get(1 + i * 4..1 + i * 4 + 4)
+                .and_then(|b| b.try_into().ok())
+                .map(u32::from_le_bytes)
+                .ok_or_else(|| PersistError::Corrupt {
+                    offset,
+                    reason: "payload shorter than its tag demands".to_string(),
+                })
+        };
+        match payload.first() {
+            Some(1) if payload.len() == 9 => Ok(WalOp::Insert(field(0)?, field(1)?)),
+            Some(2) if payload.len() == 9 => Ok(WalOp::Remove(field(0)?, field(1)?)),
+            Some(3) if payload.len() == 5 => Ok(WalOp::AddVertices(field(0)?)),
+            Some(tag) => Err(PersistError::Corrupt {
+                offset,
+                reason: format!("unknown or mis-sized record tag {tag}"),
+            }),
+            None => Err(PersistError::Corrupt {
+                offset,
+                reason: "empty payload".to_string(),
+            }),
+        }
+    }
+}
+
+/// What [`Wal::open`] found on disk.
+#[derive(Debug, Default)]
+pub struct Recovery {
+    /// Every intact record, in append order.
+    pub ops: Vec<WalOp>,
+    /// Bytes of torn tail dropped (0 after a clean shutdown).
+    pub torn_bytes: u64,
+}
+
+/// An open write-ahead log positioned for appending.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    /// Valid byte length — the append position.
+    len: u64,
+    fsync: bool,
+}
+
+impl Wal {
+    /// Opens (creating if absent) the log at `path`, replaying every
+    /// intact record and truncating any torn tail. `fsync` controls
+    /// whether each appended batch is flushed to stable storage before
+    /// [`Wal::append`] returns.
+    pub fn open(path: &Path, fsync: bool) -> Result<(Wal, Recovery), PersistError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf)?;
+
+        if buf.is_empty() {
+            file.write_all(&WAL_MAGIC)?;
+            if fsync {
+                file.sync_data()?;
+            }
+            let wal = Wal {
+                file,
+                len: WAL_MAGIC.len() as u64,
+                fsync,
+            };
+            return Ok((wal, Recovery::default()));
+        }
+        if buf.len() < WAL_MAGIC.len() || buf[..6] != WAL_MAGIC[..6] || buf[6] != 0 {
+            return Err(PersistError::BadMagic { expected: "TKCWAL" });
+        }
+        if buf[7] != WAL_MAGIC[7] {
+            return Err(PersistError::UnsupportedVersion {
+                format: "wal",
+                found: u32::from(buf[7]),
+            });
+        }
+
+        let mut ops = Vec::new();
+        let mut off = WAL_MAGIC.len();
+        loop {
+            match read_record(&buf, off)? {
+                RecordAt::Op(op, next) => {
+                    ops.push(op);
+                    off = next;
+                }
+                RecordAt::End => break,
+                RecordAt::Torn => break,
+            }
+        }
+        let torn_bytes = (buf.len() - off) as u64;
+        if torn_bytes > 0 {
+            file.set_len(off as u64)?;
+            file.sync_data()?;
+        }
+        let wal = Wal {
+            file,
+            len: off as u64,
+            fsync,
+        };
+        Ok((wal, Recovery { ops, torn_bytes }))
+    }
+
+    /// Appends a batch of ops as one write, then (if configured) fsyncs —
+    /// the batch is durable when this returns.
+    pub fn append(&mut self, ops: &[WalOp]) -> Result<(), PersistError> {
+        if ops.is_empty() {
+            return Ok(());
+        }
+        let mut buf = Vec::with_capacity(ops.len() * 17);
+        for &op in ops {
+            op.encode(&mut buf);
+        }
+        self.file.seek(SeekFrom::Start(self.len))?;
+        self.file.write_all(&buf)?;
+        if self.fsync {
+            self.file.sync_data()?;
+        }
+        self.len += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Current log size in bytes (header included) — the compaction
+    /// trigger input.
+    pub fn len_bytes(&self) -> u64 {
+        self.len
+    }
+
+    /// Drops every record, leaving just the header — called after the
+    /// state they describe has been compacted into a snapshot file.
+    pub fn reset(&mut self) -> Result<(), PersistError> {
+        self.file.set_len(WAL_MAGIC.len() as u64)?;
+        self.file.sync_data()?;
+        self.len = WAL_MAGIC.len() as u64;
+        Ok(())
+    }
+}
+
+enum RecordAt {
+    Op(WalOp, usize),
+    End,
+    Torn,
+}
+
+/// Reads the record at `off`; distinguishes a clean end, a torn tail, and
+/// genuinely corrupt (non-tail) content.
+fn read_record(buf: &[u8], off: usize) -> Result<RecordAt, PersistError> {
+    if off == buf.len() {
+        return Ok(RecordAt::End);
+    }
+    let Some(header) = buf.get(off..off + 8) else {
+        return Ok(RecordAt::Torn); // length/crc prefix cut short
+    };
+    let len = u32::from_le_bytes(header[..4].try_into().unwrap_or([0; 4]));
+    if len == 0 || len > MAX_PAYLOAD {
+        return Ok(RecordAt::Torn); // garbage length: interrupted write
+    }
+    let crc = u32::from_le_bytes(header[4..].try_into().unwrap_or([0; 4]));
+    let Some(payload) = buf.get(off + 8..off + 8 + len as usize) else {
+        return Ok(RecordAt::Torn); // payload cut short
+    };
+    if crc32(payload) != crc {
+        return Ok(RecordAt::Torn); // partially flushed payload
+    }
+    let op = WalOp::decode(payload, off as u64)?;
+    Ok(RecordAt::Op(op, off + 8 + len as usize))
+}
+
+/// CRC-32 (IEEE 802.3) with a lazily built lookup table.
+fn crc32(data: &[u8]) -> u32 {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        t
+    });
+    let mut c = !0u32;
+    for &b in data {
+        c = table[usize::from((c as u8) ^ b)] ^ (c >> 8);
+    }
+    !c
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+
+    fn temp_wal(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("tkc_engine_wal_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::remove_file(&path).ok();
+        path
+    }
+
+    const SCRIPT: [WalOp; 5] = [
+        WalOp::AddVertices(6),
+        WalOp::Insert(0, 1),
+        WalOp::Insert(1, 2),
+        WalOp::Remove(0, 1),
+        WalOp::Insert(2, 0),
+    ];
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn append_then_reopen_replays_in_order() {
+        let path = temp_wal("roundtrip.wal");
+        let (mut wal, rec) = Wal::open(&path, true).unwrap();
+        assert!(rec.ops.is_empty());
+        wal.append(&SCRIPT[..2]).unwrap();
+        wal.append(&SCRIPT[2..]).unwrap();
+        drop(wal);
+        let (_, rec) = Wal::open(&path, true).unwrap();
+        assert_eq!(rec.ops, SCRIPT);
+        assert_eq!(rec.torn_bytes, 0);
+    }
+
+    #[test]
+    fn every_torn_prefix_recovers_a_record_prefix() {
+        let path = temp_wal("torn.wal");
+        let (mut wal, _) = Wal::open(&path, false).unwrap();
+        wal.append(&SCRIPT).unwrap();
+        drop(wal);
+        let full = std::fs::read(&path).unwrap();
+        for cut in WAL_MAGIC.len()..full.len() {
+            let torn_path = temp_wal("torn_cut.wal");
+            std::fs::write(&torn_path, &full[..cut]).unwrap();
+            let (wal, rec) = Wal::open(&torn_path, false).unwrap();
+            // Recovered ops are exactly a prefix of what was written...
+            assert_eq!(rec.ops, SCRIPT[..rec.ops.len()], "cut at {cut}");
+            // ...and the file was truncated back to the last intact record.
+            assert_eq!(
+                wal.len_bytes(),
+                std::fs::metadata(&torn_path).unwrap().len(),
+                "cut at {cut}"
+            );
+            assert_eq!(rec.torn_bytes, (cut as u64) - wal.len_bytes());
+        }
+    }
+
+    #[test]
+    fn torn_tail_is_overwritten_by_later_appends() {
+        let path = temp_wal("resume.wal");
+        let (mut wal, _) = Wal::open(&path, false).unwrap();
+        wal.append(&SCRIPT).unwrap();
+        drop(wal);
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap(); // tear last record
+        let (mut wal, rec) = Wal::open(&path, false).unwrap();
+        assert_eq!(rec.ops, SCRIPT[..SCRIPT.len() - 1]);
+        wal.append(&[WalOp::Insert(4, 5)]).unwrap();
+        drop(wal);
+        let (_, rec) = Wal::open(&path, false).unwrap();
+        let mut expected = SCRIPT[..SCRIPT.len() - 1].to_vec();
+        expected.push(WalOp::Insert(4, 5));
+        assert_eq!(rec.ops, expected);
+    }
+
+    #[test]
+    fn flipped_payload_byte_truncates_from_there() {
+        let path = temp_wal("bitflip.wal");
+        let (mut wal, _) = Wal::open(&path, false).unwrap();
+        wal.append(&SCRIPT).unwrap();
+        drop(wal);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Corrupt the payload of the second record (header 8 + record 17 +
+        // 8 bytes into the next record's payload region).
+        let idx = WAL_MAGIC.len() + 17 + 8 + 2;
+        bytes[idx] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, rec) = Wal::open(&path, false).unwrap();
+        assert_eq!(rec.ops, SCRIPT[..1]);
+        assert!(rec.torn_bytes > 0);
+    }
+
+    #[test]
+    fn alien_files_are_rejected_not_truncated() {
+        let path = temp_wal("alien.wal");
+        std::fs::write(&path, b"not a wal at all").unwrap();
+        assert!(matches!(
+            Wal::open(&path, false),
+            Err(PersistError::BadMagic { .. })
+        ));
+        let mut future = WAL_MAGIC;
+        future[7] = 9;
+        std::fs::write(&path, future).unwrap();
+        assert!(matches!(
+            Wal::open(&path, false),
+            Err(PersistError::UnsupportedVersion { found: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn valid_checksum_with_unknown_tag_is_corrupt_not_torn() {
+        let path = temp_wal("unknown_tag.wal");
+        let mut bytes = WAL_MAGIC.to_vec();
+        let payload = [9u8, 0, 0, 0, 0]; // tag 9, one u32 field
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            Wal::open(&path, false),
+            Err(PersistError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn reset_leaves_an_empty_replayable_log() {
+        let path = temp_wal("reset.wal");
+        let (mut wal, _) = Wal::open(&path, false).unwrap();
+        wal.append(&SCRIPT).unwrap();
+        wal.reset().unwrap();
+        assert_eq!(wal.len_bytes(), WAL_MAGIC.len() as u64);
+        wal.append(&[WalOp::Insert(7, 8)]).unwrap();
+        drop(wal);
+        let (_, rec) = Wal::open(&path, false).unwrap();
+        assert_eq!(rec.ops, vec![WalOp::Insert(7, 8)]);
+    }
+}

@@ -1,0 +1,188 @@
+#![allow(clippy::unwrap_used)]
+
+//! Concurrent serve smoke: four clients hammer one server over loopback —
+//! two writers building disjoint K5 cliques (one via synchronous INSERT,
+//! one via the queued BATCH path) while two readers loop
+//! MAXK/KAPPA/TRUSS/STATS against the published snapshots. Afterwards the
+//! final state must be exactly the two cliques, and shutdown must leave a
+//! compacted state directory that reopens with zero WAL replays.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use tkc_engine::{Engine, EngineConfig, ServeOptions, Server};
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    stream: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            stream,
+        }
+    }
+
+    fn send(&mut self, cmd: &str) -> String {
+        writeln!(self.stream, "{cmd}").unwrap();
+        let mut line = String::new();
+        self.reader.read_line(&mut line).unwrap();
+        line.trim_end().to_string()
+    }
+
+    /// Sends STATS and returns the key/value block.
+    fn stats(&mut self) -> Vec<(String, String)> {
+        assert_eq!(self.send("STATS"), "OK");
+        let mut out = Vec::new();
+        loop {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).unwrap();
+            let t = line.trim_end();
+            if t == "." {
+                return out;
+            }
+            if let Some((k, v)) = t.split_once(' ') {
+                out.push((k.to_string(), v.to_string()));
+            }
+        }
+    }
+}
+
+fn clique_edges(base: u32) -> Vec<(u32, u32)> {
+    let mut edges = Vec::new();
+    for i in 0..5 {
+        for j in (i + 1)..5 {
+            edges.push((base + i, base + j));
+        }
+    }
+    edges
+}
+
+#[test]
+fn four_concurrent_clients_mixed_reads_and_writes() {
+    let dir = std::env::temp_dir()
+        .join("tkc_serve_smoke_tests")
+        .join("mixed");
+    std::fs::remove_dir_all(&dir).ok();
+    let engine = Arc::new(
+        Engine::open(EngineConfig {
+            fsync: false,
+            epoch_ops: 8, // force frequent snapshot turnover under load
+            ..EngineConfig::new(&dir)
+        })
+        .unwrap(),
+    );
+    let server = Server::start(
+        Arc::clone(&engine),
+        "127.0.0.1:0",
+        ServeOptions {
+            read_timeout: Duration::from_secs(10),
+            queue_cap: 2,
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Writer 1: synchronous INSERTs for the K5 on 0..5.
+    let w1 = std::thread::spawn(move || {
+        let mut c = Client::connect(addr);
+        for (u, v) in clique_edges(0) {
+            let reply = c.send(&format!("INSERT {u} {v}"));
+            assert!(reply.starts_with("OK"), "INSERT {u} {v} -> {reply}");
+        }
+        c.send("QUIT");
+    });
+
+    // Writer 2: the K5 on 5..10 through the bounded BATCH queue, one
+    // batch per edge so the queue cycles.
+    let w2 = std::thread::spawn(move || {
+        let mut c = Client::connect(addr);
+        for (u, v) in clique_edges(5) {
+            writeln!(c.stream, "BATCH 1\n+ {u} {v}").unwrap();
+            let mut line = String::new();
+            c.reader.read_line(&mut line).unwrap();
+            assert_eq!(line.trim_end(), "OK queued 1");
+        }
+        c.send("QUIT");
+    });
+
+    // Readers: loop snapshot queries the whole time; every reply must be
+    // well-formed regardless of how much ingest has landed.
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr);
+                for i in 0..50 {
+                    assert!(c.send("MAXK").starts_with("OK "));
+                    assert!(c.send("TRUSS 3").starts_with("OK cores="));
+                    let kappa = c.send("KAPPA 0 1");
+                    assert!(
+                        kappa.starts_with("OK ") || kappa == "ERR no such edge",
+                        "KAPPA 0 1 -> {kappa}"
+                    );
+                    assert!(!c.stats().is_empty());
+                    if i % 10 == 9 {
+                        assert!(c.send("EPOCH").starts_with("OK "));
+                    }
+                }
+                c.send("QUIT");
+            })
+        })
+        .collect();
+
+    w1.join().unwrap();
+    w2.join().unwrap();
+    for r in readers {
+        r.join().unwrap();
+    }
+
+    // Both writers are done; wait for the batch queue to drain (20 ops
+    // total: 10 sync + 10 queued), then check the merged state.
+    let mut c = Client::connect(addr);
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let applied = c
+            .stats()
+            .iter()
+            .find(|(k, _)| k == "ops_applied")
+            .map(|(_, v)| v.parse::<u64>().unwrap())
+            .unwrap();
+        if applied >= 20 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "batch queue never drained (ops_applied = {applied})"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(c.send("EPOCH").starts_with("OK "));
+    assert_eq!(c.send("KAPPA 0 1"), "OK 3", "K5 edge must sit at κ = 3");
+    assert_eq!(c.send("KAPPA 5 9"), "OK 3");
+    assert_eq!(c.send("MAXK"), "OK 3");
+    assert_eq!(c.send("TRUSS 3"), "OK cores=2 edges=20 vertices=10");
+    assert_eq!(c.send("SHUTDOWN"), "OK shutting down");
+    server.join();
+
+    // Graceful shutdown compacted: reopening replays nothing.
+    let reopened = Engine::open(EngineConfig {
+        fsync: false,
+        ..EngineConfig::new(&dir)
+    })
+    .unwrap();
+    assert_eq!(
+        reopened.metrics().recovery_replays.load(Ordering::Relaxed),
+        0,
+        "clean shutdown must leave an empty WAL"
+    );
+    assert_eq!(reopened.snapshot().num_vertices(), 10);
+    assert_eq!(reopened.snapshot().num_edges(), 20);
+    assert_eq!(reopened.snapshot().max_kappa(), 3);
+    std::fs::remove_dir_all(&dir).ok();
+}

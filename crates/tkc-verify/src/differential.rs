@@ -70,7 +70,10 @@ pub enum GraphKind {
 }
 
 impl GraphKind {
-    fn build(self, seed: u64) -> Graph {
+    /// Materializes the initial graph for a stream. Public so downstream
+    /// harnesses (the engine's WAL kill-and-replay suite) can drive the
+    /// exact same corpus through their own apply paths.
+    pub fn build(self, seed: u64) -> Graph {
         match self {
             GraphKind::Empty { n } => {
                 let mut g = Graph::new();
@@ -289,21 +292,31 @@ pub fn check_support_kernels(g: &Graph) -> Result<(), Mismatch> {
     Ok(())
 }
 
-/// Checks the maintained κ against the oracles; `Err` on first divergence.
-fn check_oracles(d: &DynamicTriangleKCore, deep: bool) -> Result<(), Mismatch> {
-    check_support_kernels(d.graph())?;
-    let fresh = triangle_kcore_decomposition(d.graph());
-    for e in d.graph().edge_ids() {
-        if d.kappa(e) != fresh.kappa(e) {
-            let (u, v) = d.graph().endpoints(e);
+/// Compares a claimed κ vector (raw-edge-id indexed) against a fresh
+/// from-scratch recompute of `g` — the "incremental ≡ recompute" oracle as
+/// a standalone check, reusable by any layer that maintains or restores κ
+/// (the dynamic maintainer here, WAL recovery in the engine).
+pub fn kappa_matches_recompute(g: &Graph, kappa: &[u32]) -> Result<(), Mismatch> {
+    let fresh = triangle_kcore_decomposition(g);
+    for e in g.edge_ids() {
+        let claimed = kappa.get(e.index()).copied().unwrap_or(0);
+        if claimed != fresh.kappa(e) {
+            let (u, v) = g.endpoints(e);
             return Err(Mismatch {
                 edge: (u.0, v.0),
-                dynamic: d.kappa(e),
+                dynamic: claimed,
                 fresh: fresh.kappa(e),
                 oracle: "recompute",
             });
         }
     }
+    Ok(())
+}
+
+/// Checks the maintained κ against the oracles; `Err` on first divergence.
+fn check_oracles(d: &DynamicTriangleKCore, deep: bool) -> Result<(), Mismatch> {
+    check_support_kernels(d.graph())?;
+    kappa_matches_recompute(d.graph(), d.kappa_slice())?;
     if deep {
         let naive = naive_kappa(d.graph());
         for e in d.graph().edge_ids() {

@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Serve smoke test: boot `tkc serve` on an ephemeral loopback port and
+drive it with four concurrent clients (two writers, two readers) mixing
+INSERT/BATCH against KAPPA/MAXK/TRUSS/STATS, then SHUTDOWN and assert a
+clean exit. Exercises the real release binary end to end — process
+startup, WAL recovery print, the wire protocol, and graceful shutdown.
+
+Usage: python3 scripts/serve_smoke.py target/release/tkc
+"""
+
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+
+def connect(addr, timeout=15):
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            sock = socket.create_connection(addr, timeout=10)
+            return sock, sock.makefile("r", encoding="ascii")
+        except OSError:
+            if time.monotonic() > deadline:
+                raise
+            time.sleep(0.05)
+
+
+def send(sock, reader, cmd):
+    sock.sendall((cmd + "\n").encode("ascii"))
+    return reader.readline().rstrip("\n")
+
+
+def read_stats(sock, reader):
+    assert send(sock, reader, "STATS") == "OK"
+    stats = {}
+    while True:
+        line = reader.readline().rstrip("\n")
+        if line == ".":
+            return stats
+        key, _, value = line.partition(" ")
+        stats[key] = value
+
+
+def clique(base):
+    return [(base + i, base + j) for i in range(5) for j in range(i + 1, 5)]
+
+
+def writer_insert(addr, failures):
+    try:
+        sock, reader = connect(addr)
+        for u, v in clique(0):
+            reply = send(sock, reader, f"INSERT {u} {v}")
+            assert reply.startswith("OK"), f"INSERT {u} {v} -> {reply}"
+        send(sock, reader, "QUIT")
+        sock.close()
+    except Exception as e:  # noqa: BLE001 - report into the main thread
+        failures.append(f"writer_insert: {e!r}")
+
+
+def writer_batch(addr, failures):
+    try:
+        sock, reader = connect(addr)
+        ops = clique(5)
+        payload = f"BATCH {len(ops)}\n" + "".join(f"+ {u} {v}\n" for u, v in ops)
+        sock.sendall(payload.encode("ascii"))
+        reply = reader.readline().rstrip("\n")
+        assert reply == f"OK queued {len(ops)}", f"BATCH -> {reply}"
+        send(sock, reader, "QUIT")
+        sock.close()
+    except Exception as e:  # noqa: BLE001
+        failures.append(f"writer_batch: {e!r}")
+
+
+def reader_loop(addr, failures, rid):
+    try:
+        sock, reader = connect(addr)
+        for _ in range(30):
+            assert send(sock, reader, "MAXK").startswith("OK ")
+            assert send(sock, reader, "TRUSS 3").startswith("OK cores=")
+            kappa = send(sock, reader, "KAPPA 0 1")
+            assert kappa.startswith("OK ") or kappa == "ERR no such edge", kappa
+            assert "ops_applied" in read_stats(sock, reader)
+        send(sock, reader, "QUIT")
+        sock.close()
+    except Exception as e:  # noqa: BLE001
+        failures.append(f"reader_{rid}: {e!r}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(__doc__)
+    binary = sys.argv[1]
+    with tempfile.TemporaryDirectory(prefix="tkc_serve_smoke_") as state_dir:
+        proc = subprocess.Popen(
+            [binary, "serve", state_dir, "--addr", "127.0.0.1:0", "--no-fsync",
+             "--epoch-ops", "8"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            # The server prints "tkc-engine listening on <addr>" once bound.
+            addr = None
+            for line in proc.stdout:
+                print("[server]", line.rstrip())
+                if line.startswith("tkc-engine listening on "):
+                    host, _, port = line.split()[-1].rpartition(":")
+                    addr = (host, int(port))
+                    break
+            assert addr, "server never printed its listening address"
+
+            failures = []
+            threads = [
+                threading.Thread(target=writer_insert, args=(addr, failures)),
+                threading.Thread(target=writer_batch, args=(addr, failures)),
+                threading.Thread(target=reader_loop, args=(addr, failures, 1)),
+                threading.Thread(target=reader_loop, args=(addr, failures, 2)),
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+                assert not t.is_alive(), "client thread hung"
+            assert not failures, "; ".join(failures)
+
+            # Wait for the queued batch to drain, then check the merged
+            # state: two disjoint K5s, every edge at kappa = 3.
+            sock, reader = connect(addr)
+            deadline = time.monotonic() + 15
+            while int(read_stats(sock, reader).get("ops_applied", 0)) < 20:
+                assert time.monotonic() < deadline, "batch queue never drained"
+                time.sleep(0.05)
+            assert send(sock, reader, "EPOCH").startswith("OK ")
+            assert send(sock, reader, "KAPPA 0 1") == "OK 3"
+            assert send(sock, reader, "KAPPA 5 9") == "OK 3"
+            assert send(sock, reader, "MAXK") == "OK 3"
+            assert send(sock, reader, "TRUSS 3") == "OK cores=2 edges=20 vertices=10"
+            assert send(sock, reader, "SHUTDOWN") == "OK shutting down"
+            sock.close()
+
+            rest = proc.stdout.read()
+            if rest:
+                print("[server]", rest.rstrip())
+            code = proc.wait(timeout=30)
+            assert code == 0, f"server exited with {code}"
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+        # Graceful shutdown compacts: the state file exists and a second
+        # serve recovers the graph from it (WAL-replay equivalence is
+        # covered by the Rust integration tests).
+        import os
+
+        assert os.path.exists(os.path.join(state_dir, "state.tkc")), \
+            "graceful shutdown must leave a compacted state file"
+        proc2 = subprocess.Popen(
+            [binary, "serve", state_dir, "--addr", "127.0.0.1:0", "--no-fsync"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            addr = None
+            for line in proc2.stdout:
+                print("[restart]", line.rstrip())
+                if line.startswith("tkc-engine listening on "):
+                    host, _, port = line.split()[-1].rpartition(":")
+                    addr = (host, int(port))
+                    break
+            assert addr, "restarted server never printed its address"
+            sock, reader = connect(addr)
+            assert send(sock, reader, "KAPPA 0 1") == "OK 3"
+            assert send(sock, reader, "MAXK") == "OK 3"
+            assert send(sock, reader, "SHUTDOWN") == "OK shutting down"
+            sock.close()
+            assert proc2.wait(timeout=30) == 0
+        finally:
+            if proc2.poll() is None:
+                proc2.kill()
+                proc2.wait()
+    print("serve smoke OK: 4 concurrent clients, graceful shutdown, "
+          "state compacted and recovered on restart")
+
+
+if __name__ == "__main__":
+    main()
