@@ -23,7 +23,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use tkc_bench::{fmt_secs, seed_from_env, time};
-use tkc_core::decompose::{triangle_kcore_decomposition, Decomposition};
+use tkc_core::decompose::{
+    triangle_kcore_decomposition, triangle_kcore_decomposition_timed, Decomposition, PhaseTimings,
+};
 use tkc_graph::csr::CsrGraph;
 use tkc_graph::{generators, triangles, Graph};
 
@@ -39,6 +41,8 @@ struct Sample {
     /// Speedup of this kernel over the seed sequential hash path on the
     /// same graph (1.0 for the baseline row itself).
     speedup_vs_hash_seq: f64,
+    /// Freeze/supports/peel breakdown (full-decomposition rows only).
+    phases: Option<PhaseTimings>,
 }
 
 impl Sample {
@@ -51,12 +55,21 @@ impl Sample {
     }
 
     fn to_json(&self) -> String {
+        let phases = match &self.phases {
+            Some(t) => format!(
+                ",\"phases\":{{\"freeze_millis\":{:.3},\"supports_millis\":{:.3},\"peel_millis\":{:.3}}}",
+                t.freeze.as_secs_f64() * 1e3,
+                t.supports.as_secs_f64() * 1e3,
+                t.peel.as_secs_f64() * 1e3,
+            ),
+            None => String::new(),
+        };
         format!(
             concat!(
                 "{{\"family\":\"{}\",\"vertices\":{},\"edges\":{},",
                 "\"wedge_work\":{},\"kernel\":\"{}\",\"threads\":{},",
                 "\"millis\":{:.3},\"ns_per_edge\":{:.2},",
-                "\"speedup_vs_hash_seq\":{:.3}}}"
+                "\"speedup_vs_hash_seq\":{:.3}{}}}"
             ),
             self.family,
             self.vertices,
@@ -67,6 +80,7 @@ impl Sample {
             self.elapsed.as_secs_f64() * 1e3,
             self.ns_per_edge(),
             self.speedup_vs_hash_seq,
+            phases,
         )
     }
 }
@@ -92,7 +106,12 @@ fn bench_family(
     samples: &mut Vec<Sample>,
 ) {
     let (vertices, edges, wedge_work) = (g.num_vertices(), g.num_edges(), g.wedge_work());
-    let push = |samples: &mut Vec<Sample>, kernel, threads, elapsed: Duration, base: Duration| {
+    let push = |samples: &mut Vec<Sample>,
+                kernel,
+                threads,
+                elapsed: Duration,
+                base: Duration,
+                phases: Option<PhaseTimings>| {
         samples.push(Sample {
             family,
             vertices,
@@ -102,18 +121,19 @@ fn bench_family(
             threads,
             elapsed,
             speedup_vs_hash_seq: base.as_secs_f64() / elapsed.as_secs_f64().max(1e-12),
+            phases,
         });
     };
 
     // Baseline: the seed's sequential support path.
     let (reference, hash_time) = best_of(reps, || triangles::edge_supports(g));
-    push(samples, "support_hash_seq", 1, hash_time, hash_time);
+    push(samples, "support_hash_seq", 1, hash_time, hash_time, None);
 
     // CSR sequential, freeze included (end-to-end cost of taking the
     // snapshot and running the oriented kernel once).
     let (csr_sup, csr_time) = best_of(reps, || tkc_graph::csr::edge_supports_csr(g));
     assert_eq!(csr_sup, reference, "CSR kernel diverged from hash path");
-    push(samples, "support_csr_seq", 1, csr_time, hash_time);
+    push(samples, "support_csr_seq", 1, csr_time, hash_time, None);
 
     // CSR parallel at each requested thread count (freeze included).
     for &threads in thread_counts {
@@ -130,18 +150,41 @@ fn bench_family(
             threads,
             par_time,
             hash_time,
+            None,
         );
     }
 
-    // Full Algorithm 1, seed path vs CSR-staged path at max threads.
-    let (base_d, decomp_time) = best_of(reps, || triangle_kcore_decomposition(g));
-    push(samples, "decompose_seq", 1, decomp_time, decomp_time);
-    let threads = thread_counts.iter().copied().max().unwrap_or(1);
-    let (par_d, par_decomp_time) = best_of(reps, || Decomposition::compute_with(g, threads));
+    // Full Algorithm 1, seed path vs CSR-staged path at max threads. The
+    // timed variant attributes the run to freeze/supports/peel so the
+    // trajectory records where the time actually goes.
+    let (timed_seq, decomp_time) = best_of(reps, || triangle_kcore_decomposition_timed(g, 1));
+    let base_d = triangle_kcore_decomposition(g);
     assert_eq!(
-        par_d.kappa_slice(),
+        timed_seq.0.kappa_slice(),
+        base_d.kappa_slice(),
+        "timed decomposition diverged"
+    );
+    push(
+        samples,
+        "decompose_seq",
+        1,
+        decomp_time,
+        decomp_time,
+        Some(timed_seq.1),
+    );
+    let threads = thread_counts.iter().copied().max().unwrap_or(1);
+    let (timed_par, par_decomp_time) =
+        best_of(reps, || triangle_kcore_decomposition_timed(g, threads));
+    assert_eq!(
+        timed_par.0.kappa_slice(),
         base_d.kappa_slice(),
         "threaded decomposition diverged"
+    );
+    let par_check = Decomposition::compute_with(g, threads);
+    assert_eq!(
+        par_check.kappa_slice(),
+        base_d.kappa_slice(),
+        "compute_with diverged from the timed path"
     );
     push(
         samples,
@@ -149,6 +192,7 @@ fn bench_family(
         threads,
         par_decomp_time,
         decomp_time,
+        Some(timed_par.1),
     );
 
     let base = samples
@@ -157,7 +201,7 @@ fn bench_family(
         .find(|s| s.kernel == "support_hash_seq")
         .map(|s| s.elapsed)
         .unwrap_or(hash_time);
-    eprintln!(
+    tkc_obs::info!(
         "  {family}: {vertices} vertices / {edges} edges, hash {} s, csr {} s, \
          csr@{threads}t {} s",
         fmt_secs(base),
@@ -171,6 +215,41 @@ fn bench_family(
                 .unwrap_or_default()
         ),
     );
+}
+
+/// The observability acceptance gate: `support_csr_parallel` with kernel
+/// instrumentation enabled (the default) must run within 2% of the same
+/// kernel with instrumentation killed — i.e. the per-batch timing hooks
+/// are in the noise. Min-of-N timings on both sides; a small absolute
+/// floor absorbs scheduler jitter on the quick CI graphs. Aborts the
+/// bench on regression and returns the JSON fragment for the record.
+fn instrumentation_overhead_gate(g: &Graph, thread_counts: &[usize], reps: usize) -> String {
+    let threads = thread_counts.iter().copied().max().unwrap_or(1);
+    let reps = reps.max(3);
+    let run = || Arc::new(CsrGraph::freeze(g)).edge_supports_parallel(threads);
+
+    tkc_obs::set_kernel_instrumentation(false);
+    let (_, off) = best_of(reps, run);
+    tkc_obs::set_kernel_instrumentation(true);
+    let (_, on) = best_of(reps, run);
+
+    let budget = off.mul_f64(0.02).max(Duration::from_micros(300));
+    assert!(
+        on <= off + budget,
+        "instrumentation overhead gate: enabled {on:?} vs disabled {off:?} \
+         exceeds 2% (+{budget:?} floor)"
+    );
+    tkc_obs::info!(
+        "instrumentation overhead: enabled {} s vs disabled {} s (gate: <=2%)",
+        fmt_secs(on),
+        fmt_secs(off),
+    );
+    format!(
+        "  \"instrumentation_overhead\": {{\"kernel\":\"support_csr_parallel\",\
+         \"threads\":{threads},\"enabled_millis\":{:.3},\"disabled_millis\":{:.3}}},\n",
+        on.as_secs_f64() * 1e3,
+        off.as_secs_f64() * 1e3,
+    )
 }
 
 fn main() {
@@ -209,7 +288,7 @@ fn main() {
     };
 
     let mut samples = Vec::new();
-    eprintln!(
+    tkc_obs::info!(
         "bench_snapshot ({} mode, seed {seed})",
         if quick { "quick" } else { "full" }
     );
@@ -217,15 +296,18 @@ fn main() {
         bench_family(family, g, thread_counts, reps, &mut samples);
     }
 
+    let overhead = instrumentation_overhead_gate(&families[0].1, thread_counts, reps);
+
     let rows: Vec<String> = samples
         .iter()
         .map(|s| format!("    {}", s.to_json()))
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"decompose-snapshot\",\n  \"version\": 1,\n  \
-         \"mode\": \"{}\",\n  \"seed\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"decompose-snapshot\",\n  \"version\": 2,\n  \
+         \"mode\": \"{}\",\n  \"seed\": {},\n{}  \"results\": [\n{}\n  ]\n}}\n",
         if quick { "quick" } else { "full" },
         seed,
+        overhead,
         rows.join(",\n"),
     );
     std::fs::write(&out_path, &json).expect("write BENCH_decompose.json");

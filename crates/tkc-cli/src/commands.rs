@@ -1,7 +1,8 @@
 //! The `tkc` subcommands.
 
 use tkc_core::decompose::{
-    triangle_kcore_decomposition, triangle_kcore_decomposition_stored, Decomposition,
+    triangle_kcore_decomposition, triangle_kcore_decomposition_stored,
+    triangle_kcore_decomposition_timed, Decomposition,
 };
 use tkc_core::dynamic::{BatchOp, DynamicTriangleKCore};
 use tkc_core::extract::densest_cliques;
@@ -14,7 +15,7 @@ use crate::args::parse;
 
 /// Usage text printed on errors.
 pub const USAGE: &str = "usage:
-  tkc decompose <edges.txt> [--stored] [--top K] [--threads N]
+  tkc decompose <edges.txt> [--stored] [--top K] [--threads N] [--timings]
   tkc plot      <edges.txt> [--svg out.svg] [--tsv out.tsv] [--width N]
   tkc cliques   <edges.txt> [--top K]
   tkc update    <edges.txt> --ops <ops.txt> [--verify]
@@ -30,13 +31,20 @@ pub const USAGE: &str = "usage:
   tkc serve     <state-dir> [--addr host:port] [--epoch-ops N]
                 [--compact-bytes N] [--queue-cap N]
                 [--read-timeout-ms N] [--no-fsync]
+                [--metrics-addr host:port] [--trace-out file.jsonl]
+                [--trace-cap N]
 
 (--threads 0 = all cores; the support stage of Algorithm 1 runs on the
- wedge-balanced worker pool)
+ wedge-balanced worker pool; TKC_LOG=error|warn|info|debug tunes
+ diagnostics on stderr)
 
 serve speaks a line protocol on --addr (default 127.0.0.1:7007):
   KAPPA u v | MAXK | TRUSS k | INSERT u v | REMOVE u v | BATCH n
-  STATS | EPOCH | PING | QUIT | SHUTDOWN";
+  STATS | METRICS | EPOCH | PING | QUIT | SHUTDOWN
+
+--metrics-addr additionally serves Prometheus text at GET /metrics;
+--trace-out enables the structured op trace (last --trace-cap records,
+default 4096) and writes it as JSONL on shutdown";
 
 /// Dispatches a full argv (without the program name).
 pub fn run(argv: &[String]) -> Result<(), String> {
@@ -61,6 +69,9 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             "compact-bytes",
             "queue-cap",
             "read-timeout-ms",
+            "metrics-addr",
+            "trace-out",
+            "trace-cap",
         ],
     )?;
     match p.positional(0, "subcommand")? {
@@ -104,8 +115,21 @@ fn summarize(g: &Graph, d: &Decomposition) {
 fn decompose(p: &crate::args::Parsed) -> Result<(), String> {
     let g = load(p.positional(1, "edge list path")?)?;
     let threads: usize = p.flag_parse("threads", 1)?;
+    if p.switch("timings") && p.switch("stored") {
+        return Err("--timings requires the CSR path (drop --stored)".into());
+    }
     let d = if p.switch("stored") {
         triangle_kcore_decomposition_stored(&g)
+    } else if p.switch("timings") {
+        let (d, t) = triangle_kcore_decomposition_timed(&g, threads);
+        println!(
+            "phase timings: freeze {:?}, supports {:?}, peel {:?} (total {:?})",
+            t.freeze,
+            t.supports,
+            t.peel,
+            t.total()
+        );
+        d
     } else {
         Decomposition::compute_with(&g, threads)
     };
@@ -579,9 +603,22 @@ fn verify(p: &crate::args::Parsed) -> Result<(), String> {
 
 fn serve(p: &crate::args::Parsed) -> Result<(), String> {
     use tkc_engine::{Engine, EngineConfig, ServeOptions, Server};
+    use tkc_obs::TraceBuffer;
 
     let dir = p.positional(1, "state directory")?;
     let addr = p.flag("addr").unwrap_or("127.0.0.1:7007");
+    // Trace setup first: the global ring's capacity is fixed at its first
+    // use, so --trace-cap must land before anything can record.
+    let trace_out = p.flag("trace-out").map(str::to_string);
+    if let Some(cap) = p.flag("trace-cap") {
+        let cap: usize = cap
+            .parse()
+            .map_err(|_| format!("--trace-cap: cannot parse {cap:?}"))?;
+        tkc_obs::trace::set_global_capacity(cap);
+    }
+    if trace_out.is_some() {
+        TraceBuffer::global().set_enabled(true);
+    }
     let config = EngineConfig {
         fsync: !p.switch("no-fsync"),
         epoch_ops: p.flag_parse("epoch-ops", 256usize)?,
@@ -598,6 +635,18 @@ fn serve(p: &crate::args::Parsed) -> Result<(), String> {
             snap.max_kappa()
         );
     }
+    let metrics_server = match p.flag("metrics-addr") {
+        Some(maddr) => {
+            let render_engine = std::sync::Arc::clone(&engine);
+            let render: tkc_obs::http::RenderFn =
+                std::sync::Arc::new(move || render_engine.prometheus_text());
+            let ms = tkc_obs::http::serve(maddr, render)
+                .map_err(|e| format!("metrics bind {maddr}: {e}"))?;
+            println!("metrics listening on http://{}/metrics", ms.local_addr());
+            Some(ms)
+        }
+        None => None,
+    };
     let opts = ServeOptions {
         read_timeout: std::time::Duration::from_millis(p.flag_parse("read-timeout-ms", 60_000u64)?),
         queue_cap: p.flag_parse("queue-cap", 128usize)?,
@@ -606,6 +655,14 @@ fn serve(p: &crate::args::Parsed) -> Result<(), String> {
     println!("tkc-engine listening on {}", server.local_addr());
     // Blocks until a client sends SHUTDOWN; the engine compacts on exit.
     server.join();
+    if let Some(ms) = metrics_server {
+        ms.stop();
+    }
+    if let Some(path) = trace_out {
+        std::fs::write(&path, TraceBuffer::global().export_jsonl())
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote op trace to {path}");
+    }
     println!("shut down cleanly (state compacted to {dir})");
     Ok(())
 }

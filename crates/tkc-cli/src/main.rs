@@ -25,7 +25,10 @@ fn main() -> ExitCode {
     match commands::run(&argv) {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
-            eprintln!("error: {msg}");
+            // Diagnostics go through the leveled logger (TKC_LOG) so they
+            // carry the same uptime/level prefix as engine output; the
+            // usage text stays raw for readability.
+            tkc_obs::error!("{msg}");
             eprintln!();
             eprintln!("{}", commands::USAGE);
             ExitCode::FAILURE

@@ -15,6 +15,8 @@
 //! differential debugging of the kernel itself); the peel loop is identical
 //! either way and the κ output is bit-identical by construction.
 
+use std::time::{Duration, Instant};
+
 #[cfg(feature = "hash-supports")]
 use tkc_graph::triangles::edge_supports;
 use tkc_graph::{EdgeId, Graph};
@@ -218,13 +220,109 @@ fn initial_supports(g: &Graph, threads: usize) -> Vec<u32> {
     }
 }
 
+/// Wall-clock split of one Algorithm 1 run: CSR freeze, initial support
+/// counting, and the sequential peel. `freeze` is zero under the
+/// `hash-supports` feature (that path has no snapshot stage).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Building the oriented CSR snapshot.
+    pub freeze: Duration,
+    /// Counting initial per-edge supports (the parallelized stage).
+    pub supports: Duration,
+    /// The bucket-sorted peel loop (inherently sequential).
+    pub peel: Duration,
+}
+
+impl PhaseTimings {
+    /// Sum of all phases.
+    pub fn total(&self) -> Duration {
+        self.freeze + self.supports + self.peel
+    }
+}
+
+/// [`triangle_kcore_decomposition_with`] plus per-phase wall-clock
+/// timings, recorded into the global [`tkc_obs`] registry as
+/// `tkc_decompose_phase_seconds{phase=...}` (unless
+/// [`tkc_obs::kernel_instrumentation_enabled`] is off). Backs
+/// `tkc decompose --timings` and `bench_snapshot`'s phase attribution.
+pub fn triangle_kcore_decomposition_timed(
+    g: &Graph,
+    threads: usize,
+) -> (Decomposition, PhaseTimings) {
+    let mut timings = PhaseTimings::default();
+    let sup;
+    #[cfg(feature = "hash-supports")]
+    {
+        let _ = threads;
+        let t0 = Instant::now();
+        sup = edge_supports(g);
+        timings.supports = t0.elapsed();
+    }
+    #[cfg(not(feature = "hash-supports"))]
+    {
+        let t0 = Instant::now();
+        if threads == 1 || !tkc_graph::parallel::should_parallelize(g, threads) {
+            let csr = tkc_graph::csr::CsrGraph::freeze(g);
+            timings.freeze = t0.elapsed();
+            let t1 = Instant::now();
+            sup = csr.edge_supports();
+            timings.supports = t1.elapsed();
+        } else {
+            let csr = std::sync::Arc::new(tkc_graph::csr::CsrGraph::freeze(g));
+            timings.freeze = t0.elapsed();
+            let t1 = Instant::now();
+            sup = csr.edge_supports_parallel(threads);
+            timings.supports = t1.elapsed();
+        }
+    }
+    let t2 = Instant::now();
+    let decomp = peel_with_supports(g, sup);
+    timings.peel = t2.elapsed();
+    if tkc_obs::kernel_instrumentation_enabled() {
+        record_phase_timings(&timings);
+    }
+    (decomp, timings)
+}
+
+/// Records one run's phase split into the global registry.
+fn record_phase_timings(t: &PhaseTimings) {
+    let reg = tkc_obs::MetricsRegistry::global();
+    const HELP: &str = "Wall-clock time of each Algorithm 1 decompose phase";
+    reg.histogram_with(
+        "tkc_decompose_phase_seconds",
+        HELP,
+        1e-9,
+        &[("phase", "freeze")],
+    )
+    .record_duration(t.freeze);
+    reg.histogram_with(
+        "tkc_decompose_phase_seconds",
+        HELP,
+        1e-9,
+        &[("phase", "supports")],
+    )
+    .record_duration(t.supports);
+    reg.histogram_with(
+        "tkc_decompose_phase_seconds",
+        HELP,
+        1e-9,
+        &[("phase", "peel")],
+    )
+    .record_duration(t.peel);
+}
+
 /// [`triangle_kcore_decomposition`] with a thread count for the support
 /// stage (`0` = available parallelism). κ, order, and max κ are identical
 /// for every thread count.
 pub fn triangle_kcore_decomposition_with(g: &Graph, threads: usize) -> Decomposition {
+    peel_with_supports(g, initial_supports(g, threads))
+}
+
+/// The peel loop of Algorithm 1 (steps 7–17) given precomputed initial
+/// supports. Shared by the plain and timed entry points.
+fn peel_with_supports(g: &Graph, mut sup: Vec<u32>) -> Decomposition {
     let bound = g.edge_bound();
     let m = g.num_edges();
-    let mut sup = initial_supports(g, threads);
     let mut kappa = vec![0u32; bound];
     if m == 0 {
         return Decomposition {
@@ -489,6 +587,24 @@ mod tests {
             }
             assert_eq!(Decomposition::compute(&g).kappa_slice(), base.kappa_slice());
         }
+    }
+
+    #[test]
+    fn timed_variant_matches_and_reports_phases() {
+        for threads in [1, 3] {
+            let g = generators::holme_kim(300, 3, 0.5, 7);
+            let base = triangle_kcore_decomposition(&g);
+            let (d, t) = triangle_kcore_decomposition_timed(&g, threads);
+            assert_eq!(d.kappa_slice(), base.kappa_slice());
+            assert_eq!(d.max_kappa(), base.max_kappa());
+            // The peel always runs; supports always run; totals add up.
+            assert!(t.peel > Duration::ZERO);
+            assert_eq!(t.total(), t.freeze + t.supports + t.peel);
+        }
+        // Phase histograms land in the global registry.
+        let text = tkc_obs::MetricsRegistry::global().render();
+        assert!(text.contains("tkc_decompose_phase_seconds_bucket{phase=\"peel\""));
+        assert!(text.contains("tkc_decompose_phase_seconds_bucket{phase=\"supports\""));
     }
 
     #[test]

@@ -23,12 +23,14 @@
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 
 use tkc_core::decompose::Decomposition;
 use tkc_core::dynamic::{DynamicTriangleKCore, UpdateStats};
 use tkc_core::extract::cores_at_level;
 use tkc_core::persist::{read_state, write_state, PersistError};
 use tkc_graph::{CsrGraph, Graph, VertexId};
+use tkc_obs::{Counter, Gauge, Histogram, MetricsRegistry, TraceBuffer, TraceRecord};
 
 use crate::wal::{Recovery, Wal, WalOp};
 
@@ -65,38 +67,148 @@ impl EngineConfig {
     }
 }
 
-/// Monotonic counters, readable without any lock. Incremented by the
-/// engine (write path) and the server (query path); rendered as the plain
-/// `STATS` text block.
-#[derive(Debug, Default)]
-pub struct Metrics {
+/// Handles onto the engine's [`MetricsRegistry`]: lock-free counters,
+/// gauges, and latency histograms shared by the write path (engine) and
+/// the serving layer. The first eleven counters carry the exact names the
+/// old ad-hoc struct rendered in `STATS`; the registry additionally
+/// exposes every handle as a Prometheus series (`METRICS` command /
+/// `--metrics-addr` scrape endpoint).
+#[derive(Debug, Clone)]
+pub struct EngineMetrics {
     /// Mutation ops applied (including recovery replay).
-    pub ops_applied: AtomicU64,
+    pub ops_applied: Counter,
     /// Mutation ops skipped as no-ops (duplicate insert, missing remove).
-    pub ops_skipped: AtomicU64,
+    pub ops_skipped: Counter,
     /// Edge insertions that took effect.
-    pub inserted: AtomicU64,
+    pub inserted: Counter,
     /// Edge removals that took effect.
-    pub removed: AtomicU64,
+    pub removed: Counter,
     /// Epoch snapshots published.
-    pub epochs_published: AtomicU64,
+    pub epochs_published: Counter,
     /// WAL compactions performed.
-    pub compactions: AtomicU64,
+    pub compactions: Counter,
     /// Ops replayed from the WAL during the last recovery.
-    pub recovery_replays: AtomicU64,
+    pub recovery_replays: Counter,
     /// Torn tail bytes dropped during the last recovery.
-    pub recovery_torn_bytes: AtomicU64,
+    pub recovery_torn_bytes: Counter,
     /// Read queries served from snapshots (maintained by the server).
-    pub queries_served: AtomicU64,
+    pub queries_served: Counter,
     /// Connections accepted (maintained by the server).
-    pub connections: AtomicU64,
+    pub connections: Counter,
     /// Batches accepted into the bounded ingest queue.
-    pub batches_enqueued: AtomicU64,
+    pub batches_enqueued: Counter,
+
+    /// WAL append batches written.
+    pub wal_appends: Counter,
+    /// Encoded WAL bytes written.
+    pub wal_bytes: Counter,
+    /// Full append latency (encode + write + fsync) per batch.
+    pub wal_append_seconds: Histogram,
+    /// fsync portion of each append (zero-valued with fsync off).
+    pub wal_fsync_seconds: Histogram,
+    /// End-to-end [`Engine::apply`] latency per batch.
+    pub apply_seconds: Histogram,
+    /// Triangles touched (added + removed) per mutation op — the skew the
+    /// maintenance papers predict, now measurable.
+    pub triangles_per_op: Histogram,
+    /// Epoch snapshot build + publish latency.
+    pub epoch_publish_seconds: Histogram,
+    /// Seconds since the current epoch was published (refreshed at render
+    /// time).
+    pub snapshot_age_seconds: Gauge,
+    /// Connections currently open (maintained by the server).
+    pub active_connections: Gauge,
+    /// Batches sitting in the bounded ingest queue.
+    pub batch_queue_depth: Gauge,
+    /// BATCH commands that found the ingest queue full and blocked.
+    pub backpressure_waits: Counter,
+    /// Batches drained from the queue and applied by the ingest thread.
+    pub batches_applied: Counter,
 }
 
-impl Metrics {
-    fn bump(&self, counter: &AtomicU64, by: u64) {
-        counter.fetch_add(by, Ordering::Relaxed);
+impl EngineMetrics {
+    /// Registers every handle on `reg` (idempotent — reopening the same
+    /// registry yields the same underlying atomics).
+    fn register(reg: &MetricsRegistry) -> EngineMetrics {
+        EngineMetrics {
+            ops_applied: reg.counter(
+                "tkc_engine_ops_applied_total",
+                "Mutation ops applied (including recovery replay)",
+            ),
+            ops_skipped: reg.counter(
+                "tkc_engine_ops_skipped_total",
+                "Mutation ops skipped as no-ops",
+            ),
+            inserted: reg.counter(
+                "tkc_engine_inserted_total",
+                "Edge insertions that took effect",
+            ),
+            removed: reg.counter("tkc_engine_removed_total", "Edge removals that took effect"),
+            epochs_published: reg.counter(
+                "tkc_engine_epochs_published_total",
+                "Epoch snapshots published",
+            ),
+            compactions: reg.counter("tkc_engine_compactions_total", "WAL compactions performed"),
+            recovery_replays: reg.int_gauge(
+                "tkc_engine_recovery_replays",
+                "Ops replayed from the WAL during the last recovery",
+            ),
+            recovery_torn_bytes: reg.int_gauge(
+                "tkc_engine_recovery_torn_bytes",
+                "Torn tail bytes dropped during the last recovery",
+            ),
+            queries_served: reg.counter(
+                "tkc_server_queries_total",
+                "Read queries served from snapshots",
+            ),
+            connections: reg.counter("tkc_server_connections_total", "Connections accepted"),
+            batches_enqueued: reg.counter(
+                "tkc_server_batches_enqueued_total",
+                "Batches accepted into the bounded ingest queue",
+            ),
+            wal_appends: reg.counter("tkc_engine_wal_appends_total", "WAL append batches written"),
+            wal_bytes: reg.counter("tkc_engine_wal_bytes_total", "Encoded WAL bytes written"),
+            wal_append_seconds: reg.histogram_seconds(
+                "tkc_engine_wal_append_seconds",
+                "WAL append latency per batch (encode + write + fsync)",
+            ),
+            wal_fsync_seconds: reg.histogram_seconds(
+                "tkc_engine_wal_fsync_seconds",
+                "fsync portion of each WAL append",
+            ),
+            apply_seconds: reg.histogram_seconds(
+                "tkc_engine_apply_seconds",
+                "End-to-end apply latency per batch",
+            ),
+            triangles_per_op: reg.histogram_plain(
+                "tkc_engine_triangles_per_op",
+                "Triangles touched (added + removed) per mutation op",
+            ),
+            epoch_publish_seconds: reg.histogram_seconds(
+                "tkc_engine_epoch_publish_seconds",
+                "Epoch snapshot build + publish latency",
+            ),
+            snapshot_age_seconds: reg.gauge(
+                "tkc_engine_snapshot_age_seconds",
+                "Seconds since the current epoch snapshot was published",
+            ),
+            active_connections: reg.gauge(
+                "tkc_server_active_connections",
+                "Connections currently open",
+            ),
+            batch_queue_depth: reg.gauge(
+                "tkc_server_batch_queue_depth",
+                "Batches sitting in the bounded ingest queue",
+            ),
+            backpressure_waits: reg.counter(
+                "tkc_server_backpressure_waits_total",
+                "BATCH commands that found the ingest queue full and blocked",
+            ),
+            batches_applied: reg.counter(
+                "tkc_server_batches_applied_total",
+                "Batches drained from the queue and applied",
+            ),
+        }
     }
 }
 
@@ -219,7 +331,11 @@ struct Writer {
 pub struct Engine {
     writer: Mutex<Writer>,
     published: RwLock<Arc<EpochSnapshot>>,
-    metrics: Metrics,
+    registry: Arc<MetricsRegistry>,
+    metrics: EngineMetrics,
+    /// `tkc_obs::process_nanos` at the last epoch publication (feeds the
+    /// snapshot-age gauge).
+    last_publish_nanos: AtomicU64,
     config: EngineConfig,
 }
 
@@ -239,21 +355,16 @@ impl Engine {
         };
 
         let (wal, recovery) = Wal::open(&config.dir.join(WAL_FILE), config.fsync)?;
-        let metrics = Metrics::default();
+        let registry = Arc::new(MetricsRegistry::new());
+        let metrics = EngineMetrics::register(&registry);
         let Recovery { ops, torn_bytes } = recovery;
         let mut replay_report = ApplyReport::default();
         for &op in &ops {
             apply_to_core(&mut core, op, &mut replay_report);
         }
-        metrics
-            .recovery_replays
-            .store(ops.len() as u64, Ordering::Relaxed);
-        metrics
-            .recovery_torn_bytes
-            .store(torn_bytes, Ordering::Relaxed);
-        metrics
-            .ops_applied
-            .store(ops.len() as u64, Ordering::Relaxed);
+        metrics.recovery_replays.set(ops.len() as u64);
+        metrics.recovery_torn_bytes.set(torn_bytes);
+        metrics.ops_applied.set(ops.len() as u64);
 
         let mut cumulative = UpdateStats::default();
         cumulative.absorb(core.stats());
@@ -271,14 +382,22 @@ impl Engine {
         Ok(Engine {
             writer: Mutex::new(writer),
             published: RwLock::new(first),
+            registry,
             metrics,
+            last_publish_nanos: AtomicU64::new(tkc_obs::process_nanos()),
             config,
         })
     }
 
     /// The engine's counters (shared with the serving layer).
-    pub fn metrics(&self) -> &Metrics {
+    pub fn metrics(&self) -> &EngineMetrics {
         &self.metrics
+    }
+
+    /// The per-engine metrics registry (for registering additional
+    /// families, e.g. the server's per-command series).
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
     }
 
     /// The current epoch snapshot. Clone-of-`Arc` cost; never blocks on
@@ -294,28 +413,62 @@ impl Engine {
         if ops.is_empty() {
             return Ok(ApplyReport::default());
         }
+        let m = &self.metrics;
+        let apply_start = Instant::now();
         let mut w = lock_writer(&self.writer);
-        w.wal.append(ops)?;
+        let wal_start = Instant::now();
+        let append = w.wal.append_with(ops)?;
+        m.wal_append_seconds.record_duration(wal_start.elapsed());
+        m.wal_fsync_seconds.record_duration(append.fsync);
+        m.wal_appends.inc();
+        m.wal_bytes.add(append.bytes);
         let mut report = ApplyReport::default();
+        // One relaxed load: the disabled-tracing hot path never touches
+        // the clock or builds records.
+        let trace = TraceBuffer::global();
+        let tracing = trace.enabled();
+        let mut prev = w.core.stats();
         for &op in ops {
+            let op_start = if tracing { Some(Instant::now()) } else { None };
             apply_to_core(&mut w.core, op, &mut report);
+            let cur = w.core.stats();
+            let triangles = (cur.triangles_added - prev.triangles_added)
+                + (cur.triangles_removed - prev.triangles_removed);
+            m.triangles_per_op.record(triangles);
+            if let Some(start) = op_start {
+                let (kind, u, v) = match op {
+                    WalOp::Insert(u, v) => ("insert", u, v),
+                    WalOp::Remove(u, v) => ("remove", u, v),
+                    WalOp::AddVertices(n) => ("add_vertices", n, 0),
+                };
+                trace.record(TraceRecord {
+                    at_unix_ms: tkc_obs::unix_millis(),
+                    kind,
+                    u,
+                    v,
+                    triangles,
+                    levels: (cur.promotions - prev.promotions) + (cur.demotions - prev.demotions),
+                    duration_nanos: start.elapsed().as_nanos() as u64,
+                });
+            }
+            prev = cur;
         }
         let stats = w.core.stats();
         w.core.reset_stats();
         w.cumulative.absorb(stats);
         w.ops_applied += ops.len() as u64;
         w.since_epoch += ops.len();
-        let m = &self.metrics;
-        m.bump(&m.ops_applied, ops.len() as u64);
-        m.bump(&m.ops_skipped, report.skipped as u64);
-        m.bump(&m.inserted, report.inserted as u64);
-        m.bump(&m.removed, report.removed as u64);
+        m.ops_applied.add(ops.len() as u64);
+        m.ops_skipped.add(report.skipped as u64);
+        m.inserted.add(report.inserted as u64);
+        m.removed.add(report.removed as u64);
         if self.config.epoch_ops > 0 && w.since_epoch >= self.config.epoch_ops {
             self.publish_locked(&mut w);
         }
         if self.config.compact_bytes > 0 && w.wal.len_bytes() > self.config.compact_bytes {
             self.compact_locked(&mut w)?;
         }
+        m.apply_seconds.record_duration(apply_start.elapsed());
         Ok(report)
     }
 
@@ -370,24 +523,23 @@ impl Engine {
             let w = lock_writer(&self.writer);
             w.cumulative
         };
-        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
         let mut out = String::new();
         for (key, value) in [
             ("epoch", snap.epoch()),
             ("vertices", snap.num_vertices() as u64),
             ("edges", snap.num_edges() as u64),
             ("max_kappa", u64::from(snap.max_kappa())),
-            ("ops_applied", g(&m.ops_applied)),
-            ("ops_skipped", g(&m.ops_skipped)),
-            ("inserted", g(&m.inserted)),
-            ("removed", g(&m.removed)),
-            ("epochs_published", g(&m.epochs_published)),
-            ("compactions", g(&m.compactions)),
-            ("recovery_replays", g(&m.recovery_replays)),
-            ("recovery_torn_bytes", g(&m.recovery_torn_bytes)),
-            ("queries_served", g(&m.queries_served)),
-            ("connections", g(&m.connections)),
-            ("batches_enqueued", g(&m.batches_enqueued)),
+            ("ops_applied", m.ops_applied.get()),
+            ("ops_skipped", m.ops_skipped.get()),
+            ("inserted", m.inserted.get()),
+            ("removed", m.removed.get()),
+            ("epochs_published", m.epochs_published.get()),
+            ("compactions", m.compactions.get()),
+            ("recovery_replays", m.recovery_replays.get()),
+            ("recovery_torn_bytes", m.recovery_torn_bytes.get()),
+            ("queries_served", m.queries_served.get()),
+            ("connections", m.connections.get()),
+            ("batches_enqueued", m.batches_enqueued.get()),
             ("triangles_added", stats.triangles_added),
             ("triangles_removed", stats.triangles_removed),
             ("promotions", stats.promotions),
@@ -402,10 +554,41 @@ impl Engine {
         out
     }
 
+    /// Renders the full Prometheus text exposition: the engine's registry
+    /// (graph gauges refreshed from the current snapshot) followed by the
+    /// process-global registry (kernel phase timers, worker pool).
+    pub fn prometheus_text(&self) -> String {
+        let snap = self.snapshot();
+        let reg = &self.registry;
+        reg.gauge("tkc_engine_epoch", "Current epoch number")
+            .set(snap.epoch() as f64);
+        reg.gauge("tkc_graph_vertices", "Vertices in the current snapshot")
+            .set(snap.num_vertices() as f64);
+        reg.gauge("tkc_graph_edges", "Live edges in the current snapshot")
+            .set(snap.num_edges() as f64);
+        reg.gauge(
+            "tkc_graph_max_kappa",
+            "Largest kappa in the current snapshot",
+        )
+        .set(f64::from(snap.max_kappa()));
+        let age = tkc_obs::process_nanos()
+            .saturating_sub(self.last_publish_nanos.load(Ordering::Relaxed));
+        self.metrics.snapshot_age_seconds.set(age as f64 / 1e9);
+        let mut out = self.registry.render();
+        out.push_str(&MetricsRegistry::global().render());
+        out
+    }
+
     fn publish_locked(&self, w: &mut Writer) {
+        let start = Instant::now();
         let snap = Arc::new(snapshot_of(w, &self.metrics));
         *lock_write(&self.published) = snap;
         w.since_epoch = 0;
+        self.last_publish_nanos
+            .store(tkc_obs::process_nanos(), Ordering::Relaxed);
+        self.metrics
+            .epoch_publish_seconds
+            .record_duration(start.elapsed());
     }
 
     fn compact_locked(&self, w: &mut Writer) -> Result<(), PersistError> {
@@ -418,15 +601,15 @@ impl Engine {
         }
         std::fs::rename(&tmp, &final_path)?;
         w.wal.reset()?;
-        self.metrics.bump(&self.metrics.compactions, 1);
+        self.metrics.compactions.inc();
         Ok(())
     }
 }
 
 /// Builds the next epoch snapshot from the writer state (bumps the epoch).
-fn snapshot_of(w: &mut Writer, metrics: &Metrics) -> EpochSnapshot {
+fn snapshot_of(w: &mut Writer, metrics: &EngineMetrics) -> EpochSnapshot {
     w.epoch += 1;
-    metrics.bump(&metrics.epochs_published, 1);
+    metrics.epochs_published.inc();
     let graph = w.core.graph().clone();
     let decomp = Decomposition::from_kappa(&graph, w.core.kappa_slice().to_vec());
     let csr = CsrGraph::freeze(&graph);
@@ -593,7 +776,7 @@ mod tests {
         }
         let engine = Engine::open(manual_config(&dir)).unwrap();
         let m = engine.metrics();
-        assert_eq!(m.recovery_replays.load(Ordering::Relaxed), 12);
+        assert_eq!(m.recovery_replays.get(), 12);
         let snap = engine.snapshot();
         assert_eq!(snap.num_edges(), 10); // 10 − 1 + 1
         assert_eq!(snap.kappa(1, 2), None);
@@ -617,7 +800,7 @@ mod tests {
         let engine = Engine::open(manual_config(&dir)).unwrap();
         // Only the post-compaction op is replayed; the rest came from the
         // snapshot file.
-        assert_eq!(engine.metrics().recovery_replays.load(Ordering::Relaxed), 1);
+        assert_eq!(engine.metrics().recovery_replays.get(), 1);
         let snap = engine.snapshot();
         assert_eq!(snap.num_edges(), 11);
         assert_eq!(snap.kappa(0, 1), Some(3));
@@ -637,8 +820,52 @@ mod tests {
         assert!(engine.epoch() >= 2);
         assert_eq!(engine.snapshot().num_edges(), 10);
         // 10 records × 17 bytes > 64: compaction ran and reset the log.
-        assert!(engine.metrics().compactions.load(Ordering::Relaxed) >= 1);
+        assert!(engine.metrics().compactions.get() >= 1);
         assert!(dir.join(STATE_FILE).exists());
+    }
+
+    #[test]
+    fn prometheus_text_exposes_engine_series() {
+        let dir = temp_dir("prom");
+        let engine = Engine::open(manual_config(&dir)).unwrap();
+        engine.apply(&clique_ops(0)).unwrap();
+        engine.publish();
+        let text = engine.prometheus_text();
+        for series in [
+            "tkc_engine_ops_applied_total 10",
+            "tkc_engine_inserted_total 10",
+            "tkc_engine_wal_appends_total 1",
+            "tkc_engine_wal_bytes_total 170", // 10 ops x 17 bytes
+            "tkc_engine_apply_seconds_count 1",
+            "tkc_engine_triangles_per_op_count 10",
+            "tkc_engine_epoch_publish_seconds_count",
+            "tkc_engine_snapshot_age_seconds",
+            "tkc_engine_epoch 2",
+            "tkc_graph_edges 10",
+            "tkc_graph_max_kappa 3",
+            "# TYPE tkc_engine_apply_seconds histogram",
+        ] {
+            assert!(text.contains(series), "missing {series:?} in:\n{text}");
+        }
+        // K5 has 10 triangles; each one is reported exactly once across
+        // the per-op records, so the histogram sum is the triangle count.
+        assert_eq!(engine.metrics().triangles_per_op.snapshot().sum, 10);
+    }
+
+    #[test]
+    fn tracing_captures_per_op_records_when_enabled() {
+        let dir = temp_dir("trace");
+        let engine = Engine::open(manual_config(&dir)).unwrap();
+        let trace = TraceBuffer::global();
+        trace.set_enabled(true);
+        engine.apply(&clique_ops(0)).unwrap();
+        trace.set_enabled(false);
+        let records = trace.drain_ordered();
+        let inserts: Vec<_> = records.iter().filter(|r| r.kind == "insert").collect();
+        assert!(inserts.len() >= 10, "expected >=10 insert records");
+        // Closing edges of the growing clique touch triangles.
+        assert!(inserts.iter().any(|r| r.triangles > 0));
+        trace.clear();
     }
 
     #[test]

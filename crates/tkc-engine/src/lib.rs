@@ -24,6 +24,6 @@ pub mod engine;
 pub mod server;
 pub mod wal;
 
-pub use engine::{ApplyReport, Engine, EngineConfig, EpochSnapshot, Metrics, TrussSummary};
-pub use server::{ServeOptions, Server};
-pub use wal::{Recovery, Wal, WalOp};
+pub use engine::{ApplyReport, Engine, EngineConfig, EngineMetrics, EpochSnapshot, TrussSummary};
+pub use server::{DrainSummary, ServeOptions, Server};
+pub use wal::{AppendInfo, Recovery, Wal, WalOp};

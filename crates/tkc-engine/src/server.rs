@@ -16,6 +16,7 @@
 //! | `BATCH n` + n op lines (`+ u v` / `- u v`) | `OK queued <n>` | bounded queue |
 //! | `EPOCH`        | `OK <epoch>` (forces publication)       | writer |
 //! | `STATS`        | `OK`, `key value` lines, `.`            | counters |
+//! | `METRICS`      | `OK`, Prometheus text lines, `.`        | counters |
 //! | `PING`         | `OK pong`                               | — |
 //! | `SHUTDOWN`     | `OK shutting down` (graceful stop)      | — |
 //! | `QUIT`         | `OK bye` (closes this connection)       | — |
@@ -36,13 +37,81 @@
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use tkc_obs::{Counter, Histogram};
 
 use crate::engine::Engine;
 use crate::wal::WalOp;
+
+/// Per-command request counter + latency histogram, labeled
+/// `{cmd="<VERB>"}` on the engine's registry.
+#[derive(Debug, Clone)]
+struct CommandMetrics {
+    requests: Counter,
+    seconds: Histogram,
+}
+
+/// The wire verbs that get their own `{cmd=...}` series; anything else
+/// lands in `OTHER`.
+const VERBS: [&str; 12] = [
+    "KAPPA", "MAXK", "TRUSS", "INSERT", "REMOVE", "BATCH", "EPOCH", "STATS", "METRICS", "PING",
+    "QUIT", "SHUTDOWN",
+];
+
+/// Per-verb serving metrics, shared by every connection thread.
+#[derive(Debug)]
+struct ServerMetrics {
+    by_verb: Vec<(&'static str, CommandMetrics)>,
+    other: CommandMetrics,
+}
+
+impl ServerMetrics {
+    fn register(engine: &Engine) -> ServerMetrics {
+        let reg = engine.registry();
+        let family = |cmd: &str| CommandMetrics {
+            requests: reg.counter_with(
+                "tkc_server_requests_total",
+                "Commands handled, by verb",
+                &[("cmd", cmd)],
+            ),
+            seconds: reg.histogram_with(
+                "tkc_server_command_seconds",
+                "Command handling latency, by verb",
+                1e-9,
+                &[("cmd", cmd)],
+            ),
+        };
+        ServerMetrics {
+            by_verb: VERBS.iter().map(|&v| (v, family(v))).collect(),
+            other: family("OTHER"),
+        }
+    }
+
+    fn for_verb(&self, verb: &str) -> &CommandMetrics {
+        self.by_verb
+            .iter()
+            .find(|(name, _)| *name == verb)
+            .map(|(_, m)| m)
+            .unwrap_or(&self.other)
+    }
+}
+
+/// Final accounting of a graceful shutdown, logged at info level and
+/// returned by [`Server::shutdown`] / [`Server::join`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DrainSummary {
+    /// Connections accepted over the server's lifetime (all closed by the
+    /// time the summary exists).
+    pub connections: u64,
+    /// Batches drained from the ingest queue and applied.
+    pub batches_flushed: u64,
+    /// Total mutation ops applied by the engine.
+    pub ops_applied: u64,
+}
 
 /// Tunables for [`Server::start`].
 #[derive(Debug, Clone)]
@@ -69,7 +138,7 @@ impl Default for ServeOptions {
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    accept_handle: JoinHandle<()>,
+    accept_handle: JoinHandle<DrainSummary>,
 }
 
 impl Server {
@@ -80,6 +149,7 @@ impl Server {
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let (tx, rx) = sync_channel::<Vec<WalOp>>(opts.queue_cap.max(1));
+        let server_metrics = Arc::new(ServerMetrics::register(&engine));
         let ingest_engine = Arc::clone(&engine);
         let ingest = std::thread::spawn(move || ingest_loop(ingest_engine, rx));
 
@@ -91,13 +161,16 @@ impl Server {
                     break;
                 }
                 let Ok(stream) = incoming else { continue };
-                engine.metrics().connections.fetch_add(1, Ordering::Relaxed);
+                engine.metrics().connections.inc();
+                engine.metrics().active_connections.add(1.0);
                 let engine = Arc::clone(&engine);
+                let metrics = Arc::clone(&server_metrics);
                 let tx = tx.clone();
                 let stop = Arc::clone(&accept_stop);
                 let timeout = opts.read_timeout;
                 conns.push(std::thread::spawn(move || {
-                    let _ = handle_connection(stream, &engine, &tx, &stop, timeout);
+                    let _ = handle_connection(stream, &engine, &metrics, &tx, &stop, timeout);
+                    engine.metrics().active_connections.add(-1.0);
                 }));
                 conns.retain(|h| !h.is_finished());
             }
@@ -107,10 +180,22 @@ impl Server {
                 let _ = h.join();
             }
             drop(tx);
-            let _ = ingest.join();
+            let batches_flushed = ingest.join().unwrap_or(0);
             // Final epoch + compaction so a clean restart replays nothing.
             engine.publish();
             let _ = engine.compact();
+            let summary = DrainSummary {
+                connections: engine.metrics().connections.get(),
+                batches_flushed,
+                ops_applied: engine.metrics().ops_applied.get(),
+            };
+            tkc_obs::info!(
+                "server drained: {} connections closed, {} batches flushed, {} ops applied",
+                summary.connections,
+                summary.batches_flushed,
+                summary.ops_applied
+            );
+            summary
         });
         Ok(Server {
             addr: local,
@@ -126,37 +211,46 @@ impl Server {
 
     /// Requests a graceful stop and waits for every thread: in-flight
     /// connections finish, the ingest queue drains, and the engine is
-    /// compacted.
-    pub fn shutdown(self) {
+    /// compacted. Returns the final drain accounting.
+    pub fn shutdown(self) -> DrainSummary {
         self.stop.store(true, Ordering::SeqCst);
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
-        let _ = self.accept_handle.join();
+        self.accept_handle.join().unwrap_or_default()
     }
 
     /// Waits until some client sends `SHUTDOWN` (the accept loop exits on
-    /// its own), then finishes the same graceful sequence.
-    pub fn join(self) {
-        let _ = self.accept_handle.join();
+    /// its own), then finishes the same graceful sequence. Returns the
+    /// final drain accounting.
+    pub fn join(self) -> DrainSummary {
+        self.accept_handle.join().unwrap_or_default()
     }
 }
 
 /// Applies queued batches until every sender is gone (shutdown drains the
 /// queue by construction: senders are dropped first, then this returns).
-fn ingest_loop(engine: Arc<Engine>, rx: Receiver<Vec<WalOp>>) {
+/// Returns the number of batches applied.
+fn ingest_loop(engine: Arc<Engine>, rx: Receiver<Vec<WalOp>>) -> u64 {
+    let mut applied = 0u64;
     while let Ok(batch) = rx.recv() {
-        if engine.apply(&batch).is_err() {
+        engine.metrics().batch_queue_depth.add(-1.0);
+        if let Err(e) = engine.apply(&batch) {
             // Durability failure (disk full, dir removed): nothing sane to
             // do per-batch; stop consuming so senders see the closed queue.
+            tkc_obs::error!("ingest stopped: batch apply failed: {e}");
             break;
         }
+        applied += 1;
+        engine.metrics().batches_applied.inc();
     }
+    applied
 }
 
 /// Serves one connection until QUIT/EOF/timeout/shutdown.
 fn handle_connection(
     stream: TcpStream,
     engine: &Engine,
+    metrics: &ServerMetrics,
     tx: &SyncSender<Vec<WalOp>>,
     stop: &AtomicBool,
     timeout: Duration,
@@ -187,7 +281,17 @@ fn handle_connection(
         if cmd.is_empty() {
             continue;
         }
-        match respond(cmd, engine, tx, &mut reader, &mut out, timeout)? {
+        let verb = cmd
+            .split_whitespace()
+            .next()
+            .unwrap_or("")
+            .to_ascii_uppercase();
+        let per_cmd = metrics.for_verb(&verb);
+        per_cmd.requests.inc();
+        let start = Instant::now();
+        let flow = respond(cmd, engine, tx, &mut reader, &mut out, timeout);
+        per_cmd.seconds.record_duration(start.elapsed());
+        match flow? {
             Flow::Continue => {}
             Flow::Quit => return Ok(()),
             Flow::Shutdown => {
@@ -222,7 +326,7 @@ fn respond(
     let mut arg = || -> Option<u32> { parts.next()?.parse().ok() };
     let metrics = engine.metrics();
     let count_query = || {
-        metrics.queries_served.fetch_add(1, Ordering::Relaxed);
+        metrics.queries_served.inc();
     };
     match verb.as_str() {
         "KAPPA" => {
@@ -288,13 +392,24 @@ fn respond(
                     }
                 }
                 // Bounded queue: blocks when full — backpressure on the
-                // client instead of unbounded buffering in the server.
-                match tx.send(ops) {
+                // client instead of unbounded buffering in the server. The
+                // try_send probe only adds accounting; semantics match the
+                // old unconditional blocking send.
+                let sent = match tx.try_send(ops) {
+                    Ok(()) => Ok(()),
+                    Err(TrySendError::Full(ops)) => {
+                        metrics.backpressure_waits.inc();
+                        tx.send(ops).map_err(|_| ())
+                    }
+                    Err(TrySendError::Disconnected(_)) => Err(()),
+                };
+                match sent {
                     Ok(()) => {
-                        metrics.batches_enqueued.fetch_add(1, Ordering::Relaxed);
+                        metrics.batches_enqueued.inc();
+                        metrics.batch_queue_depth.add(1.0);
                         writeln!(out, "OK queued {n}")?;
                     }
-                    Err(_) => writeln!(out, "ERR ingest stopped")?,
+                    Err(()) => writeln!(out, "ERR ingest stopped")?,
                 }
             }
             _ => writeln!(out, "ERR usage: BATCH n (n <= 1000000)")?,
@@ -306,6 +421,10 @@ fn respond(
         "STATS" => {
             count_query();
             write!(out, "OK\n{}.\n", engine.metrics_text())?;
+        }
+        "METRICS" => {
+            count_query();
+            write!(out, "OK\n{}.\n", engine.prometheus_text())?;
         }
         "PING" => writeln!(out, "OK pong")?,
         "QUIT" => {
@@ -453,6 +572,28 @@ mod tests {
             std::thread::sleep(Duration::from_millis(10));
         }
         panic!("batch never applied");
+    }
+
+    #[test]
+    fn metrics_command_returns_prometheus_text() {
+        let (server, addr) = start_server("metrics_cmd");
+        let mut c = Client::connect(addr);
+        assert_eq!(c.send("INSERT 0 1"), "OK kappa=0");
+        assert_eq!(c.send("METRICS"), "OK");
+        let lines = c.read_until_dot();
+        let text = lines.join("\n");
+        for series in [
+            "tkc_engine_ops_applied_total 1",
+            "tkc_server_requests_total{cmd=\"INSERT\"} 1",
+            "tkc_server_requests_total{cmd=\"METRICS\"} 1",
+            "tkc_server_command_seconds_count{cmd=\"INSERT\"} 1",
+            "tkc_server_active_connections 1",
+        ] {
+            assert!(text.contains(series), "missing {series:?} in:\n{text}");
+        }
+        let summary = server.shutdown();
+        assert_eq!(summary.connections, 1);
+        assert_eq!(summary.ops_applied, 1);
     }
 
     #[test]

@@ -112,6 +112,16 @@ pub struct Recovery {
     pub torn_bytes: u64,
 }
 
+/// Byte and timing accounting for one [`Wal::append_with`] call, fed to
+/// the engine's WAL metrics (this module stays observability-agnostic).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AppendInfo {
+    /// Encoded bytes written for the batch.
+    pub bytes: u64,
+    /// Time spent inside `sync_data` (zero with fsync off).
+    pub fsync: std::time::Duration,
+}
+
 /// An open write-ahead log positioned for appending.
 #[derive(Debug)]
 pub struct Wal {
@@ -186,8 +196,13 @@ impl Wal {
     /// Appends a batch of ops as one write, then (if configured) fsyncs —
     /// the batch is durable when this returns.
     pub fn append(&mut self, ops: &[WalOp]) -> Result<(), PersistError> {
+        self.append_with(ops).map(|_| ())
+    }
+
+    /// [`Wal::append`] returning byte/fsync accounting for the batch.
+    pub fn append_with(&mut self, ops: &[WalOp]) -> Result<AppendInfo, PersistError> {
         if ops.is_empty() {
-            return Ok(());
+            return Ok(AppendInfo::default());
         }
         let mut buf = Vec::with_capacity(ops.len() * 17);
         for &op in ops {
@@ -195,11 +210,17 @@ impl Wal {
         }
         self.file.seek(SeekFrom::Start(self.len))?;
         self.file.write_all(&buf)?;
+        let mut fsync = std::time::Duration::ZERO;
         if self.fsync {
+            let start = std::time::Instant::now();
             self.file.sync_data()?;
+            fsync = start.elapsed();
         }
         self.len += buf.len() as u64;
-        Ok(())
+        Ok(AppendInfo {
+            bytes: buf.len() as u64,
+            fsync,
+        })
     }
 
     /// Current log size in bytes (header included) — the compaction

@@ -83,11 +83,7 @@ fn full_suite_kill_and_replay_matches_recompute() {
         }
         let engine = Engine::open(raw_config(dir.clone())).unwrap();
         assert!(
-            engine
-                .metrics()
-                .recovery_replays
-                .load(std::sync::atomic::Ordering::Relaxed)
-                > 0,
+            engine.metrics().recovery_replays.get() > 0,
             "case {i}: reopen should have replayed the WAL"
         );
         assert_recovered_matches(&engine, &format!("case {i} ({config:?})"));

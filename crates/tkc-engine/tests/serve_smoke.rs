@@ -9,7 +9,6 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -168,7 +167,16 @@ fn four_concurrent_clients_mixed_reads_and_writes() {
     assert_eq!(c.send("MAXK"), "OK 3");
     assert_eq!(c.send("TRUSS 3"), "OK cores=2 edges=20 vertices=10");
     assert_eq!(c.send("SHUTDOWN"), "OK shutting down");
-    server.join();
+    let summary = server.join();
+    // Drain summary: 5 clients connected (2 writers, 2 readers, this one),
+    // all 10 queued batches flushed, all 20 ops applied.
+    assert!(
+        summary.connections >= 5,
+        "expected >=5 connections, got {}",
+        summary.connections
+    );
+    assert_eq!(summary.batches_flushed, 10);
+    assert_eq!(summary.ops_applied, 20);
 
     // Graceful shutdown compacted: reopening replays nothing.
     let reopened = Engine::open(EngineConfig {
@@ -177,7 +185,7 @@ fn four_concurrent_clients_mixed_reads_and_writes() {
     })
     .unwrap();
     assert_eq!(
-        reopened.metrics().recovery_replays.load(Ordering::Relaxed),
+        reopened.metrics().recovery_replays.get(),
         0,
         "clean shutdown must leave an empty WAL"
     );

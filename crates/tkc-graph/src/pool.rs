@@ -16,8 +16,47 @@
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Pool instrumentation handles on the global [`tkc_obs`] registry.
+/// Registered once; recording is a few relaxed atomics per *batch* (not
+/// per job) and is skipped entirely when
+/// [`tkc_obs::kernel_instrumentation_enabled`] is off.
+struct PoolMetrics {
+    jobs_total: tkc_obs::Counter,
+    batches_total: tkc_obs::Counter,
+    busy_seconds: tkc_obs::Histogram,
+    imbalance: tkc_obs::Gauge,
+}
+
+impl PoolMetrics {
+    fn get() -> &'static PoolMetrics {
+        static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+        METRICS.get_or_init(|| {
+            let reg = tkc_obs::MetricsRegistry::global();
+            PoolMetrics {
+                jobs_total: reg.counter(
+                    "tkc_pool_jobs_total",
+                    "Jobs executed by the shared worker pool",
+                ),
+                batches_total: reg.counter(
+                    "tkc_pool_batches_total",
+                    "run() batches submitted to the worker pool",
+                ),
+                busy_seconds: reg.histogram_seconds(
+                    "tkc_pool_job_seconds",
+                    "Per-job busy time on the worker pool",
+                ),
+                imbalance: reg.gauge(
+                    "tkc_pool_batch_imbalance",
+                    "Last batch's max/mean per-job busy time (1.0 = perfectly balanced)",
+                ),
+            }
+        })
+    }
+}
 
 /// A fixed-size pool of worker threads executing submitted closures.
 ///
@@ -99,7 +138,10 @@ impl WorkerPool {
         T: Send + 'static,
     {
         let n = jobs.len();
-        let (tx, rx) = channel::<(usize, T)>();
+        // One relaxed load decides whether this batch is timed; the
+        // disabled path carries no timing code at all.
+        let instrument = tkc_obs::kernel_instrumentation_enabled();
+        let (tx, rx) = channel::<(usize, T, u64)>();
         let sender = self.sender.as_ref().expect("pool sender alive until drop");
         for (i, job) in jobs.into_iter().enumerate() {
             let tx = tx.clone();
@@ -107,17 +149,39 @@ impl WorkerPool {
                 .send(Box::new(move || {
                     // Receiver hang-ups (caller gone) are unreachable here
                     // because `run` blocks until every result arrives.
-                    let _ = tx.send((i, job()));
+                    if instrument {
+                        let start = Instant::now();
+                        let value = job();
+                        let _ = tx.send((i, value, start.elapsed().as_nanos() as u64));
+                    } else {
+                        let _ = tx.send((i, job(), 0));
+                    }
                 }))
                 .expect("worker threads alive");
         }
         drop(tx);
         let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let mut max_nanos = 0u64;
+        let mut sum_nanos = 0u64;
         for _ in 0..n {
-            let (i, value) = rx
+            let (i, value, nanos) = rx
                 .recv()
                 .expect("a pool job panicked before returning its result");
             out[i] = Some(value);
+            if instrument {
+                PoolMetrics::get().busy_seconds.record(nanos);
+                max_nanos = max_nanos.max(nanos);
+                sum_nanos += nanos;
+            }
+        }
+        if instrument && n > 0 {
+            let m = PoolMetrics::get();
+            m.jobs_total.add(n as u64);
+            m.batches_total.inc();
+            let mean = sum_nanos as f64 / n as f64;
+            if mean > 0.0 {
+                m.imbalance.set(max_nanos as f64 / mean);
+            }
         }
         out.into_iter()
             .map(|slot| slot.expect("every index delivered exactly once"))
@@ -205,6 +269,20 @@ mod tests {
         let pool = WorkerPool::new(2);
         let out: Vec<u32> = pool.run(Vec::<fn() -> u32>::new());
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn batches_record_into_global_registry() {
+        let jobs = PoolMetrics::get().jobs_total.clone();
+        let before = jobs.get();
+        let pool = WorkerPool::new(2);
+        let out = pool.run((0..4u64).map(|i| move || i).collect::<Vec<_>>());
+        assert_eq!(out.len(), 4);
+        assert!(
+            jobs.get() >= before + 4,
+            "pool jobs counter must advance by the batch size"
+        );
+        assert!(PoolMetrics::get().busy_seconds.count() >= 4);
     }
 
     #[test]

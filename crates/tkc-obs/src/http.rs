@@ -1,0 +1,157 @@
+//! A minimal `std`-only HTTP/1.1 responder for Prometheus scrapes.
+//!
+//! Serves `GET /metrics` (and `GET /`) with `text/plain; version=0.0.4`
+//! from a render closure evaluated per request; anything else is a 404.
+//! One thread, blocking accept loop, `Connection: close` on every
+//! response — exactly enough for a scrape target, nothing more.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The render closure evaluated on every `/metrics` request.
+pub type RenderFn = Arc<dyn Fn() -> String + Send + Sync>;
+
+/// A running scrape endpoint; dropping it without [`MetricsServer::stop`]
+/// leaves the thread serving until process exit.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MetricsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsServer")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MetricsServer {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the serving thread.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept() with a throwaway connection.
+        if let Ok(s) = TcpStream::connect(self.addr) {
+            drop(s);
+        }
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Binds `addr` and serves `render()` at `/metrics` on a background
+/// thread.
+pub fn serve<A: ToSocketAddrs>(addr: A, render: RenderFn) -> std::io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("tkc-metrics-http".to_string())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if stop_flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let _ = handle_request(stream, &render);
+            }
+        })?;
+    Ok(MetricsServer {
+        addr,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+fn handle_request(stream: TcpStream, render: &RenderFn) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers so well-behaved clients aren't cut off mid-send.
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 || header.trim_end().is_empty() {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let mut stream = reader.into_inner();
+    if method == "GET" && (path == "/metrics" || path == "/") {
+        let body = render();
+        write!(
+            stream,
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )?;
+    } else {
+        let body = "not found\n";
+        write!(
+            stream,
+            "HTTP/1.1 404 Not Found\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )?;
+    }
+    stream.flush()
+}
+
+/// Performs a blocking GET against a running [`MetricsServer`] and
+/// returns `(status_code, body)` — used by tests and the smoke scripts.
+pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: tkc\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .unwrap_or(0);
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+
+    #[test]
+    fn serves_metrics_and_404s_elsewhere() {
+        let server = serve("127.0.0.1:0", Arc::new(|| "demo_total 42\n".to_string())).unwrap();
+        let addr = server.local_addr();
+        let (status, body) = get(addr, "/metrics").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "demo_total 42\n");
+        let (status, _) = get(addr, "/nope").unwrap();
+        assert_eq!(status, 404);
+        // Render is evaluated per request, not cached.
+        let (_, body) = get(addr, "/").unwrap();
+        assert_eq!(body, "demo_total 42\n");
+        server.stop();
+    }
+}

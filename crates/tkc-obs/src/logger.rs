@@ -1,0 +1,188 @@
+//! Leveled stderr logger controlled by the `TKC_LOG` environment
+//! variable (`error`, `warn`, `info`, `debug`, `trace`; default `info`).
+//!
+//! Replaces the unconditional `eprintln!` diagnostics that used to be
+//! scattered across `tkc-engine` and `tkc-cli`: call sites use the
+//! [`crate::error!`]/[`crate::warn!`]/[`crate::info!`]/[`crate::debug!`]
+//! macros, a below-threshold message is one enum comparison, and output
+//! goes through one mutex so interleaved threads don't shear lines.
+//! Tests can divert output with [`set_sink`].
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or data-affecting problems.
+    Error = 1,
+    /// Degraded but continuing.
+    Warn = 2,
+    /// Lifecycle events (startup, shutdown, recovery, drain summaries).
+    Info = 3,
+    /// Per-operation detail.
+    Debug = 4,
+    /// Firehose.
+    Trace = 5,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" | "1" => Some(Level::Error),
+            "warn" | "warning" | "2" => Some(Level::Warn),
+            "info" | "3" => Some(Level::Info),
+            "debug" | "4" => Some(Level::Debug),
+            "trace" | "5" => Some(Level::Trace),
+            "off" | "none" | "0" => Some(Level::Error), // errors always surface
+            _ => None,
+        }
+    }
+}
+
+/// 0 = uninitialised (read `TKC_LOG` on first use).
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(0);
+
+fn init_from_env() -> u8 {
+    let level = std::env::var("TKC_LOG")
+        .ok()
+        .and_then(|v| Level::parse(&v))
+        .unwrap_or(Level::Info);
+    let v = level as u8;
+    MAX_LEVEL.store(v, Ordering::Relaxed);
+    v
+}
+
+/// The current threshold (messages above it are dropped).
+pub fn max_level() -> Level {
+    let v = MAX_LEVEL.load(Ordering::Relaxed);
+    let v = if v == 0 { init_from_env() } else { v };
+    match v {
+        1 => Level::Error,
+        2 => Level::Warn,
+        4 => Level::Debug,
+        5 => Level::Trace,
+        _ => Level::Info,
+    }
+}
+
+/// Overrides the threshold (wins over `TKC_LOG`).
+pub fn set_max_level(level: Level) {
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Whether a message at `level` would be emitted.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    level <= max_level()
+}
+
+type Sink = Box<dyn FnMut(&str) + Send>;
+
+fn sink() -> &'static Mutex<Option<Sink>> {
+    static SINK: OnceLock<Mutex<Option<Sink>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(None))
+}
+
+/// Diverts formatted log lines to `f` instead of stderr (tests); pass
+/// `None` to restore stderr.
+pub fn set_sink(f: Option<Sink>) {
+    *sink().lock().unwrap_or_else(|p| p.into_inner()) = f;
+}
+
+/// Emits one log line (used by the macros; callable directly too).
+pub fn log(level: Level, target: &str, args: std::fmt::Arguments<'_>) {
+    if !enabled(level) {
+        return;
+    }
+    let uptime = crate::process_nanos() as f64 / 1e9;
+    let line = format!("[{uptime:10.3}s {} {target}] {args}", level.as_str());
+    let mut guard = sink().lock().unwrap_or_else(|p| p.into_inner());
+    match guard.as_mut() {
+        Some(f) => f(&line),
+        None => {
+            let mut err = std::io::stderr().lock();
+            let _ = writeln!(err, "{line}");
+        }
+    }
+}
+
+/// Logs at [`Level::Error`].
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => {
+        $crate::logger::log($crate::Level::Error, module_path!(), format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Warn`].
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        $crate::logger::log($crate::Level::Warn, module_path!(), format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Info`].
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        $crate::logger::log($crate::Level::Info, module_path!(), format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Debug`].
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        $crate::logger::log($crate::Level::Debug, module_path!(), format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert!(Level::Debug < Level::Trace);
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("debug"), Some(Level::Debug));
+        assert_eq!(Level::parse("bogus"), None);
+        assert_eq!(Level::parse("off"), Some(Level::Error));
+    }
+
+    #[test]
+    fn threshold_filters_and_sink_captures() {
+        let lines = Arc::new(StdMutex::new(Vec::<String>::new()));
+        let captured = Arc::clone(&lines);
+        set_sink(Some(Box::new(move |l| {
+            captured.lock().unwrap().push(l.to_string())
+        })));
+        set_max_level(Level::Warn);
+        log(Level::Info, "test", format_args!("dropped"));
+        log(Level::Warn, "test", format_args!("kept {}", 42));
+        set_max_level(Level::Info);
+        set_sink(None);
+        let lines = lines.lock().unwrap();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("WARN test] kept 42"), "{}", lines[0]);
+    }
+}

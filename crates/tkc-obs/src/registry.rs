@@ -1,0 +1,705 @@
+//! The metrics registry: named atomic counters, gauges, and log2-bucketed
+//! histograms, rendered in Prometheus text exposition format (version
+//! 0.0.4 — `# HELP` / `# TYPE` comments, `name{label="v"} value` lines).
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc` clones
+//! registered once and recorded into lock-free afterwards. Registration
+//! is idempotent: asking for the same `(name, labels)` pair returns the
+//! existing handle, so call sites never need to coordinate.
+//!
+//! ## Histogram layout
+//!
+//! Histograms bucket raw `u64` observations by bit width: bucket `i`
+//! holds values in `[2^(i-1), 2^i - 1]` (bucket 0 holds exactly 0). A
+//! latency histogram records integer nanoseconds and renders scaled to
+//! seconds (`unit_scale = 1e-9`); unit-less histograms (triangles per
+//! op) use scale 1. Quantiles (p50/p90/p99) are estimated by linear
+//! interpolation inside the covering bucket — error is bounded by the
+//! bucket width, i.e. at most a factor of 2 — and the maximum is tracked
+//! exactly via `fetch_max`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of bit-width buckets (u64 values need at most 64, plus the
+/// dedicated zero bucket).
+const BUCKETS: usize = 65;
+
+/// A monotonically increasing counter (rendered as `TYPE counter`, or
+/// `TYPE gauge` when registered via [`MetricsRegistry::int_gauge`]).
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `by` (relaxed).
+    #[inline]
+    pub fn add(&self, by: u64) {
+        self.0.fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Adds 1 (relaxed).
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Overwrites the value — for recovery-style "last run" figures that
+    /// are set once rather than accumulated.
+    #[inline]
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Current value (relaxed).
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A float gauge (stored as `f64` bits in an atomic; `add` uses a CAS
+/// loop, fine for the low-frequency paths gauges live on).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: f64) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + delta).to_bits())
+            });
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    /// Multiplier applied when rendering raw u64 observations (1e-9 turns
+    /// recorded nanoseconds into exported seconds).
+    unit_scale: f64,
+}
+
+/// A lock-free log2-bucketed histogram. Recording is four relaxed
+/// atomic RMW operations; no allocation, no locks.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+/// A point-in-time copy of a histogram, used for quantile math, tests,
+/// and timing reports.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts (`buckets[i]` = observations of bit width `i`).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of raw observations.
+    pub sum: u64,
+    /// Largest raw observation.
+    pub max: u64,
+    /// Render multiplier (see [`Histogram`]).
+    pub unit_scale: f64,
+}
+
+/// Bucket index of a raw observation: 0 for 0, otherwise the value's bit
+/// width (so bucket `i` covers `[2^(i-1), 2^i - 1]`).
+#[inline]
+fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Inclusive raw upper bound of bucket `i`.
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    fn new(unit_scale: f64) -> Histogram {
+        Histogram(Arc::new(HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            unit_scale,
+        }))
+    }
+
+    /// Records one raw observation (nanoseconds for latency histograms).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let inner = &*self.0;
+        inner.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(value, Ordering::Relaxed);
+        inner.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a wall-clock duration into a seconds-scaled histogram.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations in exported units (e.g. seconds).
+    pub fn sum_scaled(&self) -> f64 {
+        self.0.sum.load(Ordering::Relaxed) as f64 * self.0.unit_scale
+    }
+
+    /// Largest observation in exported units.
+    pub fn max_scaled(&self) -> f64 {
+        self.0.max.load(Ordering::Relaxed) as f64 * self.0.unit_scale
+    }
+
+    /// Copies the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .0
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.0.count.load(Ordering::Relaxed),
+            sum: self.0.sum.load(Ordering::Relaxed),
+            max: self.0.max.load(Ordering::Relaxed),
+            unit_scale: self.0.unit_scale,
+        }
+    }
+
+    /// Estimated `q`-quantile (`0 < q <= 1`) in exported units, by linear
+    /// interpolation within the covering bucket. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.snapshot().quantile(q)
+    }
+}
+
+impl HistogramSnapshot {
+    /// See [`Histogram::quantile`].
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the target observation.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= rank {
+                let lo = if i <= 1 { 0 } else { 1u64 << (i - 1) };
+                let hi = bucket_upper(i).min(self.max);
+                let within = (rank - cum) as f64 / c as f64;
+                let raw = lo as f64 + within * (hi.saturating_sub(lo)) as f64;
+                return raw * self.unit_scale;
+            }
+            cum += c;
+        }
+        self.max as f64 * self.unit_scale
+    }
+
+    /// Largest observation in exported units.
+    pub fn max_scaled(&self) -> f64 {
+        self.max as f64 * self.unit_scale
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Handle {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FamilyType {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl FamilyType {
+    fn as_str(self) -> &'static str {
+        match self {
+            FamilyType::Counter => "counter",
+            FamilyType::Gauge => "gauge",
+            FamilyType::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Family {
+    name: String,
+    help: String,
+    kind: FamilyType,
+    /// `(label pairs, handle)` in registration order.
+    items: Vec<(Vec<(String, String)>, Handle)>,
+}
+
+/// A set of named metrics, rendered together. Cheap to share via `Arc`;
+/// all mutation after registration happens through atomic handles.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    families: Mutex<Vec<Family>>,
+}
+
+/// Escapes a HELP text: backslashes and newlines.
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value: backslashes, double quotes, newlines.
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Renders a float the way Prometheus expects: integers without a
+/// fractional part, everything else via shortest-round-trip `Display`.
+fn fmt_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9.007_199_254_740_992e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders a raw bucket bound in exported units. Nanosecond-scaled
+/// bounds (`scale == 1e-9`) use exact decimal integer math — naive
+/// `raw as f64 * 1e-9` yields artifacts like `0.00013107100000000002`.
+fn fmt_bound(raw: u64, scale: f64) -> String {
+    if scale == 1e-9 {
+        let secs = raw / 1_000_000_000;
+        let frac = raw % 1_000_000_000;
+        if frac == 0 {
+            return format!("{secs}");
+        }
+        let mut s = format!("{secs}.{frac:09}");
+        while s.ends_with('0') {
+            s.pop();
+        }
+        s
+    } else {
+        fmt_value(raw as f64 * scale)
+    }
+}
+
+fn label_block(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+fn label_block_with_le(labels: &[(String, String)], le: &str) -> String {
+    let mut inner: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    inner.push(format!("le=\"{le}\""));
+    format!("{{{}}}", inner.join(","))
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The process-wide registry kernel-level instrumentation (worker
+    /// pool, decompose phase timers) records into.
+    pub fn global() -> &'static MetricsRegistry {
+        static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(MetricsRegistry::new)
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        kind: FamilyType,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Handle,
+    ) -> Handle {
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        let mut families = self.families.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(fam) = families.iter_mut().find(|f| f.name == name) {
+            assert!(
+                fam.kind == kind,
+                "metric {name} re-registered as {} (was {})",
+                kind.as_str(),
+                fam.kind.as_str()
+            );
+            if let Some((_, handle)) = fam.items.iter().find(|(l, _)| *l == labels) {
+                return handle.clone();
+            }
+            let handle = make();
+            fam.items.push((labels, handle.clone()));
+            return handle;
+        }
+        let handle = make();
+        families.push(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind,
+            items: vec![(labels, handle.clone())],
+        });
+        handle
+    }
+
+    /// Registers (or retrieves) an unlabeled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Registers (or retrieves) a labeled counter.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.register(name, help, FamilyType::Counter, labels, || {
+            Handle::Counter(Counter(Arc::new(AtomicU64::new(0))))
+        }) {
+            Handle::Counter(c) => c,
+            _ => unreachable!("registration type is checked above"),
+        }
+    }
+
+    /// Registers (or retrieves) an integer-valued gauge (a `u64` handle
+    /// exported with `TYPE gauge` — for "last recovery" style figures
+    /// that are set, not accumulated).
+    pub fn int_gauge(&self, name: &str, help: &str) -> Counter {
+        match self.register(name, help, FamilyType::Gauge, &[], || {
+            Handle::Counter(Counter(Arc::new(AtomicU64::new(0))))
+        }) {
+            Handle::Counter(c) => c,
+            _ => unreachable!("registration type is checked above"),
+        }
+    }
+
+    /// Registers (or retrieves) an unlabeled float gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        match self.register(name, help, FamilyType::Gauge, &[], || {
+            Handle::Gauge(Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))))
+        }) {
+            Handle::Gauge(g) => g,
+            _ => {
+                // The name may already be an int gauge; that is a caller
+                // bug with a clear message.
+                panic!("metric {name} already registered with an integer handle")
+            }
+        }
+    }
+
+    /// Registers (or retrieves) a latency histogram: record raw
+    /// nanoseconds (or [`Histogram::record_duration`]), exported scaled
+    /// to seconds.
+    pub fn histogram_seconds(&self, name: &str, help: &str) -> Histogram {
+        self.histogram_with(name, help, 1e-9, &[])
+    }
+
+    /// Registers (or retrieves) a unit-less histogram (scale 1).
+    pub fn histogram_plain(&self, name: &str, help: &str) -> Histogram {
+        self.histogram_with(name, help, 1.0, &[])
+    }
+
+    /// Registers (or retrieves) a labeled histogram with an explicit
+    /// render scale.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        unit_scale: f64,
+        labels: &[(&str, &str)],
+    ) -> Histogram {
+        match self.register(name, help, FamilyType::Histogram, labels, || {
+            Handle::Histogram(Histogram::new(unit_scale))
+        }) {
+            Handle::Histogram(h) => h,
+            _ => unreachable!("registration type is checked above"),
+        }
+    }
+
+    /// Renders every family in Prometheus text exposition format, in
+    /// registration order.
+    pub fn render(&self) -> String {
+        let families = self.families.lock().unwrap_or_else(|p| p.into_inner());
+        let mut out = String::new();
+        for fam in families.iter() {
+            out.push_str(&format!("# HELP {} {}\n", fam.name, escape_help(&fam.help)));
+            out.push_str(&format!("# TYPE {} {}\n", fam.name, fam.kind.as_str()));
+            for (labels, handle) in &fam.items {
+                match handle {
+                    Handle::Counter(c) => {
+                        out.push_str(&format!(
+                            "{}{} {}\n",
+                            fam.name,
+                            label_block(labels),
+                            c.get()
+                        ));
+                    }
+                    Handle::Gauge(g) => {
+                        out.push_str(&format!(
+                            "{}{} {}\n",
+                            fam.name,
+                            label_block(labels),
+                            fmt_value(g.get())
+                        ));
+                    }
+                    Handle::Histogram(h) => {
+                        render_histogram(&mut out, &fam.name, labels, &h.snapshot());
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Renders one histogram: cumulative `_bucket{le=...}` lines over the
+/// populated bucket range, then `+Inf`, `_sum`, `_count`.
+fn render_histogram(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    snap: &HistogramSnapshot,
+) {
+    let first = snap.buckets.iter().position(|&c| c > 0);
+    let last = snap.buckets.iter().rposition(|&c| c > 0);
+    let mut cum = 0u64;
+    if let (Some(first), Some(last)) = (first, last) {
+        for i in first..=last {
+            cum += snap.buckets[i];
+            let le = fmt_bound(bucket_upper(i), snap.unit_scale);
+            out.push_str(&format!(
+                "{}_bucket{} {}\n",
+                name,
+                label_block_with_le(labels, &le),
+                cum
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "{}_bucket{} {}\n",
+        name,
+        label_block_with_le(labels, "+Inf"),
+        snap.count
+    ));
+    out.push_str(&format!(
+        "{}_sum{} {}\n",
+        name,
+        label_block(labels),
+        fmt_value(snap.sum as f64 * snap.unit_scale)
+    ));
+    out.push_str(&format!(
+        "{}_count{} {}\n",
+        name,
+        label_block(labels),
+        snap.count
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries_are_exact() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(255), 8);
+        assert_eq!(bucket_index(256), 9);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // Bucket i covers [2^(i-1), 2^i - 1]: check the upper bounds.
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(8), 255);
+        assert_eq!(bucket_upper(64), u64::MAX);
+        for v in [1u64, 2, 3, 7, 8, 1023, 1024, 1 << 40] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper(i), "v={v} above bucket {i} upper");
+            if i > 1 {
+                assert!(v >= 1 << (i - 1), "v={v} below bucket {i} lower");
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_track_exact_percentiles_within_bucket_resolution() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram_plain("q", "quantile test");
+        let mut samples: Vec<u64> = (1..=10_000u64).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_unstable();
+        for q in [0.5, 0.9, 0.99] {
+            let exact = samples[((q * samples.len() as f64).ceil() as usize - 1).min(9999)] as f64;
+            let est = h.quantile(q);
+            // The covering bucket spans [2^(i-1), 2^i - 1]: the estimate
+            // must land within a factor of 2 of the exact percentile.
+            assert!(
+                est >= exact / 2.0 && est <= exact * 2.0,
+                "q={q}: est {est} vs exact {exact}"
+            );
+        }
+        // Quantiles are monotone and max is exact.
+        assert!(h.quantile(0.5) <= h.quantile(0.9));
+        assert!(h.quantile(0.9) <= h.quantile(0.99));
+        assert_eq!(h.max_scaled(), 10_000.0);
+        assert_eq!(h.count(), 10_000);
+        assert_eq!(h.snapshot().sum, (1..=10_000u64).sum::<u64>());
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram_seconds("empty", "never recorded");
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn registration_is_idempotent_and_type_checked() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("c_total", "help");
+        let b = reg.counter("c_total", "help");
+        a.add(3);
+        assert_eq!(b.get(), 3);
+        let l1 = reg.counter_with("lab_total", "h", &[("cmd", "A")]);
+        let l2 = reg.counter_with("lab_total", "h", &[("cmd", "B")]);
+        let l1b = reg.counter_with("lab_total", "h", &[("cmd", "A")]);
+        l1.inc();
+        l2.add(2);
+        assert_eq!(l1b.get(), 1);
+        let text = reg.render();
+        assert!(text.contains("lab_total{cmd=\"A\"} 1"));
+        assert!(text.contains("lab_total{cmd=\"B\"} 2"));
+    }
+
+    #[test]
+    fn exposition_escapes_help_and_label_values() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter_with(
+            "esc_total",
+            "help with \\ and\nnewline",
+            &[("path", "a\"b\\c\nd")],
+        );
+        c.inc();
+        let text = reg.render();
+        assert!(text.contains("# HELP esc_total help with \\\\ and\\nnewline"));
+        assert!(text.contains("esc_total{path=\"a\\\"b\\\\c\\nd\"} 1"));
+    }
+
+    #[test]
+    fn histogram_exposition_is_cumulative_and_consistent() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram_plain("lat", "latency");
+        for v in [1u64, 2, 3, 900] {
+            h.record(v);
+        }
+        let text = reg.render();
+        assert!(text.contains("# TYPE lat histogram"));
+        assert!(text.contains("lat_bucket{le=\"1\"} 1"));
+        assert!(text.contains("lat_bucket{le=\"3\"} 3"));
+        assert!(text.contains("lat_bucket{le=\"1023\"} 4"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("lat_sum 906"));
+        assert!(text.contains("lat_count 4"));
+    }
+
+    #[test]
+    fn seconds_scaling_applies_to_bounds_and_sum() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram_seconds("t_seconds", "timing");
+        h.record_duration(std::time::Duration::from_micros(100));
+        let text = reg.render();
+        assert!(text.contains("t_seconds_count 1"));
+        // 100µs = 1e5 ns sits in bucket [65536, 131071]ns.
+        assert!(text.contains("t_seconds_bucket{le=\"0.000131071\"} 1"));
+        assert!((h.sum_scaled() - 1e-4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gauges_set_add_and_render() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("depth", "queue depth");
+        g.add(3.0);
+        g.add(-1.0);
+        assert_eq!(g.get(), 2.0);
+        g.set(0.25);
+        assert!(reg.render().contains("depth 0.25"));
+        let ig = reg.int_gauge("replays", "last recovery");
+        ig.set(17);
+        let text = reg.render();
+        assert!(text.contains("# TYPE replays gauge"));
+        assert!(text.contains("replays 17"));
+    }
+
+    #[test]
+    fn concurrent_recorders_lose_nothing() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let c = reg.counter("conc_total", "concurrency");
+        let h = reg.histogram_plain("conc_hist", "concurrency");
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = c.clone();
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for v in 1..=1000u64 {
+                        c.inc();
+                        h.record(v);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 8000);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 8000);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), 8000);
+        assert_eq!(snap.sum, 8 * (1..=1000u64).sum::<u64>());
+        assert_eq!(snap.max, 1000);
+    }
+}

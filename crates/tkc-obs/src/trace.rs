@@ -1,0 +1,257 @@
+//! Bounded structured trace ring.
+//!
+//! A [`TraceBuffer`] holds the last `capacity` [`TraceRecord`]s — one per
+//! traced operation (an engine apply, an epoch publish, a decompose
+//! phase). Recording when tracing is *disabled* costs exactly one relaxed
+//! atomic load; when enabled, one short mutex push into a preallocated
+//! ring (oldest records are overwritten). Records export as JSONL for
+//! offline analysis of the skew the maintenance papers predict: per-op
+//! cost dominated by triangles touched and κ-levels visited.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Capacity [`TraceBuffer::global`] is created with on first use.
+static GLOBAL_CAPACITY: AtomicUsize = AtomicUsize::new(4096);
+
+/// Sets the capacity of the process-wide buffer. Only effective before
+/// the first [`TraceBuffer::global`] call — once the buffer exists its
+/// ring is fixed, and later calls are silently ignored.
+pub fn set_global_capacity(capacity: usize) {
+    GLOBAL_CAPACITY.store(capacity.max(1), Ordering::Relaxed);
+}
+
+/// One traced operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Wall-clock timestamp, milliseconds since the Unix epoch.
+    pub at_unix_ms: u64,
+    /// Operation kind (`"insert"`, `"remove"`, `"publish"`, `"freeze"`,
+    /// `"supports"`, `"peel"`, ...). Static so recording never allocates
+    /// for the kind.
+    pub kind: &'static str,
+    /// Edge endpoint (0 when the record is not edge-scoped).
+    pub u: u32,
+    /// Edge endpoint (0 when the record is not edge-scoped).
+    pub v: u32,
+    /// Triangles touched by the operation (added + removed).
+    pub triangles: u64,
+    /// κ-levels visited (promotions + demotions walked).
+    pub levels: u64,
+    /// Operation duration in nanoseconds.
+    pub duration_nanos: u64,
+}
+
+impl TraceRecord {
+    /// Renders the record as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(128);
+        let _ = write!(
+            s,
+            "{{\"at_unix_ms\":{},\"kind\":\"{}\",\"u\":{},\"v\":{},\"triangles\":{},\"levels\":{},\"duration_nanos\":{}}}",
+            self.at_unix_ms, self.kind, self.u, self.v, self.triangles, self.levels, self.duration_nanos
+        );
+        s
+    }
+}
+
+#[derive(Debug)]
+struct Ring {
+    slots: Vec<TraceRecord>,
+    /// Index of the next slot to write; `total` counts lifetime records.
+    next: usize,
+    total: u64,
+}
+
+/// A fixed-capacity ring of trace records behind an atomic enable flag.
+#[derive(Debug)]
+pub struct TraceBuffer {
+    enabled: AtomicBool,
+    capacity: usize,
+    ring: Mutex<Ring>,
+}
+
+impl TraceBuffer {
+    /// A disabled buffer holding at most `capacity` records (minimum 1).
+    pub fn new(capacity: usize) -> TraceBuffer {
+        let capacity = capacity.max(1);
+        TraceBuffer {
+            enabled: AtomicBool::new(false),
+            capacity,
+            ring: Mutex::new(Ring {
+                slots: Vec::with_capacity(capacity),
+                next: 0,
+                total: 0,
+            }),
+        }
+    }
+
+    /// The process-wide buffer the engine records into (capacity from
+    /// [`set_global_capacity`], default 4096; disabled until
+    /// `tkc serve --trace-out` or a test enables it).
+    pub fn global() -> &'static TraceBuffer {
+        static GLOBAL: OnceLock<TraceBuffer> = OnceLock::new();
+        GLOBAL.get_or_init(|| TraceBuffer::new(GLOBAL_CAPACITY.load(Ordering::Relaxed)))
+    }
+
+    /// Whether records are currently kept. This is THE hot-path check:
+    /// a single relaxed load, no fence, no branch history pollution.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns recording on or off.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Stores a record if enabled (call sites that build records lazily
+    /// should check [`TraceBuffer::enabled`] first and skip construction).
+    #[inline]
+    pub fn record(&self, record: TraceRecord) {
+        if !self.enabled() {
+            return;
+        }
+        self.push(record);
+    }
+
+    fn push(&self, record: TraceRecord) {
+        let mut ring = self.ring.lock().unwrap_or_else(|p| p.into_inner());
+        if ring.slots.len() < self.capacity {
+            ring.slots.push(record);
+        } else {
+            let next = ring.next;
+            ring.slots[next] = record;
+        }
+        ring.next = (ring.next + 1) % self.capacity;
+        ring.total += 1;
+    }
+
+    /// Lifetime record count (including overwritten ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.ring.lock().unwrap_or_else(|p| p.into_inner()).total
+    }
+
+    /// The retained records, oldest first.
+    pub fn drain_ordered(&self) -> Vec<TraceRecord> {
+        let ring = self.ring.lock().unwrap_or_else(|p| p.into_inner());
+        if ring.slots.len() < self.capacity {
+            ring.slots.clone()
+        } else {
+            let mut out = Vec::with_capacity(self.capacity);
+            out.extend_from_slice(&ring.slots[ring.next..]);
+            out.extend_from_slice(&ring.slots[..ring.next]);
+            out
+        }
+    }
+
+    /// Renders the retained records as JSONL (one object per line,
+    /// oldest first, trailing newline after each).
+    pub fn export_jsonl(&self) -> String {
+        let records = self.drain_ordered();
+        let mut out = String::with_capacity(records.len() * 128);
+        for r in &records {
+            out.push_str(&r.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Clears retained records (the lifetime total is preserved).
+    pub fn clear(&self) {
+        let mut ring = self.ring.lock().unwrap_or_else(|p| p.into_inner());
+        ring.slots.clear();
+        ring.next = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+
+    fn rec(i: u64) -> TraceRecord {
+        TraceRecord {
+            at_unix_ms: i,
+            kind: "insert",
+            u: i as u32,
+            v: i as u32 + 1,
+            triangles: i,
+            levels: 0,
+            duration_nanos: i * 10,
+        }
+    }
+
+    #[test]
+    fn disabled_buffer_drops_everything() {
+        let buf = TraceBuffer::new(8);
+        assert!(!buf.enabled());
+        buf.record(rec(1));
+        assert_eq!(buf.total_recorded(), 0);
+        assert!(buf.drain_ordered().is_empty());
+    }
+
+    #[test]
+    fn ring_wraparound_keeps_newest_in_order() {
+        let buf = TraceBuffer::new(4);
+        buf.set_enabled(true);
+        for i in 0..10 {
+            buf.record(rec(i));
+        }
+        assert_eq!(buf.total_recorded(), 10);
+        let kept = buf.drain_ordered();
+        assert_eq!(kept.len(), 4);
+        let stamps: Vec<u64> = kept.iter().map(|r| r.at_unix_ms).collect();
+        assert_eq!(stamps, vec![6, 7, 8, 9], "oldest-first, newest retained");
+    }
+
+    #[test]
+    fn jsonl_export_is_one_object_per_line() {
+        let buf = TraceBuffer::new(4);
+        buf.set_enabled(true);
+        buf.record(rec(3));
+        let jsonl = buf.export_jsonl();
+        assert_eq!(
+            jsonl,
+            "{\"at_unix_ms\":3,\"kind\":\"insert\",\"u\":3,\"v\":4,\"triangles\":3,\"levels\":0,\"duration_nanos\":30}\n"
+        );
+    }
+
+    #[test]
+    fn concurrent_recorders_account_for_every_record() {
+        let buf = std::sync::Arc::new(TraceBuffer::new(64));
+        buf.set_enabled(true);
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let buf = std::sync::Arc::clone(&buf);
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        buf.record(rec(i));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(buf.total_recorded(), 400);
+        assert_eq!(buf.drain_ordered().len(), 64);
+    }
+
+    #[test]
+    fn clear_resets_retention_not_total() {
+        let buf = TraceBuffer::new(4);
+        buf.set_enabled(true);
+        for i in 0..6 {
+            buf.record(rec(i));
+        }
+        buf.clear();
+        assert!(buf.drain_ordered().is_empty());
+        assert_eq!(buf.total_recorded(), 6);
+        buf.record(rec(7));
+        assert_eq!(buf.drain_ordered().len(), 1);
+    }
+}

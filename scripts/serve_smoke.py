@@ -14,6 +14,7 @@ import sys
 import tempfile
 import threading
 import time
+import urllib.request
 
 
 def connect(addr, timeout=15):
@@ -46,6 +47,33 @@ def read_stats(sock, reader):
 
 def clique(base):
     return [(base + i, base + j) for i in range(5) for j in range(i + 1, 5)]
+
+
+def scrape(metrics_url):
+    """Fetches /metrics and returns {series_name_with_labels: float_value}."""
+    with urllib.request.urlopen(metrics_url, timeout=10) as resp:
+        assert resp.status == 200, f"GET /metrics -> {resp.status}"
+        ctype = resp.headers.get("Content-Type", "")
+        assert ctype.startswith("text/plain"), f"Content-Type {ctype!r}"
+        text = resp.read().decode("utf-8")
+    series = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        series[name] = float(value)
+    return series
+
+
+def assert_monotonic(before, after):
+    """Counter-shaped series must never decrease between two scrapes."""
+    regressed = [
+        name
+        for name, value in before.items()
+        if name.endswith(("_total", "_count", "_sum")) or "_bucket{" in name
+        if after.get(name, 0.0) < value
+    ]
+    assert not regressed, f"counters went backwards: {regressed}"
 
 
 def writer_insert(addr, failures):
@@ -96,21 +124,26 @@ def main():
     with tempfile.TemporaryDirectory(prefix="tkc_serve_smoke_") as state_dir:
         proc = subprocess.Popen(
             [binary, "serve", state_dir, "--addr", "127.0.0.1:0", "--no-fsync",
-             "--epoch-ops", "8"],
+             "--epoch-ops", "8", "--metrics-addr", "127.0.0.1:0"],
             stdout=subprocess.PIPE,
             stderr=subprocess.STDOUT,
             text=True,
         )
         try:
-            # The server prints "tkc-engine listening on <addr>" once bound.
+            # The server prints "metrics listening on http://<addr>/metrics"
+            # and then "tkc-engine listening on <addr>" once bound.
             addr = None
+            metrics_url = None
             for line in proc.stdout:
                 print("[server]", line.rstrip())
+                if line.startswith("metrics listening on "):
+                    metrics_url = line.split()[-1]
                 if line.startswith("tkc-engine listening on "):
                     host, _, port = line.split()[-1].rpartition(":")
                     addr = (host, int(port))
                     break
             assert addr, "server never printed its listening address"
+            assert metrics_url, "server never printed its metrics address"
 
             failures = []
             threads = [
@@ -121,6 +154,12 @@ def main():
             ]
             for t in threads:
                 t.start()
+            # Scrape twice while the clients hammer the server: every
+            # counter-shaped series must be monotonically non-decreasing.
+            mid1 = scrape(metrics_url)
+            time.sleep(0.2)
+            mid2 = scrape(metrics_url)
+            assert_monotonic(mid1, mid2)
             for t in threads:
                 t.join(timeout=60)
                 assert not t.is_alive(), "client thread hung"
@@ -133,7 +172,34 @@ def main():
             while int(read_stats(sock, reader).get("ops_applied", 0)) < 20:
                 assert time.monotonic() < deadline, "batch queue never drained"
                 time.sleep(0.05)
+
             assert send(sock, reader, "EPOCH").startswith("OK ")
+
+            # Final scrape (after EPOCH, so the snapshot gauges caught up):
+            # counters must agree with the ops we issued and with the STATS
+            # wire block, still monotonic vs the mid-load scrapes, and span
+            # every instrumented layer. The writers issued 10 INSERTs plus
+            # one BATCH of 10 ops = 11 applies / WAL appends, 20 ops.
+            final = scrape(metrics_url)
+            assert_monotonic(mid2, final)
+            stats = read_stats(sock, reader)
+            assert final["tkc_engine_ops_applied_total"] == 20.0, final
+            assert int(stats["ops_applied"]) == 20, stats
+            assert final['tkc_server_requests_total{cmd="INSERT"}'] == 10.0, final
+            assert final['tkc_server_requests_total{cmd="BATCH"}'] == 1.0, final
+            assert final["tkc_engine_wal_bytes_total"] > 0, final
+            assert final["tkc_engine_wal_appends_total"] >= 11, final
+            assert final["tkc_engine_apply_seconds_count"] >= 11, final
+            assert final["tkc_engine_triangles_per_op_count"] == 20.0, final
+            assert final["tkc_engine_epochs_published_total"] >= 1, final
+            assert final["tkc_graph_edges"] == 20.0, final
+            families = {name.split("{")[0] for name in final}
+            # Strip histogram sub-series down to their family name.
+            families = {
+                f.rsplit("_bucket", 1)[0].rsplit("_sum", 1)[0].rsplit("_count", 1)[0]
+                for f in families
+            }
+            assert len(families) >= 12, f"only {len(families)} series: {sorted(families)}"
             assert send(sock, reader, "KAPPA 0 1") == "OK 3"
             assert send(sock, reader, "KAPPA 5 9") == "OK 3"
             assert send(sock, reader, "MAXK") == "OK 3"
