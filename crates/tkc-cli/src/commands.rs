@@ -30,9 +30,13 @@ pub const USAGE: &str = "usage:
   tkc verify    --suite [--cases N]
   tkc serve     <state-dir> [--addr host:port] [--epoch-ops N]
                 [--compact-bytes N] [--queue-cap N]
-                [--read-timeout-ms N] [--no-fsync]
+                [--idle-timeout-ms N] [--max-conns N]
+                [--max-line-bytes N] [--request-budget N]
+                [--recover-backoff-ms N] [--no-fsync]
+                [--failpoint site=kind@trigger[xN],...]
                 [--metrics-addr host:port] [--trace-out file.jsonl]
                 [--trace-cap N]
+  tkc chaos     [--seeds N] [--start-seed S] [--dir root]
 
 (--threads 0 = all cores; the support stage of Algorithm 1 runs on the
  wedge-balanced worker pool; TKC_LOG=error|warn|info|debug tunes
@@ -40,11 +44,21 @@ pub const USAGE: &str = "usage:
 
 serve speaks a line protocol on --addr (default 127.0.0.1:7007):
   KAPPA u v | MAXK | TRUSS k | INSERT u v | REMOVE u v | BATCH n
-  STATS | METRICS | EPOCH | PING | QUIT | SHUTDOWN
+  STATS | METRICS | HEALTH | EPOCH | PING | QUIT | SHUTDOWN
 
 --metrics-addr additionally serves Prometheus text at GET /metrics;
 --trace-out enables the structured op trace (last --trace-cap records,
-default 4096) and writes it as JSONL on shutdown";
+default 4096) and writes it as JSONL on shutdown
+
+--failpoint arms deterministic fault injection on the WAL (sites
+wal.open|wal.append|wal.fsync|wal.truncate; kinds short|enospc|eio|
+bitflip|crash), e.g. wal.append=enospc@100 — a failed append degrades
+the server to read-only serving (writes answer ERR DEGRADED) until the
+recovery supervisor brings it back; HEALTH and /metrics expose the state
+
+chaos replays seeded fault schedules (graph, ops, and failures all
+derived from the seed) through a real engine and fails on any panic,
+κ divergence from recompute, or durability loss across reopen";
 
 /// Dispatches a full argv (without the program name).
 pub fn run(argv: &[String]) -> Result<(), String> {
@@ -69,9 +83,18 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             "compact-bytes",
             "queue-cap",
             "read-timeout-ms",
+            "idle-timeout-ms",
+            "max-conns",
+            "max-line-bytes",
+            "request-budget",
+            "recover-backoff-ms",
+            "failpoint",
             "metrics-addr",
             "trace-out",
             "trace-cap",
+            "seeds",
+            "start-seed",
+            "dir",
         ],
     )?;
     match p.positional(0, "subcommand")? {
@@ -87,6 +110,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "dataset" => dataset(&p),
         "verify" => verify(&p),
         "serve" => serve(&p),
+        "chaos" => chaos(&p),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -619,10 +643,20 @@ fn serve(p: &crate::args::Parsed) -> Result<(), String> {
     if trace_out.is_some() {
         TraceBuffer::global().set_enabled(true);
     }
+    let fault_plan = match p.flag("failpoint") {
+        Some(spec) => {
+            let plan =
+                tkc_faults::FaultPlan::parse_spec(spec).map_err(|e| format!("--failpoint: {e}"))?;
+            println!("fault injection armed: {}", plan.describe());
+            Some(std::sync::Arc::new(plan))
+        }
+        None => None,
+    };
     let config = EngineConfig {
         fsync: !p.switch("no-fsync"),
         epoch_ops: p.flag_parse("epoch-ops", 256usize)?,
         compact_bytes: p.flag_parse("compact-bytes", 4u64 << 20)?,
+        fault_plan,
         ..EngineConfig::new(dir)
     };
     let engine = std::sync::Arc::new(Engine::open(config).map_err(|e| format!("{dir}: {e}"))?);
@@ -647,9 +681,24 @@ fn serve(p: &crate::args::Parsed) -> Result<(), String> {
         }
         None => None,
     };
+    // --idle-timeout-ms is the idle-connection reaper; --read-timeout-ms
+    // is its older spelling and keeps working.
+    let idle_ms = match p.flag("idle-timeout-ms") {
+        Some(_) => p.flag_parse("idle-timeout-ms", 60_000u64)?,
+        None => p.flag_parse("read-timeout-ms", 60_000u64)?,
+    };
+    let defaults = ServeOptions::default();
     let opts = ServeOptions {
-        read_timeout: std::time::Duration::from_millis(p.flag_parse("read-timeout-ms", 60_000u64)?),
+        read_timeout: std::time::Duration::from_millis(idle_ms),
         queue_cap: p.flag_parse("queue-cap", 128usize)?,
+        max_conns: p.flag_parse("max-conns", defaults.max_conns)?,
+        max_line_bytes: p.flag_parse("max-line-bytes", defaults.max_line_bytes)?,
+        request_budget: p.flag_parse("request-budget", defaults.request_budget)?,
+        recover_backoff: std::time::Duration::from_millis(p.flag_parse(
+            "recover-backoff-ms",
+            defaults.recover_backoff.as_millis() as u64,
+        )?),
+        ..defaults
     };
     let server = Server::start(engine, addr, opts).map_err(|e| format!("bind {addr}: {e}"))?;
     println!("tkc-engine listening on {}", server.local_addr());
@@ -665,6 +714,42 @@ fn serve(p: &crate::args::Parsed) -> Result<(), String> {
     }
     println!("shut down cleanly (state compacted to {dir})");
     Ok(())
+}
+
+fn chaos(p: &crate::args::Parsed) -> Result<(), String> {
+    use tkc_engine::chaos::run_seed_range;
+
+    let seeds: u64 = p.flag_parse("seeds", 216u64)?;
+    let start: u64 = p.flag_parse("start-seed", 0u64)?;
+    let root = match p.flag("dir") {
+        Some(d) => std::path::PathBuf::from(d),
+        None => std::env::temp_dir().join("tkc_chaos_cli"),
+    };
+    println!(
+        "chaos: {seeds} seeded fault schedules (seeds {start}..{}) under {}",
+        start + seeds,
+        root.display()
+    );
+    let started = std::time::Instant::now();
+    match run_seed_range(&root, start, seeds) {
+        Ok(total) => {
+            println!(
+                "chaos OK in {:?}: {} batches acked, {} faults injected, \
+                 {} recoveries, {} crash restarts, {} oracle checks",
+                started.elapsed(),
+                total.batches_acked,
+                total.faults_injected,
+                total.recoveries,
+                total.crash_restarts,
+                total.oracle_checks
+            );
+            Ok(())
+        }
+        Err((seed, failure)) => Err(format!(
+            "chaos FAILED at seed {seed}: {failure}\n\
+             reproduce with: tkc chaos --seeds 1 --start-seed {seed}"
+        )),
+    }
 }
 
 /// Small display helper so `update` can print a histogram without exposing

@@ -1,0 +1,359 @@
+//! Chaos harness: drive the differential-suite op corpus through a real
+//! [`Engine`] while a seeded [`FaultPlan`] injects disk failures, and
+//! prove the engine never lies about κ.
+//!
+//! Each case is **fully determined by its seed**: the initial graph, the
+//! op stream (both borrowed from [`tkc_verify::differential`]), and the
+//! fault schedule ([`FaultPlan::seeded`]) all derive from it, so any
+//! failing seed is a one-integer reproduction.
+//!
+//! The harness reacts to failures exactly the way production does:
+//!
+//! * **Degraded** (`ENOSPC`, `EIO`, short write, fsync failure) — the
+//!   batch was not acknowledged; call [`Engine::recover`] like the serve
+//!   supervisor would and retry the same batch (idempotent ops make the
+//!   at-least-once retry safe).
+//! * **Injected crash** — the simulated process is dead. Drop the engine,
+//!   clear the crash latch (the "restarted process" gets a working disk),
+//!   reopen from the same directory, and let WAL replay rebuild state.
+//!
+//! After every recovery/restart and again at the end, the **oracle** is
+//! [`kappa_matches_recompute`]: the engine's maintained κ must equal a
+//! from-scratch decomposition of its own graph. Divergence means silent
+//! corruption slipped through — the thing this harness exists to catch.
+//! Finally the engine is closed cleanly (faults disarmed), reopened, and
+//! the surviving edge set + κ must round-trip unchanged.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use tkc_faults::FaultPlan;
+use tkc_verify::differential::{generate_ops, GraphKind, StreamConfig, StreamOp};
+
+use crate::engine::{Engine, EngineConfig};
+use crate::error::EngineError;
+use crate::wal::WalOp;
+
+/// How many times a single batch may bounce through recover/restart
+/// before the case is declared wedged. Seeded plans carry at most 3
+/// failpoints, so a healthy engine always gets through well before this.
+const MAX_BATCH_RETRIES: usize = 32;
+
+/// One seeded chaos case.
+#[derive(Debug, Clone)]
+pub struct ChaosCase {
+    /// Master seed: graph + ops + fault schedule.
+    pub seed: u64,
+    /// Initial graph shape and op stream (differential-suite corpus).
+    pub stream: StreamConfig,
+    /// Ops per `apply` batch.
+    pub batch: usize,
+    /// fsync on every append (slower, exercises the fsync failpoints).
+    pub fsync: bool,
+}
+
+impl ChaosCase {
+    /// The standard corpus case for `seed`: cycles the differential
+    /// suite's graph shapes and keeps batches small so fault triggers
+    /// land between acks.
+    pub fn from_seed(seed: u64) -> ChaosCase {
+        let kinds = [
+            GraphKind::Empty { n: 10 },
+            GraphKind::Gnp { n: 12, p: 0.18 },
+            GraphKind::Gnp { n: 9, p: 0.35 },
+            GraphKind::HolmeKim {
+                n: 14,
+                m: 2,
+                p: 0.7,
+            },
+            GraphKind::PlantedPartition { groups: 2, size: 6 },
+            GraphKind::Caveman { groups: 3, size: 4 },
+        ];
+        let kind = kinds[(seed % kinds.len() as u64) as usize];
+        ChaosCase {
+            seed,
+            stream: StreamConfig::quick(kind, seed, 30),
+            batch: 1 + (seed % 5) as usize,
+            fsync: seed % 3 == 0,
+        }
+    }
+}
+
+/// What one chaos case survived.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosReport {
+    /// Batches acknowledged by the engine.
+    pub batches_acked: u64,
+    /// Faults the plan actually injected.
+    pub faults_injected: u64,
+    /// Successful in-process recoveries (degraded → serving).
+    pub recoveries: u64,
+    /// Simulated process crashes followed by reopen + WAL replay.
+    pub crash_restarts: u64,
+    /// Oracle checkpoints passed (κ ≡ recompute).
+    pub oracle_checks: u64,
+    /// Live edges at the end of the run.
+    pub final_edges: u64,
+}
+
+/// Why a chaos case failed. Every variant is a real bug, not noise.
+#[derive(Debug)]
+pub enum ChaosFailure {
+    /// κ diverged from a from-scratch recompute (silent corruption).
+    Divergence(String),
+    /// A batch could not be applied within [`MAX_BATCH_RETRIES`]
+    /// recover/restart rounds.
+    Wedged(String),
+    /// The engine could not be reopened at all.
+    Unrecoverable(String),
+    /// Clean close + reopen did not round-trip the final state.
+    DurabilityLoss(String),
+}
+
+impl std::fmt::Display for ChaosFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChaosFailure::Divergence(d) => write!(f, "kappa divergence: {d}"),
+            ChaosFailure::Wedged(d) => write!(f, "engine wedged: {d}"),
+            ChaosFailure::Unrecoverable(d) => write!(f, "reopen failed: {d}"),
+            ChaosFailure::DurabilityLoss(d) => write!(f, "durability loss: {d}"),
+        }
+    }
+}
+
+/// Converts a differential-stream op into its WAL form.
+fn to_wal(op: StreamOp) -> WalOp {
+    match op {
+        StreamOp::Insert(u, v) => WalOp::Insert(u, v),
+        StreamOp::Remove(u, v) => WalOp::Remove(u, v),
+    }
+}
+
+/// κ ≡ recompute on the engine's own graph; the chaos oracle.
+fn check_oracle(engine: &Engine, when: &str) -> Result<(), ChaosFailure> {
+    engine.publish();
+    let snap = engine.snapshot();
+    tkc_verify::differential::kappa_matches_recompute(
+        snap.graph(),
+        snap.decomposition().kappa_slice(),
+    )
+    .map_err(|m| ChaosFailure::Divergence(format!("{when}: {m:?}")))
+}
+
+/// Opens (or reopens) the engine over `dir` with the case's fault plan.
+fn open_engine(dir: &Path, case: &ChaosCase, plan: &Arc<FaultPlan>) -> Result<Engine, EngineError> {
+    let config = EngineConfig {
+        fsync: case.fsync,
+        epoch_ops: 0,
+        compact_bytes: 0,
+        fault_plan: Some(Arc::clone(plan)),
+        ..EngineConfig::new(dir)
+    };
+    Engine::open(config)
+}
+
+/// Reopen after an injected crash or a failed open: clear the latch (the
+/// restarted process gets a working disk again) and replay the WAL.
+fn restart(
+    dir: &Path,
+    case: &ChaosCase,
+    plan: &Arc<FaultPlan>,
+    report: &mut ChaosReport,
+) -> Result<Engine, ChaosFailure> {
+    plan.clear_crash();
+    report.crash_restarts += 1;
+    open_engine(dir, case, plan)
+        .map_err(|e| ChaosFailure::Unrecoverable(format!("after crash: {e}")))
+}
+
+/// Runs one seeded chaos case in `dir` (which must be empty or fresh).
+///
+/// Returns the survival report, or the first real failure. Panics never:
+/// a panic anywhere under this call is itself a harness-caught bug (the
+/// chaos tests run cases bare so a panic fails them loudly).
+pub fn run_case(dir: &Path, case: &ChaosCase) -> Result<ChaosReport, ChaosFailure> {
+    let mut report = ChaosReport::default();
+    let plan = Arc::new(FaultPlan::seeded(case.seed, 64, 2048));
+
+    // Build the deterministic workload: seed graph edges first, then the
+    // generated op stream, chunked into batches.
+    let g = case.stream.kind.build(case.seed);
+    let n = g.num_vertices();
+    let mut ops: Vec<WalOp> = Vec::with_capacity(n + g.num_edges() + case.stream.ops);
+    ops.push(WalOp::AddVertices(n as u32));
+    ops.extend(g.edges().map(|(_, u, v)| WalOp::Insert(u.0, v.0)));
+    ops.extend(generate_ops(&case.stream, n).into_iter().map(to_wal));
+
+    let mut engine = match open_engine(dir, case, &plan) {
+        Ok(e) => e,
+        Err(e) if e.is_injected_crash() => restart(dir, case, &plan, &mut report)?,
+        Err(e) => return Err(ChaosFailure::Unrecoverable(format!("initial open: {e}"))),
+    };
+
+    for batch in ops.chunks(case.batch.max(1)) {
+        let mut retries = 0;
+        loop {
+            match engine.apply(batch) {
+                Ok(_) => {
+                    report.batches_acked += 1;
+                    break;
+                }
+                Err(e) => {
+                    retries += 1;
+                    if retries > MAX_BATCH_RETRIES {
+                        return Err(ChaosFailure::Wedged(format!(
+                            "batch stuck after {MAX_BATCH_RETRIES} retries: {e}"
+                        )));
+                    }
+                    if e.is_injected_crash() || plan.crashed() {
+                        // Simulated process death: reopen + WAL replay,
+                        // then check replay reconstructed a sane κ.
+                        drop(engine);
+                        engine = restart(dir, case, &plan, &mut report)?;
+                        check_oracle(&engine, "after crash replay")?;
+                    } else {
+                        // Degraded (ENOSPC/EIO/short write): recover in
+                        // place, as the serve supervisor would.
+                        match engine.recover() {
+                            Ok(()) => {
+                                report.recoveries += 1;
+                                check_oracle(&engine, "after recovery")?;
+                            }
+                            Err(re) if re.is_injected_crash() || plan.crashed() => {
+                                drop(engine);
+                                engine = restart(dir, case, &plan, &mut report)?;
+                                check_oracle(&engine, "after crash replay")?;
+                            }
+                            Err(_) => {
+                                // Recovery can keep failing while its own
+                                // failpoints fire; loop and retry.
+                            }
+                        }
+                    }
+                    report.oracle_checks += 1;
+                }
+            }
+        }
+    }
+
+    // Final oracle over the surviving state.
+    check_oracle(&engine, "end of stream")?;
+    report.oracle_checks += 1;
+
+    // Durability epilogue: disarm the harness, compact cleanly, and the
+    // state must round-trip through a cold reopen bit-for-bit (same edge
+    // set, same κ).
+    plan.disarm();
+    if engine.state() != crate::error::EngineState::Serving {
+        engine
+            .recover()
+            .map_err(|e| ChaosFailure::Unrecoverable(format!("final recovery: {e}")))?;
+        report.recoveries += 1;
+    }
+    engine
+        .compact()
+        .map_err(|e| ChaosFailure::Unrecoverable(format!("final compaction: {e}")))?;
+    engine.publish();
+    let before = engine.snapshot();
+    report.final_edges = before.num_edges() as u64;
+    report.faults_injected = plan.injected_total();
+    drop(engine);
+
+    let reopened = Engine::open(EngineConfig {
+        fsync: case.fsync,
+        epoch_ops: 0,
+        compact_bytes: 0,
+        ..EngineConfig::new(dir)
+    })
+    .map_err(|e| ChaosFailure::Unrecoverable(format!("clean reopen: {e}")))?;
+    reopened.publish();
+    let after = reopened.snapshot();
+    if after.num_edges() != before.num_edges() || after.num_vertices() != before.num_vertices() {
+        return Err(ChaosFailure::DurabilityLoss(format!(
+            "reopen saw {}v/{}e, expected {}v/{}e",
+            after.num_vertices(),
+            after.num_edges(),
+            before.num_vertices(),
+            before.num_edges()
+        )));
+    }
+    for (_, u, v) in before.graph().edges() {
+        if after.kappa(u.0, v.0) != before.kappa(u.0, v.0) {
+            return Err(ChaosFailure::DurabilityLoss(format!(
+                "κ({}, {}) changed across clean reopen",
+                u.0, v.0
+            )));
+        }
+    }
+    check_oracle(&reopened, "after clean reopen")?;
+    report.oracle_checks += 1;
+    Ok(report)
+}
+
+/// Runs seeds `[first, first + count)`, each in its own subdirectory of
+/// `root`, stopping at the first failure. Returns the aggregate report.
+pub fn run_seed_range(
+    root: &Path,
+    first: u64,
+    count: u64,
+) -> Result<ChaosReport, (u64, ChaosFailure)> {
+    let mut total = ChaosReport::default();
+    for seed in first..first + count {
+        let dir = root.join(format!("seed-{seed}"));
+        std::fs::remove_dir_all(&dir).ok();
+        let case = ChaosCase::from_seed(seed);
+        let r = run_case(&dir, &case).map_err(|f| (seed, f))?;
+        total.batches_acked += r.batches_acked;
+        total.faults_injected += r.faults_injected;
+        total.recoveries += r.recoveries;
+        total.crash_restarts += r.crash_restarts;
+        total.oracle_checks += r.oracle_checks;
+        total.final_edges += r.final_edges;
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+
+    fn temp_root(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("tkc_chaos_unit").join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn cases_are_deterministic_in_their_seed() {
+        let a = ChaosCase::from_seed(42);
+        let b = ChaosCase::from_seed(42);
+        assert_eq!(a.stream, b.stream);
+        assert_eq!(a.batch, b.batch);
+        assert_eq!(a.fsync, b.fsync);
+    }
+
+    #[test]
+    fn a_small_seed_range_survives() {
+        let root = temp_root("small_range");
+        let total = run_seed_range(&root, 0, 8).unwrap_or_else(|(s, f)| panic!("seed {s}: {f}"));
+        assert!(total.batches_acked > 0);
+        assert!(total.oracle_checks >= 16, "oracle barely ran: {total:?}");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn injected_faults_actually_fire_across_a_range() {
+        // Not every seed's schedule triggers within its stream, but across
+        // a range some must — otherwise the harness is a no-op.
+        let root = temp_root("faults_fire");
+        let total = run_seed_range(&root, 100, 12).unwrap_or_else(|(s, f)| panic!("seed {s}: {f}"));
+        assert!(
+            total.faults_injected > 0,
+            "no faults fired across 12 seeds: {total:?}"
+        );
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

@@ -21,18 +21,20 @@
 //! after the next one is published).
 
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 use tkc_core::decompose::Decomposition;
 use tkc_core::dynamic::{DynamicTriangleKCore, UpdateStats};
 use tkc_core::extract::cores_at_level;
-use tkc_core::persist::{read_state, write_state, PersistError};
+use tkc_core::persist::{read_state, write_state};
+use tkc_faults::{DiskFile, FaultFile, FaultPlan};
 use tkc_graph::{CsrGraph, Graph, VertexId};
 use tkc_obs::{Counter, Gauge, Histogram, MetricsRegistry, TraceBuffer, TraceRecord};
 
-use crate::wal::{Recovery, Wal, WalOp};
+use crate::error::{EngineError, EngineState};
+use crate::wal::{Recovery, Wal, WalError, WalOp};
 
 /// Name of the compacted snapshot file inside the state directory.
 pub const STATE_FILE: &str = "state.tkc";
@@ -53,16 +55,30 @@ pub struct EngineConfig {
     /// Compact the WAL into a snapshot file once it exceeds this many
     /// bytes (`0` = only on explicit [`Engine::compact`]).
     pub compact_bytes: u64,
+    /// Hard cap on the vertex-id space. An op naming (or growing to) a
+    /// vertex id at or past this is rejected with
+    /// [`EngineError::InvalidOp`] *before* it reaches the WAL — without
+    /// it, a single `INSERT 4294967295 0` line would ask the maintainer
+    /// to allocate four billion adjacency lists.
+    pub max_vertices: u32,
+    /// When set, every WAL byte flows through a fault-injecting
+    /// [`FaultFile`] driven by this plan — the hook `tkc serve
+    /// --failpoint` and the chaos harness use. `None` (the default) is
+    /// plain disk I/O.
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl EngineConfig {
-    /// Defaults: fsync on, an epoch every 256 ops, compaction at 4 MiB.
+    /// Defaults: fsync on, an epoch every 256 ops, compaction at 4 MiB,
+    /// 16Mi vertex-id cap, no fault injection.
     pub fn new(dir: impl Into<PathBuf>) -> EngineConfig {
         EngineConfig {
             dir: dir.into(),
             fsync: true,
             epoch_ops: 256,
             compact_bytes: 4 << 20,
+            max_vertices: 1 << 24,
+            fault_plan: None,
         }
     }
 }
@@ -124,6 +140,24 @@ pub struct EngineMetrics {
     pub backpressure_waits: Counter,
     /// Batches drained from the queue and applied by the ingest thread.
     pub batches_applied: Counter,
+
+    /// Transitions into the read-only (degraded) state.
+    pub degraded_total: Counter,
+    /// Recovery attempts (each supervised retry, successful or not).
+    pub recovery_attempts: Counter,
+    /// Recoveries that returned the engine to `serving`.
+    pub recoveries: Counter,
+    /// Supervisor backoff sleeps before each recovery attempt.
+    pub recovery_backoff_seconds: Histogram,
+    /// Faults injected by the armed failpoint plan (refreshed from the
+    /// plan at render time; 0 forever without `--failpoint`).
+    pub faults_injected: Counter,
+    /// 0/1 indicator per engine state (`tkc_engine_state{state="..."}`).
+    pub state_serving: Gauge,
+    /// See [`EngineMetrics::state_serving`].
+    pub state_read_only: Gauge,
+    /// See [`EngineMetrics::state_serving`].
+    pub state_recovering: Gauge,
 }
 
 impl EngineMetrics {
@@ -208,7 +242,52 @@ impl EngineMetrics {
                 "tkc_server_batches_applied_total",
                 "Batches drained from the queue and applied",
             ),
+            degraded_total: reg.counter(
+                "tkc_engine_degraded_total",
+                "Transitions into the read-only (degraded) state",
+            ),
+            recovery_attempts: reg.counter(
+                "tkc_recovery_attempts_total",
+                "Supervised recovery attempts (successful or not)",
+            ),
+            recoveries: reg.counter(
+                "tkc_recoveries_total",
+                "Recoveries that returned the engine to serving",
+            ),
+            recovery_backoff_seconds: reg.histogram_seconds(
+                "tkc_recovery_backoff_seconds",
+                "Supervisor backoff sleeps before each recovery attempt",
+            ),
+            faults_injected: reg.counter(
+                "tkc_faults_injected_total",
+                "Faults injected by the armed failpoint plan",
+            ),
+            state_serving: reg.gauge_with(
+                "tkc_engine_state",
+                "1 for the engine's current state, 0 for the others",
+                &[("state", "serving")],
+            ),
+            state_read_only: reg.gauge_with(
+                "tkc_engine_state",
+                "1 for the engine's current state, 0 for the others",
+                &[("state", "read_only")],
+            ),
+            state_recovering: reg.gauge_with(
+                "tkc_engine_state",
+                "1 for the engine's current state, 0 for the others",
+                &[("state", "recovering")],
+            ),
         }
+    }
+
+    /// Reflects `state` into the three 0/1 `tkc_engine_state` series.
+    fn set_state_gauges(&self, state: EngineState) {
+        self.state_serving
+            .set(f64::from(u8::from(state == EngineState::Serving)));
+        self.state_read_only
+            .set(f64::from(u8::from(state == EngineState::ReadOnly)));
+        self.state_recovering
+            .set(f64::from(u8::from(state == EngineState::Recovering)));
     }
 }
 
@@ -336,14 +415,35 @@ pub struct Engine {
     /// `tkc_obs::process_nanos` at the last epoch publication (feeds the
     /// snapshot-age gauge).
     last_publish_nanos: AtomicU64,
+    /// [`EngineState`] as a `u8` (see `EngineState::as_u8`).
+    state: AtomicU8,
+    /// Why the engine left `Serving` (empty while healthy).
+    degraded_reason: Mutex<String>,
     config: EngineConfig,
+}
+
+/// Opens the WAL storage per config: plain disk, or disk wrapped in the
+/// configured fault plan.
+fn open_wal(config: &EngineConfig) -> Result<(Wal, Recovery), WalError> {
+    let path = config.dir.join(WAL_FILE);
+    let disk = DiskFile::open(&path).map_err(|e| WalError {
+        site: "wal.open",
+        source: e.into(),
+    })?;
+    match &config.fault_plan {
+        Some(plan) => Wal::open_with(
+            Box::new(FaultFile::new(Box::new(disk), Arc::clone(plan))),
+            config.fsync,
+        ),
+        None => Wal::open_with(Box::new(disk), config.fsync),
+    }
 }
 
 impl Engine {
     /// Opens (or creates) the engine state in `config.dir`: loads the
     /// compaction snapshot if present, replays the WAL over it, truncates
     /// any torn tail, and publishes the recovered state as epoch 1.
-    pub fn open(config: EngineConfig) -> Result<Engine, PersistError> {
+    pub fn open(config: EngineConfig) -> Result<Engine, EngineError> {
         std::fs::create_dir_all(&config.dir)?;
         let state_path = config.dir.join(STATE_FILE);
         let mut core = if state_path.exists() {
@@ -354,7 +454,7 @@ impl Engine {
             DynamicTriangleKCore::new(Graph::new())
         };
 
-        let (wal, recovery) = Wal::open(&config.dir.join(WAL_FILE), config.fsync)?;
+        let (wal, recovery) = open_wal(&config)?;
         let registry = Arc::new(MetricsRegistry::new());
         let metrics = EngineMetrics::register(&registry);
         let Recovery { ops, torn_bytes } = recovery;
@@ -379,14 +479,86 @@ impl Engine {
             since_epoch: 0,
         };
         let first = Arc::new(snapshot_of(&mut writer, &metrics));
+        metrics.set_state_gauges(EngineState::Serving);
         Ok(Engine {
             writer: Mutex::new(writer),
             published: RwLock::new(first),
             registry,
             metrics,
             last_publish_nanos: AtomicU64::new(tkc_obs::process_nanos()),
+            state: AtomicU8::new(EngineState::Serving.as_u8()),
+            degraded_reason: Mutex::new(String::new()),
             config,
         })
+    }
+
+    /// Where the engine is in its serving state machine.
+    pub fn state(&self) -> EngineState {
+        EngineState::from_u8(self.state.load(Ordering::Acquire))
+    }
+
+    /// Why the engine is not `Serving` (`None` while healthy).
+    pub fn degraded_reason(&self) -> Option<String> {
+        match self.state() {
+            EngineState::Serving => None,
+            _ => Some(lock_reason(&self.degraded_reason).clone()),
+        }
+    }
+
+    fn set_state(&self, state: EngineState) {
+        self.state.store(state.as_u8(), Ordering::Release);
+        self.metrics.set_state_gauges(state);
+    }
+
+    /// Drops into read-only mode: records the reason, flips the state
+    /// gauges, and logs. Idempotent — repeated failures while already
+    /// degraded keep the *first* reason (the root cause).
+    fn enter_degraded(&self, reason: String) {
+        {
+            let mut guard = lock_reason(&self.degraded_reason);
+            if guard.is_empty() {
+                *guard = reason.clone();
+            }
+        }
+        if self.state() != EngineState::ReadOnly {
+            self.metrics.degraded_total.inc();
+            tkc_obs::warn!("engine degraded, serving read-only: {reason}");
+        }
+        self.set_state(EngineState::ReadOnly);
+    }
+
+    /// One supervised recovery attempt: re-opens the WAL (the in-memory
+    /// state is authoritative — it holds exactly the acknowledged ops, so
+    /// the on-disk log's replay is discarded rather than trusted), then
+    /// compacts that state into a fresh snapshot + empty log. On success
+    /// the engine returns to `Serving`; on failure it stays `ReadOnly`
+    /// with the original reason and the error is returned for the
+    /// supervisor's backoff loop.
+    pub fn recover(&self) -> Result<(), EngineError> {
+        if self.state() == EngineState::Serving {
+            return Ok(());
+        }
+        self.metrics.recovery_attempts.inc();
+        self.set_state(EngineState::Recovering);
+        let mut w = lock_writer(&self.writer);
+        let attempt = (|| -> Result<(), EngineError> {
+            let (wal, _discarded_replay) = open_wal(&self.config)?;
+            w.wal = wal;
+            self.compact_locked(&mut w)
+        })();
+        match attempt {
+            Ok(()) => {
+                *lock_reason(&self.degraded_reason) = String::new();
+                self.set_state(EngineState::Serving);
+                self.metrics.recoveries.inc();
+                tkc_obs::info!("engine recovered: wal reopened and compacted, serving again");
+                Ok(())
+            }
+            Err(e) => {
+                self.set_state(EngineState::ReadOnly);
+                Err(e)
+            }
+        }
     }
 
     /// The engine's counters (shared with the serving layer).
@@ -409,15 +581,35 @@ impl Engine {
     /// Durably applies a batch: WAL append + fsync first, then the
     /// in-memory maintainer, then (per config) epoch publication and WAL
     /// compaction.
-    pub fn apply(&self, ops: &[WalOp]) -> Result<ApplyReport, PersistError> {
+    ///
+    /// Failure semantics: a batch that fails validation
+    /// ([`EngineError::InvalidOp`]) touches nothing; a batch whose WAL
+    /// append or fsync fails is **not acknowledged and not applied** —
+    /// the engine drops to read-only ([`EngineError::Wal`]) and later
+    /// writes get [`EngineError::Degraded`] until recovery.
+    pub fn apply(&self, ops: &[WalOp]) -> Result<ApplyReport, EngineError> {
         if ops.is_empty() {
             return Ok(ApplyReport::default());
         }
         let m = &self.metrics;
         let apply_start = Instant::now();
         let mut w = lock_writer(&self.writer);
+        // State and validation checks live under the writer lock so a
+        // degrading batch and its successor cannot interleave.
+        if self.state() != EngineState::Serving {
+            return Err(EngineError::Degraded {
+                reason: lock_reason(&self.degraded_reason).clone(),
+            });
+        }
+        self.validate(ops, &w)?;
         let wal_start = Instant::now();
-        let append = w.wal.append_with(ops)?;
+        let append = match w.wal.append_with(ops) {
+            Ok(info) => info,
+            Err(e) => {
+                self.enter_degraded(e.to_string());
+                return Err(e.into());
+            }
+        };
         m.wal_append_seconds.record_duration(wal_start.elapsed());
         m.wal_fsync_seconds.record_duration(append.fsync);
         m.wal_appends.inc();
@@ -466,16 +658,51 @@ impl Engine {
             self.publish_locked(&mut w);
         }
         if self.config.compact_bytes > 0 && w.wal.len_bytes() > self.config.compact_bytes {
-            self.compact_locked(&mut w)?;
+            // The batch itself is durable and applied; a failed background
+            // compaction degrades the engine but must not un-acknowledge
+            // the write that merely triggered it.
+            if let Err(e) = self.compact_locked(&mut w) {
+                self.enter_degraded(format!("compaction: {e}"));
+            }
         }
         m.apply_seconds.record_duration(apply_start.elapsed());
         Ok(report)
     }
 
+    /// Rejects ops that name (or grow to) vertex ids past the configured
+    /// cap before anything reaches the WAL. `u32` ids make this the only
+    /// unbounded-allocation hazard in the op vocabulary.
+    fn validate(&self, ops: &[WalOp], w: &Writer) -> Result<(), EngineError> {
+        let cap = self.config.max_vertices;
+        let mut projected = w.core.graph().num_vertices() as u64;
+        for &op in ops {
+            match op {
+                WalOp::Insert(u, v) | WalOp::Remove(u, v) => {
+                    let top = u.max(v);
+                    if top >= cap {
+                        return Err(EngineError::InvalidOp {
+                            reason: format!("vertex id {top} exceeds max_vertices {cap}"),
+                        });
+                    }
+                    projected = projected.max(u64::from(top) + 1);
+                }
+                WalOp::AddVertices(n) => {
+                    projected += u64::from(n);
+                }
+            }
+            if projected > u64::from(cap) {
+                return Err(EngineError::InvalidOp {
+                    reason: format!("vertex count {projected} exceeds max_vertices {cap}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Durably inserts edge `{u, v}`, returning its κ right after the
     /// update (read-your-write, without waiting for an epoch), or `None`
     /// when the insert was a no-op (self loop or duplicate).
-    pub fn insert(&self, u: u32, v: u32) -> Result<Option<u32>, PersistError> {
+    pub fn insert(&self, u: u32, v: u32) -> Result<Option<u32>, EngineError> {
         let report = self.apply(&[WalOp::Insert(u, v)])?;
         if report.inserted == 0 {
             return Ok(None);
@@ -490,7 +717,7 @@ impl Engine {
     }
 
     /// Durably removes edge `{u, v}`; `false` when it wasn't there.
-    pub fn remove(&self, u: u32, v: u32) -> Result<bool, PersistError> {
+    pub fn remove(&self, u: u32, v: u32) -> Result<bool, EngineError> {
         Ok(self.apply(&[WalOp::Remove(u, v)])?.removed == 1)
     }
 
@@ -504,7 +731,7 @@ impl Engine {
 
     /// Compacts the WAL: writes the graph + κ snapshot file atomically,
     /// then resets the log.
-    pub fn compact(&self) -> Result<(), PersistError> {
+    pub fn compact(&self) -> Result<(), EngineError> {
         let mut w = lock_writer(&self.writer);
         self.compact_locked(&mut w)
     }
@@ -545,6 +772,8 @@ impl Engine {
             ("promotions", stats.promotions),
             ("demotions", stats.demotions),
             ("edges_examined", stats.edges_examined),
+            ("degraded", u64::from(self.state() != EngineState::Serving)),
+            ("recoveries", m.recoveries.get()),
         ] {
             out.push_str(key);
             out.push(' ');
@@ -574,6 +803,9 @@ impl Engine {
         let age = tkc_obs::process_nanos()
             .saturating_sub(self.last_publish_nanos.load(Ordering::Relaxed));
         self.metrics.snapshot_age_seconds.set(age as f64 / 1e9);
+        if let Some(plan) = &self.config.fault_plan {
+            self.metrics.faults_injected.set(plan.injected_total());
+        }
         let mut out = self.registry.render();
         out.push_str(&MetricsRegistry::global().render());
         out
@@ -591,7 +823,7 @@ impl Engine {
             .record_duration(start.elapsed());
     }
 
-    fn compact_locked(&self, w: &mut Writer) -> Result<(), PersistError> {
+    fn compact_locked(&self, w: &mut Writer) -> Result<(), EngineError> {
         let tmp = self.config.dir.join("state.tkc.tmp");
         let final_path = self.config.dir.join(STATE_FILE);
         {
@@ -665,6 +897,10 @@ fn lock_writer<'a>(m: &'a Mutex<Writer>) -> std::sync::MutexGuard<'a, Writer> {
     m.lock().unwrap_or_else(|p| p.into_inner())
 }
 
+fn lock_reason<'a>(m: &'a Mutex<String>) -> std::sync::MutexGuard<'a, String> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
 fn lock_read<'a>(
     l: &'a RwLock<Arc<EpochSnapshot>>,
 ) -> std::sync::RwLockReadGuard<'a, Arc<EpochSnapshot>> {
@@ -691,10 +927,10 @@ mod tests {
 
     fn manual_config(dir: &std::path::Path) -> EngineConfig {
         EngineConfig {
-            dir: dir.to_path_buf(),
             fsync: false,
             epoch_ops: 0,
             compact_bytes: 0,
+            ..EngineConfig::new(dir)
         }
     }
 

@@ -1,0 +1,187 @@
+//! Structured engine failures and the serving state machine.
+//!
+//! The engine's failure model (DESIGN.md §10) distinguishes three fates
+//! for a write:
+//!
+//! * **Rejected** — the op itself is unacceptable ([`EngineError::
+//!   InvalidOp`], e.g. a vertex id past the configured cap). The engine
+//!   stays healthy; only this request fails.
+//! * **Degraded** — the durability layer failed
+//!   ([`EngineError::Wal`]). The op is *not acknowledged* and the engine
+//!   transitions to [`EngineState::ReadOnly`]: reads keep serving the
+//!   last published epoch, further writes get [`EngineError::Degraded`]
+//!   until a recovery succeeds.
+//! * **Lost process** — a crash. Handled by WAL replay at the next open,
+//!   not by this module.
+//!
+//! Nothing here panics, and none of these variants are reachable from
+//! well-formed client input except `InvalidOp` — which is the point.
+
+use std::fmt;
+
+use tkc_core::persist::PersistError;
+
+use crate::wal::WalError;
+
+/// Where the engine is in its `Serving → ReadOnly → Recovering → Serving`
+/// state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineState {
+    /// Healthy: writes are durable, reads serve the latest epoch.
+    Serving,
+    /// Degraded: the WAL failed; writes are rejected, reads still serve
+    /// the last published epoch.
+    ReadOnly,
+    /// A supervised recovery attempt is in flight.
+    Recovering,
+}
+
+impl EngineState {
+    /// The metrics/wire label (`serving`, `read_only`, `recovering`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EngineState::Serving => "serving",
+            EngineState::ReadOnly => "read_only",
+            EngineState::Recovering => "recovering",
+        }
+    }
+
+    pub(crate) fn as_u8(self) -> u8 {
+        match self {
+            EngineState::Serving => 0,
+            EngineState::ReadOnly => 1,
+            EngineState::Recovering => 2,
+        }
+    }
+
+    pub(crate) fn from_u8(v: u8) -> EngineState {
+        match v {
+            1 => EngineState::ReadOnly,
+            2 => EngineState::Recovering,
+            _ => EngineState::Serving,
+        }
+    }
+}
+
+impl fmt::Display for EngineState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Everything that can go wrong inside the engine, shaped for the wire:
+/// the server maps each variant to a structured `ERR ...` reply instead
+/// of unwinding.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The write-ahead log failed at a named site (append, fsync, ...).
+    Wal(WalError),
+    /// Snapshot load/store failed (compaction, recovery state file).
+    Persist(PersistError),
+    /// The engine is read-only; the reason names the original failure.
+    Degraded {
+        /// Human-readable cause carried into `ERR DEGRADED <reason>`.
+        reason: String,
+    },
+    /// A client-supplied op failed validation (and was not logged).
+    InvalidOp {
+        /// What the op violated.
+        reason: String,
+    },
+}
+
+impl EngineError {
+    /// True when the failure is the fault harness's crash latch — the
+    /// simulated process is dead, so retrying in-process is pointless.
+    pub fn is_injected_crash(&self) -> bool {
+        match self {
+            EngineError::Wal(w) => w.is_injected_crash(),
+            EngineError::Persist(PersistError::Io(e)) => tkc_faults::is_injected_crash(e),
+            _ => false,
+        }
+    }
+
+    /// The short wire token after `ERR` (`DEGRADED`, `INVALID`, `WAL`,
+    /// `PERSIST`) — stable for clients to dispatch on.
+    pub fn wire_token(&self) -> &'static str {
+        match self {
+            EngineError::Wal(_) => "WAL",
+            EngineError::Persist(_) => "PERSIST",
+            EngineError::Degraded { .. } => "DEGRADED",
+            EngineError::InvalidOp { .. } => "INVALID",
+        }
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Wal(e) => write!(f, "wal failure: {e}"),
+            EngineError::Persist(e) => write!(f, "persist failure: {e}"),
+            EngineError::Degraded { reason } => write!(f, "engine degraded: {reason}"),
+            EngineError::InvalidOp { reason } => write!(f, "invalid op: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Wal(e) => Some(e),
+            EngineError::Persist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WalError> for EngineError {
+    fn from(e: WalError) -> Self {
+        EngineError::Wal(e)
+    }
+}
+
+impl From<PersistError> for EngineError {
+    fn from(e: PersistError) -> Self {
+        EngineError::Persist(e)
+    }
+}
+
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> Self {
+        EngineError::Persist(PersistError::Io(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_round_trips_through_u8() {
+        for s in [
+            EngineState::Serving,
+            EngineState::ReadOnly,
+            EngineState::Recovering,
+        ] {
+            assert_eq!(EngineState::from_u8(s.as_u8()), s);
+        }
+    }
+
+    #[test]
+    fn wire_tokens_are_stable() {
+        assert_eq!(
+            EngineError::Degraded {
+                reason: "wal.fsync".to_string()
+            }
+            .wire_token(),
+            "DEGRADED"
+        );
+        assert_eq!(
+            EngineError::InvalidOp {
+                reason: "vertex cap".to_string()
+            }
+            .wire_token(),
+            "INVALID"
+        );
+    }
+}

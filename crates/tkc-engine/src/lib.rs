@@ -20,10 +20,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod engine;
+pub mod error;
+pub mod proto;
 pub mod server;
 pub mod wal;
 
 pub use engine::{ApplyReport, Engine, EngineConfig, EngineMetrics, EpochSnapshot, TrussSummary};
+pub use error::{EngineError, EngineState};
 pub use server::{DrainSummary, ServeOptions, Server};
-pub use wal::{AppendInfo, Recovery, Wal, WalOp};
+pub use wal::{AppendInfo, Recovery, Wal, WalError, WalOp};

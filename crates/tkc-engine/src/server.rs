@@ -17,6 +17,7 @@
 //! | `EPOCH`        | `OK <epoch>` (forces publication)       | writer |
 //! | `STATS`        | `OK`, `key value` lines, `.`            | counters |
 //! | `METRICS`      | `OK`, Prometheus text lines, `.`        | counters |
+//! | `HEALTH`       | `OK serving` / `OK read_only <reason>`  | state machine |
 //! | `PING`         | `OK pong`                               | — |
 //! | `SHUTDOWN`     | `OK shutting down` (graceful stop)      | — |
 //! | `QUIT`         | `OK bye` (closes this connection)       | — |
@@ -31,12 +32,28 @@
 //! batches are acknowledged as *queued*, not yet durable; graceful
 //! shutdown drains the queue before the final compaction.
 //!
-//! Every connection has a read timeout: a half-open or stalled client is
-//! dropped instead of pinning its thread forever.
+//! ## Degraded mode and recovery
+//!
+//! When the engine drops to read-only (WAL failure), reads keep being
+//! served from the last epoch while writes answer `ERR DEGRADED
+//! <reason>`. A supervisor thread watches the state and drives
+//! [`Engine::recover`] with capped exponential backoff + jitter until
+//! the engine serves again.
+//!
+//! ## Wire hardening
+//!
+//! Hostile or broken clients are bounded on every axis: line length
+//! ([`ServeOptions::max_line_bytes`], oversized lines answer `ERR` and
+//! close), connection count ([`ServeOptions::max_conns`], excess
+//! connections are shed with `ERR BUSY`), per-connection request budget
+//! ([`ServeOptions::request_budget`]), and a read timeout that reaps
+//! idle or half-open connections (counted in `tkc_conn_timeouts_total`
+//! and logged). Parsing never panics on arbitrary bytes — see
+//! [`crate::proto`].
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -45,6 +62,8 @@ use std::time::{Duration, Instant};
 use tkc_obs::{Counter, Histogram};
 
 use crate::engine::Engine;
+use crate::error::{EngineError, EngineState};
+use crate::proto::{parse_batch_line, parse_command, Command};
 use crate::wal::WalOp;
 
 /// Per-command request counter + latency histogram, labeled
@@ -57,16 +76,27 @@ struct CommandMetrics {
 
 /// The wire verbs that get their own `{cmd=...}` series; anything else
 /// lands in `OTHER`.
-const VERBS: [&str; 12] = [
-    "KAPPA", "MAXK", "TRUSS", "INSERT", "REMOVE", "BATCH", "EPOCH", "STATS", "METRICS", "PING",
-    "QUIT", "SHUTDOWN",
+const VERBS: [&str; 13] = [
+    "KAPPA", "MAXK", "TRUSS", "INSERT", "REMOVE", "BATCH", "EPOCH", "STATS", "METRICS", "HEALTH",
+    "PING", "QUIT", "SHUTDOWN",
 ];
 
-/// Per-verb serving metrics, shared by every connection thread.
+/// Per-verb serving metrics plus the shedding/timeout counters, shared by
+/// every connection thread.
 #[derive(Debug)]
 struct ServerMetrics {
     by_verb: Vec<(&'static str, CommandMetrics)>,
     other: CommandMetrics,
+    /// Connections reaped by the read timeout.
+    conn_timeouts: Counter,
+    /// Connections shed at the cap with `ERR BUSY`.
+    shed_busy: Counter,
+    /// Connections closed for an oversized line.
+    shed_line: Counter,
+    /// Connections closed for exhausting their request budget.
+    shed_budget: Counter,
+    /// Queued batches dropped because apply failed (engine degraded).
+    batches_dropped: Counter,
 }
 
 impl ServerMetrics {
@@ -85,9 +115,27 @@ impl ServerMetrics {
                 &[("cmd", cmd)],
             ),
         };
+        let shed = |reason: &str| {
+            reg.counter_with(
+                "tkc_server_shed_total",
+                "Connections shed, by reason",
+                &[("reason", reason)],
+            )
+        };
         ServerMetrics {
             by_verb: VERBS.iter().map(|&v| (v, family(v))).collect(),
             other: family("OTHER"),
+            conn_timeouts: reg.counter(
+                "tkc_conn_timeouts_total",
+                "Connections reaped by the read timeout",
+            ),
+            shed_busy: shed("busy"),
+            shed_line: shed("line_too_long"),
+            shed_budget: shed("request_budget"),
+            batches_dropped: reg.counter(
+                "tkc_server_batches_dropped_total",
+                "Queued batches dropped because apply failed",
+            ),
         }
     }
 
@@ -116,10 +164,24 @@ pub struct DrainSummary {
 /// Tunables for [`Server::start`].
 #[derive(Debug, Clone)]
 pub struct ServeOptions {
-    /// Per-connection read timeout; a connection idle longer is closed.
+    /// Per-connection read timeout; a connection idle longer is reaped
+    /// (counted in `tkc_conn_timeouts_total`).
     pub read_timeout: Duration,
     /// Capacity (in batches) of the bounded ingest queue.
     pub queue_cap: usize,
+    /// Maximum concurrent connections; extras get `ERR BUSY` and are
+    /// closed immediately.
+    pub max_conns: usize,
+    /// Maximum request-line length in bytes; longer lines answer `ERR`
+    /// and close the connection.
+    pub max_line_bytes: usize,
+    /// Requests a single connection may issue before being closed
+    /// (`0` = unlimited).
+    pub request_budget: u64,
+    /// Base delay of the recovery supervisor's exponential backoff.
+    pub recover_backoff: Duration,
+    /// Cap on the recovery backoff delay.
+    pub recover_backoff_cap: Duration,
 }
 
 impl Default for ServeOptions {
@@ -127,6 +189,11 @@ impl Default for ServeOptions {
         ServeOptions {
             read_timeout: Duration::from_secs(60),
             queue_cap: 128,
+            max_conns: 256,
+            max_line_bytes: 64 << 10,
+            request_budget: 0,
+            recover_backoff: Duration::from_millis(50),
+            recover_backoff_cap: Duration::from_secs(5),
         }
     }
 }
@@ -143,7 +210,8 @@ pub struct Server {
 
 impl Server {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// spawns the accept loop and the ingest thread.
+    /// spawns the accept loop, the ingest thread, and the recovery
+    /// supervisor.
     pub fn start(engine: Arc<Engine>, addr: &str, opts: ServeOptions) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
@@ -151,8 +219,17 @@ impl Server {
         let (tx, rx) = sync_channel::<Vec<WalOp>>(opts.queue_cap.max(1));
         let server_metrics = Arc::new(ServerMetrics::register(&engine));
         let ingest_engine = Arc::clone(&engine);
-        let ingest = std::thread::spawn(move || ingest_loop(ingest_engine, rx));
+        let dropped = server_metrics.batches_dropped.clone();
+        let ingest = std::thread::spawn(move || ingest_loop(ingest_engine, rx, dropped));
 
+        let supervisor_engine = Arc::clone(&engine);
+        let supervisor_stop = Arc::clone(&stop);
+        let supervisor_opts = opts.clone();
+        let supervisor = std::thread::spawn(move || {
+            recovery_supervisor(supervisor_engine, supervisor_stop, supervisor_opts);
+        });
+
+        let live_conns = Arc::new(AtomicUsize::new(0));
         let accept_stop = Arc::clone(&stop);
         let accept_handle = std::thread::spawn(move || {
             let mut conns: Vec<JoinHandle<()>> = Vec::new();
@@ -160,17 +237,26 @@ impl Server {
                 if accept_stop.load(Ordering::SeqCst) {
                     break;
                 }
-                let Ok(stream) = incoming else { continue };
+                let Ok(mut stream) = incoming else { continue };
+                if live_conns.load(Ordering::SeqCst) >= opts.max_conns.max(1) {
+                    // Shed at the cap: a one-line refusal, then close.
+                    server_metrics.shed_busy.inc();
+                    let _ = writeln!(stream, "ERR BUSY too many connections");
+                    continue;
+                }
                 engine.metrics().connections.inc();
                 engine.metrics().active_connections.add(1.0);
+                live_conns.fetch_add(1, Ordering::SeqCst);
                 let engine = Arc::clone(&engine);
                 let metrics = Arc::clone(&server_metrics);
                 let tx = tx.clone();
                 let stop = Arc::clone(&accept_stop);
-                let timeout = opts.read_timeout;
+                let live = Arc::clone(&live_conns);
+                let conn_opts = opts.clone();
                 conns.push(std::thread::spawn(move || {
-                    let _ = handle_connection(stream, &engine, &metrics, &tx, &stop, timeout);
+                    let _ = handle_connection(stream, &engine, &metrics, &tx, &stop, &conn_opts);
                     engine.metrics().active_connections.add(-1.0);
+                    live.fetch_sub(1, Ordering::SeqCst);
                 }));
                 conns.retain(|h| !h.is_finished());
             }
@@ -181,6 +267,7 @@ impl Server {
             }
             drop(tx);
             let batches_flushed = ingest.join().unwrap_or(0);
+            let _ = supervisor.join();
             // Final epoch + compaction so a clean restart replays nothing.
             engine.publish();
             let _ = engine.compact();
@@ -227,71 +314,215 @@ impl Server {
     }
 }
 
+/// Watches the engine state and drives [`Engine::recover`] whenever it
+/// drops to read-only: capped exponential backoff with deterministic
+/// jitter between attempts, resetting after each success.
+fn recovery_supervisor(engine: Arc<Engine>, stop: Arc<AtomicBool>, opts: ServeOptions) {
+    let mut rng = tkc_obs::process_nanos() | 1;
+    let mut attempt: u32 = 0;
+    while !stop.load(Ordering::SeqCst) {
+        if engine.state() != EngineState::ReadOnly {
+            attempt = 0;
+            nap(&stop, Duration::from_millis(10));
+            continue;
+        }
+        let base = opts.recover_backoff.max(Duration::from_millis(1));
+        let exp = base.saturating_mul(1u32 << attempt.min(10));
+        let capped = exp.min(opts.recover_backoff_cap.max(base));
+        // Up to +25% jitter so restarting replicas don't retry in phase.
+        let jitter_ns = tkc_faults::xorshift(&mut rng) % (capped.as_nanos() as u64 / 4 + 1);
+        let backoff = capped + Duration::from_nanos(jitter_ns);
+        engine
+            .metrics()
+            .recovery_backoff_seconds
+            .record_duration(backoff);
+        nap(&stop, backoff);
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match engine.recover() {
+            Ok(()) => attempt = 0,
+            Err(e) => {
+                attempt = attempt.saturating_add(1);
+                tkc_obs::warn!("recovery attempt {attempt} failed: {e}");
+            }
+        }
+    }
+}
+
+/// Sleeps `total` in small slices, returning early when `stop` is set.
+fn nap(stop: &AtomicBool, total: Duration) {
+    let slice = Duration::from_millis(10);
+    let mut left = total;
+    while !left.is_zero() && !stop.load(Ordering::SeqCst) {
+        let step = left.min(slice);
+        std::thread::sleep(step);
+        left = left.saturating_sub(step);
+    }
+}
+
 /// Applies queued batches until every sender is gone (shutdown drains the
 /// queue by construction: senders are dropped first, then this returns).
 /// Returns the number of batches applied.
-fn ingest_loop(engine: Arc<Engine>, rx: Receiver<Vec<WalOp>>) -> u64 {
+///
+/// A failing apply (degraded engine) drops that batch — it was only ever
+/// acknowledged as *queued* — and keeps consuming, so the queue never
+/// wedges and ingestion resumes by itself once the engine recovers.
+fn ingest_loop(engine: Arc<Engine>, rx: Receiver<Vec<WalOp>>, dropped: Counter) -> u64 {
     let mut applied = 0u64;
     while let Ok(batch) = rx.recv() {
         engine.metrics().batch_queue_depth.add(-1.0);
-        if let Err(e) = engine.apply(&batch) {
-            // Durability failure (disk full, dir removed): nothing sane to
-            // do per-batch; stop consuming so senders see the closed queue.
-            tkc_obs::error!("ingest stopped: batch apply failed: {e}");
-            break;
+        match engine.apply(&batch) {
+            Ok(_) => {
+                applied += 1;
+                engine.metrics().batches_applied.inc();
+            }
+            Err(e) => {
+                dropped.inc();
+                tkc_obs::warn!("queued batch of {} ops dropped: {e}", batch.len());
+            }
         }
-        applied += 1;
-        engine.metrics().batches_applied.inc();
     }
     applied
 }
 
-/// Serves one connection until QUIT/EOF/timeout/shutdown.
+/// Outcome of one bounded line read.
+enum LineRead {
+    /// A complete line is in the buffer (newline stripped).
+    Line,
+    /// Clean end of stream.
+    Eof,
+    /// The line exceeded the limit (prefix consumed; caller closes).
+    TooLong,
+    /// The read timeout expired.
+    TimedOut,
+}
+
+/// Reads one `\n`-terminated line into `buf` without ever buffering more
+/// than `max` bytes of it — the slow-loris/oversized-line guard. Raw
+/// bytes, not UTF-8: the caller decodes lossily.
+fn read_bounded_line(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    max: usize,
+) -> std::io::Result<LineRead> {
+    buf.clear();
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok(c) => c,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Ok(LineRead::TimedOut)
+            }
+            Err(e) => return Err(e),
+        };
+        if chunk.is_empty() {
+            return Ok(LineRead::Eof);
+        }
+        if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+            if buf.len() + pos > max {
+                reader.consume(pos + 1);
+                return Ok(LineRead::TooLong);
+            }
+            buf.extend_from_slice(&chunk[..pos]);
+            reader.consume(pos + 1);
+            return Ok(LineRead::Line);
+        }
+        let take = chunk.len();
+        if buf.len() + take > max {
+            reader.consume(take);
+            return Ok(LineRead::TooLong);
+        }
+        buf.extend_from_slice(chunk);
+        reader.consume(take);
+    }
+}
+
+/// Serves one connection until QUIT/EOF/timeout/shutdown/limit.
 fn handle_connection(
     stream: TcpStream,
     engine: &Engine,
     metrics: &ServerMetrics,
     tx: &SyncSender<Vec<WalOp>>,
     stop: &AtomicBool,
-    timeout: Duration,
+    opts: &ServeOptions,
 ) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(timeout))?;
+    stream.set_read_timeout(Some(opts.read_timeout))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut out = stream;
-    let mut line = String::new();
+    let mut buf = Vec::new();
+    let mut served = 0u64;
     loop {
         if stop.load(Ordering::SeqCst) {
             return Ok(());
         }
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => return Ok(()), // EOF
-            Ok(_) => {}
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                // Idle past the read timeout: drop the connection.
+        match read_bounded_line(&mut reader, &mut buf, opts.max_line_bytes)? {
+            LineRead::Line => {}
+            LineRead::Eof => return Ok(()),
+            LineRead::TimedOut => {
+                // Idle past the read timeout: reap the connection, and
+                // make the reap observable instead of silent.
+                metrics.conn_timeouts.inc();
+                tkc_obs::warn!(
+                    "connection idle past {:?}: reaped (peer {})",
+                    opts.read_timeout,
+                    out.peer_addr()
+                        .map(|a| a.to_string())
+                        .unwrap_or_else(|_| "unknown".to_string())
+                );
                 let _ = writeln!(out, "ERR read timeout");
                 return Ok(());
             }
-            Err(e) => return Err(e),
+            LineRead::TooLong => {
+                metrics.shed_line.inc();
+                let _ = writeln!(out, "ERR line exceeds {} bytes", opts.max_line_bytes);
+                return Ok(());
+            }
         }
-        let cmd = line.trim();
-        if cmd.is_empty() {
-            continue;
+        let text = String::from_utf8_lossy(&buf);
+        let line = text.trim();
+        let Some(parsed) = parse_command(line) else {
+            continue; // blank line
+        };
+        if opts.request_budget > 0 {
+            served += 1;
+            if served > opts.request_budget {
+                metrics.shed_budget.inc();
+                let _ = writeln!(
+                    out,
+                    "ERR request budget of {} exhausted",
+                    opts.request_budget
+                );
+                return Ok(());
+            }
         }
-        let verb = cmd
+        // Per-verb accounting keys off the raw first token so malformed
+        // variants of a known verb still land in its family.
+        let verb = line
             .split_whitespace()
             .next()
-            .unwrap_or("")
-            .to_ascii_uppercase();
+            .map(|t| {
+                if t.len() <= 16 {
+                    t.to_ascii_uppercase()
+                } else {
+                    String::new()
+                }
+            })
+            .unwrap_or_default();
         let per_cmd = metrics.for_verb(&verb);
         per_cmd.requests.inc();
         let start = Instant::now();
-        let flow = respond(cmd, engine, tx, &mut reader, &mut out, timeout);
+        let flow = match parsed {
+            Ok(cmd) => respond(cmd, engine, metrics, tx, &mut reader, &mut out, opts)?,
+            Err(e) => {
+                writeln!(out, "ERR {e}")?;
+                Flow::Continue
+            }
+        };
         per_cmd.seconds.record_duration(start.elapsed());
-        match flow? {
+        match flow {
             Flow::Continue => {}
             Flow::Quit => return Ok(()),
             Flow::Shutdown => {
@@ -312,145 +543,137 @@ enum Flow {
     Shutdown,
 }
 
-/// Parses and answers a single command line.
+/// Maps an engine failure to its structured wire reply.
+fn write_engine_err(out: &mut TcpStream, e: &EngineError) -> std::io::Result<()> {
+    match e {
+        EngineError::Degraded { reason } => writeln!(out, "ERR DEGRADED {reason}"),
+        other => writeln!(out, "ERR {} {other}", other.wire_token()),
+    }
+}
+
+/// Answers a single parsed command.
+#[allow(clippy::too_many_arguments)]
 fn respond(
-    cmd: &str,
+    cmd: Command,
     engine: &Engine,
+    metrics: &ServerMetrics,
     tx: &SyncSender<Vec<WalOp>>,
     reader: &mut BufReader<TcpStream>,
     out: &mut TcpStream,
-    _timeout: Duration,
+    opts: &ServeOptions,
 ) -> std::io::Result<Flow> {
-    let mut parts = cmd.split_whitespace();
-    let verb = parts.next().unwrap_or("").to_ascii_uppercase();
-    let mut arg = || -> Option<u32> { parts.next()?.parse().ok() };
-    let metrics = engine.metrics();
+    let em = engine.metrics();
     let count_query = || {
-        metrics.queries_served.inc();
+        em.queries_served.inc();
     };
-    match verb.as_str() {
-        "KAPPA" => {
+    match cmd {
+        Command::Kappa(u, v) => {
             count_query();
-            match (arg(), arg()) {
-                (Some(u), Some(v)) => match engine.snapshot().kappa(u, v) {
-                    Some(k) => writeln!(out, "OK {k}")?,
-                    None => writeln!(out, "ERR no such edge")?,
-                },
-                _ => writeln!(out, "ERR usage: KAPPA u v")?,
+            match engine.snapshot().kappa(u, v) {
+                Some(k) => writeln!(out, "OK {k}")?,
+                None => writeln!(out, "ERR no such edge")?,
             }
         }
-        "MAXK" => {
+        Command::MaxK => {
             count_query();
             writeln!(out, "OK {}", engine.snapshot().max_kappa())?;
         }
-        "TRUSS" => {
+        Command::Truss(k) => {
             count_query();
-            match arg() {
-                Some(k) => {
-                    let t = engine.snapshot().truss(k);
-                    writeln!(
-                        out,
-                        "OK cores={} edges={} vertices={}",
-                        t.cores, t.edges, t.vertices
-                    )?;
-                }
-                None => writeln!(out, "ERR usage: TRUSS k")?,
-            }
+            let t = engine.snapshot().truss(k);
+            writeln!(
+                out,
+                "OK cores={} edges={} vertices={}",
+                t.cores, t.edges, t.vertices
+            )?;
         }
-        "INSERT" => match (arg(), arg()) {
-            (Some(u), Some(v)) => match engine.insert(u, v) {
-                Ok(Some(k)) => writeln!(out, "OK kappa={k}")?,
-                Ok(None) => writeln!(out, "OK noop")?,
-                Err(e) => writeln!(out, "ERR {e}")?,
-            },
-            _ => writeln!(out, "ERR usage: INSERT u v")?,
+        Command::Insert(u, v) => match engine.insert(u, v) {
+            Ok(Some(k)) => writeln!(out, "OK kappa={k}")?,
+            Ok(None) => writeln!(out, "OK noop")?,
+            Err(e) => write_engine_err(out, &e)?,
         },
-        "REMOVE" => match (arg(), arg()) {
-            (Some(u), Some(v)) => match engine.remove(u, v) {
-                Ok(true) => writeln!(out, "OK removed")?,
-                Ok(false) => writeln!(out, "OK noop")?,
-                Err(e) => writeln!(out, "ERR {e}")?,
-            },
-            _ => writeln!(out, "ERR usage: REMOVE u v")?,
+        Command::Remove(u, v) => match engine.remove(u, v) {
+            Ok(true) => writeln!(out, "OK removed")?,
+            Ok(false) => writeln!(out, "OK noop")?,
+            Err(e) => write_engine_err(out, &e)?,
         },
-        "BATCH" => match arg() {
-            Some(n) if n <= 1_000_000 => {
-                let mut ops = Vec::with_capacity(n as usize);
-                let mut line = String::new();
-                for i in 0..n {
-                    line.clear();
-                    if reader.read_line(&mut line)? == 0 {
+        Command::Batch(n) => {
+            let mut ops = Vec::with_capacity((n as usize).min(4096));
+            let mut body = Vec::new();
+            for i in 0..n {
+                match read_bounded_line(reader, &mut body, opts.max_line_bytes)? {
+                    LineRead::Line => {}
+                    LineRead::Eof | LineRead::TimedOut => {
                         writeln!(out, "ERR batch cut short at op {i}")?;
                         return Ok(Flow::Quit);
                     }
-                    match parse_batch_line(line.trim()) {
-                        Some(op) => ops.push(op),
-                        None => {
-                            writeln!(out, "ERR batch op {i}: expected '+ u v' or '- u v'")?;
-                            return Ok(Flow::Continue);
-                        }
+                    LineRead::TooLong => {
+                        metrics.shed_line.inc();
+                        writeln!(out, "ERR line exceeds {} bytes", opts.max_line_bytes)?;
+                        return Ok(Flow::Quit);
                     }
                 }
-                // Bounded queue: blocks when full — backpressure on the
-                // client instead of unbounded buffering in the server. The
-                // try_send probe only adds accounting; semantics match the
-                // old unconditional blocking send.
-                let sent = match tx.try_send(ops) {
-                    Ok(()) => Ok(()),
-                    Err(TrySendError::Full(ops)) => {
-                        metrics.backpressure_waits.inc();
-                        tx.send(ops).map_err(|_| ())
+                let text = String::from_utf8_lossy(&body);
+                match parse_batch_line(text.trim()) {
+                    Some(op) => ops.push(op),
+                    None => {
+                        writeln!(out, "ERR batch op {i}: expected '+ u v' or '- u v'")?;
+                        return Ok(Flow::Continue);
                     }
-                    Err(TrySendError::Disconnected(_)) => Err(()),
-                };
-                match sent {
-                    Ok(()) => {
-                        metrics.batches_enqueued.inc();
-                        metrics.batch_queue_depth.add(1.0);
-                        writeln!(out, "OK queued {n}")?;
-                    }
-                    Err(()) => writeln!(out, "ERR ingest stopped")?,
                 }
             }
-            _ => writeln!(out, "ERR usage: BATCH n (n <= 1000000)")?,
-        },
-        "EPOCH" => {
+            // Bounded queue: blocks when full — backpressure on the
+            // client instead of unbounded buffering in the server. The
+            // try_send probe only adds accounting; semantics match the
+            // old unconditional blocking send.
+            let sent = match tx.try_send(ops) {
+                Ok(()) => Ok(()),
+                Err(TrySendError::Full(ops)) => {
+                    em.backpressure_waits.inc();
+                    tx.send(ops).map_err(|_| ())
+                }
+                Err(TrySendError::Disconnected(_)) => Err(()),
+            };
+            match sent {
+                Ok(()) => {
+                    em.batches_enqueued.inc();
+                    em.batch_queue_depth.add(1.0);
+                    writeln!(out, "OK queued {n}")?;
+                }
+                Err(()) => writeln!(out, "ERR ingest stopped")?,
+            }
+        }
+        Command::Epoch => {
             count_query();
             writeln!(out, "OK {}", engine.publish())?;
         }
-        "STATS" => {
+        Command::Stats => {
             count_query();
             write!(out, "OK\n{}.\n", engine.metrics_text())?;
         }
-        "METRICS" => {
+        Command::Metrics => {
             count_query();
             write!(out, "OK\n{}.\n", engine.prometheus_text())?;
         }
-        "PING" => writeln!(out, "OK pong")?,
-        "QUIT" => {
+        Command::Health => {
+            count_query();
+            let state = engine.state();
+            match engine.degraded_reason() {
+                None => writeln!(out, "OK {state}")?,
+                Some(reason) => writeln!(out, "OK {state} {reason}")?,
+            }
+        }
+        Command::Ping => writeln!(out, "OK pong")?,
+        Command::Quit => {
             writeln!(out, "OK bye")?;
             return Ok(Flow::Quit);
         }
-        "SHUTDOWN" => {
+        Command::Shutdown => {
             writeln!(out, "OK shutting down")?;
             return Ok(Flow::Shutdown);
         }
-        _ => writeln!(out, "ERR unknown command {verb:?}")?,
     }
     Ok(Flow::Continue)
-}
-
-/// Parses one `+ u v` / `- u v` batch line.
-fn parse_batch_line(t: &str) -> Option<WalOp> {
-    let mut parts = t.split_whitespace();
-    let sign = parts.next()?;
-    let u: u32 = parts.next()?.parse().ok()?;
-    let v: u32 = parts.next()?.parse().ok()?;
-    match sign {
-        "+" => Some(WalOp::Insert(u, v)),
-        "-" => Some(WalOp::Remove(u, v)),
-        _ => None,
-    }
 }
 
 #[cfg(test)]
@@ -459,6 +682,7 @@ mod tests {
 
     use super::*;
     use crate::engine::EngineConfig;
+    use tkc_faults::{Failpoint, FaultKind, FaultPlan, FaultSite};
 
     fn temp_dir(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join("tkc_server_tests").join(name);
@@ -482,6 +706,10 @@ mod tests {
 
         fn send(&mut self, cmd: &str) -> String {
             writeln!(self.stream, "{cmd}").unwrap();
+            self.recv()
+        }
+
+        fn recv(&mut self) -> String {
             let mut line = String::new();
             self.reader.read_line(&mut line).unwrap();
             line.trim_end().to_string()
@@ -501,24 +729,34 @@ mod tests {
         }
     }
 
-    fn start_server(name: &str) -> (Server, SocketAddr) {
-        let config = EngineConfig {
+    fn test_opts() -> ServeOptions {
+        ServeOptions {
+            read_timeout: Duration::from_secs(2),
+            queue_cap: 4,
+            ..ServeOptions::default()
+        }
+    }
+
+    fn start_with(
+        name: &str,
+        configure: impl FnOnce(&mut EngineConfig),
+        opts: ServeOptions,
+    ) -> (Server, SocketAddr, Arc<Engine>) {
+        let mut config = EngineConfig {
             fsync: false,
             epoch_ops: 0,
             compact_bytes: 0,
             ..EngineConfig::new(temp_dir(name))
         };
+        configure(&mut config);
         let engine = Arc::new(Engine::open(config).unwrap());
-        let server = Server::start(
-            engine,
-            "127.0.0.1:0",
-            ServeOptions {
-                read_timeout: Duration::from_secs(5),
-                queue_cap: 4,
-            },
-        )
-        .unwrap();
+        let server = Server::start(Arc::clone(&engine), "127.0.0.1:0", opts).unwrap();
         let addr = server.local_addr();
+        (server, addr, engine)
+    }
+
+    fn start_server(name: &str) -> (Server, SocketAddr) {
+        let (server, addr, _) = start_with(name, |_| {}, test_opts());
         (server, addr)
     }
 
@@ -541,6 +779,7 @@ mod tests {
         assert_eq!(c.send("TRUSS 2"), "OK cores=1 edges=6 vertices=4");
         assert_eq!(c.send("REMOVE 0 1"), "OK removed");
         assert_eq!(c.send("REMOVE 0 1"), "OK noop");
+        assert_eq!(c.send("HEALTH"), "OK serving");
         // Malformed input errors without dropping the connection.
         assert!(c.send("KAPPA one two").starts_with("ERR"));
         assert!(c.send("FROBNICATE").starts_with("ERR"));
@@ -588,6 +827,9 @@ mod tests {
             "tkc_server_requests_total{cmd=\"METRICS\"} 1",
             "tkc_server_command_seconds_count{cmd=\"INSERT\"} 1",
             "tkc_server_active_connections 1",
+            "tkc_engine_state{state=\"serving\"} 1",
+            "tkc_engine_state{state=\"read_only\"} 0",
+            "tkc_conn_timeouts_total 0",
         ] {
             assert!(text.contains(series), "missing {series:?} in:\n{text}");
         }
@@ -605,6 +847,156 @@ mod tests {
         c.reader.read_line(&mut line).unwrap();
         assert!(line.starts_with("ERR batch op 0"));
         assert_eq!(c.send("PING"), "OK pong"); // connection survives
+        server.shutdown();
+    }
+
+    #[test]
+    fn stalled_client_is_reaped_and_counted() {
+        let (server, addr, engine) = start_with(
+            "stalled",
+            |_| {},
+            ServeOptions {
+                read_timeout: Duration::from_millis(100),
+                ..test_opts()
+            },
+        );
+        let mut c = Client::connect(addr);
+        // Say nothing. The reaper should close us with an ERR line.
+        assert_eq!(c.recv(), "ERR read timeout");
+        // And the reap is counted, not silent.
+        let text = engine.prometheus_text();
+        assert!(
+            text.contains("tkc_conn_timeouts_total 1"),
+            "timeout not counted in:\n{text}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_lines_are_rejected_with_bounded_memory() {
+        let (server, addr, engine) = start_with(
+            "longline",
+            |_| {},
+            ServeOptions {
+                max_line_bytes: 256,
+                ..test_opts()
+            },
+        );
+        let mut c = Client::connect(addr);
+        let big = "PING ".to_string() + &"x".repeat(4096);
+        writeln!(c.stream, "{big}").unwrap();
+        assert_eq!(c.recv(), "ERR line exceeds 256 bytes");
+        assert!(engine
+            .prometheus_text()
+            .contains("tkc_server_shed_total{reason=\"line_too_long\"} 1"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn connection_cap_sheds_with_err_busy() {
+        let (server, addr, engine) = start_with(
+            "cap",
+            |_| {},
+            ServeOptions {
+                max_conns: 1,
+                ..test_opts()
+            },
+        );
+        let mut first = Client::connect(addr);
+        assert_eq!(first.send("PING"), "OK pong"); // first conn is live
+        let mut second = Client::connect(addr);
+        assert_eq!(second.recv(), "ERR BUSY too many connections");
+        assert!(engine
+            .prometheus_text()
+            .contains("tkc_server_shed_total{reason=\"busy\"} 1"));
+        assert_eq!(first.send("QUIT"), "OK bye");
+        server.shutdown();
+    }
+
+    #[test]
+    fn request_budget_closes_chatty_connections() {
+        let (server, addr, _engine) = start_with(
+            "budget",
+            |_| {},
+            ServeOptions {
+                request_budget: 3,
+                ..test_opts()
+            },
+        );
+        let mut c = Client::connect(addr);
+        for _ in 0..3 {
+            assert_eq!(c.send("PING"), "OK pong");
+        }
+        assert_eq!(c.send("PING"), "ERR request budget of 3 exhausted");
+        server.shutdown();
+    }
+
+    #[test]
+    fn degraded_engine_serves_reads_and_recovers() {
+        let plan = Arc::new(FaultPlan::with_points(
+            vec![Failpoint {
+                // Append 1 is the WAL magic header; appends 2-3 are the
+                // first two INSERTs. Fail the third insert (append 4).
+                site: FaultSite::Append,
+                kind: FaultKind::Enospc,
+                trigger: 4,
+                count: 1,
+            }],
+            11,
+        ));
+        let inject = Arc::clone(&plan);
+        let (server, addr, engine) = start_with(
+            "degraded",
+            move |config| config.fault_plan = Some(inject),
+            ServeOptions {
+                recover_backoff: Duration::from_millis(200),
+                ..test_opts()
+            },
+        );
+        let mut c = Client::connect(addr);
+        assert_eq!(c.send("INSERT 0 1"), "OK kappa=0");
+        assert_eq!(c.send("INSERT 1 2"), "OK kappa=0");
+        assert_eq!(c.send("EPOCH"), "OK 2");
+        // The injected ENOSPC drops the engine to read-only.
+        let reply = c.send("INSERT 2 0");
+        assert!(reply.starts_with("ERR WAL"), "got {reply}");
+        assert!(c.send("HEALTH").starts_with("OK read_only"));
+        // Reads keep serving the last epoch while degraded.
+        assert_eq!(c.send("KAPPA 0 1"), "OK 0");
+        let next = c.send("INSERT 2 0");
+        assert!(
+            next.starts_with("ERR DEGRADED") || next.starts_with("OK"),
+            "got {next}"
+        );
+        assert!(plan.injected_total() >= 1);
+        // The supervisor recovers the engine; writes come back.
+        let mut recovered = false;
+        for _ in 0..100 {
+            if c.send("HEALTH") == "OK serving" {
+                recovered = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        assert!(recovered, "engine never recovered");
+        assert!(c.send("INSERT 2 0").starts_with("OK"));
+        let text = engine.prometheus_text();
+        assert!(text.contains("tkc_recoveries_total 1"), "in:\n{text}");
+        assert!(text.contains("tkc_engine_degraded_total 1"), "in:\n{text}");
+        assert!(text.contains("tkc_faults_injected_total 1"), "in:\n{text}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn vertex_cap_rejects_hostile_inserts_without_degrading() {
+        let (server, addr, _engine) =
+            start_with("vcap", |config| config.max_vertices = 1 << 10, test_opts());
+        let mut c = Client::connect(addr);
+        let reply = c.send("INSERT 4294967295 0");
+        assert!(reply.starts_with("ERR INVALID"), "got {reply}");
+        // The engine is still healthy and writable.
+        assert_eq!(c.send("HEALTH"), "OK serving");
+        assert_eq!(c.send("INSERT 0 1"), "OK kappa=0");
         server.shutdown();
     }
 }

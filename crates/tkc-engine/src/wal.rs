@@ -20,13 +20,28 @@
 //! unintelligible (unknown tag, wrong field width) is a real error, not a
 //! torn tail — it means version skew or external corruption, and recovery
 //! refuses to guess.
+//!
+//! ## Storage abstraction
+//!
+//! The log never touches the filesystem directly: every byte flows
+//! through a [`WalStorage`] (normally [`tkc_faults::DiskFile`], under
+//! test a fault-injecting [`tkc_faults::FaultFile`]). Failures come back
+//! as [`WalError`] — the underlying [`PersistError`] tagged with the
+//! storage *site* that failed (`wal.open`, `wal.append`, `wal.fsync`,
+//! `wal.truncate`), which is what the engine's degraded-mode reason and
+//! the wire protocol report upward.
+//!
+//! Failed appends never advance the append position: the log's notion of
+//! its valid length moves only after the batch is fully written *and*
+//! (when configured) fsynced, so a torn batch is overwritten by the next
+//! successful append or discarded by compaction.
 
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::fmt;
 use std::path::Path;
 use std::sync::OnceLock;
 
 use tkc_core::persist::PersistError;
+use tkc_faults::{DiskFile, WalStorage};
 
 /// File magic: `TKCWAL`, a NUL, then the format version byte.
 pub const WAL_MAGIC: [u8; 8] = *b"TKCWAL\x00\x01";
@@ -34,6 +49,48 @@ pub const WAL_MAGIC: [u8; 8] = *b"TKCWAL\x00\x01";
 /// Hard upper bound on a record payload; anything larger is treated as a
 /// torn length prefix (no legitimate op comes close).
 const MAX_PAYLOAD: u32 = 64;
+
+/// A WAL failure: *what* went wrong ([`PersistError`]) plus *where* in
+/// the durability path it happened — the failpoint-site vocabulary shared
+/// with `tkc-faults`, so an operator can line up an `ERR DEGRADED
+/// wal.fsync` wire reply with the `--failpoint wal.fsync=eio@5` that
+/// caused it.
+#[derive(Debug)]
+pub struct WalError {
+    /// The storage site that failed (`wal.open`, `wal.append`,
+    /// `wal.fsync`, `wal.truncate`).
+    pub site: &'static str,
+    /// The underlying failure.
+    pub source: PersistError,
+}
+
+impl WalError {
+    fn at(site: &'static str) -> impl FnOnce(std::io::Error) -> WalError {
+        move |e| WalError {
+            site,
+            source: PersistError::Io(e),
+        }
+    }
+
+    /// True when the failure is an injected crash latch (the simulated
+    /// process is "dead" until the harness restarts it) — the recovery
+    /// supervisor must not spin on these.
+    pub fn is_injected_crash(&self) -> bool {
+        matches!(&self.source, PersistError::Io(e) if tkc_faults::is_injected_crash(e))
+    }
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.site, self.source)
+    }
+}
+
+impl std::error::Error for WalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
 
 /// One durable graph mutation.
 ///
@@ -125,53 +182,67 @@ pub struct AppendInfo {
 /// An open write-ahead log positioned for appending.
 #[derive(Debug)]
 pub struct Wal {
-    file: File,
+    storage: Box<dyn WalStorage>,
     /// Valid byte length — the append position.
     len: u64,
     fsync: bool,
 }
 
 impl Wal {
-    /// Opens (creating if absent) the log at `path`, replaying every
-    /// intact record and truncating any torn tail. `fsync` controls
-    /// whether each appended batch is flushed to stable storage before
-    /// [`Wal::append`] returns.
-    pub fn open(path: &Path, fsync: bool) -> Result<(Wal, Recovery), PersistError> {
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(path)?;
-        let mut buf = Vec::new();
-        file.read_to_end(&mut buf)?;
+    /// Opens (creating if absent) the log at `path` on the real
+    /// filesystem, replaying every intact record and truncating any torn
+    /// tail. `fsync` controls whether each appended batch is flushed to
+    /// stable storage before [`Wal::append`] returns.
+    pub fn open(path: &Path, fsync: bool) -> Result<(Wal, Recovery), WalError> {
+        let disk = DiskFile::open(path).map_err(WalError::at("wal.open"))?;
+        Wal::open_with(Box::new(disk), fsync)
+    }
+
+    /// [`Wal::open`] over an arbitrary [`WalStorage`] — the seam the
+    /// fault-injection harness plugs into.
+    pub fn open_with(
+        mut storage: Box<dyn WalStorage>,
+        fsync: bool,
+    ) -> Result<(Wal, Recovery), WalError> {
+        let buf = storage.read_all().map_err(WalError::at("wal.open"))?;
 
         if buf.is_empty() {
-            file.write_all(&WAL_MAGIC)?;
+            storage
+                .write_at(0, &WAL_MAGIC)
+                .map_err(WalError::at("wal.append"))?;
             if fsync {
-                file.sync_data()?;
+                storage.sync().map_err(WalError::at("wal.fsync"))?;
             }
             let wal = Wal {
-                file,
+                storage,
                 len: WAL_MAGIC.len() as u64,
                 fsync,
             };
             return Ok((wal, Recovery::default()));
         }
         if buf.len() < WAL_MAGIC.len() || buf[..6] != WAL_MAGIC[..6] || buf[6] != 0 {
-            return Err(PersistError::BadMagic { expected: "TKCWAL" });
+            return Err(WalError {
+                site: "wal.open",
+                source: PersistError::BadMagic { expected: "TKCWAL" },
+            });
         }
         if buf[7] != WAL_MAGIC[7] {
-            return Err(PersistError::UnsupportedVersion {
-                format: "wal",
-                found: u32::from(buf[7]),
+            return Err(WalError {
+                site: "wal.open",
+                source: PersistError::UnsupportedVersion {
+                    format: "wal",
+                    found: u32::from(buf[7]),
+                },
             });
         }
 
         let mut ops = Vec::new();
         let mut off = WAL_MAGIC.len();
         loop {
-            match read_record(&buf, off)? {
+            match read_record(&buf, off).map_err(|source| WalError {
+                site: "wal.open",
+                source,
+            })? {
                 RecordAt::Op(op, next) => {
                     ops.push(op);
                     off = next;
@@ -182,11 +253,13 @@ impl Wal {
         }
         let torn_bytes = (buf.len() - off) as u64;
         if torn_bytes > 0 {
-            file.set_len(off as u64)?;
-            file.sync_data()?;
+            storage
+                .set_len(off as u64)
+                .map_err(WalError::at("wal.truncate"))?;
+            storage.sync().map_err(WalError::at("wal.fsync"))?;
         }
         let wal = Wal {
-            file,
+            storage,
             len: off as u64,
             fsync,
         };
@@ -195,12 +268,12 @@ impl Wal {
 
     /// Appends a batch of ops as one write, then (if configured) fsyncs —
     /// the batch is durable when this returns.
-    pub fn append(&mut self, ops: &[WalOp]) -> Result<(), PersistError> {
+    pub fn append(&mut self, ops: &[WalOp]) -> Result<(), WalError> {
         self.append_with(ops).map(|_| ())
     }
 
     /// [`Wal::append`] returning byte/fsync accounting for the batch.
-    pub fn append_with(&mut self, ops: &[WalOp]) -> Result<AppendInfo, PersistError> {
+    pub fn append_with(&mut self, ops: &[WalOp]) -> Result<AppendInfo, WalError> {
         if ops.is_empty() {
             return Ok(AppendInfo::default());
         }
@@ -208,12 +281,13 @@ impl Wal {
         for &op in ops {
             op.encode(&mut buf);
         }
-        self.file.seek(SeekFrom::Start(self.len))?;
-        self.file.write_all(&buf)?;
+        self.storage
+            .write_at(self.len, &buf)
+            .map_err(WalError::at("wal.append"))?;
         let mut fsync = std::time::Duration::ZERO;
         if self.fsync {
             let start = std::time::Instant::now();
-            self.file.sync_data()?;
+            self.storage.sync().map_err(WalError::at("wal.fsync"))?;
             fsync = start.elapsed();
         }
         self.len += buf.len() as u64;
@@ -231,9 +305,11 @@ impl Wal {
 
     /// Drops every record, leaving just the header — called after the
     /// state they describe has been compacted into a snapshot file.
-    pub fn reset(&mut self) -> Result<(), PersistError> {
-        self.file.set_len(WAL_MAGIC.len() as u64)?;
-        self.file.sync_data()?;
+    pub fn reset(&mut self) -> Result<(), WalError> {
+        self.storage
+            .set_len(WAL_MAGIC.len() as u64)
+            .map_err(WalError::at("wal.truncate"))?;
+        self.storage.sync().map_err(WalError::at("wal.fsync"))?;
         self.len = WAL_MAGIC.len() as u64;
         Ok(())
     }
@@ -299,6 +375,8 @@ mod tests {
     #![allow(clippy::unwrap_used)]
 
     use super::*;
+    use std::sync::Arc;
+    use tkc_faults::{Failpoint, FaultFile, FaultKind, FaultPlan, FaultSite};
 
     fn temp_wal(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join("tkc_engine_wal_tests");
@@ -397,16 +475,16 @@ mod tests {
     fn alien_files_are_rejected_not_truncated() {
         let path = temp_wal("alien.wal");
         std::fs::write(&path, b"not a wal at all").unwrap();
-        assert!(matches!(
-            Wal::open(&path, false),
-            Err(PersistError::BadMagic { .. })
-        ));
+        let err = Wal::open(&path, false).unwrap_err();
+        assert_eq!(err.site, "wal.open");
+        assert!(matches!(err.source, PersistError::BadMagic { .. }));
         let mut future = WAL_MAGIC;
         future[7] = 9;
         std::fs::write(&path, future).unwrap();
+        let err = Wal::open(&path, false).unwrap_err();
         assert!(matches!(
-            Wal::open(&path, false),
-            Err(PersistError::UnsupportedVersion { found: 9, .. })
+            err.source,
+            PersistError::UnsupportedVersion { found: 9, .. }
         ));
     }
 
@@ -419,10 +497,9 @@ mod tests {
         bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
         bytes.extend_from_slice(&payload);
         std::fs::write(&path, &bytes).unwrap();
-        assert!(matches!(
-            Wal::open(&path, false),
-            Err(PersistError::Corrupt { .. })
-        ));
+        let err = Wal::open(&path, false).unwrap_err();
+        assert_eq!(err.site, "wal.open");
+        assert!(matches!(err.source, PersistError::Corrupt { .. }));
     }
 
     #[test]
@@ -436,5 +513,107 @@ mod tests {
         drop(wal);
         let (_, rec) = Wal::open(&path, false).unwrap();
         assert_eq!(rec.ops, vec![WalOp::Insert(7, 8)]);
+    }
+
+    fn faulted_wal(path: &std::path::Path, points: Vec<Failpoint>) -> (Wal, Arc<FaultPlan>) {
+        let plan = Arc::new(FaultPlan::with_points(points, 99));
+        let disk = DiskFile::open(path).unwrap();
+        let storage = FaultFile::new(Box::new(disk), Arc::clone(&plan));
+        let (wal, _) = Wal::open_with(Box::new(storage), true).unwrap();
+        (wal, plan)
+    }
+
+    #[test]
+    fn injected_enospc_fails_append_without_advancing() {
+        let path = temp_wal("inject_enospc.wal");
+        // Trigger 2 so the magic-header write (append invocation 1) lands.
+        let (mut wal, plan) = faulted_wal(
+            &path,
+            vec![Failpoint {
+                site: FaultSite::Append,
+                kind: FaultKind::Enospc,
+                trigger: 2,
+                count: 1,
+            }],
+        );
+        let before = wal.len_bytes();
+        let err = wal.append(&SCRIPT[..2]).unwrap_err();
+        assert_eq!(err.site, "wal.append");
+        assert_eq!(wal.len_bytes(), before, "failed append advanced the log");
+        assert_eq!(plan.injected_total(), 1);
+        // The log stays usable once the failpoint is spent.
+        wal.append(&SCRIPT).unwrap();
+        drop(wal);
+        let (_, rec) = Wal::open(&path, false).unwrap();
+        assert_eq!(rec.ops, SCRIPT);
+    }
+
+    #[test]
+    fn injected_short_write_recovers_a_prefix_on_reopen() {
+        let path = temp_wal("inject_short.wal");
+        let (mut wal, _plan) = faulted_wal(
+            &path,
+            vec![Failpoint {
+                site: FaultSite::Append,
+                kind: FaultKind::ShortWrite,
+                trigger: 3, // magic, first batch, then tear the second
+                count: 1,
+            }],
+        );
+        wal.append(&SCRIPT[..2]).unwrap();
+        let err = wal.append(&SCRIPT[2..]).unwrap_err();
+        assert_eq!(err.site, "wal.append");
+        drop(wal);
+        // Plain reopen: the torn batch truncates away; acked ops survive.
+        let (_, rec) = Wal::open(&path, false).unwrap();
+        assert!(rec.ops.len() >= 2, "acked records lost: {:?}", rec.ops);
+        assert_eq!(rec.ops[..], SCRIPT[..rec.ops.len()]);
+    }
+
+    #[test]
+    fn injected_fsync_failure_is_site_tagged() {
+        let path = temp_wal("inject_fsync.wal");
+        let (mut wal, _plan) = faulted_wal(
+            &path,
+            vec![Failpoint {
+                site: FaultSite::Fsync,
+                kind: FaultKind::Eio,
+                trigger: 2, // survive the header fsync, fail the batch's
+                count: 1,
+            }],
+        );
+        let err = wal.append(&SCRIPT[..2]).unwrap_err();
+        assert_eq!(err.site, "wal.fsync");
+        assert!(!err.is_injected_crash());
+    }
+
+    #[test]
+    fn injected_crash_latch_is_recognizable_and_survivable() {
+        let path = temp_wal("inject_crash.wal");
+        let (mut wal, plan) = faulted_wal(
+            &path,
+            vec![Failpoint {
+                site: FaultSite::Append,
+                kind: FaultKind::Crash,
+                trigger: 30, // tear mid-way through the first record batch
+                count: 1,
+            }],
+        );
+        let err = wal.append(&SCRIPT).unwrap_err();
+        assert!(err.is_injected_crash(), "got {err}");
+        // Still "dead": reopening through the same plan fails too.
+        let disk = DiskFile::open(&path).unwrap();
+        let dead = FaultFile::new(Box::new(disk), Arc::clone(&plan));
+        assert!(Wal::open_with(Box::new(dead), false)
+            .unwrap_err()
+            .is_injected_crash());
+        // Restart: recovery truncates the torn tail and replays the rest.
+        plan.clear_crash();
+        let (_, rec) = Wal::open(&path, false).unwrap();
+        assert_eq!(rec.ops[..], SCRIPT[..rec.ops.len()]);
+        assert!(
+            rec.torn_bytes > 0,
+            "expected a torn tail at the crash offset"
+        );
     }
 }

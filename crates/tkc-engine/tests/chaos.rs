@@ -1,0 +1,85 @@
+//! Chaos acceptance suite: ≥200 seeded fault schedules through the real
+//! engine, zero tolerance for panics or silent κ divergence.
+//!
+//! Every seed fully determines its case (graph, op stream, fault
+//! schedule), so a failure here reproduces with one integer:
+//!
+//! ```text
+//! chaos::run_case(dir, &ChaosCase::from_seed(SEED))
+//! ```
+//!
+//! The harness itself ([`tkc_engine::chaos`]) reacts to injected faults
+//! the way production does — recover in place when degraded, reopen and
+//! replay after a simulated crash — and checks `κ ≡ recompute` after
+//! every recovery, at the end of the stream, and across a final clean
+//! reopen.
+
+use std::path::PathBuf;
+
+use tkc_engine::chaos::{run_case, run_seed_range, ChaosCase};
+
+fn temp_root(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("tkc_chaos_tests").join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// The headline acceptance run: 216 seeds (mirroring the 216-stream
+/// differential suite), every fault schedule survived, every oracle
+/// checkpoint green.
+#[test]
+fn two_hundred_sixteen_seeded_schedules_survive() {
+    let root = temp_root("suite");
+    let total =
+        run_seed_range(&root, 0, 216).unwrap_or_else(|(seed, f)| panic!("seed {seed}: {f}"));
+    assert!(
+        total.batches_acked >= 216,
+        "suspiciously few acks: {total:?}"
+    );
+    // Across 216 seeded schedules a healthy harness must both inject
+    // faults and exercise both repair paths; all-zero counters would mean
+    // the chaos layer silently disarmed itself.
+    assert!(total.faults_injected >= 50, "too few faults: {total:?}");
+    assert!(total.recoveries >= 10, "too few recoveries: {total:?}");
+    assert!(total.crash_restarts >= 5, "too few restarts: {total:?}");
+    assert!(
+        total.oracle_checks >= 216 * 2,
+        "oracle barely ran: {total:?}"
+    );
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// Same engine + plan machinery, but with fsync-heavy cases only: every
+/// third seed runs `fsync: true`, which routes through the wal.fsync
+/// failpoints (EIO on fsync is the classic "fsyncgate" shape).
+#[test]
+fn fsync_heavy_cases_survive() {
+    let root = temp_root("fsync");
+    for seed in (0..60).filter(|s| s % 3 == 0) {
+        let case = ChaosCase::from_seed(seed);
+        assert!(case.fsync, "seed {seed} should be an fsync case");
+        let dir = root.join(format!("seed-{seed}"));
+        run_case(&dir, &case).unwrap_or_else(|f| panic!("seed {seed}: {f}"));
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// A crash mid-append must never lose an acknowledged op: replay after
+/// the simulated restart rebuilds a state whose κ matches recompute, and
+/// the harness's durability epilogue (clean close + reopen) round-trips.
+/// This pins the at-least-once contract on a seed known to crash.
+#[test]
+fn crash_seeds_replay_without_divergence() {
+    let root = temp_root("crash");
+    let mut crashes = 0;
+    for seed in 0..48 {
+        let dir = root.join(format!("seed-{seed}"));
+        std::fs::remove_dir_all(&dir).ok();
+        let case = ChaosCase::from_seed(seed);
+        let report = run_case(&dir, &case).unwrap_or_else(|f| panic!("seed {seed}: {f}"));
+        crashes += report.crash_restarts;
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    assert!(crashes > 0, "no crash schedule fired in 48 seeds");
+    std::fs::remove_dir_all(&root).ok();
+}

@@ -1,0 +1,131 @@
+//! Fuzz the wire-protocol parser with arbitrary bytes: for *any* input
+//! the parser must return a well-formed command or an `ERR`-renderable
+//! parse error — never panic, never emit an unprintable or multi-line
+//! error, never allocate proportionally to a hostile token.
+//!
+//! This is the server's first line of defense: every byte a client sends
+//! flows through [`parse_command`] / [`parse_batch_line`] (after lossy
+//! UTF-8 decoding, which these properties reproduce exactly).
+
+use proptest::prelude::*;
+
+use tkc_engine::proto::{parse_batch_line, parse_command, Command};
+
+/// What the server does to raw bytes before parsing.
+fn decode(bytes: &[u8]) -> String {
+    String::from_utf8_lossy(bytes).trim().to_string()
+}
+
+/// Shared postcondition: any parse error must render as a sane,
+/// single-line, printable wire message.
+fn assert_wire_safe(line: &str) {
+    if let Some(Err(e)) = parse_command(line) {
+        let msg = e.to_string();
+        assert!(!msg.is_empty(), "empty error for {line:?}");
+        assert!(!msg.contains('\n'), "multi-line error for {line:?}");
+        assert!(msg.len() <= 120, "oversized error {msg:?} for {line:?}");
+        assert!(
+            msg.chars().all(|c| c.is_ascii_graphic() || c == ' '),
+            "unprintable error {msg:?} for {line:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2000))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in collection::vec(any::<u8>(), 0..200)) {
+        let line = decode(&bytes);
+        assert_wire_safe(&line);
+        // Batch body lines take the same hostile bytes.
+        let _ = parse_batch_line(&line);
+    }
+
+    #[test]
+    fn known_verbs_with_hostile_args_never_panic(
+        verb_idx in 0usize..13,
+        a in collection::vec(any::<u8>(), 0..40),
+        b in collection::vec(any::<u8>(), 0..40),
+    ) {
+        const VERBS: [&str; 13] = [
+            "KAPPA", "MAXK", "TRUSS", "INSERT", "REMOVE", "BATCH", "EPOCH",
+            "STATS", "METRICS", "HEALTH", "PING", "QUIT", "SHUTDOWN",
+        ];
+        let line = format!("{} {} {}", VERBS[verb_idx], decode(&a), decode(&b));
+        assert_wire_safe(line.trim());
+    }
+
+    #[test]
+    fn oversized_tokens_echo_bounded(len in 1usize..5000, byte in any::<u8>()) {
+        let c = if byte.is_ascii() && byte != 0 { byte as char } else { 'z' };
+        let token: String = std::iter::repeat(c).take(len).collect();
+        let line = token.clone();
+        if let Some(Err(e)) = parse_command(&line) {
+            assert!(e.to_string().len() <= 120, "unbounded echo for len {len}");
+        }
+        assert_wire_safe(&line);
+    }
+
+    #[test]
+    fn nul_and_control_bytes_are_survivable(
+        prefix in collection::vec(0u8..32, 0..8),
+        verb_idx in 0usize..13,
+    ) {
+        const VERBS: [&str; 13] = [
+            "KAPPA", "MAXK", "TRUSS", "INSERT", "REMOVE", "BATCH", "EPOCH",
+            "STATS", "METRICS", "HEALTH", "PING", "QUIT", "SHUTDOWN",
+        ];
+        let mut bytes = prefix.clone();
+        bytes.extend_from_slice(VERBS[verb_idx].as_bytes());
+        bytes.push(0);
+        assert_wire_safe(&decode(&bytes));
+    }
+
+    #[test]
+    fn numeric_args_round_trip_or_reject(u in any::<u64>(), v in any::<u64>()) {
+        let line = format!("INSERT {u} {v}");
+        match parse_command(&line) {
+            Some(Ok(Command::Insert(pu, pv))) => {
+                // Accepted only when both fit u32, and losslessly.
+                assert_eq!(u64::from(pu), u);
+                assert_eq!(u64::from(pv), v);
+            }
+            Some(Err(_)) => {
+                assert!(u > u64::from(u32::MAX) || v > u64::from(u32::MAX));
+            }
+            other => panic!("INSERT parsed as {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_batch_headers_reject_cleanly(
+        tail in collection::vec(any::<u8>(), 0..16),
+    ) {
+        // "BATCH" + garbage tail: either a valid in-range count or a
+        // usage error — never a panic, never an out-of-range accept.
+        let line = format!("BATCH {}", decode(&tail));
+        match parse_command(line.trim()) {
+            Some(Ok(Command::Batch(n))) => assert!(n <= 1_000_000),
+            Some(Ok(other)) => panic!("BATCH parsed as {other:?}"),
+            Some(Err(_)) | None => {}
+        }
+        assert_wire_safe(line.trim());
+    }
+
+    #[test]
+    fn batch_body_lines_parse_or_reject(
+        sign in 0u8..4,
+        u in any::<u64>(),
+        v in any::<u64>(),
+    ) {
+        let s = ["+", "-", "*", ""][sign as usize];
+        let line = format!("{s} {u} {v}");
+        let parsed = parse_batch_line(line.trim());
+        let in_range = u <= u64::from(u32::MAX) && v <= u64::from(u32::MAX);
+        match s {
+            "+" | "-" => assert_eq!(parsed.is_some(), in_range),
+            _ => assert!(parsed.is_none()),
+        }
+    }
+}

@@ -83,6 +83,7 @@ fn four_concurrent_clients_mixed_reads_and_writes() {
         ServeOptions {
             read_timeout: Duration::from_secs(10),
             queue_cap: 2,
+            ..ServeOptions::default()
         },
     )
     .unwrap();

@@ -1,0 +1,361 @@
+//! [`FaultFile`]: a [`WalStorage`] wrapper that injects the failures a
+//! [`FaultPlan`] schedules.
+//!
+//! Injection semantics, chosen to mirror what real kernels and disks do:
+//!
+//! * `ShortWrite` — a strict prefix of the data reaches the inner
+//!   storage, then the call fails with `WriteZero`. On `read_all` it
+//!   models a short read: a prefix of the file comes back with no error.
+//! * `Enospc` / `Eio` — the call fails with the corresponding raw OS
+//!   error (`ENOSPC` = 28, `EIO` = 5) before touching the inner storage.
+//! * `BitFlip` — one pseudo-randomly chosen bit of the payload is
+//!   flipped and the call *succeeds*. Nothing notices until a recovery
+//!   checksum does.
+//! * `Crash` — on the append site the trigger is a byte offset: the
+//!   write that would carry the log past it is torn at exactly that
+//!   boundary, then the crash latch closes and **every** storage call
+//!   fails with [`is_injected_crash`]-recognizable errors until
+//!   [`FaultPlan::clear_crash`] simulates a restart.
+//!
+//! All randomness (cut lengths, bit positions) comes from the plan's
+//! seeded generator, so a failing schedule replays byte-for-byte.
+
+use std::io;
+use std::sync::Arc;
+
+use crate::plan::{FaultKind, FaultPlan, FaultSite};
+use crate::storage::WalStorage;
+
+/// Message prefix on every error produced by the crash latch.
+const CRASH_MSG: &str = "injected crash";
+
+/// True if `err` came from a tripped crash latch (as opposed to an
+/// injected-but-survivable fault or a real I/O failure).
+pub fn is_injected_crash(err: &io::Error) -> bool {
+    err.to_string().starts_with(CRASH_MSG)
+}
+
+fn crash_error() -> io::Error {
+    io::Error::other(format!("{CRASH_MSG}: storage unreachable until restart"))
+}
+
+fn os_error(kind: FaultKind, site: FaultSite) -> io::Error {
+    let code = match kind {
+        FaultKind::Enospc => 28, // ENOSPC
+        _ => 5,                  // EIO covers everything else non-write-shaped
+    };
+    let base = io::Error::from_raw_os_error(code);
+    io::Error::new(
+        base.kind(),
+        format!("injected {} at {}: {base}", kind.as_str(), site.as_str()),
+    )
+}
+
+/// A [`WalStorage`] that consults a shared [`FaultPlan`] before (and
+/// sometimes instead of) delegating to the wrapped storage.
+#[derive(Debug)]
+pub struct FaultFile {
+    inner: Box<dyn WalStorage>,
+    plan: Arc<FaultPlan>,
+}
+
+impl FaultFile {
+    /// Wraps `inner` so every call is subject to `plan`.
+    pub fn new(inner: Box<dyn WalStorage>, plan: Arc<FaultPlan>) -> FaultFile {
+        FaultFile { inner, plan }
+    }
+
+    fn check_latch(&self) -> io::Result<()> {
+        if self.plan.crashed() {
+            return Err(crash_error());
+        }
+        Ok(())
+    }
+}
+
+impl WalStorage for FaultFile {
+    fn read_all(&mut self) -> io::Result<Vec<u8>> {
+        self.check_latch()?;
+        let n = self.plan.bump(FaultSite::Open);
+        if self.plan.crash_at(FaultSite::Open, n) {
+            self.plan.latch_crash();
+            self.plan.note_injection();
+            return Err(crash_error());
+        }
+        match self.plan.fire(FaultSite::Open, n) {
+            Some(kind @ (FaultKind::Enospc | FaultKind::Eio)) => {
+                self.plan.note_injection();
+                Err(os_error(kind, FaultSite::Open))
+            }
+            Some(FaultKind::ShortWrite) => {
+                // A short read: hand back a prefix with no error at all.
+                let mut buf = self.inner.read_all()?;
+                if !buf.is_empty() {
+                    let keep = (self.plan.draw() % buf.len() as u64) as usize;
+                    buf.truncate(keep);
+                }
+                self.plan.note_injection();
+                Ok(buf)
+            }
+            Some(FaultKind::BitFlip) => {
+                let mut buf = self.inner.read_all()?;
+                if !buf.is_empty() {
+                    let bit = self.plan.draw() % (buf.len() as u64 * 8);
+                    buf[(bit / 8) as usize] ^= 1 << (bit % 8);
+                }
+                self.plan.note_injection();
+                Ok(buf)
+            }
+            Some(FaultKind::Crash) | None => self.inner.read_all(),
+        }
+    }
+
+    fn write_at(&mut self, offset: u64, data: &[u8]) -> io::Result<()> {
+        self.check_latch()?;
+        let n = self.plan.bump(FaultSite::Append);
+        // Byte-offset crash: tear the write exactly at the armed offset.
+        if let Some(limit) = self.plan.append_crash_offset() {
+            let so_far = self.plan.bytes_so_far();
+            if so_far + data.len() as u64 > limit {
+                let keep = limit.saturating_sub(so_far) as usize;
+                if keep > 0 {
+                    self.inner.write_at(offset, &data[..keep])?;
+                    let _ = self.inner.sync();
+                    self.plan.add_bytes(keep as u64);
+                }
+                self.plan.latch_crash();
+                self.plan.note_injection();
+                return Err(crash_error());
+            }
+        }
+        match self.plan.fire(FaultSite::Append, n) {
+            Some(FaultKind::ShortWrite) => {
+                let keep = if data.is_empty() {
+                    0
+                } else {
+                    (self.plan.draw() % data.len() as u64) as usize
+                };
+                if keep > 0 {
+                    self.inner.write_at(offset, &data[..keep])?;
+                    self.plan.add_bytes(keep as u64);
+                }
+                self.plan.note_injection();
+                Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    format!(
+                        "injected short write at wal.append: {keep} of {} bytes",
+                        data.len()
+                    ),
+                ))
+            }
+            Some(kind @ (FaultKind::Enospc | FaultKind::Eio)) => {
+                self.plan.note_injection();
+                Err(os_error(kind, FaultSite::Append))
+            }
+            Some(FaultKind::BitFlip) => {
+                let mut corrupt = data.to_vec();
+                if !corrupt.is_empty() {
+                    let bit = self.plan.draw() % (corrupt.len() as u64 * 8);
+                    corrupt[(bit / 8) as usize] ^= 1 << (bit % 8);
+                }
+                self.inner.write_at(offset, &corrupt)?;
+                self.plan.add_bytes(data.len() as u64);
+                self.plan.note_injection();
+                Ok(())
+            }
+            Some(FaultKind::Crash) | None => {
+                self.inner.write_at(offset, data)?;
+                self.plan.add_bytes(data.len() as u64);
+                Ok(())
+            }
+        }
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.check_latch()?;
+        let n = self.plan.bump(FaultSite::Fsync);
+        if self.plan.crash_at(FaultSite::Fsync, n) {
+            self.plan.latch_crash();
+            self.plan.note_injection();
+            return Err(crash_error());
+        }
+        match self.plan.fire(FaultSite::Fsync, n) {
+            Some(kind) => {
+                self.plan.note_injection();
+                Err(os_error(kind, FaultSite::Fsync))
+            }
+            None => self.inner.sync(),
+        }
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        self.check_latch()?;
+        let n = self.plan.bump(FaultSite::Truncate);
+        if self.plan.crash_at(FaultSite::Truncate, n) {
+            self.plan.latch_crash();
+            self.plan.note_injection();
+            return Err(crash_error());
+        }
+        match self.plan.fire(FaultSite::Truncate, n) {
+            Some(kind) => {
+                self.plan.note_injection();
+                Err(os_error(kind, FaultSite::Truncate))
+            }
+            None => self.inner.set_len(len),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+    use crate::plan::Failpoint;
+
+    /// In-memory storage double so tests stay off the filesystem.
+    #[derive(Debug, Default)]
+    struct MemFile {
+        bytes: Vec<u8>,
+    }
+
+    impl WalStorage for MemFile {
+        fn read_all(&mut self) -> io::Result<Vec<u8>> {
+            Ok(self.bytes.clone())
+        }
+
+        fn write_at(&mut self, offset: u64, data: &[u8]) -> io::Result<()> {
+            let end = offset as usize + data.len();
+            if self.bytes.len() < end {
+                self.bytes.resize(end, 0);
+            }
+            self.bytes[offset as usize..end].copy_from_slice(data);
+            Ok(())
+        }
+
+        fn sync(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+
+        fn set_len(&mut self, len: u64) -> io::Result<()> {
+            self.bytes.truncate(len as usize);
+            Ok(())
+        }
+    }
+
+    fn faulted(points: Vec<Failpoint>) -> (FaultFile, Arc<FaultPlan>) {
+        let plan = Arc::new(FaultPlan::with_points(points, 42));
+        let file = FaultFile::new(Box::new(MemFile::default()), Arc::clone(&plan));
+        (file, plan)
+    }
+
+    #[test]
+    fn enospc_fails_with_raw_os_error_28() {
+        let (mut f, plan) = faulted(vec![Failpoint {
+            site: FaultSite::Append,
+            kind: FaultKind::Enospc,
+            trigger: 2,
+            count: 1,
+        }]);
+        f.write_at(0, b"first").unwrap();
+        let err = f.write_at(5, b"second").unwrap_err();
+        assert_eq!(err.raw_os_error(), None); // wrapped message, kind survives
+        assert_eq!(err.kind(), io::Error::from_raw_os_error(28).kind());
+        assert_eq!(plan.injected_total(), 1);
+        // The schedule is spent: the next write goes through.
+        f.write_at(5, b"third").unwrap();
+        assert_eq!(f.read_all().unwrap(), b"firstthird");
+    }
+
+    #[test]
+    fn short_write_leaves_a_strict_prefix() {
+        let (mut f, _plan) = faulted(vec![Failpoint {
+            site: FaultSite::Append,
+            kind: FaultKind::ShortWrite,
+            trigger: 1,
+            count: 1,
+        }]);
+        let err = f.write_at(0, b"0123456789").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+        let on_disk = f.read_all().unwrap();
+        assert!(
+            on_disk.len() < 10,
+            "short write wrote all {} bytes",
+            on_disk.len()
+        );
+        assert_eq!(&on_disk[..], &b"0123456789"[..on_disk.len()]);
+    }
+
+    #[test]
+    fn bit_flip_succeeds_but_corrupts_exactly_one_bit() {
+        let (mut f, plan) = faulted(vec![Failpoint {
+            site: FaultSite::Append,
+            kind: FaultKind::BitFlip,
+            trigger: 1,
+            count: 1,
+        }]);
+        let data = b"some precious payload";
+        f.write_at(0, data).unwrap();
+        assert_eq!(plan.injected_total(), 1);
+        let on_disk = f.read_all().unwrap();
+        assert_eq!(on_disk.len(), data.len());
+        let flipped: u32 = on_disk
+            .iter()
+            .zip(data.iter())
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(flipped, 1, "expected exactly one flipped bit");
+    }
+
+    #[test]
+    fn byte_offset_crash_tears_then_latches() {
+        let (mut f, plan) = faulted(vec![Failpoint {
+            site: FaultSite::Append,
+            kind: FaultKind::Crash,
+            trigger: 8,
+            count: 1,
+        }]);
+        f.write_at(0, b"sixby").unwrap(); // 5 bytes, under the 8-byte budget
+        let err = f.write_at(5, b"sixmore").unwrap_err();
+        assert!(is_injected_crash(&err), "unexpected error: {err}");
+        // Exactly 8 bytes survived: the 5 acked plus a 3-byte torn prefix.
+        assert!(plan.crashed());
+        let err = f.sync().unwrap_err();
+        assert!(is_injected_crash(&err));
+        let err = f.read_all().unwrap_err();
+        assert!(is_injected_crash(&err));
+        // Restart: latch clears, the torn bytes are visible.
+        plan.clear_crash();
+        assert_eq!(f.read_all().unwrap(), b"sixbysix");
+    }
+
+    #[test]
+    fn fsync_eio_fires_on_schedule() {
+        let (mut f, plan) = faulted(vec![Failpoint {
+            site: FaultSite::Fsync,
+            kind: FaultKind::Eio,
+            trigger: 2,
+            count: 2,
+        }]);
+        f.sync().unwrap();
+        assert!(f.sync().is_err());
+        assert!(f.sync().is_err());
+        f.sync().unwrap();
+        assert_eq!(plan.injected_total(), 2);
+    }
+
+    #[test]
+    fn short_read_returns_prefix_without_error() {
+        let (mut f, _plan) = faulted(vec![Failpoint {
+            site: FaultSite::Open,
+            kind: FaultKind::ShortWrite,
+            trigger: 2,
+            count: 1,
+        }]);
+        f.write_at(0, b"full contents here").unwrap();
+        assert_eq!(f.read_all().unwrap(), b"full contents here");
+        let short = f.read_all().unwrap();
+        assert!(short.len() < 18);
+        assert_eq!(&short[..], &b"full contents here"[..short.len()]);
+    }
+}

@@ -1,0 +1,50 @@
+//! # tkc-faults — deterministic fault injection for durable storage
+//!
+//! The maintenance algorithms of the paper only matter in production if
+//! the loop that runs them survives real failure: torn writes, full
+//! disks, failing fsyncs, silent corruption, and processes dying at
+//! arbitrary byte offsets. This crate makes those failures *injectable,
+//! deterministic, and seed-driven* so the engine's recovery story can be
+//! tested like any other code path:
+//!
+//! * [`storage`] — the [`WalStorage`] trait the engine's write-ahead log
+//!   writes through, plus [`DiskFile`], the real-filesystem
+//!   implementation.
+//! * [`plan`] — [`FaultPlan`]: an armed schedule of [`Failpoint`]s
+//!   (`ShortWrite`, `Enospc`, `Eio`, `BitFlip`, `Crash`), either parsed
+//!   from an operator spec string (`wal.append=enospc@100`) or generated
+//!   from a seed for chaos soaks.
+//! * [`faultfs`] — [`FaultFile`], a [`WalStorage`] wrapper that consults
+//!   a shared [`FaultPlan`] on every call and injects the scheduled
+//!   failures, byte-exactly and reproducibly.
+//!
+//! Everything is `std`-only and dependency-free; the crate knows nothing
+//! about graphs or κ — it is the bottom of the stack on purpose, so the
+//! engine can depend on it without cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod faultfs;
+pub mod plan;
+pub mod storage;
+
+pub use faultfs::{is_injected_crash, FaultFile};
+pub use plan::{Failpoint, FaultKind, FaultPlan, FaultSite};
+pub use storage::{DiskFile, WalStorage};
+
+/// One step of the xorshift64* generator used everywhere this crate needs
+/// deterministic pseudo-randomness (bit-flip positions, short-write cuts,
+/// seeded schedules, backoff jitter). Public so the engine's recovery
+/// supervisor can jitter its backoff from the same primitive.
+pub fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    if x == 0 {
+        x = 0x9E37_79B9_7F4A_7C15;
+    }
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}

@@ -1,0 +1,442 @@
+//! Failpoint schedules: *what* to inject, *where*, and *when* — armed once
+//! and consumed deterministically by [`crate::FaultFile`].
+//!
+//! A [`FaultPlan`] is a shared, thread-safe schedule of [`Failpoint`]s.
+//! Each failpoint names a storage site (`wal.append`, `wal.fsync`,
+//! `wal.truncate`, `wal.open`), a [`FaultKind`], a 1-based trigger, and a
+//! repeat count. Two front doors build plans:
+//!
+//! * [`FaultPlan::parse_spec`] — the operator syntax used by
+//!   `tkc serve --failpoint`, e.g. `wal.append=enospc@100` ("the 100th
+//!   WAL append fails with ENOSPC") or `wal.fsync=eio@5x3` ("fsyncs 5, 6,
+//!   and 7 fail with EIO").
+//! * [`FaultPlan::seeded`] — a pseudo-random schedule derived entirely
+//!   from a seed, used by the chaos soak to sweep hundreds of distinct
+//!   failure shapes reproducibly.
+//!
+//! `Crash` failpoints on the append site are special: their trigger is a
+//! **byte offset**, not an invocation index — the write that would carry
+//! the log past that offset is torn at the boundary and every subsequent
+//! storage call fails, which is exactly what a power cut mid-`write(2)`
+//! looks like to the next process that opens the file.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::xorshift;
+
+/// A storage call site a failpoint can attach to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// `wal.open` — the full-file read at recovery.
+    Open,
+    /// `wal.append` — a record-batch write.
+    Append,
+    /// `wal.fsync` — the durability barrier after a write.
+    Fsync,
+    /// `wal.truncate` — torn-tail truncation and log reset.
+    Truncate,
+}
+
+impl FaultSite {
+    pub(crate) fn index(self) -> usize {
+        match self {
+            FaultSite::Open => 0,
+            FaultSite::Append => 1,
+            FaultSite::Fsync => 2,
+            FaultSite::Truncate => 3,
+        }
+    }
+
+    /// The spec-string name (`wal.append` etc.).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultSite::Open => "wal.open",
+            FaultSite::Append => "wal.append",
+            FaultSite::Fsync => "wal.fsync",
+            FaultSite::Truncate => "wal.truncate",
+        }
+    }
+
+    /// Parses a spec-string site name.
+    pub fn parse(s: &str) -> Option<FaultSite> {
+        match s {
+            "wal.open" => Some(FaultSite::Open),
+            "wal.append" => Some(FaultSite::Append),
+            "wal.fsync" => Some(FaultSite::Fsync),
+            "wal.truncate" => Some(FaultSite::Truncate),
+            _ => None,
+        }
+    }
+}
+
+/// What a fired failpoint does to the storage call it intercepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Write a strict prefix of the data, then fail — a torn write.
+    ShortWrite,
+    /// Fail with `ENOSPC` before writing anything — a full disk.
+    Enospc,
+    /// Fail with `EIO` — a generic medium error (the classic failed
+    /// fsync).
+    Eio,
+    /// Flip one bit of the data and *succeed* — silent corruption that
+    /// only the recovery checksum can catch.
+    BitFlip,
+    /// Die: tear the write at a byte offset and fail every later call
+    /// until [`FaultPlan::clear_crash`] simulates a process restart.
+    Crash,
+}
+
+impl FaultKind {
+    /// The spec-string name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::ShortWrite => "short",
+            FaultKind::Enospc => "enospc",
+            FaultKind::Eio => "eio",
+            FaultKind::BitFlip => "bitflip",
+            FaultKind::Crash => "crash",
+        }
+    }
+
+    /// Parses a spec-string kind name.
+    pub fn parse(s: &str) -> Option<FaultKind> {
+        match s {
+            "short" => Some(FaultKind::ShortWrite),
+            "enospc" => Some(FaultKind::Enospc),
+            "eio" => Some(FaultKind::Eio),
+            "bitflip" => Some(FaultKind::BitFlip),
+            "crash" => Some(FaultKind::Crash),
+            _ => None,
+        }
+    }
+}
+
+/// One armed injection: at invocations `trigger..trigger + count` of
+/// `site`, inject `kind`. (`Crash` on the append site reads `trigger` as
+/// a byte offset instead; `count` is ignored for crashes.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Failpoint {
+    /// Which storage call to intercept.
+    pub site: FaultSite,
+    /// What to inject.
+    pub kind: FaultKind,
+    /// 1-based invocation index (byte offset for append-site crashes).
+    pub trigger: u64,
+    /// Consecutive invocations to fail (≥ 1).
+    pub count: u64,
+}
+
+impl fmt::Display for Failpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}={}@{}",
+            self.site.as_str(),
+            self.kind.as_str(),
+            self.trigger
+        )?;
+        if self.count > 1 {
+            write!(f, "x{}", self.count)?;
+        }
+        Ok(())
+    }
+}
+
+/// A shared, deterministic schedule of failpoints plus the counters that
+/// drive it. Wrap in an `Arc` and hand clones to every storage instance
+/// that should participate — counters are global to the plan, so a
+/// failpoint keeps its place across WAL re-opens.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    points: Mutex<Vec<Failpoint>>,
+    /// Per-site invocation counts, indexed by [`FaultSite::index`].
+    calls: [AtomicU64; 4],
+    /// Bytes successfully handed to the inner storage by append writes —
+    /// the clock for byte-offset crash triggers.
+    bytes_written: AtomicU64,
+    crashed: AtomicBool,
+    injected: AtomicU64,
+    rng: AtomicU64,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing until failpoints are pushed).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A plan with an explicit failpoint list and RNG seed.
+    pub fn with_points(points: Vec<Failpoint>, seed: u64) -> FaultPlan {
+        let plan = FaultPlan::new();
+        *lock(&plan.points) = points;
+        plan.rng.store(seed.max(1), Ordering::Relaxed);
+        plan
+    }
+
+    /// Parses the operator failpoint syntax: comma-separated
+    /// `site=kind@trigger[xCOUNT]` clauses, e.g.
+    /// `wal.append=enospc@100,wal.fsync=eio@5x3`.
+    pub fn parse_spec(spec: &str) -> Result<FaultPlan, String> {
+        let mut points = Vec::new();
+        for clause in spec.split(',').filter(|c| !c.trim().is_empty()) {
+            let clause = clause.trim();
+            let (site, rest) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("failpoint {clause:?}: expected site=kind@trigger"))?;
+            let site = FaultSite::parse(site)
+                .ok_or_else(|| format!("failpoint {clause:?}: unknown site {site:?}"))?;
+            let (kind, when) = rest
+                .split_once('@')
+                .ok_or_else(|| format!("failpoint {clause:?}: expected kind@trigger"))?;
+            let kind = FaultKind::parse(kind)
+                .ok_or_else(|| format!("failpoint {clause:?}: unknown kind {kind:?}"))?;
+            let (trigger, count) = match when.split_once('x') {
+                Some((t, c)) => (t, c),
+                None => (when, "1"),
+            };
+            let trigger: u64 = trigger
+                .parse()
+                .map_err(|_| format!("failpoint {clause:?}: bad trigger {trigger:?}"))?;
+            let count: u64 = count
+                .parse()
+                .map_err(|_| format!("failpoint {clause:?}: bad count {count:?}"))?;
+            if trigger == 0 || count == 0 {
+                return Err(format!(
+                    "failpoint {clause:?}: trigger and count are 1-based"
+                ));
+            }
+            points.push(Failpoint {
+                site,
+                kind,
+                trigger,
+                count,
+            });
+        }
+        if points.is_empty() {
+            return Err("failpoint spec is empty".to_string());
+        }
+        Ok(FaultPlan::with_points(points, 0x5EED))
+    }
+
+    /// A pseudo-random schedule derived entirely from `seed`: one to
+    /// three failpoints over the append/fsync/truncate sites, with
+    /// triggers inside `appends_hint` invocations (crashes inside
+    /// `bytes_hint` bytes). Same seed, same schedule — the chaos soak's
+    /// reproducibility contract.
+    pub fn seeded(seed: u64, appends_hint: u64, bytes_hint: u64) -> FaultPlan {
+        let mut s = seed | 1;
+        let appends = appends_hint.max(1);
+        let bytes = bytes_hint.max(64);
+        let n_points = 1 + xorshift(&mut s) % 3;
+        let mut points = Vec::new();
+        for _ in 0..n_points {
+            let roll = xorshift(&mut s) % 100;
+            let (site, kind) = match roll {
+                0..=24 => (FaultSite::Append, FaultKind::Enospc),
+                25..=44 => (FaultSite::Fsync, FaultKind::Eio),
+                45..=64 => (FaultSite::Append, FaultKind::ShortWrite),
+                65..=79 => (FaultSite::Append, FaultKind::BitFlip),
+                80..=89 => (FaultSite::Truncate, FaultKind::Eio),
+                _ => (FaultSite::Append, FaultKind::Crash),
+            };
+            // Crash triggers are byte offsets past the 8-byte header;
+            // invocation triggers start at 2 so the one-time magic-header
+            // write (invocation 1 on a fresh file) is never the victim —
+            // corrupting it would make the file alien by design, which is
+            // detection working, not a recoverable fault.
+            let trigger = if kind == FaultKind::Crash {
+                8 + xorshift(&mut s) % bytes
+            } else {
+                2 + xorshift(&mut s) % appends
+            };
+            let count = 1 + xorshift(&mut s) % 2;
+            points.push(Failpoint {
+                site,
+                kind,
+                trigger,
+                count,
+            });
+        }
+        FaultPlan::with_points(points, seed)
+    }
+
+    /// Adds one failpoint to the schedule.
+    pub fn push(&self, fp: Failpoint) {
+        lock(&self.points).push(fp);
+    }
+
+    /// Total injections performed so far (every kind, bit-flips
+    /// included).
+    pub fn injected_total(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// True once a `Crash` failpoint has fired: every storage call fails
+    /// until [`FaultPlan::clear_crash`].
+    pub fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::Relaxed)
+    }
+
+    /// Simulates a process restart: clears the crash latch and disarms
+    /// every `Crash` failpoint (the process that died does not die again
+    /// at the same offset — the bytes are already on disk).
+    pub fn clear_crash(&self) {
+        lock(&self.points).retain(|fp| fp.kind != FaultKind::Crash);
+        self.crashed.store(false, Ordering::Relaxed);
+    }
+
+    /// Removes every failpoint and clears the crash latch: subsequent
+    /// storage calls pass straight through. Harnesses use this for their
+    /// durability epilogue (run faulted, then prove a clean close/reopen
+    /// round-trips).
+    pub fn disarm(&self) {
+        lock(&self.points).clear();
+        self.crashed.store(false, Ordering::Relaxed);
+    }
+
+    /// The armed schedule, for logging.
+    pub fn describe(&self) -> String {
+        let points = lock(&self.points);
+        if points.is_empty() {
+            return "(no failpoints)".to_string();
+        }
+        points
+            .iter()
+            .map(|fp| fp.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// Draws from the plan's deterministic RNG (bit positions, cut
+    /// lengths).
+    pub(crate) fn draw(&self) -> u64 {
+        let mut s = self.rng.load(Ordering::Relaxed);
+        let out = xorshift(&mut s);
+        self.rng.store(s, Ordering::Relaxed);
+        out
+    }
+
+    /// Registers one invocation of `site` and returns its 1-based index.
+    pub(crate) fn bump(&self, site: FaultSite) -> u64 {
+        self.calls[site.index()].fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// The non-crash kind scheduled for invocation `n` of `site`, if any.
+    pub(crate) fn fire(&self, site: FaultSite, n: u64) -> Option<FaultKind> {
+        let points = lock(&self.points);
+        points
+            .iter()
+            .find(|fp| {
+                fp.site == site
+                    && fp.kind != FaultKind::Crash
+                    && n >= fp.trigger
+                    && n < fp.trigger + fp.count
+            })
+            .map(|fp| fp.kind)
+    }
+
+    /// The byte-offset crash armed on the append site, if any.
+    pub(crate) fn append_crash_offset(&self) -> Option<u64> {
+        lock(&self.points)
+            .iter()
+            .find(|fp| fp.site == FaultSite::Append && fp.kind == FaultKind::Crash)
+            .map(|fp| fp.trigger)
+    }
+
+    /// The invocation-indexed crash armed on `site` (non-append), if any.
+    pub(crate) fn crash_at(&self, site: FaultSite, n: u64) -> bool {
+        lock(&self.points)
+            .iter()
+            .any(|fp| fp.site == site && fp.kind == FaultKind::Crash && n >= fp.trigger)
+    }
+
+    pub(crate) fn note_injection(&self) {
+        self.injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn latch_crash(&self) {
+        self.crashed.store(true, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_bytes(&self, n: u64) -> u64 {
+        self.bytes_written.fetch_add(n, Ordering::Relaxed) + n
+    }
+
+    pub(crate) fn bytes_so_far(&self) -> u64 {
+        self.bytes_written.load(Ordering::Relaxed)
+    }
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+
+    #[test]
+    fn spec_round_trips() {
+        let plan = FaultPlan::parse_spec("wal.append=enospc@100,wal.fsync=eio@5x3").unwrap();
+        assert_eq!(plan.describe(), "wal.append=enospc@100,wal.fsync=eio@5x3");
+        assert_eq!(plan.fire(FaultSite::Append, 100), Some(FaultKind::Enospc));
+        assert_eq!(plan.fire(FaultSite::Append, 99), None);
+        assert_eq!(plan.fire(FaultSite::Append, 101), None);
+        assert_eq!(plan.fire(FaultSite::Fsync, 7), Some(FaultKind::Eio));
+        assert_eq!(plan.fire(FaultSite::Fsync, 8), None);
+    }
+
+    #[test]
+    fn spec_rejects_garbage() {
+        for bad in [
+            "",
+            "nonsense",
+            "wal.append=frobnicate@1",
+            "disk.append=enospc@1",
+            "wal.append=enospc@zero",
+            "wal.append=enospc@0",
+            "wal.append=enospc@1x0",
+        ] {
+            assert!(FaultPlan::parse_spec(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn seeded_schedules_are_deterministic_and_nonempty() {
+        for seed in 0..50u64 {
+            let a = FaultPlan::seeded(seed, 100, 1700);
+            let b = FaultPlan::seeded(seed, 100, 1700);
+            assert_eq!(a.describe(), b.describe(), "seed {seed}");
+            assert_ne!(a.describe(), "(no failpoints)");
+        }
+        // Different seeds diverge somewhere in a small window.
+        let shapes: std::collections::BTreeSet<String> = (0..16)
+            .map(|s| FaultPlan::seeded(s, 100, 1700).describe())
+            .collect();
+        assert!(shapes.len() > 4, "only {} distinct schedules", shapes.len());
+    }
+
+    #[test]
+    fn crash_latch_clears_on_restart() {
+        let plan = FaultPlan::with_points(
+            vec![Failpoint {
+                site: FaultSite::Append,
+                kind: FaultKind::Crash,
+                trigger: 64,
+                count: 1,
+            }],
+            7,
+        );
+        assert_eq!(plan.append_crash_offset(), Some(64));
+        plan.latch_crash();
+        assert!(plan.crashed());
+        plan.clear_crash();
+        assert!(!plan.crashed());
+        assert_eq!(plan.append_crash_offset(), None);
+    }
+}

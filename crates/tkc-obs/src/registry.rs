@@ -413,7 +413,14 @@ impl MetricsRegistry {
 
     /// Registers (or retrieves) an unlabeled float gauge.
     pub fn gauge(&self, name: &str, help: &str) -> Gauge {
-        match self.register(name, help, FamilyType::Gauge, &[], || {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Registers (or retrieves) a labeled float gauge — one series per
+    /// label set within the family (e.g. `tkc_engine_state{state="..."}`
+    /// as a 0/1 per-state indicator).
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.register(name, help, FamilyType::Gauge, labels, || {
             Handle::Gauge(Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))))
         }) {
             Handle::Gauge(g) => g,

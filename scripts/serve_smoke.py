@@ -5,6 +5,13 @@ INSERT/BATCH against KAPPA/MAXK/TRUSS/STATS, then SHUTDOWN and assert a
 clean exit. Exercises the real release binary end to end — process
 startup, WAL recovery print, the wire protocol, and graceful shutdown.
 
+A second scenario then boots the server with an armed WAL failpoint
+(`--failpoint wal.append=enospc@N`), drives writes into the injected
+disk-full error, and asserts degraded-mode serving: writes answer
+`ERR`, reads keep answering from the last epoch, HEALTH and /metrics
+report `read_only`, and the recovery supervisor brings the engine back
+to `serving` on its own.
+
 Usage: python3 scripts/serve_smoke.py target/release/tkc
 """
 
@@ -27,6 +34,63 @@ def connect(addr, timeout=15):
             if time.monotonic() > deadline:
                 raise
             time.sleep(0.05)
+
+
+class ReconnClient:
+    """A client that survives dropped connections: on any socket error it
+    reconnects with bounded exponential backoff (0.05s doubling to 1s,
+    at most `max_attempts` tries) and replays the command. Callers that
+    must not retry non-idempotent commands pass retry=False and get the
+    error back after the reconnect."""
+
+    def __init__(self, addr, max_attempts=8):
+        self.addr = addr
+        self.max_attempts = max_attempts
+        self.sock = None
+        self.reader = None
+
+    def _ensure(self):
+        if self.sock is not None:
+            return
+        delay = 0.05
+        for attempt in range(self.max_attempts):
+            try:
+                self.sock = socket.create_connection(self.addr, timeout=10)
+                self.reader = self.sock.makefile("r", encoding="ascii")
+                return
+            except OSError:
+                if attempt == self.max_attempts - 1:
+                    raise
+                time.sleep(delay)
+                delay = min(delay * 2, 1.0)
+
+    def _drop(self):
+        try:
+            if self.sock is not None:
+                self.sock.close()
+        except OSError:
+            pass
+        self.sock = None
+        self.reader = None
+
+    def send(self, cmd, retry=True):
+        attempts = self.max_attempts if retry else 1
+        for attempt in range(attempts):
+            try:
+                self._ensure()
+                self.sock.sendall((cmd + "\n").encode("ascii"))
+                reply = self.reader.readline().rstrip("\n")
+                if reply == "":  # peer closed mid-exchange
+                    raise ConnectionResetError("empty reply")
+                return reply
+            except OSError:
+                self._drop()
+                if attempt == attempts - 1:
+                    raise
+                time.sleep(min(0.05 * (2 ** attempt), 1.0))
+
+    def close(self):
+        self._drop()
 
 
 def send(sock, reader, cmd):
@@ -115,6 +179,95 @@ def reader_loop(addr, failures, rid):
         sock.close()
     except Exception as e:  # noqa: BLE001
         failures.append(f"reader_{rid}: {e!r}")
+
+
+def boot(binary, state_dir, *extra):
+    """Starts `tkc serve` and returns (proc, addr, metrics_url)."""
+    proc = subprocess.Popen(
+        [binary, "serve", state_dir, "--addr", "127.0.0.1:0", "--no-fsync",
+         "--metrics-addr", "127.0.0.1:0", *extra],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    addr = None
+    metrics_url = None
+    for line in proc.stdout:
+        print("[degraded]", line.rstrip())
+        if line.startswith("metrics listening on "):
+            metrics_url = line.split()[-1]
+        if line.startswith("tkc-engine listening on "):
+            host, _, port = line.split()[-1].rpartition(":")
+            addr = (host, int(port))
+            break
+    assert addr and metrics_url, "server never printed its addresses"
+    return proc, addr, metrics_url
+
+
+def degraded_scenario(binary):
+    """Armed failpoint: the Nth WAL append hits ENOSPC. The server must
+    degrade to read-only serving (not die), stay readable, surface the
+    state via HEALTH and /metrics, and recover on its own."""
+    with tempfile.TemporaryDirectory(prefix="tkc_serve_degraded_") as state_dir:
+        # Append 1 is the WAL magic header, so trigger 40 = write #39.
+        proc, addr, metrics_url = boot(
+            binary, state_dir,
+            "--failpoint", "wal.append=enospc@40",
+            "--recover-backoff-ms", "1500",
+        )
+        try:
+            c = ReconnClient(addr)
+            assert c.send("HEALTH") == "OK serving"
+
+            # A chain of distinct edges: one append per INSERT. Write
+            # until the failpoint fires.
+            degraded_at = None
+            for i in range(60):
+                reply = c.send(f"INSERT {i} {i + 1}", retry=False)
+                if reply.startswith("ERR"):
+                    degraded_at = i
+                    assert reply.startswith(("ERR WAL", "ERR DEGRADED")), reply
+                    break
+            assert degraded_at is not None, "failpoint never fired in 60 writes"
+
+            # Degraded: the health check names the state, reads still
+            # answer from the last epoch, further writes are refused.
+            health = c.send("HEALTH")
+            assert health.startswith("OK read_only"), health
+            assert c.send("MAXK").startswith("OK "), "reads must keep serving"
+            assert c.send("KAPPA 0 1").startswith(("OK", "ERR no such edge"))
+            refused = c.send("INSERT 900 901", retry=False)
+            assert refused.startswith("ERR DEGRADED"), refused
+
+            series = scrape(metrics_url)
+            assert series['tkc_engine_state{state="read_only"}'] == 1.0, series
+            assert series['tkc_engine_state{state="serving"}'] == 0.0, series
+            assert series["tkc_engine_degraded_total"] >= 1.0, series
+            assert series["tkc_faults_injected_total"] >= 1.0, series
+
+            # The supervisor recovers without any operator action.
+            deadline = time.monotonic() + 30
+            while c.send("HEALTH") != "OK serving":
+                assert time.monotonic() < deadline, "engine never recovered"
+                time.sleep(0.25)
+            assert c.send("INSERT 900 901", retry=False).startswith("OK")
+            series = scrape(metrics_url)
+            assert series["tkc_recoveries_total"] >= 1.0, series
+            assert series['tkc_engine_state{state="serving"}'] == 1.0, series
+
+            assert c.send("SHUTDOWN") == "OK shutting down"
+            c.close()
+            rest = proc.stdout.read()
+            if rest:
+                print("[degraded]", rest.rstrip())
+            code = proc.wait(timeout=30)
+            assert code == 0, f"degraded server exited with {code}"
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+    print("degraded smoke OK: ENOSPC failpoint -> read-only serving -> "
+          "supervised recovery -> writes restored")
 
 
 def main():
@@ -251,6 +404,7 @@ def main():
                 proc2.wait()
     print("serve smoke OK: 4 concurrent clients, graceful shutdown, "
           "state compacted and recovered on restart")
+    degraded_scenario(binary)
 
 
 if __name__ == "__main__":
