@@ -1,0 +1,222 @@
+//! Finding model and text/JSON rendering.
+
+use std::fmt;
+
+/// How a finding gates CI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational only; never fails the run.
+    Warn,
+    /// Fails the run unless allowlisted or justified.
+    Deny,
+}
+
+impl Severity {
+    /// Lowercase name used in output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+}
+
+/// One lint finding at a source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Lint id (`lock-order`, `atomic-ordering`, `panic-surface`,
+    /// `registry-consistency`, `invariant-freshness`).
+    pub lint: &'static str,
+    /// Gate level.
+    pub severity: Severity,
+    /// Root-relative file path.
+    pub file: String,
+    /// 1-based line (0 for file-level findings).
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+    /// When suppressed, the allowlist reason or justification comment.
+    pub allowed_by: Option<String>,
+}
+
+impl Finding {
+    /// A deny-severity finding (the default for every project lint).
+    pub fn deny(lint: &'static str, file: &str, line: u32, message: String) -> Finding {
+        Finding {
+            lint,
+            severity: Severity::Deny,
+            file: file.to_string(),
+            line,
+            message,
+            allowed_by: None,
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: [{}] {}:{}: {}",
+            self.severity.as_str(),
+            self.lint,
+            self.file,
+            self.line,
+            self.message
+        )?;
+        if let Some(why) = &self.allowed_by {
+            write!(f, " (allowed: {why})")?;
+        }
+        Ok(())
+    }
+}
+
+/// The full result of an analysis run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by (file, line, lint, message).
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Sorts findings into the stable output order.
+    pub fn sort(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (a.file.as_str(), a.line, a.lint, a.message.as_str()).cmp(&(
+                b.file.as_str(),
+                b.line,
+                b.lint,
+                b.message.as_str(),
+            ))
+        });
+    }
+
+    /// Findings not suppressed by an allowlist entry or justification.
+    pub fn active(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.allowed_by.is_none())
+    }
+
+    /// Count of active (gating) findings.
+    pub fn active_count(&self) -> usize {
+        self.active().count()
+    }
+
+    /// Count of suppressed findings.
+    pub fn allowed_count(&self) -> usize {
+        self.findings.len() - self.active_count()
+    }
+
+    /// Plain-text rendering: one line per finding plus a summary.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "tkc-analyze: {} file(s) scanned, {} finding(s) ({} allowlisted)\n",
+            self.files_scanned,
+            self.active_count(),
+            self.allowed_count()
+        ));
+        out
+    }
+
+    /// JSON rendering with a stable schema:
+    /// `{"findings": [...], "files_scanned": N, "active": N, "allowed": N}`.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"lint\": {}, ", json_str(f.lint)));
+            out.push_str(&format!(
+                "\"severity\": {}, ",
+                json_str(f.severity.as_str())
+            ));
+            out.push_str(&format!("\"file\": {}, ", json_str(&f.file)));
+            out.push_str(&format!("\"line\": {}, ", f.line));
+            out.push_str(&format!("\"message\": {}", json_str(&f.message)));
+            match &f.allowed_by {
+                Some(why) => out.push_str(&format!(", \"allowed_by\": {}}}", json_str(why))),
+                None => out.push('}'),
+            }
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str(&format!(
+            "],\n  \"files_scanned\": {},\n  \"active\": {},\n  \"allowed\": {}\n}}\n",
+            self.files_scanned,
+            self.active_count(),
+            self.allowed_count()
+        ));
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+
+    #[test]
+    fn sort_and_counts() {
+        let mut r = Report {
+            findings: vec![
+                Finding::deny("panic-surface", "b.rs", 3, "x".into()),
+                Finding {
+                    allowed_by: Some("fixture".into()),
+                    ..Finding::deny("lock-order", "a.rs", 9, "y".into())
+                },
+            ],
+            files_scanned: 2,
+        };
+        r.sort();
+        assert_eq!(r.findings[0].file, "a.rs");
+        assert_eq!(r.active_count(), 1);
+        assert_eq!(r.allowed_count(), 1);
+    }
+
+    #[test]
+    fn json_escapes_and_schema() {
+        let mut r = Report {
+            findings: vec![Finding::deny(
+                "atomic-ordering",
+                "a.rs",
+                1,
+                "say \"hi\"\n".into(),
+            )],
+            files_scanned: 1,
+        };
+        r.sort();
+        let js = r.render_json();
+        assert!(js.contains("\"say \\\"hi\\\"\\n\""));
+        assert!(js.contains("\"files_scanned\": 1"));
+        assert!(js.contains("\"active\": 1"));
+    }
+}

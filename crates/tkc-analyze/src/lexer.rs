@@ -1,0 +1,393 @@
+//! A small Rust lexer — just enough fidelity for the project lints.
+//!
+//! The analyzer deliberately avoids `syn` (the workspace is built against
+//! an offline, std-only dependency set), so this module hand-rolls the
+//! token classes the lints care about: identifiers, punctuation, numeric
+//! and string literals (including raw strings and byte strings), char
+//! literals vs. lifetimes, and both comment styles (nested block comments
+//! included). Comments are not emitted as tokens; they are collected into
+//! a per-line side table so lints can look up `// analyze: ...`
+//! justifications next to a finding without the token matchers having to
+//! skip them.
+
+/// Token classes the lints distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `Ordering`, `unwrap`, ...).
+    Ident,
+    /// `'a` in generics/references (not a char literal).
+    Lifetime,
+    /// Integer or float literal (including tuple indices like `0`).
+    Num,
+    /// String literal of any flavor (`"..."`, `r#"..."#`, `b"..."`).
+    /// `text` holds the *unquoted* body for plain strings and raw
+    /// strings; escape sequences are left as written.
+    Str,
+    /// Char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Punctuation. Multi-char `::` is joined; everything else is one
+    /// character per token.
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind::Str`] for the string convention).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True if this is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this is punctuation with exactly this text.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// A comment's source line and text (without the `//` / `/*` markers,
+/// trimmed). Block comments produce one entry per line they span.
+#[derive(Debug, Clone)]
+pub struct CommentLine {
+    /// 1-based line number.
+    pub line: u32,
+    /// Trimmed comment text.
+    pub text: String,
+}
+
+/// Lex `src` into tokens plus a comment side table.
+pub fn lex(src: &str) -> (Vec<Token>, Vec<CommentLine>) {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+        comments: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+    comments: Vec<CommentLine>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0);
+        if c == Some('\n') {
+            self.line += 1;
+        }
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> (Vec<Token>, Vec<CommentLine>) {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(line),
+                '\'' => self.char_or_lifetime(line),
+                'r' if self.raw_string_ahead(1) => {
+                    self.bump(); // r
+                    self.raw_string(line);
+                }
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump(); // b
+                    self.string(line);
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump(); // b
+                    self.bump(); // '
+                    self.char_body(line);
+                }
+                'b' if self.peek(1) == Some('r') && self.raw_string_ahead(2) => {
+                    self.bump(); // b
+                    self.bump(); // r
+                    self.raw_string(line);
+                }
+                c if c.is_alphabetic() || c == '_' => self.ident(line),
+                c if c.is_ascii_digit() => self.number(line),
+                ':' if self.peek(1) == Some(':') => {
+                    self.bump();
+                    self.bump();
+                    self.push(TokKind::Punct, "::".to_string(), line);
+                }
+                c => {
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        (self.tokens, self.comments)
+    }
+
+    /// Does a raw-string opener (`#*"` ... ) start at `self.pos + at`?
+    fn raw_string_ahead(&self, at: usize) -> bool {
+        let mut i = at;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.comments.push(CommentLine {
+            line,
+            text: text.trim_start_matches(['/', '!']).trim().to_string(),
+        });
+    }
+
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        let mut text = String::new();
+        let mut line = self.line;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else if c == '\n' {
+                self.comments.push(CommentLine {
+                    line,
+                    text: text.trim_matches(['*', '!', ' ']).to_string(),
+                });
+                text.clear();
+                self.bump();
+                line = self.line;
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.comments.push(CommentLine {
+            line,
+            text: text.trim_matches(['*', '!', ' ']).to_string(),
+        });
+    }
+
+    fn string(&mut self, line: u32) {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    if let Some(e) = self.bump() {
+                        text.push('\\');
+                        text.push(e);
+                    }
+                }
+                '"' => break,
+                c => text.push(c),
+            }
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    fn raw_string(&mut self, line: u32) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        let mut text = String::new();
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                // Need `hashes` following '#' to close.
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        text.push('"');
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+            text.push(c);
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        // `'a'` is a char; `'a` (not followed by a closing quote) is a
+        // lifetime; `'\n'` is always a char.
+        let next = self.peek(1);
+        let is_lifetime =
+            matches!(next, Some(c) if c.is_alphabetic() || c == '_') && self.peek(2) != Some('\'');
+        if is_lifetime {
+            self.bump(); // '
+            let mut text = String::from("'");
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Lifetime, text, line);
+        } else {
+            self.bump(); // '
+            self.char_body(line);
+        }
+    }
+
+    fn char_body(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    if let Some(e) = self.bump() {
+                        text.push('\\');
+                        text.push(e);
+                    }
+                }
+                '\'' => break,
+                c => text.push(c),
+            }
+        }
+        self.push(TokKind::Char, text, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else if c == '.' && matches!(self.peek(1), Some(d) if d.is_ascii_digit()) {
+                // `1.5` continues the number; `self.0.load` does not —
+                // the `.` there is followed by an identifier.
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Num, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).0.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_paths_and_numbers() {
+        let toks = kinds("self.0.load(Ordering::Relaxed) + 1.5x");
+        assert_eq!(toks[0], (TokKind::Ident, "self".into()));
+        assert_eq!(toks[1], (TokKind::Punct, ".".into()));
+        assert_eq!(toks[2], (TokKind::Num, "0".into()));
+        assert!(toks.contains(&(TokKind::Punct, "::".into())));
+        assert!(toks.contains(&(TokKind::Num, "1.5x".into())));
+    }
+
+    #[test]
+    fn strings_raw_strings_and_chars() {
+        let toks = kinds(r####"("a\"b", r#"raw "x" body"#, b"bytes", 'c', '\n', &'a str)"####);
+        let strs: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Str)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(strs, vec!["a\\\"b", "raw \"x\" body", "bytes"]);
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Char)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(chars, vec!["c", "\\n"]);
+        assert!(toks.contains(&(TokKind::Lifetime, "'a".into())));
+    }
+
+    #[test]
+    fn comments_are_side_tabled_not_tokens() {
+        let (toks, comments) = lex("x // analyze: allow(panic-surface): fine\n/* multi\nline */ y");
+        let idents: Vec<_> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(idents, vec!["x", "y"]);
+        assert_eq!(comments[0].line, 1);
+        assert!(comments[0].text.starts_with("analyze: allow"));
+        assert!(comments.iter().any(|c| c.text.contains("multi")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let (toks, _) = lex("a /* outer /* inner */ still comment */ b");
+        let idents: Vec<_> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(idents, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn ordering_in_string_is_not_an_ident() {
+        let (toks, _) = lex(r#"let s = "Ordering::SeqCst";"#);
+        assert!(!toks.iter().any(|t| t.is_ident("Ordering")));
+    }
+}

@@ -1,0 +1,116 @@
+//! # tkc-analyze — project-specific static analysis for the tkc workspace
+//!
+//! Generic lints (clippy, rustc) cannot see the *project's* invariants:
+//! which lock outranks which, which atomic is a counter and which
+//! publishes an epoch, which string tables (metrics, failpoints, wire
+//! verbs) must stay in sync across crates, and which `debug_assert!`s
+//! mirror a tkc-verify oracle. This crate closes that gap with a
+//! std-only, `syn`-free analyzer: a hand-rolled Rust lexer
+//! ([`lexer`]), a structural scanner ([`scan`]) that attributes tokens
+//! to functions and skips test/debug-assert regions, and five lints
+//! ([`lints`]) driven by a committed policy file (`analyze.toml`,
+//! [`policy`]):
+//!
+//! | lint id | enforces |
+//! |---|---|
+//! | `lock-order` | acquisitions (incl. through direct calls) respect the declared hierarchy; no self-reacquire; no undeclared locks |
+//! | `atomic-ordering` | every `Ordering::*` site matches the per-variable policy table or carries `// analyze: ordering(..)` |
+//! | `panic-surface` | no `unwrap`/`expect`/indexing/unguarded division in strict crates' non-test paths |
+//! | `registry-consistency` | metric names ↔ DESIGN.md §9, failpoint sites ↔ WAL call sites, wire verbs ↔ dispatch/docs/smoke |
+//! | `invariant-freshness` | Rule 0 / peel-monotonicity `debug_assert!`s reference an existing tkc-verify check |
+//!
+//! Run it as `tkc analyze` or `cargo run -p tkc-analyze -- --format json`.
+//! CI fails on any finding that is neither justified inline nor matched
+//! by an `[[allow]]` entry in the policy file.
+
+// This crate is offline analysis tooling, not a serving path: token
+// walks index into slices they just bounds-derived, and the binary
+// reports errors by message rather than recovering. The strict
+// panic-surface discipline applies to tkc-engine/tkc-graph, not here.
+#![allow(clippy::indexing_slicing)]
+#![warn(missing_docs)]
+
+pub mod findings;
+pub mod lexer;
+pub mod lints;
+pub mod policy;
+pub mod scan;
+
+use findings::Report;
+use policy::Policy;
+use std::path::Path;
+
+/// Scans the workspace under `root` and runs every lint with `policy`,
+/// returning the allowlist-applied, stably-sorted report.
+pub fn analyze(root: &Path, policy: &Policy) -> std::io::Result<Report> {
+    let files = scan::scan_workspace(root)?;
+    let mut report = Report {
+        files_scanned: files.len(),
+        ..Report::default()
+    };
+    report
+        .findings
+        .extend(lints::lock_order::run(&files, policy));
+    report
+        .findings
+        .extend(lints::atomic_ordering::run(&files, policy));
+    report
+        .findings
+        .extend(lints::panic_surface::run(&files, policy));
+    report
+        .findings
+        .extend(lints::registry::run(root, &files, policy));
+    report
+        .findings
+        .extend(lints::invariants::run(&files, policy));
+    for f in &mut report.findings {
+        if f.allowed_by.is_none() {
+            if let Some(entry) = policy.allow_for(f.lint, &f.file, f.line, &f.message) {
+                f.allowed_by = Some(entry.reason.clone());
+            }
+        }
+    }
+    report.sort();
+    Ok(report)
+}
+
+/// Output format for [`run_cli`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// One line per finding plus a summary.
+    Text,
+    /// Stable JSON schema for tooling (`scripts/analyze_report.py`).
+    Json,
+}
+
+/// Shared driver for the standalone binary and the `tkc analyze`
+/// subcommand: loads the policy, analyzes `root`, writes the rendered
+/// report to `out`, and returns the process exit code (0 = clean,
+/// 1 = active findings, 2 = setup error).
+pub fn run_cli(
+    root: &Path,
+    policy_path: &Path,
+    format: Format,
+    out: &mut dyn std::io::Write,
+) -> i32 {
+    let policy = match Policy::load(policy_path) {
+        Ok(p) => p,
+        Err(e) => {
+            let _ = writeln!(out, "tkc-analyze: {e}");
+            return 2;
+        }
+    };
+    let report = match analyze(root, &policy) {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = writeln!(out, "tkc-analyze: scan failed: {e}");
+            return 2;
+        }
+    };
+    let rendered = match format {
+        Format::Text => report.render_text(),
+        Format::Json => report.render_json(),
+    };
+    let _ = out.write_all(rendered.as_bytes());
+    i32::from(report.active_count() > 0)
+}

@@ -1,0 +1,215 @@
+//! Atomic-ordering audit.
+//!
+//! Every `Ordering::{Relaxed, Acquire, Release, AcqRel, SeqCst}` use site
+//! in non-test code must be covered by a per-variable rule in
+//! `analyze.toml` (`[[atomic]]`: variable name, allowed orderings, and a
+//! written reason) or carry an inline `// analyze: ordering(<Name>):
+//! why` justification. `std::cmp::Ordering` variants (`Less`/`Equal`/
+//! `Greater`) never match, so comparator code is naturally out of scope.
+//!
+//! The variable a site belongs to is the last named identifier of the
+//! method receiver (`self.state.load(..)` → `state`,
+//! `self.calls[i].fetch_add(..)` → `calls`), which is how the policy
+//! table stays readable without type resolution.
+
+use crate::findings::Finding;
+use crate::lexer::TokKind;
+use crate::policy::Policy;
+use crate::scan::SourceFile;
+
+const LINT: &str = "atomic-ordering";
+
+const ATOMIC_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Runs the lint over the scanned workspace.
+pub fn run(files: &[SourceFile], policy: &Policy) -> Vec<Finding> {
+    if policy.atomics.is_empty() {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    for file in files {
+        for i in 0..file.tokens.len() {
+            let t = &file.tokens[i];
+            if !t.is_ident("Ordering")
+                || !matches!(file.tokens.get(i + 1), Some(p) if p.is_punct("::"))
+            {
+                continue;
+            }
+            let Some(ord_tok) = file.tokens.get(i + 2) else {
+                continue;
+            };
+            if ord_tok.kind != TokKind::Ident || !ATOMIC_ORDERINGS.contains(&ord_tok.text.as_str())
+            {
+                continue;
+            }
+            if file.in_test(i) {
+                continue;
+            }
+            let ord = ord_tok.text.as_str();
+            let line = ord_tok.line;
+            let var = call_receiver(file, i);
+            let message = match &var {
+                None => format!(
+                    "Ordering::{ord} site could not be attributed to an atomic variable; name the receiver or justify with `// analyze: ordering({ord}): ...`"
+                ),
+                Some(var) => {
+                    let rule = policy.atomics.iter().find(|r| {
+                        (r.var == "*" || r.var == *var)
+                            && r.file.as_ref().is_none_or(|f| file.rel.contains(f))
+                    });
+                    match rule {
+                        None => format!(
+                            "no [[atomic]] policy covers variable `{var}` (used with Ordering::{ord})"
+                        ),
+                        Some(rule) if rule.allowed.iter().any(|a| a == ord) => continue,
+                        Some(rule) => format!(
+                            "Ordering::{ord} on `{var}` violates policy (allowed: {}; policy reason: {})",
+                            rule.allowed.join("/"),
+                            rule.reason
+                        ),
+                    }
+                }
+            };
+            match file.justification(line, "ordering", Some(ord)) {
+                Some(why) => findings.push(Finding {
+                    allowed_by: Some(why),
+                    ..Finding::deny(LINT, &file.rel, line, message)
+                }),
+                None => findings.push(Finding::deny(LINT, &file.rel, line, message)),
+            }
+        }
+    }
+    findings
+}
+
+/// Names the receiver of the call whose argument list contains the
+/// `Ordering` token at index `i`: walks backwards to the unmatched `(`,
+/// then back over `.method` to the receiver chain.
+fn call_receiver(file: &SourceFile, i: usize) -> Option<String> {
+    let mut depth = 0i32;
+    let mut j = i;
+    let open = loop {
+        j = j.checked_sub(1)?;
+        let t = &file.tokens[j];
+        if t.is_punct(")") {
+            depth += 1;
+        } else if t.is_punct("(") {
+            if depth == 0 {
+                break j;
+            }
+            depth -= 1;
+        } else if t.is_punct(";") || t.is_punct("{") {
+            return None;
+        }
+    };
+    let method = file.tokens.get(open.checked_sub(1)?)?;
+    if method.kind != TokKind::Ident {
+        return None;
+    }
+    let dot = file.tokens.get(open.checked_sub(2)?)?;
+    if !dot.is_punct(".") {
+        return None;
+    }
+    super::receiver_name(&file.tokens, open - 2)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+    use crate::scan::scan_source;
+    use std::path::PathBuf;
+
+    fn policy() -> Policy {
+        Policy::parse(
+            r#"
+[[atomic]]
+var = "stop"
+allowed = ["Relaxed"]
+reason = "advisory flag"
+[[atomic]]
+var = "*"
+file = "cells.rs"
+allowed = ["Relaxed"]
+reason = "metric cells"
+"#,
+        )
+        .unwrap()
+    }
+
+    fn lint(rel: &str, src: &str) -> Vec<Finding> {
+        let f = scan_source(PathBuf::from(rel), rel.into(), "demo", src);
+        run(&[f], &policy())
+    }
+
+    #[test]
+    fn allowed_ordering_is_clean() {
+        assert!(lint(
+            "m.rs",
+            "fn a(stop: A) { stop.store(true, Ordering::Relaxed); }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn disallowed_ordering_is_flagged() {
+        let out = lint("m.rs", "fn a(stop: A) { stop.load(Ordering::SeqCst); }");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("violates policy"));
+    }
+
+    #[test]
+    fn unknown_variable_is_flagged() {
+        let out = lint("m.rs", "fn a(x: A) { x.load(Ordering::Acquire); }");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("no [[atomic]] policy"));
+    }
+
+    #[test]
+    fn wildcard_rule_is_file_scoped() {
+        assert!(lint(
+            "cells.rs",
+            "fn a(c: A) { c.0.fetch_add(1, Ordering::Relaxed); }"
+        )
+        .is_empty());
+        assert_eq!(
+            lint(
+                "cells.rs",
+                "fn a(c: A) { c.0.fetch_add(1, Ordering::SeqCst); }"
+            )
+            .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn justification_suppresses() {
+        let out = lint(
+            "m.rs",
+            "fn a(stop: A) {\n    // analyze: ordering(SeqCst): legacy, scheduled for PR7\n    stop.load(Ordering::SeqCst);\n}",
+        );
+        assert_eq!(out.len(), 1);
+        assert!(out[0].allowed_by.is_some());
+    }
+
+    #[test]
+    fn cmp_ordering_is_ignored() {
+        assert!(lint(
+            "m.rs",
+            "fn a(x: u8, y: u8) { let _ = matches!(x.cmp(&y), Ordering::Less); }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn fetch_update_names_receiver_for_both_orderings() {
+        let out = lint(
+            "m.rs",
+            "fn a(stop: A) { stop.fetch_update(Ordering::SeqCst, Ordering::Relaxed, |b| Some(b)); }",
+        );
+        // SeqCst violates, Relaxed passes — exactly one finding, on `stop`.
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("`stop`"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Invariant-comment freshness lint.
+//!
+//! The kernel crates carry `debug_assert!`s that encode paper-level
+//! invariants — Rule 0 locality (dynamic κ-maintenance only touches the
+//! triangle neighborhood of the changed edge) and bucket-queue peel
+//! monotonicity. Those asserts are only as trustworthy as the external
+//! oracle they mirror, so each one must carry an
+//! `// analyze: invariant(<check>)` tag naming an existing function in
+//! tkc-verify. The lint flags:
+//!
+//! - an invariant-bearing `debug_assert!` (its message or nearby comments
+//!   mention a policy keyword) with no tag;
+//! - a tag naming a check that does not exist in tkc-verify (stale
+//!   reference — the check was renamed or removed).
+
+use crate::findings::Finding;
+use crate::lexer::TokKind;
+use crate::policy::Policy;
+use crate::scan::SourceFile;
+use std::collections::BTreeSet;
+
+const LINT: &str = "invariant-freshness";
+
+/// Runs the lint over the scanned workspace.
+pub fn run(files: &[SourceFile], policy: &Policy) -> Vec<Finding> {
+    if policy.invariant_crates.is_empty() || policy.invariant_keywords.is_empty() {
+        return Vec::new();
+    }
+    // Every function name defined under the verify path.
+    let verify_fns: BTreeSet<&str> = files
+        .iter()
+        .filter(|f| {
+            policy
+                .verify_path
+                .as_ref()
+                .is_some_and(|p| f.rel.contains(p))
+        })
+        .flat_map(|f| f.fns.iter().map(|s| s.name.as_str()))
+        .collect();
+
+    let mut findings = Vec::new();
+    for file in files {
+        if !policy.invariant_crates.contains(&file.crate_name) {
+            continue;
+        }
+        for &(start, end) in &file.debug_assert_ranges {
+            if file.in_test(start) {
+                continue;
+            }
+            let first_line = file.tokens.get(start).map_or(0, |t| t.line);
+            let last_line = file
+                .tokens
+                .get(start..end)
+                .into_iter()
+                .flatten()
+                .map(|t| t.line)
+                .max()
+                .unwrap_or(first_line);
+            // Text that can mark the assert as invariant-bearing: its
+            // string arguments plus comments just above and inside it.
+            let mut context = String::new();
+            for t in file.tokens.get(start..end).into_iter().flatten() {
+                if t.kind == TokKind::Str {
+                    context.push_str(&t.text);
+                    context.push('\n');
+                }
+            }
+            for l in first_line.saturating_sub(3)..=last_line {
+                for c in file.comments.get(&l).into_iter().flatten() {
+                    context.push_str(c);
+                    context.push('\n');
+                }
+            }
+            let context_lower = context.to_lowercase();
+            let Some(keyword) = policy
+                .invariant_keywords
+                .iter()
+                .find(|k| context_lower.contains(&k.to_lowercase()))
+            else {
+                continue;
+            };
+            match invariant_tag(&context) {
+                None => findings.push(Finding::deny(
+                    LINT,
+                    &file.rel,
+                    first_line,
+                    format!(
+                        "debug_assert mentions `{keyword}` but carries no `// analyze: invariant(<check>)` tag naming a tkc-verify check"
+                    ),
+                )),
+                Some(name) if !verify_fns.contains(name.as_str()) => {
+                    findings.push(Finding::deny(
+                        LINT,
+                        &file.rel,
+                        first_line,
+                        format!(
+                            "invariant tag references tkc-verify check `{name}`, which does not exist"
+                        ),
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    findings
+}
+
+/// Extracts `<name>` from an `analyze: invariant(<name>)` marker in the
+/// gathered context text.
+fn invariant_tag(context: &str) -> Option<String> {
+    let pos = context.find("analyze: invariant(")?;
+    let rest = context.get(pos + "analyze: invariant(".len()..)?;
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty()).then_some(name)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+    use crate::scan::scan_source;
+    use std::path::PathBuf;
+
+    fn policy() -> Policy {
+        Policy::parse(
+            r#"
+[invariants]
+crates = ["demo"]
+keywords = ["Rule 0", "monoton"]
+verify_path = "verify/src"
+"#,
+        )
+        .unwrap()
+    }
+
+    fn lint(core_src: &str) -> Vec<Finding> {
+        let core = scan_source(
+            PathBuf::from("demo/src/a.rs"),
+            "demo/src/a.rs".into(),
+            "demo",
+            core_src,
+        );
+        let verify = scan_source(
+            PathBuf::from("verify/src/lib.rs"),
+            "verify/src/lib.rs".into(),
+            "tkc-verify",
+            "pub fn verify_decomposition() {}",
+        );
+        run(&[core, verify], &policy())
+    }
+
+    #[test]
+    fn untagged_invariant_assert_is_flagged() {
+        let out = lint("fn a(x: u32) { debug_assert!(x > 0, \"peel monotonicity violated\"); }");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("no `// analyze: invariant"));
+    }
+
+    #[test]
+    fn tagged_with_existing_check_is_clean() {
+        let out = lint(
+            "fn a(x: u32) {\n    // analyze: invariant(verify_decomposition)\n    debug_assert!(x > 0, \"peel monotonicity violated\");\n}",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn stale_tag_is_flagged() {
+        let out = lint(
+            "fn a(x: u32) {\n    // analyze: invariant(gone_check)\n    debug_assert!(x > 0, \"Rule 0 violated\");\n}",
+        );
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("`gone_check`"));
+    }
+
+    #[test]
+    fn plain_debug_asserts_are_ignored() {
+        assert!(lint("fn a(x: u32) { debug_assert!(x > 0, \"positive\"); }").is_empty());
+    }
+}

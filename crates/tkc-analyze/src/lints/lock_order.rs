@@ -1,0 +1,402 @@
+//! Lock-order lint.
+//!
+//! Extracts `Mutex`/`RwLock` acquisition sites per function — both
+//! declared acquirer helpers (`lock_writer(&self.writer)`) and direct
+//! `field.lock()` / `.read()` / `.write()` calls on declared lock fields
+//! — classifies each as *held* (bound with `let`, alive to the end of its
+//! enclosing block) or *transient* (statement temporary), propagates lock
+//! sets through direct same-crate calls to a fixpoint, and reports:
+//!
+//! - an acquisition (or a call that transitively acquires) of a lock
+//!   ranked *earlier* in the declared hierarchy while holding a lock
+//!   ranked later — the classic inversion that makes a cycle possible;
+//! - re-acquisition of a lock already held (std mutexes self-deadlock);
+//! - `.lock()` on a receiver that is not a declared lock (the hierarchy
+//!   must be complete to mean anything).
+//!
+//! Because every declared lock has a unique rank, rejecting rank
+//! inversions rejects every cycle expressible in the graph.
+
+use crate::findings::Finding;
+use crate::lexer::TokKind;
+use crate::policy::Policy;
+use crate::scan::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+const LINT: &str = "lock-order";
+
+#[derive(Debug, Clone)]
+enum Event {
+    Acquire {
+        lock: String,
+        tok: usize,
+        line: u32,
+        /// End of the guard's lifetime (token index) if bound with `let`;
+        /// `None` for statement temporaries.
+        held_until: Option<usize>,
+    },
+    Call {
+        callee: String,
+        tok: usize,
+        line: u32,
+    },
+}
+
+impl Event {
+    fn tok(&self) -> usize {
+        match self {
+            Event::Acquire { tok, .. } | Event::Call { tok, .. } => *tok,
+        }
+    }
+}
+
+/// Runs the lint over the scanned workspace.
+pub fn run(files: &[SourceFile], policy: &Policy) -> Vec<Finding> {
+    if policy.lock_hierarchy.is_empty() {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    let rank: BTreeMap<&str, usize> = policy
+        .lock_hierarchy
+        .iter()
+        .enumerate()
+        .map(|(i, id)| (id.as_str(), i))
+        .collect();
+    let mut field_to_lock: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut acquirer_to_lock: BTreeMap<&str, &str> = BTreeMap::new();
+    for lock in &policy.locks {
+        for f in &lock.fields {
+            field_to_lock.insert(f.as_str(), lock.id.as_str());
+        }
+        for a in &lock.acquirers {
+            acquirer_to_lock.insert(a.as_str(), lock.id.as_str());
+        }
+    }
+
+    // Pass 1: per-function events, and the direct lock set per function
+    // (keyed by crate, then bare name — calls resolve within the crate).
+    let mut events: Vec<(usize, String, Vec<Event>)> = Vec::new(); // (file idx, fn name, events)
+    let mut direct: BTreeMap<(String, String), BTreeSet<String>> = BTreeMap::new();
+    let mut fn_names: BTreeMap<String, BTreeSet<String>> = BTreeMap::new(); // crate -> names
+    for file in files {
+        for f in &file.fns {
+            fn_names
+                .entry(file.crate_name.clone())
+                .or_default()
+                .insert(f.name.clone());
+        }
+    }
+    for (fi, file) in files.iter().enumerate() {
+        let known = fn_names.get(&file.crate_name);
+        for span in &file.fns {
+            let mut evs = Vec::new();
+            let is_acquirer = acquirer_to_lock.contains_key(span.name.as_str());
+            for i in span.body_start..span.end.min(file.tokens.len()) {
+                if file.in_test(i) {
+                    continue;
+                }
+                let t = &file.tokens[i];
+                if t.kind != TokKind::Ident
+                    || !matches!(file.tokens.get(i + 1), Some(n) if n.is_punct("("))
+                {
+                    continue;
+                }
+                // Skip nested `fn` definitions' names.
+                if matches!(i.checked_sub(1).map(|p| &file.tokens[p]), Some(p) if p.is_ident("fn"))
+                {
+                    continue;
+                }
+                let name = t.text.as_str();
+                let is_method =
+                    matches!(i.checked_sub(1).map(|p| &file.tokens[p]), Some(p) if p.is_punct("."));
+                if !is_method {
+                    if let Some(lock) = acquirer_to_lock.get(name) {
+                        evs.push(Event::Acquire {
+                            lock: (*lock).to_string(),
+                            tok: i,
+                            line: t.line,
+                            held_until: held_until(file, span, i),
+                        });
+                        continue;
+                    }
+                }
+                if is_method && matches!(name, "lock" | "read" | "write") {
+                    let recv = super::receiver_name(&file.tokens, i - 1);
+                    match recv.as_deref().and_then(|r| field_to_lock.get(r)) {
+                        Some(lock) => {
+                            evs.push(Event::Acquire {
+                                lock: (*lock).to_string(),
+                                tok: i,
+                                line: t.line,
+                                held_until: held_until(file, span, i),
+                            });
+                            continue;
+                        }
+                        None if name == "lock" && !is_acquirer => {
+                            // `.read()`/`.write()` collide with io traits,
+                            // so only bare `.lock()` demands completeness.
+                            let msg = format!(
+                                "`.lock()` on `{}` which is not a declared lock; add it to analyze.toml [[lock]] and the hierarchy",
+                                recv.as_deref().unwrap_or("<expr>")
+                            );
+                            if let Some(why) = file.justification(t.line, "allow", Some(LINT)) {
+                                findings.push(Finding {
+                                    allowed_by: Some(why),
+                                    ..Finding::deny(LINT, &file.rel, t.line, msg)
+                                });
+                            } else {
+                                findings.push(Finding::deny(LINT, &file.rel, t.line, msg));
+                            }
+                            continue;
+                        }
+                        None => continue,
+                    }
+                }
+                // A plain call to a function defined in this crate. For
+                // method calls, only `self.f(..)` resolves here — `x.push(..)`
+                // on an arbitrary receiver must not alias a crate-local
+                // `fn push` (e.g. `Vec::push` inside `TraceBuffer::push`).
+                let is_self_method = is_method
+                    && matches!(i.checked_sub(2).map(|p| &file.tokens[p]), Some(p) if p.is_ident("self"));
+                if (!is_method || is_self_method) && known.is_some_and(|k| k.contains(name)) {
+                    evs.push(Event::Call {
+                        callee: name.to_string(),
+                        tok: i,
+                        line: t.line,
+                    });
+                }
+            }
+            let mut locks: BTreeSet<String> = evs
+                .iter()
+                .filter_map(|e| match e {
+                    Event::Acquire { lock, .. } => Some(lock.clone()),
+                    Event::Call { .. } => None,
+                })
+                .collect();
+            if let Some(lock) = acquirer_to_lock.get(span.name.as_str()) {
+                locks.insert((*lock).to_string());
+            }
+            direct
+                .entry((file.crate_name.clone(), span.name.clone()))
+                .or_default()
+                .extend(locks);
+            events.push((fi, span.name.clone(), evs));
+        }
+    }
+
+    // Pass 2: propagate lock sets through calls to a fixpoint.
+    let mut reach = direct.clone();
+    loop {
+        let mut changed = false;
+        for (fi, fname, evs) in &events {
+            let crate_name = files[*fi].crate_name.clone();
+            let mut add = BTreeSet::new();
+            for e in evs {
+                if let Event::Call { callee, .. } = e {
+                    if let Some(set) = reach.get(&(crate_name.clone(), callee.clone())) {
+                        add.extend(set.iter().cloned());
+                    }
+                }
+            }
+            let entry = reach.entry((crate_name, fname.clone())).or_default();
+            for l in add {
+                changed |= entry.insert(l);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Pass 3: for each held guard, check everything acquired in its scope.
+    for (fi, _fname, evs) in &events {
+        let file = &files[*fi];
+        let crate_name = &file.crate_name;
+        for (gi, g) in evs.iter().enumerate() {
+            let Event::Acquire {
+                lock: held,
+                tok: gtok,
+                held_until: Some(until),
+                ..
+            } = g
+            else {
+                continue;
+            };
+            let held_rank = rank.get(held.as_str()).copied().unwrap_or(usize::MAX);
+            for e in evs.iter().skip(gi + 1) {
+                if e.tok() <= *gtok || e.tok() >= *until {
+                    continue;
+                }
+                let acquired: Vec<(String, u32, &'static str)> = match e {
+                    Event::Acquire { lock, line, .. } => {
+                        vec![(lock.clone(), *line, "acquires")]
+                    }
+                    Event::Call { callee, line, .. } => reach
+                        .get(&(crate_name.clone(), callee.clone()))
+                        .into_iter()
+                        .flatten()
+                        .map(|l| (l.clone(), *line, "calls into code that acquires"))
+                        .collect(),
+                };
+                for (lock, line, verb) in acquired {
+                    let msg = if lock == *held {
+                        format!("{verb} `{lock}` while already holding it (self-deadlock)")
+                    } else {
+                        let r = rank.get(lock.as_str()).copied().unwrap_or(usize::MAX);
+                        if r >= held_rank {
+                            continue;
+                        }
+                        format!(
+                            "{verb} `{lock}` while holding `{held}`, contradicting the declared hierarchy ({} before {})",
+                            lock, held
+                        )
+                    };
+                    match file.justification(line, "allow", Some(LINT)) {
+                        Some(why) => findings.push(Finding {
+                            allowed_by: Some(why),
+                            ..Finding::deny(LINT, &file.rel, line, msg)
+                        }),
+                        None => findings.push(Finding::deny(LINT, &file.rel, line, msg)),
+                    }
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// If the acquisition starting at token `i` is bound with `let`, the
+/// token index where the guard dies (close of the enclosing block);
+/// `None` for statement temporaries.
+fn held_until(file: &SourceFile, span: &crate::scan::FnSpan, i: usize) -> Option<usize> {
+    // Bound with `let` iff a `let` appears between the previous statement
+    // boundary (`;`, `{`, `}`) and the acquisition.
+    let mut bound = false;
+    let mut j = i;
+    while j > span.body_start {
+        j -= 1;
+        let t = &file.tokens[j];
+        if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
+            break;
+        }
+        if t.is_ident("let") {
+            bound = true;
+            break;
+        }
+    }
+    if !bound {
+        return None;
+    }
+    // Guard lives to the close of the enclosing block: scan forward
+    // tracking depth; the first `}` that takes depth negative ends it.
+    let mut depth = 0i32;
+    for (k, t) in file.tokens.iter().enumerate().skip(i).take(span.end - i) {
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+            if depth < 0 {
+                return Some(k);
+            }
+        }
+    }
+    Some(span.end)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+    use crate::scan::scan_source;
+    use std::path::PathBuf;
+
+    fn policy() -> Policy {
+        Policy::parse(
+            r#"
+[lock-order]
+hierarchy = ["a", "b"]
+[[lock]]
+id = "a"
+fields = ["alpha"]
+acquirers = ["lock_alpha"]
+[[lock]]
+id = "b"
+fields = ["beta"]
+"#,
+        )
+        .unwrap()
+    }
+
+    fn lint(src: &str) -> Vec<Finding> {
+        let f = scan_source(PathBuf::from("m.rs"), "m.rs".into(), "demo", src);
+        run(&[f], &policy())
+    }
+
+    #[test]
+    fn correct_order_is_clean() {
+        let out = lint("fn ok(alpha: M, beta: M) { let g = alpha.lock(); let h = beta.lock(); }");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn inversion_is_flagged() {
+        let out = lint("fn bad(alpha: M, beta: M) { let g = beta.lock(); let h = alpha.lock(); }");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("contradicting"));
+    }
+
+    #[test]
+    fn inversion_through_a_call_is_flagged() {
+        let out = lint(
+            "fn helper(alpha: M) { let g = alpha.lock(); }\n\
+             fn bad(beta: M, alpha: M) { let g = beta.lock(); helper(alpha); }",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("calls into"));
+    }
+
+    #[test]
+    fn transient_guard_creates_no_outgoing_edge() {
+        // `beta.lock()` as a temporary is released before `alpha.lock()`.
+        let out = lint("fn ok(alpha: M, beta: M) { beta.lock().touch(); let g = alpha.lock(); }");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn block_scoped_guard_dies_at_close() {
+        let out =
+            lint("fn ok(alpha: M, beta: M) { { let g = beta.lock(); } let h = alpha.lock(); }");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn self_reacquire_is_flagged() {
+        let out =
+            lint("fn bad(alpha: M) { let g = lock_alpha(alpha); let h = lock_alpha(alpha); }");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("self-deadlock"));
+    }
+
+    #[test]
+    fn foreign_method_does_not_alias_local_fn() {
+        // `g.push(x)` is Vec::push, not the crate-local `fn push` that
+        // locks `alpha` — no self-deadlock.
+        let out = lint(
+            "fn push(alpha: M) { let g = alpha.lock(); }\n\
+             fn ok(alpha: M) { let g = alpha.lock(); g.push(1); }",
+        );
+        let active: Vec<_> = out
+            .iter()
+            .filter(|f| f.message.contains("deadlock"))
+            .collect();
+        assert!(active.is_empty(), "{active:?}");
+    }
+
+    #[test]
+    fn undeclared_lock_is_flagged() {
+        let out = lint("fn bad(other: M) { let g = other.lock(); }");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("not a declared lock"));
+    }
+}

@@ -1,0 +1,91 @@
+//! The five project lints.
+//!
+//! Each lint is a pure function from the scanned workspace (plus policy)
+//! to findings; suppression (allowlist entries, `// analyze: ...`
+//! justifications) is recorded on the finding rather than dropping it, so
+//! JSON output shows *why* an exception is accepted.
+
+pub mod atomic_ordering;
+pub mod invariants;
+pub mod lock_order;
+pub mod panic_surface;
+pub mod registry;
+
+use crate::lexer::{TokKind, Token};
+
+/// Rust keywords that can directly precede `[` without forming an index
+/// expression (`&mut [T]`, `dyn [..]`-ish positions). Used by
+/// panic-surface's indexing detector.
+pub(crate) const NON_INDEX_KEYWORDS: &[&str] = &[
+    "mut", "dyn", "in", "as", "return", "break", "else", "match", "if", "while", "loop", "move",
+    "ref", "const", "static", "impl", "for", "where", "unsafe", "let", "await", "yield", "box",
+];
+
+/// Walks backwards from `i` (exclusive) to name the receiver of a method
+/// call: the last *named* identifier in the dotted chain, skipping tuple
+/// indices (`self.0`) and index groups (`self.calls[k]`). Returns `None`
+/// when the receiver is not a simple chain (e.g. a call result).
+pub(crate) fn receiver_name(tokens: &[Token], mut i: usize) -> Option<String> {
+    loop {
+        let t = tokens.get(i.checked_sub(1)?)?;
+        if t.is_punct("]") || t.is_punct(")") {
+            // Balance back to the matching opener and continue before it.
+            // For a call receiver (`sink().lock()`), the function name
+            // stands in as the variable.
+            let (open, close) = if t.is_punct("]") {
+                ("[", "]")
+            } else {
+                ("(", ")")
+            };
+            let mut depth = 0usize;
+            let mut j = i - 1;
+            loop {
+                if tokens[j].is_punct(close) {
+                    depth += 1;
+                } else if tokens[j].is_punct(open) {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j = j.checked_sub(1)?;
+            }
+            i = j;
+        } else if t.kind == TokKind::Num {
+            // Tuple index: skip it and the `.` before it.
+            let dot = tokens.get(i.checked_sub(2)?)?;
+            if !dot.is_punct(".") {
+                return None;
+            }
+            i -= 2;
+        } else if t.kind == TokKind::Ident {
+            return Some(t.text.clone());
+        } else {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use crate::lexer::lex;
+
+    #[test]
+    fn receiver_names() {
+        let cases = [
+            ("self.state.load", Some("state")),
+            ("self.0.fetch_add", Some("self")),
+            ("self.calls[site.index()].fetch_add", Some("calls")),
+            ("GLOBAL.load", Some("GLOBAL")),
+            ("make().load", Some("make")),
+        ];
+        for (src, want) in cases {
+            let (tokens, _) = lex(src);
+            // Receiver ends just before the final `.method` pair.
+            let got = super::receiver_name(&tokens, tokens.len() - 2);
+            assert_eq!(got.as_deref(), want, "src = {src}");
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Panic-surface lint.
+//!
+//! In the *strict crates* (policy `[panic-surface].strict_crates` — the
+//! durable engine and the kernel crate), non-test, non-`debug_assert!`
+//! code must not contain:
+//!
+//! - `.unwrap()` / `.expect(...)` — implicit process aborts in serving
+//!   paths;
+//! - slice/array indexing (`x[i]`, `&buf[a..b]`) — out-of-bounds panics
+//!   the clippy wall only warns about;
+//! - `/` or `%` with a non-literal divisor — divide-by-zero panics.
+//!
+//! Sites that are genuinely fine carry an inline
+//! `// analyze: allow(panic-surface): why` justification; whole kernel
+//! files whose indexing is structural (CSR offsets) are excused via
+//! `[[allow]]` entries in `analyze.toml` so the exception list is
+//! reviewable in one place.
+
+use crate::findings::Finding;
+use crate::lexer::TokKind;
+use crate::policy::Policy;
+use crate::scan::SourceFile;
+
+const LINT: &str = "panic-surface";
+
+/// Runs the lint over the scanned workspace.
+pub fn run(files: &[SourceFile], policy: &Policy) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        if !policy.strict_crates.contains(&file.crate_name) {
+            continue;
+        }
+        for i in 0..file.tokens.len() {
+            if file.in_test(i) || file.in_debug_assert(i) {
+                continue;
+            }
+            let t = &file.tokens[i];
+            let message = if t.kind == TokKind::Ident
+                && matches!(t.text.as_str(), "unwrap" | "expect")
+                && matches!(file.tokens.get(i + 1), Some(n) if n.is_punct("("))
+                && matches!(i.checked_sub(1).map(|p| &file.tokens[p]), Some(p) if p.is_punct("."))
+            {
+                format!("`.{}()` in a strict crate's non-test path", t.text)
+            } else if t.is_punct("[") && is_index_expr(file, i) {
+                "slice/array indexing in a strict crate's non-test path (use get()/split-based access or justify)".to_string()
+            } else if (t.is_punct("/") || t.is_punct("%")) && risky_divisor(file, i) {
+                format!(
+                    "`{}` with a non-literal divisor in a strict crate (guard against zero or justify)",
+                    t.text
+                )
+            } else {
+                continue;
+            };
+            match file.justification(t.line, "allow", Some(LINT)) {
+                Some(why) => findings.push(Finding {
+                    allowed_by: Some(why),
+                    ..Finding::deny(LINT, &file.rel, t.line, message)
+                }),
+                None => findings.push(Finding::deny(LINT, &file.rel, t.line, message)),
+            }
+        }
+    }
+    findings
+}
+
+/// Is the `[` at token `i` an index expression (vs. an array type, array
+/// literal, attribute, macro bracket, or slice pattern)? Indexing
+/// requires a completed operand immediately before: an identifier (other
+/// than keywords like `mut`), a close bracket, `)`, `?`, or a tuple
+/// index.
+fn is_index_expr(file: &SourceFile, i: usize) -> bool {
+    let Some(prev) = i.checked_sub(1).map(|p| &file.tokens[p]) else {
+        return false;
+    };
+    match prev.kind {
+        TokKind::Ident => !super::NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
+        TokKind::Punct => matches!(prev.text.as_str(), ")" | "]" | "?"),
+        TokKind::Num => false,
+        _ => false,
+    }
+}
+
+/// Is the `/`-or-`%` at token `i` a division with a divisor that could
+/// be zero? Literal divisors and float arithmetic (an `f64`/`f32` ident
+/// or a float literal within the surrounding expression window) are
+/// excused.
+fn risky_divisor(file: &SourceFile, i: usize) -> bool {
+    match file.tokens.get(i + 1) {
+        // `x / 2` can't panic; `x / 0` would be caught at compile time
+        // for literals anyway.
+        Some(n) if n.kind == TokKind::Num => return false,
+        None => return false,
+        _ => {}
+    }
+    // Preceded by `<` or punctuation that means this is not binary
+    // division (e.g. closing `/` has no other meaning in token space, but
+    // a leading operand must exist).
+    let Some(prev) = i.checked_sub(1).map(|p| &file.tokens[p]) else {
+        return false;
+    };
+    if prev.kind == TokKind::Punct && !matches!(prev.text.as_str(), ")" | "]") {
+        return false;
+    }
+    // Float context: f64/f32 casts or float literals nearby.
+    let lo = i.saturating_sub(8);
+    let hi = (i + 9).min(file.tokens.len());
+    let float_ctx = file.tokens.get(lo..hi).into_iter().flatten().any(|t| {
+        (t.kind == TokKind::Ident && (t.text == "f64" || t.text == "f32"))
+            || (t.kind == TokKind::Num && t.text.contains('.'))
+    });
+    !float_ctx
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+    use crate::scan::scan_source;
+    use std::path::PathBuf;
+
+    fn policy() -> Policy {
+        Policy::parse("[panic-surface]\nstrict_crates = [\"demo\"]\n").unwrap()
+    }
+
+    fn lint(src: &str) -> Vec<Finding> {
+        let f = scan_source(PathBuf::from("m.rs"), "m.rs".into(), "demo", src);
+        run(&[f], &policy())
+    }
+
+    #[test]
+    fn unwrap_expect_and_indexing_flagged() {
+        let out = lint(
+            "fn a(v: Vec<u32>, o: Option<u32>) { o.unwrap(); o.expect(\"x\"); let _ = v[0]; }",
+        );
+        assert_eq!(out.len(), 3, "{out:?}");
+    }
+
+    #[test]
+    fn array_types_literals_attrs_and_macros_not_flagged() {
+        let out = lint(
+            "#[derive(Debug)]\nstruct S { buf: [u8; 4] }\nfn a() -> Vec<u32> { let x: &mut [u8] = &mut [0; 4][..1]; vec![1, 2] }",
+        );
+        // `[0; 4][..1]` second bracket indexes the literal — that one IS
+        // indexing (prev token `]`); everything else stays quiet.
+        assert_eq!(out.len(), 1, "{out:?}");
+    }
+
+    #[test]
+    fn debug_assert_and_tests_are_exempt() {
+        let out = lint(
+            "fn a(v: &[u32]) { debug_assert!(v[0] > 0); }\n#[cfg(test)]\nmod tests { fn b(v: &[u32]) { v[0]; } }",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn division_by_variable_flagged_floats_excused() {
+        let out = lint("fn a(x: u64, n: u64) -> u64 { x / n }");
+        assert_eq!(out.len(), 1, "{out:?}");
+        let out = lint("fn a(x: u64, n: u64) -> f64 { x as f64 / n as f64 }");
+        assert!(out.is_empty(), "{out:?}");
+        let out = lint("fn a(x: u64) -> u64 { x / 2 }");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn justified_site_is_suppressed() {
+        let out = lint(
+            "fn a(v: &[u32]) -> u32 {\n    // analyze: allow(panic-surface): length checked by caller\n    v[0]\n}",
+        );
+        assert_eq!(out.len(), 1);
+        assert!(out[0].allowed_by.is_some());
+    }
+
+    #[test]
+    fn non_strict_crates_ignored() {
+        let f = scan_source(
+            PathBuf::from("m.rs"),
+            "m.rs".into(),
+            "other",
+            "fn a(v: &[u32]) { v[0]; }",
+        );
+        assert!(run(&[f], &policy()).is_empty());
+    }
+}

@@ -1,0 +1,339 @@
+//! Registry-consistency lint: three cross-checks that keep name tables
+//! from drifting apart.
+//!
+//! 1. **Metrics** — every metric name registered through tkc-obs
+//!    (`reg.counter("tkc_...")` et al.) must appear in the DESIGN.md §9
+//!    table, and every `tkc_*` series named in that table (modulo the
+//!    `_bucket`/`_sum`/`_count` render suffixes) must have a
+//!    registration site.
+//! 2. **Failpoints** — every `"wal.*"`-shaped string literal in the
+//!    workspace must be a canonical failpoint site, and each canonical
+//!    site must appear both where sites are *defined* (tkc-faults) and
+//!    where they are *used* (tkc-engine's WAL paths).
+//! 3. **Wire verbs** — every canonical verb must appear on each coverage
+//!    surface (proto parser, server dispatch, README, smoke tests), and
+//!    every ALL-CAPS verb-shaped literal in proto.rs must be canonical.
+
+use crate::findings::Finding;
+use crate::lexer::TokKind;
+use crate::policy::Policy;
+use crate::scan::SourceFile;
+use std::collections::BTreeSet;
+use std::path::Path;
+
+const LINT: &str = "registry-consistency";
+
+/// Registration methods on `MetricsRegistry` whose first argument is the
+/// metric name.
+const REGISTER_METHODS: &[&str] = &[
+    "counter",
+    "counter_with",
+    "int_gauge",
+    "gauge",
+    "gauge_with",
+    "histogram_seconds",
+    "histogram_plain",
+    "histogram_with",
+];
+
+/// Runs the lint. `root` is the analysis root (for reading doc/surface
+/// files that are not Rust sources).
+pub fn run(root: &Path, files: &[SourceFile], policy: &Policy) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    check_metrics(root, files, policy, &mut findings);
+    check_failpoints(files, policy, &mut findings);
+    check_verbs(root, files, policy, &mut findings);
+    findings
+}
+
+fn push(findings: &mut Vec<Finding>, file: &SourceFile, line: u32, message: String) {
+    match file.justification(line, "allow", Some(LINT)) {
+        Some(why) => findings.push(Finding {
+            allowed_by: Some(why),
+            ..Finding::deny(LINT, &file.rel, line, message)
+        }),
+        None => findings.push(Finding::deny(LINT, &file.rel, line, message)),
+    }
+}
+
+fn check_metrics(root: &Path, files: &[SourceFile], policy: &Policy, findings: &mut Vec<Finding>) {
+    let Some(doc_rel) = &policy.metrics_doc else {
+        return;
+    };
+    let doc_path = root.join(doc_rel);
+    let Ok(doc_text) = std::fs::read_to_string(&doc_path) else {
+        findings.push(Finding::deny(
+            LINT,
+            doc_rel,
+            0,
+            format!("metrics doc `{doc_rel}` is missing"),
+        ));
+        return;
+    };
+    let doc_names: BTreeSet<String> = metric_tokens(&doc_text).map(|(_, n)| n).collect();
+
+    // Registration sites across non-test code.
+    let mut registered: BTreeSet<String> = BTreeSet::new();
+    for file in files {
+        for i in 0..file.tokens.len() {
+            let t = &file.tokens[i];
+            if t.kind != TokKind::Ident
+                || !REGISTER_METHODS.contains(&t.text.as_str())
+                || !matches!(file.tokens.get(i + 1), Some(p) if p.is_punct("("))
+                || file.in_test(i)
+            {
+                continue;
+            }
+            let Some(name_tok) = file.tokens.get(i + 2) else {
+                continue;
+            };
+            if name_tok.kind != TokKind::Str || !name_tok.text.starts_with("tkc_") {
+                continue;
+            }
+            registered.insert(name_tok.text.clone());
+            if !doc_names.contains(&name_tok.text) {
+                push(
+                    findings,
+                    file,
+                    name_tok.line,
+                    format!(
+                        "metric `{}` is registered here but not documented in {doc_rel}",
+                        name_tok.text
+                    ),
+                );
+            }
+        }
+    }
+
+    // Reverse direction: series named in table rows must be registered.
+    for (lineno, line) in doc_text.lines().enumerate() {
+        if !line.trim_start().starts_with('|') {
+            continue;
+        }
+        for (_, name) in metric_tokens(line) {
+            let base = name
+                .strip_suffix("_bucket")
+                .or_else(|| name.strip_suffix("_sum"))
+                .or_else(|| name.strip_suffix("_count"))
+                .unwrap_or(&name);
+            if !registered.contains(&name) && !registered.contains(base) {
+                findings.push(Finding::deny(
+                    LINT,
+                    doc_rel,
+                    lineno as u32 + 1,
+                    format!("documented metric `{name}` has no registration site in the workspace"),
+                ));
+            }
+        }
+    }
+}
+
+/// Yields `(byte_offset, name)` for every `tkc_[a-z0-9_]+` word in text.
+fn metric_tokens(text: &str) -> impl Iterator<Item = (usize, String)> + '_ {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while let Some(pos) = text.get(i..).and_then(|s| s.find("tkc_")) {
+        let start = i + pos;
+        // Word boundary on the left.
+        let bounded = start == 0
+            || !bytes
+                .get(start - 1)
+                .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_');
+        let mut end = start;
+        while bytes
+            .get(end)
+            .is_some_and(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || *b == b'_')
+        {
+            end += 1;
+        }
+        // A name followed by `::` is a Rust module path (`tkc_core::x`),
+        // not a metric series.
+        let is_path = text.get(end..).is_some_and(|r| r.starts_with("::"));
+        if bounded && !is_path && end > start + 4 {
+            if let Some(name) = text.get(start..end) {
+                out.push((start, name.trim_end_matches('_').to_string()));
+            }
+        }
+        i = end.max(start + 4);
+    }
+    out.into_iter()
+}
+
+fn check_failpoints(files: &[SourceFile], policy: &Policy, findings: &mut Vec<Finding>) {
+    if policy.failpoint_sites.is_empty() {
+        return;
+    }
+    let canonical: BTreeSet<&str> = policy.failpoint_sites.iter().map(|s| s.as_str()).collect();
+    let prefixes: BTreeSet<&str> = canonical
+        .iter()
+        .filter_map(|s| s.split('.').next())
+        .collect();
+    let mut seen_def: BTreeSet<&str> = BTreeSet::new();
+    let mut seen_use: BTreeSet<&str> = BTreeSet::new();
+    for file in files {
+        for (i, t) in file.tokens.iter().enumerate() {
+            if t.kind != TokKind::Str || file.in_test(i) {
+                continue;
+            }
+            let is_site_shaped = t.text.split_once('.').is_some_and(|(head, tail)| {
+                prefixes.contains(head)
+                    && !tail.is_empty()
+                    && tail
+                        .chars()
+                        .all(|c| c.is_ascii_lowercase() || c == '_' || c == '.')
+            });
+            if !is_site_shaped {
+                continue;
+            }
+            match canonical.iter().find(|s| **s == t.text) {
+                None => push(
+                    findings,
+                    file,
+                    t.line,
+                    format!(
+                        "failpoint-shaped string `{}` is not a canonical site ({})",
+                        t.text,
+                        policy.failpoint_sites.join(", ")
+                    ),
+                ),
+                Some(site) => {
+                    if policy
+                        .failpoint_def
+                        .as_ref()
+                        .is_some_and(|p| file.rel.contains(p))
+                    {
+                        seen_def.insert(site);
+                    }
+                    if policy
+                        .failpoint_use
+                        .as_ref()
+                        .is_some_and(|p| file.rel.contains(p))
+                    {
+                        seen_use.insert(site);
+                    }
+                }
+            }
+        }
+    }
+    for site in &canonical {
+        if let Some(def) = &policy.failpoint_def {
+            if !seen_def.contains(site) {
+                findings.push(Finding::deny(
+                    LINT,
+                    def,
+                    0,
+                    format!("canonical failpoint `{site}` has no definition site under `{def}`"),
+                ));
+            }
+        }
+        if let Some(used) = &policy.failpoint_use {
+            if !seen_use.contains(site) {
+                findings.push(Finding::deny(
+                    LINT,
+                    used,
+                    0,
+                    format!("canonical failpoint `{site}` is never exercised under `{used}`"),
+                ));
+            }
+        }
+    }
+}
+
+fn check_verbs(root: &Path, files: &[SourceFile], policy: &Policy, findings: &mut Vec<Finding>) {
+    if policy.verbs.is_empty() {
+        return;
+    }
+    // Forward: every verb must appear (word-bounded) on every surface.
+    for surface in &policy.verb_surfaces {
+        let path = root.join(surface);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            findings.push(Finding::deny(
+                LINT,
+                surface,
+                0,
+                format!("verb surface `{surface}` is missing"),
+            ));
+            continue;
+        };
+        for verb in &policy.verbs {
+            if !contains_word(&text, verb) {
+                findings.push(Finding::deny(
+                    LINT,
+                    surface,
+                    0,
+                    format!("wire verb `{verb}` is not covered by `{surface}`"),
+                ));
+            }
+        }
+    }
+    // Reverse: verb-shaped literals in the proto parser must be canonical.
+    let canonical: BTreeSet<&str> = policy.verbs.iter().map(|s| s.as_str()).collect();
+    for file in files {
+        if !file.rel.ends_with("proto.rs") {
+            continue;
+        }
+        for (i, t) in file.tokens.iter().enumerate() {
+            if t.kind != TokKind::Str || file.in_test(i) {
+                continue;
+            }
+            let verb_shaped = t.text.len() >= 3 && t.text.chars().all(|c| c.is_ascii_uppercase());
+            if verb_shaped && !canonical.contains(t.text.as_str()) {
+                push(
+                    findings,
+                    file,
+                    t.line,
+                    format!(
+                        "proto literal `{}` looks like a wire verb but is not in the policy verb list",
+                        t.text
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Word-bounded containment: `needle` at a position where neither
+/// neighbor is alphanumeric/underscore.
+fn contains_word(text: &str, needle: &str) -> bool {
+    let bytes = text.as_bytes();
+    let mut from = 0usize;
+    while let Some(pos) = text.get(from..).and_then(|s| s.find(needle)) {
+        let start = from + pos;
+        let end = start + needle.len();
+        let left_ok = start == 0
+            || !bytes
+                .get(start - 1)
+                .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_');
+        let right_ok = !bytes
+            .get(end)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_');
+        if left_ok && right_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+
+    #[test]
+    fn metric_token_extraction() {
+        let names: Vec<_> = metric_tokens("| `tkc_pool_jobs_total` | tkc_ab | not_tkc_b | tkc_ |")
+            .map(|(_, n)| n)
+            .collect();
+        assert_eq!(names, vec!["tkc_pool_jobs_total", "tkc_ab"]);
+    }
+
+    #[test]
+    fn word_bounds() {
+        assert!(contains_word("send PING now", "PING"));
+        assert!(!contains_word("sendPINGnow", "PING"));
+        assert!(contains_word("(\"PING\")", "PING"));
+    }
+}

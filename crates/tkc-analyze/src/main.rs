@@ -1,0 +1,59 @@
+//! `tkc-analyze` binary: run the project lints from the command line.
+//!
+//! ```text
+//! tkc-analyze [--root DIR] [--policy FILE] [--format text|json]
+//! ```
+//!
+//! Exit codes: 0 = no active findings, 1 = active findings, 2 = usage or
+//! setup error. The same driver backs the `tkc analyze` subcommand.
+
+use std::path::PathBuf;
+use tkc_analyze::Format;
+
+const USAGE: &str = "usage: tkc-analyze [--root DIR] [--policy FILE] [--format text|json]
+
+Runs the workspace's project-specific lints (lock-order, atomic-ordering,
+panic-surface, registry-consistency, invariant-freshness) as configured
+by analyze.toml. Exit code 1 means non-allowlisted findings exist.";
+
+fn main() {
+    std::process::exit(run(std::env::args().skip(1).collect()));
+}
+
+fn run(args: Vec<String>) -> i32 {
+    let mut root = PathBuf::from(".");
+    let mut policy: Option<PathBuf> = None;
+    let mut format = Format::Text;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage_error("--root needs a value"),
+            },
+            "--policy" => match it.next() {
+                Some(v) => policy = Some(PathBuf::from(v)),
+                None => return usage_error("--policy needs a value"),
+            },
+            "--format" => match it.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                _ => return usage_error("--format must be `text` or `json`"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return 0;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+    let policy = policy.unwrap_or_else(|| root.join("analyze.toml"));
+    // analyze: allow(lock-order): io handle lock, not a synchronization mutex
+    let mut stdout = std::io::stdout().lock();
+    tkc_analyze::run_cli(&root, &policy, format, &mut stdout)
+}
+
+fn usage_error(msg: &str) -> i32 {
+    eprintln!("tkc-analyze: {msg}\n{USAGE}");
+    2
+}

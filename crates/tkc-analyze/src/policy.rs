@@ -1,0 +1,410 @@
+//! `analyze.toml` policy: what the lints enforce and what is excused.
+//!
+//! The parser handles the TOML subset the policy file actually uses —
+//! `[table]` headers, `[[array-of-table]]` headers, `key = "string"`,
+//! `key = integer`, `key = true/false`, `key = ["a", "b"]`, and `#`
+//! comments. It is std-only by design; anything outside the subset is a
+//! hard error so policy typos fail loudly instead of silently relaxing a
+//! gate.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// A parsed TOML value (subset).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `"..."` string.
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// Array of strings.
+    List(Vec<String>),
+}
+
+type Table = BTreeMap<String, Value>;
+
+/// Per-variable atomic ordering rule.
+#[derive(Debug, Clone)]
+pub struct AtomicRule {
+    /// Variable name (last named identifier of the receiver chain), or
+    /// `"*"` to match any variable (use with `file` scoping).
+    pub var: String,
+    /// Optional path fragment the site's file must contain.
+    pub file: Option<String>,
+    /// Allowed `Ordering::` names for this variable.
+    pub allowed: Vec<String>,
+    /// Why this policy is correct.
+    pub reason: String,
+}
+
+/// One declared lock with its recognizers.
+#[derive(Debug, Clone)]
+pub struct LockDecl {
+    /// Lock id used in the hierarchy (e.g. `engine.writer`).
+    pub id: String,
+    /// Field/variable names whose `.lock()`/`.read()`/`.write()` acquire it.
+    pub fields: Vec<String>,
+    /// Helper functions that acquire it (e.g. `lock_writer`).
+    pub acquirers: Vec<String>,
+}
+
+/// Allowlist entry suppressing matching findings.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Lint id the entry applies to.
+    pub lint: String,
+    /// Path fragment the finding's file must contain.
+    pub path: String,
+    /// Optional exact line.
+    pub line: Option<u32>,
+    /// Optional substring of the finding message.
+    pub contains: Option<String>,
+    /// Mandatory human reason (rendered in output).
+    pub reason: String,
+}
+
+/// The whole policy file.
+#[derive(Debug, Clone, Default)]
+pub struct Policy {
+    /// Lock ids, outermost first. An edge from a later id to an earlier
+    /// one is a lock-order violation.
+    pub lock_hierarchy: Vec<String>,
+    /// Declared locks.
+    pub locks: Vec<LockDecl>,
+    /// Atomic ordering rules, first match wins.
+    pub atomics: Vec<AtomicRule>,
+    /// Crates the panic-surface lint gates.
+    pub strict_crates: Vec<String>,
+    /// Canonical wire verbs.
+    pub verbs: Vec<String>,
+    /// Files that must mention every verb (root-relative path fragments).
+    pub verb_surfaces: Vec<String>,
+    /// Canonical failpoint site names.
+    pub failpoint_sites: Vec<String>,
+    /// Path fragment of files *defining* the sites (e.g. tkc-faults).
+    pub failpoint_def: Option<String>,
+    /// Path fragment of files *using* the sites (e.g. tkc-engine).
+    pub failpoint_use: Option<String>,
+    /// Markdown file metric names are documented in (root-relative).
+    pub metrics_doc: Option<String>,
+    /// Crates whose `debug_assert!`s are checked for invariant tags.
+    pub invariant_crates: Vec<String>,
+    /// Message/comment keywords that mark an assert as invariant-bearing.
+    pub invariant_keywords: Vec<String>,
+    /// Path fragment of the crate holding the referenced verify checks.
+    pub verify_path: Option<String>,
+    /// Allowlist.
+    pub allow: Vec<AllowEntry>,
+}
+
+impl Policy {
+    /// Loads and validates a policy file.
+    pub fn load(path: &Path) -> Result<Policy, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read policy {}: {e}", path.display()))?;
+        Policy::parse(&text)
+    }
+
+    /// Parses policy text.
+    pub fn parse(text: &str) -> Result<Policy, String> {
+        let doc = parse_toml(text)?;
+        let mut p = Policy::default();
+
+        if let Some(t) = doc.tables.get("lock-order") {
+            p.lock_hierarchy = get_list(t, "hierarchy");
+        }
+        for t in doc.arrays.get("lock").into_iter().flatten() {
+            p.locks.push(LockDecl {
+                id: get_str(t, "id").ok_or("lock entry missing `id`")?,
+                fields: get_list(t, "fields"),
+                acquirers: get_list(t, "acquirers"),
+            });
+        }
+        for t in doc.arrays.get("atomic").into_iter().flatten() {
+            p.atomics.push(AtomicRule {
+                var: get_str(t, "var").ok_or("atomic entry missing `var`")?,
+                file: get_str(t, "file"),
+                allowed: get_list(t, "allowed"),
+                reason: get_str(t, "reason").ok_or("atomic entry missing `reason`")?,
+            });
+        }
+        if let Some(t) = doc.tables.get("panic-surface") {
+            p.strict_crates = get_list(t, "strict_crates");
+        }
+        if let Some(t) = doc.tables.get("registry") {
+            p.verbs = get_list(t, "verbs");
+            p.verb_surfaces = get_list(t, "verb_surfaces");
+            p.failpoint_sites = get_list(t, "failpoint_sites");
+            p.failpoint_def = get_str(t, "failpoint_def");
+            p.failpoint_use = get_str(t, "failpoint_use");
+            p.metrics_doc = get_str(t, "metrics_doc");
+        }
+        if let Some(t) = doc.tables.get("invariants") {
+            p.invariant_crates = get_list(t, "crates");
+            p.invariant_keywords = get_list(t, "keywords");
+            p.verify_path = get_str(t, "verify_path");
+        }
+        for t in doc.arrays.get("allow").into_iter().flatten() {
+            p.allow.push(AllowEntry {
+                lint: get_str(t, "lint").ok_or("allow entry missing `lint`")?,
+                path: get_str(t, "path").ok_or("allow entry missing `path`")?,
+                line: get_int(t, "line").map(|v| v as u32),
+                contains: get_str(t, "contains"),
+                reason: get_str(t, "reason").ok_or("allow entry missing `reason`")?,
+            });
+        }
+
+        for lock in &p.locks {
+            if !p.lock_hierarchy.contains(&lock.id) {
+                return Err(format!(
+                    "lock `{}` is declared but absent from [lock-order].hierarchy",
+                    lock.id
+                ));
+            }
+        }
+        Ok(p)
+    }
+
+    /// Finds the allowlist entry matching a finding, if any.
+    pub fn allow_for(
+        &self,
+        lint: &str,
+        file: &str,
+        line: u32,
+        message: &str,
+    ) -> Option<&AllowEntry> {
+        self.allow.iter().find(|a| {
+            a.lint == lint
+                && file.contains(&a.path)
+                && a.line.is_none_or(|l| l == line)
+                && a.contains.as_ref().is_none_or(|c| message.contains(c))
+        })
+    }
+}
+
+fn get_str(t: &Table, key: &str) -> Option<String> {
+    match t.get(key) {
+        Some(Value::Str(s)) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+fn get_int(t: &Table, key: &str) -> Option<i64> {
+    match t.get(key) {
+        Some(Value::Int(v)) => Some(*v),
+        _ => None,
+    }
+}
+
+fn get_list(t: &Table, key: &str) -> Vec<String> {
+    match t.get(key) {
+        Some(Value::List(v)) => v.clone(),
+        _ => Vec::new(),
+    }
+}
+
+/// Parsed document: plain tables and arrays-of-tables.
+struct TomlDoc {
+    tables: BTreeMap<String, Table>,
+    arrays: BTreeMap<String, Vec<Table>>,
+}
+
+enum Target {
+    Table(String),
+    Array(String),
+}
+
+fn parse_toml(text: &str) -> Result<TomlDoc, String> {
+    let mut doc = TomlDoc {
+        tables: BTreeMap::new(),
+        arrays: BTreeMap::new(),
+    };
+    let mut target = Target::Table(String::new());
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| format!("analyze.toml:{}: {msg}", lineno + 1);
+        if let Some(name) = line.strip_prefix("[[").and_then(|r| r.strip_suffix("]]")) {
+            let name = name.trim().to_string();
+            doc.arrays
+                .entry(name.clone())
+                .or_default()
+                .push(Table::new());
+            target = Target::Array(name);
+        } else if let Some(name) = line.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+            let name = name.trim().to_string();
+            doc.tables.entry(name.clone()).or_default();
+            target = Target::Table(name);
+        } else if let Some(eq) = line.find('=') {
+            let key = line[..eq].trim().trim_matches('"').to_string();
+            let value = parse_value(line[eq + 1..].trim()).map_err(|e| err(&e))?;
+            let table = match &target {
+                Target::Table(name) => doc.tables.entry(name.clone()).or_default(),
+                Target::Array(name) => doc
+                    .arrays
+                    .get_mut(name)
+                    .and_then(|v| v.last_mut())
+                    .ok_or_else(|| err("key outside any table"))?,
+            };
+            table.insert(key, value);
+        } else {
+            return Err(err(&format!("unsupported syntax: `{line}`")));
+        }
+    }
+    Ok(doc)
+}
+
+/// Strips a `#` comment, respecting string literals.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+fn parse_value(s: &str) -> Result<Value, String> {
+    if let Some(body) = s.strip_prefix('"') {
+        let body = body
+            .strip_suffix('"')
+            .ok_or_else(|| format!("unterminated string: `{s}`"))?;
+        return Ok(Value::Str(unescape(body)));
+    }
+    if s == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if s == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(body) = s.strip_prefix('[') {
+        let body = body
+            .strip_suffix(']')
+            .ok_or("multi-line arrays are not supported; keep arrays on one line")?;
+        let mut items = Vec::new();
+        let mut rest = body.trim();
+        while !rest.is_empty() {
+            let item = rest
+                .strip_prefix('"')
+                .ok_or_else(|| format!("array items must be strings: `{rest}`"))?;
+            let end = item
+                .find('"')
+                .ok_or_else(|| format!("unterminated string in array: `{rest}`"))?;
+            items.push(unescape(&item[..end]));
+            rest = item[end + 1..].trim().trim_start_matches(',').trim();
+        }
+        return Ok(Value::List(items));
+    }
+    s.parse::<i64>()
+        .map(Value::Int)
+        .map_err(|_| format!("unsupported value: `{s}`"))
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# policy
+[lock-order]
+hierarchy = ["engine.writer", "obs.families"]
+
+[[lock]]
+id = "engine.writer"
+fields = ["writer"]
+acquirers = ["lock_writer"]
+
+[[atomic]]
+var = "stop"
+allowed = ["Relaxed"]
+reason = "advisory flag"
+
+[panic-surface]
+strict_crates = ["tkc-engine"]
+
+[registry]
+verbs = ["PING", "QUIT"]
+metrics_doc = "DESIGN.md"
+
+[invariants]
+crates = ["tkc-core"]
+keywords = ["Rule 0", "monoton"]
+verify_path = "crates/tkc-verify/src"
+
+[[allow]]
+lint = "panic-surface"
+path = "wal.rs"  # trailing comment
+line = 42
+reason = "bounds proven by header check"
+"#;
+
+    #[test]
+    fn parses_full_policy() {
+        let p = Policy::parse(SAMPLE).unwrap();
+        assert_eq!(p.lock_hierarchy, vec!["engine.writer", "obs.families"]);
+        assert_eq!(p.locks[0].acquirers, vec!["lock_writer"]);
+        assert_eq!(p.atomics[0].allowed, vec!["Relaxed"]);
+        assert_eq!(p.strict_crates, vec!["tkc-engine"]);
+        assert_eq!(p.verbs, vec!["PING", "QUIT"]);
+        assert_eq!(p.invariant_keywords[0], "Rule 0");
+        assert_eq!(p.allow[0].line, Some(42));
+    }
+
+    #[test]
+    fn allow_matching() {
+        let p = Policy::parse(SAMPLE).unwrap();
+        assert!(p
+            .allow_for("panic-surface", "crates/tkc-engine/src/wal.rs", 42, "x")
+            .is_some());
+        assert!(p
+            .allow_for("panic-surface", "crates/tkc-engine/src/wal.rs", 43, "x")
+            .is_none());
+        assert!(p.allow_for("lock-order", "wal.rs", 42, "x").is_none());
+    }
+
+    #[test]
+    fn undeclared_hierarchy_lock_is_an_error() {
+        let bad = "[[lock]]\nid = \"x\"\n";
+        assert!(Policy::parse(bad).unwrap_err().contains("hierarchy"));
+    }
+
+    #[test]
+    fn bad_syntax_is_loud() {
+        assert!(Policy::parse("key = {a = 1}").is_err());
+        assert!(Policy::parse("just words").is_err());
+    }
+}

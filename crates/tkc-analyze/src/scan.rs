@@ -1,0 +1,440 @@
+//! Workspace discovery and per-file structural scanning.
+//!
+//! The scanner walks every workspace crate's `src/` tree (members live
+//! under `crates/*` and `shims/*`), lexes each file, and computes the
+//! structural facts the lints share:
+//!
+//! - function spans (token ranges), so acquisition sites and calls can be
+//!   attributed to the enclosing function;
+//! - *test ranges* — `#[cfg(test)] mod` bodies and `#[test]` functions —
+//!   which every lint skips;
+//! - *debug-assert ranges* — token spans inside `debug_assert*!(...)`
+//!   calls, which the panic-surface lint skips (an index that panics
+//!   inside a `debug_assert!` is the assert working as intended);
+//! - the comment side table, for `// analyze: ...` justifications.
+
+use crate::lexer::{lex, CommentLine, Token};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// A function item's location in a file's token stream.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// Bare function name (methods keep only the final identifier).
+    pub name: String,
+    /// Token index of the `fn` keyword.
+    pub start: usize,
+    /// Token index of the body's opening `{` (== `end` for bodyless
+    /// trait-method declarations).
+    pub body_start: usize,
+    /// Token index one past the body's closing `}`.
+    pub end: usize,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+}
+
+/// One scanned source file: tokens plus derived structure.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Absolute path.
+    pub path: PathBuf,
+    /// Path relative to the analysis root, `/`-separated.
+    pub rel: String,
+    /// Owning crate's directory name (e.g. `tkc-engine`).
+    pub crate_name: String,
+    /// Lexed tokens (comments excluded).
+    pub tokens: Vec<Token>,
+    /// Comment lines keyed by 1-based line number.
+    pub comments: BTreeMap<u32, Vec<String>>,
+    /// Token ranges `[start, end)` inside test-only code.
+    pub test_ranges: Vec<(usize, usize)>,
+    /// Token ranges `[start, end)` inside `debug_assert*!(...)` bodies.
+    pub debug_assert_ranges: Vec<(usize, usize)>,
+    /// Function spans in token order.
+    pub fns: Vec<FnSpan>,
+}
+
+impl SourceFile {
+    /// True if token `i` falls in test-only code.
+    pub fn in_test(&self, i: usize) -> bool {
+        self.test_ranges.iter().any(|&(s, e)| i >= s && i < e)
+    }
+
+    /// True if token `i` falls inside a `debug_assert*!` invocation.
+    pub fn in_debug_assert(&self, i: usize) -> bool {
+        self.debug_assert_ranges
+            .iter()
+            .any(|&(s, e)| i >= s && i < e)
+    }
+
+    /// The innermost function containing token `i`, if any.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| i >= f.start && i < f.end)
+            .max_by_key(|f| f.start)
+    }
+
+    /// Looks for an `analyze: <kind>(<arg>)` justification comment on
+    /// `line` or the two lines above it, returning the matched comment.
+    /// `arg_filter`, when set, must match the parenthesized argument's
+    /// leading identifier (e.g. the lint id, or an ordering name).
+    pub fn justification(&self, line: u32, kind: &str, arg_filter: Option<&str>) -> Option<String> {
+        let lo = line.saturating_sub(2);
+        for l in (lo..=line).rev() {
+            for text in self.comments.get(&l).into_iter().flatten() {
+                if let Some(rest) = text.trim().strip_prefix("analyze:") {
+                    let rest = rest.trim();
+                    if let Some(args) = rest
+                        .strip_prefix(kind)
+                        .and_then(|r| r.trim_start().strip_prefix('('))
+                    {
+                        let arg_head: String = args
+                            .chars()
+                            .take_while(|c| *c != ')' && *c != ',')
+                            .collect();
+                        match arg_filter {
+                            Some(want) if arg_head.trim() != want => continue,
+                            _ => return Some(text.clone()),
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Scans every workspace source file under `root`.
+///
+/// Directories named `target`, `fixtures`, `tests`, `benches`, and
+/// `examples` are skipped: the lints gate shipped library/binary code,
+/// and fixture trees under `tests/fixtures/` intentionally contain
+/// violations.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    for member_dir in ["crates", "shims"] {
+        let dir = root.join(member_dir);
+        if !dir.is_dir() {
+            continue;
+        }
+        let mut crates: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        crates.sort();
+        for crate_dir in crates {
+            let crate_name = crate_dir
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let src = crate_dir.join("src");
+            if src.is_dir() {
+                walk_rs(&src, root, &crate_name, &mut files)?;
+            }
+        }
+    }
+    files.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(files)
+}
+
+/// Scans a single file (used by unit tests and the registry lint's
+/// auxiliary file handling).
+pub fn scan_file(path: &Path, root: &Path, crate_name: &str) -> std::io::Result<SourceFile> {
+    let src = std::fs::read_to_string(path)?;
+    Ok(scan_source(
+        path.to_path_buf(),
+        rel_of(path, root),
+        crate_name,
+        &src,
+    ))
+}
+
+fn rel_of(path: &Path, root: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn walk_rs(
+    dir: &Path,
+    root: &Path,
+    crate_name: &str,
+    out: &mut Vec<SourceFile>,
+) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().map(|n| n.to_string_lossy().into_owned());
+            if matches!(
+                name.as_deref(),
+                Some("target" | "fixtures" | "tests" | "benches" | "examples")
+            ) {
+                continue;
+            }
+            walk_rs(&path, root, crate_name, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(scan_file(&path, root, crate_name)?);
+        }
+    }
+    Ok(())
+}
+
+/// Builds the structural model from already-lexed source.
+pub fn scan_source(path: PathBuf, rel: String, crate_name: &str, src: &str) -> SourceFile {
+    let (tokens, comment_lines) = lex(src);
+    let mut comments: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+    for CommentLine { line, text } in comment_lines {
+        comments.entry(line).or_default().push(text);
+    }
+    let test_ranges = find_test_ranges(&tokens);
+    let debug_assert_ranges = find_macro_ranges(&tokens, |name| name.starts_with("debug_assert"));
+    let fns = find_fns(&tokens);
+    SourceFile {
+        path,
+        rel,
+        crate_name: crate_name.to_string(),
+        tokens,
+        comments,
+        test_ranges,
+        debug_assert_ranges,
+        fns,
+    }
+}
+
+/// Token index one past the `}` / `)` / `]` matching the opener at `open`.
+/// Returns `tokens.len()` on unbalanced input (fail open: the span runs to
+/// end of file rather than being silently dropped).
+fn matching_close(tokens: &[Token], open: usize) -> usize {
+    let (o, c) = match tokens[open].text.as_str() {
+        "{" => ("{", "}"),
+        "(" => ("(", ")"),
+        "[" => ("[", "]"),
+        _ => return open + 1,
+    };
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct(o) {
+            depth += 1;
+        } else if t.is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+    }
+    tokens.len()
+}
+
+/// Does an attribute `#[...]` whose first path segment chain contains
+/// `needle` appear ending just before token `i`? Scans backwards over a
+/// run of attributes.
+fn has_attr_before(tokens: &[Token], mut i: usize, needle: &str) -> bool {
+    // Walk backwards over zero or more `#[ ... ]` groups.
+    while i >= 1 {
+        if !tokens[i - 1].is_punct("]") {
+            return false;
+        }
+        // Find the matching `[` backwards.
+        let mut depth = 0usize;
+        let mut j = i - 1;
+        loop {
+            if tokens[j].is_punct("]") {
+                depth += 1;
+            } else if tokens[j].is_punct("[") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            if j == 0 {
+                return false;
+            }
+            j -= 1;
+        }
+        if j == 0 || !tokens[j - 1].is_punct("#") {
+            return false;
+        }
+        if tokens[j..i].iter().any(|t| t.is_ident(needle)) {
+            return true;
+        }
+        i = j - 1; // continue past this attribute to the one above it
+    }
+    false
+}
+
+fn find_test_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        // `#[cfg(test)] mod name { ... }` — the whole body is test code.
+        if t.is_ident("mod")
+            && tokens
+                .get(i + 1)
+                .map(|n| n.kind == crate::lexer::TokKind::Ident)
+                == Some(true)
+            && tokens.get(i + 2).map(|b| b.is_punct("{")) == Some(true)
+            && has_attr_before(tokens, i, "cfg")
+            && attr_run_mentions_test(tokens, i)
+        {
+            let end = matching_close(tokens, i + 2);
+            ranges.push((i, end));
+            i = end;
+            continue;
+        }
+        // `#[test] fn name() { ... }`.
+        if t.is_ident("fn") && has_attr_before(tokens, i, "test") {
+            if let Some(body) = (i..tokens.len()).find(|&j| tokens[j].is_punct("{")) {
+                let end = matching_close(tokens, body);
+                ranges.push((i, end));
+                i = end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    ranges
+}
+
+/// Do the attributes immediately before token `i` contain the ident
+/// `test` (e.g. `#[cfg(test)]`, `#[cfg(all(test, feature = "x"))]`)?
+fn attr_run_mentions_test(tokens: &[Token], i: usize) -> bool {
+    has_attr_before(tokens, i, "test")
+}
+
+/// Token spans of `name!(...)` / `name![...]` invocations whose macro
+/// name satisfies `pred`.
+fn find_macro_ranges(tokens: &[Token], pred: impl Fn(&str) -> bool) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i + 2 < tokens.len() {
+        if tokens[i].kind == crate::lexer::TokKind::Ident
+            && pred(&tokens[i].text)
+            && tokens[i + 1].is_punct("!")
+            && (tokens[i + 2].is_punct("(") || tokens[i + 2].is_punct("["))
+        {
+            let end = matching_close(tokens, i + 2);
+            ranges.push((i, end));
+            i = end;
+            continue;
+        }
+        i += 1;
+    }
+    ranges
+}
+
+fn find_fns(tokens: &[Token]) -> Vec<FnSpan> {
+    let mut fns = Vec::new();
+    for i in 0..tokens.len() {
+        if !tokens[i].is_ident("fn") {
+            continue;
+        }
+        let Some(name_tok) = tokens.get(i + 1) else {
+            continue;
+        };
+        if name_tok.kind != crate::lexer::TokKind::Ident {
+            continue; // `fn(` in a function-pointer type
+        }
+        // Find the body's `{`, skipping the signature. A `;` first means
+        // a bodyless trait-method declaration. Skip over any braces that
+        // appear inside the signature (e.g. `-> impl Fn() -> Foo<{N}>` is
+        // not expected in this codebase; plain scan suffices).
+        let mut j = i + 2;
+        let mut depth_paren = 0i32;
+        let mut body = None;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.is_punct("(") || t.is_punct("[") {
+                depth_paren += 1;
+            } else if t.is_punct(")") || t.is_punct("]") {
+                depth_paren -= 1;
+            } else if depth_paren == 0 && t.is_punct("{") {
+                body = Some(j);
+                break;
+            } else if depth_paren == 0 && t.is_punct(";") {
+                break;
+            }
+            j += 1;
+        }
+        let Some(body) = body else {
+            continue;
+        };
+        let end = matching_close(tokens, body);
+        fns.push(FnSpan {
+            name: name_tok.text.clone(),
+            start: i,
+            body_start: body,
+            end,
+            line: tokens[i].line,
+        });
+    }
+    fns
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+
+    fn scan(src: &str) -> SourceFile {
+        scan_source(PathBuf::from("mem.rs"), "mem.rs".into(), "demo", src)
+    }
+
+    #[test]
+    fn fn_spans_cover_bodies() {
+        let f = scan("fn a() { inner(); }\nfn b(x: u32) -> u32 { x }\n");
+        assert_eq!(f.fns.len(), 2);
+        assert_eq!(f.fns[0].name, "a");
+        assert_eq!(f.fns[1].name, "b");
+        let inner_idx = f.tokens.iter().position(|t| t.is_ident("inner")).unwrap();
+        assert_eq!(f.enclosing_fn(inner_idx).unwrap().name, "a");
+    }
+
+    #[test]
+    fn cfg_test_mod_is_a_test_range() {
+        let f = scan("fn live() {}\n#[cfg(test)]\nmod tests {\n fn helper() {}\n}\n");
+        let helper = f.tokens.iter().position(|t| t.is_ident("helper")).unwrap();
+        let live = f.tokens.iter().position(|t| t.is_ident("live")).unwrap();
+        assert!(f.in_test(helper));
+        assert!(!f.in_test(live));
+    }
+
+    #[test]
+    fn test_attr_fn_is_a_test_range() {
+        let f = scan("#[test]\nfn check() { body(); }\nfn live() {}\n");
+        let body = f.tokens.iter().position(|t| t.is_ident("body")).unwrap();
+        assert!(f.in_test(body));
+    }
+
+    #[test]
+    fn debug_assert_bodies_are_marked() {
+        let f = scan("fn a(v: &Vec<u32>) { debug_assert!(v[0] > 1); let x = v[1]; }");
+        let mut brackets = f.tokens.iter().enumerate().filter(|(_, t)| t.is_punct("["));
+        let first = brackets.next().unwrap().0;
+        let second = brackets.next().unwrap().0;
+        assert!(f.in_debug_assert(first));
+        assert!(!f.in_debug_assert(second));
+    }
+
+    #[test]
+    fn justification_lookup_matches_kind_and_arg() {
+        let f = scan(
+            "// analyze: allow(panic-surface): index guarded above\nlet x = v[0];\nlet y = v[1];\n",
+        );
+        assert!(f.justification(2, "allow", Some("panic-surface")).is_some());
+        assert!(f.justification(2, "allow", Some("lock-order")).is_none());
+        // Line 3 is more than 2 lines below the comment... it is within 2.
+        assert!(f.justification(3, "allow", Some("panic-surface")).is_some());
+        assert!(f.justification(1, "ordering", None).is_none());
+    }
+}

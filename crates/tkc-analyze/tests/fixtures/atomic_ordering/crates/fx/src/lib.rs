@@ -1,0 +1,22 @@
+//! Atomic-ordering fixture. Expected findings, in file order:
+//! 1. `violates`  — SeqCst on `flag`, whose policy allows only Relaxed.
+//! 2. `uncovered` — an Ordering site on a variable no rule covers.
+//! 3. `justified` — out-of-policy ordering carrying an inline
+//!    `// analyze: ordering(..)` (reported as allowed, does not gate).
+
+pub fn within_policy(flag: &AtomicBool) {
+    flag.store(true, Ordering::Relaxed);
+}
+
+pub fn violates(flag: &AtomicBool) {
+    flag.store(true, Ordering::SeqCst);
+}
+
+pub fn uncovered(other: &AtomicBool) -> bool {
+    other.load(Ordering::Acquire)
+}
+
+pub fn justified(flag: &AtomicBool) -> bool {
+    // analyze: ordering(Acquire): pairs with the Release store in the (hypothetical) publisher
+    flag.load(Ordering::Acquire)
+}

@@ -1,0 +1,18 @@
+//! Invariant-freshness fixture. Expected findings, in file order:
+//! 1. keyword-bearing debug_assert with no `// analyze: invariant(..)`.
+//! 2. tag naming a check that does not exist under verify/src.
+//!
+//! The third assert is correctly tagged; the fourth mentions no keyword
+//! and needs no tag.
+
+pub fn peel(k: u32, prev: u32, len: usize) {
+    debug_assert!(k >= prev, "peel monotonicity violated");
+
+    // analyze: invariant(check_that_was_renamed)
+    debug_assert!(k >= prev, "rule0 locality violated");
+
+    // analyze: invariant(real_check)
+    debug_assert!(k >= prev, "monotonic peel order");
+
+    debug_assert!(len > 0, "unrelated assert, no keyword");
+}

@@ -1,0 +1,5 @@
+//! Fixture oracle crate: the one check invariant tags may reference.
+
+pub fn real_check(kappa: &[u32]) -> bool {
+    kappa.windows(2).all(|w| w[0] <= w[1])
+}

@@ -1,0 +1,41 @@
+//! Lock-order fixture. Expected findings, in file order:
+//! 1. `inversion`      — acquires alpha while holding beta.
+//! 2. `through_a_call` — calls a helper that acquires alpha while
+//!    holding beta.
+//! 3. `reacquire`      — takes fx.alpha twice (self-deadlock).
+//! 4. `undeclared`     — `.lock()` on a receiver the policy doesn't know.
+//! 5. `justified`      — same as 4 but carries an inline justification
+//!    (reported as allowed, does not gate).
+
+pub fn inversion(alpha: &M, beta: &M) {
+    let _b = beta.lock();
+    let _a = alpha.lock();
+}
+
+fn takes_alpha(alpha: &M) {
+    let _a = alpha.lock();
+}
+
+pub fn through_a_call(alpha: &M, beta: &M) {
+    let _b = beta.lock();
+    takes_alpha(alpha);
+}
+
+pub fn reacquire(alpha: &M) {
+    let _one = lock_alpha(alpha);
+    let _two = lock_alpha(alpha);
+}
+
+pub fn undeclared(other: &M) {
+    let _g = other.lock();
+}
+
+pub fn justified(handle: &M) {
+    // analyze: allow(lock-order): io handle lock, not a synchronization mutex
+    let _g = handle.lock();
+}
+
+pub fn correct_order(alpha: &M, beta: &M) {
+    let _a = alpha.lock();
+    let _b = beta.lock();
+}

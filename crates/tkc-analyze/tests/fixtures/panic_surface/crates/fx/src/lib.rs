@@ -1,0 +1,35 @@
+//! Panic-surface fixture. Expected findings, in file order:
+//! 1. indexing (`v[i]`)
+//! 2. `.unwrap()`
+//! 3. `.expect()`
+//! 4. `%` with a non-literal divisor
+//! 5. justified indexing (reported as allowed, does not gate)
+//!
+//! Not flagged: indexing inside `debug_assert!`, anything under
+//! `#[cfg(test)]`, float division, literal divisors.
+
+pub fn risky(v: &[u32], i: usize, d: u32) -> u32 {
+    debug_assert!(v[0] > 0, "debug-assert bodies are exempt");
+    let a = v[i];
+    let b = v.get(i).copied().unwrap();
+    let c = v.first().copied().expect("nonempty");
+    a + b + c + (a % d) + (a / 2)
+}
+
+pub fn float_division(x: f64, y: f64) -> f64 {
+    x / y
+}
+
+pub fn justified(v: &[u32]) -> u32 {
+    // analyze: allow(panic-surface): caller guarantees non-empty per the type's contract
+    v[0]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let v = [1u32, 2];
+        assert_eq!(v[0], v[1] - 1);
+    }
+}

@@ -1,0 +1,18 @@
+//! Registry fixture. Expected findings:
+//! 1. `tkc_registered_only` registered here but absent from DESIGN.md.
+//! 2. `tkc_documented_only` documented but never registered (in the doc).
+//! 3. `"wal.bogus"` is failpoint-shaped but not canonical.
+//! 4. STATS missing from README.md (on the surface).
+//! 5. `"NOPE"` in proto.rs is verb-shaped but not canonical.
+
+mod proto;
+
+pub fn register(reg: &Registry) {
+    let _a = reg.counter("tkc_both_sides", "documented and registered");
+    let _b = reg.counter("tkc_registered_only", "missing from the doc");
+}
+
+pub fn exercise_failpoints(f: &Faults) {
+    f.hit("wal.append");
+    f.hit("wal.bogus");
+}

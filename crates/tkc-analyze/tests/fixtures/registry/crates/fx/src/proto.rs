@@ -1,0 +1,10 @@
+//! Fixture proto parser: `NOPE` is not in the policy verb list.
+
+pub fn parse(line: &str) -> Option<Cmd> {
+    match line {
+        "PING" => Some(Cmd::Ping),
+        "STATS" => Some(Cmd::Stats),
+        "NOPE" => Some(Cmd::Nope),
+        _ => None,
+    }
+}

@@ -1,0 +1,124 @@
+//! Fixture self-tests: each fixture under `tests/fixtures/<lint>/` is a
+//! miniature workspace whose policy enables exactly one lint, and whose
+//! sources trip it a known number of times. The counts are exact so a
+//! lint that goes blind (0 findings) or trigger-happy (extra findings)
+//! fails loudly, and a golden-JSON test pins the output schema that
+//! `scripts/analyze_report.py` and CI consume.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
+
+use std::path::{Path, PathBuf};
+use tkc_analyze::findings::Report;
+use tkc_analyze::policy::Policy;
+
+fn fixture_root(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run_fixture(name: &str) -> Report {
+    let root = fixture_root(name);
+    let policy = Policy::load(&root.join("analyze.toml")).unwrap();
+    tkc_analyze::analyze(&root, &policy).unwrap()
+}
+
+/// Every finding must come from the one lint the fixture enables.
+fn assert_single_lint(report: &Report, lint: &str) {
+    for f in &report.findings {
+        assert_eq!(f.lint, lint, "stray finding: {f}");
+    }
+}
+
+#[test]
+fn lock_order_fixture() {
+    let report = run_fixture("lock_order");
+    assert_single_lint(&report, "lock-order");
+    assert_eq!(report.active_count(), 4, "{}", report.render_text());
+    assert_eq!(report.allowed_count(), 1, "{}", report.render_text());
+    let messages: Vec<&str> = report
+        .findings
+        .iter()
+        .filter(|f| f.allowed_by.is_none())
+        .map(|f| f.message.as_str())
+        .collect();
+    assert!(messages
+        .iter()
+        .any(|m| m.contains("contradicting the declared hierarchy")));
+    assert!(messages
+        .iter()
+        .any(|m| m.contains("calls into code that acquires")));
+    assert!(messages.iter().any(|m| m.contains("self-deadlock")));
+    assert!(messages.iter().any(|m| m.contains("not a declared lock")));
+}
+
+#[test]
+fn atomic_ordering_fixture() {
+    let report = run_fixture("atomic_ordering");
+    assert_single_lint(&report, "atomic-ordering");
+    assert_eq!(report.active_count(), 2, "{}", report.render_text());
+    assert_eq!(report.allowed_count(), 1, "{}", report.render_text());
+}
+
+#[test]
+fn panic_surface_fixture() {
+    let report = run_fixture("panic_surface");
+    assert_single_lint(&report, "panic-surface");
+    assert_eq!(report.active_count(), 4, "{}", report.render_text());
+    assert_eq!(report.allowed_count(), 1, "{}", report.render_text());
+}
+
+#[test]
+fn registry_fixture() {
+    let report = run_fixture("registry");
+    assert_single_lint(&report, "registry-consistency");
+    assert_eq!(report.active_count(), 5, "{}", report.render_text());
+    assert_eq!(report.allowed_count(), 0, "{}", report.render_text());
+}
+
+#[test]
+fn invariants_fixture() {
+    let report = run_fixture("invariants");
+    assert_single_lint(&report, "invariant-freshness");
+    assert_eq!(report.active_count(), 2, "{}", report.render_text());
+    assert_eq!(report.allowed_count(), 0, "{}", report.render_text());
+}
+
+/// The JSON schema is a contract with CI and `scripts/analyze_report.py`;
+/// any change must be deliberate (regenerate with
+/// `cargo run -p tkc-analyze -- --root tests/fixtures/atomic_ordering \
+///  --policy tests/fixtures/atomic_ordering/analyze.toml --format json`).
+#[test]
+fn golden_json_is_stable() {
+    let report = run_fixture("atomic_ordering");
+    let golden_path = fixture_root("atomic_ordering").join("expected.json");
+    let golden = std::fs::read_to_string(&golden_path).unwrap();
+    assert_eq!(
+        report.render_json().trim(),
+        golden.trim(),
+        "JSON output drifted from {}",
+        golden_path.display()
+    );
+}
+
+/// The real workspace must be clean: every finding either fixed,
+/// justified inline, or allowlisted in analyze.toml. This is the same
+/// gate CI applies via `tkc analyze`.
+#[test]
+fn workspace_has_no_active_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let policy = Policy::load(&root.join("analyze.toml")).unwrap();
+    let report = tkc_analyze::analyze(&root, &policy).unwrap();
+    let active: Vec<String> = report
+        .findings
+        .iter()
+        .filter(|f| f.allowed_by.is_none())
+        .map(|f| f.to_string())
+        .collect();
+    assert!(
+        active.is_empty(),
+        "workspace has {} active finding(s):\n{}",
+        active.len(),
+        active.join("\n")
+    );
+}

@@ -1,4 +1,4 @@
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
 //! §VI of the paper: the DN-Graph iterative estimates converge to exactly
 //! the Triangle K-Core numbers (Claim 3), and CSV's exact co-clique sizes

@@ -1,4 +1,4 @@
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
 //! Bench: Algorithm 1 against every baseline (the microbenchmark behind
 //! Table II). CSV only runs at the small size; the iterative DN variants

@@ -1,4 +1,4 @@
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
 //! Bench: incremental maintenance vs full recomputation across change-batch
 //! sizes (the microbenchmark behind Table III).

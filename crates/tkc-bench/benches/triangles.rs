@@ -1,4 +1,4 @@
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
 //! Bench: the triangle substrate — support computation, counting, and the
 //! stored vs streaming decomposition tradeoff of §IV-A.

@@ -19,6 +19,7 @@
 //! sequential path before its timing is recorded — a bench run that would
 //! report a wrong kernel aborts instead.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 use std::sync::Arc;
 use std::time::Duration;
 

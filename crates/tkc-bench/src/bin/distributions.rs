@@ -1,4 +1,4 @@
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
 //! Bonus exhibit: κ-distribution statistics and histograms across the
 //! dataset registry — the aggregate view behind every density plot, and a

@@ -1,4 +1,4 @@
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
 //! Figure 1 — K-Core vs Triangle K-Core on five vertices: the minimal
 //! 2-core (a 5-cycle, no triangles at all) against a minimal Triangle

@@ -1,4 +1,4 @@
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
 //! Figure 10 — Bridge Cliques in the DBLP-style pair: two groups that
 //! published separately in year one (the paper's data-streams and

@@ -1,4 +1,4 @@
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
 //! Figure 11 — New Join Cliques in the DBLP-style pair: a three-author
 //! team from year 2000 is joined by six authors who never appeared before,

@@ -1,4 +1,4 @@
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
 //! Figure 12 — static template patterns on the labeled PPI stand-in: with
 //! "new" redefined as *inter-complex*, Bridge Cliques surface the protein

@@ -1,4 +1,4 @@
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
 //! Figure 2 — the worked example of Algorithm 1: the 5-vertex graph whose
 //! edges start with support {AB:1, AC:1, BD:2, BE:2, CD:2, CE:2, DE:2,

@@ -1,4 +1,4 @@
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
 //! Figure 3 — the update example of Algorithm 2: adding edge AC to the
 //! 6-vertex graph creates triangles ABC and AEC; processing them one at a

@@ -1,4 +1,4 @@
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
 //! Figure 4 — the three template patterns on their illustration graphs:
 //! New Form (a/d), Bridge (b/e), New Join (c/f), each detected by

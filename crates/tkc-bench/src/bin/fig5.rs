@@ -1,4 +1,4 @@
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
 //! Figure 5 — the DN-Graph coverage gap: in the example graph only BCDE is
 //! a DN-Graph, so vertex A belongs to none; the per-edge λ(e)/κ(e) values

@@ -1,4 +1,4 @@
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
 //! Figure 6 — qualitative comparison of CSV and Triangle K-Core density
 //! plots on the six smaller datasets. Emits a two-band SVG per dataset

@@ -1,4 +1,4 @@
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
 //! Figure 7 — the PPI case study: three near-cliques sit at the peaks of
 //! the density plot; one is an exact 10-clique, another a 10-vertex clique

@@ -1,4 +1,4 @@
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
 //! Figure 8 — Dual View Plots on two Wiki snapshots: plot(a) shows the
 //! original clique distribution, plot(b) only the changed cliques after

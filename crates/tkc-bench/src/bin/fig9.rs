@@ -1,4 +1,4 @@
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
 //! Figure 9 — New Form Cliques in the DBLP-style snapshot pair: six
 //! veterans who never collaborated before form a brand-new 6-clique; the

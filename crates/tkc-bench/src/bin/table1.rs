@@ -1,4 +1,4 @@
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
 //! Table I — the dataset inventory: paper sizes vs. the synthetic
 //! stand-ins actually built, plus the structural statistics (triangles,

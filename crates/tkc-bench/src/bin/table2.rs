@@ -1,4 +1,4 @@
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
 //! Table II — execution time of CSV, TriDN, BiTriDN and Triangle K-Core
 //! (Algorithm 1) across the datasets, plus the Claim 3 convergence check

@@ -1,4 +1,4 @@
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
 //! Table III — incremental update vs. full re-computation after randomly
 //! adding/deleting 1% of edges on the five largest datasets, averaged over

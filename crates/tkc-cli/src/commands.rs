@@ -37,6 +37,7 @@ pub const USAGE: &str = "usage:
                 [--metrics-addr host:port] [--trace-out file.jsonl]
                 [--trace-cap N]
   tkc chaos     [--seeds N] [--start-seed S] [--dir root]
+  tkc analyze   [--root dir] [--policy analyze.toml] [--format text|json]
 
 (--threads 0 = all cores; the support stage of Algorithm 1 runs on the
  wedge-balanced worker pool; TKC_LOG=error|warn|info|debug tunes
@@ -95,6 +96,9 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             "seeds",
             "start-seed",
             "dir",
+            "root",
+            "policy",
+            "format",
         ],
     )?;
     match p.positional(0, "subcommand")? {
@@ -111,6 +115,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "verify" => verify(&p),
         "serve" => serve(&p),
         "chaos" => chaos(&p),
+        "analyze" => analyze(&p),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -749,6 +754,26 @@ fn chaos(p: &crate::args::Parsed) -> Result<(), String> {
             "chaos FAILED at seed {seed}: {failure}\n\
              reproduce with: tkc chaos --seeds 1 --start-seed {seed}"
         )),
+    }
+}
+
+fn analyze(p: &crate::args::Parsed) -> Result<(), String> {
+    let root = std::path::PathBuf::from(p.flag("root").unwrap_or("."));
+    let policy = match p.flag("policy") {
+        Some(path) => std::path::PathBuf::from(path),
+        None => root.join("analyze.toml"),
+    };
+    let format = match p.flag("format").unwrap_or("text") {
+        "text" => tkc_analyze::Format::Text,
+        "json" => tkc_analyze::Format::Json,
+        other => return Err(format!("--format must be text or json, got {other:?}")),
+    };
+    let mut out = std::io::stdout();
+    match tkc_analyze::run_cli(&root, &policy, format, &mut out) {
+        0 => Ok(()),
+        // Findings (1) and setup errors (2) are already on stdout; exit
+        // with the analyzer's code without dumping the tkc usage text.
+        code => std::process::exit(code),
     }
 }
 

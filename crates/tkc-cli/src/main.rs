@@ -14,6 +14,9 @@
 //! insert, `- u v` to delete.
 
 #![forbid(unsafe_code)]
+// CLI frontend: argument/report plumbing over already-validated data; the
+// strict panic-surface wall (deny) applies to tkc-engine. See DESIGN.md §11.
+#![allow(clippy::indexing_slicing, clippy::expect_used)]
 
 use std::process::ExitCode;
 

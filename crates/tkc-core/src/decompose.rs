@@ -364,11 +364,13 @@ fn peel_with_supports(g: &Graph, mut sup: Vec<u32>) -> Decomposition {
         let k = sup[e.index()];
         #[cfg(feature = "check-invariants")]
         {
+            // analyze: invariant(verify_decomposition)
             debug_assert!(
                 !processed[e.index()],
                 "processing-order violation: edge {} popped twice",
                 e.index()
             );
+            // analyze: invariant(verify_decomposition)
             debug_assert!(
                 k >= max_kappa,
                 "bucket-queue monotonicity violation: popped support {k} \
@@ -418,6 +420,7 @@ fn peel_with_supports(g: &Graph, mut sup: Vec<u32>) -> Decomposition {
                     bin[sx as usize] += 1;
                     sup[x.index()] = sx - 1;
                     #[cfg(feature = "check-invariants")]
+                    // analyze: invariant(check_support_kernels)
                     debug_assert!(
                         sup[x.index()] >= k,
                         "support of edge {} decremented below current level {k}",

@@ -505,10 +505,12 @@ impl DynamicTriangleKCore {
             if b == a {
                 continue;
             }
+            // analyze: invariant(kappa_matches_recompute)
             debug_assert_eq!(
                 b, mu,
                 "Rule 0 violation: edge {i} changed level but sat at {b}, not \u{3bc} = {mu}"
             );
+            // analyze: invariant(kappa_matches_recompute)
             debug_assert_eq!(
                 a, expected,
                 "Rule 0 violation: edge {i} moved {b} -> {a}, expected {expected}"

@@ -28,6 +28,12 @@
 //! assert!(m.graph().edge_ids().all(|e| m.kappa(e) == 3));
 //! ```
 
+// Kernel crate: peel/update hot loops index CSR arrays and bucket
+// queues whose bounds are structural invariants (checked in debug and by
+// the tkc-verify oracle). The strict panic-surface wall (deny) applies to
+// tkc-engine; here checked access would cost the inner loops. See
+// DESIGN.md §11 and analyze.toml.
+#![allow(clippy::indexing_slicing, clippy::expect_used)]
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 

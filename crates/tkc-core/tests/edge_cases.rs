@@ -1,4 +1,4 @@
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
 //! Hard edge cases and failure injection for the core algorithms:
 //! degenerate graphs, adversarial shapes, id churn, and misuse handling.

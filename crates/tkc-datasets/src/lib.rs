@@ -17,6 +17,9 @@
 //! assert_eq!(g.num_edges(), 1680);
 //! ```
 
+// Dataset generators: indices derive from the loop bounds that sized the
+// vectors; cold path feeding benches and figures. See DESIGN.md §11.
+#![allow(clippy::indexing_slicing, clippy::expect_used)]
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 

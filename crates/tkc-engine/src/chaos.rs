@@ -69,6 +69,8 @@ impl ChaosCase {
             GraphKind::PlantedPartition { groups: 2, size: 6 },
             GraphKind::Caveman { groups: 3, size: 4 },
         ];
+        // analyze: allow(panic-surface): index is seed mod the non-empty const array's length
+        #[allow(clippy::indexing_slicing)]
         let kind = kinds[(seed % kinds.len() as u64) as usize];
         ChaosCase {
             seed,
@@ -316,7 +318,7 @@ pub fn run_seed_range(
 
 #[cfg(test)]
 mod tests {
-    #![allow(clippy::unwrap_used)]
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
     use super::*;
 

@@ -39,6 +39,7 @@ use crate::wal::{Recovery, Wal, WalError, WalOp};
 /// Name of the compacted snapshot file inside the state directory.
 pub const STATE_FILE: &str = "state.tkc";
 /// Name of the write-ahead log inside the state directory.
+// analyze: allow(registry-consistency): file name, not a failpoint site id
 pub const WAL_FILE: &str = "wal.log";
 
 /// Tunables for [`Engine::open`].
@@ -915,7 +916,7 @@ fn lock_write<'a>(
 
 #[cfg(test)]
 mod tests {
-    #![allow(clippy::unwrap_used)]
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
     use super::*;
 

@@ -19,6 +19,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The serving crate holds the strictest panic-surface wall in the
+// workspace: the tkc-analyze lint audits it source-level, and clippy
+// escalates from the workspace-wide `warn` to `deny` here. Exceptions
+// live next to their justification (`#[allow]` + `// analyze: allow`).
+#![deny(clippy::expect_used, clippy::indexing_slicing)]
 
 pub mod chaos;
 pub mod engine;

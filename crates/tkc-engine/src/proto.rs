@@ -142,7 +142,7 @@ pub fn parse_batch_line(t: &str) -> Option<WalOp> {
 
 #[cfg(test)]
 mod tests {
-    #![allow(clippy::unwrap_used)]
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
     use super::*;
 

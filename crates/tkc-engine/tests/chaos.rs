@@ -14,6 +14,7 @@
 //! every recovery, at the end of the stream, and across a final clean
 //! reopen.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 use std::path::PathBuf;
 
 use tkc_engine::chaos::{run_case, run_seed_range, ChaosCase};

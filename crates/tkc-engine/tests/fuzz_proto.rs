@@ -7,6 +7,7 @@
 //! flows through [`parse_command`] / [`parse_batch_line`] (after lossy
 //! UTF-8 decoding, which these properties reproduce exactly).
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 use proptest::prelude::*;
 
 use tkc_engine::proto::{parse_batch_line, parse_command, Command};

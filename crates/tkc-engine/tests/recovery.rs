@@ -1,4 +1,4 @@
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
 //! WAL crash-recovery equivalence, wired into the tkc-verify differential
 //! corpus: for every stream in the 216-case default suite, killing the

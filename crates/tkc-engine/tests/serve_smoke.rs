@@ -1,4 +1,4 @@
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
 //! Concurrent serve smoke: four clients hammer one server over loopback —
 //! two writers building disjoint K5 cliques (one via synchronous INSERT,
@@ -193,5 +193,68 @@ fn four_concurrent_clients_mixed_reads_and_writes() {
     assert_eq!(reopened.snapshot().num_vertices(), 10);
     assert_eq!(reopened.snapshot().num_edges(), 20);
     assert_eq!(reopened.snapshot().max_kappa(), 3);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The low-traffic verbs — PING, HEALTH, METRICS, REMOVE, QUIT — answer
+/// correctly on a live server, and a REMOVE/re-INSERT toggle round-trips
+/// through the durable path without disturbing κ.
+#[test]
+fn auxiliary_verbs_answer_on_a_live_server() {
+    let dir = std::env::temp_dir()
+        .join("tkc_serve_smoke_tests")
+        .join("verbs");
+    std::fs::remove_dir_all(&dir).ok();
+    let engine = Arc::new(
+        Engine::open(EngineConfig {
+            fsync: false,
+            ..EngineConfig::new(&dir)
+        })
+        .unwrap(),
+    );
+    let server = Server::start(
+        Arc::clone(&engine),
+        "127.0.0.1:0",
+        ServeOptions {
+            read_timeout: Duration::from_secs(10),
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    let mut c = Client::connect(server.local_addr());
+
+    assert_eq!(c.send("PING"), "OK pong");
+    assert_eq!(c.send("HEALTH"), "OK serving");
+    for (u, v) in [(0, 1), (0, 2), (1, 2)] {
+        assert!(c.send(&format!("INSERT {u} {v}")).starts_with("OK"));
+    }
+    assert_eq!(c.send("REMOVE 0 1"), "OK removed");
+    assert_eq!(c.send("REMOVE 0 1"), "OK noop");
+    assert!(c.send("INSERT 0 1").starts_with("OK"));
+    assert!(c.send("EPOCH").starts_with("OK "));
+    assert_eq!(c.send("KAPPA 0 1"), "OK 1");
+
+    // METRICS: `.`-terminated prometheus block with the removal counted.
+    assert_eq!(c.send("METRICS"), "OK");
+    let mut saw_removed = false;
+    loop {
+        let mut line = String::new();
+        c.reader.read_line(&mut line).unwrap();
+        let t = line.trim_end();
+        if t == "." {
+            break;
+        }
+        if t.starts_with("tkc_engine_removed_total") {
+            saw_removed = true;
+        }
+    }
+    assert!(saw_removed, "METRICS block lacks tkc_engine_removed_total");
+
+    // QUIT closes only this connection; the server keeps serving.
+    assert_eq!(c.send("QUIT"), "OK bye");
+    let mut c2 = Client::connect(server.local_addr());
+    assert_eq!(c2.send("PING"), "OK pong");
+    assert_eq!(c2.send("SHUTDOWN"), "OK shutting down");
+    server.join();
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -101,7 +101,9 @@ impl WalStorage for FaultFile {
                 let mut buf = self.inner.read_all()?;
                 if !buf.is_empty() {
                     let bit = self.plan.draw() % (buf.len() as u64 * 8);
-                    buf[(bit / 8) as usize] ^= 1 << (bit % 8);
+                    if let Some(byte) = buf.get_mut((bit / 8) as usize) {
+                        *byte ^= 1 << (bit % 8);
+                    }
                 }
                 self.plan.note_injection();
                 Ok(buf)
@@ -118,8 +120,8 @@ impl WalStorage for FaultFile {
             let so_far = self.plan.bytes_so_far();
             if so_far + data.len() as u64 > limit {
                 let keep = limit.saturating_sub(so_far) as usize;
-                if keep > 0 {
-                    self.inner.write_at(offset, &data[..keep])?;
+                if let Some(prefix) = data.get(..keep).filter(|p| !p.is_empty()) {
+                    self.inner.write_at(offset, prefix)?;
                     let _ = self.inner.sync();
                     self.plan.add_bytes(keep as u64);
                 }
@@ -135,8 +137,8 @@ impl WalStorage for FaultFile {
                 } else {
                     (self.plan.draw() % data.len() as u64) as usize
                 };
-                if keep > 0 {
-                    self.inner.write_at(offset, &data[..keep])?;
+                if let Some(prefix) = data.get(..keep).filter(|p| !p.is_empty()) {
+                    self.inner.write_at(offset, prefix)?;
                     self.plan.add_bytes(keep as u64);
                 }
                 self.plan.note_injection();
@@ -156,7 +158,9 @@ impl WalStorage for FaultFile {
                 let mut corrupt = data.to_vec();
                 if !corrupt.is_empty() {
                     let bit = self.plan.draw() % (corrupt.len() as u64 * 8);
-                    corrupt[(bit / 8) as usize] ^= 1 << (bit % 8);
+                    if let Some(byte) = corrupt.get_mut((bit / 8) as usize) {
+                        *byte ^= 1 << (bit % 8);
+                    }
                 }
                 self.inner.write_at(offset, &corrupt)?;
                 self.plan.add_bytes(data.len() as u64);
@@ -208,7 +212,7 @@ impl WalStorage for FaultFile {
 
 #[cfg(test)]
 mod tests {
-    #![allow(clippy::unwrap_used)]
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
     use super::*;
     use crate::plan::Failpoint;

@@ -321,7 +321,9 @@ impl FaultPlan {
 
     /// Registers one invocation of `site` and returns its 1-based index.
     pub(crate) fn bump(&self, site: FaultSite) -> u64 {
-        self.calls[site.index()].fetch_add(1, Ordering::Relaxed) + 1
+        self.calls
+            .get(site.index())
+            .map_or(0, |c| c.fetch_add(1, Ordering::Relaxed) + 1)
     }
 
     /// The non-crash kind scheduled for invocation `n` of `site`, if any.
@@ -376,7 +378,7 @@ fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
 
 #[cfg(test)]
 mod tests {
-    #![allow(clippy::unwrap_used)]
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
     use super::*;
 

@@ -33,6 +33,7 @@ impl Hasher for FxHasher {
     fn write(&mut self, bytes: &[u8]) {
         for chunk in bytes.chunks(8) {
             let mut buf = [0u8; 8];
+            // analyze: allow(panic-surface): chunks(8) yields chunks of at most 8 bytes
             buf[..chunk.len()].copy_from_slice(chunk);
             self.add_to_hash(u64::from_le_bytes(buf));
         }

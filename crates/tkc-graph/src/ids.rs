@@ -45,6 +45,7 @@ impl From<u32> for VertexId {
 impl From<usize> for VertexId {
     #[inline]
     fn from(v: usize) -> Self {
+        // analyze: allow(panic-surface): graphs beyond u32 vertices are outside the supported scale; panic is the contract
         VertexId(u32::try_from(v).expect("vertex id overflows u32"))
     }
 }
@@ -59,6 +60,7 @@ impl From<u32> for EdgeId {
 impl From<usize> for EdgeId {
     #[inline]
     fn from(e: usize) -> Self {
+        // analyze: allow(panic-surface): same scale contract as VertexId
         EdgeId(u32::try_from(e).expect("edge id overflows u32"))
     }
 }

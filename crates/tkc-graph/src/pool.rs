@@ -105,6 +105,7 @@ impl WorkerPool {
                 std::thread::Builder::new()
                     .name(format!("tkc-worker-{i}"))
                     .spawn(move || worker_loop(&receiver))
+                    // analyze: allow(panic-surface): failing to spawn workers at startup is fatal by design
                     .expect("spawn worker thread")
             })
             .collect();
@@ -142,6 +143,7 @@ impl WorkerPool {
         // disabled path carries no timing code at all.
         let instrument = tkc_obs::kernel_instrumentation_enabled();
         let (tx, rx) = channel::<(usize, T, u64)>();
+        // analyze: allow(panic-surface): sender is Some until Drop takes it; run() is unreachable after drop
         let sender = self.sender.as_ref().expect("pool sender alive until drop");
         for (i, job) in jobs.into_iter().enumerate() {
             let tx = tx.clone();
@@ -157,6 +159,7 @@ impl WorkerPool {
                         let _ = tx.send((i, job(), 0));
                     }
                 }))
+                // analyze: allow(panic-surface): workers only exit after the sender is dropped
                 .expect("worker threads alive");
         }
         drop(tx);
@@ -166,8 +169,11 @@ impl WorkerPool {
         for _ in 0..n {
             let (i, value, nanos) = rx
                 .recv()
+                // analyze: allow(panic-surface): a job panic must propagate to the caller, per the documented contract
                 .expect("a pool job panicked before returning its result");
-            out[i] = Some(value);
+            if let Some(slot) = out.get_mut(i) {
+                *slot = Some(value);
+            }
             if instrument {
                 PoolMetrics::get().busy_seconds.record(nanos);
                 max_nanos = max_nanos.max(nanos);
@@ -183,6 +189,7 @@ impl WorkerPool {
                 m.imbalance.set(max_nanos as f64 / mean);
             }
         }
+        // analyze: allow(panic-surface): the recv loop above fills a slot for every index
         out.into_iter()
             .map(|slot| slot.expect("every index delivered exactly once"))
             .collect()

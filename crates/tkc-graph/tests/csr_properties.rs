@@ -1,4 +1,4 @@
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
 //! Property tests for the oriented CSR snapshot kernel: supports and
 //! triangle counts must be bit-identical to the sequential hash-based

@@ -1,4 +1,4 @@
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
 //! Property tests for the graph substrate: structural invariants under
 //! random edit scripts, and triangle enumeration against the O(n³) oracle.

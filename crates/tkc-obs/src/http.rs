@@ -39,7 +39,7 @@ impl MetricsServer {
 
     /// Stops the accept loop and joins the serving thread.
     pub fn stop(mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        self.stop.store(true, Ordering::Relaxed);
         // Unblock the accept() with a throwaway connection.
         if let Ok(s) = TcpStream::connect(self.addr) {
             drop(s);
@@ -61,7 +61,7 @@ pub fn serve<A: ToSocketAddrs>(addr: A, render: RenderFn) -> std::io::Result<Met
         .name("tkc-metrics-http".to_string())
         .spawn(move || {
             for stream in listener.incoming() {
-                if stop_flag.load(Ordering::SeqCst) {
+                if stop_flag.load(Ordering::Relaxed) {
                     break;
                 }
                 let Ok(stream) = stream else { continue };
@@ -136,7 +136,7 @@ pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
 
 #[cfg(test)]
 mod tests {
-    #![allow(clippy::unwrap_used)]
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
     use super::*;
 

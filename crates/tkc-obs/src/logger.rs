@@ -112,6 +112,7 @@ pub fn log(level: Level, target: &str, args: std::fmt::Arguments<'_>) {
     match guard.as_mut() {
         Some(f) => f(&line),
         None => {
+            // analyze: allow(lock-order): stderr handle lock, not a synchronization mutex
             let mut err = std::io::stderr().lock();
             let _ = writeln!(err, "{line}");
         }
@@ -152,7 +153,7 @@ macro_rules! debug {
 
 #[cfg(test)]
 mod tests {
-    #![allow(clippy::unwrap_used)]
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
     use super::*;
     use std::sync::{Arc, Mutex as StdMutex};

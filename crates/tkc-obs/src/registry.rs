@@ -150,7 +150,9 @@ impl Histogram {
     #[inline]
     pub fn record(&self, value: u64) {
         let inner = &*self.0;
-        inner.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        if let Some(bucket) = inner.buckets.get(bucket_index(value)) {
+            bucket.fetch_add(1, Ordering::Relaxed);
+        }
         inner.count.fetch_add(1, Ordering::Relaxed);
         inner.sum.fetch_add(value, Ordering::Relaxed);
         inner.max.fetch_max(value, Ordering::Relaxed);
@@ -510,7 +512,7 @@ fn render_histogram(
     let mut cum = 0u64;
     if let (Some(first), Some(last)) = (first, last) {
         for i in first..=last {
-            cum += snap.buckets[i];
+            cum += snap.buckets.get(i).copied().unwrap_or(0);
             let le = fmt_bound(bucket_upper(i), snap.unit_scale);
             out.push_str(&format!(
                 "{}_bucket{} {}\n",
@@ -542,7 +544,7 @@ fn render_histogram(
 
 #[cfg(test)]
 mod tests {
-    #![allow(clippy::unwrap_used)]
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
     use super::*;
 

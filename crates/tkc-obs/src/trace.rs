@@ -123,7 +123,9 @@ impl TraceBuffer {
             ring.slots.push(record);
         } else {
             let next = ring.next;
-            ring.slots[next] = record;
+            if let Some(slot) = ring.slots.get_mut(next) {
+                *slot = record;
+            }
         }
         ring.next = (ring.next + 1) % self.capacity;
         ring.total += 1;
@@ -141,8 +143,9 @@ impl TraceBuffer {
             ring.slots.clone()
         } else {
             let mut out = Vec::with_capacity(self.capacity);
-            out.extend_from_slice(&ring.slots[ring.next..]);
-            out.extend_from_slice(&ring.slots[..ring.next]);
+            let (newest, oldest) = ring.slots.split_at(ring.next.min(ring.slots.len()));
+            out.extend_from_slice(oldest);
+            out.extend_from_slice(newest);
             out
         }
     }
@@ -169,7 +172,7 @@ impl TraceBuffer {
 
 #[cfg(test)]
 mod tests {
-    #![allow(clippy::unwrap_used)]
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
     use super::*;
 

@@ -25,6 +25,10 @@
 //! assert_eq!(found.top_structures(1)[0].vertices.len(), 5);
 //! ```
 
+// Analysis-layer crate: pattern probing walks id-dense score vectors; a
+// panic here fails an offline analysis run, not a serving path. See
+// DESIGN.md §11.
+#![allow(clippy::indexing_slicing, clippy::expect_used)]
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 

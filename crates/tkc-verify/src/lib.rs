@@ -30,6 +30,9 @@
 //! assert!(KappaCertificate::new(&g, &bad).check().is_err());
 //! ```
 
+// Oracle crate: differential checks *want* to fail loudly — a panic is
+// the test failure report. See DESIGN.md §11.
+#![allow(clippy::indexing_slicing, clippy::expect_used)]
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 

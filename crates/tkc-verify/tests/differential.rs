@@ -1,4 +1,4 @@
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
 //! The CI differential suite: hundreds of seeded op-streams over generator
 //! graphs, each checked against a from-scratch recompute after every

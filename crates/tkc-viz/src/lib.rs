@@ -19,6 +19,10 @@
 //! assert_eq!(plot.max_value(), 6);
 //! ```
 
+// Plot-construction crate: ordering/density walks index freshly-built
+// vectors; output is SVG/TSV for offline inspection, not a serving path.
+// See DESIGN.md §11.
+#![allow(clippy::indexing_slicing, clippy::expect_used)]
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 

@@ -34,6 +34,9 @@
 //! assert_eq!(live.kappa(e), 1); // one triangle across the weld
 //! ```
 
+// Facade crate: re-exports plus doctest-heavy examples where a panic is
+// the example failing. See DESIGN.md §11.
+#![allow(clippy::indexing_slicing, clippy::expect_used)]
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 

@@ -1,4 +1,4 @@
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
 //! Event detection on an evolving network: classify how the dense
 //! communities of one snapshot became those of the next (continue / grow /

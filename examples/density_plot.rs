@@ -1,4 +1,4 @@
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
 //! Density plots end to end: build (or load) a graph, compare the
 //! Triangle K-Core proxy against the exact CSV estimation, and write SVG +

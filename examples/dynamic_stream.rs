@@ -1,4 +1,4 @@
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
 //! Dynamic maintenance on an edge stream: replay a day of "social network"
 //! churn against a live Triangle K-Core index and watch structures form

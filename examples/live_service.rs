@@ -1,4 +1,4 @@
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
 //! Live service: one ingest thread streams edges from a planted-partition
 //! generator into a durable [`tkc_engine::Engine`] while query threads

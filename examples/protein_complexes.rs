@@ -1,4 +1,4 @@
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
 //! The biology workflow of §VII-B/F: find near-clique protein complexes in
 //! a PPI network, then probe for *bridge* structures connecting two

@@ -1,4 +1,4 @@
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
 //! Quickstart: decompose a graph, inspect κ values, extract the densest
 //! clique-like structures, and draw a density plot in the terminal.

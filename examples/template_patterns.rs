@@ -1,4 +1,4 @@
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
 //! Template pattern cliques on an evolving collaboration network: the
 //! three built-in patterns plus a fully custom one, as in §V and the DBLP

@@ -1,4 +1,4 @@
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
 //! Long-horizon temporal analysis: replay a five-year collaboration series
 //! through the incremental maintainer, print each year's density profile,

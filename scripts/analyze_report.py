@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Summarize (and optionally diff) `tkc analyze --format json` output.
+
+CI usage (the `analyze` job):
+
+    cargo run -q -p tkc-cli -- analyze --format json | tee analyze.json
+    python3 scripts/analyze_report.py analyze.json
+
+Prints a per-lint breakdown of active and allowlisted findings and exits
+nonzero when any active (non-allowlisted) finding is present, so the job
+fails even if the producing pipeline masked the analyzer's own exit code.
+
+Drift review between two runs (e.g. a PR branch vs. main):
+
+    python3 scripts/analyze_report.py --diff base.json head.json
+
+lists findings that appeared or disappeared, keyed by
+(lint, file, message) — line numbers are ignored so pure code motion does
+not read as drift. --diff exits nonzero only on *new active* findings;
+newly-allowlisted ones are reported but do not fail, matching the
+analyzer's own gating rule (see DESIGN.md §11).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as fh:
+            report = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"analyze_report: cannot read {path}: {err}")
+    for field in ("findings", "files_scanned", "active", "allowed"):
+        if field not in report:
+            sys.exit(f"analyze_report: {path} is missing {field!r} — "
+                     "not a `tkc analyze --format json` report?")
+    return report
+
+
+def is_active(finding: dict) -> bool:
+    return not finding.get("allowed_by")
+
+
+def key(finding: dict) -> tuple:
+    """Identity of a finding across runs: line numbers excluded so code
+    motion above a site does not register as appearance + disappearance."""
+    return (finding["lint"], finding["file"], finding["message"])
+
+
+def summarize(path: str) -> int:
+    report = load(path)
+    findings = report["findings"]
+    by_lint_active = Counter(f["lint"] for f in findings if is_active(f))
+    by_lint_allowed = Counter(f["lint"] for f in findings if not is_active(f))
+
+    print(f"analyze report: {report['files_scanned']} file(s) scanned, "
+          f"{report['active']} active, {report['allowed']} allowlisted")
+    for lint in sorted(set(by_lint_active) | set(by_lint_allowed)):
+        print(f"  {lint:22} active={by_lint_active[lint]:<4} "
+              f"allowed={by_lint_allowed[lint]}")
+
+    active = [f for f in findings if is_active(f)]
+    if active:
+        print("\nactive findings (these gate CI):")
+        for f in active:
+            print(f"  {f['severity']}: [{f['lint']}] "
+                  f"{f['file']}:{f['line']}: {f['message']}")
+        return 1
+    return 0
+
+
+def diff(base_path: str, head_path: str) -> int:
+    base = load(base_path)
+    head = load(head_path)
+    base_keys = {key(f): f for f in base["findings"]}
+    head_keys = {key(f): f for f in head["findings"]}
+
+    appeared = [head_keys[k] for k in head_keys.keys() - base_keys.keys()]
+    disappeared = [base_keys[k] for k in base_keys.keys() - head_keys.keys()]
+    # Suppression drift: same finding, allowlist status flipped.
+    flipped = [(base_keys[k], head_keys[k])
+               for k in head_keys.keys() & base_keys.keys()
+               if is_active(base_keys[k]) != is_active(head_keys[k])]
+
+    def show(label: str, items: list) -> None:
+        print(f"{label}: {len(items)}")
+        for f in items:
+            status = "active" if is_active(f) else "allowlisted"
+            print(f"  [{f['lint']}] {f['file']}:{f['line']} ({status}): "
+                  f"{f['message']}")
+
+    show("appeared", appeared)
+    show("disappeared", disappeared)
+    if flipped:
+        print(f"allowlist status changed: {len(flipped)}")
+        for old, new in flipped:
+            arrow = "active -> allowlisted" if is_active(old) else \
+                    "allowlisted -> active"
+            print(f"  [{new['lint']}] {new['file']}:{new['line']}: {arrow}")
+
+    new_active = [f for f in appeared if is_active(f)]
+    new_active += [new for _, new in flipped if is_active(new)]
+    if new_active:
+        print(f"\n{len(new_active)} new active finding(s) — gate fails")
+        return 1
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Summarize or diff tkc analyze JSON reports")
+    parser.add_argument("reports", nargs="+",
+                        help="one report to summarize, or two with --diff")
+    parser.add_argument("--diff", action="store_true",
+                        help="diff two reports (base head) instead of "
+                             "summarizing one")
+    args = parser.parse_args()
+
+    if args.diff:
+        if len(args.reports) != 2:
+            parser.error("--diff needs exactly two reports: base head")
+        return diff(args.reports[0], args.reports[1])
+    if len(args.reports) != 1:
+        parser.error("summary mode takes exactly one report")
+    return summarize(args.reports[0])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -140,12 +140,32 @@ def assert_monotonic(before, after):
     assert not regressed, f"counters went backwards: {regressed}"
 
 
+def read_metrics_command(sock, reader):
+    """Reads the `.`-terminated METRICS block, returns the raw lines."""
+    assert send(sock, reader, "METRICS") == "OK"
+    lines = []
+    while True:
+        line = reader.readline().rstrip("\n")
+        if line == ".":
+            return lines
+        lines.append(line)
+
+
 def writer_insert(addr, failures):
     try:
         sock, reader = connect(addr)
+        assert send(sock, reader, "PING") == "OK pong"
         for u, v in clique(0):
             reply = send(sock, reader, f"INSERT {u} {v}")
             assert reply.startswith("OK"), f"INSERT {u} {v} -> {reply}"
+        # Toggle one edge to exercise the REMOVE path durably.
+        assert send(sock, reader, "REMOVE 0 1") == "OK removed"
+        reply = send(sock, reader, "INSERT 0 1")
+        assert reply.startswith("OK"), f"re-INSERT 0 1 -> {reply}"
+        metrics = read_metrics_command(sock, reader)
+        assert any(l.startswith("tkc_engine_removed_total") for l in metrics), (
+            f"METRICS lacks tkc_engine_removed_total: {metrics[:5]}..."
+        )
         send(sock, reader, "QUIT")
         sock.close()
     except Exception as e:  # noqa: BLE001 - report into the main thread
@@ -322,7 +342,7 @@ def main():
             # state: two disjoint K5s, every edge at kappa = 3.
             sock, reader = connect(addr)
             deadline = time.monotonic() + 15
-            while int(read_stats(sock, reader).get("ops_applied", 0)) < 20:
+            while int(read_stats(sock, reader).get("ops_applied", 0)) < 22:
                 assert time.monotonic() < deadline, "batch queue never drained"
                 time.sleep(0.05)
 
@@ -331,19 +351,22 @@ def main():
             # Final scrape (after EPOCH, so the snapshot gauges caught up):
             # counters must agree with the ops we issued and with the STATS
             # wire block, still monotonic vs the mid-load scrapes, and span
-            # every instrumented layer. The writers issued 10 INSERTs plus
-            # one BATCH of 10 ops = 11 applies / WAL appends, 20 ops.
+            # every instrumented layer. The writers issued 10 INSERTs, a
+            # REMOVE + re-INSERT toggle, and one BATCH of 10 ops
+            # = 13 applies / WAL appends, 22 ops (20 live edges).
             final = scrape(metrics_url)
             assert_monotonic(mid2, final)
             stats = read_stats(sock, reader)
-            assert final["tkc_engine_ops_applied_total"] == 20.0, final
-            assert int(stats["ops_applied"]) == 20, stats
-            assert final['tkc_server_requests_total{cmd="INSERT"}'] == 10.0, final
+            assert final["tkc_engine_ops_applied_total"] == 22.0, final
+            assert int(stats["ops_applied"]) == 22, stats
+            assert final['tkc_server_requests_total{cmd="INSERT"}'] == 11.0, final
+            assert final['tkc_server_requests_total{cmd="REMOVE"}'] == 1.0, final
+            assert final["tkc_engine_removed_total"] == 1.0, final
             assert final['tkc_server_requests_total{cmd="BATCH"}'] == 1.0, final
             assert final["tkc_engine_wal_bytes_total"] > 0, final
-            assert final["tkc_engine_wal_appends_total"] >= 11, final
-            assert final["tkc_engine_apply_seconds_count"] >= 11, final
-            assert final["tkc_engine_triangles_per_op_count"] == 20.0, final
+            assert final["tkc_engine_wal_appends_total"] >= 13, final
+            assert final["tkc_engine_apply_seconds_count"] >= 13, final
+            assert final["tkc_engine_triangles_per_op_count"] == 22.0, final
             assert final["tkc_engine_epochs_published_total"] >= 1, final
             assert final["tkc_graph_edges"] == 20.0, final
             families = {name.split("{")[0] for name in final}

@@ -295,7 +295,9 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(2);
         let mut seen = [false; 6];
         for _ in 0..500 {
-            seen[rng.gen_range(0..6usize)] = true;
+            if let Some(slot) = seen.get_mut(rng.gen_range(0..6usize)) {
+                *slot = true;
+            }
         }
         assert!(seen.iter().all(|&s| s));
     }

@@ -1,4 +1,4 @@
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
 //! Integration: the baselines against the core on realistic dataset
 //! stand-ins — Claim 3 at scale and the CSV/κ+2 relationship the Figure 6

@@ -1,4 +1,4 @@
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
 //! Integration: the dataset registry feeds every algorithm without
 //! surprises — sizes track Table I, builds are deterministic, scenarios

@@ -1,4 +1,4 @@
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
 //! Integration: dynamic maintenance against the static algorithm on
 //! dataset-scale graphs and full churn scenarios (the Table III protocol

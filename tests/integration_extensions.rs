@@ -1,4 +1,4 @@
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
 //! Integration: the extension layer — persistence, parallel counting,
 //! community search, exact clique enumeration and event detection —

@@ -1,4 +1,4 @@
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
 //! Integration: the static pipeline across crates — substrate → Algorithm 1
 //! → extraction, on registry datasets and structured graphs.

@@ -1,4 +1,4 @@
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
 //! Integration: visualization + pattern layers on top of core results —
 //! plots cover all vertices, SVG/TSV artifacts are well-formed, and the
