@@ -41,13 +41,27 @@ impl Decomposition {
         Decomposition::compute_with(g, 1)
     }
 
-    /// Runs Algorithm 1 with the support stage computed by `threads`
-    /// workers (`0` = available parallelism) on the oriented CSR kernel.
-    /// The peel itself is inherently sequential (each pop depends on every
-    /// earlier decrement), but supports dominate the cost on triangle-rich
-    /// graphs, so this is where the threads go.
+    /// Runs Algorithm 1 with `threads` workers (`0` = available
+    /// parallelism). Parallelism covers the whole run, not just supports:
+    /// above the wedge-work spawn floor the peel goes level-synchronous
+    /// (see [`crate::peel_parallel`]) — frontier rounds of atomic support
+    /// decrements over the frozen CSR — with output bit-identical to the
+    /// sequential reference peel for every thread count.
     pub fn compute_with(g: &Graph, threads: usize) -> Decomposition {
         triangle_kcore_decomposition_with(g, threads)
+    }
+
+    /// Assembles a decomposition from parts a peel implementation has
+    /// already validated (crate-internal: the level-synchronous parallel
+    /// peel builds κ/order/max-κ itself and must produce the same
+    /// invariants as [`peel_with_supports`] — κ bit-identical, `order` a
+    /// genuine peel order non-decreasing in κ).
+    pub(crate) fn from_parts(kappa: Vec<u32>, order: Vec<EdgeId>, max_kappa: u32) -> Decomposition {
+        Decomposition {
+            kappa,
+            order,
+            max_kappa,
+        }
     }
 
     /// Wraps an externally maintained κ vector (the dynamic maintainer's,
@@ -229,7 +243,8 @@ pub struct PhaseTimings {
     pub freeze: Duration,
     /// Counting initial per-edge supports (the parallelized stage).
     pub supports: Duration,
-    /// The bucket-sorted peel loop (inherently sequential).
+    /// The peel: the sequential bucket loop, or — on the level-sync path
+    /// — building the full-adjacency view plus the frontier rounds.
     pub peel: Duration,
 }
 
@@ -260,20 +275,24 @@ pub fn triangle_kcore_decomposition_timed(
     }
     #[cfg(not(feature = "hash-supports"))]
     {
-        let t0 = Instant::now();
-        if threads == 1 || !tkc_graph::parallel::should_parallelize(g, threads) {
-            let csr = tkc_graph::csr::CsrGraph::freeze(g);
-            timings.freeze = t0.elapsed();
-            let t1 = Instant::now();
-            sup = csr.edge_supports();
-            timings.supports = t1.elapsed();
-        } else {
-            let csr = std::sync::Arc::new(tkc_graph::csr::CsrGraph::freeze(g));
-            timings.freeze = t0.elapsed();
-            let t1 = Instant::now();
-            sup = csr.edge_supports_parallel(threads);
-            timings.supports = t1.elapsed();
+        // Level-sync path: the parallel peel times its own phases (its
+        // `peel` covers building the full-adjacency view plus the
+        // frontier rounds, so `tkc_decompose_phase_seconds{phase="peel"}`
+        // stays an honest end-to-end attribution).
+        if crate::peel_parallel::should_peel_parallel(g, threads) {
+            let (decomp, timings) =
+                crate::peel_parallel::triangle_kcore_decomposition_parallel_timed(g, threads);
+            if tkc_obs::kernel_instrumentation_enabled() {
+                record_phase_timings(&timings);
+            }
+            return (decomp, timings);
         }
+        let t0 = Instant::now();
+        let csr = tkc_graph::csr::CsrGraph::freeze(g);
+        timings.freeze = t0.elapsed();
+        let t1 = Instant::now();
+        sup = csr.edge_supports();
+        timings.supports = t1.elapsed();
     }
     let t2 = Instant::now();
     let decomp = peel_with_supports(g, sup);
@@ -311,10 +330,22 @@ fn record_phase_timings(t: &PhaseTimings) {
     .record_duration(t.peel);
 }
 
-/// [`triangle_kcore_decomposition`] with a thread count for the support
-/// stage (`0` = available parallelism). κ, order, and max κ are identical
-/// for every thread count.
+/// [`triangle_kcore_decomposition`] with a thread count (`0` = available
+/// parallelism). κ, order, and max κ are identical for every thread
+/// count.
+///
+/// When parallelism is requested and the graph clears the wedge-work
+/// spawn floor, the whole run goes level-synchronous
+/// ([`crate::peel_parallel`]): parallel supports *and* a frontier-round
+/// peel, instead of parallel supports feeding the sequential bucket
+/// peel. Otherwise the seed path below runs unchanged — it remains the
+/// reference implementation the level-sync path is differentially
+/// checked against.
 pub fn triangle_kcore_decomposition_with(g: &Graph, threads: usize) -> Decomposition {
+    #[cfg(not(feature = "hash-supports"))]
+    if crate::peel_parallel::should_peel_parallel(g, threads) {
+        return crate::peel_parallel::decompose_level_sync(g, threads);
+    }
     peel_with_supports(g, initial_supports(g, threads))
 }
 

@@ -9,6 +9,8 @@
 //!   edge insertions and deletions;
 //! * [`extract`] — materializing maximum Triangle K-Cores, level sets,
 //!   hierarchies, and exact cliques;
+//! * [`peel_parallel`] — the level-synchronous parallel peel behind
+//!   [`decompose::Decomposition::compute_with`];
 //! * [`kcore`] — the classic vertex K-Core (\[21\]) the motif generalizes;
 //! * [`persist`] — save/load κ vectors across processes;
 //! * [`mod@reference`] — naive definitional oracles used by the test suite.
@@ -41,6 +43,7 @@ pub mod decompose;
 pub mod dynamic;
 pub mod extract;
 pub mod kcore;
+pub mod peel_parallel;
 pub mod persist;
 pub mod reference;
 

@@ -1,0 +1,97 @@
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
+
+//! Property tests for the level-synchronous parallel peel
+//! ([`tkc_core::peel_parallel`]): for random graphs — including graphs
+//! with dead edge slots left by deletions — and every thread count 1–8,
+//! the parallel peel must reproduce the sequential bucket peel's κ
+//! vector and max κ bit-for-bit, and its processing order must satisfy
+//! the peel-order invariants (monotone κ, a permutation of the live
+//! edges) and be identical across every thread count and both triangle
+//! lookup strategies.
+
+use proptest::prelude::*;
+use tkc_core::decompose::triangle_kcore_decomposition;
+use tkc_core::peel_parallel::{triangle_kcore_decomposition_parallel_lookup, TriangleLookup};
+use tkc_graph::{EdgeId, Graph, VertexId};
+
+/// Random graph with optional churn: build from random pairs, then
+/// delete a sample of edges so the edge-id space contains dead slots —
+/// the parallel peel indexes per-edge arrays by raw id and must not be
+/// confused by holes.
+fn churned_graph(n: u32) -> impl Strategy<Value = Graph> {
+    (
+        proptest::collection::vec((0..n, 0..n), 0..(n as usize * 3)),
+        proptest::collection::vec(0usize..64, 0..12),
+    )
+        .prop_map(move |(pairs, deletions)| {
+            let mut g = Graph::with_capacity(n as usize, pairs.len());
+            for (a, b) in pairs {
+                if a != b {
+                    let _ = g.try_add_edge(VertexId(a), VertexId(b));
+                }
+            }
+            for pick in deletions {
+                let live: Vec<EdgeId> = g.edge_ids().collect();
+                if live.is_empty() {
+                    break;
+                }
+                g.remove_edge(live[pick % live.len()]).unwrap();
+            }
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn parallel_kappa_is_bit_identical_to_sequential(g in churned_graph(16)) {
+        let seq = triangle_kcore_decomposition(&g);
+        for lookup in [TriangleLookup::Auto, TriangleLookup::Stored, TriangleLookup::Merge] {
+            for threads in 1usize..=8 {
+                let par = triangle_kcore_decomposition_parallel_lookup(&g, threads, lookup);
+                prop_assert_eq!(par.max_kappa(), seq.max_kappa());
+                for e in g.edge_ids() {
+                    prop_assert_eq!(
+                        par.kappa(e), seq.kappa(e),
+                        "κ diverged at {:?} ({:?}, {threads} threads)",
+                        g.endpoints(e), lookup
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_order_is_a_monotone_permutation_of_live_edges(g in churned_graph(16)) {
+        let par = triangle_kcore_decomposition_parallel_lookup(&g, 4, TriangleLookup::Auto);
+        // Monotone: κ along the processing order never decreases — each
+        // frontier batch is peeled at the current (non-decreasing) level.
+        let ks: Vec<u32> = par.order().iter().map(|&e| par.kappa(e)).collect();
+        prop_assert!(ks.windows(2).all(|w| w[0] <= w[1]));
+        // Permutation: exactly the live edges, each once, no dead slots.
+        let mut seen: Vec<EdgeId> = par.order().to_vec();
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), par.order().len(), "duplicate edge in peel order");
+        let mut live: Vec<EdgeId> = g.edge_ids().collect();
+        live.sort_unstable();
+        prop_assert_eq!(seen, live, "peel order is not the live edge set");
+    }
+
+    #[test]
+    fn parallel_order_is_identical_across_threads_and_lookups(g in churned_graph(14)) {
+        let baseline =
+            triangle_kcore_decomposition_parallel_lookup(&g, 1, TriangleLookup::Stored);
+        for lookup in [TriangleLookup::Auto, TriangleLookup::Stored, TriangleLookup::Merge] {
+            for threads in 1usize..=8 {
+                let par = triangle_kcore_decomposition_parallel_lookup(&g, threads, lookup);
+                prop_assert_eq!(
+                    par.order(), baseline.order(),
+                    "order diverged ({:?}, {threads} threads)", lookup
+                );
+                prop_assert_eq!(par.kappa_slice(), baseline.kappa_slice());
+            }
+        }
+    }
+}

@@ -35,7 +35,15 @@ use std::sync::Arc;
 
 use crate::graph::Graph;
 use crate::ids::{EdgeId, VertexId};
-use crate::pool::{resolve_threads, WorkerPool};
+use crate::pool::WorkerPool;
+
+/// Minimum [`CsrGraph::total_work`] (estimated intersection probes) before
+/// the parallel snapshot kernels fan out to the worker pool. Below this a
+/// pool round-trip plus the per-chunk accumulator merge costs more than
+/// the whole sequential enumeration; measured on the BENCH_decompose
+/// graph families (the smallest, `holme_kim` quick mode, sits well above
+/// it at ~7e5 probes).
+pub const PARALLEL_CSR_WORK_MIN: u64 = 1 << 15;
 
 /// An immutable degree-oriented CSR snapshot of a [`Graph`].
 ///
@@ -252,6 +260,31 @@ impl CsrGraph {
         sup
     }
 
+    /// Calls `f(e_uv, e_uw, e_vw)` for every triangle in the snapshot,
+    /// exactly once per triangle (the oriented enumeration behind
+    /// [`Self::edge_supports`]). This is how the level-synchronous peel
+    /// materializes per-edge triangle lists without re-intersecting
+    /// adjacency lists during the peel itself.
+    #[inline]
+    pub fn for_each_triangle(&self, f: impl FnMut(EdgeId, EdgeId, EdgeId)) {
+        self.for_each_triangle_in(0, self.num_vertices(), f);
+    }
+
+    /// [`Self::for_each_triangle`] restricted to triangles whose
+    /// lowest-ranked corner lies in `lo..hi`. Rank-ranged enumeration is
+    /// what lets callers stop early — e.g. the peel's triangle
+    /// materialization bails out per rank once its memory cap is hit
+    /// instead of collecting a clique's cubic triangle count.
+    #[inline]
+    pub fn for_each_triangle_range(
+        &self,
+        lo: usize,
+        hi: usize,
+        f: impl FnMut(EdgeId, EdgeId, EdgeId),
+    ) {
+        self.for_each_triangle_in(lo, hi.min(self.num_vertices()), f);
+    }
+
     /// Total triangle count (each triangle counted once).
     pub fn triangle_count(&self) -> u64 {
         let mut count = 0u64;
@@ -291,12 +324,21 @@ impl CsrGraph {
     /// wedge-balanced chunks, per-chunk thread-local accumulators merged at
     /// the end. Exact same vector as the sequential kernels (support counts
     /// are integers; summation order cannot change them).
+    ///
+    /// Two guards keep small inputs off the pool (the BENCH_decompose v1
+    /// regression where 2 requested threads ran *slower* than the
+    /// sequential kernel): the worker count is capped at the pool's real
+    /// concurrency ([`WorkerPool::concurrency_cap`] — extra chunks beyond
+    /// that only queue), and snapshots whose total estimated intersection
+    /// work is below [`PARALLEL_CSR_WORK_MIN`] fall back to the sequential
+    /// kernel outright, because a job round-trip plus the per-chunk
+    /// accumulator merge costs more than the enumeration itself.
     pub fn edge_supports_parallel(self: &Arc<Self>, threads: usize) -> Vec<u32> {
-        let threads = resolve_threads(threads);
-        if threads <= 1 || self.num_vertices() == 0 {
+        let workers = WorkerPool::global().concurrency_cap(threads);
+        if workers <= 1 || self.num_vertices() == 0 || self.total_work() < PARALLEL_CSR_WORK_MIN {
             return self.edge_supports();
         }
-        let chunks = self.balanced_chunks(threads);
+        let chunks = self.balanced_chunks(workers);
         if chunks.len() <= 1 {
             return self.edge_supports();
         }
@@ -311,22 +353,62 @@ impl CsrGraph {
                 }
             })
             .collect();
-        let mut sup = vec![0u32; self.edge_bound];
-        for local in WorkerPool::global().run(jobs) {
-            for (acc, x) in sup.iter_mut().zip(local) {
-                *acc += x;
-            }
+        let locals = WorkerPool::global().run(jobs);
+        self.merge_supports(locals, workers)
+    }
+
+    /// Sums per-chunk accumulators into the final support vector. The
+    /// merge is itself fanned out across disjoint edge-id ranges when the
+    /// vector is long enough to amortize a second pool round — the serial
+    /// merge was `O(workers * edge_bound)` on the caller thread, a real
+    /// slice of the small-thread overhead this path used to carry. Chunk
+    /// count cannot change the result: every slot is the sum of the same
+    /// integers in the same per-chunk order.
+    fn merge_supports(self: &Arc<Self>, locals: Vec<Vec<u32>>, workers: usize) -> Vec<u32> {
+        const PARALLEL_MERGE_MIN: usize = 1 << 18;
+        if locals.len() == 1 {
+            let mut locals = locals;
+            // analyze: allow(panic-surface): len checked == 1 above
+            return locals.pop().expect("one accumulator");
         }
-        sup
+        if workers <= 1 || self.edge_bound * locals.len() < PARALLEL_MERGE_MIN {
+            let mut sup = vec![0u32; self.edge_bound];
+            for local in locals {
+                for (acc, x) in sup.iter_mut().zip(local) {
+                    *acc += x;
+                }
+            }
+            return sup;
+        }
+        let locals = Arc::new(locals);
+        let step = self.edge_bound.div_ceil(workers);
+        let jobs: Vec<_> = (0..workers)
+            .map(|w| {
+                let locals = Arc::clone(&locals);
+                let lo = (w * step).min(self.edge_bound);
+                let hi = ((w + 1) * step).min(self.edge_bound);
+                move || {
+                    let mut seg = vec![0u32; hi - lo];
+                    for local in locals.iter() {
+                        for (acc, x) in seg.iter_mut().zip(&local[lo..hi]) {
+                            *acc += x;
+                        }
+                    }
+                    seg
+                }
+            })
+            .collect();
+        WorkerPool::global().run(jobs).concat()
     }
 
     /// Parallel [`Self::triangle_count`] on the shared [`WorkerPool`].
+    /// Same worker cap and work floor as [`Self::edge_supports_parallel`].
     pub fn triangle_count_parallel(self: &Arc<Self>, threads: usize) -> u64 {
-        let threads = resolve_threads(threads);
-        if threads <= 1 || self.num_vertices() == 0 {
+        let workers = WorkerPool::global().concurrency_cap(threads);
+        if workers <= 1 || self.num_vertices() == 0 || self.total_work() < PARALLEL_CSR_WORK_MIN {
             return self.triangle_count();
         }
-        let chunks = self.balanced_chunks(threads);
+        let chunks = self.balanced_chunks(workers);
         if chunks.len() <= 1 {
             return self.triangle_count();
         }

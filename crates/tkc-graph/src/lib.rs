@@ -38,6 +38,7 @@ pub mod generators_ext;
 pub mod hash;
 pub mod io;
 pub mod parallel;
+pub mod peel_csr;
 pub mod pool;
 pub mod triangles;
 

@@ -1,0 +1,407 @@
+//! Full-adjacency CSR companion for the level-synchronous peel.
+//!
+//! [`crate::csr::CsrGraph`] stores only the degree-oriented *half* of each
+//! edge — exactly what exactly-once triangle enumeration wants, and
+//! exactly what a peel cannot use: peeling edge `{u, v}` must find **all**
+//! triangles on the edge, which needs the full neighborhoods of both
+//! endpoints. [`PeelCsr`] derives that view from a frozen snapshot in
+//! `O(n + m)`: per-rank full adjacency as two flat arrays (`nbr` dest
+//! ranks ascending, `eid` original edge ids), plus a per-edge endpoint
+//! table so a harvested edge id maps straight back to its two rank rows.
+//!
+//! Unlike the frozen snapshot this structure is *peel-aware*: every list
+//! carries an occupancy (`len`) separate from its capacity (`offsets`),
+//! and [`PeelCsr::compact`] drops entries whose edges have been peeled
+//! once a list is at least half dead. Each half-edge is removed at most
+//! once, so total compaction work is `O(m)` amortized — and every merge
+//! after a compaction scans only surviving edges, which is where the
+//! level-synchronous peel beats the seed bucket peel even on one core:
+//! the seed's per-pop merges walk full original adjacency lists (peeled
+//! entries included) for the whole run.
+//!
+//! The arrays are read-shared across worker threads during a frontier
+//! round (via `Arc`) and mutated only between rounds, when the caller
+//! holds the only reference again.
+
+use crate::csr::CsrGraph;
+use crate::ids::EdgeId;
+
+/// Sentinel rank for dead edge-id slots in the endpoint table.
+const NO_RANK: u32 = u32::MAX;
+
+/// Full-adjacency peel view of a [`CsrGraph`] snapshot.
+///
+/// # Examples
+///
+/// ```
+/// use tkc_graph::{csr::CsrGraph, peel_csr::PeelCsr, generators};
+///
+/// let g = generators::complete(4);
+/// let peel = PeelCsr::build(&CsrGraph::freeze(&g));
+/// assert_eq!(peel.live_edges().len(), 6);
+/// let e = peel.live_edges()[0];
+/// let mut tris = 0;
+/// peel.for_each_triangle_on_edge(e, |_, _| tris += 1);
+/// assert_eq!(tris, 2); // every K4 edge sits on two triangles
+/// ```
+#[derive(Debug, Clone)]
+pub struct PeelCsr {
+    /// Capacity boundaries per rank (fixed at build). Length `n + 1`.
+    offsets: Vec<u32>,
+    /// Current occupancy per rank; `len[r] <= offsets[r+1] - offsets[r]`.
+    len: Vec<u32>,
+    /// Destination rank of each half-edge, ascending within a live list.
+    nbr: Vec<u32>,
+    /// Original edge id per half-edge (parallel to `nbr`).
+    eid: Vec<EdgeId>,
+    /// `(lo_rank, hi_rank)` per raw edge id; `(NO_RANK, NO_RANK)` for dead
+    /// slots.
+    endpoints: Vec<(u32, u32)>,
+    /// Live edge ids, ascending.
+    live: Vec<EdgeId>,
+    /// Per-rank count of entries whose edge has been retired since the
+    /// last compaction of that list.
+    retired: Vec<u32>,
+}
+
+impl PeelCsr {
+    /// Builds the full-adjacency view of a frozen snapshot. `O(n + m)`;
+    /// lists come out sorted by destination rank without a sorting pass
+    /// (in-neighbors arrive in ascending source order, out-neighbors are
+    /// already ascending in the snapshot).
+    pub fn build(csr: &CsrGraph) -> PeelCsr {
+        let n = csr.num_vertices();
+        let mut degree = vec![0u32; n];
+        for r in 0..n {
+            for (dst, _) in csr.out_edges(r) {
+                degree[r] += 1;
+                degree[dst as usize] += 1;
+            }
+        }
+        let mut offsets = vec![0u32; n + 1];
+        for r in 0..n {
+            offsets[r + 1] = offsets[r] + degree[r];
+        }
+        let half_edges = offsets[n] as usize;
+        let mut nbr = vec![0u32; half_edges];
+        let mut eid = vec![EdgeId(0); half_edges];
+        let mut endpoints = vec![(NO_RANK, NO_RANK); csr.edge_bound()];
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        // Pass 1: in-neighbors. Iterating source ranks ascending appends
+        // each destination's in-portion (all ranks < dst) in sorted order.
+        for r in 0..n {
+            for (dst, e) in csr.out_edges(r) {
+                let slot = cursor[dst as usize] as usize;
+                nbr[slot] = r as u32;
+                eid[slot] = e;
+                cursor[dst as usize] += 1;
+                endpoints[e.index()] = (r as u32, dst);
+            }
+        }
+        // Pass 2: out-neighbors (all ranks > r), appended after the full
+        // in-portion, themselves ascending by construction of the snapshot.
+        for (r, cur) in cursor.iter_mut().enumerate() {
+            for (dst, e) in csr.out_edges(r) {
+                let slot = *cur as usize;
+                nbr[slot] = dst;
+                eid[slot] = e;
+                *cur += 1;
+            }
+        }
+        let live: Vec<EdgeId> = (0..endpoints.len())
+            .filter(|&i| endpoints[i].0 != NO_RANK)
+            .map(EdgeId::from)
+            .collect();
+        let len: Vec<u32> = (0..n).map(|r| offsets[r + 1] - offsets[r]).collect();
+        PeelCsr {
+            offsets,
+            len,
+            nbr,
+            eid,
+            endpoints,
+            live,
+            retired: vec![0u32; n],
+        }
+    }
+
+    /// Number of ranks (vertices) in the view.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.len.len()
+    }
+
+    /// `edge_bound()` of the source graph (support/κ vector length).
+    #[inline]
+    pub fn edge_bound(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Live edge ids at freeze time, ascending.
+    #[inline]
+    pub fn live_edges(&self) -> &[EdgeId] {
+        &self.live
+    }
+
+    /// Rank endpoints of a live edge (`lo < hi`); `None` for dead slots.
+    #[inline]
+    pub fn endpoints_of(&self, e: EdgeId) -> Option<(u32, u32)> {
+        match self.endpoints.get(e.index()) {
+            Some(&(lo, hi)) if lo != NO_RANK => Some((lo, hi)),
+            _ => None,
+        }
+    }
+
+    /// Estimated cost of enumerating the triangles on `e` right now:
+    /// the size of the smaller current neighborhood. Shrinks as
+    /// compaction retires peeled edges — frontier chunking stays balanced
+    /// late into the peel.
+    #[inline]
+    pub fn edge_work(&self, e: EdgeId) -> u64 {
+        match self.endpoints_of(e) {
+            Some((u, v)) => 1 + u64::from(self.len[u as usize].min(self.len[v as usize])),
+            None => 1,
+        }
+    }
+
+    /// The live portion of rank `r`'s adjacency as `(ranks, edge ids)`.
+    #[inline]
+    fn list(&self, r: u32) -> (&[u32], &[EdgeId]) {
+        let s = self.offsets[r as usize] as usize;
+        let e = s + self.len[r as usize] as usize;
+        (&self.nbr[s..e], &self.eid[s..e])
+    }
+
+    /// Calls `f(e_uw, e_vw)` for every triangle `{u, v, w}` on the live
+    /// edge `e = {u, v}` still present in the (possibly compacted) lists.
+    /// Entries of retired-but-uncompacted edges are reported too — peel
+    /// callers filter on their own processed state, which is exactly why
+    /// compaction is free to lag.
+    ///
+    /// Mirrors [`crate::Graph::for_each_triangle_on_edge`]'s skew rule:
+    /// sorted merge for comparable list lengths, binary probes of the long
+    /// list when one side is 16x shorter (hub–leaf edges would otherwise
+    /// pay the hub's whole list per peel visit).
+    #[inline]
+    pub fn for_each_triangle_on_edge<F>(&self, e: EdgeId, mut f: F)
+    where
+        F: FnMut(EdgeId, EdgeId),
+    {
+        let Some((u, v)) = self.endpoints_of(e) else {
+            return;
+        };
+        let (mut a_nbr, mut a_eid) = self.list(u);
+        let (mut b_nbr, mut b_eid) = self.list(v);
+        let mut swapped = false;
+        if a_nbr.len() > b_nbr.len() {
+            std::mem::swap(&mut a_nbr, &mut b_nbr);
+            std::mem::swap(&mut a_eid, &mut b_eid);
+            swapped = true;
+        }
+        if a_nbr.len() * 16 < b_nbr.len() {
+            for (i, &w) in a_nbr.iter().enumerate() {
+                if let Ok(j) = b_nbr.binary_search(&w) {
+                    if swapped {
+                        f(b_eid[j], a_eid[i]);
+                    } else {
+                        f(a_eid[i], b_eid[j]);
+                    }
+                }
+            }
+            return;
+        }
+        let (mut p, mut q) = (0usize, 0usize);
+        while p < a_nbr.len() && q < b_nbr.len() {
+            match a_nbr[p].cmp(&b_nbr[q]) {
+                std::cmp::Ordering::Less => p += 1,
+                std::cmp::Ordering::Greater => q += 1,
+                std::cmp::Ordering::Equal => {
+                    if swapped {
+                        f(b_eid[q], a_eid[p]);
+                    } else {
+                        f(a_eid[p], b_eid[q]);
+                    }
+                    p += 1;
+                    q += 1;
+                }
+            }
+        }
+    }
+
+    /// Records that `e` has been peeled: both endpoint lists now carry one
+    /// dead entry each. Cheap bookkeeping only — the entries stay in place
+    /// until [`Self::compact`] decides a list is worth rewriting.
+    #[inline]
+    pub fn retire(&mut self, e: EdgeId) {
+        if let Some((u, v)) = self.endpoints_of(e) {
+            self.retired[u as usize] += 1;
+            self.retired[v as usize] += 1;
+        }
+    }
+
+    /// Compacts every list that is at least half retired, dropping entries
+    /// for which `is_peeled` returns true. Order within a list is
+    /// preserved, so merges stay sorted. The half-dead threshold gives the
+    /// usual amortized-`O(m)` bound: a list of length `L` is rewritten only
+    /// after `L/2` retirements since its last rewrite.
+    pub fn compact(&mut self, is_peeled: impl Fn(EdgeId) -> bool) {
+        for r in 0..self.len.len() {
+            let dead = self.retired[r];
+            if dead == 0 || u64::from(dead) * 2 < u64::from(self.len[r]) {
+                continue;
+            }
+            let start = self.offsets[r] as usize;
+            let end = start + self.len[r] as usize;
+            let mut write = start;
+            for read in start..end {
+                if !is_peeled(self.eid[read]) {
+                    self.nbr[write] = self.nbr[read];
+                    self.eid[write] = self.eid[read];
+                    write += 1;
+                }
+            }
+            self.len[r] = (write - start) as u32;
+            self.retired[r] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+    use crate::generators;
+    use crate::graph::Graph;
+    use crate::ids::VertexId;
+
+    fn triangles_via_peel_view(g: &Graph) -> Vec<usize> {
+        let peel = PeelCsr::build(&CsrGraph::freeze(g));
+        let mut counts = vec![0usize; g.edge_bound()];
+        for &e in peel.live_edges() {
+            peel.for_each_triangle_on_edge(e, |_, _| counts[e.index()] += 1);
+        }
+        counts
+    }
+
+    #[test]
+    fn per_edge_triangles_match_graph_enumeration() {
+        for (i, g) in [
+            generators::complete(8),
+            generators::holme_kim(200, 3, 0.6, 11),
+            generators::planted_partition(3, 10, 0.6, 0.05, 5),
+            generators::gnp(60, 0.15, 2),
+            generators::star(20),
+            Graph::new(),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let by_view = triangles_via_peel_view(g);
+            let by_graph: Vec<usize> = (0..g.edge_bound())
+                .map(|idx| {
+                    let e = EdgeId::from(idx);
+                    if g.endpoints_checked(e).is_none() {
+                        0
+                    } else {
+                        let mut c = 0;
+                        g.for_each_triangle_on_edge(e, |_, _, _| c += 1);
+                        c
+                    }
+                })
+                .collect();
+            assert_eq!(by_view, by_graph, "graph {i}");
+        }
+    }
+
+    #[test]
+    fn reported_edge_ids_form_real_triangles() {
+        let g = generators::gnp(40, 0.25, 7);
+        let peel = PeelCsr::build(&CsrGraph::freeze(&g));
+        for &e in peel.live_edges() {
+            let (u, v) = g.endpoints(e);
+            peel.for_each_triangle_on_edge(e, |e1, e2| {
+                // One reported edge touches u, the other touches v (in
+                // some order), and they share the triangle's apex.
+                let (a, b) = g.endpoints(e1);
+                let (c, d) = g.endpoints(e2);
+                let (apex_u, apex_v) = if a == u || b == u {
+                    assert!(c == v || d == v, "second edge must touch v");
+                    (if a == u { b } else { a }, if c == v { d } else { c })
+                } else {
+                    assert!(a == v || b == v, "first edge must touch an endpoint");
+                    assert!(c == u || d == u, "second edge must touch u");
+                    (if c == u { d } else { c }, if a == v { b } else { a })
+                };
+                assert_eq!(apex_u, apex_v, "triangle edges must share the apex");
+            });
+        }
+    }
+
+    #[test]
+    fn dead_slots_have_no_endpoints() {
+        let mut g = generators::complete(6);
+        let dead = g.edge_between(VertexId(0), VertexId(1)).unwrap();
+        g.remove_edge(dead).unwrap();
+        let peel = PeelCsr::build(&CsrGraph::freeze(&g));
+        assert!(peel.endpoints_of(dead).is_none());
+        assert_eq!(peel.edge_work(dead), 1);
+        assert!(!peel.live_edges().contains(&dead));
+        assert_eq!(peel.live_edges().len(), g.num_edges());
+        // Live list is ascending (the peel's determinism leans on this).
+        assert!(peel.live_edges().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn compaction_preserves_surviving_triangles() {
+        let g = generators::planted_partition(2, 8, 0.8, 0.1, 3);
+        let mut peel = PeelCsr::build(&CsrGraph::freeze(&g));
+        // Retire every third live edge, then compact with that set dead.
+        let peeled: std::collections::HashSet<EdgeId> =
+            peel.live_edges().iter().copied().step_by(3).collect();
+        for &e in peeled.clone().iter() {
+            peel.retire(e);
+        }
+        peel.compact(|e| peeled.contains(&e));
+        for &e in peel.live_edges() {
+            if peeled.contains(&e) {
+                continue;
+            }
+            let mut via_view = Vec::new();
+            peel.for_each_triangle_on_edge(e, |e1, e2| {
+                if !peeled.contains(&e1) && !peeled.contains(&e2) {
+                    via_view.push((e1.min(e2), e1.max(e2)));
+                }
+            });
+            let mut via_graph = Vec::new();
+            g.for_each_triangle_on_edge(e, |_, e1, e2| {
+                if !peeled.contains(&e1) && !peeled.contains(&e2) {
+                    via_graph.push((e1.min(e2), e1.max(e2)));
+                }
+            });
+            via_view.sort_unstable();
+            via_graph.sort_unstable();
+            assert_eq!(via_view, via_graph);
+        }
+    }
+
+    #[test]
+    fn edge_work_tracks_compaction() {
+        let g = generators::complete(5);
+        let mut peel = PeelCsr::build(&CsrGraph::freeze(&g));
+        let e = peel.live_edges()[0];
+        let before = peel.edge_work(e);
+        // Retire everything except e; lists shrink to just e's entries.
+        let others: Vec<EdgeId> = peel
+            .live_edges()
+            .iter()
+            .copied()
+            .filter(|&x| x != e)
+            .collect();
+        for &x in &others {
+            peel.retire(x);
+        }
+        peel.compact(|x| x != e);
+        assert!(peel.edge_work(e) < before);
+        assert_eq!(peel.edge_work(e), 2); // one survivor per endpoint list
+    }
+}

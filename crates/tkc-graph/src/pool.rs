@@ -128,6 +128,39 @@ impl WorkerPool {
         self.workers.len()
     }
 
+    /// Caps a requested worker count at what this pool can actually run
+    /// concurrently. Submitting more chunks than workers buys nothing once
+    /// the chunks are work-balanced — the extras just queue behind the
+    /// busy workers and pay dispatch overhead — and on machines with fewer
+    /// cores than the request it is the difference between "parallel path
+    /// is a wash" and "parallel path degrades to the sequential kernel"
+    /// (the 2-threads-slower-than-1 regression in BENCH_decompose v1).
+    pub fn concurrency_cap(&self, threads: usize) -> usize {
+        resolve_threads(threads).min(self.threads()).max(1)
+    }
+
+    /// Runs one **frontier round**: a batch of jobs that is part of an
+    /// iterative level-synchronous algorithm and may be arbitrarily small.
+    ///
+    /// When the round is worth fanning out (`estimated_work >= floor` and
+    /// more than one job), the jobs run on the pool exactly like
+    /// [`WorkerPool::run`]. Below the floor — tiny frontiers, cascade
+    /// tails — the jobs run inline on the caller's thread, skipping the
+    /// channel round-trip that would dominate them. Results come back in
+    /// submission order either way, so callers that merge round results
+    /// deterministically cannot observe which path ran.
+    pub fn run_round<T, F>(&self, jobs: Vec<F>, estimated_work: u64, floor: u64) -> Vec<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        if jobs.len() <= 1 || estimated_work < floor {
+            jobs.into_iter().map(|job| job()).collect()
+        } else {
+            self.run(jobs)
+        }
+    }
+
     /// Runs every job on the pool and returns their results in submission
     /// order. Blocks until all jobs finish.
     ///
@@ -290,6 +323,30 @@ mod tests {
             "pool jobs counter must advance by the batch size"
         );
         assert!(PoolMetrics::get().busy_seconds.count() >= 4);
+    }
+
+    #[test]
+    fn concurrency_cap_never_exceeds_pool_size() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.concurrency_cap(1), 1);
+        assert_eq!(pool.concurrency_cap(2), 2);
+        assert_eq!(pool.concurrency_cap(64), 2);
+        // `0` (auto) resolves before capping and stays >= 1.
+        assert!(pool.concurrency_cap(0) >= 1);
+        assert!(pool.concurrency_cap(0) <= 2);
+    }
+
+    #[test]
+    fn run_round_inline_and_pooled_agree() {
+        let pool = WorkerPool::new(2);
+        let make_jobs = || (0..8u64).map(|i| move || i * 3).collect::<Vec<_>>();
+        let expected: Vec<u64> = (0..8).map(|i| i * 3).collect();
+        // Below the floor: inline on the caller.
+        assert_eq!(pool.run_round(make_jobs(), 10, 1_000), expected);
+        // Above the floor: fans out to the pool.
+        assert_eq!(pool.run_round(make_jobs(), 10_000, 1_000), expected);
+        // Single job always runs inline regardless of claimed work.
+        assert_eq!(pool.run_round(vec![|| 7u32], u64::MAX, 0), vec![7]);
     }
 
     #[test]

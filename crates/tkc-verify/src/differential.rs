@@ -292,6 +292,56 @@ pub fn check_support_kernels(g: &Graph) -> Result<(), Mismatch> {
     Ok(())
 }
 
+/// Cross-checks the level-synchronous parallel peel against the
+/// sequential bucket peel: for every thread count and both triangle
+/// lookup strategies the parallel path must reproduce the sequential κ
+/// vector and max κ bit-for-bit, and its processing order must be
+/// **identical across every (lookup, threads) configuration** —
+/// determinism is part of the parallel peel's contract. (The batch order
+/// legitimately differs from the one-at-a-time sequential pop order
+/// within a level, so order is compared parallel-vs-parallel.)
+pub fn check_parallel_peel(g: &Graph) -> Result<(), Mismatch> {
+    use tkc_core::peel_parallel::{triangle_kcore_decomposition_parallel_lookup, TriangleLookup};
+    let seq = triangle_kcore_decomposition(g);
+    let mut baseline: Option<tkc_core::decompose::Decomposition> = None;
+    for lookup in [TriangleLookup::Stored, TriangleLookup::Merge] {
+        for threads in [1usize, 2, 4, 8] {
+            let par = triangle_kcore_decomposition_parallel_lookup(g, threads, lookup);
+            let oracle = match lookup {
+                TriangleLookup::Stored => "parallel-peel-stored",
+                _ => "parallel-peel-merge",
+            };
+            if let Some(e) = g.edge_ids().find(|&e| par.kappa(e) != seq.kappa(e)) {
+                let (u, v) = g.endpoints(e);
+                return Err(Mismatch {
+                    edge: (u.0, v.0),
+                    dynamic: par.kappa(e),
+                    fresh: seq.kappa(e),
+                    oracle,
+                });
+            }
+            let order_diverged = match &baseline {
+                Some(first) => par.order() != first.order() || par.max_kappa() != first.max_kappa(),
+                None => {
+                    let diverged =
+                        par.max_kappa() != seq.max_kappa() || par.order().len() != g.num_edges();
+                    baseline = Some(par.clone());
+                    diverged
+                }
+            };
+            if order_diverged {
+                return Err(Mismatch {
+                    edge: (u32::MAX, u32::MAX),
+                    dynamic: par.max_kappa(),
+                    fresh: seq.max_kappa(),
+                    oracle,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Compares a claimed κ vector (raw-edge-id indexed) against a fresh
 /// from-scratch recompute of `g` — the "incremental ≡ recompute" oracle as
 /// a standalone check, reusable by any layer that maintains or restores κ
@@ -316,6 +366,7 @@ pub fn kappa_matches_recompute(g: &Graph, kappa: &[u32]) -> Result<(), Mismatch>
 /// Checks the maintained κ against the oracles; `Err` on first divergence.
 fn check_oracles(d: &DynamicTriangleKCore, deep: bool) -> Result<(), Mismatch> {
     check_support_kernels(d.graph())?;
+    check_parallel_peel(d.graph())?;
     kappa_matches_recompute(d.graph(), d.kappa_slice())?;
     if deep {
         let naive = naive_kappa(d.graph());
