@@ -26,6 +26,11 @@ pub const USAGE: &str = "usage:
   tkc stats     <edges.txt> [--svg hist.svg] [--tsv dist.tsv]
   tkc community <edges.txt> <vertex> [--level K]
   tkc dataset   <name> [--scale F] [--seed S] [--out file]
+                (name `streamed`: block-streamed ~150k-vertex/~1.3M-edge
+                 synthetic, written as SNAP lines without materializing)
+  tkc store     pack <edges.txt | state-dir> [--out file.tkcstor]
+  tkc store     info <file.tkcstor>
+  tkc store     decompose <file.tkcstor> [--budget N[k|m|g]]
   tkc verify    <edges.txt> [--stored] [--ops <ops.txt>] [--threads N]
   tkc verify    --suite [--cases N]
   tkc serve     <state-dir> [--addr host:port] [--epoch-ops N]
@@ -99,6 +104,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             "root",
             "policy",
             "format",
+            "budget",
         ],
     )?;
     match p.positional(0, "subcommand")? {
@@ -112,6 +118,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "stats" => stats(&p),
         "community" => community(&p),
         "dataset" => dataset(&p),
+        "store" => store(&p),
         "verify" => verify(&p),
         "serve" => serve(&p),
         "chaos" => chaos(&p),
@@ -542,6 +549,9 @@ fn dual_view_cmd(p: &crate::args::Parsed) -> Result<(), String> {
 
 fn dataset(p: &crate::args::Parsed) -> Result<(), String> {
     let name = p.positional(1, "dataset name (see Table I)")?;
+    if name == "streamed" {
+        return dataset_streamed(p);
+    }
     let id = tkc_datasets::DatasetId::from_name(name)
         .ok_or_else(|| format!("unknown dataset {name:?}"))?;
     let scale: f64 = p.flag_parse("scale", id.info().default_scale)?;
@@ -559,6 +569,193 @@ fn dataset(p: &crate::args::Parsed) -> Result<(), String> {
         io::save_edge_list(&g, path).map_err(|e| e.to_string())?;
         println!("wrote {path}");
     }
+    Ok(())
+}
+
+/// The block-streamed synthetic (satellite of the out-of-core store):
+/// SNAP `u v` lines emitted block-by-block, never holding the graph —
+/// `--scale` multiplies the ~150k-vertex bench size.
+fn dataset_streamed(p: &crate::args::Parsed) -> Result<(), String> {
+    let scale: f64 = p.flag_parse("scale", 1.0)?;
+    let seed: u64 = p.flag_parse("seed", 42u64)?;
+    let mut cfg = tkc_datasets::StreamedConfig::bench(seed);
+    let scaled = (f64::from(cfg.vertices) * scale) as u32;
+    cfg.vertices = scaled.max(2 * cfg.max_ring() + 2);
+    match p.flag("out") {
+        Some(path) => {
+            let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            let edges = tkc_datasets::write_snap(&cfg, file).map_err(|e| e.to_string())?;
+            println!(
+                "streamed: wrote {} vertices / {edges} edges to {path} (seed {seed})",
+                cfg.vertices
+            );
+        }
+        None => {
+            let edges = tkc_datasets::streamed::stream_edges(&cfg, |_, _| Ok::<(), String>(()))?;
+            println!(
+                "streamed: {} vertices / {edges} edges (pass --out to write SNAP lines)",
+                cfg.vertices
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Parses a byte count with an optional k/m/g (×1024ⁿ) suffix.
+fn parse_bytes(s: &str) -> Result<u64, String> {
+    let t = s.trim().to_ascii_lowercase();
+    let (digits, mult) = match t.strip_suffix(['k', 'm', 'g']) {
+        Some(head) => {
+            let mult = match t.as_bytes().last() {
+                Some(b'k') => 1u64 << 10,
+                Some(b'm') => 1 << 20,
+                _ => 1 << 30,
+            };
+            (head, mult)
+        }
+        None => (t.as_str(), 1),
+    };
+    let n: u64 = digits
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad byte count {s:?} (use N, Nk, Nm, or Ng)"))?;
+    n.checked_mul(mult)
+        .ok_or_else(|| format!("byte count {s:?} overflows"))
+}
+
+fn store(p: &crate::args::Parsed) -> Result<(), String> {
+    match p.positional(1, "store action (pack, info, decompose)")? {
+        "pack" => store_pack(p),
+        "info" => store_info(p),
+        "decompose" => store_decompose(p),
+        other => Err(format!("unknown store action {other:?}")),
+    }
+}
+
+/// Packs a `TKCSTOR` file. Two input shapes:
+///
+/// * an **edge list** — decomposes it and writes graph + supports + κ to
+///   `--out` (default `<input>.tkcstor`);
+/// * an **engine state directory** — re-packs `state.tkc` into the
+///   directory's store and rewrites the snapshot header with the new
+///   stamp. This is the recovery documented on `StoreMismatch`: it
+///   repairs a stale/missing store and upgrades pre-store (v1)
+///   snapshots to the stamped v2 pair.
+fn store_pack(p: &crate::args::Parsed) -> Result<(), String> {
+    use tkc_graph::csr::edge_supports_csr;
+
+    let target = p.positional(2, "edge list path or engine state dir")?;
+    let path = std::path::Path::new(target);
+    if path.is_dir() {
+        let state_path = path.join(tkc_engine::STATE_FILE);
+        let file = std::fs::File::open(&state_path)
+            .map_err(|e| format!("{}: {e}", state_path.display()))?;
+        let (g, kappa) = tkc_core::persist::read_state(file).map_err(|e| e.to_string())?;
+        let supports = edge_supports_csr(&g);
+        let parts =
+            tkc_store::pack_graph(&g, &supports, Some(&kappa)).map_err(|e| e.to_string())?;
+        let stamp = parts.stamp();
+
+        // Same crash discipline as the engine's compaction: tmp writes,
+        // store renamed before the stamped snapshot.
+        let store_tmp = path.join("state.tkcstor.tmp");
+        let state_tmp = path.join("state.tkc.tmp");
+        let bytes = parts.write_path(&store_tmp).map_err(|e| e.to_string())?;
+        let out = std::fs::File::create(&state_tmp).map_err(|e| e.to_string())?;
+        tkc_core::persist::write_state_with_store(&g, &kappa, Some(&stamp), &out)
+            .map_err(|e| e.to_string())?;
+        out.sync_all().map_err(|e| e.to_string())?;
+        std::fs::rename(&store_tmp, path.join(tkc_engine::STORE_FILE))
+            .map_err(|e| e.to_string())?;
+        std::fs::rename(&state_tmp, &state_path).map_err(|e| e.to_string())?;
+        println!(
+            "packed {} vertices / {} edges → {} ({bytes} bytes, stamp {stamp}); snapshot upgraded",
+            g.num_vertices(),
+            g.num_edges(),
+            path.join(tkc_engine::STORE_FILE).display()
+        );
+        return Ok(());
+    }
+
+    let g = load(target)?;
+    let d = triangle_kcore_decomposition(&g);
+    let supports = edge_supports_csr(&g);
+    let parts =
+        tkc_store::pack_graph(&g, &supports, Some(d.kappa_slice())).map_err(|e| e.to_string())?;
+    let default_out = format!("{target}.tkcstor");
+    let out = p.flag("out").unwrap_or(&default_out);
+    let bytes = parts
+        .write_path(std::path::Path::new(out))
+        .map_err(|e| e.to_string())?;
+    let info = parts.info();
+    println!(
+        "packed {} vertices / {} edges → {out} ({bytes} bytes, {:.2}× vs raw CSR, stamp {})",
+        g.num_vertices(),
+        g.num_edges(),
+        info.raw_csr_bytes() as f64 / bytes as f64,
+        parts.stamp()
+    );
+    Ok(())
+}
+
+fn store_info(p: &crate::args::Parsed) -> Result<(), String> {
+    let target = p.positional(2, "store path")?;
+    let path = std::path::Path::new(target);
+    let reader = tkc_store::StoreReader::open(path, tkc_store::PageCacheConfig::default())
+        .map_err(|e| format!("{target}: {e}"))?;
+    let info = reader.info();
+    reader
+        .verify_checksums()
+        .map_err(|e| format!("{target}: checksum verification failed: {e}"))?;
+    let stamp = tkc_store::file_stamp(path).map_err(|e| e.to_string())?;
+    println!(
+        "{target}: {} vertices, {} live edges ({} slots), κ section: {}",
+        info.num_vertices,
+        info.num_edges,
+        info.edge_bound,
+        if info.has_kappa { "yes" } else { "no" }
+    );
+    println!(
+        "  {} bytes on disk, raw CSR {} bytes ({:.2}× compression), stamp {stamp}, checksums OK",
+        info.file_bytes,
+        info.raw_csr_bytes(),
+        info.raw_csr_bytes() as f64 / info.file_bytes as f64
+    );
+    for (tag, len) in &info.sections {
+        println!("  section {tag:?}: {len} bytes");
+    }
+    Ok(())
+}
+
+fn store_decompose(p: &crate::args::Parsed) -> Result<(), String> {
+    let target = p.positional(2, "store path")?;
+    let budget = parse_bytes(p.flag("budget").unwrap_or("64m"))?;
+    let config = tkc_core::ooc::OocConfig::with_budget(budget);
+    let start = std::time::Instant::now();
+    let out = tkc_core::ooc::decompose_ooc(std::path::Path::new(target), &config)
+        .map_err(|e| e.to_string())?;
+    let s = &out.stats;
+    println!(
+        "out-of-core peel: {} live edges, max κ = {} in {:?}",
+        s.peeled_edges,
+        out.max_kappa,
+        start.elapsed()
+    );
+    println!(
+        "  {} strata, {} cascade pulls, {} triangles; peak resident {} of {budget} budget bytes",
+        s.strata,
+        s.pulled_edges,
+        s.triangles,
+        s.peak_resident_bytes()
+    );
+    println!(
+        "  page cache {}/{} hits, scratch cache {}/{} hits, {} bytes spilled",
+        s.reader_cache.hits,
+        s.reader_cache.hits + s.reader_cache.misses,
+        s.scratch_cache.hits,
+        s.scratch_cache.hits + s.scratch_cache.misses,
+        s.spilled_bytes
+    );
     Ok(())
 }
 

@@ -12,6 +12,8 @@
 //! * [`peel_parallel`] — the level-synchronous parallel peel behind
 //!   [`decompose::Decomposition::compute_with`];
 //! * [`kcore`] — the classic vertex K-Core (\[21\]) the motif generalizes;
+//! * [`ooc`] — the out-of-core stratum peel over a packed `tkc-store`
+//!   file, for graphs larger than memory;
 //! * [`persist`] — save/load κ vectors across processes;
 //! * [`mod@reference`] — naive definitional oracles used by the test suite.
 //!
@@ -43,6 +45,7 @@ pub mod decompose;
 pub mod dynamic;
 pub mod extract;
 pub mod kcore;
+pub mod ooc;
 pub mod peel_parallel;
 pub mod persist;
 pub mod reference;

@@ -1,0 +1,759 @@
+//! Out-of-core triangle k-core decomposition over a packed store.
+//!
+//! This is the Wang & Cheng semi-external bottom-up peel (*Truss
+//! Decomposition in Massive Networks*, VLDB 2012) adapted to the paper's
+//! triangle k-cores: instead of holding the graph, the CSR, and every
+//! bucket in RAM like [`crate::decompose`], the graph stays in a
+//! `TKCSTOR` file and is paged in on demand, and the peel walks the
+//! support axis in **strata** — contiguous support ranges `[lo, hi)`
+//! sized so the edges of one stratum fit the resident budget.
+//!
+//! The moving parts, and what they cost against the hard budget:
+//!
+//! * the [`StoreReader`] page cache (adjacency + endpoints paging);
+//! * one **effective-support scratch file** (`ScratchFile`), a dense
+//!   per-edge `u32` behind a small write-back page cache. Decrements
+//!   aimed at edges *outside* the current stratum are read-modify-writes
+//!   against this file; dirty pages written back on eviction are the
+//!   spill of cross-stratum decrements to disk. Keeping the file
+//!   authoritative (rather than an in-memory overlay with sorted spill
+//!   runs) means a decrement always sees the true current value — which
+//!   the correctness of the cascade pull below depends on;
+//! * the resident stratum: a bucket queue over `[lo, hi)` plus an
+//!   edge → current-support map, and a global peeled bitset.
+//!
+//! κ equals the in-memory peel bit-for-bit because the processing rule is
+//! identical — pop the globally minimum-support unprocessed edge, assign
+//! κ = its support, decrement the other two edges of every triangle whose
+//! other edges are both unprocessed, clamped at the current level — and
+//! κ values are a canonical property of that rule, independent of
+//! tie-breaking order within a level. The one subtlety is the **cascade
+//! pull**: a decrement can drop an out-of-stratum edge's effective
+//! support below `hi`, and that edge must then be peeled *this* stratum
+//! (the global minimum rule demands it); the decrement path detects the
+//! boundary crossing exactly because the scratch file is authoritative,
+//! and pulls the edge into the resident set.
+
+use std::collections::hash_map::Entry;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use tkc_graph::adjacency::merge_common;
+use tkc_graph::{EdgeId, FxHashMap};
+use tkc_obs::MetricsRegistry;
+use tkc_store::cache::CacheStats;
+use tkc_store::format::DEAD_SLOT;
+use tkc_store::{PageCacheConfig, ScratchFile, SectionTag, StoreError, StoreReader};
+
+/// High bit of a scratch word: the edge has been peeled and the low 31
+/// bits are its κ.
+const PEELED: u32 = 1 << 31;
+/// Scratch sentinel for a dead edge slot (never peeled, κ reported 0).
+const DEAD: u32 = u32::MAX;
+/// Estimated resident bytes per edge admitted to a stratum (hash-map
+/// entry plus amortized bucket-queue pushes), used for planning only —
+/// actual usage is tracked exactly.
+const EST_BYTES_PER_EDGE: u64 = 48;
+/// Tracked bytes per resident map entry (key + value + hash overhead).
+const MAP_ENTRY_BYTES: u64 = 16;
+/// Bytes per outstanding bucket-queue entry.
+const QUEUE_ENTRY_BYTES: u64 = 4;
+/// Bytes per bucket header (an empty `Vec<u32>`).
+const BUCKET_HEADER_BYTES: u64 = 24;
+/// Support histogram granularity cap (planning pass).
+const MAX_HIST_BUCKETS: u64 = 4096;
+
+/// Configuration for [`decompose_ooc`].
+#[derive(Debug, Clone)]
+pub struct OocConfig {
+    /// Hard ceiling on resident working memory: store page cache +
+    /// scratch write-back cache + stratum structures + peeled bitset.
+    /// (The returned κ vector itself is the *output* and is not charged;
+    /// use [`decompose_ooc_streamed`] to keep even that off the heap.)
+    pub budget_bytes: u64,
+    /// Page size for both caches.
+    pub page_size: usize,
+    /// Directory for the effective-support scratch file (default: next
+    /// to the store).
+    pub spill_dir: Option<PathBuf>,
+}
+
+impl OocConfig {
+    /// A config with the given budget and default 64 KiB pages.
+    pub fn with_budget(budget_bytes: u64) -> OocConfig {
+        OocConfig {
+            budget_bytes,
+            page_size: 64 * 1024,
+            spill_dir: None,
+        }
+    }
+}
+
+/// Everything [`decompose_ooc`] measures about a run.
+#[derive(Debug, Clone, Default)]
+pub struct OocStats {
+    /// Support strata the peel was split into.
+    pub strata: usize,
+    /// Edges peeled (equals the store's live edge count on success).
+    pub peeled_edges: u64,
+    /// Out-of-stratum edges pulled into a stratum by cascading
+    /// decrements.
+    pub pulled_edges: u64,
+    /// Triangles visited across all pops.
+    pub triangles: u64,
+    /// Peak tracked resident bytes (bitset + histogram + stratum map +
+    /// queue), excluding the two fixed-size caches.
+    pub peak_tracked_bytes: u64,
+    /// Fixed resident bytes reserved by the store page cache.
+    pub reader_cache_bytes: u64,
+    /// Fixed resident bytes reserved by the scratch write-back cache.
+    pub scratch_cache_bytes: u64,
+    /// Bytes of dirty scratch pages spilled back to disk.
+    pub spilled_bytes: u64,
+    /// Store page-cache traffic.
+    pub reader_cache: CacheStats,
+    /// Scratch cache traffic.
+    pub scratch_cache: CacheStats,
+}
+
+impl OocStats {
+    /// Peak total resident footprint charged against the budget.
+    pub fn peak_resident_bytes(&self) -> u64 {
+        self.peak_tracked_bytes + self.reader_cache_bytes + self.scratch_cache_bytes
+    }
+}
+
+/// Result of an out-of-core decomposition.
+#[derive(Debug)]
+pub struct OocDecomposition {
+    /// κ per raw edge slot (0 for dead slots) — identical to
+    /// [`crate::decompose::Decomposition::kappa_slice`] on the same
+    /// graph.
+    pub kappa: Vec<u32>,
+    /// Maximum κ over live edges.
+    pub max_kappa: u32,
+    /// Run measurements.
+    pub stats: OocStats,
+}
+
+/// Errors out of the out-of-core path.
+#[derive(Debug)]
+pub enum OocError {
+    /// The store could not be read (I/O, checksum, structural).
+    Store(StoreError),
+    /// Scratch-file I/O failure.
+    Io(io::Error),
+    /// The budget cannot hold even the fixed structures, or the run
+    /// exceeded it.
+    Budget(String),
+    /// An internal invariant broke (a bug, not a caller error).
+    Internal(String),
+}
+
+impl std::fmt::Display for OocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OocError::Store(e) => write!(f, "store error: {e}"),
+            OocError::Io(e) => write!(f, "scratch io error: {e}"),
+            OocError::Budget(m) => write!(f, "budget: {m}"),
+            OocError::Internal(m) => write!(f, "internal invariant violated: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for OocError {}
+
+impl From<StoreError> for OocError {
+    fn from(e: StoreError) -> Self {
+        OocError::Store(e)
+    }
+}
+
+impl From<io::Error> for OocError {
+    fn from(e: io::Error) -> Self {
+        OocError::Io(e)
+    }
+}
+
+/// Decomposes the store at `path` out of core and returns the full κ
+/// vector. See [`decompose_ooc_streamed`] for the variant that hands κ
+/// out edge-by-edge without materializing the output array.
+pub fn decompose_ooc(path: &Path, config: &OocConfig) -> Result<OocDecomposition, OocError> {
+    let mut kappa = Vec::new();
+    let (max_kappa, stats) = decompose_ooc_streamed(path, config, |e, k| {
+        debug_assert_eq!(e as usize, kappa.len());
+        let _ = e;
+        kappa.push(k);
+    })?;
+    Ok(OocDecomposition {
+        kappa,
+        max_kappa,
+        stats,
+    })
+}
+
+/// The streamed core of [`decompose_ooc`]: peels the store at `path`
+/// under `config.budget_bytes` of resident memory and calls
+/// `sink(edge, κ)` once per edge slot in ascending id order (dead slots
+/// get κ = 0). Returns `(max_kappa, stats)`.
+pub fn decompose_ooc_streamed(
+    path: &Path,
+    config: &OocConfig,
+    mut sink: impl FnMut(u32, u32),
+) -> Result<(u32, OocStats), OocError> {
+    let reg = MetricsRegistry::global();
+    let strata_total = reg.counter(
+        "tkc_ooc_strata_total",
+        "Support strata processed by out-of-core decompositions",
+    );
+    let pulled_total = reg.counter(
+        "tkc_ooc_pulled_edges_total",
+        "Edges pulled across a stratum boundary by cascading decrements",
+    );
+    let peak_gauge = reg.gauge(
+        "tkc_ooc_peak_resident_bytes",
+        "Peak resident working-set bytes of the last out-of-core decomposition",
+    );
+
+    let budget = config.budget_bytes;
+    let page = config.page_size.clamp(512, 1 << 20);
+
+    // Budget split: ~35% store page cache, ~25% scratch write-back
+    // cache, the rest for tracked stratum structures. Caches are
+    // fixed-size, so only the tracked share needs runtime enforcement.
+    let reader_cache_budget = (budget * 35 / 100).max(page as u64);
+    let reader_config = PageCacheConfig::with_budget(page, reader_cache_budget);
+    let reader = StoreReader::open(path, reader_config)?;
+    // Paged reads are not per-access checksummed; verify everything once
+    // up front so the peel runs over vouched-for bytes.
+    reader.verify_checksums()?;
+
+    let bound = reader.edge_bound() as u64;
+    let live = reader.num_edges() as u64;
+
+    let scratch_need = bound * 4 + page as u64;
+    let scratch_cache_budget = (budget / 4).min(scratch_need).max(page as u64);
+    let page_words = page / 4;
+    let scratch_pages = usize::try_from(scratch_cache_budget / (page as u64))
+        .unwrap_or(1)
+        .max(1);
+
+    let reader_cache_bytes = reader_config.budget_bytes();
+    let scratch_cache_bytes = (page_words as u64 * 4) * scratch_pages as u64;
+    let bitset_bytes = bound.div_ceil(64) * 8;
+    let tracked_share = budget.saturating_sub(reader_cache_bytes + scratch_cache_bytes);
+    // Plausibility floor: the peeled bitset plus a token stratum. (The
+    // real enforcement is the exact tracking below — an undersized but
+    // plausible budget fails there with the same structured error.)
+    let fixed_floor = bitset_bytes + 16 * 1024;
+    if tracked_share < fixed_floor {
+        return Err(OocError::Budget(format!(
+            "budget {budget}B leaves {tracked_share}B for stratum structures; \
+             this graph needs at least {fixed_floor}B (peeled bitset \
+             {bitset_bytes}B + a minimal stratum)"
+        )));
+    }
+
+    let mut stats = OocStats {
+        reader_cache_bytes,
+        scratch_cache_bytes,
+        ..OocStats::default()
+    };
+
+    if live == 0 {
+        // Nothing to peel; every slot (if any) is dead.
+        for e in 0..bound {
+            sink(e as u32, 0);
+        }
+        stats.reader_cache = reader.cache_stats();
+        return Ok((0, stats));
+    }
+
+    // ---- Pass A: dead-slot bitmap (doubles as the peeled bitset: dead
+    // slots are "peeled at birth" with κ 0 and never enter a stratum).
+    let mut peeled: Vec<u64> = vec![0; bound.div_ceil(64) as usize];
+    {
+        let mut e = 0u64;
+        reader.stream_section(SectionTag::Edges, |chunk| {
+            if chunk.len() % 8 != 0 {
+                return Err(StoreError::Corrupt("EDGE stream misaligned".into()));
+            }
+            for pair in chunk.chunks_exact(8) {
+                let word = |b: &[u8]| {
+                    b.try_into()
+                        .map(u32::from_le_bytes)
+                        .map_err(|_| StoreError::Corrupt("EDGE chunk truncated".into()))
+                };
+                let (u, v) = (word(&pair[..4])?, word(&pair[4..])?);
+                if u == DEAD_SLOT && v == DEAD_SLOT {
+                    set_bit(&mut peeled, e);
+                }
+                e += 1;
+            }
+            Ok(())
+        })?;
+        if e != bound {
+            return Err(StoreError::Corrupt(format!(
+                "EDGE section holds {e} slots, header claims {bound}"
+            ))
+            .into());
+        }
+    }
+
+    // ---- Pass B1: max support over live edges (sizes the histogram).
+    let mut max_sup = 0u32;
+    {
+        let mut e = 0u64;
+        reader.stream_section(SectionTag::Supports, |chunk| {
+            for w in chunk.chunks_exact(4) {
+                let s = w
+                    .try_into()
+                    .map(u32::from_le_bytes)
+                    .map_err(|_| StoreError::Corrupt("SUPP chunk truncated".into()))?;
+                if !get_bit(&peeled, e) {
+                    max_sup = max_sup.max(s);
+                }
+                e += 1;
+            }
+            Ok(())
+        })?;
+        if e != bound {
+            return Err(StoreError::Corrupt(format!(
+                "SUPP section holds {e} slots, header claims {bound}"
+            ))
+            .into());
+        }
+    }
+    if max_sup >= PEELED {
+        return Err(OocError::Internal(format!(
+            "support {max_sup} collides with the peeled tag bit"
+        )));
+    }
+
+    // ---- Pass B2: write the effective-support scratch file
+    // sequentially (live edges: initial support; dead slots: sentinel)
+    // and build the support histogram that plans the strata.
+    let hist_width = (u64::from(max_sup) + 1).div_ceil(MAX_HIST_BUCKETS).max(1);
+    let hist_len = ((u64::from(max_sup) + 1).div_ceil(hist_width)) as usize;
+    let mut hist = vec![0u64; hist_len];
+    let spill_dir = match &config.spill_dir {
+        Some(d) => d.clone(),
+        None => path
+            .parent()
+            .map(Path::to_path_buf)
+            .unwrap_or_else(|| PathBuf::from(".")),
+    };
+    let eff_path = spill_dir.join(format!(
+        "{}.effsup",
+        path.file_name().and_then(|s| s.to_str()).unwrap_or("store")
+    ));
+    {
+        use std::io::Write;
+        let file = std::fs::File::create(&eff_path)?;
+        let mut w = io::BufWriter::with_capacity(1 << 16, file);
+        let mut e = 0u64;
+        let mut io_err: Option<io::Error> = None;
+        reader.stream_section(SectionTag::Supports, |chunk| {
+            for word in chunk.chunks_exact(4) {
+                let s = word
+                    .try_into()
+                    .map(u32::from_le_bytes)
+                    .map_err(|_| StoreError::Corrupt("SUPP chunk truncated".into()))?;
+                let val = if get_bit(&peeled, e) {
+                    DEAD
+                } else {
+                    if let Some(h) = hist.get_mut((u64::from(s) / hist_width) as usize) {
+                        *h += 1;
+                    }
+                    s
+                };
+                if let Err(err) = w.write_all(&val.to_le_bytes()) {
+                    io_err = Some(err);
+                    return Err(StoreError::Corrupt("scratch init write failed".into()));
+                }
+                e += 1;
+            }
+            Ok(())
+        })?;
+        if let Some(err) = io_err {
+            return Err(err.into());
+        }
+        w.flush()?;
+    }
+    let mut eff = ScratchFile::open(&eff_path, bound, page_words, scratch_pages)?;
+
+    // ---- Stratum planning: accumulate histogram buckets until the
+    // estimated resident cost (edges + bucket headers for the support
+    // width) would exceed half the tracked share — the other half is
+    // headroom for cascade pulls.
+    let hist_bytes = hist.len() as u64 * 8;
+    let plan_share = tracked_share.saturating_sub(bitset_bytes + hist_bytes) / 2;
+    let mut strata: Vec<(u32, u32)> = Vec::new();
+    {
+        let mut b = 0usize;
+        while b < hist.len() {
+            let lo = b as u64 * hist_width;
+            let mut edges = 0u64;
+            let mut end = b;
+            while end < hist.len() {
+                let next_edges = edges + hist.get(end).copied().unwrap_or(0);
+                let width = (end - b + 1) as u64 * hist_width;
+                let cost = next_edges * EST_BYTES_PER_EDGE + width * BUCKET_HEADER_BYTES;
+                if end > b && cost > plan_share {
+                    break;
+                }
+                edges = next_edges;
+                end += 1;
+            }
+            let hi = (end as u64 * hist_width).min(u64::from(max_sup) + 1);
+            strata.push((clamp_u32(lo), clamp_u32(hi)));
+            b = end;
+        }
+    }
+    if strata.is_empty() {
+        strata.push((0, max_sup.saturating_add(1)));
+    }
+
+    // ---- The peel itself, one stratum at a time.
+    let mut resident: FxHashMap<u32, u32> = FxHashMap::default();
+    let mut peeled_count = 0u64;
+    let mut max_kappa = 0u32;
+    let mut la: Vec<(u32, EdgeId)> = Vec::new();
+    let mut lb: Vec<(u32, EdgeId)> = Vec::new();
+    let mut queued_entries = 0u64;
+    let track_peak = |resident_len: u64, queued: u64, bucket_hdrs: u64, peak: &mut u64| {
+        let now = bitset_bytes
+            + hist_bytes
+            + resident_len * MAP_ENTRY_BYTES
+            + queued * QUEUE_ENTRY_BYTES
+            + bucket_hdrs * BUCKET_HEADER_BYTES;
+        if now > *peak {
+            *peak = now;
+        }
+        now
+    };
+
+    for &(lo, hi) in &strata {
+        stats.strata += 1;
+        strata_total.inc();
+        let width = (hi - lo) as usize;
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); width];
+
+        // Admit every unpeeled edge whose current effective support
+        // falls in [lo, hi).
+        let mut scan_err: Option<OocError> = None;
+        eff.for_each(|e, val| {
+            if scan_err.is_some() || val == DEAD || val & PEELED != 0 {
+                return;
+            }
+            if val < lo {
+                scan_err = Some(OocError::Internal(format!(
+                    "edge {e} has effective support {val} below stratum floor {lo}"
+                )));
+                return;
+            }
+            if val < hi {
+                resident.insert(e as u32, val);
+                if let Some(bucket) = buckets.get_mut((val - lo) as usize) {
+                    bucket.push(e as u32);
+                    queued_entries += 1;
+                }
+            }
+        })?;
+        if let Some(err) = scan_err {
+            return Err(err);
+        }
+        let now = track_peak(
+            resident.len() as u64,
+            queued_entries,
+            width as u64,
+            &mut stats.peak_tracked_bytes,
+        );
+        if now > tracked_share {
+            return Err(OocError::Budget(format!(
+                "stratum [{lo}, {hi}) needs {now}B tracked, budget leaves {tracked_share}B"
+            )));
+        }
+
+        for k in lo..hi {
+            while let Some(e) = buckets
+                .get_mut((k - lo) as usize)
+                .and_then(|bucket| bucket.pop())
+            {
+                queued_entries = queued_entries.saturating_sub(1);
+                if get_bit(&peeled, u64::from(e)) {
+                    continue; // stale queue entry for an already-peeled edge
+                }
+                match resident.get(&e) {
+                    Some(&cur) if cur == k => {}
+                    _ => continue, // stale entry; the edge lives in a lower bucket
+                }
+                // Pop: κ(e) = k.
+                resident.remove(&e);
+                set_bit(&mut peeled, u64::from(e));
+                eff.write_u32(u64::from(e), PEELED | k)?;
+                peeled_count += 1;
+                max_kappa = max_kappa.max(k);
+
+                // Enumerate triangles on e from the paged adjacency and
+                // decrement the other two edges of each unprocessed one.
+                let (u, v) = reader.endpoints(e)?.ok_or_else(|| {
+                    OocError::Internal(format!("live edge {e} has a dead endpoint record"))
+                })?;
+                reader.neighbors(u, &mut la)?;
+                reader.neighbors(v, &mut lb)?;
+                let mut pending: Option<Result<(), OocError>> = None;
+                merge_common(&la, &lb, |_w, e1, e2| {
+                    if pending.is_some() {
+                        return;
+                    }
+                    stats.triangles += 1;
+                    if get_bit(&peeled, u64::from(e1.0)) || get_bit(&peeled, u64::from(e2.0)) {
+                        return; // triangle already consumed by an earlier pop
+                    }
+                    for x in [e1.0, e2.0] {
+                        let sx = match resident.get(&x) {
+                            Some(&s) => s,
+                            None => match eff.read_u32(u64::from(x)) {
+                                Ok(s) => s,
+                                Err(err) => {
+                                    pending = Some(Err(OocError::Io(err)));
+                                    return;
+                                }
+                            },
+                        };
+                        if sx & PEELED != 0 || sx == DEAD {
+                            pending = Some(Err(OocError::Internal(format!(
+                                "unpeeled edge {x} carries tagged support {sx:#x}"
+                            ))));
+                            return;
+                        }
+                        if sx <= k {
+                            continue; // clamped at the current level
+                        }
+                        let nv = sx - 1;
+                        match resident.entry(x) {
+                            Entry::Occupied(mut slot) => {
+                                slot.insert(nv);
+                                if let Some(bucket) = buckets.get_mut((nv - lo) as usize) {
+                                    bucket.push(x);
+                                    queued_entries += 1;
+                                }
+                            }
+                            Entry::Vacant(slot) if nv < hi => {
+                                // Cascade pull: the decrement dropped this
+                                // edge below the stratum ceiling, so it must
+                                // be peeled in this stratum to preserve the
+                                // global minimum-support pop order.
+                                slot.insert(nv);
+                                if let Some(bucket) = buckets.get_mut((nv - lo) as usize) {
+                                    bucket.push(x);
+                                    queued_entries += 1;
+                                }
+                                stats.pulled_edges += 1;
+                                pulled_total.inc();
+                            }
+                            Entry::Vacant(_) => {
+                                if let Err(err) = eff.write_u32(u64::from(x), nv) {
+                                    pending = Some(Err(OocError::Io(err)));
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                });
+                if let Some(res) = pending {
+                    res?;
+                }
+                let now = track_peak(
+                    resident.len() as u64,
+                    queued_entries,
+                    width as u64,
+                    &mut stats.peak_tracked_bytes,
+                );
+                if now > tracked_share {
+                    return Err(OocError::Budget(format!(
+                        "cascade pulls grew stratum [{lo}, {hi}) to {now}B tracked, \
+                         budget leaves {tracked_share}B"
+                    )));
+                }
+            }
+        }
+        if !resident.is_empty() {
+            return Err(OocError::Internal(format!(
+                "{} resident edges left unpeeled at the end of stratum [{lo}, {hi})",
+                resident.len()
+            )));
+        }
+        queued_entries = 0;
+    }
+
+    if peeled_count != live {
+        return Err(OocError::Internal(format!(
+            "peeled {peeled_count} of {live} live edges"
+        )));
+    }
+
+    // ---- Emit κ in edge-id order from the scratch file.
+    let mut emit_err: Option<OocError> = None;
+    eff.for_each(|e, val| {
+        if emit_err.is_some() {
+            return;
+        }
+        if val == DEAD {
+            sink(e as u32, 0);
+        } else if val & PEELED != 0 {
+            sink(e as u32, val & !PEELED);
+        } else {
+            emit_err = Some(OocError::Internal(format!(
+                "edge {e} left unpeeled with effective support {val}"
+            )));
+        }
+    })?;
+    if let Some(err) = emit_err {
+        return Err(err);
+    }
+
+    stats.peeled_edges = peeled_count;
+    stats.spilled_bytes = eff.spilled_bytes();
+    stats.scratch_cache = eff.stats();
+    stats.reader_cache = reader.cache_stats();
+    peak_gauge.set(stats.peak_resident_bytes() as f64);
+    eff.remove()?;
+    Ok((max_kappa, stats))
+}
+
+fn set_bit(bits: &mut [u64], i: u64) {
+    if let Some(w) = bits.get_mut((i / 64) as usize) {
+        *w |= 1 << (i % 64);
+    }
+}
+
+fn get_bit(bits: &[u64], i: u64) -> bool {
+    bits.get((i / 64) as usize)
+        .map(|w| w & (1 << (i % 64)) != 0)
+        .unwrap_or(false)
+}
+
+fn clamp_u32(v: u64) -> u32 {
+    u32::try_from(v).unwrap_or(u32::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+    use crate::decompose::triangle_kcore_decomposition;
+    use tkc_graph::csr::edge_supports_csr;
+    use tkc_graph::{generators, Graph};
+    use tkc_store::pack_graph;
+
+    fn temp_dir() -> PathBuf {
+        let dir = std::env::temp_dir().join("tkc_core_ooc_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn pack_to(g: &Graph, name: &str) -> PathBuf {
+        let sup = edge_supports_csr(g);
+        let parts = pack_graph(g, &sup, None).unwrap();
+        let path = temp_dir().join(name);
+        parts.write_path(&path).unwrap();
+        path
+    }
+
+    fn assert_ooc_matches(g: &Graph, name: &str, budget: u64) {
+        let path = pack_to(g, name);
+        let d = triangle_kcore_decomposition(g);
+        let config = OocConfig {
+            budget_bytes: budget,
+            page_size: 4096,
+            spill_dir: Some(temp_dir()),
+        };
+        let ooc = decompose_ooc(&path, &config).unwrap();
+        assert_eq!(ooc.kappa, d.kappa_slice(), "{name}: κ mismatch");
+        assert_eq!(ooc.max_kappa, d.max_kappa(), "{name}: max κ mismatch");
+        assert_eq!(ooc.stats.peeled_edges, g.num_edges() as u64);
+        assert_eq!(ooc.stats.strata >= 1, g.num_edges() > 0);
+        assert!(
+            ooc.stats.peak_resident_bytes() <= budget,
+            "{name}: peak {} exceeds budget {budget}",
+            ooc.stats.peak_resident_bytes()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ooc_matches_in_memory_on_generator_graphs() {
+        assert_ooc_matches(&generators::complete(20), "ooc_complete.tkcstor", 1 << 20);
+        assert_ooc_matches(
+            &generators::planted_partition(4, 15, 0.8, 0.1, 7),
+            "ooc_planted.tkcstor",
+            1 << 20,
+        );
+        assert_ooc_matches(
+            &generators::connected_caveman(6, 8),
+            "ooc_caveman.tkcstor",
+            1 << 20,
+        );
+    }
+
+    #[test]
+    fn ooc_handles_churned_graphs_with_dead_slots() {
+        let mut g = generators::holme_kim(300, 4, 0.6, 19);
+        let victims: Vec<tkc_graph::EdgeId> = g.edge_ids().step_by(4).collect();
+        for e in victims {
+            g.remove_edge(e).unwrap();
+        }
+        g.try_add_edge(tkc_graph::VertexId(0), tkc_graph::VertexId(250));
+        g.try_add_edge(tkc_graph::VertexId(1), tkc_graph::VertexId(299));
+        assert_ooc_matches(&g, "ooc_churn.tkcstor", 1 << 20);
+    }
+
+    #[test]
+    fn tight_budget_forces_multiple_strata_and_still_matches() {
+        // A graph with a wide support spread (dense cores + sparse
+        // periphery) under a budget small enough that one stratum cannot
+        // hold everything.
+        let g = generators::planted_partition(6, 25, 0.85, 0.02, 31);
+        let path = pack_to(&g, "ooc_tight.tkcstor");
+        let d = triangle_kcore_decomposition(&g);
+        let config = OocConfig {
+            budget_bytes: 220 * 1024,
+            page_size: 1024,
+            spill_dir: Some(temp_dir()),
+        };
+        let ooc = decompose_ooc(&path, &config).unwrap();
+        assert_eq!(ooc.kappa, d.kappa_slice());
+        assert!(
+            ooc.stats.strata > 1,
+            "budget was meant to force multiple strata, got {:?}",
+            ooc.stats
+        );
+        assert!(ooc.stats.peak_resident_bytes() <= 220 * 1024);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_and_triangle_free_graphs() {
+        assert_ooc_matches(&Graph::new(), "ooc_empty.tkcstor", 1 << 20);
+        assert_ooc_matches(&generators::star(30), "ooc_star.tkcstor", 1 << 20);
+    }
+
+    #[test]
+    fn absurdly_small_budget_is_a_structured_error() {
+        let g = generators::complete(12);
+        let path = pack_to(&g, "ooc_nobudget.tkcstor");
+        let config = OocConfig {
+            budget_bytes: 1024,
+            page_size: 512,
+            spill_dir: Some(temp_dir()),
+        };
+        match decompose_ooc(&path, &config) {
+            Err(OocError::Budget(_)) => {}
+            other => panic!("expected Budget error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -28,6 +28,8 @@ pub mod correlation;
 pub mod ppi;
 pub mod registry;
 pub mod scenarios;
+pub mod streamed;
 pub mod temporal;
 
 pub use registry::{build, build_default, DatasetId, DatasetInfo};
+pub use streamed::{build_graph as build_streamed, write_snap, StreamedConfig};

@@ -28,10 +28,14 @@ use std::time::Instant;
 use tkc_core::decompose::Decomposition;
 use tkc_core::dynamic::{DynamicTriangleKCore, UpdateStats};
 use tkc_core::extract::cores_at_level;
-use tkc_core::persist::{read_state, write_state};
+use tkc_core::persist::{
+    read_state, read_state_stamp, verify_store_stamp, write_state_with_store, PersistError,
+};
 use tkc_faults::{DiskFile, FaultFile, FaultPlan};
+use tkc_graph::csr::edge_supports_csr;
 use tkc_graph::{CsrGraph, Graph, VertexId};
 use tkc_obs::{Counter, Gauge, Histogram, MetricsRegistry, TraceBuffer, TraceRecord};
+use tkc_store::{pack_graph, PageCacheConfig, StoreError, StoreReader};
 
 use crate::error::{EngineError, EngineState};
 use crate::wal::{Recovery, Wal, WalError, WalOp};
@@ -41,6 +45,11 @@ pub const STATE_FILE: &str = "state.tkc";
 /// Name of the write-ahead log inside the state directory.
 // analyze: allow(registry-consistency): file name, not a failpoint site id
 pub const WAL_FILE: &str = "wal.log";
+/// Name of the packed `TKCSTOR` store written next to the snapshot at
+/// each compaction. The snapshot header carries the store's identity
+/// stamp; [`Engine::open`] reopens from the store (binary sections, no
+/// per-edge re-insertion) whenever the stamp vouches for it.
+pub const STORE_FILE: &str = "state.tkcstor";
 
 /// Tunables for [`Engine::open`].
 #[derive(Debug, Clone)]
@@ -104,6 +113,9 @@ pub struct EngineMetrics {
     pub epochs_published: Counter,
     /// WAL compactions performed.
     pub compactions: Counter,
+    /// Opens served by the packed-store fast path instead of parsing the
+    /// text snapshot (see [`STORE_FILE`]).
+    pub store_reopens: Counter,
     /// Ops replayed from the WAL during the last recovery.
     pub recovery_replays: Counter,
     /// Torn tail bytes dropped during the last recovery.
@@ -184,6 +196,10 @@ impl EngineMetrics {
                 "Epoch snapshots published",
             ),
             compactions: reg.counter("tkc_engine_compactions_total", "WAL compactions performed"),
+            store_reopens: reg.counter(
+                "tkc_engine_store_reopens_total",
+                "Engine opens served from the packed store fast path",
+            ),
             recovery_replays: reg.int_gauge(
                 "tkc_engine_recovery_replays",
                 "Ops replayed from the WAL during the last recovery",
@@ -446,18 +462,37 @@ impl Engine {
     /// any torn tail, and publishes the recovered state as epoch 1.
     pub fn open(config: EngineConfig) -> Result<Engine, EngineError> {
         std::fs::create_dir_all(&config.dir)?;
+        let registry = Arc::new(MetricsRegistry::new());
+        let metrics = EngineMetrics::register(&registry);
         let state_path = config.dir.join(STATE_FILE);
+        let store_path = config.dir.join(STORE_FILE);
         let mut core = if state_path.exists() {
-            let file = std::fs::File::open(&state_path)?;
-            let (g, kappa) = read_state(file)?;
-            DynamicTriangleKCore::from_parts(g, kappa)
+            let stamp = read_state_stamp(std::fs::File::open(&state_path)?)?;
+            verify_store_stamp(stamp.as_deref(), &store_path)?;
+            if stamp.is_some() {
+                // Fast path: the snapshot header vouches for the packed
+                // store, so rebuild from its binary sections (crc-checked
+                // on read) instead of re-parsing and re-inserting every
+                // edge of the text body.
+                let reader = StoreReader::open(&store_path, PageCacheConfig::default())
+                    .map_err(store_err)?;
+                let g = reader.load_graph().map_err(store_err)?;
+                let kappa = reader.read_kappa().map_err(store_err)?;
+                metrics.store_reopens.inc();
+                DynamicTriangleKCore::from_parts(g, kappa)
+            } else {
+                let file = std::fs::File::open(&state_path)?;
+                let (g, kappa) = read_state(file)?;
+                DynamicTriangleKCore::from_parts(g, kappa)
+            }
         } else {
+            // No snapshot: a store file sitting here alone is unvouched
+            // (same gate as a stampless snapshot next to one).
+            verify_store_stamp(None, &store_path)?;
             DynamicTriangleKCore::new(Graph::new())
         };
 
         let (wal, recovery) = open_wal(&config)?;
-        let registry = Arc::new(MetricsRegistry::new());
-        let metrics = EngineMetrics::register(&registry);
         let Recovery { ops, torn_bytes } = recovery;
         let mut replay_report = ApplyReport::default();
         for &op in &ops {
@@ -825,17 +860,45 @@ impl Engine {
     }
 
     fn compact_locked(&self, w: &mut Writer) -> Result<(), EngineError> {
+        let store_tmp = self.config.dir.join("state.tkcstor.tmp");
+        let store_path = self.config.dir.join(STORE_FILE);
         let tmp = self.config.dir.join("state.tkc.tmp");
         let final_path = self.config.dir.join(STATE_FILE);
+
+        // Pack the store first: its identity stamp goes into the snapshot
+        // header so the next open can trust the binary sections.
+        let g = w.core.graph();
+        let supports = edge_supports_csr(g);
+        let parts = pack_graph(g, &supports, Some(w.core.kappa_slice())).map_err(store_err)?;
+        let stamp = parts.stamp();
+        parts.write_path(&store_tmp)?;
+        std::fs::File::open(&store_tmp)?.sync_all()?;
         {
             let file = std::fs::File::create(&tmp)?;
-            write_state(w.core.graph(), w.core.kappa_slice(), &file)?;
+            write_state_with_store(g, w.core.kappa_slice(), Some(&stamp), &file)?;
             file.sync_all()?;
         }
+        // Store before state. A crash between the renames leaves a
+        // snapshot whose stamp disagrees with the store on disk — the
+        // next open fails with the structured `StoreMismatch` (repaired
+        // by `tkc store pack`) rather than trusting either side.
+        std::fs::rename(&store_tmp, &store_path)?;
         std::fs::rename(&tmp, &final_path)?;
         w.wal.reset()?;
         self.metrics.compactions.inc();
         Ok(())
+    }
+}
+
+/// Maps a packed-store failure into the engine's persistence error space
+/// (raw I/O errors pass through so injected-crash detection still sees
+/// them).
+fn store_err(e: StoreError) -> EngineError {
+    match e {
+        StoreError::Io(io) => EngineError::Persist(PersistError::Io(io)),
+        other => EngineError::Persist(PersistError::Io(std::io::Error::other(format!(
+            "packed store: {other}"
+        )))),
     }
 }
 

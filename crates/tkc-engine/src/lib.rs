@@ -32,7 +32,10 @@ pub mod proto;
 pub mod server;
 pub mod wal;
 
-pub use engine::{ApplyReport, Engine, EngineConfig, EngineMetrics, EpochSnapshot, TrussSummary};
+pub use engine::{
+    ApplyReport, Engine, EngineConfig, EngineMetrics, EpochSnapshot, TrussSummary, STATE_FILE,
+    STORE_FILE, WAL_FILE,
+};
 pub use error::{EngineError, EngineState};
 pub use server::{DrainSummary, ServeOptions, Server};
 pub use wal::{AppendInfo, Recovery, Wal, WalError, WalOp};

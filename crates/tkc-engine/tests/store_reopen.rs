@@ -1,0 +1,194 @@
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
+
+//! The packed-store reopen path: compaction writes a `TKCSTOR` file next
+//! to the snapshot and stamps the snapshot header with its identity;
+//! `Engine::open` must then rebuild from the store's binary sections,
+//! bit-identical to what a text-snapshot parse would have produced — and
+//! must refuse (structured, never silent) whenever the pair disagrees.
+
+use std::path::PathBuf;
+
+use tkc_engine::{Engine, EngineConfig, WalOp, STATE_FILE, STORE_FILE};
+use tkc_graph::generators;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("tkc_store_reopen_tests")
+        .join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn raw_config(dir: PathBuf) -> EngineConfig {
+    EngineConfig {
+        fsync: false,
+        epoch_ops: 0,
+        compact_bytes: 0,
+        ..EngineConfig::new(dir)
+    }
+}
+
+/// Seed graph + a removal churn, as WAL ops (leaves dead edge slots so
+/// the store's sentinel handling is actually exercised).
+fn churned_ops() -> Vec<WalOp> {
+    let g = generators::planted_partition(4, 12, 0.8, 0.1, 9);
+    let mut ops = Vec::new();
+    ops.push(WalOp::AddVertices(g.num_vertices() as u32));
+    for e in g.edge_ids() {
+        let (u, v) = g.endpoints(e);
+        ops.push(WalOp::Insert(u.index() as u32, v.index() as u32));
+    }
+    for (i, e) in g.edge_ids().enumerate() {
+        if i % 5 == 0 {
+            let (u, v) = g.endpoints(e);
+            ops.push(WalOp::Remove(u.index() as u32, v.index() as u32));
+        }
+    }
+    ops
+}
+
+/// (vertices, live edges, sorted (u, v, κ) triples) — id-independent
+/// identity of an engine's published state.
+fn fingerprint(engine: &Engine) -> (usize, usize, Vec<(u32, u32, u32)>) {
+    engine.publish();
+    let snap = engine.snapshot();
+    let g = snap.graph();
+    let mut triples: Vec<(u32, u32, u32)> = g
+        .edge_ids()
+        .map(|e| {
+            let (u, v) = g.endpoints(e);
+            (u.0.min(v.0), u.0.max(v.0), snap.decomposition().kappa(e))
+        })
+        .collect();
+    triples.sort_unstable();
+    (g.num_vertices(), g.num_edges(), triples)
+}
+
+#[test]
+fn compact_writes_store_and_reopen_uses_it() {
+    let dir = temp_dir("fast_path");
+    let before = {
+        let engine = Engine::open(raw_config(dir.clone())).unwrap();
+        engine.apply(&churned_ops()).unwrap();
+        engine.compact().unwrap();
+        assert_eq!(engine.metrics().store_reopens.get(), 0, "open of empty dir");
+        fingerprint(&engine)
+    };
+    assert!(
+        dir.join(STORE_FILE).exists(),
+        "compaction must pack a store"
+    );
+
+    let engine = Engine::open(raw_config(dir.clone())).unwrap();
+    assert_eq!(
+        engine.metrics().store_reopens.get(),
+        1,
+        "stamped snapshot + matching store must take the fast path"
+    );
+    assert_eq!(fingerprint(&engine), before, "store reopen changed state");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wal_ops_after_compaction_replay_on_top_of_store() {
+    let dir = temp_dir("wal_on_top");
+    {
+        let engine = Engine::open(raw_config(dir.clone())).unwrap();
+        engine.apply(&churned_ops()).unwrap();
+        engine.compact().unwrap();
+        // Post-compaction ops land in the WAL only.
+        engine
+            .apply(&[WalOp::Insert(0, 47), WalOp::Remove(1, 2)])
+            .unwrap();
+    }
+    let reopened = Engine::open(raw_config(dir.clone())).unwrap();
+    assert_eq!(reopened.metrics().store_reopens.get(), 1);
+    let expected = {
+        // Same history replayed WAL-only (no compaction) — the oracle.
+        let dir2 = temp_dir("wal_on_top_oracle");
+        let oracle = Engine::open(raw_config(dir2.clone())).unwrap();
+        let mut ops = churned_ops();
+        ops.push(WalOp::Insert(0, 47));
+        ops.push(WalOp::Remove(1, 2));
+        oracle.apply(&ops).unwrap();
+        let f = fingerprint(&oracle);
+        std::fs::remove_dir_all(&dir2).ok();
+        f
+    };
+    assert_eq!(fingerprint(&reopened), expected);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_or_corrupt_store_blocks_open_structurally() {
+    let dir = temp_dir("mismatch");
+    {
+        let engine = Engine::open(raw_config(dir.clone())).unwrap();
+        engine.apply(&churned_ops()).unwrap();
+        engine.compact().unwrap();
+    }
+
+    // Deleted store: the stamped snapshot has nothing to vouch for.
+    let store = dir.join(STORE_FILE);
+    let bytes = std::fs::read(&store).unwrap();
+    std::fs::remove_file(&store).unwrap();
+    let err = Engine::open(raw_config(dir.clone()))
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("store"), "missing store: got {err}");
+
+    // Corrupted store (flip a payload byte): stamp no longer matches.
+    let mut flipped = bytes.clone();
+    let last = flipped.len() - 1;
+    flipped[last] ^= 0xff;
+    std::fs::write(&store, &flipped).unwrap();
+    let err = Engine::open(raw_config(dir.clone()))
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("store"), "corrupt store: got {err}");
+
+    // Restored byte-identical store: opens again.
+    std::fs::write(&store, &bytes).unwrap();
+    Engine::open(raw_config(dir.clone())).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn legacy_stampless_snapshot_still_opens_but_not_next_to_a_store() {
+    let dir = temp_dir("legacy");
+    let before = {
+        let engine = Engine::open(raw_config(dir.clone())).unwrap();
+        engine.apply(&churned_ops()).unwrap();
+        engine.compact().unwrap();
+        fingerprint(&engine)
+    };
+
+    // Strip the stamp from the header — a pre-store (v1-style) snapshot.
+    let state = dir.join(STATE_FILE);
+    let text = std::fs::read_to_string(&state).unwrap();
+    let stripped: String = text
+        .lines()
+        .map(|l| match l.split_once("; store ") {
+            Some((head, _)) => format!("{head}\n"),
+            None => format!("{l}\n"),
+        })
+        .collect();
+    std::fs::write(&state, &stripped).unwrap();
+
+    // Next to the (now unvouched) store file: refuse.
+    let err = Engine::open(raw_config(dir.clone()))
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("store"), "unvouched store: got {err}");
+
+    // Store removed: plain legacy text recovery, same state, slow path.
+    std::fs::remove_file(dir.join(STORE_FILE)).unwrap();
+    let engine = Engine::open(raw_config(dir.clone())).unwrap();
+    assert_eq!(
+        engine.metrics().store_reopens.get(),
+        0,
+        "must not fast-path"
+    );
+    assert_eq!(fingerprint(&engine), before);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,133 @@
+//! The read surface shared by CSR backends.
+//!
+//! Two backends serve batch triangle work: the in-memory [`CsrGraph`]
+//! snapshot (rank-oriented out-lists in flat arrays) and tkc-store's paged
+//! on-disk reader (full per-vertex neighbor lists decoded from a frozen
+//! store file). Both are, structurally, the same thing — a set of
+//! adjacency lists whose entries are `(index, edge id)` pairs ascending by
+//! index — and the algorithms that consume them (support counting, the
+//! out-of-core stratum peel) only need that shape. [`AdjacencySource`]
+//! names it, so those consumers can be written once and run against either
+//! backend.
+//!
+//! What the `u32` index *means* is the backend's contract: `CsrGraph`
+//! yields destination **ranks** over oriented half-adjacency (each edge
+//! appears in exactly one list), the paged reader yields raw **vertex
+//! ids** over full adjacency (each edge appears in two lists). Consumers
+//! that care — e.g. triangle enumeration, which is exactly-once on
+//! oriented lists and three-times on full lists — document which shape
+//! they require.
+//!
+//! Backends may do I/O per list (the paged reader faults pages in), so the
+//! accessors are fallible; the in-memory impl never errors.
+
+use std::io;
+
+use crate::csr::CsrGraph;
+use crate::ids::EdgeId;
+
+/// A set of adjacency lists of `(index, edge id)` pairs, each list
+/// strictly ascending by index. See the module docs for the two backends
+/// and what the index means for each.
+pub trait AdjacencySource {
+    /// Number of adjacency lists (list indices are `0..num_lists()`).
+    fn num_lists(&self) -> usize;
+
+    /// Live edge count of the underlying graph.
+    fn num_edges(&self) -> usize;
+
+    /// Exclusive upper bound on raw edge ids — the length per-edge state
+    /// vectors (supports, κ) must have so every stored id is a valid
+    /// index, dead slots included.
+    fn edge_bound(&self) -> usize;
+
+    /// Calls `f(index, edge_id)` for each entry of list `list`, ascending
+    /// by index. `list` must be `< num_lists()`.
+    fn for_each_entry(&self, list: u32, f: &mut dyn FnMut(u32, EdgeId)) -> io::Result<()>;
+
+    /// Collects list `list` into `out` (clearing it first). Backends with
+    /// a cheaper bulk path override this.
+    fn read_list(&self, list: u32, out: &mut Vec<(u32, EdgeId)>) -> io::Result<()> {
+        out.clear();
+        self.for_each_entry(list, &mut |idx, eid| out.push((idx, eid)))
+    }
+}
+
+impl AdjacencySource for CsrGraph {
+    fn num_lists(&self) -> usize {
+        self.num_vertices()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.num_edges()
+    }
+
+    fn edge_bound(&self) -> usize {
+        self.edge_bound()
+    }
+
+    fn for_each_entry(&self, list: u32, f: &mut dyn FnMut(u32, EdgeId)) -> io::Result<()> {
+        for (dst, eid) in self.out_edges(list as usize) {
+            f(dst, eid);
+        }
+        Ok(())
+    }
+}
+
+/// Merge-intersects two ascending adjacency lists, calling
+/// `f(common_index, eid_in_a, eid_in_b)` per shared index. On full
+/// per-vertex lists for an edge `{u, v}` this enumerates the triangles on
+/// that edge — the primitive the out-of-core peel uses in place of
+/// [`crate::graph::Graph::for_each_triangle_on_edge`].
+pub fn merge_common(
+    a: &[(u32, EdgeId)],
+    b: &[(u32, EdgeId)],
+    mut f: impl FnMut(u32, EdgeId, EdgeId),
+) {
+    let (mut i, mut j) = (0usize, 0usize);
+    while let (Some(&(xa, ea)), Some(&(xb, eb))) = (a.get(i), b.get(j)) {
+        match xa.cmp(&xb) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                f(xa, ea, eb);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn csr_impl_matches_out_edges() {
+        let g = generators::holme_kim(60, 3, 0.6, 7);
+        let snap = CsrGraph::freeze(&g);
+        assert_eq!(AdjacencySource::num_lists(&snap), snap.num_vertices());
+        assert_eq!(AdjacencySource::num_edges(&snap), snap.num_edges());
+        assert_eq!(AdjacencySource::edge_bound(&snap), snap.edge_bound());
+        let mut via_trait = Vec::new();
+        for r in 0..snap.num_vertices() {
+            snap.read_list(r as u32, &mut via_trait).unwrap();
+            let direct: Vec<_> = snap.out_edges(r).collect();
+            assert_eq!(via_trait, direct, "rank {r}");
+            assert!(via_trait.windows(2).all(|w| w[0].0 < w[1].0));
+        }
+    }
+
+    #[test]
+    fn merge_common_finds_shared_indices() {
+        let a = [(1u32, EdgeId(10)), (3, EdgeId(11)), (7, EdgeId(12))];
+        let b = [(0u32, EdgeId(20)), (3, EdgeId(21)), (8, EdgeId(22))];
+        let mut hits = Vec::new();
+        merge_common(&a, &b, |w, ea, eb| hits.push((w, ea, eb)));
+        assert_eq!(hits, vec![(3, EdgeId(11), EdgeId(21))]);
+        merge_common(&a, &[], |_, _, _| panic!("empty list intersects"));
+    }
+}

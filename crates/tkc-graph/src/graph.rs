@@ -81,6 +81,69 @@ impl Graph {
         g
     }
 
+    /// Rebuilds a graph in one pass from pre-sorted adjacency lists and an
+    /// edge-slot table (`slots[i] = Some((u, v))` for live edge `i` with
+    /// `u < v`, `None` for a dead slot). This is the binary fast path the
+    /// engine takes when reopening from a packed store: the store already
+    /// holds every list sorted by neighbor id, so startup skips both the
+    /// text parse and the per-edge binary-search insertion of
+    /// [`Self::add_edge`] (`O(deg)` memmove per edge).
+    ///
+    /// The parts are fully validated — sortedness, symmetry, slot/entry
+    /// agreement — so a corrupt or hand-rolled input yields an error, never
+    /// a graph that silently violates the invariants the maintainer relies
+    /// on. Dead slots are chained into the free list with the lowest id
+    /// reused first.
+    pub fn from_parts(
+        adj: Vec<Vec<(VertexId, EdgeId)>>,
+        slots: Vec<Option<(VertexId, VertexId)>>,
+    ) -> Result<Graph, String> {
+        let mut live_edges = 0usize;
+        let mut free_head = None;
+        let mut edges = Vec::with_capacity(slots.len());
+        for (i, slot) in slots.iter().enumerate() {
+            match *slot {
+                Some((u, v)) => {
+                    if u >= v {
+                        return Err(format!("edge slot {i} endpoints not normalized"));
+                    }
+                    if v.index() >= adj.len() {
+                        return Err(format!("edge slot {i} endpoint {v} out of range"));
+                    }
+                    live_edges += 1;
+                    edges.push(EdgeSlot::Live(u, v));
+                }
+                None => edges.push(EdgeSlot::Free { next: None }),
+            }
+        }
+        // Chain dead slots highest-first so the head is the lowest id.
+        for i in (0..edges.len()).rev() {
+            if let Some(EdgeSlot::Free { next }) = edges.get_mut(i) {
+                *next = free_head;
+                free_head = Some(EdgeId::from(i));
+            }
+        }
+        let g = Graph {
+            adj,
+            edges,
+            free_head,
+            live_edges,
+        };
+        // check_invariants proves every live slot appears in both endpoint
+        // lists and every list is strictly sorted; the entry count closes
+        // the other direction (no extra entries naming dead or foreign
+        // ids).
+        let entries: usize = g.adj.iter().map(Vec::len).sum();
+        if entries != 2 * live_edges {
+            return Err(format!(
+                "adjacency holds {entries} entries but {live_edges} live edges need {}",
+                2 * live_edges
+            ));
+        }
+        g.check_invariants()?;
+        Ok(g)
+    }
+
     /// Number of vertices (isolated vertices included).
     #[inline]
     pub fn num_vertices(&self) -> usize {
@@ -650,6 +713,68 @@ mod tests {
         assert_eq!(dense.num_vertices(), 4); // 0,1,2,3 keep degree > 0
         assert_eq!(dense.num_edges(), 2);
         dense.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn from_parts_roundtrips_through_raw_parts() {
+        let mut g = Graph::from_edges(6, [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        g.remove_edge_between(VertexId(2), VertexId(3)).unwrap();
+        let adj: Vec<_> = (0..g.num_vertices()).map(|v| g.adj[v].clone()).collect();
+        let slots: Vec<_> = (0..g.edge_bound())
+            .map(|i| g.endpoints_checked(EdgeId::from(i)))
+            .collect();
+        let rebuilt = Graph::from_parts(adj, slots).unwrap();
+        rebuilt.check_invariants().unwrap();
+        assert_eq!(rebuilt.num_edges(), g.num_edges());
+        assert_eq!(rebuilt.edge_bound(), g.edge_bound());
+        for (e, u, v) in g.edges() {
+            assert_eq!(rebuilt.endpoints_checked(e), Some((u, v)));
+        }
+        // The freed slot is the head of the rebuilt free list.
+        let dead = g
+            .edge_between(VertexId(2), VertexId(3))
+            .unwrap_or(EdgeId(3));
+        let mut rebuilt = rebuilt;
+        let e2 = rebuilt.add_edge(VertexId(0), VertexId(5)).unwrap();
+        assert_eq!(e2, dead);
+    }
+
+    #[test]
+    fn from_parts_rejects_broken_inputs() {
+        // Unsorted adjacency.
+        let adj = vec![
+            vec![(VertexId(2), EdgeId(1)), (VertexId(1), EdgeId(0))],
+            vec![(VertexId(0), EdgeId(0))],
+            vec![(VertexId(0), EdgeId(1))],
+        ];
+        let slots = vec![
+            Some((VertexId(0), VertexId(1))),
+            Some((VertexId(0), VertexId(2))),
+        ];
+        assert!(Graph::from_parts(adj, slots.clone()).is_err());
+        // Missing symmetric entry.
+        let adj = vec![
+            vec![(VertexId(1), EdgeId(0)), (VertexId(2), EdgeId(1))],
+            vec![(VertexId(0), EdgeId(0))],
+            vec![],
+        ];
+        assert!(Graph::from_parts(adj, slots.clone()).is_err());
+        // Extra entry referencing a dead slot.
+        let adj = vec![
+            vec![(VertexId(1), EdgeId(0)), (VertexId(2), EdgeId(1))],
+            vec![(VertexId(0), EdgeId(0)), (VertexId(2), EdgeId(2))],
+            vec![(VertexId(0), EdgeId(1)), (VertexId(1), EdgeId(2))],
+        ];
+        assert!(Graph::from_parts(adj, slots.clone()).is_err());
+        // Non-normalized slot endpoints.
+        let adj = vec![
+            vec![(VertexId(1), EdgeId(0))],
+            vec![(VertexId(0), EdgeId(0))],
+        ];
+        assert!(Graph::from_parts(adj, vec![Some((VertexId(1), VertexId(0)))]).is_err());
+        // Endpoint out of vertex range.
+        let adj = vec![vec![], vec![]];
+        assert!(Graph::from_parts(adj, vec![Some((VertexId(1), VertexId(7)))]).is_err());
     }
 
     #[test]

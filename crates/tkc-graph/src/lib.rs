@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod adjacency;
 pub mod cliques;
 pub mod components;
 pub mod csr;
@@ -45,6 +46,7 @@ pub mod triangles;
 mod graph;
 mod ids;
 
+pub use adjacency::AdjacencySource;
 pub use csr::CsrGraph;
 pub use error::{GraphError, ParseError};
 pub use graph::Graph;

@@ -1,0 +1,319 @@
+//! An explicit LRU page cache over positioned file reads.
+//!
+//! The workspace forbids `unsafe`, so the store cannot mmap its file and
+//! lean on the kernel's page cache through a borrowed `&[u8]`. This is
+//! the safe equivalent, made explicit: fixed-size pages faulted in with
+//! `seek` + `read_exact`, an LRU among at most `capacity` resident pages,
+//! and hit/miss/eviction counters that land both in a local
+//! [`CacheStats`] (so the out-of-core peel can charge cache residency
+//! against its memory budget) and in the global tkc-obs registry
+//! (`tkc_store_page_hits_total` / `tkc_store_page_misses_total` /
+//! `tkc_store_page_evictions_total`).
+//!
+//! Eviction scans for the least-recently-used slot linearly; capacities
+//! are tens-to-hundreds of pages, where a scan is cheaper than
+//! maintaining an intrusive list.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom};
+
+use tkc_obs::{Counter, MetricsRegistry};
+
+/// Page size and resident-page capacity for a [`crate::StoreReader`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageCacheConfig {
+    /// Bytes per page. Need not divide the file size; the tail page is
+    /// short.
+    pub page_size: usize,
+    /// Maximum resident pages.
+    pub capacity: usize,
+}
+
+impl Default for PageCacheConfig {
+    /// 64 KiB pages × 64 pages = 4 MiB resident — small enough to charge
+    /// against tight out-of-core budgets, big enough that sequential
+    /// scans hit.
+    fn default() -> Self {
+        PageCacheConfig {
+            page_size: 64 * 1024,
+            capacity: 64,
+        }
+    }
+}
+
+impl PageCacheConfig {
+    /// A config sized to hold at most `bytes` of resident pages (at least
+    /// one page).
+    pub fn with_budget(page_size: usize, bytes: u64) -> PageCacheConfig {
+        let page_size = page_size.max(512);
+        // analyze: allow(panic-surface): divisor clamped to >=512 on the line above
+        let capacity = usize::try_from(bytes / page_size as u64)
+            .unwrap_or(usize::MAX)
+            .max(1);
+        PageCacheConfig {
+            page_size,
+            capacity,
+        }
+    }
+
+    /// Upper bound on resident cache bytes under this config.
+    pub fn budget_bytes(&self) -> u64 {
+        self.page_size as u64 * self.capacity as u64
+    }
+}
+
+/// Cache traffic counters (monotonic over the reader's lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Range reads served from a resident page.
+    pub hits: u64,
+    /// Page faults (disk reads).
+    pub misses: u64,
+    /// Pages evicted to stay within capacity.
+    pub evictions: u64,
+}
+
+#[derive(Debug)]
+struct Slot {
+    page_no: u64,
+    data: Vec<u8>,
+    last_used: u64,
+}
+
+/// The cache proper. Owned by a reader; not thread-safe by design (wrap
+/// the reader, not the cache).
+#[derive(Debug)]
+pub(crate) struct PageCache {
+    config: PageCacheConfig,
+    file_len: u64,
+    map: HashMap<u64, usize>,
+    slots: Vec<Slot>,
+    tick: u64,
+    stats: CacheStats,
+    hits_total: Counter,
+    misses_total: Counter,
+    evictions_total: Counter,
+}
+
+impl PageCache {
+    pub(crate) fn new(config: PageCacheConfig, file_len: u64) -> PageCache {
+        let reg = MetricsRegistry::global();
+        PageCache {
+            config,
+            file_len,
+            map: HashMap::new(),
+            slots: Vec::new(),
+            tick: 0,
+            stats: CacheStats::default(),
+            hits_total: reg.counter(
+                "tkc_store_page_hits_total",
+                "Store page-cache reads served from a resident page",
+            ),
+            misses_total: reg.counter(
+                "tkc_store_page_misses_total",
+                "Store page-cache faults (pages read from disk)",
+            ),
+            evictions_total: reg.counter(
+                "tkc_store_page_evictions_total",
+                "Store page-cache evictions under capacity pressure",
+            ),
+        }
+    }
+
+    pub(crate) fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Bytes currently held by resident pages.
+    pub(crate) fn resident_bytes(&self) -> u64 {
+        self.slots.iter().map(|s| s.data.len() as u64).sum()
+    }
+
+    /// Appends `file[offset .. offset + len]` to `out`, faulting pages in
+    /// as needed.
+    pub(crate) fn read_range(
+        &mut self,
+        file: &mut File,
+        offset: u64,
+        len: usize,
+        out: &mut Vec<u8>,
+    ) -> io::Result<()> {
+        let end = offset
+            .checked_add(len as u64)
+            .filter(|&e| e <= self.file_len)
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!("store read past end: {offset}+{len} > {}", self.file_len),
+                )
+            })?;
+        out.reserve(len);
+        let page_size = (self.config.page_size as u64).max(1);
+        let mut at = offset;
+        while at < end {
+            // analyze: allow(panic-surface): divisor clamped to >=1 above the loop
+            let page_no = at / page_size;
+            let in_page = (at - page_no * page_size) as usize;
+            let take = ((end - at) as usize).min(self.config.page_size - in_page);
+            let slot = self.fault_in(file, page_no)?;
+            let page = self
+                .slots
+                .get(slot)
+                .ok_or_else(|| io::Error::other("page slot vanished"))?;
+            let chunk = page.data.get(in_page..in_page + take).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "store page shorter than expected",
+                )
+            })?;
+            out.extend_from_slice(chunk);
+            at += take as u64;
+        }
+        Ok(())
+    }
+
+    /// Ensures `page_no` is resident and returns its slot index.
+    fn fault_in(&mut self, file: &mut File, page_no: u64) -> io::Result<usize> {
+        self.tick += 1;
+        if let Some(&slot) = self.map.get(&page_no) {
+            self.stats.hits += 1;
+            self.hits_total.inc();
+            if let Some(s) = self.slots.get_mut(slot) {
+                s.last_used = self.tick;
+            }
+            return Ok(slot);
+        }
+        self.stats.misses += 1;
+        self.misses_total.inc();
+        let page_size = self.config.page_size as u64;
+        let start = page_no * page_size;
+        let len = (self.file_len.saturating_sub(start)).min(page_size) as usize;
+        if len == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "store page past end of file",
+            ));
+        }
+        let mut data = vec![0u8; len];
+        file.seek(SeekFrom::Start(start))?;
+        file.read_exact(&mut data)?;
+        let slot = if self.slots.len() < self.config.capacity {
+            self.slots.push(Slot {
+                page_no,
+                data,
+                last_used: self.tick,
+            });
+            self.slots.len() - 1
+        } else {
+            // Evict the least-recently-used resident page.
+            let victim = self
+                .slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(i, _)| i)
+                .ok_or_else(|| io::Error::other("page cache has zero capacity"))?;
+            self.stats.evictions += 1;
+            self.evictions_total.inc();
+            if let Some(old) = self.slots.get(victim) {
+                self.map.remove(&old.page_no);
+            }
+            if let Some(s) = self.slots.get_mut(victim) {
+                *s = Slot {
+                    page_no,
+                    data,
+                    last_used: self.tick,
+                };
+            }
+            victim
+        };
+        self.map.insert(page_no, slot);
+        Ok(slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::indexing_slicing)]
+
+    use super::*;
+
+    fn temp_file(name: &str, bytes: &[u8]) -> (std::path::PathBuf, File) {
+        let dir = std::env::temp_dir().join("tkc_store_cache_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, bytes).unwrap();
+        (path.clone(), File::open(&path).unwrap())
+    }
+
+    #[test]
+    fn reads_cross_page_boundaries_and_count_traffic() {
+        let data: Vec<u8> = (0u32..1000).map(|i| (i % 251) as u8).collect();
+        let (_p, mut f) = temp_file("cross.bin", &data);
+        let mut cache = PageCache::new(
+            PageCacheConfig {
+                page_size: 64,
+                capacity: 4,
+            },
+            data.len() as u64,
+        );
+        let mut out = Vec::new();
+        cache.read_range(&mut f, 60, 10, &mut out).unwrap();
+        assert_eq!(out, &data[60..70]);
+        // Two pages faulted, zero hits so far.
+        assert_eq!(cache.stats().misses, 2);
+        out.clear();
+        cache.read_range(&mut f, 64, 4, &mut out).unwrap();
+        assert_eq!(out, &data[64..68]);
+        assert_eq!(cache.stats().hits, 1);
+        assert!(cache.resident_bytes() <= 4 * 64);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_page() {
+        let data = vec![7u8; 64 * 8];
+        let (_p, mut f) = temp_file("lru.bin", &data);
+        let mut cache = PageCache::new(
+            PageCacheConfig {
+                page_size: 64,
+                capacity: 2,
+            },
+            data.len() as u64,
+        );
+        let mut out = Vec::new();
+        for page in [0u64, 1, 0, 2] {
+            out.clear();
+            cache.read_range(&mut f, page * 64, 1, &mut out).unwrap();
+        }
+        // Page 1 (least recently used) was evicted, pages 0 and 2 stay.
+        assert_eq!(cache.stats().evictions, 1);
+        out.clear();
+        cache.read_range(&mut f, 0, 1, &mut out).unwrap();
+        assert_eq!(cache.stats().hits, 2);
+        out.clear();
+        cache.read_range(&mut f, 64, 1, &mut out).unwrap();
+        assert_eq!(cache.stats().misses, 4, "page 1 must re-fault");
+    }
+
+    #[test]
+    fn rejects_reads_past_eof() {
+        let data = vec![1u8; 100];
+        let (_p, mut f) = temp_file("eof.bin", &data);
+        let mut cache = PageCache::new(PageCacheConfig::default(), 100);
+        let mut out = Vec::new();
+        assert!(cache.read_range(&mut f, 90, 20, &mut out).is_err());
+        assert!(cache.read_range(&mut f, u64::MAX, 2, &mut out).is_err());
+        cache.read_range(&mut f, 90, 10, &mut out).unwrap();
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn budget_config_sizes_capacity() {
+        let c = PageCacheConfig::with_budget(4096, 64 * 1024);
+        assert_eq!(c.capacity, 16);
+        assert_eq!(c.budget_bytes(), 64 * 1024);
+        // Always at least one page, even under an absurd budget.
+        assert_eq!(PageCacheConfig::with_budget(4096, 0).capacity, 1);
+    }
+}

@@ -1,0 +1,108 @@
+//! CRC32 (IEEE 802.3, the zlib polynomial) over byte slices.
+//!
+//! Same checksum the WAL uses for its records; re-implemented here because
+//! the store sits below the engine and must not depend on it. The check
+//! value for `"123456789"` is the classic `0xCBF4_3926`.
+
+use std::sync::OnceLock;
+
+/// CRC32 of `data` (reflected, init `!0`, final xor `!0`).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(data);
+    c.finish()
+}
+
+/// Incremental CRC32, for streaming whole sections through a small buffer
+/// without holding them in memory.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+impl Crc32 {
+    /// Starts a fresh checksum.
+    pub fn new() -> Crc32 {
+        Crc32 { state: !0u32 }
+    }
+
+    /// Feeds `data` into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let table = table();
+        for &b in data {
+            #[allow(clippy::indexing_slicing)]
+            {
+                // analyze: allow(panic-surface): u8-derived index into a 256-entry table is always in bounds
+                self.state = table[usize::from((self.state as u8) ^ b)] ^ (self.state >> 8);
+            }
+        }
+    }
+
+    /// Finishes and returns the checksum (the accumulator stays usable).
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        t
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data: Vec<u8> = (0u32..4096).map(|i| (i * 31 % 251) as u8).collect();
+        let mut c = Crc32::new();
+        for chunk in data.chunks(37) {
+            c.update(chunk);
+        }
+        assert_eq!(c.finish(), crc32(&data));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_checksum() {
+        let mut data = vec![0xA5u8; 257];
+        let clean = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                if let Some(b) = data.get_mut(byte) {
+                    *b ^= 1 << bit;
+                }
+                assert_ne!(crc32(&data), clean, "flip at {byte}:{bit} undetected");
+                if let Some(b) = data.get_mut(byte) {
+                    *b ^= 1 << bit;
+                }
+            }
+        }
+    }
+}

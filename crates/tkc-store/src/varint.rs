@@ -1,0 +1,193 @@
+//! LEB128 varints and the delta encoding for ascending neighbor lists.
+//!
+//! Adjacency dominates a packed store, and neighbor lists are sorted, so
+//! the classic trick applies: store the first neighbor absolute and every
+//! later one as the (strictly positive) gap to its predecessor. On the
+//! block-structured graphs the bench uses, gaps are small and most
+//! entries fit in one byte — that is the entire compression story, no
+//! entropy coder needed. Decoding is a tight add-as-you-go loop.
+//!
+//! Values are `u64` on the wire (10 bytes max); the store only ever
+//! writes `u32`-ranged values but the codec does not care.
+
+/// Appends `v` to `out` as an LEB128 varint (7 bits per byte, high bit =
+/// continuation).
+#[inline]
+pub fn encode_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decodes one varint from `buf` starting at `pos`. Returns the value and
+/// the position just past it, or `None` on truncation / >10-byte runs.
+#[inline]
+pub fn decode_u64(buf: &[u8], pos: usize) -> Option<(u64, usize)> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    let mut at = pos;
+    loop {
+        let &byte = buf.get(at)?;
+        at += 1;
+        if shift >= 63 && byte > 1 {
+            return None; // would overflow u64
+        }
+        v |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Some((v, at));
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+/// Delta-encodes a strictly ascending `u32` list: the first element
+/// absolute, each later one as the gap to its predecessor.
+///
+/// # Panics
+/// Debug-asserts strict ascent; in release a non-ascending input encodes
+/// a wrapped gap and will not round-trip (the store validates its inputs
+/// before encoding).
+pub fn encode_delta_list(out: &mut Vec<u8>, list: &[u32]) {
+    let mut prev = 0u32;
+    for (i, &x) in list.iter().enumerate() {
+        if i == 0 {
+            encode_u64(out, u64::from(x));
+        } else {
+            debug_assert!(x > prev, "delta list must be strictly ascending");
+            encode_u64(out, u64::from(x.wrapping_sub(prev)));
+        }
+        prev = x;
+    }
+}
+
+/// Decodes a delta-encoded list occupying exactly `buf[pos..end]`,
+/// calling `f` per value. Returns `None` on truncation, overflow past
+/// `u32`, a zero gap (lists are strictly ascending), or a decode that
+/// does not land exactly on `end`.
+pub fn decode_delta_list(buf: &[u8], pos: usize, end: usize, mut f: impl FnMut(u32)) -> Option<()> {
+    let mut at = pos;
+    let mut prev: Option<u32> = None;
+    while at < end {
+        let (raw, next) = decode_u64(buf, at)?;
+        if next > end {
+            return None;
+        }
+        at = next;
+        let value = match prev {
+            None => u32::try_from(raw).ok()?,
+            Some(p) => {
+                if raw == 0 {
+                    return None;
+                }
+                let v = u64::from(p).checked_add(raw)?;
+                u32::try_from(v).ok()?
+            }
+        };
+        prev = Some(value);
+        f(value);
+    }
+    (at == end).then_some(())
+}
+
+/// Decodes a plain (non-delta) varint list occupying exactly
+/// `buf[pos..end]`, calling `f` per `u32` value.
+pub fn decode_u32_list(buf: &[u8], pos: usize, end: usize, mut f: impl FnMut(u32)) -> Option<()> {
+    let mut at = pos;
+    while at < end {
+        let (raw, next) = decode_u64(buf, at)?;
+        if next > end {
+            return None;
+        }
+        at = next;
+        f(u32::try_from(raw).ok()?);
+    }
+    (at == end).then_some(())
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+
+    fn roundtrip_one(v: u64) {
+        let mut buf = Vec::new();
+        encode_u64(&mut buf, v);
+        let (back, used) = decode_u64(&buf, 0).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(used, buf.len());
+    }
+
+    #[test]
+    fn boundary_values_roundtrip() {
+        for v in [
+            0,
+            1,
+            127,
+            128,
+            129,
+            16383,
+            16384,
+            u64::from(u32::MAX),
+            u64::MAX,
+        ] {
+            roundtrip_one(v);
+        }
+    }
+
+    #[test]
+    fn truncated_and_overlong_inputs_fail() {
+        assert!(decode_u64(&[], 0).is_none());
+        assert!(decode_u64(&[0x80], 0).is_none());
+        assert!(decode_u64(&[0x80; 11], 0).is_none());
+        // 10-byte encoding whose last byte pushes past 64 bits.
+        let mut overflow = vec![0xFFu8; 9];
+        overflow.push(0x02);
+        assert!(decode_u64(&overflow, 0).is_none());
+    }
+
+    #[test]
+    fn delta_list_roundtrip_and_rejects() {
+        let list = [3u32, 4, 10, 1000, 1001, u32::MAX];
+        let mut buf = Vec::new();
+        encode_delta_list(&mut buf, &list);
+        let mut back = Vec::new();
+        decode_delta_list(&buf, 0, buf.len(), |v| back.push(v)).unwrap();
+        assert_eq!(back, list);
+        // A zero gap is rejected.
+        let mut zero_gap = Vec::new();
+        encode_u64(&mut zero_gap, 5);
+        encode_u64(&mut zero_gap, 0);
+        assert!(decode_delta_list(&zero_gap, 0, zero_gap.len(), |_| {}).is_none());
+        // A gap overflowing u32 is rejected.
+        let mut over = Vec::new();
+        encode_u64(&mut over, u64::from(u32::MAX));
+        encode_u64(&mut over, 1);
+        assert!(decode_delta_list(&over, 0, over.len(), |_| {}).is_none());
+    }
+
+    #[test]
+    fn list_decoders_demand_exact_extent() {
+        let mut buf = Vec::new();
+        encode_delta_list(&mut buf, &[7, 300]); // gap 293 = 2-byte varint
+        assert_eq!(buf.len(), 3);
+        // Cutting the extent mid-varint fails rather than returning a
+        // prefix.
+        assert!(decode_delta_list(&buf, 0, buf.len() - 1, |_| {}).is_none());
+        let mut plain = Vec::new();
+        encode_u64(&mut plain, 300);
+        assert!(decode_u32_list(&plain, 0, plain.len() - 1, |_| {}).is_none());
+        let mut got = Vec::new();
+        decode_u32_list(&plain, 0, plain.len(), |v| got.push(v)).unwrap();
+        assert_eq!(got, [300]);
+    }
+}

@@ -342,6 +342,57 @@ pub fn check_parallel_peel(g: &Graph) -> Result<(), Mismatch> {
     Ok(())
 }
 
+/// Cross-checks the out-of-core stratum peel against the in-memory
+/// bucket peel: packs `g` into a throwaway `TKCSTOR` file, runs
+/// [`tkc_core::ooc::decompose_ooc`] under a deliberately tight budget,
+/// and requires the κ vector to be **bit-identical** per raw edge slot
+/// (dead slots included, as 0). Harness I/O failures panic — they are
+/// environment problems, not κ divergences.
+pub fn check_ooc_decompose(g: &Graph) -> Result<(), Mismatch> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+
+    let seq = triangle_kcore_decomposition(g);
+    let supports = tkc_graph::triangles::edge_supports(g);
+    let parts = tkc_store::pack_graph(g, &supports, None).expect("pack for ooc differential");
+    let dir = std::env::temp_dir().join("tkc_verify_ooc");
+    std::fs::create_dir_all(&dir).expect("ooc differential temp dir");
+    let path = dir.join(format!(
+        "diff_{}_{}.tkcstor",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    parts
+        .write_path(&path)
+        .expect("write ooc differential store");
+    let config = tkc_core::ooc::OocConfig::with_budget(256 * 1024);
+    let result = tkc_core::ooc::decompose_ooc(&path, &config);
+    std::fs::remove_file(&path).ok();
+    let ooc = result.expect("ooc peel failed on differential graph");
+
+    for e in g.edge_ids() {
+        let got = ooc.kappa.get(e.index()).copied().unwrap_or(u32::MAX);
+        if got != seq.kappa(e) {
+            let (u, v) = g.endpoints(e);
+            return Err(Mismatch {
+                edge: (u.0, v.0),
+                dynamic: got,
+                fresh: seq.kappa(e),
+                oracle: "ooc-peel",
+            });
+        }
+    }
+    if ooc.max_kappa != seq.max_kappa() {
+        return Err(Mismatch {
+            edge: (u32::MAX, u32::MAX),
+            dynamic: ooc.max_kappa,
+            fresh: seq.max_kappa(),
+            oracle: "ooc-peel",
+        });
+    }
+    Ok(())
+}
+
 /// Compares a claimed κ vector (raw-edge-id indexed) against a fresh
 /// from-scratch recompute of `g` — the "incremental ≡ recompute" oracle as
 /// a standalone check, reusable by any layer that maintains or restores κ

@@ -1,0 +1,36 @@
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
+
+//! Out-of-core differential: for every stream in the 216-case default
+//! suite, the churned final graph (dead edge slots and all) is packed
+//! into a `TKCSTOR` file and peeled by the budgeted stratum peel — the κ
+//! vector must be bit-identical to the in-memory bucket peel's.
+
+use tkc_core::dynamic::DynamicTriangleKCore;
+use tkc_graph::VertexId;
+use tkc_verify::differential::{check_ooc_decompose, default_suite, generate_ops, StreamOp};
+
+#[test]
+fn full_suite_ooc_peel_matches_in_memory() {
+    let suite = default_suite(216);
+    assert_eq!(suite.len(), 216, "suite size drifted; update the test");
+    for (i, config) in suite.iter().enumerate() {
+        let g = config.kind.build(config.seed);
+        let mut d = DynamicTriangleKCore::new(g);
+        for op in generate_ops(config, config.ops) {
+            match op {
+                StreamOp::Insert(u, v) => {
+                    let (u, v) = (VertexId(u), VertexId(v));
+                    if u != v && !d.graph().has_edge(u, v) {
+                        d.insert_edge(u, v).ok();
+                    }
+                }
+                StreamOp::Remove(u, v) => {
+                    d.remove_edge_between(VertexId(u), VertexId(v)).ok();
+                }
+            }
+        }
+        if let Err(m) = check_ooc_decompose(d.graph()) {
+            panic!("case {i} ({:?} seed {}): {m:?}", config.kind, config.seed);
+        }
+    }
+}
