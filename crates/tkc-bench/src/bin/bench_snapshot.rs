@@ -8,7 +8,9 @@
 //! every future perf PR appends to a trajectory instead of claiming
 //! speedups in prose. The headline is the end-to-end decomposition
 //! speedup over the sequential bucket peel, gated at >=1.2x in every
-//! mode (quick mode is the CI smoke).
+//! mode (quick mode is the CI smoke). Version 4 adds the span-recording
+//! overhead gate on the engine apply path next to the original kernel
+//! instrumentation gate — both enforce the <2% observability budget.
 //!
 //! ```text
 //! cargo run --release -p tkc-bench --bin bench_snapshot            # full
@@ -267,6 +269,157 @@ fn instrumentation_overhead_gate(g: &Graph, thread_counts: &[usize], reps: usize
     )
 }
 
+/// The span-recording acceptance gate (ISSUE 9): a real `Engine::apply`
+/// ingest run — WAL append, triangle cascade, epoch publish — with span
+/// recording enabled must run within 2% of the same run with spans shed
+/// via `TraceBuffer::set_spans_enabled(false)` (every `SpanGuard` inert:
+/// one relaxed load, no clock reads, no ring push). The op-trace ring
+/// stays ON for both sides — it predates the span layer and carries its
+/// own per-op record cost, so toggling it too would attribute that cost
+/// to spans. Each rep opens a fresh engine in a throwaway temp dir with
+/// fsync off so the measured path is pure apply work, not disk flush
+/// latency. Min-of-N on both sides with an absolute jitter floor;
+/// aborts on regression.
+fn span_overhead_gate(reps: usize, seed: u64) -> String {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use tkc_engine::{Engine, EngineConfig, WalOp};
+
+    let reps = reps.max(3);
+    // Deterministic ingest workload: 32 batches of 64 ops over a small
+    // vertex universe, dense enough that the cascade does real triangle
+    // work on every batch.
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5ba2);
+    let batches: Vec<Vec<WalOp>> = (0..32)
+        .map(|_| {
+            (0..64)
+                .map(|_| {
+                    let u = rng.gen_range(0u32..160);
+                    let v = rng.gen_range(0u32..160);
+                    let (u, v) = if u == v { (u, u + 1) } else { (u, v) };
+                    if rng.gen_bool(0.9) {
+                        WalOp::Insert(u, v)
+                    } else {
+                        WalOp::Remove(u, v)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    // Per-batch timings: the reducer below takes the minimum of each
+    // batch position across reps, which rejects scheduler preemptions
+    // and drift far better than whole-run minima — one slow 4ms batch
+    // no longer poisons a 130ms total on a 2% margin.
+    let run_once = |dir: &std::path::Path| -> Vec<Duration> {
+        let config = EngineConfig {
+            fsync: false,
+            // No auto-publish inside the timed loop: an epoch publish
+            // runs a full parallel decomposition whose pool-scheduling
+            // jitter (several ms) would swamp a 2% margin. The spans
+            // under test wrap the apply path itself — WAL append,
+            // fsync split, cascade — which stays on the clock.
+            epoch_ops: 0,
+            ..EngineConfig::new(dir)
+        };
+        let engine = Engine::open(config).expect("span gate: open engine");
+        batches
+            .iter()
+            .map(|batch| {
+                let start = std::time::Instant::now();
+                engine.apply(batch).expect("span gate: apply");
+                start.elapsed()
+            })
+            .collect()
+    };
+    let run_in_temp = |tag: &str, rep: usize, spans: bool| -> Vec<Duration> {
+        // Buffer enabled on BOTH sides (op-trace cost held constant);
+        // only span recording toggles.
+        tkc_obs::TraceBuffer::global().set_enabled(true);
+        tkc_obs::TraceBuffer::global().set_spans_enabled(spans);
+        let dir =
+            std::env::temp_dir().join(format!("tkc_bench_span_{tag}_{}_{rep}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("span gate: create temp dir");
+        let timings = run_once(&dir);
+        let _ = std::fs::remove_dir_all(&dir);
+        timings
+    };
+    let fold_min = |acc: &mut Vec<Duration>, timings: Vec<Duration>| {
+        if acc.is_empty() {
+            *acc = timings;
+        } else {
+            for (slot, t) in acc.iter_mut().zip(timings) {
+                *slot = (*slot).min(t);
+            }
+        }
+    };
+
+    // Interleave the two sides rep-by-rep so slow drift (background
+    // load, thermal throttling on a shared runner) hits both equally
+    // instead of biasing whichever block ran second. The quick-mode
+    // gate reps are raised for the same reason — this gate hard-asserts
+    // on a 2% margin, far tighter than the kernel gate's. One untimed
+    // warmup rep first: the very first engine run after process start
+    // pays one-off page-cache and allocator costs that would otherwise
+    // land entirely on whichever side runs first.
+    let reps = reps.max(8);
+    let _ = run_in_temp("warmup", 0, false);
+    let measure_once = |attempt: usize| -> (Duration, Duration) {
+        let mut off_batches = Vec::new();
+        let mut on_batches = Vec::new();
+        for rep in 0..reps {
+            fold_min(
+                &mut off_batches,
+                run_in_temp("off", attempt * reps + rep, false),
+            );
+            fold_min(
+                &mut on_batches,
+                run_in_temp("on", attempt * reps + rep, true),
+            );
+        }
+        (off_batches.iter().sum(), on_batches.iter().sum())
+    };
+    // A genuine span-cost regression persists across attempts; a
+    // co-tenant burst or frequency-scaling window covering one whole
+    // measurement does not. One re-measure before failing keeps the
+    // tight 2% assert without turning environmental noise into CI red.
+    let (mut off, mut on) = measure_once(0);
+    let over_budget =
+        |on: Duration, off: Duration| on > off + off.mul_f64(0.02).max(Duration::from_micros(300));
+    if over_budget(on, off) {
+        tkc_obs::warn!(
+            "span overhead gate: first attempt over budget (on {} s vs off {} s); re-measuring",
+            fmt_secs(on),
+            fmt_secs(off),
+        );
+        (off, on) = measure_once(1);
+    }
+    // Leave the process-global buffer the way the rest of the bench
+    // expects it: disabled and empty, spans back on.
+    tkc_obs::TraceBuffer::global().set_enabled(false);
+    tkc_obs::TraceBuffer::global().set_spans_enabled(true);
+    tkc_obs::TraceBuffer::global().clear();
+
+    let budget = off.mul_f64(0.02).max(Duration::from_micros(300));
+    assert!(
+        on <= off + budget,
+        "span overhead gate: spans on {on:?} vs spans shed {off:?} \
+         exceeds 2% (+{budget:?} floor) on the engine apply path twice"
+    );
+    tkc_obs::info!(
+        "span overhead: spans on {} s vs spans shed {} s on engine apply (gate: <=2%)",
+        fmt_secs(on),
+        fmt_secs(off),
+    );
+    format!(
+        "  \"span_overhead\": {{\"path\":\"engine_apply\",\"batches\":32,\
+         \"ops_per_batch\":64,\"spans_on_millis\":{:.3},\"spans_off_millis\":{:.3}}},\n",
+        on.as_secs_f64() * 1e3,
+        off.as_secs_f64() * 1e3,
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -344,17 +497,19 @@ fn main() {
     );
 
     let overhead = instrumentation_overhead_gate(&families[0].1, thread_counts, reps);
+    let span_overhead = span_overhead_gate(reps, seed);
 
     let rows: Vec<String> = samples
         .iter()
         .map(|s| format!("    {}", s.to_json()))
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"decompose-snapshot\",\n  \"version\": 3,\n  \
-         \"mode\": \"{}\",\n  \"seed\": {},\n{}  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"decompose-snapshot\",\n  \"version\": 4,\n  \
+         \"mode\": \"{}\",\n  \"seed\": {},\n{}{}  \"results\": [\n{}\n  ]\n}}\n",
         if quick { "quick" } else { "full" },
         seed,
         overhead,
+        span_overhead,
         rows.join(",\n"),
     );
     std::fs::write(&out_path, &json).expect("write BENCH_decompose.json");

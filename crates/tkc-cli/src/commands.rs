@@ -40,7 +40,9 @@ pub const USAGE: &str = "usage:
                 [--recover-backoff-ms N] [--no-fsync]
                 [--failpoint site=kind@trigger[xN],...]
                 [--metrics-addr host:port] [--trace-out file.jsonl]
-                [--trace-cap N]
+                [--trace-cap N] [--slow-op-ms N] [--slo SPEC]
+  tkc obs       report [--trace file.jsonl] [--metrics-url host:port]
+                [--top N]
   tkc chaos     [--seeds N] [--start-seed S] [--dir root]
   tkc analyze   [--root dir] [--policy analyze.toml] [--format text|json]
 
@@ -50,11 +52,16 @@ pub const USAGE: &str = "usage:
 
 serve speaks a line protocol on --addr (default 127.0.0.1:7007):
   KAPPA u v | MAXK | TRUSS k | INSERT u v | REMOVE u v | BATCH n
-  STATS | METRICS | HEALTH | EPOCH | PING | QUIT | SHUTDOWN
+  STATS | METRICS | SLO | TRACE n | HEALTH | EPOCH | PING | QUIT | SHUTDOWN
 
 --metrics-addr additionally serves Prometheus text at GET /metrics;
---trace-out enables the structured op trace (last --trace-cap records,
-default 4096) and writes it as JSONL on shutdown
+--trace-out enables the structured op trace and request spans (last
+--trace-cap records each, default 4096) and writes both as JSONL on
+shutdown; --slow-op-ms logs any request slower than N ms with its full
+span tree; --slo arms per-verb latency objectives (SPEC is
+`VERB=ms[@objective],...`, e.g. `INSERT=5,KAPPA=0.5@0.999`) reported by
+the SLO verb and tkc_slo_* gauges; `tkc obs report` renders a trace
+JSONL and/or a /metrics scrape as a human-readable snapshot
 
 --failpoint arms deterministic fault injection on the WAL (sites
 wal.open|wal.append|wal.fsync|wal.truncate; kinds short|enospc|eio|
@@ -98,6 +105,10 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             "metrics-addr",
             "trace-out",
             "trace-cap",
+            "slow-op-ms",
+            "slo",
+            "trace",
+            "metrics-url",
             "seeds",
             "start-seed",
             "dir",
@@ -121,6 +132,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "store" => store(&p),
         "verify" => verify(&p),
         "serve" => serve(&p),
+        "obs" => obs(&p),
         "chaos" => chaos(&p),
         "analyze" => analyze(&p),
         other => Err(format!("unknown subcommand {other:?}")),
@@ -842,9 +854,22 @@ fn serve(p: &crate::args::Parsed) -> Result<(), String> {
             .map_err(|_| format!("--trace-cap: cannot parse {cap:?}"))?;
         tkc_obs::trace::set_global_capacity(cap);
     }
-    if trace_out.is_some() {
+    // --slow-op-ms needs span recording on even without --trace-out:
+    // the slow-op log renders the completed span tree from the ring.
+    let slow_op_ms: Option<u64> = match p.flag("slow-op-ms") {
+        Some(s) => Some(
+            s.parse()
+                .map_err(|_| format!("--slow-op-ms: cannot parse {s:?}"))?,
+        ),
+        None => None,
+    };
+    if trace_out.is_some() || slow_op_ms.is_some() {
         TraceBuffer::global().set_enabled(true);
     }
+    let slo_targets = match p.flag("slo") {
+        Some(spec) => tkc_obs::slo::parse_slo_spec(spec).map_err(|e| format!("--slo: {e}"))?,
+        None => Vec::new(),
+    };
     let fault_plan = match p.flag("failpoint") {
         Some(spec) => {
             let plan =
@@ -900,6 +925,8 @@ fn serve(p: &crate::args::Parsed) -> Result<(), String> {
             "recover-backoff-ms",
             defaults.recover_backoff.as_millis() as u64,
         )?),
+        slow_op: slow_op_ms.map(std::time::Duration::from_millis),
+        slo: slo_targets,
         ..defaults
     };
     let server = Server::start(engine, addr, opts).map_err(|e| format!("bind {addr}: {e}"))?;
@@ -910,11 +937,60 @@ fn serve(p: &crate::args::Parsed) -> Result<(), String> {
         ms.stop();
     }
     if let Some(path) = trace_out {
-        std::fs::write(&path, TraceBuffer::global().export_jsonl())
+        // Ops and spans interleaved by timestamp — the same stream
+        // `TRACE n` serves live and `tkc obs report` renders offline.
+        std::fs::write(&path, TraceBuffer::global().export_all_jsonl())
             .map_err(|e| format!("{path}: {e}"))?;
-        println!("wrote op trace to {path}");
+        println!("wrote op/span trace to {path}");
     }
     println!("shut down cleanly (state compacted to {dir})");
+    Ok(())
+}
+
+/// `tkc obs report` — renders a trace JSONL file and/or a live
+/// `/metrics` scrape into the human-readable snapshot documented in
+/// [`crate::obs_report`].
+fn obs(p: &crate::args::Parsed) -> Result<(), String> {
+    use std::net::ToSocketAddrs;
+
+    let action = p.positional(1, "obs action (report)")?;
+    if action != "report" {
+        return Err(format!("unknown obs action {action:?} (expected report)"));
+    }
+    let trace = p.flag("trace");
+    let metrics_url = p.flag("metrics-url");
+    if trace.is_none() && metrics_url.is_none() {
+        return Err("obs report needs --trace file.jsonl and/or --metrics-url host:port".into());
+    }
+    let top: usize = p.flag_parse("top", 10usize)?;
+    if let Some(path) = trace {
+        let jsonl = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        println!("== top spans by self-time ({path}) ==");
+        print!("{}", crate::obs_report::render_top_spans(&jsonl, top));
+    }
+    if let Some(url) = metrics_url {
+        // Accept both a bare host:port and the printed
+        // http://host:port/metrics form.
+        let hostport = url
+            .trim_start_matches("http://")
+            .split('/')
+            .next()
+            .unwrap_or_default();
+        let addr = hostport
+            .to_socket_addrs()
+            .map_err(|e| format!("--metrics-url {url}: {e}"))?
+            .next()
+            .ok_or_else(|| format!("--metrics-url {url}: no address"))?;
+        let (status, body) = tkc_obs::http::get(addr, "/metrics")
+            .map_err(|e| format!("--metrics-url {url}: {e}"))?;
+        if status != 200 {
+            return Err(format!("--metrics-url {url}: HTTP {status}"));
+        }
+        println!("== slo status ({hostport}) ==");
+        print!("{}", crate::obs_report::render_slo_status(&body));
+        println!("== latency histograms ==");
+        print!("{}", crate::obs_report::render_histograms(&body));
+    }
     Ok(())
 }
 

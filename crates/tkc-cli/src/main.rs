@@ -22,6 +22,7 @@ use std::process::ExitCode;
 
 mod args;
 mod commands;
+mod obs_report;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();

@@ -303,8 +303,14 @@ pub fn triangle_kcore_decomposition_timed(
     (decomp, timings)
 }
 
-/// Records one run's phase split into the global registry.
+/// Records one run's phase split into the global registry, and — when
+/// span tracing is on — as `freeze`/`supports`/`peel` spans hanging off
+/// the span that triggered the decomposition (e.g. a CLI `decompose`
+/// request or an engine recovery).
 fn record_phase_timings(t: &PhaseTimings) {
+    tkc_obs::span::record_manual("freeze", t.freeze);
+    tkc_obs::span::record_manual("supports", t.supports);
+    tkc_obs::span::record_manual("peel", t.peel);
     let reg = tkc_obs::MetricsRegistry::global();
     const HELP: &str = "Wall-clock time of each Algorithm 1 decompose phase";
     reg.histogram_with(

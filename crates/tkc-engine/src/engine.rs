@@ -34,7 +34,7 @@ use tkc_core::persist::{
 use tkc_faults::{DiskFile, FaultFile, FaultPlan};
 use tkc_graph::csr::edge_supports_csr;
 use tkc_graph::{CsrGraph, Graph, VertexId};
-use tkc_obs::{Counter, Gauge, Histogram, MetricsRegistry, TraceBuffer, TraceRecord};
+use tkc_obs::{Counter, Gauge, Histogram, MetricsRegistry, SpanGuard, TraceBuffer, TraceRecord};
 use tkc_store::{pack_graph, PageCacheConfig, StoreError, StoreReader};
 
 use crate::error::{EngineError, EngineState};
@@ -629,6 +629,10 @@ impl Engine {
         }
         let m = &self.metrics;
         let apply_start = Instant::now();
+        // Inert (one relaxed load) unless span tracing is on; a child of
+        // the serving request's span when one is open on this thread.
+        let mut apply_span = SpanGuard::child("engine.apply");
+        apply_span.attr("ops", ops.len() as u64);
         let mut w = lock_writer(&self.writer);
         // State and validation checks live under the writer lock so a
         // degrading batch and its successor cannot interleave.
@@ -639,6 +643,7 @@ impl Engine {
         }
         self.validate(ops, &w)?;
         let wal_start = Instant::now();
+        let mut wal_span = SpanGuard::child("engine.wal_append");
         let append = match w.wal.append_with(ops) {
             Ok(info) => info,
             Err(e) => {
@@ -646,6 +651,11 @@ impl Engine {
                 return Err(e.into());
             }
         };
+        wal_span.attr("bytes", append.bytes);
+        // The fsync happened inside append_with; back-date it as a child
+        // of the still-open WAL span from its measured duration.
+        tkc_obs::span::record_manual("engine.wal_fsync", append.fsync);
+        drop(wal_span);
         m.wal_append_seconds.record_duration(wal_start.elapsed());
         m.wal_fsync_seconds.record_duration(append.fsync);
         m.wal_appends.inc();
@@ -655,6 +665,7 @@ impl Engine {
         // the clock or builds records.
         let trace = TraceBuffer::global();
         let tracing = trace.enabled();
+        let mut cascade_span = SpanGuard::child("engine.cascade");
         let mut prev = w.core.stats();
         for &op in ops {
             let op_start = if tracing { Some(Instant::now()) } else { None };
@@ -682,6 +693,9 @@ impl Engine {
             prev = cur;
         }
         let stats = w.core.stats();
+        cascade_span.attr("triangles", stats.triangles_added + stats.triangles_removed);
+        cascade_span.attr("levels", stats.promotions + stats.demotions);
+        drop(cascade_span);
         w.core.reset_stats();
         w.cumulative.absorb(stats);
         w.ops_applied += ops.len() as u64;
@@ -848,6 +862,7 @@ impl Engine {
     }
 
     fn publish_locked(&self, w: &mut Writer) {
+        let _publish_span = SpanGuard::child("engine.publish");
         let start = Instant::now();
         let snap = Arc::new(snapshot_of(w, &self.metrics));
         *lock_write(&self.published) = snap;
@@ -1154,6 +1169,7 @@ mod tests {
 
     #[test]
     fn tracing_captures_per_op_records_when_enabled() {
+        let _guard = crate::global_trace_test_guard();
         let dir = temp_dir("trace");
         let engine = Engine::open(manual_config(&dir)).unwrap();
         let trace = TraceBuffer::global();
@@ -1165,6 +1181,59 @@ mod tests {
         assert!(inserts.len() >= 10, "expected >=10 insert records");
         // Closing edges of the growing clique touch triangles.
         assert!(inserts.iter().any(|r| r.triangles > 0));
+        trace.clear();
+    }
+
+    #[test]
+    fn apply_records_a_nested_span_tree() {
+        let _guard = crate::global_trace_test_guard();
+        let dir = temp_dir("spans");
+        let mut config = manual_config(&dir);
+        config.epoch_ops = 10; // force an auto-publish inside the batch
+        let engine = Engine::open(config).unwrap();
+        let trace = TraceBuffer::global();
+        trace.set_enabled(true);
+        let trace_id;
+        {
+            let root = SpanGuard::root("INSERT");
+            trace_id = root.trace_id().unwrap();
+            engine.apply(&clique_ops(0)).unwrap();
+        }
+        trace.set_enabled(false);
+        let spans = trace.spans_for_trace(trace_id);
+        let find = |name: &str| {
+            spans
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("missing span {name}: {spans:?}"))
+        };
+        let root = find("INSERT");
+        let apply = find("engine.apply");
+        let wal = find("engine.wal_append");
+        let fsync = find("engine.wal_fsync");
+        let cascade = find("engine.cascade");
+        let publish = find("engine.publish");
+        assert_eq!(root.parent_id, 0);
+        assert_eq!(apply.parent_id, root.span_id);
+        assert_eq!(wal.parent_id, apply.span_id);
+        assert_eq!(fsync.parent_id, wal.span_id);
+        assert_eq!(cascade.parent_id, apply.span_id);
+        assert_eq!(publish.parent_id, apply.span_id);
+        assert!(apply.attrs.contains(&("ops", 10)));
+        assert!(cascade.attrs.contains(&("triangles", 10)));
+        // Guard-created children nest within the apply span's bounds.
+        for s in [wal, cascade, publish] {
+            assert!(
+                s.start_nanos >= apply.start_nanos,
+                "{} starts early",
+                s.name
+            );
+            assert!(
+                s.start_nanos + s.duration_nanos <= apply.start_nanos + apply.duration_nanos,
+                "{} escapes apply bounds",
+                s.name
+            );
+        }
         trace.clear();
     }
 

@@ -32,6 +32,17 @@ pub mod proto;
 pub mod server;
 pub mod wal;
 
+/// Serializes tests that toggle the process-global `TraceBuffer` (span
+/// and op-trace tests would otherwise shear each other's records when
+/// the test harness runs them on parallel threads).
+#[cfg(test)]
+pub(crate) fn global_trace_test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::OnceLock<std::sync::Mutex<()>> = std::sync::OnceLock::new();
+    LOCK.get_or_init(|| std::sync::Mutex::new(()))
+        .lock() // analyze: allow(lock-order): test-only serialization mutex, never held with product locks
+        .unwrap_or_else(|p| p.into_inner())
+}
+
 pub use engine::{
     ApplyReport, Engine, EngineConfig, EngineMetrics, EpochSnapshot, TrussSummary, STATE_FILE,
     STORE_FILE, WAL_FILE,

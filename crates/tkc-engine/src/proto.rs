@@ -47,6 +47,10 @@ pub enum Command {
     Metrics,
     /// `HEALTH` — engine state (`serving` / `read_only <reason>` / ...).
     Health,
+    /// `SLO` — per-verb latency-objective status lines.
+    Slo,
+    /// `TRACE n` — the last `n` trace/span records as JSONL.
+    Trace(u32),
     /// `PING`.
     Ping,
     /// `QUIT` — close this connection.
@@ -116,6 +120,11 @@ pub fn parse_command(line: &str) -> Option<Result<Command, ParseError>> {
             Some(n) if n <= MAX_BATCH => Ok(Command::Batch(n)),
             _ => Err(ParseError::Usage("BATCH n (n <= 1000000)")),
         },
+        "SLO" => Ok(Command::Slo),
+        "TRACE" => match arg() {
+            Some(n) if n >= 1 => Ok(Command::Trace(n)),
+            _ => Err(ParseError::Usage("TRACE n (n >= 1)")),
+        },
         "EPOCH" => Ok(Command::Epoch),
         "STATS" => Ok(Command::Stats),
         "METRICS" => Ok(Command::Metrics),
@@ -161,6 +170,19 @@ mod tests {
             Command::Batch(1_000_000)
         );
         assert_eq!(parse_command("ping").unwrap().unwrap(), Command::Ping);
+        assert_eq!(parse_command("slo").unwrap().unwrap(), Command::Slo);
+        assert_eq!(
+            parse_command("TRACE 25").unwrap().unwrap(),
+            Command::Trace(25)
+        );
+        assert_eq!(
+            parse_command("trace 0").unwrap().unwrap_err().to_string(),
+            "usage: TRACE n (n >= 1)"
+        );
+        assert_eq!(
+            parse_command("TRACE").unwrap().unwrap_err().to_string(),
+            "usage: TRACE n (n >= 1)"
+        );
         assert!(parse_command("").is_none());
         assert!(parse_command("   \t  ").is_none());
     }

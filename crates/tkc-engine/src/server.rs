@@ -17,6 +17,8 @@
 //! | `EPOCH`        | `OK <epoch>` (forces publication)       | writer |
 //! | `STATS`        | `OK`, `key value` lines, `.`            | counters |
 //! | `METRICS`      | `OK`, Prometheus text lines, `.`        | counters |
+//! | `SLO`          | `OK`, per-verb objective lines, `.`     | SLO tracker |
+//! | `TRACE n`      | `OK`, last `n` trace/span JSONL lines, `.` | trace ring |
 //! | `HEALTH`       | `OK serving` / `OK read_only <reason>`  | state machine |
 //! | `PING`         | `OK pong`                               | — |
 //! | `SHUTDOWN`     | `OK shutting down` (graceful stop)      | — |
@@ -50,6 +52,20 @@
 //! idle or half-open connections (counted in `tkc_conn_timeouts_total`
 //! and logged). Parsing never panics on arbitrary bytes — see
 //! [`crate::proto`].
+//!
+//! ## Request spans, slow-op log, SLOs
+//!
+//! When span tracing is on (`--trace-out` / `--slow-op-ms`), every
+//! request records a span tree: a per-connection `conn` root, a `parse`
+//! child per line, and a per-request span named after the verb whose
+//! children cover the batch-queue wait (`queue.wait`), the engine apply
+//! (`engine.apply` → `engine.wal_append` → `engine.wal_fsync`,
+//! `engine.cascade`, `engine.publish`), and — for queued batches — the
+//! cross-thread `engine.ingest` continuation. A request slower than
+//! [`ServeOptions::slow_op`] logs its completed tree at `warn` level and
+//! bumps `tkc_server_slow_ops_total`. Per-verb latency objectives
+//! ([`ServeOptions::slo`]) feed an [`SloTracker`] whose burn-rate gauges
+//! are on `/metrics` and whose status renders via the `SLO` verb.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -59,7 +75,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use tkc_obs::{Counter, Histogram};
+use tkc_obs::{Counter, Histogram, SloTarget, SloTracker, SpanContext, SpanGuard, TraceBuffer};
 
 use crate::engine::Engine;
 use crate::error::{EngineError, EngineState};
@@ -76,10 +92,25 @@ struct CommandMetrics {
 
 /// The wire verbs that get their own `{cmd=...}` series; anything else
 /// lands in `OTHER`.
-const VERBS: [&str; 13] = [
-    "KAPPA", "MAXK", "TRUSS", "INSERT", "REMOVE", "BATCH", "EPOCH", "STATS", "METRICS", "HEALTH",
-    "PING", "QUIT", "SHUTDOWN",
+const VERBS: [&str; 15] = [
+    "KAPPA", "MAXK", "TRUSS", "INSERT", "REMOVE", "BATCH", "EPOCH", "STATS", "METRICS", "SLO",
+    "TRACE", "HEALTH", "PING", "QUIT", "SHUTDOWN",
 ];
+
+/// The canonical (static) spelling of a raw verb token, for span names
+/// and SLO keys; unknown verbs collapse to `OTHER`.
+fn static_verb(verb: &str) -> &'static str {
+    VERBS
+        .iter()
+        .find(|&&v| v == verb)
+        .copied()
+        .unwrap_or("OTHER")
+}
+
+/// One queued `BATCH` body plus the span context of the request that
+/// queued it, so the ingest thread's spans link back to the client's
+/// trace.
+type QueuedBatch = (Vec<WalOp>, Option<SpanContext>);
 
 /// Per-verb serving metrics plus the shedding/timeout counters, shared by
 /// every connection thread.
@@ -97,10 +128,14 @@ struct ServerMetrics {
     shed_budget: Counter,
     /// Queued batches dropped because apply failed (engine degraded).
     batches_dropped: Counter,
+    /// Requests that tripped the `--slow-op-ms` slow-op log.
+    slow_ops: Counter,
+    /// Per-verb latency objectives (empty unless `--slo` is configured).
+    slo: SloTracker,
 }
 
 impl ServerMetrics {
-    fn register(engine: &Engine) -> ServerMetrics {
+    fn register(engine: &Engine, slo_targets: &[SloTarget]) -> ServerMetrics {
         let reg = engine.registry();
         let family = |cmd: &str| CommandMetrics {
             requests: reg.counter_with(
@@ -136,6 +171,11 @@ impl ServerMetrics {
                 "tkc_server_batches_dropped_total",
                 "Queued batches dropped because apply failed",
             ),
+            slow_ops: reg.counter(
+                "tkc_server_slow_ops_total",
+                "Requests over the --slow-op-ms threshold (span tree logged)",
+            ),
+            slo: SloTracker::new(reg, slo_targets),
         }
     }
 
@@ -182,6 +222,11 @@ pub struct ServeOptions {
     pub recover_backoff: Duration,
     /// Cap on the recovery backoff delay.
     pub recover_backoff_cap: Duration,
+    /// Slow-op log threshold: a request strictly slower than this logs
+    /// its span tree at `warn` level (`None` = disabled).
+    pub slow_op: Option<Duration>,
+    /// Per-verb latency objectives for the SLO tracker (empty = none).
+    pub slo: Vec<SloTarget>,
 }
 
 impl Default for ServeOptions {
@@ -194,6 +239,8 @@ impl Default for ServeOptions {
             request_budget: 0,
             recover_backoff: Duration::from_millis(50),
             recover_backoff_cap: Duration::from_secs(5),
+            slow_op: None,
+            slo: Vec::new(),
         }
     }
 }
@@ -216,8 +263,8 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let (tx, rx) = sync_channel::<Vec<WalOp>>(opts.queue_cap.max(1));
-        let server_metrics = Arc::new(ServerMetrics::register(&engine));
+        let (tx, rx) = sync_channel::<QueuedBatch>(opts.queue_cap.max(1));
+        let server_metrics = Arc::new(ServerMetrics::register(&engine, &opts.slo));
         let ingest_engine = Arc::clone(&engine);
         let dropped = server_metrics.batches_dropped.clone();
         let ingest = std::thread::spawn(move || ingest_loop(ingest_engine, rx, dropped));
@@ -369,10 +416,13 @@ fn nap(stop: &AtomicBool, total: Duration) {
 /// A failing apply (degraded engine) drops that batch — it was only ever
 /// acknowledged as *queued* — and keeps consuming, so the queue never
 /// wedges and ingestion resumes by itself once the engine recovers.
-fn ingest_loop(engine: Arc<Engine>, rx: Receiver<Vec<WalOp>>, dropped: Counter) -> u64 {
+fn ingest_loop(engine: Arc<Engine>, rx: Receiver<QueuedBatch>, dropped: Counter) -> u64 {
     let mut applied = 0u64;
-    while let Ok(batch) = rx.recv() {
+    while let Ok((batch, ctx)) = rx.recv() {
         engine.metrics().batch_queue_depth.add(-1.0);
+        // Continue the enqueuing request's trace on this thread; the
+        // engine's apply spans become children of `engine.ingest`.
+        let _ingest_span = SpanGuard::follow("engine.ingest", ctx);
         match engine.apply(&batch) {
             Ok(_) => {
                 applied += 1;
@@ -448,15 +498,23 @@ fn handle_connection(
     stream: TcpStream,
     engine: &Engine,
     metrics: &ServerMetrics,
-    tx: &SyncSender<Vec<WalOp>>,
+    tx: &SyncSender<QueuedBatch>,
     stop: &AtomicBool,
     opts: &ServeOptions,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(opts.read_timeout))?;
+    // Request/response ping-pong over small writes: without TCP_NODELAY
+    // the Nagle / delayed-ACK interaction stalls replies for tens of
+    // milliseconds at the tail (bench_serve's client-vs-server p99
+    // cross-check catches exactly this).
+    stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut out = stream;
     let mut buf = Vec::new();
     let mut served = 0u64;
+    // Root of this connection's span tree (inert unless tracing is on);
+    // recorded with the connection's total lifetime when it closes.
+    let _conn_span = SpanGuard::root("conn");
     loop {
         if stop.load(Ordering::Relaxed) {
             return Ok(());
@@ -486,7 +544,11 @@ fn handle_connection(
         }
         let text = String::from_utf8_lossy(&buf);
         let line = text.trim();
-        let Some(parsed) = parse_command(line) else {
+        let parsed = {
+            let _parse_span = SpanGuard::child("parse");
+            parse_command(line)
+        };
+        let Some(parsed) = parsed else {
             continue; // blank line
         };
         if opts.request_budget > 0 {
@@ -516,6 +578,10 @@ fn handle_connection(
             .unwrap_or_default();
         let per_cmd = metrics.for_verb(&verb);
         per_cmd.requests.inc();
+        let verb_static = static_verb(&verb);
+        let mut req_span = SpanGuard::child(verb_static);
+        req_span.attr("bytes", line.len() as u64);
+        let trace_id = req_span.trace_id();
         let start = Instant::now();
         let flow = match parsed {
             Ok(cmd) => respond(cmd, engine, metrics, tx, &mut reader, &mut out, opts)?,
@@ -524,7 +590,17 @@ fn handle_connection(
                 Flow::Continue
             }
         };
-        per_cmd.seconds.record_duration(start.elapsed());
+        let elapsed = start.elapsed();
+        // Finish the request span before rendering its tree or recording
+        // latency so the slow-op log sees the complete request.
+        drop(req_span);
+        per_cmd.seconds.record_duration(elapsed);
+        metrics.slo.record(verb_static, elapsed);
+        if let Some(threshold) = opts.slow_op {
+            if tkc_obs::span::maybe_log_slow_op(verb_static, elapsed, threshold, trace_id) {
+                metrics.slow_ops.inc();
+            }
+        }
         match flow {
             Flow::Continue => {}
             Flow::Quit => return Ok(()),
@@ -560,7 +636,7 @@ fn respond(
     cmd: Command,
     engine: &Engine,
     metrics: &ServerMetrics,
-    tx: &SyncSender<Vec<WalOp>>,
+    tx: &SyncSender<QueuedBatch>,
     reader: &mut BufReader<TcpStream>,
     out: &mut TcpStream,
     opts: &ServeOptions,
@@ -628,12 +704,15 @@ fn respond(
             // Bounded queue: blocks when full — backpressure on the
             // client instead of unbounded buffering in the server. The
             // try_send probe only adds accounting; semantics match the
-            // old unconditional blocking send.
-            let sent = match tx.try_send(ops) {
+            // old unconditional blocking send. The request's span context
+            // rides along so the ingest thread links back to this trace.
+            let ctx = tkc_obs::span::current();
+            let sent = match tx.try_send((ops, ctx)) {
                 Ok(()) => Ok(()),
-                Err(TrySendError::Full(ops)) => {
+                Err(TrySendError::Full(batch)) => {
                     em.backpressure_waits.inc();
-                    tx.send(ops).map_err(|_| ())
+                    let _queue_span = SpanGuard::child("queue.wait");
+                    tx.send(batch).map_err(|_| ())
                 }
                 Err(TrySendError::Disconnected(_)) => Err(()),
             };
@@ -657,6 +736,18 @@ fn respond(
         Command::Metrics => {
             count_query();
             write!(out, "OK\n{}.\n", engine.prometheus_text())?;
+        }
+        Command::Slo => {
+            count_query();
+            write!(out, "OK\n{}.\n", metrics.slo.render_lines())?;
+        }
+        Command::Trace(n) => {
+            count_query();
+            write!(
+                out,
+                "OK\n{}.\n",
+                TraceBuffer::global().tail_jsonl(n as usize)
+            )?;
         }
         Command::Health => {
             count_query();
@@ -814,6 +905,55 @@ mod tests {
             std::thread::sleep(Duration::from_millis(10));
         }
         panic!("batch never applied");
+    }
+
+    #[test]
+    fn slo_trace_verbs_and_slow_op_log_end_to_end() {
+        let _guard = crate::global_trace_test_guard();
+        let trace = TraceBuffer::global();
+        trace.clear();
+        trace.set_enabled(true);
+        let opts = ServeOptions {
+            slow_op: Some(Duration::from_nanos(0)),
+            slo: tkc_obs::slo::parse_slo_spec("INSERT=500,KAPPA=500").unwrap(),
+            ..test_opts()
+        };
+        let (server, addr, _engine) = start_with("slo_trace", |_| {}, opts);
+        let mut c = Client::connect(addr);
+        assert_eq!(c.send("INSERT 0 1"), "OK kappa=0");
+        assert_eq!(c.send("SLO"), "OK");
+        let lines = c.read_until_dot();
+        assert!(
+            lines.iter().any(|l| l.starts_with("INSERT target_ms=500")),
+            "{lines:?}"
+        );
+        assert!(lines.iter().any(|l| l.contains("status=OK")), "{lines:?}");
+        assert_eq!(c.send("TRACE 100"), "OK");
+        let jsonl = c.read_until_dot();
+        assert!(
+            jsonl
+                .iter()
+                .any(|l| l.contains("\"kind\":\"span\"") && l.contains("\"name\":\"INSERT\"")),
+            "{jsonl:?}"
+        );
+        assert!(
+            jsonl
+                .iter()
+                .any(|l| l.contains("\"name\":\"engine.apply\"")),
+            "{jsonl:?}"
+        );
+        assert_eq!(c.send("METRICS"), "OK");
+        let text = c.read_until_dot().join("\n");
+        assert!(text.contains("tkc_slo_burn_rate{cmd=\"INSERT\"}"), "{text}");
+        let slow = text
+            .lines()
+            .find_map(|l| l.strip_prefix("tkc_server_slow_ops_total "))
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap();
+        assert!(slow >= 1, "every request is over the 0ns threshold");
+        server.shutdown();
+        trace.set_enabled(false);
+        trace.clear();
     }
 
     #[test]

@@ -250,6 +250,33 @@ fn auxiliary_verbs_answer_on_a_live_server() {
     }
     assert!(saw_removed, "METRICS block lacks tkc_engine_removed_total");
 
+    // SLO: this server has no objectives configured; the verb still
+    // answers with a `.`-terminated block saying exactly that.
+    let read_block = |c: &mut Client| -> Vec<String> {
+        let mut lines = Vec::new();
+        loop {
+            let mut line = String::new();
+            c.reader.read_line(&mut line).unwrap();
+            let t = line.trim_end();
+            if t == "." {
+                return lines;
+            }
+            lines.push(t.to_string());
+        }
+    };
+    assert_eq!(c.send("SLO"), "OK");
+    let slo = read_block(&mut c);
+    assert!(
+        slo.iter().any(|l| l.contains("no slo objectives")),
+        "SLO without objectives -> {slo:?}"
+    );
+
+    // TRACE n: a `.`-terminated JSONL block (empty here — tracing is
+    // off), and n is validated before anything is read.
+    assert_eq!(c.send("TRACE 5"), "OK");
+    read_block(&mut c);
+    assert_eq!(c.send("TRACE 0"), "ERR usage: TRACE n (n >= 1)");
+
     // QUIT closes only this connection; the server keeps serving.
     assert_eq!(c.send("QUIT"), "OK bye");
     let mut c2 = Client::connect(server.local_addr());

@@ -18,6 +18,12 @@
 //!   environment variable (`error`/`warn`/`info`/`debug`/`trace`), so
 //!   server diagnostics are filterable instead of unconditional
 //!   `eprintln!` noise.
+//! - [`span`] — [`SpanGuard`]: request-scoped span trees (trace id +
+//!   span id + parent id, monotonic timestamps, bounded attrs) recorded
+//!   into the same [`TraceBuffer`], plus the `--slow-op-ms` slow-op log
+//!   that prints a completed request's span tree.
+//! - [`slo`] — [`SloTracker`]: per-verb rolling-window latency
+//!   objectives with error-budget burn-rate gauges on `/metrics`.
 //! - [`http`] — a tiny `std`-only HTTP/1.1 responder serving `/metrics`
 //!   for Prometheus scrapes (`tkc serve --metrics-addr`).
 //!
@@ -40,10 +46,14 @@
 pub mod http;
 pub mod logger;
 pub mod registry;
+pub mod slo;
+pub mod span;
 pub mod trace;
 
 pub use logger::Level;
 pub use registry::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use slo::{SloTarget, SloTracker};
+pub use span::{SpanContext, SpanGuard, SpanRecord};
 pub use trace::{TraceBuffer, TraceRecord};
 
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -1,0 +1,315 @@
+//! Per-verb latency SLOs with rolling-window error-budget accounting.
+//!
+//! An [`SloTracker`] holds one objective per wire verb: "`objective`
+//! (e.g. 99%) of the last [`WINDOW`] requests complete within `target`".
+//! Each recorded sample updates three exported series —
+//! `tkc_slo_breaches_total{cmd=}` (every sample over target),
+//! `tkc_slo_violation_ratio{cmd=}` (violating fraction of the window)
+//! and `tkc_slo_burn_rate{cmd=}` (violation ratio divided by the error
+//! budget `1 - objective`; a burn rate above 1.0 means the objective is
+//! being missed) — and the `SLO` wire verb renders the same numbers as
+//! text for operators without a scraper.
+
+use crate::registry::{Counter, Gauge, MetricsRegistry};
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Rolling-window size in samples. Small enough that a breach burns
+/// visibly within seconds of load, large enough that one outlier moves
+/// the ratio by only ~0.2%.
+pub const WINDOW: usize = 512;
+
+/// One verb's latency objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloTarget {
+    /// Wire verb the objective applies to (`"INSERT"`, `"KAPPA"`, ...).
+    pub verb: String,
+    /// Latency target a conforming request must finish within.
+    pub target: Duration,
+    /// Fraction of windowed requests that must conform (0 < objective < 1).
+    pub objective: f64,
+}
+
+/// Parses a `--slo` flag value: comma-separated `VERB=target_ms` items
+/// with an optional `@objective` suffix, e.g.
+/// `INSERT=5,KAPPA=0.5@0.999`. Returns a human-readable error for
+/// malformed specs.
+pub fn parse_slo_spec(spec: &str) -> Result<Vec<SloTarget>, String> {
+    let mut out = Vec::new();
+    for item in spec.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        let (verb, rest) = item
+            .split_once('=')
+            .ok_or_else(|| format!("bad slo item {item:?}: expected VERB=target_ms"))?;
+        let (ms, objective) = match rest.split_once('@') {
+            Some((ms, obj)) => {
+                let o: f64 = obj
+                    .parse()
+                    .map_err(|_| format!("bad slo objective {obj:?} in {item:?}"))?;
+                if !(o > 0.0 && o < 1.0) {
+                    return Err(format!("slo objective {o} out of range (0, 1) in {item:?}"));
+                }
+                (ms, o)
+            }
+            None => (rest, 0.99),
+        };
+        let ms: f64 = ms
+            .parse()
+            .map_err(|_| format!("bad slo target {ms:?} in {item:?}"))?;
+        if ms.is_nan() || ms <= 0.0 {
+            return Err(format!("slo target must be positive in {item:?}"));
+        }
+        out.push(SloTarget {
+            verb: verb.trim().to_ascii_uppercase(),
+            target: Duration::from_secs_f64(ms / 1e3),
+            objective,
+        });
+    }
+    Ok(out)
+}
+
+#[derive(Debug)]
+struct WindowState {
+    /// Last [`WINDOW`] latencies in nanoseconds (ring).
+    ring: Vec<u64>,
+    next: usize,
+    /// Samples in `ring` that exceeded the target.
+    violations: usize,
+}
+
+#[derive(Debug)]
+struct Objective {
+    verb: String,
+    target_nanos: u64,
+    objective: f64,
+    window: Mutex<WindowState>,
+    breaches: Counter,
+    violation_ratio: Gauge,
+    burn_rate: Gauge,
+}
+
+/// A set of per-verb latency objectives with exported burn-rate gauges.
+#[derive(Debug)]
+pub struct SloTracker {
+    objectives: Vec<Objective>,
+}
+
+impl SloTracker {
+    /// Builds a tracker for `targets`, registering its counters and
+    /// gauges in `reg` (one labelled family member per verb).
+    pub fn new(reg: &MetricsRegistry, targets: &[SloTarget]) -> SloTracker {
+        let objectives = targets
+            .iter()
+            .map(|t| Objective {
+                verb: t.verb.clone(),
+                target_nanos: t.target.as_nanos() as u64,
+                objective: t.objective,
+                window: Mutex::new(WindowState {
+                    ring: Vec::with_capacity(WINDOW),
+                    next: 0,
+                    violations: 0,
+                }),
+                breaches: reg.counter_with(
+                    "tkc_slo_breaches_total",
+                    "Requests that exceeded their verb's SLO latency target",
+                    &[("cmd", t.verb.as_str())],
+                ),
+                violation_ratio: reg.gauge_with(
+                    "tkc_slo_violation_ratio",
+                    "Fraction of the rolling window exceeding the SLO target",
+                    &[("cmd", t.verb.as_str())],
+                ),
+                burn_rate: reg.gauge_with(
+                    "tkc_slo_burn_rate",
+                    "SLO error-budget burn rate (violation ratio / (1 - objective); >1 burns budget)",
+                    &[("cmd", t.verb.as_str())],
+                ),
+            })
+            .collect();
+        SloTracker { objectives }
+    }
+
+    /// Whether any objectives are configured.
+    pub fn is_empty(&self) -> bool {
+        self.objectives.is_empty()
+    }
+
+    /// Records one completed request for `verb` (no-op for verbs without
+    /// an objective).
+    pub fn record(&self, verb: &str, elapsed: Duration) {
+        let Some(o) = self.objectives.iter().find(|o| o.verb == verb) else {
+            return;
+        };
+        let nanos = elapsed.as_nanos() as u64;
+        let violating = nanos > o.target_nanos;
+        if violating {
+            o.breaches.inc();
+        }
+        let (ratio, filled) = {
+            let mut w = o.window.lock().unwrap_or_else(|p| p.into_inner());
+            if w.ring.len() < WINDOW {
+                w.ring.push(nanos);
+            } else {
+                let next = w.next;
+                let evicted_violation = w.ring.get(next).is_some_and(|&old| old > o.target_nanos);
+                if evicted_violation {
+                    w.violations = w.violations.saturating_sub(1);
+                }
+                if let Some(old) = w.ring.get_mut(next) {
+                    *old = nanos;
+                }
+            }
+            if violating {
+                w.violations += 1;
+            }
+            w.next = (w.next + 1) % WINDOW;
+            (
+                w.violations as f64 / w.ring.len().max(1) as f64,
+                w.ring.len(),
+            )
+        };
+        let _ = filled;
+        o.violation_ratio.set(ratio);
+        o.burn_rate
+            .set(ratio / (1.0 - o.objective).max(f64::EPSILON));
+    }
+
+    /// Renders one status line per objective (the `SLO` wire verb and
+    /// `tkc obs report`): target, objective, window occupancy,
+    /// violation ratio, burn rate, windowed p99, and OK/BREACH status.
+    pub fn render_lines(&self) -> String {
+        if self.objectives.is_empty() {
+            return String::from("no slo objectives configured\n");
+        }
+        let mut out = String::new();
+        for o in &self.objectives {
+            let (mut samples, violations) = {
+                let w = o.window.lock().unwrap_or_else(|p| p.into_inner());
+                (w.ring.clone(), w.violations)
+            };
+            samples.sort_unstable();
+            let n = samples.len();
+            let p99 = if n == 0 {
+                0.0
+            } else {
+                let idx = (((n - 1) as f64) * 0.99).round() as usize;
+                samples.get(idx.min(n - 1)).copied().unwrap_or(0) as f64 / 1e6
+            };
+            let ratio = violations as f64 / n.max(1) as f64;
+            let burn = ratio / (1.0 - o.objective).max(f64::EPSILON);
+            let _ = writeln!(
+                out,
+                "{} target_ms={:.3} objective={:.4} window={} violations={} violation_ratio={:.4} burn_rate={:.2} p99_ms={:.3} status={}",
+                o.verb,
+                o.target_nanos as f64 / 1e6,
+                o.objective,
+                n,
+                violations,
+                ratio,
+                burn,
+                p99,
+                if burn > 1.0 { "BREACH" } else { "OK" }
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
+
+    use super::*;
+
+    #[test]
+    fn spec_parsing_accepts_targets_and_objectives() {
+        let t = parse_slo_spec("INSERT=5,kappa=0.5@0.999").unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].verb, "INSERT");
+        assert_eq!(t[0].target, Duration::from_millis(5));
+        assert!((t[0].objective - 0.99).abs() < 1e-12);
+        assert_eq!(t[1].verb, "KAPPA");
+        assert_eq!(t[1].target, Duration::from_micros(500));
+        assert!((t[1].objective - 0.999).abs() < 1e-12);
+        assert!(parse_slo_spec("INSERT").is_err());
+        assert!(parse_slo_spec("INSERT=abc").is_err());
+        assert!(parse_slo_spec("INSERT=5@1.5").is_err());
+        assert!(parse_slo_spec("INSERT=0").is_err());
+        assert!(parse_slo_spec("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn burn_rate_tracks_violating_fraction() {
+        let reg = MetricsRegistry::new();
+        let tracker = SloTracker::new(
+            &reg,
+            &[SloTarget {
+                verb: String::from("INSERT"),
+                target: Duration::from_millis(1),
+                objective: 0.9,
+            }],
+        );
+        // 8 conforming + 2 violating samples: ratio 0.2, budget 0.1 → burn 2.0.
+        for _ in 0..8 {
+            tracker.record("INSERT", Duration::from_micros(100));
+        }
+        for _ in 0..2 {
+            tracker.record("INSERT", Duration::from_millis(50));
+        }
+        tracker.record("KAPPA", Duration::from_secs(1)); // no objective: ignored
+        let text = reg.render();
+        assert!(
+            text.contains("tkc_slo_breaches_total{cmd=\"INSERT\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tkc_slo_violation_ratio{cmd=\"INSERT\"} 0.2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tkc_slo_burn_rate{cmd=\"INSERT\"} 2"),
+            "{text}"
+        );
+        let lines = tracker.render_lines();
+        assert!(lines.contains("INSERT target_ms=1.000"), "{lines}");
+        assert!(lines.contains("status=BREACH"), "{lines}");
+        assert!(lines.contains("window=10 violations=2"), "{lines}");
+    }
+
+    #[test]
+    fn window_overwrite_forgets_old_violations() {
+        let reg = MetricsRegistry::new();
+        let tracker = SloTracker::new(
+            &reg,
+            &[SloTarget {
+                verb: String::from("KAPPA"),
+                target: Duration::from_millis(1),
+                objective: 0.99,
+            }],
+        );
+        for _ in 0..WINDOW {
+            tracker.record("KAPPA", Duration::from_millis(10));
+        }
+        for _ in 0..WINDOW {
+            tracker.record("KAPPA", Duration::from_micros(10));
+        }
+        let text = reg.render();
+        assert!(
+            text.contains("tkc_slo_violation_ratio{cmd=\"KAPPA\"} 0\n"),
+            "{text}"
+        );
+        assert!(tracker.render_lines().contains("status=OK"));
+    }
+
+    #[test]
+    fn empty_tracker_renders_placeholder() {
+        let reg = MetricsRegistry::new();
+        let tracker = SloTracker::new(&reg, &[]);
+        assert!(tracker.is_empty());
+        assert_eq!(tracker.render_lines(), "no slo objectives configured\n");
+    }
+}

@@ -8,6 +8,7 @@
 //! offline analysis of the skew the maintenance papers predict: per-op
 //! cost dominated by triangles touched and κ-levels visited.
 
+use crate::span::SpanRecord;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -62,12 +63,21 @@ struct Ring {
     /// Index of the next slot to write; `total` counts lifetime records.
     next: usize,
     total: u64,
+    /// Span records share the buffer (same capacity, same lock) so one
+    /// enable flag and one export path cover both record shapes.
+    spans: Vec<SpanRecord>,
+    span_next: usize,
+    span_total: u64,
 }
 
 /// A fixed-capacity ring of trace records behind an atomic enable flag.
 #[derive(Debug)]
 pub struct TraceBuffer {
     enabled: AtomicBool,
+    /// Sub-flag gating span records only: spans are kept when `enabled
+    /// && spans`. Lets an operator (or the overhead gate) keep the op
+    /// trace while shedding span recording, and vice-versa measurement.
+    spans_enabled: AtomicBool,
     capacity: usize,
     ring: Mutex<Ring>,
 }
@@ -78,11 +88,15 @@ impl TraceBuffer {
         let capacity = capacity.max(1);
         TraceBuffer {
             enabled: AtomicBool::new(false),
+            spans_enabled: AtomicBool::new(true),
             capacity,
             ring: Mutex::new(Ring {
                 slots: Vec::with_capacity(capacity),
                 next: 0,
                 total: 0,
+                spans: Vec::new(),
+                span_next: 0,
+                span_total: 0,
             }),
         }
     }
@@ -105,6 +119,20 @@ impl TraceBuffer {
     /// Turns recording on or off.
     pub fn set_enabled(&self, enabled: bool) {
         self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether span records are currently kept: the buffer must be
+    /// enabled AND spans not shed. Still one relaxed load on the common
+    /// fully-disabled path (`enabled` short-circuits).
+    #[inline]
+    pub fn spans_enabled(&self) -> bool {
+        self.enabled() && self.spans_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns span recording on or off independently of the op trace
+    /// (default on; only consulted while the buffer is enabled).
+    pub fn set_spans_enabled(&self, enabled: bool) {
+        self.spans_enabled.store(enabled, Ordering::Relaxed);
     }
 
     /// Stores a record if enabled (call sites that build records lazily
@@ -162,11 +190,97 @@ impl TraceBuffer {
         out
     }
 
-    /// Clears retained records (the lifetime total is preserved).
+    /// Stores a finished span if enabled (same ring lock and capacity as
+    /// op records; oldest spans are overwritten independently).
+    #[inline]
+    pub fn record_span(&self, span: SpanRecord) {
+        if !self.spans_enabled() {
+            return;
+        }
+        let mut ring = self.ring.lock().unwrap_or_else(|p| p.into_inner());
+        if ring.spans.len() < self.capacity {
+            ring.spans.push(span);
+        } else {
+            let next = ring.span_next;
+            if let Some(slot) = ring.spans.get_mut(next) {
+                *slot = span;
+            }
+        }
+        ring.span_next = (ring.span_next + 1) % self.capacity;
+        ring.span_total += 1;
+    }
+
+    /// Lifetime span count (including overwritten ones).
+    pub fn total_spans_recorded(&self) -> u64 {
+        self.ring
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .span_total
+    }
+
+    /// The retained spans, oldest first.
+    pub fn drain_spans(&self) -> Vec<SpanRecord> {
+        let ring = self.ring.lock().unwrap_or_else(|p| p.into_inner());
+        if ring.spans.len() < self.capacity {
+            ring.spans.clone()
+        } else {
+            let mut out = Vec::with_capacity(self.capacity);
+            let (newest, oldest) = ring.spans.split_at(ring.span_next.min(ring.spans.len()));
+            out.extend_from_slice(oldest);
+            out.extend_from_slice(newest);
+            out
+        }
+    }
+
+    /// The retained spans belonging to one trace, oldest first (used by
+    /// the slow-op log to reconstruct a request's tree).
+    pub fn spans_for_trace(&self, trace_id: u64) -> Vec<SpanRecord> {
+        self.drain_spans()
+            .into_iter()
+            .filter(|s| s.trace_id == trace_id)
+            .collect()
+    }
+
+    /// Renders retained op records *and* spans as JSONL, merged oldest
+    /// first by wall-clock timestamp (ops before spans on ties).
+    pub fn export_all_jsonl(&self) -> String {
+        let mut lines: Vec<(u64, String)> = Vec::new();
+        for r in self.drain_ordered() {
+            lines.push((r.at_unix_ms, r.to_json()));
+        }
+        for s in self.drain_spans() {
+            lines.push((s.at_unix_ms, s.to_json()));
+        }
+        lines.sort_by_key(|(at, _)| *at);
+        let mut out = String::with_capacity(lines.len() * 160);
+        for (_, l) in lines {
+            out.push_str(&l);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The last `n` lines of [`TraceBuffer::export_all_jsonl`] (the
+    /// `TRACE <n>` wire verb).
+    pub fn tail_jsonl(&self, n: usize) -> String {
+        let all = self.export_all_jsonl();
+        let lines: Vec<&str> = all.lines().collect();
+        let skip = lines.len().saturating_sub(n);
+        let mut out = String::new();
+        for l in lines.iter().skip(skip) {
+            out.push_str(l);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Clears retained records and spans (lifetime totals are preserved).
     pub fn clear(&self) {
         let mut ring = self.ring.lock().unwrap_or_else(|p| p.into_inner());
         ring.slots.clear();
         ring.next = 0;
+        ring.spans.clear();
+        ring.span_next = 0;
     }
 }
 
@@ -242,6 +356,58 @@ mod tests {
         }
         assert_eq!(buf.total_recorded(), 400);
         assert_eq!(buf.drain_ordered().len(), 64);
+    }
+
+    fn span(i: u64) -> SpanRecord {
+        SpanRecord {
+            at_unix_ms: i,
+            trace_id: 1,
+            span_id: i,
+            parent_id: 0,
+            name: "conn",
+            start_nanos: i * 100,
+            duration_nanos: 10,
+            attrs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn span_ring_wraps_independently_of_op_ring() {
+        let buf = TraceBuffer::new(4);
+        buf.set_enabled(true);
+        buf.record(rec(1));
+        for i in 0..6 {
+            buf.record_span(span(i));
+        }
+        assert_eq!(buf.total_recorded(), 1);
+        assert_eq!(buf.total_spans_recorded(), 6);
+        let spans = buf.drain_spans();
+        assert_eq!(spans.len(), 4);
+        let ids: Vec<u64> = spans.iter().map(|s| s.span_id).collect();
+        assert_eq!(ids, vec![2, 3, 4, 5], "oldest-first, newest retained");
+        assert_eq!(buf.spans_for_trace(1).len(), 4);
+        assert!(buf.spans_for_trace(99).is_empty());
+    }
+
+    #[test]
+    fn merged_export_and_tail_interleave_by_timestamp() {
+        let buf = TraceBuffer::new(8);
+        buf.set_enabled(true);
+        buf.record(rec(5));
+        buf.record_span(span(2));
+        buf.record_span(span(9));
+        let all = buf.export_all_jsonl();
+        let lines: Vec<&str> = all.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"kind\":\"span\"") && lines[0].contains("\"at_unix_ms\":2"));
+        assert!(lines[1].contains("\"kind\":\"insert\""));
+        assert!(lines[2].contains("\"at_unix_ms\":9"));
+        let tail = buf.tail_jsonl(2);
+        assert_eq!(tail.lines().count(), 2);
+        assert!(tail.starts_with("{\"at_unix_ms\":5"));
+        buf.clear();
+        assert!(buf.drain_spans().is_empty());
+        assert_eq!(buf.total_spans_recorded(), 2);
     }
 
     #[test]

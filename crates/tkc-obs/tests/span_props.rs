@@ -1,0 +1,122 @@
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
+
+//! Property coverage for the span layer (ISSUE 9 satellite): id
+//! encoding round-trips on arbitrary 64-bit values, and randomly shaped
+//! guard trees always produce records whose parent links resolve within
+//! the same trace and whose time intervals nest inside their parents.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use proptest::prelude::*;
+use tkc_obs::span::{encode_id, parse_id};
+use tkc_obs::{SpanGuard, TraceBuffer};
+
+/// Serializes tests touching the process-global `TraceBuffer` (the test
+/// harness runs `#[test]` fns on parallel threads).
+fn global_guard() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+}
+
+#[test]
+fn parse_rejects_non_canonical_encodings() {
+    assert_eq!(parse_id(""), None);
+    assert_eq!(parse_id("0"), None); // too short
+    assert_eq!(parse_id("00000000000000001"), None); // too long
+    assert_eq!(parse_id("000000000000000G"), None); // non-hex
+    assert_eq!(parse_id("000000000000000A"), None); // uppercase
+    assert_eq!(parse_id(" 000000000000001"), None); // whitespace
+    assert_eq!(parse_id("0000000000000001"), Some(1));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `encode_id` always yields exactly 16 lowercase hex digits and
+    /// `parse_id` inverts it bit-exactly, over the full u64 range.
+    #[test]
+    fn ids_round_trip(id in any::<u64>()) {
+        let text = encode_id(id);
+        prop_assert_eq!(text.len(), 16);
+        prop_assert!(text
+            .chars()
+            .all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+        prop_assert_eq!(parse_id(&text), Some(id));
+    }
+
+    /// Random open/close/leaf sequences through the guard API: every
+    /// recorded non-root span's parent must exist in the same trace,
+    /// span ids are unique, and each child's `[start, start+duration]`
+    /// interval lies inside its parent's.
+    #[test]
+    fn guard_trees_link_and_nest(shape in collection::vec(0u8..3, 1..24)) {
+        let _serial = global_guard();
+        let buf = TraceBuffer::global();
+        buf.set_enabled(true);
+        let _ = buf.drain_spans();
+
+        // Fixed names per depth: the API takes `&'static str` on
+        // purpose (no per-request allocation on the hot path).
+        const NAMES: [&str; 8] = ["d1", "d2", "d3", "d4", "d5", "d6", "d7", "d8"];
+        let root = SpanGuard::root("root");
+        let trace_id = root.trace_id().unwrap();
+        let mut stack = vec![root];
+        for &op in &shape {
+            match op {
+                0 if stack.len() < NAMES.len() => {
+                    stack.push(SpanGuard::child(NAMES[stack.len() - 1]));
+                }
+                1 if stack.len() > 1 => {
+                    stack.pop();
+                }
+                _ => drop(SpanGuard::child("leaf")),
+            }
+        }
+        // Close innermost-first, the only order guard nesting allows.
+        while let Some(guard) = stack.pop() {
+            drop(guard);
+        }
+
+        buf.set_enabled(false);
+        let spans: Vec<_> = buf
+            .drain_spans()
+            .into_iter()
+            .filter(|s| s.trace_id == trace_id)
+            .collect();
+        prop_assert!(!spans.is_empty());
+
+        let by_id: BTreeMap<u64, _> = spans.iter().map(|s| (s.span_id, s)).collect();
+        prop_assert_eq!(by_id.len(), spans.len(), "span ids must be unique");
+        let roots: Vec<_> = spans.iter().filter(|s| s.parent_id == 0).collect();
+        prop_assert_eq!(roots.len(), 1);
+        prop_assert_eq!(roots[0].name, "root");
+        for s in &spans {
+            if s.parent_id == 0 {
+                continue;
+            }
+            let parent = by_id.get(&s.parent_id);
+            prop_assert!(
+                parent.is_some(),
+                "span {} has dangling parent {}",
+                s.name,
+                s.parent_id
+            );
+            let parent = parent.unwrap();
+            prop_assert!(s.start_nanos >= parent.start_nanos);
+            prop_assert!(
+                s.start_nanos + s.duration_nanos
+                    <= parent.start_nanos + parent.duration_nanos,
+                "span {} [{} +{}] escapes parent {} [{} +{}]",
+                s.name,
+                s.start_nanos,
+                s.duration_nanos,
+                parent.name,
+                parent.start_nanos,
+                parent.duration_nanos
+            );
+        }
+    }
+}

@@ -400,33 +400,78 @@ def main():
 
         assert os.path.exists(os.path.join(state_dir, "state.tkc")), \
             "graceful shutdown must leave a compacted state file"
+        # The restarted server also carries the request-span surface:
+        # --slow-op-ms 0 logs every request (elapsed > threshold) with
+        # its completed span tree, and --slo arms per-verb objectives
+        # behind the SLO verb and the tkc_slo_* gauges.
         proc2 = subprocess.Popen(
-            [binary, "serve", state_dir, "--addr", "127.0.0.1:0", "--no-fsync"],
+            [binary, "serve", state_dir, "--addr", "127.0.0.1:0", "--no-fsync",
+             "--metrics-addr", "127.0.0.1:0",
+             "--slow-op-ms", "0", "--slo", "INSERT=50,KAPPA=50"],
             stdout=subprocess.PIPE,
             stderr=subprocess.STDOUT,
             text=True,
         )
         try:
             addr = None
+            metrics_url = None
             for line in proc2.stdout:
                 print("[restart]", line.rstrip())
+                if line.startswith("metrics listening on "):
+                    metrics_url = line.split()[-1]
                 if line.startswith("tkc-engine listening on "):
                     host, _, port = line.split()[-1].rpartition(":")
                     addr = (host, int(port))
                     break
             assert addr, "restarted server never printed its address"
+            assert metrics_url, "restarted server never printed its metrics address"
             sock, reader = connect(addr)
             assert send(sock, reader, "KAPPA 0 1") == "OK 3"
             assert send(sock, reader, "MAXK") == "OK 3"
+
+            def read_block():
+                lines = []
+                while True:
+                    line = reader.readline().rstrip("\n")
+                    if line == ".":
+                        return lines
+                    lines.append(line)
+
+            # SLO: the configured objectives answer with status lines.
+            assert send(sock, reader, "SLO") == "OK"
+            slo_lines = read_block()
+            assert any(l.startswith("KAPPA ") and "status=" in l
+                       for l in slo_lines), slo_lines
+            assert any(l.startswith("INSERT ") for l in slo_lines), slo_lines
+
+            # TRACE: span records for the requests just served, as JSONL.
+            assert send(sock, reader, "TRACE 50") == "OK"
+            trace_lines = read_block()
+            assert any('"kind":"span"' in l for l in trace_lines), trace_lines
+            assert any('"name":"KAPPA"' in l for l in trace_lines), trace_lines
+
+            series = scrape(metrics_url)
+            assert 'tkc_slo_burn_rate{cmd="KAPPA"}' in series, sorted(series)
+            assert series["tkc_server_slow_ops_total"] >= 2.0, series
+
             assert send(sock, reader, "SHUTDOWN") == "OK shutting down"
             sock.close()
+            rest = proc2.stdout.read()
+            if rest:
+                print("[restart]", rest.rstrip())
             assert proc2.wait(timeout=30) == 0
+            # With the threshold at 0 ms every request is "slow": the
+            # slow-op log must have fired with a rendered span tree
+            # (the parse child span shows up inside the tree).
+            assert "slow op KAPPA" in rest, "slow-op log never fired"
+            assert "parse" in rest, "slow-op log lacks the span tree"
         finally:
             if proc2.poll() is None:
                 proc2.kill()
                 proc2.wait()
     print("serve smoke OK: 4 concurrent clients, graceful shutdown, "
-          "state compacted and recovered on restart")
+          "state compacted and recovered on restart, slow-op log + "
+          "SLO/TRACE verbs live")
     degraded_scenario(binary)
 
 
