@@ -202,6 +202,256 @@ fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
 }
 
+/// Boots one `tkc serve` process for the replication phase and returns
+/// the child, its client address, the replication listen address (when
+/// started with `--repl-addr`), and the stdout drain thread.
+fn boot_repl_node(
+    bin: &str,
+    state_dir: &std::path::Path,
+    tag: &'static str,
+    extra: &[&str],
+) -> (
+    std::process::Child,
+    SocketAddr,
+    Option<String>,
+    std::thread::JoinHandle<()>,
+) {
+    let mut proc = std::process::Command::new(bin)
+        .arg("serve")
+        .arg(state_dir)
+        .args(["--addr", "127.0.0.1:0", "--no-fsync"])
+        .args(extra)
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap_or_else(|e| panic!("spawn {bin}: {e}"));
+    let stdout = proc.stdout.take().expect("child stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let mut addr: Option<SocketAddr> = None;
+    let mut repl_addr: Option<String> = None;
+    for line in lines.by_ref() {
+        let line = line.expect("server stdout");
+        println!("[{tag}] {line}");
+        if let Some(rest) = line.strip_prefix("replication listening on ") {
+            repl_addr = Some(rest.trim().to_string());
+        }
+        if let Some(rest) = line.strip_prefix("tkc-engine listening on ") {
+            addr = Some(rest.trim().parse().expect("serve addr"));
+            break;
+        }
+    }
+    let drain = std::thread::spawn(move || {
+        for line in lines.by_ref().map_while(Result::ok) {
+            println!("[{tag}] {line}");
+        }
+    });
+    (
+        proc,
+        addr.unwrap_or_else(|| panic!("{tag} never printed its address")),
+        repl_addr,
+        drain,
+    )
+}
+
+/// The replication phase: a primary/follower pair on loopback. Measures
+/// (a) write-to-follower-visibility lag — one fresh edge per sample is
+/// inserted at the primary and the follower is polled until `KAPPA`
+/// sees it — and (b) follower-read service latency under the same
+/// open-loop discipline as the standalone phase. Returns the
+/// `"replication"` JSON fragment for `BENCH_serve.json`.
+fn replication_phase(bin: &str, quick: bool, seed: u64) -> String {
+    let (preload_edges, lag_samples, read_conns, reads_per_conn, read_rate) = if quick {
+        (200u32, 40usize, 2usize, 400usize, 400.0f64)
+    } else {
+        (1000, 200, 4, 1200, 500.0)
+    };
+    let vertices: u32 = if quick { 120 } else { 600 };
+
+    let root = std::env::temp_dir().join(format!("tkc_bench_repl_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("create repl bench dirs");
+    let (mut p_proc, p_addr, p_repl, p_drain) = boot_repl_node(
+        bin,
+        &root.join("primary"),
+        "primary",
+        &["--repl-addr", "127.0.0.1:0"],
+    );
+    let p_repl = p_repl.expect("primary never printed its replication address");
+    let (mut f_proc, f_addr, _, f_drain) = boot_repl_node(
+        bin,
+        &root.join("follower"),
+        "follower",
+        &["--follow", &p_repl],
+    );
+
+    // Preload through the primary, then wait for the follower to drain.
+    let mut primary = Client::connect(p_addr);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5e17);
+    let mut batch = format!("BATCH {preload_edges}\n");
+    for _ in 0..preload_edges {
+        let u = rng.gen_range(0u32..vertices);
+        let v = (u + 1 + rng.gen_range(0u32..vertices - 1)) % vertices;
+        batch.push_str(&format!("+ {u} {v}\n"));
+    }
+    primary.stream.write_all(batch.as_bytes()).expect("preload");
+    let mut line = String::new();
+    primary.reader.read_line(&mut line).expect("preload reply");
+    assert!(line.starts_with("OK queued"), "preload -> {line}");
+    assert!(primary.send("EPOCH").starts_with("OK"));
+    let mut follower = Client::connect(f_addr);
+    let drained = |c: &mut Client| {
+        let stats = c.send_block("STATS");
+        let get = |key: &str| {
+            stats
+                .iter()
+                .find_map(|l| l.strip_prefix(key).map(|v| v.trim().to_string()))
+                .unwrap_or_default()
+        };
+        get("repl_lag_seq ") == "0" && get("repl_ops_applied ") != "0"
+    };
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !drained(&mut follower) {
+        assert!(
+            Instant::now() < deadline,
+            "follower preload lag never drained"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let redirected = follower.send("INSERT 0 1");
+    assert!(
+        redirected.starts_with("ERR READONLY"),
+        "follower accepted a write: {redirected}"
+    );
+
+    // (a) Replication lag: each sample inserts one edge between fresh
+    // vertices at the primary and polls the follower's applied-seq
+    // watermark (`STATS seq`) until it covers the write — wall time
+    // from the primary's OK to the op being applied on the follower.
+    // Reads are epochal on both roles (publish every `epoch_ops`), so
+    // the watermark, not `KAPPA` visibility, is the replication lag.
+    let follower_seq = |c: &mut Client| -> u64 {
+        c.send_block("STATS")
+            .iter()
+            .find_map(|l| l.strip_prefix("seq ").and_then(|v| v.trim().parse().ok()))
+            .expect("STATS without a seq watermark")
+    };
+    let mut lags: Vec<Duration> = Vec::with_capacity(lag_samples);
+    for i in 0..lag_samples as u32 {
+        let (u, v) = (vertices + 2 * i, vertices + 2 * i + 1);
+        let target = u64::from(preload_edges + i + 1);
+        let reply = primary.send(&format!("INSERT {u} {v}"));
+        assert!(reply.starts_with("OK"), "INSERT {u} {v} -> {reply}");
+        let sent = Instant::now();
+        while follower_seq(&mut follower) < target {
+            assert!(
+                sent.elapsed() < Duration::from_secs(30),
+                "seq {target} never reached the follower"
+            );
+        }
+        lags.push(sent.elapsed());
+    }
+    lags.sort_unstable();
+    // Epochal read-your-write: once the watermark covers the writes, a
+    // forced publish makes the freshest edge readable on the follower.
+    assert!(follower.send("EPOCH").starts_with("OK"));
+    let last = vertices + 2 * (lag_samples as u32 - 1);
+    let reply = follower.send(&format!("KAPPA {last} {}", last + 1));
+    assert!(reply.starts_with("OK"), "follower read-your-write: {reply}");
+
+    // (b) Follower reads under open-loop load (reads only: the follower
+    // redirects writes, so the mix is the read verbs re-weighted).
+    let read_start = Instant::now();
+    let handles: Vec<_> = (0..read_conns)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(seed ^ 0xf0 ^ (i as u64) << 8);
+                let mut client = Client::connect(f_addr);
+                let period = Duration::from_secs_f64(1.0 / read_rate);
+                let mut samples: Vec<(Duration, Duration)> = Vec::with_capacity(reads_per_conn);
+                let start = Instant::now();
+                for k in 0..reads_per_conn {
+                    let scheduled = start + period.mul_f64(k as f64);
+                    if let Some(wait) = scheduled.checked_duration_since(Instant::now()) {
+                        std::thread::sleep(wait);
+                    }
+                    let u = rng.gen_range(0u32..vertices);
+                    let v = (u + 1 + rng.gen_range(0u32..vertices - 1)) % vertices;
+                    let cmd = match k % 4 {
+                        0 => "MAXK".to_string(),
+                        1 => format!("TRUSS {}", rng.gen_range(1u32..4)),
+                        _ => format!("KAPPA {u} {v}"),
+                    };
+                    let sent = Instant::now();
+                    let reply = client.send(&cmd);
+                    let done = Instant::now();
+                    assert!(
+                        reply.starts_with("OK") || reply == "ERR no such edge",
+                        "{cmd} -> {reply}"
+                    );
+                    samples.push((done - scheduled, done - sent));
+                }
+                client.send("QUIT");
+                samples
+            })
+        })
+        .collect();
+    let mut sched: Vec<Duration> = Vec::new();
+    let mut rtt: Vec<Duration> = Vec::new();
+    for h in handles {
+        for (s, r) in h.join().expect("follower read connection panicked") {
+            sched.push(s);
+            rtt.push(r);
+        }
+    }
+    let read_elapsed = read_start.elapsed();
+    sched.sort_unstable();
+    rtt.sort_unstable();
+
+    tkc_obs::info!(
+        "  replication: lag p50/p90/p99 {:.3}/{:.3}/{:.3} ms over {} writes; \
+         follower reads {} reqs p50/p90/p99 {:.3}/{:.3}/{:.3} ms (rtt p99 {:.3} ms)",
+        ms(quantile(&lags, 0.5)),
+        ms(quantile(&lags, 0.9)),
+        ms(quantile(&lags, 0.99)),
+        lags.len(),
+        rtt.len(),
+        ms(quantile(&sched, 0.5)),
+        ms(quantile(&sched, 0.9)),
+        ms(quantile(&sched, 0.99)),
+        ms(quantile(&rtt, 0.99)),
+    );
+
+    assert_eq!(follower.send("SHUTDOWN"), "OK shutting down");
+    assert!(f_proc.wait().expect("follower wait").success());
+    f_drain.join().expect("follower drain");
+    assert_eq!(primary.send("SHUTDOWN"), "OK shutting down");
+    assert!(p_proc.wait().expect("primary wait").success());
+    p_drain.join().expect("primary drain");
+    let _ = std::fs::remove_dir_all(&root);
+
+    format!(
+        concat!(
+            "  \"replication\": {{\n",
+            "    \"lag\": {{\"samples\":{},\"p50_ms\":{:.3},\"p90_ms\":{:.3},\"p99_ms\":{:.3}}},\n",
+            "    \"follower_read\": {{\"count\":{},\"open_loop_rate_per_conn\":{:.0},",
+            "\"load_millis\":{:.1},\"p50_ms\":{:.3},\"p90_ms\":{:.3},\"p99_ms\":{:.3},",
+            "\"rtt_p50_ms\":{:.3},\"rtt_p99_ms\":{:.3}}}\n",
+            "  }}"
+        ),
+        lags.len(),
+        ms(quantile(&lags, 0.5)),
+        ms(quantile(&lags, 0.9)),
+        ms(quantile(&lags, 0.99)),
+        rtt.len(),
+        read_rate,
+        ms(read_elapsed),
+        ms(quantile(&sched, 0.5)),
+        ms(quantile(&sched, 0.9)),
+        ms(quantile(&sched, 0.99)),
+        ms(quantile(&rtt, 0.5)),
+        ms(quantile(&rtt, 0.99)),
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let flag = |name: &str| -> Option<String> {
@@ -407,11 +657,14 @@ fn main() {
     assert!(trace_bytes > 0, "server wrote no trace to {trace_out}");
     let _ = std::fs::remove_dir_all(&state_dir);
 
+    // Replication phase: primary/follower lag + follower-read latency.
+    let replication = replication_phase(&bin, quick, seed);
+
     let json = format!(
-        "{{\n  \"bench\": \"serve\",\n  \"version\": 1,\n  \"mode\": \"{}\",\n  \
+        "{{\n  \"bench\": \"serve\",\n  \"version\": 2,\n  \"mode\": \"{}\",\n  \
          \"seed\": {},\n  \"connections\": {},\n  \"requests\": {},\n  \
          \"open_loop_rate_per_conn\": {:.0},\n  \"load_millis\": {:.1},\n  \
-         \"results\": [\n{}\n  ]\n}}\n",
+         \"results\": [\n{}\n  ],\n{}\n}}\n",
         if quick { "quick" } else { "full" },
         seed,
         conns,
@@ -419,6 +672,7 @@ fn main() {
         rate,
         ms(load_elapsed),
         rows.join(",\n"),
+        replication,
     );
     std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
     println!(

@@ -39,11 +39,12 @@ pub const USAGE: &str = "usage:
                 [--max-line-bytes N] [--request-budget N]
                 [--recover-backoff-ms N] [--no-fsync]
                 [--failpoint site=kind@trigger[xN],...]
+                [--repl-addr host:port | --follow host:port]
                 [--metrics-addr host:port] [--trace-out file.jsonl]
                 [--trace-cap N] [--slow-op-ms N] [--slo SPEC]
   tkc obs       report [--trace file.jsonl] [--metrics-url host:port]
                 [--top N]
-  tkc chaos     [--seeds N] [--start-seed S] [--dir root]
+  tkc chaos     [--seeds N] [--start-seed S] [--dir root] [--repl]
   tkc analyze   [--root dir] [--policy analyze.toml] [--format text|json]
 
 (--threads 0 = all cores; the support stage of Algorithm 1 runs on the
@@ -52,7 +53,8 @@ pub const USAGE: &str = "usage:
 
 serve speaks a line protocol on --addr (default 127.0.0.1:7007):
   KAPPA u v | MAXK | TRUSS k | INSERT u v | REMOVE u v | BATCH n
-  STATS | METRICS | SLO | TRACE n | HEALTH | EPOCH | PING | QUIT | SHUTDOWN
+  STATS | METRICS | SLO | TRACE n | HEALTH | PROMOTE | EPOCH | PING
+  QUIT | SHUTDOWN
 
 --metrics-addr additionally serves Prometheus text at GET /metrics;
 --trace-out enables the structured op trace and request spans (last
@@ -63,15 +65,24 @@ span tree; --slo arms per-verb latency objectives (SPEC is
 the SLO verb and tkc_slo_* gauges; `tkc obs report` renders a trace
 JSONL and/or a /metrics scrape as a human-readable snapshot
 
---failpoint arms deterministic fault injection on the WAL (sites
-wal.open|wal.append|wal.fsync|wal.truncate; kinds short|enospc|eio|
-bitflip|crash), e.g. wal.append=enospc@100 — a failed append degrades
-the server to read-only serving (writes answer ERR DEGRADED) until the
+--failpoint arms deterministic fault injection on the WAL and the
+replication link (sites wal.open|wal.append|wal.fsync|wal.truncate|
+repl.connect|repl.send|repl.recv; kinds short|enospc|eio|bitflip|crash|
+stall), e.g. wal.append=enospc@100 — a failed append degrades the
+server to read-only serving (writes answer ERR DEGRADED) until the
 recovery supervisor brings it back; HEALTH and /metrics expose the state
+
+--repl-addr starts WAL-shipping replication: followers started with
+--follow <that addr> stream the primary's log, serve reads, and answer
+writes with ERR READONLY <primary>; PROMOTE on a follower fences the
+old primary and makes the follower writable at a higher term
 
 chaos replays seeded fault schedules (graph, ops, and failures all
 derived from the seed) through a real engine and fails on any panic,
-κ divergence from recompute, or durability loss across reopen";
+κ divergence from recompute, or durability loss across reopen; with
+--repl it runs primary/follower pairs under link faults and node
+kill/restarts instead, requiring follower κ ≡ primary κ ≡ recompute
+after every convergence";
 
 /// Dispatches a full argv (without the program name).
 pub fn run(argv: &[String]) -> Result<(), String> {
@@ -102,6 +113,8 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             "request-budget",
             "recover-backoff-ms",
             "failpoint",
+            "repl-addr",
+            "follow",
             "metrics-addr",
             "trace-out",
             "trace-cap",
@@ -879,11 +892,14 @@ fn serve(p: &crate::args::Parsed) -> Result<(), String> {
         }
         None => None,
     };
+    if p.flag("repl-addr").is_some() && p.flag("follow").is_some() {
+        return Err("--repl-addr and --follow are mutually exclusive".into());
+    }
     let config = EngineConfig {
         fsync: !p.switch("no-fsync"),
         epoch_ops: p.flag_parse("epoch-ops", 256usize)?,
         compact_bytes: p.flag_parse("compact-bytes", 4u64 << 20)?,
-        fault_plan,
+        fault_plan: fault_plan.clone(),
         ..EngineConfig::new(dir)
     };
     let engine = std::sync::Arc::new(Engine::open(config).map_err(|e| format!("{dir}: {e}"))?);
@@ -929,10 +945,34 @@ fn serve(p: &crate::args::Parsed) -> Result<(), String> {
         slo: slo_targets,
         ..defaults
     };
-    let server = Server::start(engine, addr, opts).map_err(|e| format!("bind {addr}: {e}"))?;
+    // Replication attaches before the client listener accepts traffic,
+    // so a follower is already read-only by its first request.
+    let repl_server = if p.flag("repl-addr").is_some() || p.flag("follow").is_some() {
+        let ropts = tkc_engine::ReplOptions {
+            repl_addr: p.flag("repl-addr").map(str::to_string),
+            follow: p.flag("follow").map(str::to_string),
+            fault_plan,
+            ..Default::default()
+        };
+        let rs = tkc_engine::start_replication(&engine, ropts)
+            .map_err(|e| format!("replication: {e}"))?;
+        match (rs.repl_addr(), p.flag("follow")) {
+            (Some(a), _) => println!("replication listening on {a}"),
+            (None, Some(up)) => println!("following {up} (read-only; writes go to the primary)"),
+            (None, None) => {}
+        }
+        Some(rs)
+    } else {
+        None
+    };
+    let server = Server::start(std::sync::Arc::clone(&engine), addr, opts)
+        .map_err(|e| format!("bind {addr}: {e}"))?;
     println!("tkc-engine listening on {}", server.local_addr());
     // Blocks until a client sends SHUTDOWN; the engine compacts on exit.
     server.join();
+    if let Some(rs) = repl_server {
+        rs.shutdown();
+    }
     if let Some(ms) = metrics_server {
         ms.stop();
     }
@@ -995,14 +1035,41 @@ fn obs(p: &crate::args::Parsed) -> Result<(), String> {
 }
 
 fn chaos(p: &crate::args::Parsed) -> Result<(), String> {
-    use tkc_engine::chaos::run_seed_range;
+    use tkc_engine::chaos::{run_repl_seed_range, run_seed_range};
 
-    let seeds: u64 = p.flag_parse("seeds", 216u64)?;
+    let repl = p.switch("repl");
+    let seeds: u64 = p.flag_parse("seeds", if repl { 72u64 } else { 216u64 })?;
     let start: u64 = p.flag_parse("start-seed", 0u64)?;
     let root = match p.flag("dir") {
         Some(d) => std::path::PathBuf::from(d),
         None => std::env::temp_dir().join("tkc_chaos_cli"),
     };
+    if repl {
+        println!(
+            "repl chaos: {seeds} seeded primary/follower schedules (seeds {start}..{}) under {}",
+            start + seeds,
+            root.display()
+        );
+        let started = std::time::Instant::now();
+        return match run_repl_seed_range(&root, start, seeds) {
+            Ok(total) => {
+                println!(
+                    "repl chaos OK in {:?}: {} batches acked, {} convergence checkpoints, \
+                     {} node restarts, {} link faults injected",
+                    started.elapsed(),
+                    total.batches_acked,
+                    total.convergences,
+                    total.restarts,
+                    total.faults_injected
+                );
+                Ok(())
+            }
+            Err((seed, failure)) => Err(format!(
+                "repl chaos FAILED at seed {seed}: {failure}\n\
+                 reproduce with: tkc chaos --repl --seeds 1 --start-seed {seed}"
+            )),
+        };
+    }
     println!(
         "chaos: {seeds} seeded fault schedules (seeds {start}..{}) under {}",
         start + seeds,

@@ -30,9 +30,12 @@ pub const KAPPA_VERSION: u32 = 2;
 pub const STATE_MAGIC: &str = "# triangle-kcore state v";
 /// State format version written by [`write_state`]. v2 adds an optional
 /// `store <stamp>` header field binding the snapshot to the packed
-/// `TKCSTOR` file written alongside it; v1 files (no store awareness)
-/// are still read.
-pub const STATE_VERSION: u32 = 2;
+/// `TKCSTOR` file written alongside it; v3 adds the replication
+/// watermarks `seq` (WAL sequence number the snapshot covers through —
+/// the compaction floor every later WAL record counts up from) and
+/// `term` (the primary-election fencing term). v1/v2 files read as
+/// `seq 0; term 0`.
+pub const STATE_VERSION: u32 = 3;
 
 /// Structured error for every persistence reader in the workspace: the
 /// text formats here and the binary WAL records of `tkc-engine`.
@@ -297,13 +300,29 @@ pub fn write_state_with_store<W: Write>(
     store_stamp: Option<&str>,
     writer: W,
 ) -> std::io::Result<()> {
+    write_state_tagged(g, kappa, store_stamp, 0, 0, writer)
+}
+
+/// [`write_state_with_store`] with the v3 replication watermarks: `seq`
+/// is the WAL sequence number this snapshot covers through (records
+/// appended after the compaction count up from it), `term` the fencing
+/// term of the primary that wrote it. This is the full-fidelity writer —
+/// the other `write_state*` entry points delegate here with zeros.
+pub fn write_state_tagged<W: Write>(
+    g: &Graph,
+    kappa: &[u32],
+    store_stamp: Option<&str>,
+    seq: u64,
+    term: u64,
+    writer: W,
+) -> std::io::Result<()> {
     let mut w = BufWriter::new(writer);
     let store = store_stamp
         .map(|s| format!("; store {s}"))
         .unwrap_or_default();
     writeln!(
         w,
-        "{STATE_MAGIC}{STATE_VERSION}; vertices {}; edges {}{store}",
+        "{STATE_MAGIC}{STATE_VERSION}; vertices {}; edges {}{store}; seq {seq}; term {term}",
         g.num_vertices(),
         g.num_edges()
     )?;
@@ -442,6 +461,57 @@ pub fn read_state_stamp<R: Read>(reader: R) -> Result<Option<String>, PersistErr
     })
 }
 
+/// Everything a state file's header line declares beyond the counts:
+/// the v2 store binding and the v3 replication watermarks (zero for
+/// files that predate them).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StateHeader {
+    /// The packed-store stamp the snapshot vouches for, if any.
+    pub store_stamp: Option<String>,
+    /// WAL sequence number the snapshot covers through (compaction
+    /// floor); 0 for v1/v2 files.
+    pub seq: u64,
+    /// Fencing term of the primary that wrote the snapshot; 0 for
+    /// v1/v2 files and never-replicated engines.
+    pub term: u64,
+}
+
+/// Reads **only the header line** of a state file and returns every
+/// optional field it declares — the store stamp plus the v3 `seq`/`term`
+/// replication watermarks. Same cheap-header contract as
+/// [`read_state_stamp`], which this supersedes for callers that need
+/// the watermarks too.
+pub fn read_state_header<R: Read>(reader: R) -> Result<StateHeader, PersistError> {
+    let reader = BufReader::new(reader);
+    for line in reader.lines() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        if !t.starts_with('#') {
+            break;
+        }
+        let version = parse_header(t, STATE_MAGIC).ok_or(PersistError::BadMagic {
+            expected: STATE_MAGIC,
+        })?;
+        if version == 0 || version > STATE_VERSION {
+            return Err(PersistError::UnsupportedVersion {
+                format: "state",
+                found: version,
+            });
+        }
+        return Ok(StateHeader {
+            store_stamp: parse_store_stamp(t),
+            seq: parse_header_u64(t, "; seq ").unwrap_or(0),
+            term: parse_header_u64(t, "; term ").unwrap_or(0),
+        });
+    }
+    Err(PersistError::BadMagic {
+        expected: STATE_MAGIC,
+    })
+}
+
 /// Extracts `vertices N; edges M` from a state header line (further
 /// `;`-separated fields, like v2's `store <stamp>`, may follow).
 fn parse_state_counts(t: &str) -> Option<(usize, usize)> {
@@ -456,6 +526,13 @@ fn parse_store_stamp(t: &str) -> Option<String> {
     let after = t.split_once("; store ")?.1;
     let stamp = after.split(';').next()?.trim();
     (!stamp.is_empty()).then(|| stamp.to_string())
+}
+
+/// Extracts an optional `<key> N` numeric header field (v3's `; seq N`
+/// and `; term N`).
+fn parse_header_u64(t: &str, key: &str) -> Option<u64> {
+    let after = t.split_once(key)?.1;
+    after.split(';').next()?.trim().parse().ok()
 }
 
 /// The recovery gate between a state snapshot and the packed store next
@@ -612,19 +689,19 @@ mod tests {
     }
 
     #[test]
-    fn state_v2_store_stamp_roundtrips_and_v1_reads_stampless() {
+    fn state_store_stamp_roundtrips_and_v1_reads_stampless() {
         let g = generators::complete(4);
         let d = triangle_kcore_decomposition(&g);
         let mut buf = Vec::new();
         write_state_with_store(&g, d.kappa_slice(), Some("deadbeef"), &mut buf).unwrap();
         let text = String::from_utf8(buf.clone()).unwrap();
-        assert!(text.starts_with("# triangle-kcore state v2"), "{text}");
+        assert!(text.starts_with("# triangle-kcore state v3"), "{text}");
         assert!(text.contains("; store deadbeef"), "{text}");
         let (g2, kappa2, stamp) = read_state_full(buf.as_slice()).unwrap();
         assert_eq!(stamp.as_deref(), Some("deadbeef"));
         assert_eq!(g2.num_edges(), g.num_edges());
         assert_eq!(kappa2.len(), g2.edge_bound());
-        // Stampless v2 and legacy v1 both read with no stamp.
+        // Stampless v3 and legacy v1 both read with no stamp.
         let mut plain = Vec::new();
         write_state(&g, d.kappa_slice(), &mut plain).unwrap();
         let (_, _, stamp) = read_state_full(plain.as_slice()).unwrap();
@@ -633,6 +710,39 @@ mod tests {
         let (g1, _, stamp) = read_state_full(v1.as_bytes()).unwrap();
         assert_eq!(g1.num_edges(), 1);
         assert_eq!(stamp, None);
+    }
+
+    #[test]
+    fn state_v3_seq_and_term_roundtrip_and_default_to_zero() {
+        let g = generators::complete(3);
+        let d = triangle_kcore_decomposition(&g);
+        let mut buf = Vec::new();
+        write_state_tagged(&g, d.kappa_slice(), Some("cafe"), 1234, 7, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.contains("; seq 1234; term 7"), "{text}");
+        let header = read_state_header(buf.as_slice()).unwrap();
+        assert_eq!(header.store_stamp.as_deref(), Some("cafe"));
+        assert_eq!((header.seq, header.term), (1234, 7));
+        // The body reader is untroubled by the extra fields.
+        let (g2, _, stamp) = read_state_full(buf.as_slice()).unwrap();
+        assert_eq!(g2.num_edges(), g.num_edges());
+        assert_eq!(stamp.as_deref(), Some("cafe"));
+        // Pre-v3 headers read as zero watermarks.
+        let v2 = "# triangle-kcore state v2; vertices 2; edges 1\n0 1 0\n";
+        let header = read_state_header(v2.as_bytes()).unwrap();
+        assert_eq!(header, StateHeader::default());
+        let v1 = "# triangle-kcore state v1; vertices 2; edges 1\n0 1 0\n";
+        assert_eq!((read_state_header(v1.as_bytes()).unwrap()).seq, 0);
+        // Future versions are refused, headerless files rejected.
+        let v9 = "# triangle-kcore state v9; vertices 2; edges 1\n0 1 0\n";
+        assert!(matches!(
+            read_state_header(v9.as_bytes()),
+            Err(PersistError::UnsupportedVersion { found: 9, .. })
+        ));
+        assert!(matches!(
+            read_state_header("0 1 0\n".as_bytes()),
+            Err(PersistError::BadMagic { .. })
+        ));
     }
 
     #[test]

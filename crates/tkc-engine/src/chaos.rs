@@ -24,14 +24,17 @@
 //! Finally the engine is closed cleanly (faults disarmed), reopened, and
 //! the surviving edge set + κ must round-trip unchanged.
 
+use std::net::SocketAddr;
 use std::path::Path;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use tkc_faults::FaultPlan;
 use tkc_verify::differential::{generate_ops, GraphKind, StreamConfig, StreamOp};
 
 use crate::engine::{Engine, EngineConfig};
 use crate::error::EngineError;
+use crate::repl::{self, ReplOptions, ReplServer};
 use crate::wal::WalOp;
 
 /// How many times a single batch may bounce through recover/restart
@@ -316,6 +319,307 @@ pub fn run_seed_range(
     Ok(total)
 }
 
+// ---------------------------------------------------------------------
+// Replication chaos
+// ---------------------------------------------------------------------
+
+/// One seeded replication chaos case: a primary/follower pair under
+/// link faults ([`FaultPlan::seeded_repl`]) and seeded node
+/// kill/restarts, converging to identical κ after every disruption.
+#[derive(Debug, Clone)]
+pub struct ReplChaosCase {
+    /// Master seed: graph + ops + link-fault schedule + restart script.
+    pub seed: u64,
+    /// Initial graph shape and op stream (differential-suite corpus).
+    pub stream: StreamConfig,
+    /// Ops per primary `apply` batch.
+    pub batch: usize,
+}
+
+impl ReplChaosCase {
+    /// The standard corpus case for `seed`. The hub ring is kept tiny
+    /// (16 entries) so a follower that misses a restart window is
+    /// trimmed past and must exercise the snapshot-bootstrap path.
+    pub fn from_seed(seed: u64) -> ReplChaosCase {
+        let kinds = [
+            GraphKind::Empty { n: 10 },
+            GraphKind::Gnp { n: 12, p: 0.18 },
+            GraphKind::Gnp { n: 9, p: 0.35 },
+            GraphKind::HolmeKim {
+                n: 14,
+                m: 2,
+                p: 0.7,
+            },
+            GraphKind::PlantedPartition { groups: 2, size: 6 },
+            GraphKind::Caveman { groups: 3, size: 4 },
+        ];
+        // analyze: allow(panic-surface): index is seed mod the non-empty const array's length
+        #[allow(clippy::indexing_slicing)]
+        let kind = kinds[(seed % kinds.len() as u64) as usize];
+        ReplChaosCase {
+            seed,
+            stream: StreamConfig::quick(kind, seed, 30),
+            batch: 1 + (seed % 4) as usize,
+        }
+    }
+}
+
+/// What one replication chaos case survived.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplChaosReport {
+    /// Batches acknowledged by the primary.
+    pub batches_acked: u64,
+    /// Convergence checkpoints passed (follower κ ≡ primary κ ≡
+    /// recompute).
+    pub convergences: u64,
+    /// Node kill/restart events executed by the seeded script.
+    pub restarts: u64,
+    /// Link faults the plan actually injected.
+    pub faults_injected: u64,
+    /// Live edges at the end of the run.
+    pub final_edges: u64,
+}
+
+/// Why a replication chaos case failed. Every variant is a real bug.
+#[derive(Debug)]
+pub enum ReplChaosFailure {
+    /// Converged seq but follower κ differs from the primary's (or
+    /// either side differs from a from-scratch recompute).
+    Divergence(String),
+    /// The follower never caught up to the primary's seq.
+    Stalled(String),
+    /// A node could not be (re)opened or written at all.
+    Node(String),
+}
+
+impl std::fmt::Display for ReplChaosFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplChaosFailure::Divergence(d) => write!(f, "replica divergence: {d}"),
+            ReplChaosFailure::Stalled(d) => write!(f, "follower stalled: {d}"),
+            ReplChaosFailure::Node(d) => write!(f, "node failure: {d}"),
+        }
+    }
+}
+
+/// A live node: its engine plus the attached replication subsystem.
+struct ReplNode {
+    engine: Arc<Engine>,
+    repl: ReplServer,
+}
+
+impl ReplNode {
+    fn kill(self) {
+        self.repl.shutdown();
+        // Dropping the Arc simulates process death; durable state stays
+        // in the node's directory for the restart.
+    }
+}
+
+fn open_repl_engine(dir: &Path) -> Result<Arc<Engine>, ReplChaosFailure> {
+    let config = EngineConfig {
+        fsync: false,
+        epoch_ops: 0,
+        compact_bytes: 0,
+        ..EngineConfig::new(dir)
+    };
+    Engine::open(config)
+        .map(Arc::new)
+        .map_err(|e| ReplChaosFailure::Node(format!("open {}: {e}", dir.display())))
+}
+
+fn boot_primary(
+    dir: &Path,
+    plan: &Arc<FaultPlan>,
+) -> Result<(ReplNode, SocketAddr), ReplChaosFailure> {
+    let engine = open_repl_engine(dir)?;
+    let repl = repl::start(
+        &engine,
+        ReplOptions {
+            repl_addr: Some("127.0.0.1:0".to_string()),
+            stamp_interval_ops: 1,
+            hub_buffer: 16,
+            fault_plan: Some(Arc::clone(plan)),
+            ..Default::default()
+        },
+    )
+    .map_err(|e| ReplChaosFailure::Node(format!("primary repl start: {e}")))?;
+    let addr = repl
+        .repl_addr()
+        .ok_or_else(|| ReplChaosFailure::Node("primary bound no repl addr".to_string()))?;
+    Ok((ReplNode { engine, repl }, addr))
+}
+
+fn boot_follower(
+    dir: &Path,
+    plan: &Arc<FaultPlan>,
+    primary: SocketAddr,
+) -> Result<ReplNode, ReplChaosFailure> {
+    let engine = open_repl_engine(dir)?;
+    let repl = repl::start(
+        &engine,
+        ReplOptions {
+            follow: Some(primary.to_string()),
+            stamp_interval_ops: 1,
+            fault_plan: Some(Arc::clone(plan)),
+            ..Default::default()
+        },
+    )
+    .map_err(|e| ReplChaosFailure::Node(format!("follower repl start: {e}")))?;
+    Ok(ReplNode { engine, repl })
+}
+
+/// Waits until the follower's applied seq matches the primary's, then
+/// proves κ ≡ κ ≡ recompute. The deadline is generous: link faults are
+/// finite (seeded plans carry bounded counts) and reconnect backoff
+/// caps at 2s, so a healthy pair always converges well inside it.
+fn converge(
+    primary: &ReplNode,
+    follower: &ReplNode,
+    when: &str,
+    report: &mut ReplChaosReport,
+) -> Result<(), ReplChaosFailure> {
+    let target = primary.engine.applied_seq();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while follower.engine.applied_seq() != target {
+        if Instant::now() > deadline {
+            return Err(ReplChaosFailure::Stalled(format!(
+                "{when}: follower at seq {} vs primary {target}",
+                follower.engine.applied_seq()
+            )));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let p_stamp = primary.engine.kappa_stamp_now();
+    let f_stamp = follower.engine.kappa_stamp_now();
+    if p_stamp != f_stamp {
+        return Err(ReplChaosFailure::Divergence(format!(
+            "{when}: at seq {target} follower stamp {f_stamp:#018x} != primary {p_stamp:#018x}"
+        )));
+    }
+    for (name, node) in [("primary", primary), ("follower", follower)] {
+        node.engine.publish();
+        let snap = node.engine.snapshot();
+        tkc_verify::differential::kappa_matches_recompute(
+            snap.graph(),
+            snap.decomposition().kappa_slice(),
+        )
+        .map_err(|m| ReplChaosFailure::Divergence(format!("{when}: {name} vs recompute: {m:?}")))?;
+    }
+    report.convergences += 1;
+    Ok(())
+}
+
+/// Runs one seeded replication chaos case under `root` (two node
+/// directories are created inside it).
+///
+/// The seeded script interleaves three disruption modes with the op
+/// stream — follower kill/restart, primary kill/restart (the follower
+/// re-points at the new listener, as an operator would), or link
+/// faults only — and requires full convergence (follower κ ≡ primary κ
+/// ≡ from-scratch recompute) after every disruption and at the end.
+pub fn run_repl_case(
+    root: &Path,
+    case: &ReplChaosCase,
+) -> Result<ReplChaosReport, ReplChaosFailure> {
+    let mut report = ReplChaosReport::default();
+    let plan = Arc::new(FaultPlan::seeded_repl(case.seed, 48));
+    let primary_dir = root.join("primary");
+    let follower_dir = root.join("follower");
+
+    // Deterministic workload, same corpus as the disk-chaos harness.
+    let g = case.stream.kind.build(case.seed);
+    let n = g.num_vertices();
+    let mut ops: Vec<WalOp> = Vec::with_capacity(n + g.num_edges() + case.stream.ops);
+    ops.push(WalOp::AddVertices(n as u32));
+    ops.extend(g.edges().map(|(_, u, v)| WalOp::Insert(u.0, v.0)));
+    ops.extend(generate_ops(&case.stream, n).into_iter().map(to_wal));
+    let batches: Vec<&[WalOp]> = ops.chunks(case.batch.max(1)).collect();
+
+    let (mut primary, mut addr) = boot_primary(&primary_dir, &plan)?;
+    let mut follower = Some(boot_follower(&follower_dir, &plan, addr)?);
+
+    // Disruption script: 0 = follower restart, 1 = primary restart,
+    // 2 = both (staggered), 3 = link faults only.
+    let mode = case.seed % 4;
+    let third = (batches.len() / 3).max(1);
+    let kill_follower_at = (mode == 0 || mode == 2).then_some(third);
+    let restart_primary_at = (mode == 1 || mode == 2).then_some(2 * third);
+
+    for (i, batch) in batches.iter().enumerate() {
+        primary
+            .engine
+            .apply(batch)
+            .map_err(|e| ReplChaosFailure::Node(format!("primary apply: {e}")))?;
+        report.batches_acked += 1;
+
+        if kill_follower_at == Some(i) {
+            if let Some(f) = follower.take() {
+                f.kill();
+                report.restarts += 1;
+            }
+        }
+        // Bring a downed follower back a few batches later — by then
+        // the tiny hub ring has usually been trimmed past its seq, so
+        // this is the compaction/bootstrap path under live writes.
+        if kill_follower_at == Some(i.wrapping_sub(2)) && follower.is_none() {
+            let f = boot_follower(&follower_dir, &plan, addr)?;
+            converge(&primary, &f, "after follower restart", &mut report)?;
+            follower = Some(f);
+        }
+        if restart_primary_at == Some(i) {
+            if let Some(f) = follower.take() {
+                f.kill();
+            }
+            primary.kill();
+            report.restarts += 1;
+            let (p, new_addr) = boot_primary(&primary_dir, &plan)?;
+            primary = p;
+            addr = new_addr;
+            let f = boot_follower(&follower_dir, &plan, addr)?;
+            converge(&primary, &f, "after primary restart", &mut report)?;
+            follower = Some(f);
+        }
+    }
+
+    // A follower still down at end-of-stream comes back for the final
+    // convergence.
+    let follower = match follower {
+        Some(f) => f,
+        None => boot_follower(&follower_dir, &plan, addr)?,
+    };
+    converge(&primary, &follower, "end of stream", &mut report)?;
+    report.faults_injected = plan.injected_total();
+    primary.engine.publish();
+    report.final_edges = primary.engine.snapshot().num_edges() as u64;
+    follower.kill();
+    primary.kill();
+    Ok(report)
+}
+
+/// Runs replication chaos seeds `[first, first + count)`, each in its
+/// own subdirectory of `root`, stopping at the first failure.
+pub fn run_repl_seed_range(
+    root: &Path,
+    first: u64,
+    count: u64,
+) -> Result<ReplChaosReport, (u64, ReplChaosFailure)> {
+    let mut total = ReplChaosReport::default();
+    for seed in first..first + count {
+        let dir = root.join(format!("repl-seed-{seed}"));
+        std::fs::remove_dir_all(&dir).ok();
+        let case = ReplChaosCase::from_seed(seed);
+        let r = run_repl_case(&dir, &case).map_err(|f| (seed, f))?;
+        total.batches_acked += r.batches_acked;
+        total.convergences += r.convergences;
+        total.restarts += r.restarts;
+        total.faults_injected += r.faults_injected;
+        total.final_edges += r.final_edges;
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    Ok(total)
+}
+
 #[cfg(test)]
 mod tests {
     #![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
@@ -343,6 +647,71 @@ mod tests {
         let total = run_seed_range(&root, 0, 8).unwrap_or_else(|(s, f)| panic!("seed {s}: {f}"));
         assert!(total.batches_acked > 0);
         assert!(total.oracle_checks >= 16, "oracle barely ran: {total:?}");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn a_small_repl_seed_range_converges() {
+        let root = temp_root("repl_small_range");
+        let total =
+            run_repl_seed_range(&root, 0, 4).unwrap_or_else(|(s, f)| panic!("repl seed {s}: {f}"));
+        assert!(total.batches_acked > 0);
+        assert!(total.convergences >= 4, "barely converged: {total:?}");
+        assert!(total.restarts > 0, "no node was ever killed: {total:?}");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn divergence_probe_demotes_and_rebootstraps() {
+        let root = temp_root("repl_divergence");
+        let plan = Arc::new(FaultPlan::with_points(vec![], 0));
+        let (primary, addr) = boot_primary(&root.join("primary"), &plan).unwrap();
+        let follower = boot_follower(&root.join("follower"), &plan, addr).unwrap();
+        let mut report = ReplChaosReport::default();
+        let seed: Vec<WalOp> = vec![
+            WalOp::AddVertices(6),
+            WalOp::Insert(0, 1),
+            WalOp::Insert(1, 2),
+            WalOp::Insert(2, 0),
+        ];
+        primary.engine.apply(&seed).unwrap();
+        converge(&primary, &follower, "setup", &mut report).unwrap();
+
+        // Corrupt the follower behind replication's back: a local write
+        // the primary never saw. Its κ (and seq) now silently disagree.
+        follower
+            .engine
+            .set_state(crate::error::EngineState::Serving);
+        follower.engine.apply(&[WalOp::Insert(0, 3)]).unwrap();
+        follower
+            .engine
+            .set_state(crate::error::EngineState::Follower);
+
+        // Keep writing on the primary; the stamp probe must catch the
+        // lie, demote the follower to Diverged, and re-bootstrap it.
+        primary
+            .engine
+            .apply(&[
+                WalOp::Insert(3, 4),
+                WalOp::Insert(4, 5),
+                WalOp::Insert(5, 3),
+            ])
+            .unwrap();
+        // Wait for the probe to fire and the re-bootstrap to land before
+        // checking convergence (seq alone can transiently match while
+        // the content is still wrong).
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let stats = follower.engine.metrics_text();
+            if stats.contains("repl_divergences 1") && stats.contains("repl_bootstraps 1") {
+                break;
+            }
+            assert!(Instant::now() < deadline, "probe never fired:\n{stats}");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        converge(&primary, &follower, "after divergence", &mut report).unwrap();
+        follower.kill();
+        primary.kill();
         std::fs::remove_dir_all(&root).ok();
     }
 

@@ -21,23 +21,24 @@
 //! after the next one is published).
 
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Instant;
 
 use tkc_core::decompose::Decomposition;
 use tkc_core::dynamic::{DynamicTriangleKCore, UpdateStats};
 use tkc_core::extract::cores_at_level;
 use tkc_core::persist::{
-    read_state, read_state_stamp, verify_store_stamp, write_state_with_store, PersistError,
+    read_state, read_state_header, verify_store_stamp, write_state_tagged, PersistError,
 };
 use tkc_faults::{DiskFile, FaultFile, FaultPlan};
 use tkc_graph::csr::edge_supports_csr;
 use tkc_graph::{CsrGraph, Graph, VertexId};
 use tkc_obs::{Counter, Gauge, Histogram, MetricsRegistry, SpanGuard, TraceBuffer, TraceRecord};
-use tkc_store::{pack_graph, PageCacheConfig, StoreError, StoreReader};
+use tkc_store::{file_stamp, pack_graph, PageCacheConfig, StoreError, StoreReader};
 
 use crate::error::{EngineError, EngineState};
+use crate::repl::{ReplHandle, Role};
 use crate::wal::{Recovery, Wal, WalError, WalOp};
 
 /// Name of the compacted snapshot file inside the state directory.
@@ -171,6 +172,17 @@ pub struct EngineMetrics {
     pub state_read_only: Gauge,
     /// See [`EngineMetrics::state_serving`].
     pub state_recovering: Gauge,
+    /// See [`EngineMetrics::state_serving`].
+    pub state_follower: Gauge,
+    /// See [`EngineMetrics::state_serving`].
+    pub state_diverged: Gauge,
+    /// 0/1 indicator per replication role
+    /// (`tkc_engine_role{role="..."}`).
+    pub role_standalone: Gauge,
+    /// See [`EngineMetrics::role_standalone`].
+    pub role_primary: Gauge,
+    /// See [`EngineMetrics::role_standalone`].
+    pub role_follower: Gauge,
 }
 
 impl EngineMetrics {
@@ -294,10 +306,35 @@ impl EngineMetrics {
                 "1 for the engine's current state, 0 for the others",
                 &[("state", "recovering")],
             ),
+            state_follower: reg.gauge_with(
+                "tkc_engine_state",
+                "1 for the engine's current state, 0 for the others",
+                &[("state", "follower")],
+            ),
+            state_diverged: reg.gauge_with(
+                "tkc_engine_state",
+                "1 for the engine's current state, 0 for the others",
+                &[("state", "diverged")],
+            ),
+            role_standalone: reg.gauge_with(
+                "tkc_engine_role",
+                "1 for the engine's replication role, 0 for the others",
+                &[("role", "standalone")],
+            ),
+            role_primary: reg.gauge_with(
+                "tkc_engine_role",
+                "1 for the engine's replication role, 0 for the others",
+                &[("role", "primary")],
+            ),
+            role_follower: reg.gauge_with(
+                "tkc_engine_role",
+                "1 for the engine's replication role, 0 for the others",
+                &[("role", "follower")],
+            ),
         }
     }
 
-    /// Reflects `state` into the three 0/1 `tkc_engine_state` series.
+    /// Reflects `state` into the per-state 0/1 `tkc_engine_state` series.
     fn set_state_gauges(&self, state: EngineState) {
         self.state_serving
             .set(f64::from(u8::from(state == EngineState::Serving)));
@@ -305,6 +342,20 @@ impl EngineMetrics {
             .set(f64::from(u8::from(state == EngineState::ReadOnly)));
         self.state_recovering
             .set(f64::from(u8::from(state == EngineState::Recovering)));
+        self.state_follower
+            .set(f64::from(u8::from(state == EngineState::Follower)));
+        self.state_diverged
+            .set(f64::from(u8::from(state == EngineState::Diverged)));
+    }
+
+    /// Reflects `role` into the per-role 0/1 `tkc_engine_role` series.
+    fn set_role_gauges(&self, role: Role) {
+        self.role_standalone
+            .set(f64::from(u8::from(role == Role::Standalone)));
+        self.role_primary
+            .set(f64::from(u8::from(role == Role::Primary)));
+        self.role_follower
+            .set(f64::from(u8::from(role == Role::Follower)));
     }
 }
 
@@ -436,6 +487,24 @@ pub struct Engine {
     state: AtomicU8,
     /// Why the engine left `Serving` (empty while healthy).
     degraded_reason: Mutex<String>,
+    /// Monotonic WAL sequence number of the last applied op: the state
+    /// header's compaction floor plus every op applied since. Written
+    /// under the writer lock; the atomic is a read-side mirror for
+    /// STATS/handshakes.
+    applied_seq: AtomicU64,
+    /// Replication fencing term (persisted in the state header at each
+    /// compaction). A node refuses writes once it learns of a higher
+    /// term. Written under the writer lock, mirrored for readers.
+    term: AtomicU64,
+    /// [`Role`] as a `u8` (see `Role::as_u8`).
+    role: AtomicU8,
+    /// Latched when a higher term fences this node: the recovery
+    /// supervisor must not resurrect a superseded primary into a
+    /// writable state.
+    fenced: AtomicBool,
+    /// The replication subsystem attached by [`crate::repl::start`]
+    /// (never set on standalone engines).
+    repl: OnceLock<ReplHandle>,
     config: EngineConfig,
 }
 
@@ -466,8 +535,13 @@ impl Engine {
         let metrics = EngineMetrics::register(&registry);
         let state_path = config.dir.join(STATE_FILE);
         let store_path = config.dir.join(STORE_FILE);
+        let mut floor_seq = 0u64;
+        let mut term = 0u64;
         let mut core = if state_path.exists() {
-            let stamp = read_state_stamp(std::fs::File::open(&state_path)?)?;
+            let header = read_state_header(std::fs::File::open(&state_path)?)?;
+            floor_seq = header.seq;
+            term = header.term;
+            let stamp = header.store_stamp;
             verify_store_stamp(stamp.as_deref(), &store_path)?;
             if stamp.is_some() {
                 // Fast path: the snapshot header vouches for the packed
@@ -516,6 +590,8 @@ impl Engine {
         };
         let first = Arc::new(snapshot_of(&mut writer, &metrics));
         metrics.set_state_gauges(EngineState::Serving);
+        metrics.set_role_gauges(Role::Standalone);
+        let applied_seq = floor_seq + ops.len() as u64;
         Ok(Engine {
             writer: Mutex::new(writer),
             published: RwLock::new(first),
@@ -524,6 +600,11 @@ impl Engine {
             last_publish_nanos: AtomicU64::new(tkc_obs::process_nanos()),
             state: AtomicU8::new(EngineState::Serving.as_u8()),
             degraded_reason: Mutex::new(String::new()),
+            applied_seq: AtomicU64::new(applied_seq),
+            term: AtomicU64::new(term),
+            role: AtomicU8::new(Role::Standalone.as_u8()),
+            fenced: AtomicBool::new(false),
+            repl: OnceLock::new(),
             config,
         })
     }
@@ -541,9 +622,63 @@ impl Engine {
         }
     }
 
-    fn set_state(&self, state: EngineState) {
+    pub(crate) fn set_state(&self, state: EngineState) {
         self.state.store(state.as_u8(), Ordering::Release);
         self.metrics.set_state_gauges(state);
+    }
+
+    /// The engine's replication role (standalone until
+    /// [`crate::repl::start`] attaches a subsystem).
+    pub fn role(&self) -> Role {
+        Role::from_u8(self.role.load(Ordering::Acquire))
+    }
+
+    pub(crate) fn set_role(&self, role: Role) {
+        self.role.store(role.as_u8(), Ordering::Release);
+        self.metrics.set_role_gauges(role);
+    }
+
+    /// Monotonic WAL sequence number of the last applied op (compaction
+    /// floor + ops applied since) — the replication watermark.
+    pub fn applied_seq(&self) -> u64 {
+        self.applied_seq.load(Ordering::Relaxed)
+    }
+
+    /// The replication fencing term this node last persisted or learned.
+    pub fn term(&self) -> u64 {
+        self.term.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn set_term(&self, term: u64) {
+        self.term.store(term, Ordering::Relaxed);
+    }
+
+    /// Installs the replication subsystem handle (once, at serve start).
+    pub(crate) fn set_repl(&self, handle: ReplHandle) {
+        let _ = self.repl.set(handle);
+    }
+
+    /// Where writes should go when this node is a follower.
+    fn primary_addr(&self) -> String {
+        self.repl
+            .get()
+            .and_then(|h| h.primary_addr())
+            .unwrap_or_else(|| "unknown".to_string())
+    }
+
+    /// Learns of a higher fencing term: records it, closes the hub's
+    /// follower streams, and drops to read-only — the node was
+    /// superseded by a promoted follower and must not accept writes.
+    pub(crate) fn fence(&self, new_term: u64) {
+        if new_term <= self.term() {
+            return;
+        }
+        self.set_term(new_term);
+        self.fenced.store(true, Ordering::Relaxed);
+        if let Some(h) = self.repl.get() {
+            h.close_followers();
+        }
+        self.enter_degraded(format!("fenced by term {new_term}"));
     }
 
     /// Drops into read-only mode: records the reason, flips the state
@@ -571,7 +706,16 @@ impl Engine {
     /// with the original reason and the error is returned for the
     /// supervisor's backoff loop.
     pub fn recover(&self) -> Result<(), EngineError> {
-        if self.state() == EngineState::Serving {
+        if matches!(
+            self.state(),
+            EngineState::Serving | EngineState::Follower | EngineState::Diverged
+        ) {
+            return Ok(());
+        }
+        // A fenced node was superseded, not broken: recovery would only
+        // resurrect a split brain. It stays read-only until an operator
+        // restarts it (typically as a follower of the new primary).
+        if self.fenced.load(Ordering::Relaxed) {
             return Ok(());
         }
         self.metrics.recovery_attempts.inc();
@@ -585,7 +729,13 @@ impl Engine {
         match attempt {
             Ok(()) => {
                 *lock_reason(&self.degraded_reason) = String::new();
-                self.set_state(EngineState::Serving);
+                // A recovered follower goes back to replicating, not to
+                // accepting writes.
+                if self.role() == Role::Follower {
+                    self.set_state(EngineState::Follower);
+                } else {
+                    self.set_state(EngineState::Serving);
+                }
                 self.metrics.recoveries.inc();
                 tkc_obs::info!("engine recovered: wal reopened and compacted, serving again");
                 Ok(())
@@ -624,6 +774,18 @@ impl Engine {
     /// the engine drops to read-only ([`EngineError::Wal`]) and later
     /// writes get [`EngineError::Degraded`] until recovery.
     pub fn apply(&self, ops: &[WalOp]) -> Result<ApplyReport, EngineError> {
+        self.apply_inner(ops, false)
+    }
+
+    /// [`Engine::apply`] for ops arriving over the replication stream:
+    /// identical durability (the follower's own WAL is appended first),
+    /// but permitted while the engine is in the read-only `Follower`
+    /// state. Client writes must keep going through [`Engine::apply`].
+    pub fn apply_replicated(&self, ops: &[WalOp]) -> Result<ApplyReport, EngineError> {
+        self.apply_inner(ops, true)
+    }
+
+    fn apply_inner(&self, ops: &[WalOp], replicated: bool) -> Result<ApplyReport, EngineError> {
         if ops.is_empty() {
             return Ok(ApplyReport::default());
         }
@@ -636,10 +798,18 @@ impl Engine {
         let mut w = lock_writer(&self.writer);
         // State and validation checks live under the writer lock so a
         // degrading batch and its successor cannot interleave.
-        if self.state() != EngineState::Serving {
-            return Err(EngineError::Degraded {
-                reason: lock_reason(&self.degraded_reason).clone(),
-            });
+        match (self.state(), replicated) {
+            (EngineState::Serving, _) | (EngineState::Follower, true) => {}
+            (EngineState::Follower | EngineState::Diverged, false) => {
+                return Err(EngineError::Readonly {
+                    primary: self.primary_addr(),
+                });
+            }
+            _ => {
+                return Err(EngineError::Degraded {
+                    reason: lock_reason(&self.degraded_reason).clone(),
+                });
+            }
         }
         self.validate(ops, &w)?;
         let wal_start = Instant::now();
@@ -700,6 +870,13 @@ impl Engine {
         w.cumulative.absorb(stats);
         w.ops_applied += ops.len() as u64;
         w.since_epoch += ops.len();
+        // Written under the writer lock; readers only display it, so a
+        // relaxed store is all the ordering the watermark needs.
+        let seq = self.applied_seq.load(Ordering::Relaxed) + ops.len() as u64;
+        self.applied_seq.store(seq, Ordering::Relaxed);
+        if let Some(h) = self.repl.get() {
+            h.on_apply(ops, seq, &w.core, self.term());
+        }
         m.ops_applied.add(ops.len() as u64);
         m.ops_skipped.add(report.skipped as u64);
         m.inserted.add(report.inserted as u64);
@@ -824,11 +1001,24 @@ impl Engine {
             ("edges_examined", stats.edges_examined),
             ("degraded", u64::from(self.state() != EngineState::Serving)),
             ("recoveries", m.recoveries.get()),
+            ("seq", self.applied_seq()),
+            ("term", self.term()),
         ] {
             out.push_str(key);
             out.push(' ');
             out.push_str(&value.to_string());
             out.push('\n');
+        }
+        out.push_str("role ");
+        out.push_str(self.role().as_str());
+        out.push('\n');
+        if let Some(h) = self.repl.get() {
+            for (key, value) in h.stats_keys() {
+                out.push_str(key);
+                out.push(' ');
+                out.push_str(&value.to_string());
+                out.push('\n');
+            }
         }
         out
     }
@@ -890,7 +1080,14 @@ impl Engine {
         std::fs::File::open(&store_tmp)?.sync_all()?;
         {
             let file = std::fs::File::create(&tmp)?;
-            write_state_with_store(g, w.core.kappa_slice(), Some(&stamp), &file)?;
+            write_state_tagged(
+                g,
+                w.core.kappa_slice(),
+                Some(&stamp),
+                self.applied_seq.load(Ordering::Relaxed),
+                self.term(),
+                &file,
+            )?;
             file.sync_all()?;
         }
         // Store before state. A crash between the renames leaves a
@@ -902,6 +1099,116 @@ impl Engine {
         w.wal.reset()?;
         self.metrics.compactions.inc();
         Ok(())
+    }
+
+    /// Replaces the engine's entire state with a packed-store snapshot
+    /// streamed from the primary (a follower bootstrap): persists the
+    /// store + tagged state atomically, rebuilds the maintainer from it,
+    /// resets the local WAL, and publishes the result as a fresh epoch.
+    ///
+    /// A crash after the state rename but before the WAL reset leaves a
+    /// stale log next to a newer snapshot; replay over it is idempotent
+    /// (apply-to-core skips duplicates), so the watermark can only move
+    /// forward.
+    pub(crate) fn install_snapshot(
+        &self,
+        store_bytes: &[u8],
+        seq: u64,
+        term: u64,
+    ) -> Result<(), EngineError> {
+        let mut w = lock_writer(&self.writer);
+        let store_tmp = self.config.dir.join("state.tkcstor.tmp");
+        let store_path = self.config.dir.join(STORE_FILE);
+        let tmp = self.config.dir.join("state.tkc.tmp");
+        let final_path = self.config.dir.join(STATE_FILE);
+        std::fs::write(&store_tmp, store_bytes)?;
+        std::fs::File::open(&store_tmp)?.sync_all()?;
+        let stamp = file_stamp(&store_tmp).map_err(store_err)?;
+        let (g, kappa) = {
+            let reader =
+                StoreReader::open(&store_tmp, PageCacheConfig::default()).map_err(store_err)?;
+            let g = reader.load_graph().map_err(store_err)?;
+            let kappa = reader.read_kappa().map_err(store_err)?;
+            (g, kappa)
+        };
+        {
+            let file = std::fs::File::create(&tmp)?;
+            write_state_tagged(&g, &kappa, Some(&stamp), seq, term, &file)?;
+            file.sync_all()?;
+        }
+        // Store before state, same crash ordering as compaction.
+        std::fs::rename(&store_tmp, &store_path)?;
+        std::fs::rename(&tmp, &final_path)?;
+        w.core = DynamicTriangleKCore::from_parts(g, kappa);
+        w.cumulative = UpdateStats::default();
+        w.wal.reset()?;
+        self.applied_seq.store(seq, Ordering::Relaxed);
+        self.set_term(term);
+        self.publish_locked(&mut w);
+        Ok(())
+    }
+
+    /// Captures the writer's current state as packed-store bytes plus
+    /// the watermark (seq, term) they represent — what a bootstrapping
+    /// follower receives over the wire.
+    pub(crate) fn snapshot_for_replication(&self) -> Result<(Vec<u8>, u64, u64), EngineError> {
+        let w = lock_writer(&self.writer);
+        let g = w.core.graph();
+        let supports = edge_supports_csr(g);
+        let parts = pack_graph(g, &supports, Some(w.core.kappa_slice())).map_err(store_err)?;
+        let mut mem = crate::repl::MemStorage::default();
+        parts.write_to_storage(&mut mem)?;
+        Ok((
+            mem.into_bytes(),
+            self.applied_seq.load(Ordering::Relaxed),
+            self.term(),
+        ))
+    }
+
+    /// The κ-stamp of the writer's current state — the follower side of
+    /// the divergence probe (compared against the primary's per-interval
+    /// [`tkc_verify::kappa_stamp`] checkpoints).
+    pub(crate) fn kappa_stamp_now(&self) -> u64 {
+        let w = lock_writer(&self.writer);
+        tkc_verify::kappa_stamp(w.core.graph(), w.core.kappa_slice())
+    }
+
+    /// One-line replication detail for `HEALTH` on follower nodes
+    /// (`None` on standalone/primary nodes).
+    pub fn replication_health(&self) -> Option<String> {
+        let h = self.repl.get()?;
+        let addr = h.primary_addr()?;
+        let (lag_seq, lag_seconds) = h.lag();
+        Some(format!(
+            "following {addr} lag_seq={lag_seq} lag_seconds={lag_seconds}"
+        ))
+    }
+
+    /// Promotes a follower to writable: bumps the fencing term, fences
+    /// the old primary (best-effort `FENCE` upstream, stop tailing), and
+    /// reopens for writes. Returns the new term.
+    pub fn promote(&self) -> Result<u64, EngineError> {
+        if self.role() != Role::Follower {
+            return Err(EngineError::InvalidOp {
+                reason: format!("not a follower (role {})", self.role().as_str()),
+            });
+        }
+        let new_term = self.term() + 1;
+        let becomes_primary = match self.repl.get() {
+            Some(h) => h.promote(new_term),
+            None => false,
+        };
+        self.set_term(new_term);
+        self.set_role(if becomes_primary {
+            Role::Primary
+        } else {
+            Role::Standalone
+        });
+        self.set_state(EngineState::Serving);
+        // Persist the term so a restart cannot come back believing the
+        // fenced primary's old term.
+        self.compact()?;
+        Ok(new_term)
     }
 }
 
@@ -1119,6 +1426,27 @@ mod tests {
         let snap = engine.snapshot();
         assert_eq!(snap.num_edges(), 11);
         assert_eq!(snap.kappa(0, 1), Some(3));
+    }
+
+    #[test]
+    fn applied_seq_survives_compaction_and_reopen() {
+        let dir = temp_dir("seqfloor");
+        {
+            let engine = Engine::open(manual_config(&dir)).unwrap();
+            engine.apply(&clique_ops(0)).unwrap();
+            assert_eq!(engine.applied_seq(), 10);
+            // Compaction truncates the log but the watermark keeps
+            // counting from the persisted floor.
+            engine.compact().unwrap();
+            engine.apply(&[WalOp::Insert(0, 5)]).unwrap();
+            assert_eq!(engine.applied_seq(), 11);
+        }
+        let engine = Engine::open(manual_config(&dir)).unwrap();
+        assert_eq!(engine.applied_seq(), 11);
+        assert_eq!(engine.term(), 0);
+        let text = engine.metrics_text();
+        assert!(text.contains("seq 11"), "{text}");
+        assert!(text.contains("role standalone"), "{text}");
     }
 
     #[test]

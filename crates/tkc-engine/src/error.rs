@@ -24,7 +24,9 @@ use tkc_core::persist::PersistError;
 use crate::wal::WalError;
 
 /// Where the engine is in its `Serving → ReadOnly → Recovering → Serving`
-/// state machine.
+/// state machine — extended by replication with the two follower
+/// states (`Follower`, `Diverged`), which are read-only by role rather
+/// than by failure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EngineState {
     /// Healthy: writes are durable, reads serve the latest epoch.
@@ -34,15 +36,25 @@ pub enum EngineState {
     ReadOnly,
     /// A supervised recovery attempt is in flight.
     Recovering,
+    /// Replicating from a primary: reads serve published epochs, writes
+    /// are redirected with `ERR READONLY <primary-addr>`.
+    Follower,
+    /// The divergence probe caught a κ-stamp mismatch against the
+    /// primary: still read-only, re-bootstrapping from the primary's
+    /// packed store.
+    Diverged,
 }
 
 impl EngineState {
-    /// The metrics/wire label (`serving`, `read_only`, `recovering`).
+    /// The metrics/wire label (`serving`, `read_only`, `recovering`,
+    /// `follower`, `diverged`).
     pub fn as_str(self) -> &'static str {
         match self {
             EngineState::Serving => "serving",
             EngineState::ReadOnly => "read_only",
             EngineState::Recovering => "recovering",
+            EngineState::Follower => "follower",
+            EngineState::Diverged => "diverged",
         }
     }
 
@@ -51,6 +63,8 @@ impl EngineState {
             EngineState::Serving => 0,
             EngineState::ReadOnly => 1,
             EngineState::Recovering => 2,
+            EngineState::Follower => 3,
+            EngineState::Diverged => 4,
         }
     }
 
@@ -58,6 +72,8 @@ impl EngineState {
         match v {
             1 => EngineState::ReadOnly,
             2 => EngineState::Recovering,
+            3 => EngineState::Follower,
+            4 => EngineState::Diverged,
             _ => EngineState::Serving,
         }
     }
@@ -88,6 +104,14 @@ pub enum EngineError {
         /// What the op violated.
         reason: String,
     },
+    /// The engine is a replication follower: writes must go to the
+    /// primary. Maps to `ERR READONLY <primary-addr>` on the wire so a
+    /// client can redirect itself.
+    Readonly {
+        /// Address of the primary this node follows (`unknown` when the
+        /// follower has not learned one yet).
+        primary: String,
+    },
 }
 
 impl EngineError {
@@ -102,13 +126,14 @@ impl EngineError {
     }
 
     /// The short wire token after `ERR` (`DEGRADED`, `INVALID`, `WAL`,
-    /// `PERSIST`) — stable for clients to dispatch on.
+    /// `PERSIST`, `READONLY`) — stable for clients to dispatch on.
     pub fn wire_token(&self) -> &'static str {
         match self {
             EngineError::Wal(_) => "WAL",
             EngineError::Persist(_) => "PERSIST",
             EngineError::Degraded { .. } => "DEGRADED",
             EngineError::InvalidOp { .. } => "INVALID",
+            EngineError::Readonly { .. } => "READONLY",
         }
     }
 }
@@ -120,6 +145,9 @@ impl fmt::Display for EngineError {
             EngineError::Persist(e) => write!(f, "persist failure: {e}"),
             EngineError::Degraded { reason } => write!(f, "engine degraded: {reason}"),
             EngineError::InvalidOp { reason } => write!(f, "invalid op: {reason}"),
+            EngineError::Readonly { primary } => {
+                write!(f, "read-only follower; writes go to {primary}")
+            }
         }
     }
 }
@@ -162,6 +190,8 @@ mod tests {
             EngineState::Serving,
             EngineState::ReadOnly,
             EngineState::Recovering,
+            EngineState::Follower,
+            EngineState::Diverged,
         ] {
             assert_eq!(EngineState::from_u8(s.as_u8()), s);
         }
@@ -183,5 +213,10 @@ mod tests {
             .wire_token(),
             "INVALID"
         );
+        let ro = EngineError::Readonly {
+            primary: "10.0.0.1:7000".to_string(),
+        };
+        assert_eq!(ro.wire_token(), "READONLY");
+        assert!(ro.to_string().contains("10.0.0.1:7000"));
     }
 }

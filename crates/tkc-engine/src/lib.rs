@@ -29,6 +29,7 @@ pub mod chaos;
 pub mod engine;
 pub mod error;
 pub mod proto;
+pub mod repl;
 pub mod server;
 pub mod wal;
 
@@ -48,5 +49,6 @@ pub use engine::{
     STORE_FILE, WAL_FILE,
 };
 pub use error::{EngineError, EngineState};
+pub use repl::{start as start_replication, ReplOptions, ReplServer, Role};
 pub use server::{DrainSummary, ServeOptions, Server};
 pub use wal::{AppendInfo, Recovery, Wal, WalError, WalOp};

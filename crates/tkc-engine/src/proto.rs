@@ -51,6 +51,9 @@ pub enum Command {
     Slo,
     /// `TRACE n` — the last `n` trace/span records as JSONL.
     Trace(u32),
+    /// `PROMOTE` — fence the old primary and make this follower
+    /// writable at a higher term.
+    Promote,
     /// `PING`.
     Ping,
     /// `QUIT` — close this connection.
@@ -129,6 +132,7 @@ pub fn parse_command(line: &str) -> Option<Result<Command, ParseError>> {
         "STATS" => Ok(Command::Stats),
         "METRICS" => Ok(Command::Metrics),
         "HEALTH" => Ok(Command::Health),
+        "PROMOTE" => Ok(Command::Promote),
         "PING" => Ok(Command::Ping),
         "QUIT" => Ok(Command::Quit),
         "SHUTDOWN" => Ok(Command::Shutdown),
@@ -170,6 +174,7 @@ mod tests {
             Command::Batch(1_000_000)
         );
         assert_eq!(parse_command("ping").unwrap().unwrap(), Command::Ping);
+        assert_eq!(parse_command("promote").unwrap().unwrap(), Command::Promote);
         assert_eq!(parse_command("slo").unwrap().unwrap(), Command::Slo);
         assert_eq!(
             parse_command("TRACE 25").unwrap().unwrap(),

@@ -92,9 +92,9 @@ struct CommandMetrics {
 
 /// The wire verbs that get their own `{cmd=...}` series; anything else
 /// lands in `OTHER`.
-const VERBS: [&str; 15] = [
+const VERBS: [&str; 16] = [
     "KAPPA", "MAXK", "TRUSS", "INSERT", "REMOVE", "BATCH", "EPOCH", "STATS", "METRICS", "SLO",
-    "TRACE", "HEALTH", "PING", "QUIT", "SHUTDOWN",
+    "TRACE", "HEALTH", "PROMOTE", "PING", "QUIT", "SHUTDOWN",
 ];
 
 /// The canonical (static) spelling of a raw verb token, for span names
@@ -626,6 +626,9 @@ enum Flow {
 fn write_engine_err(out: &mut TcpStream, e: &EngineError) -> std::io::Result<()> {
     match e {
         EngineError::Degraded { reason } => writeln!(out, "ERR DEGRADED {reason}"),
+        // The payload is the primary's address alone so a client can
+        // redirect itself without parsing prose.
+        EngineError::Readonly { primary } => writeln!(out, "ERR READONLY {primary}"),
         other => writeln!(out, "ERR {} {other}", other.wire_token()),
     }
 }
@@ -752,11 +755,23 @@ fn respond(
         Command::Health => {
             count_query();
             let state = engine.state();
-            match engine.degraded_reason() {
-                None => writeln!(out, "OK {state}")?,
-                Some(reason) => writeln!(out, "OK {state} {reason}")?,
+            match state {
+                EngineState::Follower | EngineState::Diverged => {
+                    match engine.replication_health() {
+                        Some(detail) => writeln!(out, "OK {state} {detail}")?,
+                        None => writeln!(out, "OK {state}")?,
+                    }
+                }
+                _ => match engine.degraded_reason() {
+                    None => writeln!(out, "OK {state}")?,
+                    Some(reason) => writeln!(out, "OK {state} {reason}")?,
+                },
             }
         }
+        Command::Promote => match engine.promote() {
+            Ok(term) => writeln!(out, "OK promoted term={term}")?,
+            Err(e) => write_engine_err(out, &e)?,
+        },
         Command::Ping => writeln!(out, "OK pong")?,
         Command::Quit => {
             writeln!(out, "OK bye")?;
@@ -1141,5 +1156,190 @@ mod tests {
         assert_eq!(c.send("HEALTH"), "OK serving");
         assert_eq!(c.send("INSERT 0 1"), "OK kappa=0");
         server.shutdown();
+    }
+
+    #[test]
+    fn promote_on_a_standalone_node_is_invalid() {
+        let (server, addr) = start_server("promote_standalone");
+        let mut c = Client::connect(addr);
+        let reply = c.send("PROMOTE");
+        assert!(
+            reply.starts_with("ERR INVALID") && reply.contains("not a follower"),
+            "got {reply}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn health_and_slo_answer_in_every_degraded_state() {
+        let opts = ServeOptions {
+            slo: tkc_obs::slo::parse_slo_spec("HEALTH=500").unwrap(),
+            ..test_opts()
+        };
+        let (server, addr, engine) = start_with("health_states", |_| {}, opts);
+        let mut c = Client::connect(addr);
+        // Follower / Diverged without an attached replication subsystem
+        // still render their state (no lag detail to show).
+        for (state, expect) in [
+            (EngineState::Follower, "OK follower"),
+            (EngineState::Diverged, "OK diverged"),
+            (EngineState::Recovering, "OK recovering"),
+            (EngineState::Serving, "OK serving"),
+        ] {
+            engine.set_state(state);
+            assert_eq!(c.send("HEALTH"), expect);
+            assert_eq!(c.send("SLO"), "OK");
+            let lines = c.read_until_dot();
+            assert!(
+                lines.iter().any(|l| l.starts_with("HEALTH target_ms=500")),
+                "{lines:?}"
+            );
+        }
+        // Follower-role writes are redirected, not degraded.
+        engine.set_role(crate::repl::Role::Follower);
+        engine.set_state(EngineState::Follower);
+        let reply = c.send("INSERT 0 1");
+        assert_eq!(reply, "ERR READONLY unknown");
+        engine.set_role(crate::repl::Role::Standalone);
+        engine.set_state(EngineState::Serving);
+        server.shutdown();
+    }
+
+    /// Boots a (server, replication) pair sharing one engine.
+    fn start_repl_node(
+        name: &str,
+        repl_addr: Option<String>,
+        follow: Option<SocketAddr>,
+    ) -> (Server, crate::repl::ReplServer, SocketAddr, Arc<Engine>) {
+        let (server, addr, engine) = start_with(name, |_| {}, test_opts());
+        let repl = crate::repl::start(
+            &engine,
+            crate::repl::ReplOptions {
+                repl_addr,
+                follow: follow.map(|a| a.to_string()),
+                stamp_interval_ops: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        (server, repl, addr, engine)
+    }
+
+    fn wait_until(what: &str, mut done: impl FnMut() -> bool) {
+        for _ in 0..400 {
+            if done() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        panic!("timed out waiting for {what}");
+    }
+
+    #[test]
+    fn two_node_replication_promote_and_fencing_end_to_end() {
+        let (p_server, p_repl, p_addr, p_engine) =
+            start_repl_node("repl_primary", Some("127.0.0.1:0".to_string()), None);
+        let repl_addr = p_repl.repl_addr().unwrap();
+        let (f_server, f_repl, f_addr, f_engine) =
+            start_repl_node("repl_follower", None, Some(repl_addr));
+        assert_eq!(p_engine.role(), crate::repl::Role::Primary);
+        assert_eq!(f_engine.role(), crate::repl::Role::Follower);
+
+        // Write a triangle to the primary; the follower converges.
+        let mut p = Client::connect(p_addr);
+        for (u, v) in [(0, 1), (1, 2), (2, 0)] {
+            assert!(p.send(&format!("INSERT {u} {v}")).starts_with("OK"));
+        }
+        wait_until("follower catch-up", || f_engine.applied_seq() == 3);
+        let mut f = Client::connect(f_addr);
+        assert_eq!(f.send("EPOCH"), "OK 2");
+        assert_eq!(f.send("KAPPA 0 1"), "OK 1");
+
+        // Follower writes are redirected to the primary's repl address.
+        assert_eq!(f.send("INSERT 5 6"), format!("ERR READONLY {repl_addr}"));
+        let health = f.send("HEALTH");
+        assert!(
+            health.starts_with(&format!("OK follower following {repl_addr}"))
+                && health.contains("lag_seq=0"),
+            "got {health}"
+        );
+        let stats = {
+            assert_eq!(f.send("STATS"), "OK");
+            f.read_until_dot()
+        };
+        assert!(stats.iter().any(|l| l == "repl_ops_applied 3"), "{stats:?}");
+        assert!(stats.iter().any(|l| l == "role follower"), "{stats:?}");
+
+        // Promote the follower: it becomes writable at term 1 and the
+        // old primary is fenced read-only.
+        assert_eq!(f.send("PROMOTE"), "OK promoted term=1");
+        assert!(
+            f.send("INSERT 5 6").starts_with("OK"),
+            "promoted node writes"
+        );
+        wait_until("old primary fenced", || {
+            p_engine.state() == EngineState::ReadOnly
+        });
+        let refused = p.send("INSERT 7 8");
+        assert!(refused.starts_with("ERR DEGRADED"), "got {refused}");
+        assert_eq!(p_engine.term(), 1);
+        // The fence is sticky: the recovery supervisor must not
+        // resurrect the superseded primary.
+        p_engine.recover().unwrap();
+        assert_eq!(p_engine.state(), EngineState::ReadOnly);
+
+        f_repl.shutdown();
+        p_repl.shutdown();
+        f_server.shutdown();
+        p_server.shutdown();
+    }
+
+    #[test]
+    fn follower_bootstraps_when_primary_log_is_compacted_past_it() {
+        // Prime the primary with history *before* replication starts, so
+        // the hub's base is already past a fresh follower's seq 0 and
+        // the only way to converge is a packed-store bootstrap.
+        let (p_server, p_addr, p_engine) = start_with("repl_boot_primary", |_| {}, test_opts());
+        let mut p = Client::connect(p_addr);
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (0, 3), (1, 3)] {
+            assert!(p.send(&format!("INSERT {u} {v}")).starts_with("OK"));
+        }
+        assert_eq!(p_engine.applied_seq(), 5);
+        let p_repl = crate::repl::start(
+            &p_engine,
+            crate::repl::ReplOptions {
+                repl_addr: Some("127.0.0.1:0".to_string()),
+                stamp_interval_ops: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let repl_addr = p_repl.repl_addr().unwrap();
+
+        let (f_server, f_repl, f_addr, f_engine) =
+            start_repl_node("repl_boot_follower", None, Some(repl_addr));
+        wait_until("bootstrap catch-up", || f_engine.applied_seq() == 5);
+        let mut f = Client::connect(f_addr);
+        let stats = {
+            assert_eq!(f.send("STATS"), "OK");
+            f.read_until_dot()
+        };
+        assert!(stats.iter().any(|l| l == "repl_bootstraps 1"), "{stats:?}");
+        // Bootstrap already published an epoch; a fresh one still works.
+        assert!(f.send("EPOCH").starts_with("OK"));
+        assert_eq!(f.send("KAPPA 0 1"), "OK 1");
+        // Live tailing continues after the bootstrap.
+        assert!(p.send("INSERT 2 3").starts_with("OK"));
+        wait_until("post-bootstrap tail", || f_engine.applied_seq() == 6);
+        assert_eq!(
+            f_engine.kappa_stamp_now(),
+            p_engine.kappa_stamp_now(),
+            "replicas diverged"
+        );
+
+        f_repl.shutdown();
+        p_repl.shutdown();
+        f_server.shutdown();
+        p_server.shutdown();
     }
 }

@@ -44,7 +44,18 @@ use tkc_core::persist::PersistError;
 use tkc_faults::{DiskFile, WalStorage};
 
 /// File magic: `TKCWAL`, a NUL, then the format version byte.
-pub const WAL_MAGIC: [u8; 8] = *b"TKCWAL\x00\x01";
+///
+/// Version 2 (replication): the record layout is byte-identical to v1 —
+/// the monotonic sequence number every record carries for WAL shipping
+/// is *implicit* (the compaction floor seq persisted in the state header
+/// plus the record's 1-based position in the log), so no per-record
+/// bytes changed. v1 logs upgrade in place on open: the version byte is
+/// rewritten and replay proceeds (their floor seq is 0).
+pub const WAL_MAGIC: [u8; 8] = *b"TKCWAL\x00\x02";
+
+/// The previous format version, still accepted by [`Wal::open`] via an
+/// in-place header rewrite (upgrade-on-open).
+const WAL_VERSION_V1: u8 = 1;
 
 /// Hard upper bound on a record payload; anything larger is treated as a
 /// torn length prefix (no legitimate op comes close).
@@ -108,7 +119,9 @@ pub enum WalOp {
 }
 
 impl WalOp {
-    fn encode(self, out: &mut Vec<u8>) {
+    /// Appends the full record (len | crc | payload) for this op. Also
+    /// used by the replication codec to embed records in OPS frames.
+    pub(crate) fn encode(self, out: &mut Vec<u8>) {
         let mut payload = [0u8; 9];
         let (tag, args) = payload.split_at_mut(1);
         let (a, b) = args.split_at_mut(4);
@@ -232,7 +245,14 @@ impl Wal {
             });
         }
         let version = buf.get(7).copied().unwrap_or(0);
-        if magic_tail.first() != Some(&version) {
+        if version == WAL_VERSION_V1 {
+            // Upgrade-on-open: v1 records are byte-identical, only the
+            // version byte moves. Rewrite the header and carry on.
+            storage
+                .write_at(0, &WAL_MAGIC)
+                .map_err(WalError::at("wal.append"))?;
+            storage.sync().map_err(WalError::at("wal.fsync"))?;
+        } else if magic_tail.first() != Some(&version) {
             return Err(WalError {
                 site: "wal.open",
                 source: PersistError::UnsupportedVersion {
@@ -321,15 +341,16 @@ impl Wal {
     }
 }
 
-enum RecordAt {
+pub(crate) enum RecordAt {
     Op(WalOp, usize),
     End,
     Torn,
 }
 
 /// Reads the record at `off`; distinguishes a clean end, a torn tail, and
-/// genuinely corrupt (non-tail) content.
-fn read_record(buf: &[u8], off: usize) -> Result<RecordAt, PersistError> {
+/// genuinely corrupt (non-tail) content. Shared with the replication
+/// frame codec, which embeds runs of these records in its OPS frames.
+pub(crate) fn read_record(buf: &[u8], off: usize) -> Result<RecordAt, PersistError> {
     if off == buf.len() {
         return Ok(RecordAt::End);
     }
@@ -352,8 +373,9 @@ fn read_record(buf: &[u8], off: usize) -> Result<RecordAt, PersistError> {
     Ok(RecordAt::Op(op, off + 8 + len as usize))
 }
 
-/// CRC-32 (IEEE 802.3) with a lazily built lookup table.
-fn crc32(data: &[u8]) -> u32 {
+/// CRC-32 (IEEE 802.3) with a lazily built lookup table. Shared with the
+/// replication frame codec so the wire and the log agree on checksums.
+pub(crate) fn crc32(data: &[u8]) -> u32 {
     static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
     let table = TABLE.get_or_init(|| {
         let mut t = [0u32; 256];
@@ -497,6 +519,23 @@ mod tests {
             err.source,
             PersistError::UnsupportedVersion { found: 9, .. }
         ));
+    }
+
+    #[test]
+    fn v1_logs_upgrade_in_place_on_open() {
+        let path = temp_wal("upgrade_v1.wal");
+        // Author a v1 log by hand: old magic, then the same record bytes.
+        let (mut wal, _) = Wal::open(&path, false).unwrap();
+        wal.append(&SCRIPT).unwrap();
+        drop(wal);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[7] = 1;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, rec) = Wal::open(&path, false).unwrap();
+        assert_eq!(rec.ops, SCRIPT, "v1 records must replay unchanged");
+        assert_eq!(rec.torn_bytes, 0);
+        let upgraded = std::fs::read(&path).unwrap();
+        assert_eq!(upgraded[..8], WAL_MAGIC, "header must be rewritten to v2");
     }
 
     #[test]

@@ -277,6 +277,10 @@ fn auxiliary_verbs_answer_on_a_live_server() {
     read_block(&mut c);
     assert_eq!(c.send("TRACE 0"), "ERR usage: TRACE n (n >= 1)");
 
+    // PROMOTE is only meaningful on a replication follower; on a
+    // standalone server it answers a clean one-line error.
+    assert!(c.send("PROMOTE").starts_with("ERR INVALID"));
+
     // QUIT closes only this connection; the server keeps serving.
     assert_eq!(c.send("QUIT"), "OK bye");
     let mut c2 = Client::connect(server.local_addr());

@@ -40,6 +40,14 @@ fn crash_error() -> io::Error {
 }
 
 fn os_error(kind: FaultKind, site: FaultSite) -> io::Error {
+    if kind == FaultKind::Stall {
+        // A hung peer: block noticeably, then time out.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        return io::Error::new(
+            io::ErrorKind::TimedOut,
+            format!("injected stall at {}: timed out", site.as_str()),
+        );
+    }
     let code = match kind {
         FaultKind::Enospc => 28, // ENOSPC
         _ => 5,                  // EIO covers everything else non-write-shaped
@@ -83,7 +91,7 @@ impl WalStorage for FaultFile {
             return Err(crash_error());
         }
         match self.plan.fire(FaultSite::Open, n) {
-            Some(kind @ (FaultKind::Enospc | FaultKind::Eio)) => {
+            Some(kind @ (FaultKind::Enospc | FaultKind::Eio | FaultKind::Stall)) => {
                 self.plan.note_injection();
                 Err(os_error(kind, FaultSite::Open))
             }
@@ -150,7 +158,7 @@ impl WalStorage for FaultFile {
                     ),
                 ))
             }
-            Some(kind @ (FaultKind::Enospc | FaultKind::Eio)) => {
+            Some(kind @ (FaultKind::Enospc | FaultKind::Eio | FaultKind::Stall)) => {
                 self.plan.note_injection();
                 Err(os_error(kind, FaultSite::Append))
             }

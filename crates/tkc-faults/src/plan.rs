@@ -26,7 +26,7 @@ use std::sync::Mutex;
 
 use crate::xorshift;
 
-/// A storage call site a failpoint can attach to.
+/// A storage or replication-link call site a failpoint can attach to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultSite {
     /// `wal.open` — the full-file read at recovery.
@@ -37,6 +37,12 @@ pub enum FaultSite {
     Fsync,
     /// `wal.truncate` — torn-tail truncation and log reset.
     Truncate,
+    /// `repl.connect` — a follower dialing its primary.
+    ReplConnect,
+    /// `repl.send` — one replication frame leaving a node.
+    ReplSend,
+    /// `repl.recv` — one replication frame arriving at a node.
+    ReplRecv,
 }
 
 impl FaultSite {
@@ -46,6 +52,9 @@ impl FaultSite {
             FaultSite::Append => 1,
             FaultSite::Fsync => 2,
             FaultSite::Truncate => 3,
+            FaultSite::ReplConnect => 4,
+            FaultSite::ReplSend => 5,
+            FaultSite::ReplRecv => 6,
         }
     }
 
@@ -56,6 +65,9 @@ impl FaultSite {
             FaultSite::Append => "wal.append",
             FaultSite::Fsync => "wal.fsync",
             FaultSite::Truncate => "wal.truncate",
+            FaultSite::ReplConnect => "repl.connect",
+            FaultSite::ReplSend => "repl.send",
+            FaultSite::ReplRecv => "repl.recv",
         }
     }
 
@@ -66,6 +78,9 @@ impl FaultSite {
             "wal.append" => Some(FaultSite::Append),
             "wal.fsync" => Some(FaultSite::Fsync),
             "wal.truncate" => Some(FaultSite::Truncate),
+            "repl.connect" => Some(FaultSite::ReplConnect),
+            "repl.send" => Some(FaultSite::ReplSend),
+            "repl.recv" => Some(FaultSite::ReplRecv),
             _ => None,
         }
     }
@@ -87,6 +102,9 @@ pub enum FaultKind {
     /// Die: tear the write at a byte offset and fail every later call
     /// until [`FaultPlan::clear_crash`] simulates a process restart.
     Crash,
+    /// Block for ~100ms, then fail with `TimedOut` — a hung link or
+    /// slow peer. Exercises reconnect/backoff machinery, not data paths.
+    Stall,
 }
 
 impl FaultKind {
@@ -98,6 +116,7 @@ impl FaultKind {
             FaultKind::Eio => "eio",
             FaultKind::BitFlip => "bitflip",
             FaultKind::Crash => "crash",
+            FaultKind::Stall => "stall",
         }
     }
 
@@ -109,6 +128,7 @@ impl FaultKind {
             "eio" => Some(FaultKind::Eio),
             "bitflip" => Some(FaultKind::BitFlip),
             "crash" => Some(FaultKind::Crash),
+            "stall" => Some(FaultKind::Stall),
             _ => None,
         }
     }
@@ -153,7 +173,7 @@ impl fmt::Display for Failpoint {
 pub struct FaultPlan {
     points: Mutex<Vec<Failpoint>>,
     /// Per-site invocation counts, indexed by [`FaultSite::index`].
-    calls: [AtomicU64; 4],
+    calls: [AtomicU64; 7],
     /// Bytes successfully handed to the inner storage by append writes —
     /// the clock for byte-offset crash triggers.
     bytes_written: AtomicU64,
@@ -263,9 +283,55 @@ impl FaultPlan {
         FaultPlan::with_points(points, seed)
     }
 
+    /// A pseudo-random **replication-link** schedule derived entirely
+    /// from `seed`: one to three failpoints over the
+    /// `repl.connect`/`repl.send`/`repl.recv` sites with the link fault
+    /// kinds (eio, short, bitflip, stall), triggered inside
+    /// `events_hint` link events. Same seed, same schedule — the
+    /// replication chaos harness's reproducibility contract.
+    pub fn seeded_repl(seed: u64, events_hint: u64) -> FaultPlan {
+        let mut s = (seed ^ 0xD1FF_5EED) | 1;
+        let events = events_hint.max(4);
+        let n_points = 1 + xorshift(&mut s) % 3;
+        let mut points = Vec::new();
+        for _ in 0..n_points {
+            let roll = xorshift(&mut s) % 100;
+            let (site, kind) = match roll {
+                0..=19 => (FaultSite::ReplConnect, FaultKind::Eio),
+                20..=39 => (FaultSite::ReplSend, FaultKind::Eio),
+                40..=54 => (FaultSite::ReplRecv, FaultKind::Eio),
+                55..=69 => (FaultSite::ReplSend, FaultKind::ShortWrite),
+                70..=84 => (FaultSite::ReplRecv, FaultKind::BitFlip),
+                85..=92 => (FaultSite::ReplSend, FaultKind::Stall),
+                _ => (FaultSite::ReplRecv, FaultKind::Stall),
+            };
+            let trigger = 1 + xorshift(&mut s) % events;
+            let count = 1 + xorshift(&mut s) % 2;
+            points.push(Failpoint {
+                site,
+                kind,
+                trigger,
+                count,
+            });
+        }
+        FaultPlan::with_points(points, seed)
+    }
+
     /// Adds one failpoint to the schedule.
     pub fn push(&self, fp: Failpoint) {
         lock(&self.points).push(fp);
+    }
+
+    /// The front door for non-storage call sites (the replication link):
+    /// registers one invocation of `site` and returns the fault kind
+    /// scheduled to fire at it, if any, counting the injection. Unlike
+    /// the [`crate::FaultFile`] path the caller interprets the kind
+    /// itself (drop the connection, corrupt the frame, stall...).
+    pub fn inject(&self, site: FaultSite) -> Option<FaultKind> {
+        let n = self.bump(site);
+        let kind = self.fire(site, n)?;
+        self.note_injection();
+        Some(kind)
     }
 
     /// Total injections performed so far (every kind, bit-flips
@@ -421,6 +487,41 @@ mod tests {
             .map(|s| FaultPlan::seeded(s, 100, 1700).describe())
             .collect();
         assert!(shapes.len() > 4, "only {} distinct schedules", shapes.len());
+    }
+
+    #[test]
+    fn repl_sites_parse_and_round_trip() {
+        for site in [
+            FaultSite::ReplConnect,
+            FaultSite::ReplSend,
+            FaultSite::ReplRecv,
+        ] {
+            assert_eq!(FaultSite::parse(site.as_str()), Some(site));
+        }
+        assert_eq!(FaultKind::parse("stall"), Some(FaultKind::Stall));
+        let plan = FaultPlan::parse_spec("repl.send=stall@2,repl.connect=eio@1x2").unwrap();
+        assert_eq!(plan.describe(), "repl.send=stall@2,repl.connect=eio@1x2");
+        // inject() is the bump-and-fire front door for link sites.
+        assert_eq!(plan.inject(FaultSite::ReplSend), None);
+        assert_eq!(plan.inject(FaultSite::ReplSend), Some(FaultKind::Stall));
+        assert_eq!(plan.inject(FaultSite::ReplConnect), Some(FaultKind::Eio));
+        assert_eq!(plan.inject(FaultSite::ReplConnect), Some(FaultKind::Eio));
+        assert_eq!(plan.inject(FaultSite::ReplConnect), None);
+        assert_eq!(plan.injected_total(), 3);
+    }
+
+    #[test]
+    fn seeded_repl_schedules_are_deterministic_and_link_only() {
+        for seed in 0..50u64 {
+            let a = FaultPlan::seeded_repl(seed, 32);
+            let b = FaultPlan::seeded_repl(seed, 32);
+            assert_eq!(a.describe(), b.describe(), "seed {seed}");
+            assert!(
+                a.describe().split(',').all(|p| p.starts_with("repl.")),
+                "non-link site in {}",
+                a.describe()
+            );
+        }
     }
 
     #[test]

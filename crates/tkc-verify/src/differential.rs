@@ -414,6 +414,38 @@ pub fn kappa_matches_recompute(g: &Graph, kappa: &[u32]) -> Result<(), Mismatch>
     Ok(())
 }
 
+/// A 64-bit order-independent-input digest of a decomposition: FNV-1a
+/// over every `(u, v, κ)` triple in sorted-endpoint order, prefixed with
+/// the vertex/edge counts. Two replicas with identical graphs and κ
+/// vectors produce identical stamps regardless of edge-id assignment
+/// history — the replication divergence probe compares exactly this.
+pub fn kappa_stamp(g: &Graph, kappa: &[u32]) -> u64 {
+    let mut triples: Vec<(u32, u32, u32)> = g
+        .edge_ids()
+        .map(|e| {
+            let (u, v) = g.endpoints(e);
+            let (lo, hi) = if u.0 <= v.0 { (u.0, v.0) } else { (v.0, u.0) };
+            (lo, hi, kappa.get(e.index()).copied().unwrap_or(0))
+        })
+        .collect();
+    triples.sort_unstable();
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut eat = |x: u32| {
+        for b in x.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    eat(g.num_vertices() as u32);
+    eat(triples.len() as u32);
+    for (u, v, k) in triples {
+        eat(u);
+        eat(v);
+        eat(k);
+    }
+    h
+}
+
 /// Checks the maintained κ against the oracles; `Err` on first divergence.
 fn check_oracles(d: &DynamicTriangleKCore, deep: bool) -> Result<(), Mismatch> {
     check_support_kernels(d.graph())?;
@@ -603,6 +635,32 @@ mod tests {
     #![allow(clippy::unwrap_used)]
 
     use super::*;
+
+    #[test]
+    fn kappa_stamp_is_insertion_order_independent() {
+        let mut a = Graph::new();
+        let mut b = Graph::new();
+        for g in [&mut a, &mut b] {
+            g.add_vertices(4);
+        }
+        let edges = [(0u32, 1u32), (1, 2), (2, 0), (0, 3), (1, 3), (2, 3)];
+        for &(u, v) in &edges {
+            a.add_edge(VertexId(u), VertexId(v)).unwrap();
+        }
+        for &(u, v) in edges.iter().rev() {
+            b.add_edge(VertexId(u), VertexId(v)).unwrap();
+        }
+        let da = triangle_kcore_decomposition(&a);
+        let db = triangle_kcore_decomposition(&b);
+        assert_eq!(
+            kappa_stamp(&a, da.kappa_slice()),
+            kappa_stamp(&b, db.kappa_slice())
+        );
+        // Perturbing one κ value must move the stamp.
+        let mut bad = da.kappa_slice().to_vec();
+        bad[0] += 1;
+        assert_ne!(kappa_stamp(&a, da.kappa_slice()), kappa_stamp(&a, &bad));
+    }
 
     #[test]
     fn single_stream_passes_on_every_kind() {

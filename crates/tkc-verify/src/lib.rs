@@ -40,4 +40,7 @@ pub mod certificate;
 pub mod differential;
 
 pub use certificate::{KappaCertificate, Report, Violation};
-pub use differential::{run_stream, run_suite, FailureDump, StreamConfig, StreamStats};
+pub use differential::{
+    kappa_matches_recompute, kappa_stamp, run_stream, run_suite, FailureDump, StreamConfig,
+    StreamStats,
+};

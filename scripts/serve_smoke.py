@@ -290,6 +290,117 @@ def degraded_scenario(binary):
           "supervised recovery -> writes restored")
 
 
+def boot_repl(binary, state_dir, tag, *extra):
+    """Starts `tkc serve` with replication flags and returns
+    (proc, client_addr, repl_addr_or_None)."""
+    proc = subprocess.Popen(
+        [binary, "serve", state_dir, "--addr", "127.0.0.1:0", "--no-fsync",
+         *extra],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    addr = None
+    repl_addr = None
+    for line in proc.stdout:
+        print(f"[{tag}]", line.rstrip())
+        if line.startswith("replication listening on "):
+            repl_addr = line.split()[-1]
+        if line.startswith("tkc-engine listening on "):
+            host, _, port = line.split()[-1].rpartition(":")
+            addr = (host, int(port))
+            break
+    assert addr, f"{tag} never printed its listening address"
+    return proc, addr, repl_addr
+
+
+def repl_scenario(binary):
+    """Two-node replication: writes land on the primary and become
+    readable on the follower once the lag drains; follower writes are
+    redirected with ERR READONLY; PROMOTE fences the old primary (it
+    refuses writes at the lower term) and makes the follower writable;
+    after the old primary is killed the promoted node keeps serving."""
+    with tempfile.TemporaryDirectory(prefix="tkc_repl_primary_") as p_dir, \
+         tempfile.TemporaryDirectory(prefix="tkc_repl_follower_") as f_dir:
+        p_proc, p_addr, repl_addr = boot_repl(
+            binary, p_dir, "primary", "--repl-addr", "127.0.0.1:0")
+        assert repl_addr, "primary never printed its replication address"
+        f_proc, f_addr, _ = boot_repl(
+            binary, f_dir, "follower", "--follow", repl_addr)
+        try:
+            p = ReconnClient(p_addr)
+            f = ReconnClient(f_addr)
+            assert p.send("HEALTH") == "OK serving"
+
+            # Write a K5 to the primary; every edge settles at kappa 3.
+            ops = clique(0)
+            for u, v in ops:
+                reply = p.send(f"INSERT {u} {v}", retry=False)
+                assert reply.startswith("OK"), f"INSERT {u} {v} -> {reply}"
+
+            # Read-your-write from the follower once the lag drains.
+            deadline = time.monotonic() + 30
+            while True:
+                sock, reader = connect(f_addr)
+                stats = read_stats(sock, reader)
+                reader.close()
+                sock.close()
+                if (int(stats.get("repl_ops_applied", 0)) >= len(ops)
+                        and int(stats.get("repl_lag_seq", 1)) == 0):
+                    break
+                assert time.monotonic() < deadline, \
+                    f"follower lag never drained: {stats}"
+                time.sleep(0.1)
+            assert f.send("EPOCH").startswith("OK ")
+            assert f.send("KAPPA 0 1") == "OK 3"
+            assert f.send("MAXK") == "OK 3"
+
+            # Follower writes are redirected to the primary.
+            refused = f.send("INSERT 90 91", retry=False)
+            assert refused == f"ERR READONLY {repl_addr}", refused
+            health = f.send("HEALTH")
+            assert health.startswith(f"OK follower following {repl_addr}"), health
+
+            # PROMOTE: the follower becomes writable at term 1 and the
+            # still-running old primary is fenced read-only.
+            assert f.send("PROMOTE") == "OK promoted term=1"
+            assert f.send("INSERT 90 91", retry=False).startswith("OK")
+            deadline = time.monotonic() + 30
+            while not p.send("HEALTH").startswith("OK read_only"):
+                assert time.monotonic() < deadline, "old primary never fenced"
+                time.sleep(0.1)
+            fenced = p.send("INSERT 92 93", retry=False)
+            assert fenced.startswith("ERR DEGRADED"), fenced
+            # The fence is sticky: the recovery supervisor must not
+            # resurrect the superseded primary into a writable state.
+            time.sleep(1.0)
+            assert p.send("HEALTH").startswith("OK read_only")
+
+            # Kill the old primary outright; the promoted node keeps
+            # serving both reads and writes on its own.
+            p.close()
+            p_proc.kill()
+            p_proc.wait()
+            assert f.send("INSERT 94 95", retry=False).startswith("OK")
+            assert f.send("HEALTH") == "OK serving"
+            assert f.send("KAPPA 0 1") == "OK 3"
+
+            assert f.send("SHUTDOWN") == "OK shutting down"
+            f.close()
+            rest = f_proc.stdout.read()
+            if rest:
+                print("[follower]", rest.rstrip())
+            assert f_proc.wait(timeout=30) == 0, "promoted follower exit"
+        finally:
+            for proc in (p_proc, f_proc):
+                if proc.poll() is None:
+                    proc.kill()
+                    proc.wait()
+    print("repl smoke OK: follower read-your-write after lag drain, "
+          "ERR READONLY redirect, PROMOTE fenced the old primary, "
+          "promoted node served writes after primary kill")
+
+
 def main():
     if len(sys.argv) != 2:
         sys.exit(__doc__)
@@ -473,6 +584,7 @@ def main():
           "state compacted and recovered on restart, slow-op log + "
           "SLO/TRACE verbs live")
     degraded_scenario(binary)
+    repl_scenario(binary)
 
 
 if __name__ == "__main__":
